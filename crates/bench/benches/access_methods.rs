@@ -1,0 +1,113 @@
+//! Criterion microbenchmarks of the storage engine's access methods:
+//! build, keyed lookup, insert, and sequential scan for heap, hash, and
+//! ISAM organizations on benchmark-shaped rows.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use tdbms_kernel::{AttrDef, Domain, RowCodec, Schema, Value};
+use tdbms_storage::{
+    HashFile, HashFn, HeapFile, IsamFile, KeySpec, Pager, RelFile,
+};
+
+fn rows(n: i64) -> (RowCodec, Vec<Vec<u8>>) {
+    let schema = Schema::static_relation(vec![
+        AttrDef::new("id", Domain::I4),
+        AttrDef::new("pad", Domain::Char(104)),
+    ])
+    .unwrap();
+    let codec = RowCodec::new(&schema);
+    let rows = (1..=n)
+        .map(|i| {
+            codec.encode(&[Value::Int(i), Value::Str("x".into())]).unwrap()
+        })
+        .collect();
+    (codec, rows)
+}
+
+fn bench_access(c: &mut Criterion) {
+    let (codec, data) = rows(1024);
+    let key = KeySpec::for_attr(&codec, 0);
+
+    let mut group = c.benchmark_group("build");
+    group.bench_function("hash_1024", |b| {
+        b.iter(|| {
+            let mut pager = Pager::in_memory();
+            black_box(
+                HashFile::build(
+                    &mut pager,
+                    &data,
+                    108,
+                    key,
+                    HashFn::Mod,
+                    100,
+                )
+                .unwrap(),
+            )
+        })
+    });
+    group.bench_function("isam_1024", |b| {
+        b.iter(|| {
+            let mut pager = Pager::in_memory();
+            black_box(IsamFile::build(&mut pager, &data, 108, key, 100).unwrap())
+        })
+    });
+    group.finish();
+
+    let mut pager = Pager::in_memory();
+    let heap = HeapFile::create(&mut pager, 108).unwrap();
+    for r in &data {
+        heap.insert(&mut pager, r).unwrap();
+    }
+    let files = vec![
+        (
+            "hash",
+            RelFile::Hash(
+                HashFile::build(&mut pager, &data, 108, key, HashFn::Mod, 100)
+                    .unwrap(),
+            ),
+        ),
+        (
+            "isam",
+            RelFile::Isam(
+                IsamFile::build(&mut pager, &data, 108, key, 100).unwrap(),
+            ),
+        ),
+        ("heap", RelFile::Heap(heap)),
+    ];
+
+    let mut group = c.benchmark_group("lookup_id500");
+    for (name, file) in &files {
+        if matches!(file, RelFile::Heap(_)) {
+            continue;
+        }
+        group.bench_function(*name, |b| {
+            b.iter(|| {
+                let kb = 500i32.to_le_bytes();
+                let mut cur =
+                    file.lookup_eq(&mut pager, &kb).unwrap().unwrap();
+                while let Some(hit) = cur.next(&mut pager, file).unwrap() {
+                    black_box(hit);
+                }
+            })
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("scan_1024");
+    for (name, file) in &files {
+        group.bench_function(*name, |b| {
+            b.iter(|| {
+                let mut n = 0u64;
+                let mut cur = file.scan();
+                while cur.next(&mut pager, file).unwrap().is_some() {
+                    n += 1;
+                }
+                black_box(n)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_access);
+criterion_main!(benches);

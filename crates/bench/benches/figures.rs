@@ -1,0 +1,60 @@
+//! `cargo bench --bench figures` regenerates every table and figure of
+//! the paper (plain harness, not Criterion: the output IS the artifact).
+//! Set TDBMS_MAX_UC (default 14) to trade depth for runtime.
+
+fn main() {
+    // Reuse the run_all logic with the default update-count ceiling.
+    use tdbms_bench::{
+        figures, max_uc_from_env, measure_improvements,
+        nonuniform_experiment, run_sweep, BenchConfig,
+    };
+    use tdbms_kernel::DatabaseClass;
+
+    let max_uc = max_uc_from_env(14);
+    let mut sweeps = Vec::new();
+    let mut temporal_db = None;
+    for cfg in BenchConfig::all() {
+        let (data, db) = run_sweep(cfg, max_uc);
+        if cfg.class == DatabaseClass::Temporal && cfg.fillfactor == 100 {
+            temporal_db = Some(db);
+        }
+        sweeps.push(data);
+    }
+    let refs: Vec<&_> = sweeps.iter().collect();
+    println!("{}", figures::fig5(&refs));
+    let t100 = refs
+        .iter()
+        .find(|d| {
+            d.cfg.class == DatabaseClass::Temporal && d.cfg.fillfactor == 100
+        })
+        .unwrap();
+    let r50 = refs
+        .iter()
+        .find(|d| {
+            d.cfg.class == DatabaseClass::Rollback && d.cfg.fillfactor == 50
+        })
+        .unwrap();
+    println!("{}", figures::fig6(t100));
+    println!("{}", figures::fig7(&refs));
+    println!(
+        "{}",
+        figures::fig8(t100, &["Q10", "Q09", "Q11", "Q03", "Q12", "Q01"])
+    );
+    println!("{}", figures::fig8(r50, &["Q10", "Q09", "Q03", "Q01"]));
+    let f9: Vec<&_> = refs
+        .iter()
+        .copied()
+        .filter(|d| {
+            matches!(
+                d.cfg.class,
+                DatabaseClass::Rollback | DatabaseClass::Temporal
+            )
+        })
+        .collect();
+    println!("{}", figures::fig9(&f9));
+    let mut db = temporal_db.expect("temporal sweep ran");
+    let rows = measure_improvements(&mut db, t100);
+    println!("{}", figures::fig10(&rows, max_uc));
+    let rows = nonuniform_experiment(2);
+    println!("{}", figures::nonuniform_table(&rows));
+}

@@ -1,0 +1,204 @@
+//! The fixed/variable-cost analysis of Section 5.3.
+//!
+//! The paper divides a query's input cost into a *fixed* portion —
+//! independent of the update count: ISAM directory traversals, reading a
+//! constant-size temporary — and a *variable* portion that grows with the
+//! relation. The **growth rate**
+//!
+//! ```text
+//!                cost(n) - cost(0)
+//! growth rate = -------------------
+//!                variable cost × n
+//! ```
+//!
+//! turns out to depend only on the database type and the loading factor
+//! (≈ fill factor for rollback/historical, ≈ 2× for temporal), giving the
+//! predictive formula
+//!
+//! ```text
+//! cost(n) = fixed + variable × (1 + growth_rate × n)
+//! ```
+
+use crate::sweep::SweepData;
+use crate::workload::NTUPLES;
+
+/// The decomposition of one query's cost on one database.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CostModel {
+    /// Pages independent of the update count.
+    pub fixed: u64,
+    /// Pages at update count 0 beyond the fixed portion.
+    pub variable: u64,
+    /// Growth per update, as a fraction of the variable cost.
+    pub growth_rate: f64,
+}
+
+impl CostModel {
+    /// The paper's predictive formula: expected input pages at update
+    /// count `n`.
+    pub fn predict(&self, n: u32) -> f64 {
+        self.fixed as f64
+            + self.variable as f64 * (1.0 + self.growth_rate * n as f64)
+    }
+}
+
+/// The analytically known fixed cost of a benchmark query, derived the
+/// way the paper derives it: directory traversals and constant-size
+/// temporary reads.
+///
+/// * `Q02`/`Q06` — one ISAM directory descent.
+/// * `Q09` — reading back the detachment temporary (= its output pages).
+/// * `Q10` — one directory descent per substituted tuple (1024 of them)
+///   plus the temporary.
+/// * `Q12` — the small join temporaries.
+/// * everything else — 0.
+pub fn fixed_cost(query: &str, sweep: &SweepData) -> u64 {
+    let dir = sweep.dir_levels_i as u64;
+    match query {
+        "Q02" | "Q06" => dir,
+        "Q09" => sweep.output(query, 0).unwrap_or(0),
+        "Q10" => {
+            NTUPLES as u64 * dir + sweep.output(query, 0).unwrap_or(0)
+        }
+        "Q12" => sweep.output(query, 0).unwrap_or(0),
+        _ => 0,
+    }
+}
+
+/// Fit the cost model for `query` from a sweep (measured at update counts
+/// 0 and `max_uc`). Returns `None` when the query does not apply to the
+/// sweep's database class.
+pub fn cost_model(query: &str, sweep: &SweepData) -> Option<CostModel> {
+    let c0 = sweep.input(query, 0)?;
+    let cn = sweep.input(query, sweep.max_uc)?;
+    let fixed = fixed_cost(query, sweep).min(c0);
+    let variable = c0 - fixed;
+    let growth_rate = if variable == 0 || sweep.max_uc == 0 {
+        0.0
+    } else {
+        (cn as f64 - c0 as f64) / (variable as f64 * sweep.max_uc as f64)
+    };
+    Some(CostModel { fixed, variable, growth_rate })
+}
+
+/// Worst relative error of the predictive formula against the measured
+/// sweep, over all update counts (used by tests and EXPERIMENTS.md).
+pub fn model_max_relative_error(query: &str, sweep: &SweepData) -> Option<f64> {
+    let model = cost_model(query, sweep)?;
+    let mut worst: f64 = 0.0;
+    for uc in 0..=sweep.max_uc {
+        let measured = sweep.input(query, uc)? as f64;
+        let predicted = model.predict(uc);
+        if measured > 0.0 {
+            worst = worst.max((predicted - measured).abs() / measured);
+        }
+    }
+    Some(worst)
+}
+
+/// Space-growth summary for one relation across a sweep (Figure 5's
+/// derived columns).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SpaceGrowth {
+    /// Pages at update count 0.
+    pub size0: u32,
+    /// Pages at the last measured update count.
+    pub size_n: u32,
+    /// Pages added per update round, averaged.
+    pub growth_per_update: f64,
+    /// `growth_per_update / size0`.
+    pub growth_rate: f64,
+}
+
+/// Compute [`SpaceGrowth`] from a size series indexed by update count.
+pub fn space_growth(sizes: &[u32]) -> SpaceGrowth {
+    let size0 = sizes[0];
+    let size_n = *sizes.last().expect("nonempty");
+    let rounds = (sizes.len() - 1).max(1) as f64;
+    let growth_per_update = (size_n as f64 - size0 as f64) / rounds;
+    SpaceGrowth {
+        size0,
+        size_n,
+        growth_per_update,
+        growth_rate: growth_per_update / size0 as f64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sweep::run_sweep;
+    use crate::workload::BenchConfig;
+    use tdbms_kernel::DatabaseClass;
+
+    #[test]
+    fn growth_rates_match_the_papers_law() {
+        // Small sweeps are enough: the growth rate is constant in n.
+        let (t100, _) =
+            run_sweep(BenchConfig::new(DatabaseClass::Temporal, 100), 3);
+        let (r100, _) =
+            run_sweep(BenchConfig::new(DatabaseClass::Rollback, 100), 4);
+        // Temporal at 100 % loading: growth rate ≈ 2, independent of the
+        // query and access method.
+        for q in ["Q01", "Q02", "Q03", "Q04", "Q07", "Q08"] {
+            let m = cost_model(q, &t100).unwrap();
+            assert!(
+                (m.growth_rate - 2.0).abs() < 0.05,
+                "{q}: growth {}",
+                m.growth_rate
+            );
+        }
+        // Rollback at 100 %: growth rate ≈ 1. (Even update counts, so the
+        // 50 % fill-the-slack jitter does not apply here.)
+        for q in ["Q01", "Q02", "Q03", "Q04", "Q07", "Q08"] {
+            let m = cost_model(q, &r100).unwrap();
+            assert!(
+                (m.growth_rate - 1.0).abs() < 0.05,
+                "{q}: growth {}",
+                m.growth_rate
+            );
+        }
+    }
+
+    #[test]
+    fn rollback_50_growth_rate_is_half() {
+        let (r50, _) =
+            run_sweep(BenchConfig::new(DatabaseClass::Rollback, 50), 4);
+        for q in ["Q01", "Q03", "Q07"] {
+            let m = cost_model(q, &r50).unwrap();
+            assert!(
+                (m.growth_rate - 0.5).abs() < 0.05,
+                "{q}: growth {}",
+                m.growth_rate
+            );
+        }
+    }
+
+    #[test]
+    fn predictive_formula_tracks_measurements() {
+        let (t100, _) =
+            run_sweep(BenchConfig::new(DatabaseClass::Temporal, 100), 3);
+        for q in ["Q01", "Q02", "Q03", "Q04", "Q05", "Q07", "Q08", "Q12"] {
+            let err = model_max_relative_error(q, &t100).unwrap();
+            assert!(err < 0.05, "{q}: max relative error {err}");
+        }
+    }
+
+    #[test]
+    fn fixed_costs_follow_the_query_structure() {
+        let (t100, _) =
+            run_sweep(BenchConfig::new(DatabaseClass::Temporal, 100), 1);
+        assert_eq!(fixed_cost("Q01", &t100), 0);
+        assert_eq!(fixed_cost("Q02", &t100), 1); // one directory level
+        assert!(fixed_cost("Q10", &t100) >= 1024); // per-substitution dir
+    }
+
+    #[test]
+    fn space_growth_summary() {
+        let g = space_growth(&[128, 384, 640]);
+        assert_eq!(g.size0, 128);
+        assert_eq!(g.size_n, 640);
+        assert!((g.growth_per_update - 256.0).abs() < 1e-9);
+        assert!((g.growth_rate - 2.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,14 @@
+//! Regenerate Figure 10: the measured two-level store and secondary-index
+//! improvements for the temporal database at update count 14.
+use tdbms_bench::{
+    figures, max_uc_from_env, measure_improvements, run_sweep, BenchConfig,
+};
+use tdbms_kernel::DatabaseClass;
+
+fn main() {
+    let max_uc = max_uc_from_env(14);
+    let (sweep, mut db) =
+        run_sweep(BenchConfig::new(DatabaseClass::Temporal, 100), max_uc);
+    let rows = measure_improvements(&mut db, &sweep);
+    print!("{}", figures::fig10(&rows, max_uc));
+}

@@ -1,0 +1,12 @@
+//! Regenerate Figure 5: space requirements for the eight test databases.
+use tdbms_bench::{figures, max_uc_from_env, run_sweep, BenchConfig};
+
+fn main() {
+    let max_uc = max_uc_from_env(14);
+    let sweeps: Vec<_> = BenchConfig::all()
+        .into_iter()
+        .map(|cfg| run_sweep(cfg, max_uc).0)
+        .collect();
+    let refs: Vec<&_> = sweeps.iter().collect();
+    print!("{}", figures::fig5(&refs));
+}

@@ -1,0 +1,11 @@
+//! Regenerate Figure 6: input costs for the temporal database, 100 %
+//! loading, at every update count (the paper sweeps to 15).
+use tdbms_bench::{figures, max_uc_from_env, run_sweep, BenchConfig};
+use tdbms_kernel::DatabaseClass;
+
+fn main() {
+    let max_uc = max_uc_from_env(15);
+    let (data, _) =
+        run_sweep(BenchConfig::new(DatabaseClass::Temporal, 100), max_uc);
+    print!("{}", figures::fig6(&data));
+}

@@ -1,0 +1,20 @@
+//! Regenerate Figure 8: input-page series, (a) temporal/100 % and
+//! (b) rollback/50 %, as CSV plus an ASCII plot.
+use tdbms_bench::{figures, max_uc_from_env, run_sweep, BenchConfig};
+use tdbms_kernel::DatabaseClass;
+
+fn main() {
+    let max_uc = max_uc_from_env(15);
+    let (t, _) =
+        run_sweep(BenchConfig::new(DatabaseClass::Temporal, 100), max_uc);
+    println!(
+        "{}",
+        figures::fig8(&t, &["Q10", "Q09", "Q11", "Q03", "Q12", "Q01"])
+    );
+    let (r, _) =
+        run_sweep(BenchConfig::new(DatabaseClass::Rollback, 50), max_uc);
+    println!(
+        "{}",
+        figures::fig8(&r, &["Q10", "Q09", "Q03", "Q01"])
+    );
+}

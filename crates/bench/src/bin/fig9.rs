@@ -1,0 +1,21 @@
+//! Regenerate Figure 9: fixed costs, variable costs, and growth rates for
+//! the rollback and temporal databases at both loading factors (the
+//! historical database shows the rollback database's variable costs and
+//! growth rates, as the paper notes).
+use tdbms_bench::{figures, max_uc_from_env, run_sweep, BenchConfig};
+use tdbms_kernel::DatabaseClass;
+
+fn main() {
+    let max_uc = max_uc_from_env(14);
+    let sweeps: Vec<_> = [
+        BenchConfig::new(DatabaseClass::Rollback, 100),
+        BenchConfig::new(DatabaseClass::Rollback, 50),
+        BenchConfig::new(DatabaseClass::Temporal, 100),
+        BenchConfig::new(DatabaseClass::Temporal, 50),
+    ]
+    .into_iter()
+    .map(|cfg| run_sweep(cfg, max_uc).0)
+    .collect();
+    let refs: Vec<&_> = sweeps.iter().collect();
+    print!("{}", figures::fig9(&refs));
+}

@@ -1,0 +1,11 @@
+//! Regenerate the §5.4 non-uniform-distribution experiment: repeatedly
+//! update a single tuple and confirm that the *average* growth rate
+//! matches the uniform case. O(n²) in the average update count, so the
+//! paper (and our default) stops at 4.
+use tdbms_bench::{figures, max_uc_from_env, nonuniform_experiment};
+
+fn main() {
+    let max_avg = max_uc_from_env(4);
+    let rows = nonuniform_experiment(max_avg);
+    print!("{}", figures::nonuniform_table(&rows));
+}

@@ -1,0 +1,63 @@
+//! Regenerate every figure of the paper in one run (sweeps are shared
+//! across figures). Set TDBMS_MAX_UC to trade runtime for sweep depth.
+use tdbms_bench::{
+    figures, max_uc_from_env, measure_improvements, nonuniform_experiment,
+    run_sweep, BenchConfig,
+};
+use tdbms_kernel::DatabaseClass;
+
+fn main() {
+    let max_uc = max_uc_from_env(15);
+    eprintln!("running the eight update-count sweeps (to UC {max_uc})...");
+    let mut sweeps = Vec::new();
+    let mut temporal_db = None;
+    for cfg in BenchConfig::all() {
+        let (data, db) = run_sweep(cfg, max_uc);
+        if cfg.class == DatabaseClass::Temporal && cfg.fillfactor == 100 {
+            temporal_db = Some(db);
+        }
+        sweeps.push(data);
+    }
+    let refs: Vec<&_> = sweeps.iter().collect();
+
+    println!("{}", figures::fig5(&refs));
+    let t100 = refs
+        .iter()
+        .find(|d| {
+            d.cfg.class == DatabaseClass::Temporal && d.cfg.fillfactor == 100
+        })
+        .unwrap();
+    let r50 = refs
+        .iter()
+        .find(|d| {
+            d.cfg.class == DatabaseClass::Rollback && d.cfg.fillfactor == 50
+        })
+        .unwrap();
+    println!("{}", figures::fig6(t100));
+    println!("{}", figures::fig7(&refs));
+    println!(
+        "{}",
+        figures::fig8(t100, &["Q10", "Q09", "Q11", "Q03", "Q12", "Q01"])
+    );
+    println!("{}", figures::fig8(r50, &["Q10", "Q09", "Q03", "Q01"]));
+    let f9: Vec<&_> = refs
+        .iter()
+        .copied()
+        .filter(|d| {
+            matches!(
+                d.cfg.class,
+                DatabaseClass::Rollback | DatabaseClass::Temporal
+            )
+        })
+        .collect();
+    println!("{}", figures::fig9(&f9));
+
+    eprintln!("measuring the Figure 10 improvements...");
+    let mut db = temporal_db.expect("temporal sweep ran");
+    let rows = measure_improvements(&mut db, t100);
+    println!("{}", figures::fig10(&rows, max_uc));
+
+    eprintln!("running the non-uniform-distribution experiment...");
+    let rows = nonuniform_experiment(max_uc_from_env(15).min(4));
+    println!("{}", figures::nonuniform_table(&rows));
+}

@@ -1,0 +1,351 @@
+//! Printable reproductions of every figure in the paper's evaluation.
+//!
+//! Each `fig*` function renders the same rows/series the paper reports,
+//! from [`SweepData`] produced by [`crate::sweep::run_sweep`]. Absolute
+//! numbers differ from the paper where DESIGN.md documents a substitution
+//! (notably the Ingres hash function); the shapes — growth rates, who
+//! wins, by what factor — are the reproduction targets.
+
+use crate::analysis::{cost_model, space_growth};
+use crate::improvements::Fig10Row;
+use crate::queries::QUERY_IDS;
+use crate::sweep::SweepData;
+use std::fmt::Write as _;
+
+fn opt(v: Option<u64>) -> String {
+    v.map(|x| x.to_string()).unwrap_or_else(|| "-".into())
+}
+
+/// Figure 5: space requirements (pages) per database type and loading
+/// factor, with growth per update and growth rate.
+pub fn fig5(sweeps: &[&SweepData]) -> String {
+    let mut s = String::new();
+    let n = sweeps.first().map(|d| d.max_uc).unwrap_or(0);
+    writeln!(s, "Figure 5: Space Requirements (in Pages)").unwrap();
+    writeln!(
+        s,
+        "{:<22} {:>9} {:>9} {:>9} {:>9} {:>12} {:>12} {:>8} {:>8}",
+        "Database (loading)",
+        "H, UC=0",
+        "I, UC=0",
+        format!("H, UC={n}"),
+        format!("I, UC={n}"),
+        "H growth/u",
+        "I growth/u",
+        "H rate",
+        "I rate"
+    )
+    .unwrap();
+    for d in sweeps {
+        let gh = space_growth(&d.sizes_h);
+        let gi = space_growth(&d.sizes_i);
+        let grows = d.cfg.class != tdbms_kernel::DatabaseClass::Static;
+        writeln!(
+            s,
+            "{:<22} {:>9} {:>9} {:>9} {:>9} {:>12} {:>12} {:>8} {:>8}",
+            format!("{} ({}%)", d.cfg.class, d.cfg.fillfactor),
+            gh.size0,
+            gi.size0,
+            if grows { gh.size_n.to_string() } else { "-".into() },
+            if grows { gi.size_n.to_string() } else { "-".into() },
+            if grows {
+                format!("{:.1}", gh.growth_per_update)
+            } else {
+                "-".into()
+            },
+            if grows {
+                format!("{:.1}", gi.growth_per_update)
+            } else {
+                "-".into()
+            },
+            if grows { format!("{:.2}", gh.growth_rate) } else { "-".into() },
+            if grows { format!("{:.2}", gi.growth_rate) } else { "-".into() },
+        )
+        .unwrap();
+    }
+    s
+}
+
+/// Figure 6: input costs for one database (the paper shows the temporal
+/// database with 100 % loading) at every update count.
+pub fn fig6(d: &SweepData) -> String {
+    let mut s = String::new();
+    writeln!(
+        s,
+        "Figure 6: Input Costs for the {} Database with {} % Loading",
+        d.cfg.class, d.cfg.fillfactor
+    )
+    .unwrap();
+    write!(s, "{:<6}", "Query").unwrap();
+    for uc in 0..=d.max_uc {
+        write!(s, "{uc:>7}").unwrap();
+    }
+    writeln!(s).unwrap();
+    for q in QUERY_IDS {
+        let Some(costs) = d.costs.get(q) else { continue };
+        write!(s, "{q:<6}").unwrap();
+        for c in costs {
+            write!(s, "{:>7}", c.input).unwrap();
+        }
+        writeln!(s).unwrap();
+    }
+    s
+}
+
+/// Figure 7: input pages for the four database types at update counts 0
+/// and `max_uc`.
+pub fn fig7(sweeps: &[&SweepData]) -> String {
+    let mut s = String::new();
+    let n = sweeps.first().map(|d| d.max_uc).unwrap_or(0);
+    writeln!(s, "Figure 7: Number of Input Pages for Four Types of Databases")
+        .unwrap();
+    write!(s, "{:<6}", "Query").unwrap();
+    for d in sweeps {
+        write!(
+            s,
+            "{:>22}",
+            format!("{} {}%", d.cfg.class, d.cfg.fillfactor)
+        )
+        .unwrap();
+    }
+    writeln!(s).unwrap();
+    write!(s, "{:<6}", "").unwrap();
+    for _ in sweeps {
+        write!(s, "{:>11}{:>11}", "UC=0", format!("UC={n}")).unwrap();
+    }
+    writeln!(s).unwrap();
+    for q in QUERY_IDS {
+        write!(s, "{q:<6}").unwrap();
+        for d in sweeps {
+            let grows = d.cfg.class != tdbms_kernel::DatabaseClass::Static;
+            write!(s, "{:>11}", opt(d.input(q, 0))).unwrap();
+            write!(
+                s,
+                "{:>11}",
+                if grows { opt(d.input(q, n)) } else { "-".into() }
+            )
+            .unwrap();
+        }
+        writeln!(s).unwrap();
+    }
+    s
+}
+
+/// Figure 8: the input-page series as an ASCII graph plus a CSV block
+/// (the paper plots (a) temporal/100 % and (b) rollback/50 %).
+pub fn fig8(d: &SweepData, queries: &[&str]) -> String {
+    let mut s = String::new();
+    writeln!(
+        s,
+        "Figure 8: Input Pages vs. Update Count — {} database, {} % loading",
+        d.cfg.class, d.cfg.fillfactor
+    )
+    .unwrap();
+    // CSV block first (machine-readable series).
+    write!(s, "uc").unwrap();
+    for q in queries {
+        write!(s, ",{q}").unwrap();
+    }
+    writeln!(s).unwrap();
+    for uc in 0..=d.max_uc {
+        write!(s, "{uc}").unwrap();
+        for q in queries {
+            write!(s, ",{}", d.input(q, uc).unwrap_or(0)).unwrap();
+        }
+        writeln!(s).unwrap();
+    }
+    // ASCII plot: one column per update count, 20 rows of resolution.
+    let max = queries
+        .iter()
+        .filter_map(|q| d.input(q, d.max_uc))
+        .max()
+        .unwrap_or(1)
+        .max(1);
+    const HEIGHT: u64 = 20;
+    writeln!(s, "\n  input pages (top = {max})").unwrap();
+    for level in (1..=HEIGHT).rev() {
+        let threshold = max * level / HEIGHT;
+        write!(s, "  |").unwrap();
+        for uc in 0..=d.max_uc {
+            let mut cell = ' ';
+            for (k, q) in queries.iter().enumerate() {
+                let v = d.input(q, uc).unwrap_or(0);
+                let prev_threshold = max * (level - 1) / HEIGHT;
+                if v > prev_threshold && v <= threshold {
+                    cell = char::from(b'1' + k as u8);
+                }
+            }
+            write!(s, "{cell:>4}").unwrap();
+        }
+        writeln!(s).unwrap();
+    }
+    write!(s, "  +").unwrap();
+    for _ in 0..=d.max_uc {
+        write!(s, "----").unwrap();
+    }
+    writeln!(s, "  update count 0..{}", d.max_uc).unwrap();
+    for (k, q) in queries.iter().enumerate() {
+        writeln!(s, "   {} = {q}", char::from(b'1' + k as u8)).unwrap();
+    }
+    s
+}
+
+/// Figure 9: fixed costs, variable costs, and growth rates.
+pub fn fig9(sweeps: &[&SweepData]) -> String {
+    let mut s = String::new();
+    writeln!(s, "Figure 9: Fixed Costs, Variable Costs and Growth Rates")
+        .unwrap();
+    write!(s, "{:<6}", "Query").unwrap();
+    for d in sweeps {
+        write!(
+            s,
+            "{:>30}",
+            format!("{} {}%", d.cfg.class, d.cfg.fillfactor)
+        )
+        .unwrap();
+    }
+    writeln!(s).unwrap();
+    write!(s, "{:<6}", "").unwrap();
+    for _ in sweeps {
+        write!(s, "{:>12}{:>10}{:>8}", "Fixed", "Variable", "Rate").unwrap();
+    }
+    writeln!(s).unwrap();
+    for q in QUERY_IDS {
+        write!(s, "{q:<6}").unwrap();
+        for d in sweeps {
+            match cost_model(q, d) {
+                Some(m) => write!(
+                    s,
+                    "{:>12}{:>10}{:>8.2}",
+                    m.fixed, m.variable, m.growth_rate
+                )
+                .unwrap(),
+                None => {
+                    write!(s, "{:>12}{:>10}{:>8}", "-", "-", "-").unwrap()
+                }
+            }
+        }
+        writeln!(s).unwrap();
+    }
+    s
+}
+
+/// Figure 10: improvements for the temporal database.
+pub fn fig10(rows: &[Fig10Row], max_uc: u32) -> String {
+    let mut s = String::new();
+    writeln!(s, "Figure 10: Improvements for the Temporal Database").unwrap();
+    writeln!(
+        s,
+        "{:<6}{:>10}{:>10} | {:>8}{:>10} | {:>9}{:>9}{:>9}{:>9}",
+        "Query",
+        "UC=0",
+        format!("UC={max_uc}"),
+        "Simple",
+        "Clustered",
+        "1L heap",
+        "1L hash",
+        "2L heap",
+        "2L hash"
+    )
+    .unwrap();
+    writeln!(
+        s,
+        "{:<6}{:>20} | {:>18} | {:>36}",
+        "",
+        "Conventional",
+        "2-Level Store",
+        format!("Indexed on amount (UC={max_uc})")
+    )
+    .unwrap();
+    for r in rows {
+        writeln!(
+            s,
+            "{:<6}{:>10}{:>10} | {:>8}{:>10} | {:>9}{:>9}{:>9}{:>9}",
+            r.query,
+            opt(r.conv_uc0),
+            opt(r.conv_ucn),
+            opt(r.simple),
+            opt(r.clustered),
+            opt(r.l1_heap),
+            opt(r.l1_hash),
+            opt(r.l2_heap),
+            opt(r.l2_hash),
+        )
+        .unwrap();
+    }
+    writeln!(s, "('-' : not applicable / unchanged from the conventional cost)")
+        .unwrap();
+    s
+}
+
+/// The §5.4 non-uniform-distribution table.
+pub fn nonuniform_table(rows: &[(u32, u64, u64, f64)]) -> String {
+    let mut s = String::new();
+    writeln!(s, "Section 5.4: Non-uniform (maximum-variance) Updates").unwrap();
+    writeln!(
+        s,
+        "{:>7} {:>10} {:>11} {:>14} {:>17}",
+        "avg UC", "hot probe", "cold probe", "weighted avg", "uniform (1+2n)"
+    )
+    .unwrap();
+    for (avg, hot, cold, weighted) in rows {
+        writeln!(
+            s,
+            "{:>7} {:>10} {:>11} {:>14.2} {:>17}",
+            avg,
+            hot,
+            cold,
+            weighted,
+            1 + 2 * avg
+        )
+        .unwrap();
+    }
+    writeln!(
+        s,
+        "(growth rate of the weighted average matches the uniform case, \
+         per the paper's analysis)"
+    )
+    .unwrap();
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sweep::run_sweep;
+    use crate::workload::BenchConfig;
+    use tdbms_kernel::DatabaseClass;
+
+    #[test]
+    fn renderers_produce_tables() {
+        let (t, _) =
+            run_sweep(BenchConfig::new(DatabaseClass::Temporal, 100), 1);
+        let (r, _) =
+            run_sweep(BenchConfig::new(DatabaseClass::Rollback, 100), 1);
+        let sweeps = [&t, &r];
+        let f5 = fig5(&sweeps);
+        assert!(f5.contains("temporal (100%)"));
+        assert!(f5.contains("rollback (100%)"));
+        let f6 = fig6(&t);
+        assert!(f6.contains("Q12"));
+        let f7 = fig7(&sweeps);
+        assert!(f7.contains("Q01"));
+        let f8 = fig8(&t, &["Q03", "Q09"]);
+        assert!(f8.contains("uc,Q03,Q09"));
+        let f9 = fig9(&sweeps);
+        assert!(f9.contains("Rate"));
+    }
+
+    #[test]
+    fn fig10_renders_improvement_cells() {
+        let (sweep, mut db) =
+            run_sweep(BenchConfig::new(DatabaseClass::Temporal, 100), 1);
+        let rows = crate::improvements::measure_improvements(&mut db, &sweep);
+        let table = fig10(&rows, sweep.max_uc);
+        assert!(table.contains("Q07"));
+        assert!(table.contains("2L hash"));
+        // Q05's simple-store cost is a single page.
+        let q05 = rows.iter().find(|r| r.query == "Q05").unwrap();
+        assert_eq!(q05.simple, Some(1));
+    }
+}

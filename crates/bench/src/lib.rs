@@ -1,0 +1,32 @@
+//! # tdbms-bench
+//!
+//! The benchmark harness reproducing Section 5 and Figure 10 of the
+//! paper: workload generation ([`workload`]), the twelve queries per
+//! database class ([`queries`]), update-count sweeps ([`sweep`]), the
+//! fixed/variable-cost analysis ([`analysis`]), and printable
+//! reproductions of every figure ([`figures`]).
+
+pub mod analysis;
+pub mod figures;
+pub mod improvements;
+pub mod queries;
+pub mod sweep;
+pub mod workload;
+
+pub use analysis::{cost_model, fixed_cost, CostModel};
+pub use improvements::{measure_improvements, nonuniform_experiment, Fig10Row};
+pub use queries::{queries_for, query_for, BenchQuery, QUERY_IDS};
+pub use sweep::{measure, run_sweep, Cost, SweepData};
+pub use workload::{
+    build_database, build_database_with_hash, evolve_single_tuple,
+    evolve_uniform, BenchConfig,
+};
+
+/// Update-count ceiling for harness binaries: `TDBMS_MAX_UC` (default 14,
+/// the paper's reporting point; Figure 6 extends to 15).
+pub fn max_uc_from_env(default: u32) -> u32 {
+    std::env::var("TDBMS_MAX_UC")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}

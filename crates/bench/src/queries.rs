@@ -1,0 +1,170 @@
+//! The twelve benchmark queries of Figure 4, adapted per database class
+//! exactly as the paper prescribes: "For a static database, the 'when'
+//! clause in these queries are neither necessary nor applicable. For a
+//! rollback database, we use an as of clause instead of the when clause."
+//! Q03/Q04 (rollback queries) apply only to rollback and temporal
+//! databases; Q11/Q12 only to temporal ones.
+
+use crate::workload::{AMOUNT_H, AMOUNT_I, PROBE_ID};
+use tdbms_kernel::DatabaseClass;
+
+/// All twelve query identifiers, in order.
+pub const QUERY_IDS: [&str; 12] = [
+    "Q01", "Q02", "Q03", "Q04", "Q05", "Q06", "Q07", "Q08", "Q09", "Q10",
+    "Q11", "Q12",
+];
+
+/// One benchmark query, ready to execute.
+#[derive(Debug, Clone)]
+pub struct BenchQuery {
+    /// "Q01" … "Q12".
+    pub id: &'static str,
+    /// The TQuel text for the given database class.
+    pub tquel: String,
+}
+
+/// What each query characterizes (used in reports).
+pub fn describe(id: &str) -> &'static str {
+    match id {
+        "Q01" => "version scan, hashed file, given key",
+        "Q02" => "version scan, ISAM file, given key",
+        "Q03" => "rollback query, hashed file (sequential scan)",
+        "Q04" => "rollback query, ISAM file (sequential scan)",
+        "Q05" => "static query, hashed file, given key",
+        "Q06" => "static query, ISAM file, given key",
+        "Q07" => "static query, hashed file, non-key (sequential scan)",
+        "Q08" => "static query, ISAM file, non-key (sequential scan)",
+        "Q09" => "join of current versions, hashed inner (tuple subst.)",
+        "Q10" => "join of current versions, ISAM inner (tuple subst.)",
+        "Q11" => "temporal join (nested sequential scan), rolled back",
+        "Q12" => "all TQuel clauses combined",
+        _ => "unknown",
+    }
+}
+
+/// The benchmark query `id` for the given class, or `None` when the paper
+/// marks it "not applicable".
+pub fn query_for(id: &str, class: DatabaseClass) -> Option<BenchQuery> {
+    use DatabaseClass::*;
+    // The "current version" qualifier of the static queries, per class.
+    let current_h: &str = match class {
+        Static => "",
+        Rollback => r#" as of "now""#,
+        Historical | Temporal => r#" when h overlap "now""#,
+    };
+    let current_i: &str = match class {
+        Static => "",
+        Rollback => r#" as of "now""#,
+        Historical | Temporal => r#" when i overlap "now""#,
+    };
+    let text = match id {
+        "Q01" => format!("retrieve (h.id, h.seq) where h.id = {PROBE_ID}"),
+        "Q02" => format!("retrieve (i.id, i.seq) where i.id = {PROBE_ID}"),
+        "Q03" => {
+            if !class.has_transaction_time() {
+                return None;
+            }
+            r#"retrieve (h.id, h.seq) as of "08:00 1/1/80""#.to_string()
+        }
+        "Q04" => {
+            if !class.has_transaction_time() {
+                return None;
+            }
+            r#"retrieve (i.id, i.seq) as of "08:00 1/1/80""#.to_string()
+        }
+        "Q05" => format!(
+            "retrieve (h.id, h.seq) where h.id = {PROBE_ID}{current_h}"
+        ),
+        "Q06" => format!(
+            "retrieve (i.id, i.seq) where i.id = {PROBE_ID}{current_i}"
+        ),
+        "Q07" => format!(
+            "retrieve (h.id, h.seq) where h.amount = {AMOUNT_H}{current_h}"
+        ),
+        "Q08" => format!(
+            "retrieve (i.id, i.seq) where i.amount = {AMOUNT_I}{current_i}"
+        ),
+        "Q09" => match class {
+            Static => {
+                "retrieve (h.id, i.id, i.amount) where h.id = i.amount"
+                    .to_string()
+            }
+            Rollback => "retrieve (h.id, i.id, i.amount) where h.id = i.amount \
+                 as of \"now\"".to_string(),
+            Historical | Temporal => "retrieve (h.id, i.id, i.amount) where h.id = i.amount \
+                 when h overlap i and i overlap \"now\"".to_string(),
+        },
+        "Q10" => match class {
+            Static => {
+                "retrieve (i.id, h.id, h.amount) where i.id = h.amount"
+                    .to_string()
+            }
+            Rollback => "retrieve (i.id, h.id, h.amount) where i.id = h.amount \
+                 as of \"now\"".to_string(),
+            Historical | Temporal => "retrieve (i.id, h.id, h.amount) where i.id = h.amount \
+                 when h overlap i and h overlap \"now\"".to_string(),
+        },
+        "Q11" => {
+            if class != Temporal {
+                return None;
+            }
+            r#"retrieve (h.id, h.seq, i.id, i.seq, i.amount)
+               valid from start of h to end of i
+               when start of h precede i
+               as of "4:00 1/1/80""#
+                .to_string()
+        }
+        "Q12" => {
+            if class != Temporal {
+                return None;
+            }
+            format!(
+                r#"retrieve (h.id, h.seq, i.id, i.seq, i.amount)
+                   valid from start of (h overlap i) to end of (h extend i)
+                   where h.id = {PROBE_ID} and i.amount = {AMOUNT_I}
+                   when h overlap i
+                   as of "now""#
+            )
+        }
+        _ => return None,
+    };
+    Some(BenchQuery { id: QUERY_IDS.iter().find(|q| **q == id)?, tquel: text })
+}
+
+/// Every applicable query for a class, in Q01..Q12 order.
+pub fn queries_for(class: DatabaseClass) -> Vec<BenchQuery> {
+    QUERY_IDS.iter().filter_map(|id| query_for(id, class)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn applicability_matches_figure7() {
+        assert_eq!(queries_for(DatabaseClass::Static).len(), 8);
+        assert_eq!(queries_for(DatabaseClass::Rollback).len(), 10);
+        assert_eq!(queries_for(DatabaseClass::Historical).len(), 8);
+        assert_eq!(queries_for(DatabaseClass::Temporal).len(), 12);
+    }
+
+    #[test]
+    fn all_query_texts_parse() {
+        for class in DatabaseClass::ALL {
+            for q in queries_for(class) {
+                tdbms_tquel::parse_statement(&q.tquel).unwrap_or_else(|e| {
+                    panic!("{} for {class}: {e}\n{}", q.id, q.tquel)
+                });
+            }
+        }
+    }
+
+    #[test]
+    fn rollback_queries_substitute_as_of_for_when() {
+        let q5 = query_for("Q05", DatabaseClass::Rollback).unwrap();
+        assert!(q5.tquel.contains("as of"));
+        assert!(!q5.tquel.contains("when"));
+        let q5t = query_for("Q05", DatabaseClass::Temporal).unwrap();
+        assert!(q5t.tquel.contains("when h overlap"));
+    }
+}

@@ -1,0 +1,175 @@
+//! Update-count sweeps: run the benchmark queries on a database as its
+//! average update count grows, recording sizes and input/output page
+//! costs — the raw data behind every figure.
+
+use crate::queries::{queries_for, BenchQuery};
+use crate::workload::{build_database, evolve_uniform, BenchConfig};
+use std::collections::BTreeMap;
+use tdbms_core::Database;
+
+/// Measured page costs of one query at one update count.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Cost {
+    /// Input pages (reads of user relations including temporaries).
+    pub input: u64,
+    /// Output pages (temporary/materialized writes).
+    pub output: u64,
+    /// Result tuples.
+    pub tuples: u64,
+}
+
+/// All measurements for one database configuration across update counts
+/// `0..=max_uc`.
+#[derive(Debug, Clone)]
+pub struct SweepData {
+    /// The database configuration.
+    pub cfg: BenchConfig,
+    /// Highest update count measured.
+    pub max_uc: u32,
+    /// Total pages of the hashed relation, per update count.
+    pub sizes_h: Vec<u32>,
+    /// Total pages of the ISAM relation, per update count.
+    pub sizes_i: Vec<u32>,
+    /// Per query id: costs per update count (index = update count).
+    pub costs: BTreeMap<&'static str, Vec<Cost>>,
+    /// ISAM directory levels of the `_i` relation (constant across the
+    /// sweep; the directory is static).
+    pub dir_levels_i: u32,
+}
+
+impl SweepData {
+    /// Input pages of `query` at `uc`.
+    pub fn input(&self, query: &str, uc: u32) -> Option<u64> {
+        self.costs.get(query).map(|v| v[uc as usize].input)
+    }
+
+    /// Output pages of `query` at `uc`.
+    pub fn output(&self, query: &str, uc: u32) -> Option<u64> {
+        self.costs.get(query).map(|v| v[uc as usize].output)
+    }
+}
+
+/// Measure one query's page costs (the statement starts with cold buffers
+/// and fresh counters, as in the paper's methodology).
+pub fn measure(db: &mut Database, q: &BenchQuery) -> Cost {
+    let out = db
+        .execute(&q.tquel)
+        .unwrap_or_else(|e| panic!("{} failed: {e}\n{}", q.id, q.tquel));
+    Cost {
+        input: out.stats.input_pages,
+        output: out.stats.output_pages,
+        tuples: out.affected as u64,
+    }
+}
+
+/// Run a full sweep: measure all applicable queries at update count 0,
+/// then alternate update rounds and measurements up to `max_uc`. Returns
+/// the data and the evolved database (used further by the Figure 10
+/// experiments).
+pub fn run_sweep(cfg: BenchConfig, max_uc: u32) -> (SweepData, Database) {
+    let mut db = build_database(&cfg);
+    let queries = queries_for(cfg.class);
+    let mut data = SweepData {
+        cfg,
+        max_uc,
+        sizes_h: Vec::with_capacity(max_uc as usize + 1),
+        sizes_i: Vec::with_capacity(max_uc as usize + 1),
+        costs: queries
+            .iter()
+            .map(|q| (q.id, Vec::with_capacity(max_uc as usize + 1)))
+            .collect(),
+        dir_levels_i: db
+            .relation_meta(&cfg.rel_i())
+            .expect("relation exists")
+            .directory_levels,
+    };
+    for uc in 0..=max_uc {
+        if uc > 0 {
+            evolve_uniform(&mut db, &cfg);
+        }
+        data.sizes_h
+            .push(db.relation_meta(&cfg.rel_h()).unwrap().total_pages);
+        data.sizes_i
+            .push(db.relation_meta(&cfg.rel_i()).unwrap().total_pages);
+        for q in &queries {
+            let cost = measure(&mut db, q);
+            data.costs.get_mut(q.id).expect("registered").push(cost);
+        }
+    }
+    (data, db)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tdbms_kernel::DatabaseClass;
+
+    /// A miniature sweep (UC 0..=2) checking the headline cost behaviours
+    /// from Figures 6 and 7 — the full-scale checks live in the
+    /// integration tests and bench harness.
+    #[test]
+    fn temporal_sweep_matches_paper_shapes() {
+        let cfg = BenchConfig::new(DatabaseClass::Temporal, 100);
+        let (data, _) = run_sweep(cfg, 2);
+
+        // Q01: keyed hash access reads the chain: 1, then +2 per round.
+        assert_eq!(data.input("Q01", 0), Some(1));
+        assert_eq!(data.input("Q01", 1), Some(3));
+        assert_eq!(data.input("Q01", 2), Some(5));
+        // Q02: ISAM adds one directory read.
+        assert_eq!(data.input("Q02", 0), Some(2));
+        assert_eq!(data.input("Q02", 2), Some(6));
+        // Q03/Q07: full scan of the hashed file.
+        assert_eq!(data.input("Q03", 0), Some(128));
+        assert_eq!(data.input("Q03", 2), Some(128 + 2 * 256));
+        assert_eq!(data.input("Q07", 2), Some(128 + 2 * 256));
+        // Q05 static query costs the same as the version scan (the
+        // prototype reads the whole chain either way), though it returns
+        // only the current version.
+        let inputs =
+            |q: &str| -> Vec<u64> { data.costs[q].iter().map(|c| c.input).collect() };
+        assert_eq!(inputs("Q05"), inputs("Q01"));
+        // Sizes: 128/129 pages initially, +256 per round.
+        assert_eq!(data.sizes_h, vec![128, 384, 640]);
+        assert_eq!(data.sizes_i, vec![129, 385, 641]);
+        // Output tuples stay constant for the static queries…
+        assert_eq!(data.costs["Q05"][0].tuples, 1);
+        assert_eq!(data.costs["Q05"][2].tuples, 1);
+        assert_eq!(data.costs["Q08"][2].tuples, 1);
+        // …and grow for the version scan: n+1 transaction-current versions
+        // at update count n (the other n stored versions are superseded
+        // records, visible only by rolling back).
+        assert_eq!(data.costs["Q01"][0].tuples, 1);
+        assert_eq!(data.costs["Q01"][2].tuples, 3);
+    }
+
+    #[test]
+    fn rollback_50_sweep_shows_jagged_growth() {
+        let cfg = BenchConfig::new(DatabaseClass::Rollback, 50);
+        let (data, _) = run_sweep(cfg, 2);
+        // Round 1 fills slack (no growth), round 2 adds 256 pages.
+        assert_eq!(data.sizes_h, vec![256, 256, 512]);
+        // Scans follow the size.
+        assert_eq!(data.input("Q03", 0), Some(256));
+        assert_eq!(data.input("Q03", 1), Some(256));
+        assert_eq!(data.input("Q03", 2), Some(512));
+        // Keyed access: 1 page until the bucket overflows.
+        assert_eq!(data.input("Q01", 0), Some(1));
+        assert_eq!(data.input("Q01", 1), Some(1));
+        assert_eq!(data.input("Q01", 2), Some(2));
+    }
+
+    #[test]
+    fn static_database_costs_do_not_grow() {
+        let cfg = BenchConfig::new(DatabaseClass::Static, 100);
+        let (data, _) = run_sweep(cfg, 2);
+        for q in ["Q01", "Q02", "Q05", "Q06", "Q07", "Q08"] {
+            let c = &data.costs[q];
+            assert_eq!(c[0], c[1], "{q}");
+            assert_eq!(c[0], c[2], "{q}");
+        }
+        assert_eq!(data.input("Q07", 0), Some(114));
+        assert_eq!(data.input("Q08", 0), Some(114));
+        assert_eq!(data.sizes_h, vec![114, 114, 114]);
+    }
+}

@@ -1,0 +1,311 @@
+//! Bound (name-resolved) query trees.
+//!
+//! The binder turns TQuel syntax into these structures: tuple variables
+//! become indices into the statement's range table, attributes become
+//! column indices, time literals become resolved [`TInterval`]s, and the
+//! TQuel *defaults* (default `when`, `valid`, and `as of` clauses) are made
+//! explicit.
+
+use crate::interval::TInterval;
+use tdbms_kernel::{DatabaseClass, TemporalKind, TimeVal, Value};
+use tdbms_storage::RelId;
+use tdbms_tquel::ast::BinOp;
+
+/// One entry of a statement's range table: a tuple variable actually used
+/// by the statement.
+#[derive(Debug, Clone)]
+pub struct VarBinding {
+    /// The variable name (for diagnostics).
+    pub var: String,
+    /// The relation it ranges over.
+    pub rel: RelId,
+    /// The relation's class (determines which clauses apply).
+    pub class: DatabaseClass,
+    /// Interval or event relation.
+    pub kind: TemporalKind,
+}
+
+/// A bound scalar expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BExpr {
+    /// A literal or pre-resolved constant.
+    Const(Value),
+    /// Attribute `attr` (stored column index) of range-table entry `var`.
+    Attr {
+        /// Range-table index.
+        var: usize,
+        /// Stored column index within that relation.
+        attr: usize,
+    },
+    /// Binary operation.
+    Bin {
+        /// The operator.
+        op: BinOp,
+        /// Left operand.
+        lhs: Box<BExpr>,
+        /// Right operand.
+        rhs: Box<BExpr>,
+    },
+    /// Arithmetic negation.
+    Neg(Box<BExpr>),
+    /// Logical negation.
+    Not(Box<BExpr>),
+}
+
+impl BExpr {
+    /// Does this expression reference range-table entry `var`?
+    pub fn references(&self, var: usize) -> bool {
+        match self {
+            BExpr::Const(_) => false,
+            BExpr::Attr { var: v, .. } => *v == var,
+            BExpr::Bin { lhs, rhs, .. } => {
+                lhs.references(var) || rhs.references(var)
+            }
+            BExpr::Neg(e) | BExpr::Not(e) => e.references(var),
+        }
+    }
+
+    /// Collect the set of referenced range-table entries.
+    pub fn collect_vars(&self, out: &mut Vec<usize>) {
+        match self {
+            BExpr::Const(_) => {}
+            BExpr::Attr { var, .. } => {
+                if !out.contains(var) {
+                    out.push(*var);
+                }
+            }
+            BExpr::Bin { lhs, rhs, .. } => {
+                lhs.collect_vars(out);
+                rhs.collect_vars(out);
+            }
+            BExpr::Neg(e) | BExpr::Not(e) => e.collect_vars(out),
+        }
+    }
+
+    /// Collect `(var, attr)` attribute references.
+    pub fn collect_attrs(&self, out: &mut Vec<(usize, usize)>) {
+        match self {
+            BExpr::Const(_) => {}
+            BExpr::Attr { var, attr } => {
+                if !out.contains(&(*var, *attr)) {
+                    out.push((*var, *attr));
+                }
+            }
+            BExpr::Bin { lhs, rhs, .. } => {
+                lhs.collect_attrs(out);
+                rhs.collect_attrs(out);
+            }
+            BExpr::Neg(e) | BExpr::Not(e) => e.collect_attrs(out),
+        }
+    }
+
+    /// Rewrite attribute references of `var` through `map` (old stored
+    /// index → new stored index), used after detachment projects a
+    /// variable into a temporary.
+    pub fn remap_attrs(&mut self, var: usize, map: &[(usize, usize)]) {
+        match self {
+            BExpr::Const(_) => {}
+            BExpr::Attr { var: v, attr } => {
+                if *v == var {
+                    let new = map
+                        .iter()
+                        .find(|(old, _)| old == attr)
+                        .expect("projection covers referenced attrs")
+                        .1;
+                    *attr = new;
+                }
+            }
+            BExpr::Bin { lhs, rhs, .. } => {
+                lhs.remap_attrs(var, map);
+                rhs.remap_attrs(var, map);
+            }
+            BExpr::Neg(e) | BExpr::Not(e) => e.remap_attrs(var, map),
+        }
+    }
+}
+
+/// A bound temporal expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BTExpr {
+    /// The valid-time span of range-table entry `var`.
+    Span(usize),
+    /// A resolved time constant (event or interval).
+    Const(TInterval),
+    /// `start of e`.
+    Start(Box<BTExpr>),
+    /// `end of e`.
+    End(Box<BTExpr>),
+    /// `a overlap b` (intersection constructor).
+    Overlap(Box<BTExpr>, Box<BTExpr>),
+    /// `a extend b` (span constructor).
+    Extend(Box<BTExpr>, Box<BTExpr>),
+}
+
+impl BTExpr {
+    /// Collect referenced range-table entries.
+    pub fn collect_vars(&self, out: &mut Vec<usize>) {
+        match self {
+            BTExpr::Span(v) => {
+                if !out.contains(v) {
+                    out.push(*v);
+                }
+            }
+            BTExpr::Const(_) => {}
+            BTExpr::Start(e) | BTExpr::End(e) => e.collect_vars(out),
+            BTExpr::Overlap(a, b) | BTExpr::Extend(a, b) => {
+                a.collect_vars(out);
+                b.collect_vars(out);
+            }
+        }
+    }
+}
+
+/// A bound temporal predicate.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BTPred {
+    /// `a precede b`.
+    Precede(BTExpr, BTExpr),
+    /// `a overlap b`.
+    Overlap(BTExpr, BTExpr),
+    /// `a equal b`.
+    Equal(BTExpr, BTExpr),
+    /// Conjunction.
+    And(Box<BTPred>, Box<BTPred>),
+    /// Disjunction.
+    Or(Box<BTPred>, Box<BTPred>),
+    /// Negation.
+    Not(Box<BTPred>),
+    /// The default `when` clause: the valid spans of the listed variables
+    /// have a nonempty common intersection ("the tuples coexisted").
+    Coexist(Vec<usize>),
+}
+
+impl BTPred {
+    /// Collect referenced range-table entries.
+    pub fn collect_vars(&self, out: &mut Vec<usize>) {
+        match self {
+            BTPred::Precede(a, b)
+            | BTPred::Overlap(a, b)
+            | BTPred::Equal(a, b) => {
+                a.collect_vars(out);
+                b.collect_vars(out);
+            }
+            BTPred::And(a, b) | BTPred::Or(a, b) => {
+                a.collect_vars(out);
+                b.collect_vars(out);
+            }
+            BTPred::Not(p) => p.collect_vars(out),
+            BTPred::Coexist(vs) => {
+                for v in vs {
+                    if !out.contains(v) {
+                        out.push(*v);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Rollback visibility: which transaction-time window a query observes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Visibility {
+    /// Rollback instant (`as of`): default "now".
+    pub at: TimeVal,
+    /// End of the rollback span (`through`); equals `at` for a point
+    /// rollback.
+    pub through: TimeVal,
+}
+
+impl Visibility {
+    /// Point visibility at `t`.
+    pub fn at(t: TimeVal) -> Self {
+        Visibility { at: t, through: t }
+    }
+
+    /// Is a version with this transaction period visible? Half-open rule:
+    /// the version exists from `start` (inclusive) until `stop`
+    /// (exclusive), and is visible if that period intersects the window.
+    pub fn sees(&self, start: TimeVal, stop: TimeVal) -> bool {
+        start <= self.through && self.at < stop
+    }
+}
+
+/// One bound output column.
+#[derive(Debug, Clone)]
+pub struct BoundTarget {
+    /// Result attribute name.
+    pub name: String,
+    /// Result domain.
+    pub domain: tdbms_kernel::Domain,
+    /// The value expression (the aggregate's argument when `agg` is set).
+    pub expr: BExpr,
+    /// Aggregate function applied over the qualifying tuples, grouped by
+    /// the non-aggregate targets.
+    pub agg: Option<tdbms_tquel::ast::AggFunc>,
+}
+
+/// A fully bound retrieve.
+#[derive(Debug, Clone)]
+pub struct BoundRetrieve {
+    /// Range-table entries actually referenced, in first-use order.
+    pub vars: Vec<VarBinding>,
+    /// Output columns.
+    pub targets: Vec<BoundTarget>,
+    /// Scalar qualification, split into conjuncts.
+    pub where_conjuncts: Vec<BExpr>,
+    /// Temporal qualification, split into conjuncts (defaults included).
+    pub when_conjuncts: Vec<BTPred>,
+    /// Valid-clause events `(from, to)`; `None` when no variable carries
+    /// valid time (a purely static/rollback query).
+    pub valid: Option<(BTExpr, BTExpr)>,
+    /// Rollback window, `None` when no variable carries transaction time.
+    pub visibility: Option<Visibility>,
+    /// Materialize into this relation instead of returning rows.
+    pub into: Option<String>,
+    /// Sort keys: result-column index + descending flag.
+    pub sort: Vec<(usize, bool)>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(secs: u32) -> TimeVal {
+        TimeVal::from_secs(secs)
+    }
+
+    #[test]
+    fn visibility_point_semantics() {
+        let v = Visibility::at(t(100));
+        assert!(v.sees(t(100), TimeVal::FOREVER)); // created exactly then
+        assert!(v.sees(t(50), t(101)));
+        assert!(!v.sees(t(50), t(100))); // superseded exactly then
+        assert!(!v.sees(t(101), TimeVal::FOREVER)); // created later
+    }
+
+    #[test]
+    fn visibility_span_semantics() {
+        let v = Visibility { at: t(100), through: t(200) };
+        assert!(v.sees(t(150), t(160))); // lived inside the window
+        assert!(v.sees(t(0), t(101))); // still alive at window start
+        assert!(v.sees(t(200), TimeVal::FOREVER)); // born at window end
+        assert!(!v.sees(t(0), t(100))); // died before the window
+        assert!(!v.sees(t(201), TimeVal::FOREVER)); // born after
+    }
+
+    #[test]
+    fn expr_var_collection_and_remap() {
+        let mut e = BExpr::Bin {
+            op: BinOp::Eq,
+            lhs: Box::new(BExpr::Attr { var: 0, attr: 3 }),
+            rhs: Box::new(BExpr::Attr { var: 1, attr: 1 }),
+        };
+        let mut vars = Vec::new();
+        e.collect_vars(&mut vars);
+        assert_eq!(vars, vec![0, 1]);
+        e.remap_attrs(0, &[(3, 0)]);
+        let mut attrs = Vec::new();
+        e.collect_attrs(&mut attrs);
+        assert_eq!(attrs, vec![(0, 0), (1, 1)]);
+    }
+}

@@ -1,0 +1,356 @@
+//! Evaluation of bound expressions over partially bound tuple variables.
+//!
+//! The one-variable query processor and the tuple-substitution join both
+//! evaluate predicates against a set of *slots*, one per range-table
+//! entry; a slot holds the variable's current relation (original or
+//! temporary) and, when bound, the raw row bytes. Attributes are decoded
+//! lazily — a predicate over `i4` columns never materializes the 96-byte
+//! string attribute next to them.
+
+use crate::binder::row_span;
+use crate::bound::{BExpr, BTExpr, BTPred};
+use crate::interval::TInterval;
+use std::cmp::Ordering;
+use tdbms_kernel::{Error, Result, RowCodec, Schema, Value};
+use tdbms_tquel::ast::BinOp;
+
+/// Evaluation-time state of one range-table entry.
+#[derive(Debug)]
+pub struct Slot {
+    /// The schema the variable currently ranges over (the original
+    /// relation's, or a temporary's after detachment).
+    pub schema: Schema,
+    /// Codec for that schema.
+    pub codec: RowCodec,
+    /// The bound row, if this variable is currently bound.
+    pub row: Option<Vec<u8>>,
+}
+
+impl Slot {
+    fn row(&self) -> Result<&[u8]> {
+        self.row
+            .as_deref()
+            .ok_or_else(|| Error::Internal("unbound tuple variable".into()))
+    }
+}
+
+/// Truthiness of a Quel value: nonzero numbers are true.
+pub fn truthy(v: &Value) -> Result<bool> {
+    match v {
+        Value::Int(i) => Ok(*i != 0),
+        Value::Float(f) => Ok(*f != 0.0),
+        other => Err(Error::BadValue(format!(
+            "expected a boolean (integer) value, got {other}"
+        ))),
+    }
+}
+
+/// Evaluate a scalar expression.
+pub fn eval_expr(e: &BExpr, slots: &[Slot]) -> Result<Value> {
+    match e {
+        BExpr::Const(v) => Ok(v.clone()),
+        BExpr::Attr { var, attr } => {
+            let slot = &slots[*var];
+            Ok(slot.codec.get(slot.row()?, *attr))
+        }
+        BExpr::Bin { op, lhs, rhs } => {
+            // Short-circuit the logical operators.
+            match op {
+                BinOp::And => {
+                    return Ok(Value::Int(
+                        (truthy(&eval_expr(lhs, slots)?)?
+                            && truthy(&eval_expr(rhs, slots)?)?)
+                            as i64,
+                    ))
+                }
+                BinOp::Or => {
+                    return Ok(Value::Int(
+                        (truthy(&eval_expr(lhs, slots)?)?
+                            || truthy(&eval_expr(rhs, slots)?)?)
+                            as i64,
+                    ))
+                }
+                _ => {}
+            }
+            let l = eval_expr(lhs, slots)?;
+            let r = eval_expr(rhs, slots)?;
+            if op.is_comparison() {
+                let ord = l.compare(&r).ok_or_else(|| {
+                    Error::BadValue(format!("cannot compare {l} with {r}"))
+                })?;
+                let b = match op {
+                    BinOp::Eq => ord == Ordering::Equal,
+                    BinOp::Ne => ord != Ordering::Equal,
+                    BinOp::Lt => ord == Ordering::Less,
+                    BinOp::Le => ord != Ordering::Greater,
+                    BinOp::Gt => ord == Ordering::Greater,
+                    BinOp::Ge => ord != Ordering::Less,
+                    _ => unreachable!(),
+                };
+                return Ok(Value::Int(b as i64));
+            }
+            arith(*op, &l, &r)
+        }
+        BExpr::Neg(x) => match eval_expr(x, slots)? {
+            Value::Int(i) => Ok(Value::Int(-i)),
+            Value::Float(f) => Ok(Value::Float(-f)),
+            other => {
+                Err(Error::BadValue(format!("cannot negate {other}")))
+            }
+        },
+        BExpr::Not(x) => {
+            Ok(Value::Int(!truthy(&eval_expr(x, slots)?)? as i64))
+        }
+    }
+}
+
+fn arith(op: BinOp, l: &Value, r: &Value) -> Result<Value> {
+    match (l, r) {
+        (Value::Int(a), Value::Int(b)) => {
+            let v = match op {
+                BinOp::Add => a.checked_add(*b),
+                BinOp::Sub => a.checked_sub(*b),
+                BinOp::Mul => a.checked_mul(*b),
+                BinOp::Div => {
+                    if *b == 0 {
+                        return Err(Error::BadValue("division by zero".into()));
+                    }
+                    a.checked_div(*b)
+                }
+                BinOp::Mod => {
+                    if *b == 0 {
+                        return Err(Error::BadValue("mod by zero".into()));
+                    }
+                    Some(a.rem_euclid(*b))
+                }
+                _ => unreachable!("arith called with non-arith op"),
+            };
+            v.map(Value::Int).ok_or_else(|| {
+                Error::BadValue(format!("integer overflow in {a} {op:?} {b}"))
+            })
+        }
+        _ => {
+            let (a, b) = (
+                l.as_f64().ok_or_else(|| {
+                    Error::BadValue(format!("{l} is not numeric"))
+                })?,
+                r.as_f64().ok_or_else(|| {
+                    Error::BadValue(format!("{r} is not numeric"))
+                })?,
+            );
+            let v = match op {
+                BinOp::Add => a + b,
+                BinOp::Sub => a - b,
+                BinOp::Mul => a * b,
+                BinOp::Div => {
+                    if b == 0.0 {
+                        return Err(Error::BadValue("division by zero".into()));
+                    }
+                    a / b
+                }
+                BinOp::Mod => {
+                    return Err(Error::BadValue(
+                        "mod requires integer operands".into(),
+                    ))
+                }
+                _ => unreachable!(),
+            };
+            Ok(Value::Float(v))
+        }
+    }
+}
+
+/// Evaluate a scalar predicate to a boolean.
+pub fn eval_bool(e: &BExpr, slots: &[Slot]) -> Result<bool> {
+    truthy(&eval_expr(e, slots)?)
+}
+
+/// Evaluate a temporal expression to an interval.
+pub fn eval_texpr(e: &BTExpr, slots: &[Slot]) -> Result<TInterval> {
+    match e {
+        BTExpr::Span(v) => {
+            let slot = &slots[*v];
+            row_span(&slot.schema, &slot.codec, slot.row()?).ok_or_else(|| {
+                Error::Internal(
+                    "valid-time span requested of a schema without one".into(),
+                )
+            })
+        }
+        BTExpr::Const(iv) => Ok(*iv),
+        BTExpr::Start(x) => Ok(eval_texpr(x, slots)?.start()),
+        BTExpr::End(x) => Ok(eval_texpr(x, slots)?.end()),
+        BTExpr::Overlap(a, b) => {
+            Ok(eval_texpr(a, slots)?.intersect(&eval_texpr(b, slots)?))
+        }
+        BTExpr::Extend(a, b) => {
+            Ok(eval_texpr(a, slots)?.span(&eval_texpr(b, slots)?))
+        }
+    }
+}
+
+/// Evaluate a temporal predicate.
+pub fn eval_tpred(p: &BTPred, slots: &[Slot]) -> Result<bool> {
+    Ok(match p {
+        BTPred::Precede(a, b) => {
+            eval_texpr(a, slots)?.precedes(&eval_texpr(b, slots)?)
+        }
+        BTPred::Overlap(a, b) => {
+            eval_texpr(a, slots)?.overlaps(&eval_texpr(b, slots)?)
+        }
+        BTPred::Equal(a, b) => {
+            eval_texpr(a, slots)?.equals(&eval_texpr(b, slots)?)
+        }
+        BTPred::And(a, b) => {
+            eval_tpred(a, slots)? && eval_tpred(b, slots)?
+        }
+        BTPred::Or(a, b) => eval_tpred(a, slots)? || eval_tpred(b, slots)?,
+        BTPred::Not(x) => !eval_tpred(x, slots)?,
+        BTPred::Coexist(vs) => {
+            let mut iv: Option<TInterval> = None;
+            for v in vs {
+                let span = eval_texpr(&BTExpr::Span(*v), slots)?;
+                iv = Some(match iv {
+                    None => span,
+                    Some(acc) => acc.intersect(&span),
+                });
+            }
+            iv.map(|i| !i.is_empty()).unwrap_or(true)
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tdbms_kernel::{
+        AttrDef, DatabaseClass, Domain, Schema, TemporalKind, TimeVal,
+    };
+
+    fn hist_slot(id: i64, from: u32, to: u32) -> Slot {
+        let schema = Schema::new(
+            vec![
+                AttrDef::new("id", Domain::I4),
+                AttrDef::new("name", Domain::Char(8)),
+            ],
+            DatabaseClass::Historical,
+            TemporalKind::Interval,
+        )
+        .unwrap();
+        let codec = RowCodec::new(&schema);
+        let row = codec
+            .encode(&[
+                Value::Int(id),
+                Value::Str("x".into()),
+                Value::Time(TimeVal::from_secs(from)),
+                Value::Time(TimeVal::from_secs(to)),
+            ])
+            .unwrap();
+        Slot { schema, codec, row: Some(row) }
+    }
+
+    #[test]
+    fn attribute_access_and_comparison() {
+        let slots = [hist_slot(42, 10, 20)];
+        let e = BExpr::Bin {
+            op: BinOp::Eq,
+            lhs: Box::new(BExpr::Attr { var: 0, attr: 0 }),
+            rhs: Box::new(BExpr::Const(Value::Int(42))),
+        };
+        assert!(eval_bool(&e, &slots).unwrap());
+    }
+
+    #[test]
+    fn arithmetic_with_precedence_results() {
+        let slots = [hist_slot(10, 0, 1)];
+        // id * 2 + 1 = 21
+        let e = BExpr::Bin {
+            op: BinOp::Add,
+            lhs: Box::new(BExpr::Bin {
+                op: BinOp::Mul,
+                lhs: Box::new(BExpr::Attr { var: 0, attr: 0 }),
+                rhs: Box::new(BExpr::Const(Value::Int(2))),
+            }),
+            rhs: Box::new(BExpr::Const(Value::Int(1))),
+        };
+        assert_eq!(eval_expr(&e, &slots).unwrap(), Value::Int(21));
+    }
+
+    #[test]
+    fn division_and_mod_guards() {
+        let slots: [Slot; 0] = [];
+        let div0 = BExpr::Bin {
+            op: BinOp::Div,
+            lhs: Box::new(BExpr::Const(Value::Int(1))),
+            rhs: Box::new(BExpr::Const(Value::Int(0))),
+        };
+        assert!(eval_expr(&div0, &slots).is_err());
+        let m = BExpr::Bin {
+            op: BinOp::Mod,
+            lhs: Box::new(BExpr::Const(Value::Int(-7))),
+            rhs: Box::new(BExpr::Const(Value::Int(3))),
+        };
+        assert_eq!(eval_expr(&m, &slots).unwrap(), Value::Int(2));
+    }
+
+    #[test]
+    fn mixed_numeric_promotes_to_float() {
+        let slots: [Slot; 0] = [];
+        let e = BExpr::Bin {
+            op: BinOp::Add,
+            lhs: Box::new(BExpr::Const(Value::Int(1))),
+            rhs: Box::new(BExpr::Const(Value::Float(0.5))),
+        };
+        assert_eq!(eval_expr(&e, &slots).unwrap(), Value::Float(1.5));
+    }
+
+    #[test]
+    fn span_and_temporal_predicates() {
+        let slots = [hist_slot(1, 10, 20), hist_slot(2, 15, 30)];
+        let overlap = BTPred::Overlap(BTExpr::Span(0), BTExpr::Span(1));
+        assert!(eval_tpred(&overlap, &slots).unwrap());
+        let precede = BTPred::Precede(BTExpr::Span(0), BTExpr::Span(1));
+        assert!(!eval_tpred(&precede, &slots).unwrap());
+        let coexist = BTPred::Coexist(vec![0, 1]);
+        assert!(eval_tpred(&coexist, &slots).unwrap());
+        let apart = [hist_slot(1, 10, 12), hist_slot(2, 20, 30)];
+        assert!(!eval_tpred(&BTPred::Coexist(vec![0, 1]), &apart).unwrap());
+        assert!(eval_tpred(
+            &BTPred::Precede(BTExpr::Span(0), BTExpr::Span(1)),
+            &apart
+        )
+        .unwrap());
+    }
+
+    #[test]
+    fn texpr_constructors_compose() {
+        let slots = [hist_slot(1, 10, 20), hist_slot(2, 15, 30)];
+        // start of (a overlap b) = 15, end of (a extend b) = 30
+        let iv = eval_texpr(
+            &BTExpr::Overlap(
+                Box::new(BTExpr::Span(0)),
+                Box::new(BTExpr::Span(1)),
+            ),
+            &slots,
+        )
+        .unwrap();
+        assert_eq!(iv.lo.as_secs(), 15);
+        assert_eq!(iv.hi.as_secs(), 20);
+        let sp = eval_texpr(
+            &BTExpr::Extend(
+                Box::new(BTExpr::Span(0)),
+                Box::new(BTExpr::Span(1)),
+            ),
+            &slots,
+        )
+        .unwrap();
+        assert_eq!((sp.lo.as_secs(), sp.hi.as_secs()), (10, 30));
+    }
+
+    #[test]
+    fn unbound_variable_is_an_internal_error() {
+        let mut slot = hist_slot(1, 0, 1);
+        slot.row = None;
+        let e = BExpr::Attr { var: 0, attr: 0 };
+        assert!(eval_expr(&e, &[slot]).is_err());
+    }
+}

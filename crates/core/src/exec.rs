@@ -1,0 +1,858 @@
+//! The query processor: Ingres-style decomposition over the one-variable
+//! query processor (OVQP).
+//!
+//! A multi-variable retrieve is processed exactly the way the paper
+//! describes its prototype doing it:
+//!
+//! 1. **One-variable detachment** — every variable with one-variable
+//!    restrictions is evaluated first: its relation is read through the
+//!    best access path (hashed/ISAM keyed access when a key-equality
+//!    conjunct exists, sequential scan otherwise), rollback visibility is
+//!    applied, and the qualifying versions are projected into a temporary
+//!    relation (a heap). Writing the temporary is the query's *output
+//!    cost*; reading it back during substitution is part of its input
+//!    cost, as in the paper's accounting.
+//! 2. **Tuple substitution** — the remaining variables are joined by
+//!    nested iteration, innermost the variables whose relations become
+//!    keyed-accessible once outer tuples are bound (`h.id = i.amount`
+//!    turns into a hashed access on `h` for each `i` tuple).
+//!
+//! Each conjunct of the `where`/`when` qualification is evaluated at the
+//! outermost level where all its variables are bound.
+
+use crate::binder::row_tx_period;
+use crate::bound::{BExpr, BTPred, BoundRetrieve, Visibility};
+use crate::eval::{eval_bool, eval_expr, eval_texpr, eval_tpred, Slot};
+use tdbms_kernel::{AttrDef, Domain, Error, Result, Schema, Value};
+use tdbms_storage::{Catalog, Pager, RelFile, RelId};
+use tdbms_tquel::ast::BinOp;
+
+/// Page-access accounting for one executed statement.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct QueryStats {
+    /// Pages read from user relations (including temporaries) — the
+    /// paper's *input cost*.
+    pub input_pages: u64,
+    /// Pages written (temporaries, `into` relations, DML) — the paper's
+    /// *output cost*.
+    pub output_pages: u64,
+}
+
+/// The rows and column shape a retrieve produced.
+#[derive(Debug, Clone)]
+pub struct RetrieveResult {
+    /// Result column names and domains.
+    pub columns: Vec<(String, Domain)>,
+    /// Result rows.
+    pub rows: Vec<Vec<Value>>,
+}
+
+/// Per-variable runtime state during execution.
+struct VarRt {
+    file: RelFile,
+    key_attr: Option<usize>,
+    indexes: Vec<tdbms_storage::catalog::NamedIndex>,
+    visible: Option<Visibility>,
+    temp: Option<RelId>,
+}
+
+/// Execute a bound retrieve. Returns the result rows; the caller reads the
+/// pager's [`tdbms_storage::IoStats`] for costs and handles `into`.
+pub fn exec_retrieve(
+    pager: &mut Pager,
+    catalog: &mut Catalog,
+    bound: &BoundRetrieve,
+) -> Result<RetrieveResult> {
+    let mut b = bound.clone();
+    let nvars = b.vars.len();
+
+    let mut slots: Vec<Slot> = Vec::with_capacity(nvars);
+    let mut rts: Vec<VarRt> = Vec::with_capacity(nvars);
+    for v in &b.vars {
+        let stored = catalog.get(v.rel);
+        slots.push(Slot {
+            schema: stored.schema.clone(),
+            codec: stored.codec.clone(),
+            row: None,
+        });
+        rts.push(VarRt {
+            file: stored.file.clone(),
+            key_attr: stored.key_attr,
+            indexes: stored.indexes.clone(),
+            visible: if v.class.has_transaction_time() {
+                b.visibility
+            } else {
+                None
+            },
+            temp: None,
+        });
+    }
+
+    // Cache each conjunct's variable set.
+    let mut where_cj: Vec<(BExpr, Vec<usize>)> = b
+        .where_conjuncts
+        .drain(..)
+        .map(|c| {
+            let mut vs = Vec::new();
+            c.collect_vars(&mut vs);
+            (c, vs)
+        })
+        .collect();
+    let mut when_cj: Vec<(BTPred, Vec<usize>)> = b
+        .when_conjuncts
+        .drain(..)
+        .map(|c| {
+            let mut vs = Vec::new();
+            c.collect_vars(&mut vs);
+            (c, vs)
+        })
+        .collect();
+
+    // ---- Phase 1: one-variable detachment ------------------------------
+    if nvars >= 2 {
+        for v in 0..nvars {
+            let has_own = where_cj.iter().any(|(_, vs)| vs == &[v])
+                || when_cj.iter().any(|(_, vs)| vs == &[v]);
+            if !has_own {
+                continue;
+            }
+            // Attributes of `v` needed after detachment: from targets and
+            // from conjuncts that are NOT consumed by the detachment.
+            let mut refs: Vec<(usize, usize)> = Vec::new();
+            for t in &b.targets {
+                t.expr.collect_attrs(&mut refs);
+            }
+            for (c, vs) in &where_cj {
+                if vs != &[v] {
+                    c.collect_attrs(&mut refs);
+                }
+            }
+            let schema = &slots[v].schema;
+            let explicit_len = schema.explicit_attrs().len();
+            let tx_indices: Vec<usize> = schema
+                .implicit_attrs()
+                .iter()
+                .enumerate()
+                .filter(|(_, t)| {
+                    matches!(
+                        t,
+                        tdbms_kernel::TemporalAttr::TransactionStart
+                            | tdbms_kernel::TemporalAttr::TransactionStop
+                    )
+                })
+                .map(|(i, _)| explicit_len + i)
+                .collect();
+            if refs
+                .iter()
+                .any(|(var, a)| *var == v && tx_indices.contains(a))
+            {
+                // Projection would lose transaction time; keep the
+                // original relation for this variable.
+                continue;
+            }
+
+            let mut needed: Vec<usize> = refs
+                .iter()
+                .filter(|(var, a)| *var == v && *a < explicit_len)
+                .map(|(_, a)| *a)
+                .collect();
+            needed.sort_unstable();
+            needed.dedup();
+            if needed.is_empty() {
+                needed.push(0);
+            }
+
+            // Temp schema: projected explicit attributes; valid time comes
+            // along implicitly when the source has it.
+            let src_class = b.vars[v].class;
+            let temp_class = if src_class.has_valid_time() {
+                tdbms_kernel::DatabaseClass::Historical
+            } else {
+                tdbms_kernel::DatabaseClass::Static
+            };
+            let temp_schema = Schema::new(
+                needed
+                    .iter()
+                    .map(|&a| {
+                        AttrDef::new(
+                            schema.name_of(a).expect("in range"),
+                            schema.domain_of(a).expect("in range"),
+                        )
+                    })
+                    .collect(),
+                temp_class,
+                b.vars[v].kind,
+            )?;
+            let temp_id = catalog.create_temporary(pager, temp_schema)?;
+
+            // Remap table: old stored index -> new stored index, covering
+            // projected explicit attrs and the implicit valid attrs.
+            let mut map: Vec<(usize, usize)> = needed
+                .iter()
+                .enumerate()
+                .map(|(new, old)| (*old, new))
+                .collect();
+            {
+                let temp = catalog.get(temp_id);
+                for t in schema.implicit_attrs() {
+                    if let (Some(old), Some(new)) = (
+                        schema.temporal_index(*t),
+                        temp.schema.temporal_index(*t),
+                    ) {
+                        map.push((old, new));
+                    }
+                }
+            }
+
+            // Run the one-variable query, materializing the projection.
+            let my_where: Vec<BExpr> = where_cj
+                .iter()
+                .filter(|(_, vs)| vs == &[v])
+                .map(|(c, _)| c.clone())
+                .collect();
+            let my_when: Vec<BTPred> = when_cj
+                .iter()
+                .filter(|(_, vs)| vs == &[v])
+                .map(|(c, _)| c.clone())
+                .collect();
+            {
+                let temp = catalog.get(temp_id);
+                let temp_codec = temp.codec.clone();
+                let temp_file = temp.file.clone();
+                let out_width = temp_codec.width();
+                let src_arity_map = map.clone();
+                ovqp(
+                    pager,
+                    &mut slots,
+                    &rts[v],
+                    v,
+                    &my_where,
+                    &my_when,
+                    |slots_now, pager_now| {
+                        // Project the bound row into the temp layout.
+                        let src = &slots_now[v];
+                        let row_bytes =
+                            src.row.as_deref().expect("bound in ovqp");
+                        let mut out = vec![0u8; out_width];
+                        for (old, new) in &src_arity_map {
+                            let val = src.codec.get(row_bytes, *old);
+                            temp_codec.put(&mut out, *new, &val)?;
+                        }
+                        temp_file.insert(pager_now, &out)?;
+                        Ok(())
+                    },
+                )?;
+            }
+
+            // Swap the variable to the temporary.
+            {
+                let temp = catalog.get(temp_id);
+                slots[v].schema = temp.schema.clone();
+                slots[v].codec = temp.codec.clone();
+                rts[v].file = temp.file.clone();
+                rts[v].key_attr = None;
+                rts[v].indexes.clear();
+                rts[v].visible = None;
+                rts[v].temp = Some(temp_id);
+            }
+
+            // Consume this variable's own conjuncts and remap the rest.
+            where_cj.retain(|(_, vs)| vs != &[v]);
+            when_cj.retain(|(_, vs)| vs != &[v]);
+            for t in &mut b.targets {
+                t.expr.remap_attrs(v, &map);
+            }
+            for (c, _) in &mut where_cj {
+                c.remap_attrs(v, &map);
+            }
+        }
+        // Temporaries are fully written; start the join phase with cold
+        // buffers (also flushes the temps, counting their output pages).
+        pager.invalidate_buffers()?;
+    }
+
+    // ---- Phase 2: variable ordering ------------------------------------
+    // Variables that become keyed-accessible through a join conjunct go
+    // innermost; everything else keeps first-use order.
+    let is_keyed_join = |v: usize| -> bool {
+        rts[v].key_attr.is_some()
+            && where_cj.iter().any(|(c, vs)| {
+                vs.contains(&v) && key_probe_shape(c, v, rts[v].key_attr).is_some()
+            })
+    };
+    let mut order: Vec<usize> = (0..nvars).collect();
+    order.sort_by_key(|&v| (is_keyed_join(v), v));
+
+    // ---- Phase 3: conjunct levels ---------------------------------------
+    let pos_of = |v: usize| order.iter().position(|&x| x == v).unwrap_or(0);
+    let where_leveled: Vec<(BExpr, Vec<usize>, usize)> = where_cj
+        .into_iter()
+        .map(|(c, vs)| {
+            let lvl = vs.iter().map(|&v| pos_of(v)).max().unwrap_or(0);
+            (c, vs, lvl)
+        })
+        .collect();
+    let when_leveled: Vec<(BTPred, Vec<usize>, usize)> = when_cj
+        .into_iter()
+        .map(|(c, vs)| {
+            let lvl = vs.iter().map(|&v| pos_of(v)).max().unwrap_or(0);
+            (c, vs, lvl)
+        })
+        .collect();
+
+    // ---- Phase 4: nested iteration --------------------------------------
+    let mut columns: Vec<(String, Domain)> = b
+        .targets
+        .iter()
+        .map(|t| (t.name.clone(), t.domain))
+        .collect();
+    // The implicit valid-time output columns; a target that already
+    // projects an attribute of the same name supersedes the implicit one
+    // (so `retrieve (e.valid_from)` shows the stored attribute rather
+    // than erroring).
+    let mut add_from = false;
+    let mut add_to = false;
+    if b.valid.is_some() {
+        add_from = !columns.iter().any(|(n, _)| n == "valid_from");
+        add_to = !columns.iter().any(|(n, _)| n == "valid_to");
+        if add_from {
+            columns.push(("valid_from".to_string(), Domain::Time));
+        }
+        if add_to {
+            columns.push(("valid_to".to_string(), Domain::Time));
+        }
+    }
+
+    let mut rows: Vec<Vec<Value>> = Vec::new();
+    join_level(
+        pager,
+        &mut slots,
+        &rts,
+        &order,
+        0,
+        &where_leveled,
+        &when_leveled,
+        &mut |slots_now| {
+            let mut row = Vec::with_capacity(columns.len());
+            for t in &b.targets {
+                row.push(eval_expr(&t.expr, slots_now)?);
+            }
+            if let Some((from, to)) = &b.valid {
+                if add_from {
+                    row.push(Value::Time(eval_texpr(from, slots_now)?.lo));
+                }
+                if add_to {
+                    row.push(Value::Time(eval_texpr(to, slots_now)?.hi));
+                }
+            }
+            rows.push(row);
+            Ok(())
+        },
+    )?;
+
+    // Drop the temporaries.
+    for rt in &rts {
+        if let Some(id) = rt.temp {
+            catalog.destroy(pager, id)?;
+        }
+    }
+
+    // Aggregation pass: group by the non-aggregate targets and fold the
+    // aggregate columns (the rows currently hold each aggregate's raw
+    // argument value).
+    if b.targets.iter().any(|t| t.agg.is_some()) {
+        rows = aggregate_rows(&b.targets, rows)?;
+    }
+
+    // `sort by` over result columns (a stable sort; incomparable values
+    // keep their relative order rather than erroring mid-sort).
+    if !b.sort.is_empty() {
+        rows.sort_by(|a, r| {
+            for (idx, desc) in &b.sort {
+                let ord = a[*idx]
+                    .compare(&r[*idx])
+                    .unwrap_or(std::cmp::Ordering::Equal);
+                let ord = if *desc { ord.reverse() } else { ord };
+                if ord != std::cmp::Ordering::Equal {
+                    return ord;
+                }
+            }
+            std::cmp::Ordering::Equal
+        });
+    }
+
+    Ok(RetrieveResult { columns, rows })
+}
+
+/// Fold raw result rows into one row per group. Group keys are the
+/// non-aggregate target positions; rows are sorted by key (Quel-style
+/// deterministic output) and folded in runs.
+fn aggregate_rows(
+    targets: &[crate::bound::BoundTarget],
+    mut rows: Vec<Vec<Value>>,
+) -> Result<Vec<Vec<Value>>> {
+    use tdbms_tquel::ast::AggFunc;
+    let key_idx: Vec<usize> = targets
+        .iter()
+        .enumerate()
+        .filter(|(_, t)| t.agg.is_none())
+        .map(|(i, _)| i)
+        .collect();
+
+    let cmp_keys = |a: &Vec<Value>, b: &Vec<Value>| -> Result<std::cmp::Ordering> {
+        for &i in &key_idx {
+            let ord = a[i].compare(&b[i]).ok_or_else(|| {
+                Error::BadValue(format!(
+                    "cannot group by incomparable values {} / {}",
+                    a[i], b[i]
+                ))
+            })?;
+            if ord != std::cmp::Ordering::Equal {
+                return Ok(ord);
+            }
+        }
+        Ok(std::cmp::Ordering::Equal)
+    };
+    // Sort; comparison errors surface afterwards via the run folding.
+    rows.sort_by(|a, b| {
+        cmp_keys(a, b).unwrap_or(std::cmp::Ordering::Equal)
+    });
+
+    let mut out: Vec<Vec<Value>> = Vec::new();
+    let mut i = 0;
+    while i < rows.len() {
+        let mut j = i + 1;
+        while j < rows.len()
+            && cmp_keys(&rows[i], &rows[j])? == std::cmp::Ordering::Equal
+        {
+            j += 1;
+        }
+        let group = &rows[i..j];
+        let mut folded: Vec<Value> = Vec::with_capacity(targets.len());
+        for (k, t) in targets.iter().enumerate() {
+            let v = match t.agg {
+                None => group[0][k].clone(),
+                Some(AggFunc::Count) => Value::Int(group.len() as i64),
+                Some(AggFunc::Sum) => fold_sum(group, k)?,
+                Some(AggFunc::Avg) => {
+                    let sum = fold_sum(group, k)?;
+                    Value::Float(
+                        sum.as_f64().expect("sum is numeric")
+                            / group.len() as f64,
+                    )
+                }
+                Some(AggFunc::Min) => fold_extreme(group, k, true)?,
+                Some(AggFunc::Max) => fold_extreme(group, k, false)?,
+            };
+            folded.push(v);
+        }
+        out.push(folded);
+        i = j;
+    }
+
+    // An empty input with no grouping keys still has well-defined counts
+    // and sums (zero); min/max/avg of nothing is an error the user can fix
+    // by adding a qualification.
+    if out.is_empty() && key_idx.is_empty() {
+        let mut folded: Vec<Value> = Vec::with_capacity(targets.len());
+        for t in targets {
+            use tdbms_tquel::ast::AggFunc as A;
+            folded.push(match t.agg {
+                Some(A::Count) => Value::Int(0),
+                Some(A::Sum) if t.domain.is_float() => Value::Float(0.0),
+                Some(A::Sum) => Value::Int(0),
+                Some(A::Avg | A::Min | A::Max) => {
+                    return Err(Error::BadValue(format!(
+                        "{} of an empty set",
+                        t.agg.expect("aggregate").as_str()
+                    )))
+                }
+                None => unreachable!("no grouping keys"),
+            });
+        }
+        out.push(folded);
+    }
+    Ok(out)
+}
+
+fn fold_sum(group: &[Vec<Value>], k: usize) -> Result<Value> {
+    let mut int_sum: i64 = 0;
+    let mut float_sum: f64 = 0.0;
+    let mut saw_float = false;
+    for row in group {
+        match &row[k] {
+            Value::Int(i) => {
+                int_sum = int_sum.checked_add(*i).ok_or_else(|| {
+                    Error::BadValue("sum overflows".into())
+                })?
+            }
+            Value::Float(f) => {
+                saw_float = true;
+                float_sum += f;
+            }
+            other => {
+                return Err(Error::BadValue(format!(
+                    "sum over non-numeric value {other}"
+                )))
+            }
+        }
+    }
+    Ok(if saw_float {
+        Value::Float(float_sum + int_sum as f64)
+    } else {
+        Value::Int(int_sum)
+    })
+}
+
+fn fold_extreme(group: &[Vec<Value>], k: usize, min: bool) -> Result<Value> {
+    let mut best = group[0][k].clone();
+    for row in &group[1..] {
+        let ord = row[k].compare(&best).ok_or_else(|| {
+            Error::BadValue(format!(
+                "cannot compare {} with {}",
+                row[k], best
+            ))
+        })?;
+        if (min && ord == std::cmp::Ordering::Less)
+            || (!min && ord == std::cmp::Ordering::Greater)
+        {
+            best = row[k].clone();
+        }
+    }
+    Ok(best)
+}
+
+/// Does conjunct `c` have the shape `v.key = <expr not referencing v>`
+/// (either side)? Returns the probe expression.
+fn key_probe_shape(
+    c: &BExpr,
+    v: usize,
+    key_attr: Option<usize>,
+) -> Option<&BExpr> {
+    let key = key_attr?;
+    let BExpr::Bin { op: BinOp::Eq, lhs, rhs } = c else {
+        return None;
+    };
+    match (&**lhs, &**rhs) {
+        (BExpr::Attr { var, attr }, probe)
+            if *var == v && *attr == key && !probe.references(v) =>
+        {
+            Some(probe)
+        }
+        (probe, BExpr::Attr { var, attr })
+            if *var == v && *attr == key && !probe.references(v) =>
+        {
+            Some(probe)
+        }
+        _ => None,
+    }
+}
+
+/// Encode a [`Value`] as key bytes for the given domain, if it fits.
+fn encode_key(domain: Domain, v: &Value) -> Option<Vec<u8>> {
+    match (domain, v) {
+        (Domain::I4, Value::Int(i)) => {
+            Some(i32::try_from(*i).ok()?.to_le_bytes().to_vec())
+        }
+        (Domain::I2, Value::Int(i)) => {
+            Some(i16::try_from(*i).ok()?.to_le_bytes().to_vec())
+        }
+        (Domain::I1, Value::Int(i)) => Some(vec![i8::try_from(*i).ok()? as u8]),
+        (Domain::Time, Value::Time(t)) => {
+            Some(t.as_secs().to_le_bytes().to_vec())
+        }
+        (Domain::Char(n), Value::Str(s)) => {
+            if s.len() > n as usize {
+                return None;
+            }
+            let mut buf = vec![b' '; n as usize];
+            buf[..s.len()].copy_from_slice(s.as_bytes());
+            Some(buf)
+        }
+        _ => None,
+    }
+}
+
+/// Visibility gate for one candidate row of variable `v`.
+fn version_visible(slot: &Slot, vis: Option<Visibility>, row: &[u8]) -> bool {
+    match vis {
+        None => true,
+        Some(vis) => match row_tx_period(&slot.schema, &slot.codec, row) {
+            Some((start, stop)) => vis.sees(start, stop),
+            None => true,
+        },
+    }
+}
+
+/// The one-variable query processor: iterate variable `v`'s relation
+/// through its best access path, apply visibility and the given
+/// conjuncts, and call `emit` for each qualifying version (bound into
+/// `slots[v]`).
+fn ovqp(
+    pager: &mut Pager,
+    slots: &mut [Slot],
+    rt: &VarRt,
+    v: usize,
+    where_conjuncts: &[BExpr],
+    when_conjuncts: &[BTPred],
+    mut emit: impl FnMut(&mut [Slot], &mut Pager) -> Result<()>,
+) -> Result<()> {
+    // Access-path selection: a key-equality conjunct evaluable without
+    // `v` enables keyed access.
+    let mut probe_key: Option<Vec<u8>> = None;
+    if let Some(key) = rt.key_attr {
+        for c in where_conjuncts {
+            if let Some(probe) = key_probe_shape(c, v, Some(key)) {
+                let mut pv = Vec::new();
+                probe.collect_vars(&mut pv);
+                if pv.iter().all(|&x| slots[x].row.is_some()) {
+                    let val = eval_expr(probe, slots)?;
+                    let domain = slots[v]
+                        .schema
+                        .domain_of(key)
+                        .ok_or_else(|| Error::Internal("bad key attr".into()))?;
+                    if let Some(bytes) = encode_key(domain, &val) {
+                        probe_key = Some(bytes);
+                        break;
+                    }
+                }
+            }
+        }
+    }
+
+    // Secondary-index probe: when no primary-key access exists, a
+    // conjunct `v.attr = <bound expr>` over an indexed attribute turns the
+    // scan into an index lookup plus targeted fetches (the paper's §6
+    // secondary-indexing enhancement, live in the query processor).
+    let mut index_tids: Option<Vec<tdbms_storage::TupleId>> = None;
+    if probe_key.is_none() {
+        'outer: for c in where_conjuncts {
+            for ix in &rt.indexes {
+                if let Some(probe) = key_probe_shape(c, v, Some(ix.attr)) {
+                    let mut pv = Vec::new();
+                    probe.collect_vars(&mut pv);
+                    if pv.iter().all(|&x| slots[x].row.is_some()) {
+                        let val = eval_expr(probe, slots)?;
+                        let domain = slots[v]
+                            .schema
+                            .domain_of(ix.attr)
+                            .ok_or_else(|| {
+                                Error::Internal("bad index attr".into())
+                            })?;
+                        if let Some(bytes) = encode_key(domain, &val) {
+                            index_tids =
+                                Some(ix.index.lookup_tids(pager, &bytes)?);
+                            break 'outer;
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    let file = rt.file.clone();
+    let mut lookup;
+    let mut scan;
+    let mut tids_iter;
+    enum Cur {
+        Lookup,
+        Scan,
+        Tids,
+    }
+    let mode = match (&probe_key, index_tids) {
+        (Some(key), _) => match file.lookup_eq(pager, key)? {
+            Some(l) => {
+                lookup = Some(l);
+                scan = None;
+                tids_iter = None;
+                Cur::Lookup
+            }
+            None => {
+                lookup = None;
+                scan = Some(file.scan());
+                tids_iter = None;
+                Cur::Scan
+            }
+        },
+        (None, Some(tids)) => {
+            lookup = None;
+            scan = None;
+            tids_iter = Some(tids.into_iter());
+            Cur::Tids
+        }
+        (None, None) => {
+            lookup = None;
+            scan = Some(file.scan());
+            tids_iter = None;
+            Cur::Scan
+        }
+    };
+
+    loop {
+        let next = match mode {
+            Cur::Lookup => {
+                lookup.as_mut().expect("lookup mode").next(pager, &file)?
+            }
+            Cur::Scan => scan.as_mut().expect("scan mode").next(pager, &file)?,
+            Cur::Tids => match tids_iter.as_mut().expect("tids mode").next() {
+                Some(tid) => Some((tid, file.get(pager, tid)?)),
+                None => None,
+            },
+        };
+        let Some((_tid, row)) = next else { break };
+        if !version_visible(&slots[v], rt.visible, &row) {
+            continue;
+        }
+        slots[v].row = Some(row);
+        let mut ok = true;
+        for c in where_conjuncts {
+            if !eval_bool(c, slots)? {
+                ok = false;
+                break;
+            }
+        }
+        if ok {
+            for c in when_conjuncts {
+                if !eval_tpred(c, slots)? {
+                    ok = false;
+                    break;
+                }
+            }
+        }
+        if ok {
+            emit(slots, pager)?;
+        }
+    }
+    slots[v].row = None;
+    Ok(())
+}
+
+/// One level of the tuple-substitution join.
+#[allow(clippy::too_many_arguments)]
+fn join_level(
+    pager: &mut Pager,
+    slots: &mut [Slot],
+    rts: &[VarRt],
+    order: &[usize],
+    depth: usize,
+    where_leveled: &[(BExpr, Vec<usize>, usize)],
+    when_leveled: &[(BTPred, Vec<usize>, usize)],
+    emit: &mut dyn FnMut(&mut [Slot]) -> Result<()>,
+) -> Result<()> {
+    if depth == order.len() {
+        return emit(slots);
+    }
+    let v = order[depth];
+    let my_where: Vec<BExpr> = where_leveled
+        .iter()
+        .filter(|(_, _, l)| *l == depth)
+        .map(|(c, _, _)| c.clone())
+        .collect();
+    let my_when: Vec<BTPred> = when_leveled
+        .iter()
+        .filter(|(_, _, l)| *l == depth)
+        .map(|(c, _, _)| c.clone())
+        .collect();
+
+    // Collect matching rows at this level, then recurse per row. (The
+    // recursion touches other relations, whose buffers are independent, so
+    // collecting first vs. streaming does not change I/O; it keeps the
+    // cursor borrows simple.)
+    let mut matches: Vec<Vec<u8>> = Vec::new();
+    ovqp(pager, slots, &rts[v], v, &my_where, &my_when, |s, _| {
+        matches.push(s[v].row.clone().expect("bound"));
+        Ok(())
+    })?;
+    for row in matches {
+        slots[v].row = Some(row);
+        join_level(
+            pager,
+            slots,
+            rts,
+            order,
+            depth + 1,
+            where_leveled,
+            when_leveled,
+            emit,
+        )?;
+    }
+    slots[v].row = None;
+    Ok(())
+}
+
+/// Shared by DML: find the versions of a single variable that satisfy a
+/// qualification (used by delete/replace target collection). Uses the same
+/// access-path selection as the query processor, but also reports each
+/// qualifying version's address.
+pub(crate) fn collect_matching(
+    pager: &mut Pager,
+    slot: &mut Slot,
+    file: &RelFile,
+    key_attr: Option<usize>,
+    visible: Option<Visibility>,
+    where_conjuncts: &[BExpr],
+    when_conjuncts: &[BTPred],
+) -> Result<Vec<(tdbms_storage::TupleId, Vec<u8>)>> {
+    // Access path: a constant key-equality conjunct enables keyed access.
+    let mut probe_key: Option<Vec<u8>> = None;
+    if let Some(key) = key_attr {
+        for c in where_conjuncts {
+            if let Some(probe) = key_probe_shape(c, 0, Some(key)) {
+                let mut pv = Vec::new();
+                probe.collect_vars(&mut pv);
+                if pv.is_empty() {
+                    let val = eval_expr(probe, &[])?;
+                    let domain = slot
+                        .schema
+                        .domain_of(key)
+                        .ok_or_else(|| Error::Internal("bad key attr".into()))?;
+                    if let Some(bytes) = encode_key(domain, &val) {
+                        probe_key = Some(bytes);
+                        break;
+                    }
+                }
+            }
+        }
+    }
+
+    let mut lookup = match &probe_key {
+        Some(key) => file.lookup_eq(pager, key)?,
+        None => None,
+    };
+    let mut scan = if lookup.is_none() { Some(file.scan()) } else { None };
+
+    let mut out = Vec::new();
+    loop {
+        let next = match (&mut lookup, &mut scan) {
+            (Some(cur), _) => cur.next(pager, file)?,
+            (None, Some(cur)) => cur.next(pager, file)?,
+            (None, None) => unreachable!("one cursor is always set"),
+        };
+        let Some((tid, row)) = next else { break };
+        if !version_visible(slot, visible, &row) {
+            continue;
+        }
+        slot.row = Some(row);
+        let slots = std::slice::from_mut(slot);
+        let mut ok = true;
+        for c in where_conjuncts {
+            if !eval_bool(c, slots)? {
+                ok = false;
+                break;
+            }
+        }
+        if ok {
+            for c in when_conjuncts {
+                if !eval_tpred(c, slots)? {
+                    ok = false;
+                    break;
+                }
+            }
+        }
+        if ok {
+            out.push((tid, slot.row.clone().expect("bound")));
+        }
+    }
+    slot.row = None;
+    Ok(out)
+}

@@ -1,0 +1,115 @@
+//! The transaction clock.
+//!
+//! Every TQuel statement is stamped with the time at which it executes:
+//! `append` sets `transaction_start` to "now", `delete` sets
+//! `transaction_stop` to "now", and the literal `"now"` in `when`/`as of`
+//! clauses resolves to the same instant.
+//!
+//! The prototype on the VAX used the wall clock; for a reproducible
+//! benchmark we use a *logical* clock that starts at a configurable origin
+//! and advances by a fixed step per statement. This preserves the only
+//! property the semantics need — strict monotonicity — while making every
+//! run bit-identical.
+
+use crate::time::TimeVal;
+use std::cell::Cell;
+
+/// A monotonically advancing statement clock.
+///
+/// Interior mutability keeps the clock shareable by value inside a database
+/// handle without threading `&mut` through every read-only query path.
+#[derive(Debug)]
+pub struct Clock {
+    now: Cell<u32>,
+    step: u32,
+}
+
+impl Clock {
+    /// A clock starting at `origin`, advancing `step` seconds per tick.
+    pub fn new(origin: TimeVal, step_secs: u32) -> Self {
+        Clock { now: Cell::new(origin.as_secs()), step: step_secs.max(1) }
+    }
+
+    /// The current instant ("now") without advancing.
+    pub fn now(&self) -> TimeVal {
+        TimeVal::from_secs(self.now.get())
+    }
+
+    /// Advance to the next statement time and return it.
+    pub fn tick(&self) -> TimeVal {
+        let next = self
+            .now
+            .get()
+            .saturating_add(self.step)
+            .min(u32::MAX - 1);
+        self.now.set(next);
+        TimeVal::from_secs(next)
+    }
+
+    /// Jump the clock forward to `t` (no-op if `t` is not later than now).
+    /// Used by workloads that model updates at specific dates.
+    pub fn advance_to(&self, t: TimeVal) {
+        if t.as_secs() > self.now.get() {
+            self.now.set(t.as_secs().min(u32::MAX - 1));
+        }
+    }
+}
+
+impl Default for Clock {
+    /// Starts at 1980-03-01 00:00:00 (just after the benchmark's
+    /// initialization window of Jan 1 – Feb 15, 1980), one minute per tick.
+    fn default() -> Self {
+        Clock::new(TimeVal::from_secs(320_716_800), 60)
+    }
+}
+
+impl Clone for Clock {
+    fn clone(&self) -> Self {
+        Clock { now: Cell::new(self.now.get()), step: self.step }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ticks_are_strictly_monotonic() {
+        let c = Clock::new(TimeVal::from_secs(100), 5);
+        assert_eq!(c.now().as_secs(), 100);
+        assert_eq!(c.tick().as_secs(), 105);
+        assert_eq!(c.tick().as_secs(), 110);
+        assert_eq!(c.now().as_secs(), 110);
+    }
+
+    #[test]
+    fn advance_to_never_goes_backwards() {
+        let c = Clock::new(TimeVal::from_secs(100), 1);
+        c.advance_to(TimeVal::from_secs(50));
+        assert_eq!(c.now().as_secs(), 100);
+        c.advance_to(TimeVal::from_secs(500));
+        assert_eq!(c.now().as_secs(), 500);
+    }
+
+    #[test]
+    fn clock_never_reaches_forever() {
+        let c = Clock::new(TimeVal::from_secs(u32::MAX - 3), 10);
+        let t = c.tick();
+        assert!(!t.is_forever());
+        assert_eq!(c.tick().as_secs(), u32::MAX - 1);
+    }
+
+    #[test]
+    fn default_origin_is_after_benchmark_window() {
+        let c = Clock::default();
+        let feb15 = TimeVal::from_ymd(1980, 2, 15).unwrap();
+        assert!(c.now() > feb15);
+        assert_eq!(c.now(), TimeVal::from_ymd(1980, 3, 1).unwrap());
+    }
+
+    #[test]
+    fn zero_step_is_clamped_to_one() {
+        let c = Clock::new(TimeVal::from_secs(0), 0);
+        assert_eq!(c.tick().as_secs(), 1);
+    }
+}

@@ -1,0 +1,102 @@
+//! The error type shared across the workspace.
+
+use std::fmt;
+
+/// Convenient result alias used throughout the DBMS.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Errors produced by any layer of the DBMS.
+///
+/// The prototype keeps a single flat error enum: the system is small enough
+/// that one vocabulary of failures serves parsing, binding, storage, and
+/// execution alike, and it spares every crate from wrapping/unwrapping
+/// layer-specific error types.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Error {
+    /// A date/time literal could not be parsed.
+    BadTime(String),
+    /// A value did not fit the declared domain (overflow, width, type).
+    BadValue(String),
+    /// Lexical error in a TQuel statement.
+    Lex { line: u32, col: u32, msg: String },
+    /// Syntax error in a TQuel statement.
+    Parse { line: u32, col: u32, msg: String },
+    /// Semantic error (unknown attribute, clause not applicable to the
+    /// relation's database class, type mismatch, ...).
+    Semantic(String),
+    /// A catalog lookup failed.
+    NoSuchRelation(String),
+    /// A relation with this name already exists.
+    DuplicateRelation(String),
+    /// Unknown range variable or attribute.
+    NoSuchAttribute(String),
+    /// The storage layer was asked for a page that does not exist.
+    NoSuchPage(u32),
+    /// A tuple did not fit in a page, or a row buffer had the wrong length.
+    RowSize { expected: usize, got: usize },
+    /// An operation is not applicable to the relation's database class,
+    /// e.g. `as of` on a static relation.
+    NotApplicable(String),
+    /// Underlying I/O failure (file-backed disk manager only).
+    Io(String),
+    /// Invariant violation that indicates a bug in the DBMS itself.
+    Internal(String),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::BadTime(s) => write!(f, "invalid date/time: {s}"),
+            Error::BadValue(s) => write!(f, "invalid value: {s}"),
+            Error::Lex { line, col, msg } => {
+                write!(f, "lexical error at {line}:{col}: {msg}")
+            }
+            Error::Parse { line, col, msg } => {
+                write!(f, "syntax error at {line}:{col}: {msg}")
+            }
+            Error::Semantic(s) => write!(f, "semantic error: {s}"),
+            Error::NoSuchRelation(s) => write!(f, "no such relation: {s}"),
+            Error::DuplicateRelation(s) => {
+                write!(f, "relation already exists: {s}")
+            }
+            Error::NoSuchAttribute(s) => write!(f, "no such attribute: {s}"),
+            Error::NoSuchPage(p) => write!(f, "no such page: {p}"),
+            Error::RowSize { expected, got } => {
+                write!(f, "bad row size: expected {expected} bytes, got {got}")
+            }
+            Error::NotApplicable(s) => write!(f, "not applicable: {s}"),
+            Error::Io(s) => write!(f, "i/o error: {s}"),
+            Error::Internal(s) => write!(f, "internal error: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<std::io::Error> for Error {
+    fn from(e: std::io::Error) -> Self {
+        Error::Io(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = Error::Parse { line: 3, col: 7, msg: "expected ')'".into() };
+        assert_eq!(e.to_string(), "syntax error at 3:7: expected ')'");
+        assert_eq!(
+            Error::NoSuchRelation("emp".into()).to_string(),
+            "no such relation: emp"
+        );
+    }
+
+    #[test]
+    fn io_error_converts() {
+        let io = std::io::Error::new(std::io::ErrorKind::NotFound, "gone");
+        let e: Error = io.into();
+        assert!(matches!(e, Error::Io(_)));
+    }
+}

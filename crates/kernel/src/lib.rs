@@ -1,0 +1,33 @@
+//! # tdbms-kernel
+//!
+//! Foundation types shared by every layer of the temporal DBMS:
+//!
+//! * [`time`] — the 32-bit temporal attribute type of the prototype
+//!   (one-second resolution, parsing of "various formats of date and time",
+//!   output at resolutions "ranging from a second to a year"), together with
+//!   the civil-calendar arithmetic it needs.
+//! * [`value`] — runtime values and their [`value::Domain`]s (`i1`/`i2`/`i4`,
+//!   `f4`/`f8`, fixed-width `c<N>` strings, and the distinct `time` type).
+//! * [`schema`] — relation schemas, the four database classes of the paper
+//!   (static, rollback, historical, temporal), event vs. interval relations,
+//!   and the *embedding* of a temporal relation into a flat record by
+//!   appending implicit time attributes.
+//! * [`row`] — fixed-width binary row encoding used by the page store.
+//! * [`clock`] — the transaction clock ("now"), logical for reproducibility.
+//! * [`error`] — the common error type.
+//!
+//! The crate is dependency-free and usable on its own.
+
+pub mod clock;
+pub mod error;
+pub mod row;
+pub mod schema;
+pub mod time;
+pub mod value;
+
+pub use clock::Clock;
+pub use error::{Error, Result};
+pub use row::{RowCodec, RowView};
+pub use schema::{AttrDef, DatabaseClass, Schema, TemporalAttr, TemporalKind};
+pub use time::{Granularity, TimeVal};
+pub use value::{Domain, Value};

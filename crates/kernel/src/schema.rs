@@ -1,0 +1,437 @@
+//! Relation schemas and the taxonomy of database types.
+//!
+//! Two orthogonal capabilities define the four classes of the paper's
+//! taxonomy (its Figure 1): support for *historical queries* (valid time)
+//! and support for *rollback* (transaction time):
+//!
+//! |                    | no rollback | rollback |
+//! |--------------------|-------------|----------|
+//! | **static queries** | static      | rollback |
+//! | **historical queries** | historical | temporal |
+//!
+//! A temporal relation is *embedded* into a flat record by appending
+//! implicit time attributes to the explicit ones: two transaction-time
+//! attributes for rollback and temporal relations, and one (event) or two
+//! (interval) valid-time attributes for historical and temporal relations.
+
+use crate::error::{Error, Result};
+use crate::value::Domain;
+use std::fmt;
+
+/// The four database classes of the taxonomy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum DatabaseClass {
+    /// No temporal support: updates destroy the previous state.
+    Static,
+    /// Transaction time only: the database can be rolled back to any past
+    /// state *of the database* (`as of` clause).
+    Rollback,
+    /// Valid time only: the history *of the enterprise* can be queried
+    /// (`when` and `valid` clauses).
+    Historical,
+    /// Both kinds of time: tuples "valid at some moment seen as of some
+    /// other moment".
+    Temporal,
+}
+
+impl DatabaseClass {
+    /// Whether relations of this class carry transaction time and support
+    /// the `as of` (rollback) clause.
+    pub fn has_transaction_time(self) -> bool {
+        matches!(self, DatabaseClass::Rollback | DatabaseClass::Temporal)
+    }
+
+    /// Whether relations of this class carry valid time and support the
+    /// `when` and `valid` clauses.
+    pub fn has_valid_time(self) -> bool {
+        matches!(self, DatabaseClass::Historical | DatabaseClass::Temporal)
+    }
+
+    /// All four classes, in taxonomy order.
+    pub const ALL: [DatabaseClass; 4] = [
+        DatabaseClass::Static,
+        DatabaseClass::Rollback,
+        DatabaseClass::Historical,
+        DatabaseClass::Temporal,
+    ];
+
+    /// Parse the keyword used in the extended `create` statement.
+    pub fn parse(s: &str) -> Result<Self> {
+        match s.to_ascii_lowercase().as_str() {
+            "static" => Ok(DatabaseClass::Static),
+            "rollback" => Ok(DatabaseClass::Rollback),
+            "historical" => Ok(DatabaseClass::Historical),
+            "temporal" | "persistent" => Ok(DatabaseClass::Temporal),
+            _ => Err(Error::Semantic(format!("unknown relation class {s:?}"))),
+        }
+    }
+}
+
+impl fmt::Display for DatabaseClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DatabaseClass::Static => write!(f, "static"),
+            DatabaseClass::Rollback => write!(f, "rollback"),
+            DatabaseClass::Historical => write!(f, "historical"),
+            DatabaseClass::Temporal => write!(f, "temporal"),
+        }
+    }
+}
+
+/// Whether a historical/temporal relation models *events* (instantaneous,
+/// one valid-time attribute) or *intervals* (a valid period, two
+/// attributes). Irrelevant for static and rollback relations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum TemporalKind {
+    /// The relation models facts valid over a period: `valid_from`/`valid_to`.
+    #[default]
+    Interval,
+    /// The relation models instantaneous events: a single `valid_at`.
+    Event,
+}
+
+impl fmt::Display for TemporalKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TemporalKind::Interval => write!(f, "interval"),
+            TemporalKind::Event => write!(f, "event"),
+        }
+    }
+}
+
+/// The implicit time attributes a schema may carry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TemporalAttr {
+    /// When this fact became valid in the modeled reality.
+    ValidFrom,
+    /// When this fact stopped being valid (FOREVER while current).
+    ValidTo,
+    /// The instant of an event (event relations only).
+    ValidAt,
+    /// When this version was stored in the database.
+    TransactionStart,
+    /// When this version was logically superseded (FOREVER while current).
+    TransactionStop,
+}
+
+impl TemporalAttr {
+    /// The attribute name visible in TQuel target lists and output.
+    pub fn name(self) -> &'static str {
+        match self {
+            TemporalAttr::ValidFrom => "valid_from",
+            TemporalAttr::ValidTo => "valid_to",
+            TemporalAttr::ValidAt => "valid_at",
+            TemporalAttr::TransactionStart => "transaction_start",
+            TemporalAttr::TransactionStop => "transaction_stop",
+        }
+    }
+
+    /// The implicit attributes for a relation of this class and kind, in
+    /// storage order (valid time first, transaction time last — the order
+    /// the paper's embedding appends them in).
+    pub fn for_relation(
+        class: DatabaseClass,
+        kind: TemporalKind,
+    ) -> &'static [TemporalAttr] {
+        use DatabaseClass::*;
+        use TemporalAttr::*;
+        use TemporalKind::*;
+        match (class, kind) {
+            (Static, _) => &[],
+            (Rollback, _) => &[TransactionStart, TransactionStop],
+            (Historical, Interval) => &[ValidFrom, ValidTo],
+            (Historical, Event) => &[ValidAt],
+            (Temporal, Interval) => {
+                &[ValidFrom, ValidTo, TransactionStart, TransactionStop]
+            }
+            (Temporal, Event) => &[ValidAt, TransactionStart, TransactionStop],
+        }
+    }
+}
+
+/// One explicitly declared attribute.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AttrDef {
+    /// Attribute name (lower-cased identifier).
+    pub name: String,
+    /// Declared domain.
+    pub domain: Domain,
+}
+
+impl AttrDef {
+    /// Construct, normalizing the name to lower case.
+    pub fn new(name: impl Into<String>, domain: Domain) -> Self {
+        AttrDef { name: name.into().to_ascii_lowercase(), domain }
+    }
+}
+
+/// A relation schema: the explicit attributes plus the implicit time
+/// attributes determined by the database class and temporal kind.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Schema {
+    explicit: Vec<AttrDef>,
+    class: DatabaseClass,
+    kind: TemporalKind,
+}
+
+impl Schema {
+    /// Build a schema; attribute names must be unique (after lower-casing)
+    /// and must not collide with the implicit attribute names.
+    pub fn new(
+        explicit: Vec<AttrDef>,
+        class: DatabaseClass,
+        kind: TemporalKind,
+    ) -> Result<Self> {
+        if explicit.is_empty() {
+            return Err(Error::Semantic("relation needs at least one attribute".into()));
+        }
+        for (i, a) in explicit.iter().enumerate() {
+            if explicit[..i].iter().any(|b| b.name == a.name) {
+                return Err(Error::Semantic(format!(
+                    "duplicate attribute {:?}",
+                    a.name
+                )));
+            }
+            if TemporalAttr::for_relation(class, kind)
+                .iter()
+                .any(|t| t.name() == a.name)
+            {
+                return Err(Error::Semantic(format!(
+                    "attribute {:?} collides with an implicit time attribute",
+                    a.name
+                )));
+            }
+        }
+        Ok(Schema { explicit, class, kind })
+    }
+
+    /// Shorthand for a static schema.
+    pub fn static_relation(explicit: Vec<AttrDef>) -> Result<Self> {
+        Schema::new(explicit, DatabaseClass::Static, TemporalKind::Interval)
+    }
+
+    /// The database class of this relation.
+    pub fn class(&self) -> DatabaseClass {
+        self.class
+    }
+
+    /// Event or interval (meaningful when the class has valid time).
+    pub fn kind(&self) -> TemporalKind {
+        self.kind
+    }
+
+    /// Explicitly declared attributes.
+    pub fn explicit_attrs(&self) -> &[AttrDef] {
+        &self.explicit
+    }
+
+    /// The implicit time attributes, in storage order.
+    pub fn implicit_attrs(&self) -> &'static [TemporalAttr] {
+        TemporalAttr::for_relation(self.class, self.kind)
+    }
+
+    /// Total number of stored attributes (explicit + implicit).
+    pub fn arity(&self) -> usize {
+        self.explicit.len() + self.implicit_attrs().len()
+    }
+
+    /// The domain of the stored attribute at `idx` (explicit attributes
+    /// first, then implicit time attributes).
+    pub fn domain_of(&self, idx: usize) -> Option<Domain> {
+        if idx < self.explicit.len() {
+            Some(self.explicit[idx].domain)
+        } else if idx < self.arity() {
+            Some(Domain::Time)
+        } else {
+            None
+        }
+    }
+
+    /// The name of the stored attribute at `idx`.
+    pub fn name_of(&self, idx: usize) -> Option<&str> {
+        if idx < self.explicit.len() {
+            Some(&self.explicit[idx].name)
+        } else {
+            self.implicit_attrs()
+                .get(idx - self.explicit.len())
+                .map(|t| t.name())
+        }
+    }
+
+    /// Index of the named attribute (explicit or implicit), if any.
+    pub fn index_of(&self, name: &str) -> Option<usize> {
+        let lower = name.to_ascii_lowercase();
+        if let Some(i) = self.explicit.iter().position(|a| a.name == lower) {
+            return Some(i);
+        }
+        self.implicit_attrs()
+            .iter()
+            .position(|t| t.name() == lower)
+            .map(|i| i + self.explicit.len())
+    }
+
+    /// Index of a specific implicit time attribute, if this schema has it.
+    pub fn temporal_index(&self, t: TemporalAttr) -> Option<usize> {
+        self.implicit_attrs()
+            .iter()
+            .position(|x| *x == t)
+            .map(|i| i + self.explicit.len())
+    }
+
+    /// Fixed row width in bytes: the sum of all attribute widths. Each
+    /// implicit time attribute is 4 bytes, reproducing the paper's layout
+    /// (108-byte data tuples grow to 116 bytes for rollback/historical and
+    /// 124 bytes for temporal relations).
+    pub fn row_width(&self) -> usize {
+        self.explicit.iter().map(|a| a.domain.width()).sum::<usize>()
+            + 4 * self.implicit_attrs().len()
+    }
+
+    /// Iterator over `(name, domain)` of all stored attributes.
+    pub fn iter_all(&self) -> impl Iterator<Item = (&str, Domain)> + '_ {
+        (0..self.arity()).map(move |i| {
+            (self.name_of(i).unwrap(), self.domain_of(i).unwrap())
+        })
+    }
+}
+
+impl fmt::Display for Schema {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {} (", self.class, self.kind)?;
+        for (i, a) in self.explicit.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{} = {}", a.name, a.domain)?;
+        }
+        write!(f, ")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bench_attrs() -> Vec<AttrDef> {
+        vec![
+            AttrDef::new("id", Domain::I4),
+            AttrDef::new("amount", Domain::I4),
+            AttrDef::new("seq", Domain::I4),
+            AttrDef::new("string", Domain::Char(96)),
+        ]
+    }
+
+    #[test]
+    fn paper_row_widths() {
+        // The benchmark schema: 108 bytes of data.
+        let s = Schema::new(
+            bench_attrs(),
+            DatabaseClass::Static,
+            TemporalKind::Interval,
+        )
+        .unwrap();
+        assert_eq!(s.row_width(), 108);
+
+        let r = Schema::new(
+            bench_attrs(),
+            DatabaseClass::Rollback,
+            TemporalKind::Interval,
+        )
+        .unwrap();
+        assert_eq!(r.row_width(), 116);
+
+        let h = Schema::new(
+            bench_attrs(),
+            DatabaseClass::Historical,
+            TemporalKind::Interval,
+        )
+        .unwrap();
+        assert_eq!(h.row_width(), 116);
+
+        let t = Schema::new(
+            bench_attrs(),
+            DatabaseClass::Temporal,
+            TemporalKind::Interval,
+        )
+        .unwrap();
+        assert_eq!(t.row_width(), 124);
+    }
+
+    #[test]
+    fn implicit_attrs_per_class_and_kind() {
+        use TemporalAttr::*;
+        assert_eq!(
+            TemporalAttr::for_relation(
+                DatabaseClass::Temporal,
+                TemporalKind::Interval
+            ),
+            &[ValidFrom, ValidTo, TransactionStart, TransactionStop]
+        );
+        assert_eq!(
+            TemporalAttr::for_relation(
+                DatabaseClass::Historical,
+                TemporalKind::Event
+            ),
+            &[ValidAt]
+        );
+        assert_eq!(
+            TemporalAttr::for_relation(
+                DatabaseClass::Rollback,
+                TemporalKind::Event
+            ),
+            &[TransactionStart, TransactionStop]
+        );
+        assert!(TemporalAttr::for_relation(
+            DatabaseClass::Static,
+            TemporalKind::Interval
+        )
+        .is_empty());
+    }
+
+    #[test]
+    fn lookup_finds_implicit_attributes() {
+        let t = Schema::new(
+            bench_attrs(),
+            DatabaseClass::Temporal,
+            TemporalKind::Interval,
+        )
+        .unwrap();
+        assert_eq!(t.index_of("id"), Some(0));
+        assert_eq!(t.index_of("valid_from"), Some(4));
+        assert_eq!(t.index_of("transaction_stop"), Some(7));
+        assert_eq!(t.index_of("nope"), None);
+        assert_eq!(t.temporal_index(TemporalAttr::ValidTo), Some(5));
+        assert_eq!(t.domain_of(5), Some(Domain::Time));
+        assert_eq!(t.name_of(7), Some("transaction_stop"));
+        assert_eq!(t.arity(), 8);
+    }
+
+    #[test]
+    fn rejects_duplicate_and_colliding_names() {
+        let dup = vec![
+            AttrDef::new("id", Domain::I4),
+            AttrDef::new("ID", Domain::I4),
+        ];
+        assert!(Schema::static_relation(dup).is_err());
+        let collide = vec![AttrDef::new("valid_from", Domain::I4)];
+        assert!(Schema::new(
+            collide,
+            DatabaseClass::Historical,
+            TemporalKind::Interval
+        )
+        .is_err());
+        assert!(Schema::static_relation(vec![]).is_err());
+    }
+
+    #[test]
+    fn class_capabilities() {
+        assert!(!DatabaseClass::Static.has_transaction_time());
+        assert!(!DatabaseClass::Static.has_valid_time());
+        assert!(DatabaseClass::Rollback.has_transaction_time());
+        assert!(!DatabaseClass::Rollback.has_valid_time());
+        assert!(!DatabaseClass::Historical.has_transaction_time());
+        assert!(DatabaseClass::Historical.has_valid_time());
+        assert!(DatabaseClass::Temporal.has_transaction_time());
+        assert!(DatabaseClass::Temporal.has_valid_time());
+    }
+}

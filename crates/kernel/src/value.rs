@@ -1,0 +1,281 @@
+//! Runtime values and attribute domains.
+//!
+//! The prototype inherits Ingres' type vocabulary: 1/2/4-byte integers,
+//! 4/8-byte floats, and fixed-width character strings (`c96` in the
+//! benchmark schema), plus the distinct `time` type added for temporal
+//! attributes.
+
+use crate::error::{Error, Result};
+use crate::time::TimeVal;
+use std::cmp::Ordering;
+use std::fmt;
+
+/// The declared type of an attribute.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Domain {
+    /// 1-byte signed integer (`i1`).
+    I1,
+    /// 2-byte signed integer (`i2`).
+    I2,
+    /// 4-byte signed integer (`i4`).
+    I4,
+    /// 4-byte float (`f4`).
+    F4,
+    /// 8-byte float (`f8`).
+    F8,
+    /// Fixed-width character string (`c<N>`), blank-padded.
+    Char(u16),
+    /// The distinct temporal type: 32-bit seconds (see [`TimeVal`]).
+    Time,
+}
+
+impl Domain {
+    /// Storage width in bytes. Rows are fixed width, so this fully
+    /// determines the tuple layout.
+    pub fn width(self) -> usize {
+        match self {
+            Domain::I1 => 1,
+            Domain::I2 => 2,
+            Domain::I4 => 4,
+            Domain::F4 => 4,
+            Domain::F8 => 8,
+            Domain::Char(n) => n as usize,
+            Domain::Time => 4,
+        }
+    }
+
+    /// Parse Quel type syntax: `i1`, `i2`, `i4`, `f4`, `f8`, `c<N>`.
+    pub fn parse(s: &str) -> Result<Domain> {
+        let lower = s.to_ascii_lowercase();
+        match lower.as_str() {
+            "i1" => Ok(Domain::I1),
+            "i2" => Ok(Domain::I2),
+            "i4" => Ok(Domain::I4),
+            "f4" => Ok(Domain::F4),
+            "f8" => Ok(Domain::F8),
+            "time" => Ok(Domain::Time),
+            _ => {
+                if let Some(n) = lower.strip_prefix('c') {
+                    let n: u16 = n.parse().map_err(|_| {
+                        Error::BadValue(format!("bad char width in {s:?}"))
+                    })?;
+                    if n == 0 || n > 1000 {
+                        return Err(Error::BadValue(format!(
+                            "char width {n} out of range"
+                        )));
+                    }
+                    Ok(Domain::Char(n))
+                } else {
+                    Err(Error::BadValue(format!("unknown domain {s:?}")))
+                }
+            }
+        }
+    }
+
+    /// True for the integer domains.
+    pub fn is_integer(self) -> bool {
+        matches!(self, Domain::I1 | Domain::I2 | Domain::I4)
+    }
+
+    /// True for the float domains.
+    pub fn is_float(self) -> bool {
+        matches!(self, Domain::F4 | Domain::F8)
+    }
+
+    /// True if a [`Value`] of kind `v` can be stored in this domain.
+    pub fn accepts(self, v: &Value) -> bool {
+        match (self, v) {
+            (d, Value::Int(i)) if d.is_integer() => match d {
+                Domain::I1 => i8::try_from(*i).is_ok(),
+                Domain::I2 => i16::try_from(*i).is_ok(),
+                Domain::I4 => i32::try_from(*i).is_ok(),
+                _ => unreachable!(),
+            },
+            (d, Value::Int(_)) if d.is_float() => true,
+            (d, Value::Float(_)) if d.is_float() => true,
+            (Domain::Char(n), Value::Str(s)) => s.len() <= n as usize,
+            (Domain::Time, Value::Time(_)) => true,
+            _ => false,
+        }
+    }
+}
+
+impl fmt::Display for Domain {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Domain::I1 => write!(f, "i1"),
+            Domain::I2 => write!(f, "i2"),
+            Domain::I4 => write!(f, "i4"),
+            Domain::F4 => write!(f, "f4"),
+            Domain::F8 => write!(f, "f8"),
+            Domain::Char(n) => write!(f, "c{n}"),
+            Domain::Time => write!(f, "time"),
+        }
+    }
+}
+
+/// A runtime value.
+///
+/// Integers are widened to `i64` and floats to `f64` during evaluation; the
+/// declared [`Domain`] narrows them again at storage time.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// Any integer value.
+    Int(i64),
+    /// Any float value.
+    Float(f64),
+    /// A character string (trailing blanks trimmed on decode).
+    Str(String),
+    /// A temporal value.
+    Time(TimeVal),
+}
+
+impl Value {
+    /// The value as an integer, if it is one.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// The value as a time, if it is one.
+    pub fn as_time(&self) -> Option<TimeVal> {
+        match self {
+            Value::Time(t) => Some(*t),
+            _ => None,
+        }
+    }
+
+    /// The value as a string slice, if it is one.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Numeric value as `f64` (ints widen), if numeric.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Int(i) => Some(*i as f64),
+            Value::Float(f) => Some(*f),
+            _ => None,
+        }
+    }
+
+    /// Three-way comparison with Quel semantics: numerics compare
+    /// numerically across int/float, strings lexicographically, times
+    /// chronologically. Returns `None` for incomparable kinds.
+    pub fn compare(&self, other: &Value) -> Option<Ordering> {
+        match (self, other) {
+            (Value::Int(a), Value::Int(b)) => Some(a.cmp(b)),
+            (Value::Str(a), Value::Str(b)) => Some(a.cmp(b)),
+            (Value::Time(a), Value::Time(b)) => Some(a.cmp(b)),
+            (a, b) => {
+                let (x, y) = (a.as_f64()?, b.as_f64()?);
+                x.partial_cmp(&y)
+            }
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Float(x) => write!(f, "{x}"),
+            Value::Str(s) => write!(f, "{s}"),
+            Value::Time(t) => write!(f, "{t}"),
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(i: i64) -> Self {
+        Value::Int(i)
+    }
+}
+impl From<i32> for Value {
+    fn from(i: i32) -> Self {
+        Value::Int(i as i64)
+    }
+}
+impl From<f64> for Value {
+    fn from(f: f64) -> Self {
+        Value::Float(f)
+    }
+}
+impl From<&str> for Value {
+    fn from(s: &str) -> Self {
+        Value::Str(s.to_owned())
+    }
+}
+impl From<String> for Value {
+    fn from(s: String) -> Self {
+        Value::Str(s)
+    }
+}
+impl From<TimeVal> for Value {
+    fn from(t: TimeVal) -> Self {
+        Value::Time(t)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn domain_widths_match_ingres() {
+        assert_eq!(Domain::I1.width(), 1);
+        assert_eq!(Domain::I2.width(), 2);
+        assert_eq!(Domain::I4.width(), 4);
+        assert_eq!(Domain::F4.width(), 4);
+        assert_eq!(Domain::F8.width(), 8);
+        assert_eq!(Domain::Char(96).width(), 96);
+        assert_eq!(Domain::Time.width(), 4);
+    }
+
+    #[test]
+    fn parses_quel_type_syntax() {
+        assert_eq!(Domain::parse("i4").unwrap(), Domain::I4);
+        assert_eq!(Domain::parse("c96").unwrap(), Domain::Char(96));
+        assert_eq!(Domain::parse("F8").unwrap(), Domain::F8);
+        assert!(Domain::parse("c0").is_err());
+        assert!(Domain::parse("x9").is_err());
+        assert!(Domain::parse("c").is_err());
+    }
+
+    #[test]
+    fn acceptance_respects_ranges() {
+        assert!(Domain::I1.accepts(&Value::Int(127)));
+        assert!(!Domain::I1.accepts(&Value::Int(128)));
+        assert!(Domain::I4.accepts(&Value::Int(i32::MAX as i64)));
+        assert!(!Domain::I4.accepts(&Value::Int(i32::MAX as i64 + 1)));
+        assert!(Domain::Char(3).accepts(&Value::Str("abc".into())));
+        assert!(!Domain::Char(3).accepts(&Value::Str("abcd".into())));
+        assert!(Domain::Time.accepts(&Value::Time(TimeVal::FOREVER)));
+        assert!(!Domain::Time.accepts(&Value::Int(0)));
+        assert!(Domain::F4.accepts(&Value::Int(5)));
+    }
+
+    #[test]
+    fn mixed_numeric_comparison() {
+        assert_eq!(
+            Value::Int(2).compare(&Value::Float(2.5)),
+            Some(Ordering::Less)
+        );
+        assert_eq!(
+            Value::Float(3.0).compare(&Value::Int(3)),
+            Some(Ordering::Equal)
+        );
+        assert_eq!(Value::Str("a".into()).compare(&Value::Int(1)), None);
+    }
+
+    #[test]
+    fn display_round_trips_simple_values() {
+        assert_eq!(Value::Int(42).to_string(), "42");
+        assert_eq!(Value::Str("hi".into()).to_string(), "hi");
+    }
+}

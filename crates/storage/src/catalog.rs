@@ -1,0 +1,467 @@
+//! The catalog of stored relations.
+//!
+//! The prototype keeps its system relations outside the benchmark's
+//! accounting ("disk accesses to system relations ... are outside the scope
+//! of this paper"), so the catalog here is a plain in-memory registry —
+//! functionally the system relation, without charging page I/O for it.
+
+use crate::hash::HashFile;
+use crate::heap::HeapFile;
+use crate::isam::IsamFile;
+use crate::key::{HashFn, KeySpec};
+use crate::pager::Pager;
+use crate::relfile::{AccessMethod, RelFile};
+use crate::secondary::{IndexStructure, SecondaryIndex};
+use crate::tuple::TupleId;
+use std::collections::HashMap;
+use tdbms_kernel::{Error, Result, RowCodec, Schema};
+
+/// Stable handle to a cataloged relation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct RelId(pub usize);
+
+/// A registered secondary index on one attribute of a relation.
+#[derive(Debug, Clone)]
+pub struct NamedIndex {
+    /// The index's name (global namespace, like Ingres index relations).
+    pub name: String,
+    /// The indexed stored-attribute position.
+    pub attr: usize,
+    /// The index structure itself.
+    pub index: SecondaryIndex,
+}
+
+/// Everything the system knows about one stored relation.
+#[derive(Debug)]
+pub struct StoredRelation {
+    /// Relation name (lower-cased).
+    pub name: String,
+    /// The schema, including implicit time attributes.
+    pub schema: Schema,
+    /// Row encoder/decoder for the schema.
+    pub codec: RowCodec,
+    /// The storage file and its organization.
+    pub file: RelFile,
+    /// Which attribute the file is keyed on (`None` for heaps).
+    pub key_attr: Option<usize>,
+    /// Fill factor the file was last built with (percent).
+    pub fillfactor: u8,
+    /// Stored row count (all versions, not just current ones).
+    pub tuple_count: u64,
+    /// True for temporaries created during query processing.
+    pub temporary: bool,
+    /// Secondary indexes maintained on this relation.
+    pub indexes: Vec<NamedIndex>,
+}
+
+impl StoredRelation {
+    /// Insert a row, maintaining every secondary index and the stored
+    /// tuple count. All user-relation inserts go through here.
+    pub fn insert_row(
+        &mut self,
+        pager: &mut Pager,
+        row: &[u8],
+    ) -> Result<TupleId> {
+        let tid = self.file.insert(pager, row)?;
+        for ix in &mut self.indexes {
+            ix.index.insert_entry(pager, row, tid)?;
+        }
+        self.tuple_count += 1;
+        Ok(tid)
+    }
+
+    /// Create and register a secondary index over the current contents.
+    pub fn create_index(
+        &mut self,
+        pager: &mut Pager,
+        name: &str,
+        attr: usize,
+        structure: IndexStructure,
+    ) -> Result<()> {
+        let name = name.to_ascii_lowercase();
+        if self.indexes.iter().any(|ix| ix.name == name) {
+            return Err(Error::DuplicateRelation(name));
+        }
+        let key = crate::key::KeySpec::for_attr(&self.codec, attr);
+        let index = SecondaryIndex::build(
+            pager, &self.file, key, structure, 100, |_| true,
+        )?;
+        self.indexes.push(NamedIndex { name, attr, index });
+        Ok(())
+    }
+
+    /// Drop the named index; true if it existed.
+    pub fn drop_index(&mut self, pager: &mut Pager, name: &str) -> Result<bool> {
+        let name = name.to_ascii_lowercase();
+        if let Some(pos) = self.indexes.iter().position(|ix| ix.name == name) {
+            let ix = self.indexes.remove(pos);
+            pager.drop_file(ix.index.file_id())?;
+            Ok(true)
+        } else {
+            Ok(false)
+        }
+    }
+
+    /// Rebuild every index from scratch (after `modify` reorganizes the
+    /// base file and invalidates all tuple addresses, or after a physical
+    /// delete compacted a page).
+    pub fn rebuild_indexes(&mut self, pager: &mut Pager) -> Result<()> {
+        for ix in &mut self.indexes {
+            let key = crate::key::KeySpec::for_attr(&self.codec, ix.attr);
+            let structure = ix.index.structure();
+            pager.truncate(ix.index.file_id())?;
+            ix.index = SecondaryIndex::build_into(
+                pager,
+                ix.index.file_id(),
+                &self.file,
+                key,
+                structure,
+                100,
+                |_| true,
+            )?;
+        }
+        Ok(())
+    }
+
+    /// The index covering `attr`, if any.
+    pub fn index_on(&self, attr: usize) -> Option<&NamedIndex> {
+        self.indexes.iter().find(|ix| ix.attr == attr)
+    }
+
+    /// Reorganize the relation: collect every stored row, truncate the
+    /// file, and rebuild it with the requested organization. This is the
+    /// `modify` statement. Reorganization I/O is charged like any other
+    /// access (the benchmark resets counters afterwards).
+    pub fn modify(
+        &mut self,
+        pager: &mut Pager,
+        method: AccessMethod,
+        key_attr: Option<usize>,
+        fillfactor: u8,
+        hashfn: HashFn,
+    ) -> Result<()> {
+        let mut rows = Vec::with_capacity(self.tuple_count as usize);
+        let mut cur = self.file.scan();
+        while let Some((_, row)) = cur.next(pager, &self.file)? {
+            rows.push(row);
+        }
+        let file_id = self.file.file_id();
+        pager.truncate(file_id)?;
+        let width = self.schema.row_width();
+        self.file = match method {
+            AccessMethod::Heap => {
+                let heap = HeapFile::attach(file_id, width);
+                for row in &rows {
+                    heap.insert(pager, row)?;
+                }
+                pager.flush_file(file_id)?;
+                RelFile::Heap(heap)
+            }
+            AccessMethod::Hash => {
+                let attr = key_attr.ok_or_else(|| {
+                    Error::Semantic("modify to hash needs a key".into())
+                })?;
+                let key = KeySpec::for_attr(&self.codec, attr);
+                RelFile::Hash(HashFile::build_into(
+                    pager, file_id, &rows, width, key, hashfn, fillfactor,
+                )?)
+            }
+            AccessMethod::Isam => {
+                let attr = key_attr.ok_or_else(|| {
+                    Error::Semantic("modify to isam needs a key".into())
+                })?;
+                let key = KeySpec::for_attr(&self.codec, attr);
+                RelFile::Isam(IsamFile::build_into(
+                    pager, file_id, &rows, width, key, fillfactor,
+                )?)
+            }
+        };
+        self.key_attr = match method {
+            AccessMethod::Heap => None,
+            _ => key_attr,
+        };
+        self.fillfactor = fillfactor;
+        self.rebuild_indexes(pager)
+    }
+}
+
+/// Registry mapping names to stored relations.
+///
+/// Relations live in a slab so that two of them can be borrowed mutably at
+/// once (a join reads one relation while materializing into another).
+#[derive(Debug, Default)]
+pub struct Catalog {
+    rels: Vec<Option<StoredRelation>>,
+    by_name: HashMap<String, usize>,
+}
+
+impl Catalog {
+    /// An empty catalog.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Create a relation as a heap and register it.
+    pub fn create_relation(
+        &mut self,
+        pager: &mut Pager,
+        name: &str,
+        schema: Schema,
+    ) -> Result<RelId> {
+        self.create_relation_inner(pager, name, schema, false)
+    }
+
+    /// Create an unnamed temporary relation (heap). Temporaries are
+    /// registered under an invented unique name.
+    pub fn create_temporary(
+        &mut self,
+        pager: &mut Pager,
+        schema: Schema,
+    ) -> Result<RelId> {
+        let name = format!("_temp_{}", self.rels.len());
+        self.create_relation_inner(pager, &name, schema, true)
+    }
+
+    fn create_relation_inner(
+        &mut self,
+        pager: &mut Pager,
+        name: &str,
+        schema: Schema,
+        temporary: bool,
+    ) -> Result<RelId> {
+        let lower = name.to_ascii_lowercase();
+        if self.by_name.contains_key(&lower)
+            || self.index_owner(&lower).is_some()
+        {
+            return Err(Error::DuplicateRelation(lower));
+        }
+        let max_row = crate::page::PAGE_SIZE - crate::page::PAGE_HEADER;
+        if schema.row_width() > max_row {
+            return Err(Error::Semantic(format!(
+                "row width {} exceeds the page capacity of {max_row} bytes \
+                 (including {} bytes of implicit time attributes)",
+                schema.row_width(),
+                4 * schema.implicit_attrs().len(),
+            )));
+        }
+        let codec = RowCodec::new(&schema);
+        let heap = HeapFile::create(pager, schema.row_width())?;
+        let rel = StoredRelation {
+            name: lower.clone(),
+            schema,
+            codec,
+            file: RelFile::Heap(heap),
+            key_attr: None,
+            fillfactor: 100,
+            tuple_count: 0,
+            temporary,
+            indexes: Vec::new(),
+        };
+        let idx = self.rels.len();
+        self.rels.push(Some(rel));
+        self.by_name.insert(lower, idx);
+        Ok(RelId(idx))
+    }
+
+    /// Drop a relation, its file, and its indexes.
+    pub fn destroy(&mut self, pager: &mut Pager, id: RelId) -> Result<()> {
+        let rel = self
+            .rels
+            .get_mut(id.0)
+            .and_then(Option::take)
+            .ok_or_else(|| Error::Internal(format!("stale RelId {id:?}")))?;
+        self.by_name.remove(&rel.name);
+        for ix in &rel.indexes {
+            pager.drop_file(ix.index.file_id())?;
+        }
+        pager.drop_file(rel.file.file_id())
+    }
+
+    /// Register an externally constructed relation (catalog reload).
+    pub fn adopt(&mut self, rel: StoredRelation) -> Result<RelId> {
+        if self.by_name.contains_key(&rel.name)
+            || self.index_owner(&rel.name).is_some()
+        {
+            return Err(Error::DuplicateRelation(rel.name));
+        }
+        let idx = self.rels.len();
+        self.by_name.insert(rel.name.clone(), idx);
+        self.rels.push(Some(rel));
+        Ok(RelId(idx))
+    }
+
+    /// Find the relation owning an index of this name, if any.
+    pub fn index_owner(&self, index_name: &str) -> Option<RelId> {
+        let lower = index_name.to_ascii_lowercase();
+        self.iter()
+            .find(|(_, r)| r.indexes.iter().any(|ix| ix.name == lower))
+            .map(|(id, _)| id)
+    }
+
+    /// Handle for a name, if registered.
+    pub fn id_of(&self, name: &str) -> Option<RelId> {
+        self.by_name.get(&name.to_ascii_lowercase()).map(|i| RelId(*i))
+    }
+
+    /// Resolve a name or error with [`Error::NoSuchRelation`].
+    pub fn require(&self, name: &str) -> Result<RelId> {
+        self.id_of(name)
+            .ok_or_else(|| Error::NoSuchRelation(name.to_owned()))
+    }
+
+    /// Borrow a relation.
+    pub fn get(&self, id: RelId) -> &StoredRelation {
+        self.rels[id.0].as_ref().expect("live RelId")
+    }
+
+    /// Mutably borrow a relation.
+    pub fn get_mut(&mut self, id: RelId) -> &mut StoredRelation {
+        self.rels[id.0].as_mut().expect("live RelId")
+    }
+
+    /// Mutably borrow two distinct relations at once.
+    pub fn get_pair_mut(
+        &mut self,
+        a: RelId,
+        b: RelId,
+    ) -> (&mut StoredRelation, &mut StoredRelation) {
+        assert_ne!(a.0, b.0, "get_pair_mut needs distinct relations");
+        let (lo, hi, swap) =
+            if a.0 < b.0 { (a.0, b.0, false) } else { (b.0, a.0, true) };
+        let (left, right) = self.rels.split_at_mut(hi);
+        let x = left[lo].as_mut().expect("live RelId");
+        let y = right[0].as_mut().expect("live RelId");
+        if swap {
+            (y, x)
+        } else {
+            (x, y)
+        }
+    }
+
+    /// Iterate over live `(id, relation)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (RelId, &StoredRelation)> + '_ {
+        self.rels
+            .iter()
+            .enumerate()
+            .filter_map(|(i, r)| r.as_ref().map(|r| (RelId(i), r)))
+    }
+
+    /// Names of non-temporary relations, sorted.
+    pub fn user_relation_names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self
+            .iter()
+            .filter(|(_, r)| !r.temporary)
+            .map(|(_, r)| r.name.clone())
+            .collect();
+        names.sort();
+        names
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tdbms_kernel::{AttrDef, DatabaseClass, Domain, TemporalKind, Value};
+
+    fn schema() -> Schema {
+        Schema::new(
+            vec![
+                AttrDef::new("id", Domain::I4),
+                AttrDef::new("pad", Domain::Char(104)),
+            ],
+            DatabaseClass::Static,
+            TemporalKind::Interval,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn create_lookup_destroy() {
+        let mut pager = Pager::in_memory();
+        let mut cat = Catalog::new();
+        let id = cat.create_relation(&mut pager, "Emp", schema()).unwrap();
+        assert_eq!(cat.id_of("emp"), Some(id));
+        assert_eq!(cat.id_of("EMP"), Some(id));
+        assert!(cat.id_of("dept").is_none());
+        assert!(cat.require("dept").is_err());
+        assert!(matches!(
+            cat.create_relation(&mut pager, "EMP", schema()),
+            Err(Error::DuplicateRelation(_))
+        ));
+        cat.destroy(&mut pager, id).unwrap();
+        assert!(cat.id_of("emp").is_none());
+    }
+
+    #[test]
+    fn modify_reorganizes_and_preserves_rows() {
+        let mut pager = Pager::in_memory();
+        let mut cat = Catalog::new();
+        let id = cat.create_relation(&mut pager, "r", schema()).unwrap();
+        {
+            let rel = cat.get_mut(id);
+            for i in 1..=100i64 {
+                let row = rel
+                    .codec
+                    .encode(&[Value::Int(i), Value::Str("x".into())])
+                    .unwrap();
+                rel.file.insert(&mut pager, &row).unwrap();
+                rel.tuple_count += 1;
+            }
+        }
+        for (method, key) in [
+            (AccessMethod::Hash, Some(0)),
+            (AccessMethod::Isam, Some(0)),
+            (AccessMethod::Heap, None),
+        ] {
+            let rel = cat.get_mut(id);
+            rel.modify(&mut pager, method, key, 100, HashFn::Mod).unwrap();
+            assert_eq!(rel.file.method(), method);
+            assert_eq!(rel.key_attr, key);
+            let mut n = 0;
+            let mut sum = 0i64;
+            let mut cur = rel.file.scan();
+            while let Some((_, row)) = cur.next(&mut pager, &rel.file).unwrap()
+            {
+                n += 1;
+                sum += rel.codec.get_i4(&row, 0) as i64;
+            }
+            assert_eq!(n, 100, "after modify to {method:?}");
+            assert_eq!(sum, 5050);
+        }
+    }
+
+    #[test]
+    fn modify_to_keyed_without_key_errors() {
+        let mut pager = Pager::in_memory();
+        let mut cat = Catalog::new();
+        let id = cat.create_relation(&mut pager, "r", schema()).unwrap();
+        let rel = cat.get_mut(id);
+        assert!(rel
+            .modify(&mut pager, AccessMethod::Hash, None, 100, HashFn::Mod)
+            .is_err());
+    }
+
+    #[test]
+    fn pair_borrow_is_order_correct() {
+        let mut pager = Pager::in_memory();
+        let mut cat = Catalog::new();
+        let a = cat.create_relation(&mut pager, "a", schema()).unwrap();
+        let b = cat.create_relation(&mut pager, "b", schema()).unwrap();
+        let (ra, rb) = cat.get_pair_mut(a, b);
+        assert_eq!(ra.name, "a");
+        assert_eq!(rb.name, "b");
+        let (rb, ra) = cat.get_pair_mut(b, a);
+        assert_eq!(ra.name, "a");
+        assert_eq!(rb.name, "b");
+    }
+
+    #[test]
+    fn temporaries_are_hidden_from_user_listing() {
+        let mut pager = Pager::in_memory();
+        let mut cat = Catalog::new();
+        cat.create_relation(&mut pager, "z", schema()).unwrap();
+        cat.create_relation(&mut pager, "a", schema()).unwrap();
+        cat.create_temporary(&mut pager, schema()).unwrap();
+        assert_eq!(cat.user_relation_names(), vec!["a", "z"]);
+    }
+}

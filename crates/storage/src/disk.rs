@@ -1,0 +1,315 @@
+//! Disk managers: where pages actually live.
+//!
+//! The benchmark's metric is *page accesses*, not device latency, so the
+//! default [`MemDisk`] keeps every file as a vector of page images and the
+//! pager counts accesses. [`FileDisk`] stores each relation file as a real
+//! file on disk for durable use of the library.
+
+use crate::page::{Page, PAGE_SIZE};
+use std::collections::HashMap;
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::PathBuf;
+use tdbms_kernel::{Error, Result};
+
+/// Identifies one storage file (one relation, index, or temporary).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct FileId(pub u32);
+
+/// Abstract page-granularity storage.
+pub trait DiskManager {
+    /// Create a new, empty file and return its id.
+    fn create_file(&mut self) -> Result<FileId>;
+    /// Delete a file and free its pages.
+    fn drop_file(&mut self, file: FileId) -> Result<()>;
+    /// Number of pages currently in `file`.
+    fn page_count(&self, file: FileId) -> Result<u32>;
+    /// Read page `page_no` of `file`.
+    fn read_page(&mut self, file: FileId, page_no: u32) -> Result<Page>;
+    /// Write page `page_no` of `file` (must already exist).
+    fn write_page(&mut self, file: FileId, page_no: u32, page: &Page)
+        -> Result<()>;
+    /// Append a new page at the end of `file`; returns its page number.
+    fn append_page(&mut self, file: FileId, page: &Page) -> Result<u32>;
+    /// Truncate `file` to zero pages (used by `modify` reorganization).
+    fn truncate(&mut self, file: FileId) -> Result<()>;
+}
+
+/// In-memory disk: deterministic, allocation-cheap, and fast enough to run
+/// the paper's full update-count sweep in seconds.
+#[derive(Default)]
+pub struct MemDisk {
+    files: HashMap<FileId, Vec<Box<[u8; PAGE_SIZE]>>>,
+    next_id: u32,
+}
+
+impl MemDisk {
+    /// An empty in-memory disk.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn file(&self, file: FileId) -> Result<&Vec<Box<[u8; PAGE_SIZE]>>> {
+        self.files
+            .get(&file)
+            .ok_or_else(|| Error::Internal(format!("no such file {file:?}")))
+    }
+
+    fn file_mut(
+        &mut self,
+        file: FileId,
+    ) -> Result<&mut Vec<Box<[u8; PAGE_SIZE]>>> {
+        self.files
+            .get_mut(&file)
+            .ok_or_else(|| Error::Internal(format!("no such file {file:?}")))
+    }
+}
+
+impl DiskManager for MemDisk {
+    fn create_file(&mut self) -> Result<FileId> {
+        let id = FileId(self.next_id);
+        self.next_id += 1;
+        self.files.insert(id, Vec::new());
+        Ok(id)
+    }
+
+    fn drop_file(&mut self, file: FileId) -> Result<()> {
+        self.files
+            .remove(&file)
+            .map(|_| ())
+            .ok_or_else(|| Error::Internal(format!("no such file {file:?}")))
+    }
+
+    fn page_count(&self, file: FileId) -> Result<u32> {
+        Ok(self.file(file)?.len() as u32)
+    }
+
+    fn read_page(&mut self, file: FileId, page_no: u32) -> Result<Page> {
+        let pages = self.file(file)?;
+        let bytes = pages
+            .get(page_no as usize)
+            .ok_or(Error::NoSuchPage(page_no))?;
+        Ok(Page::from_bytes(bytes.clone()))
+    }
+
+    fn write_page(
+        &mut self,
+        file: FileId,
+        page_no: u32,
+        page: &Page,
+    ) -> Result<()> {
+        let pages = self.file_mut(file)?;
+        let slot = pages
+            .get_mut(page_no as usize)
+            .ok_or(Error::NoSuchPage(page_no))?;
+        slot.copy_from_slice(page.as_bytes());
+        Ok(())
+    }
+
+    fn append_page(&mut self, file: FileId, page: &Page) -> Result<u32> {
+        let pages = self.file_mut(file)?;
+        pages.push(Box::new(*page.as_bytes()));
+        Ok(pages.len() as u32 - 1)
+    }
+
+    fn truncate(&mut self, file: FileId) -> Result<()> {
+        self.file_mut(file)?.clear();
+        Ok(())
+    }
+}
+
+/// File-backed disk: each [`FileId`] is `<dir>/f<N>.pages`, a flat array of
+/// 1024-byte pages.
+pub struct FileDisk {
+    dir: PathBuf,
+    handles: HashMap<FileId, File>,
+    next_id: u32,
+}
+
+impl FileDisk {
+    /// Open (creating if needed) a directory-backed disk. Existing
+    /// `f<N>.pages` files are re-attached, so a database directory can be
+    /// reopened across processes.
+    pub fn open(dir: impl Into<PathBuf>) -> Result<Self> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir)?;
+        let mut handles = HashMap::new();
+        let mut next_id = 0;
+        for entry in std::fs::read_dir(&dir)? {
+            let entry = entry?;
+            let name = entry.file_name();
+            let name = name.to_string_lossy();
+            if let Some(n) = name
+                .strip_prefix('f')
+                .and_then(|s| s.strip_suffix(".pages"))
+                .and_then(|s| s.parse::<u32>().ok())
+            {
+                let fh = OpenOptions::new()
+                    .read(true)
+                    .write(true)
+                    .open(entry.path())?;
+                handles.insert(FileId(n), fh);
+                next_id = next_id.max(n + 1);
+            }
+        }
+        Ok(FileDisk { dir, handles, next_id })
+    }
+
+    fn path(&self, file: FileId) -> PathBuf {
+        self.dir.join(format!("f{}.pages", file.0))
+    }
+
+    fn handle(&mut self, file: FileId) -> Result<&mut File> {
+        self.handles
+            .get_mut(&file)
+            .ok_or_else(|| Error::Internal(format!("no such file {file:?}")))
+    }
+}
+
+impl DiskManager for FileDisk {
+    fn create_file(&mut self) -> Result<FileId> {
+        let id = FileId(self.next_id);
+        self.next_id += 1;
+        let fh = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create_new(true)
+            .open(self.path(id))?;
+        self.handles.insert(id, fh);
+        Ok(id)
+    }
+
+    fn drop_file(&mut self, file: FileId) -> Result<()> {
+        self.handles
+            .remove(&file)
+            .ok_or_else(|| Error::Internal(format!("no such file {file:?}")))?;
+        std::fs::remove_file(self.path(file))?;
+        Ok(())
+    }
+
+    fn page_count(&self, file: FileId) -> Result<u32> {
+        let fh = self
+            .handles
+            .get(&file)
+            .ok_or_else(|| Error::Internal(format!("no such file {file:?}")))?;
+        Ok((fh.metadata()?.len() / PAGE_SIZE as u64) as u32)
+    }
+
+    fn read_page(&mut self, file: FileId, page_no: u32) -> Result<Page> {
+        let n = self.page_count(file)?;
+        if page_no >= n {
+            return Err(Error::NoSuchPage(page_no));
+        }
+        let fh = self.handle(file)?;
+        fh.seek(SeekFrom::Start(page_no as u64 * PAGE_SIZE as u64))?;
+        let mut buf = Box::new([0u8; PAGE_SIZE]);
+        fh.read_exact(&mut buf[..])?;
+        Ok(Page::from_bytes(buf))
+    }
+
+    fn write_page(
+        &mut self,
+        file: FileId,
+        page_no: u32,
+        page: &Page,
+    ) -> Result<()> {
+        let n = self.page_count(file)?;
+        if page_no >= n {
+            return Err(Error::NoSuchPage(page_no));
+        }
+        let fh = self.handle(file)?;
+        fh.seek(SeekFrom::Start(page_no as u64 * PAGE_SIZE as u64))?;
+        fh.write_all(page.as_bytes())?;
+        Ok(())
+    }
+
+    fn append_page(&mut self, file: FileId, page: &Page) -> Result<u32> {
+        let n = self.page_count(file)?;
+        let fh = self.handle(file)?;
+        fh.seek(SeekFrom::End(0))?;
+        fh.write_all(page.as_bytes())?;
+        Ok(n)
+    }
+
+    fn truncate(&mut self, file: FileId) -> Result<()> {
+        let fh = self.handle(file)?;
+        fh.set_len(0)?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::page::PageKind;
+
+    fn exercise(disk: &mut dyn DiskManager) {
+        let f = disk.create_file().unwrap();
+        assert_eq!(disk.page_count(f).unwrap(), 0);
+        let mut p = Page::new(PageKind::Data);
+        p.push_row(4, &[1, 2, 3, 4]).unwrap();
+        assert_eq!(disk.append_page(f, &p).unwrap(), 0);
+        assert_eq!(disk.append_page(f, &p).unwrap(), 1);
+        assert_eq!(disk.page_count(f).unwrap(), 2);
+
+        let got = disk.read_page(f, 0).unwrap();
+        assert_eq!(got.row(4, 0).unwrap(), &[1, 2, 3, 4]);
+
+        let mut p2 = Page::new(PageKind::Overflow);
+        p2.push_row(4, &[9, 9, 9, 9]).unwrap();
+        disk.write_page(f, 1, &p2).unwrap();
+        let got = disk.read_page(f, 1).unwrap();
+        assert_eq!(got.kind().unwrap(), PageKind::Overflow);
+
+        assert!(disk.read_page(f, 7).is_err());
+        assert!(disk.write_page(f, 7, &p).is_err());
+
+        disk.truncate(f).unwrap();
+        assert_eq!(disk.page_count(f).unwrap(), 0);
+
+        let g = disk.create_file().unwrap();
+        assert_ne!(f, g);
+        disk.drop_file(f).unwrap();
+        assert!(disk.read_page(f, 0).is_err());
+        assert!(disk.drop_file(f).is_err());
+    }
+
+    #[test]
+    fn mem_disk_contract() {
+        exercise(&mut MemDisk::new());
+    }
+
+    #[test]
+    fn file_disk_contract() {
+        let dir = std::env::temp_dir()
+            .join(format!("tdbms-disk-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        exercise(&mut FileDisk::open(&dir).unwrap());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn file_disk_reopens_existing_files() {
+        let dir = std::env::temp_dir()
+            .join(format!("tdbms-disk-reopen-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let f;
+        {
+            let mut disk = FileDisk::open(&dir).unwrap();
+            f = disk.create_file().unwrap();
+            let mut p = Page::new(PageKind::Data);
+            p.push_row(2, &[7, 7]).unwrap();
+            disk.append_page(f, &p).unwrap();
+        }
+        {
+            let mut disk = FileDisk::open(&dir).unwrap();
+            assert_eq!(disk.page_count(f).unwrap(), 1);
+            let p = disk.read_page(f, 0).unwrap();
+            assert_eq!(p.row(2, 0).unwrap(), &[7, 7]);
+            // New files do not collide with re-attached ones.
+            let g = disk.create_file().unwrap();
+            assert!(g.0 > f.0);
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -1,0 +1,207 @@
+//! Heap files: unordered pages, appended in arrival order.
+//!
+//! The simplest organization — new rows go on the last page, a full scan
+//! reads every page once. Temporary relations created by one-variable
+//! detachment are heaps, as are freshly `create`d relations before a
+//! `modify`.
+
+use crate::disk::FileId;
+use crate::page::PageKind;
+use crate::pager::Pager;
+use crate::tuple::TupleId;
+use tdbms_kernel::Result;
+
+/// An unordered heap file of fixed-width rows.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HeapFile {
+    /// The underlying storage file.
+    pub file: FileId,
+    /// Fixed row width in bytes.
+    pub row_width: usize,
+}
+
+impl HeapFile {
+    /// Create an empty heap over a fresh file.
+    pub fn create(pager: &mut Pager, row_width: usize) -> Result<HeapFile> {
+        let file = pager.create_file()?;
+        Ok(HeapFile { file, row_width })
+    }
+
+    /// Wrap an existing file as a heap.
+    pub fn attach(file: FileId, row_width: usize) -> HeapFile {
+        HeapFile { file, row_width }
+    }
+
+    /// Insert a row at the end of the file.
+    pub fn insert(&self, pager: &mut Pager, row: &[u8]) -> Result<TupleId> {
+        let n = pager.page_count(self.file)?;
+        if n > 0 {
+            let last = n - 1;
+            let w = self.row_width;
+            let slot = pager.write(self.file, last, |p| {
+                if p.has_room(w) {
+                    Some(p.push_row(w, row))
+                } else {
+                    None
+                }
+            })?;
+            if let Some(slot) = slot {
+                return Ok(TupleId::new(last, slot?));
+            }
+        }
+        let page_no = pager.append_page(self.file, PageKind::Data)?;
+        let slot = pager
+            .write(self.file, page_no, |p| p.push_row(self.row_width, row))??;
+        Ok(TupleId::new(page_no, slot))
+    }
+
+    /// Read the row at `tid`.
+    pub fn get(&self, pager: &mut Pager, tid: TupleId) -> Result<Vec<u8>> {
+        pager.read(self.file, tid.page, |p| {
+            p.row(self.row_width, tid.slot).map(|r| r.to_vec())
+        })?
+    }
+
+    /// Overwrite the row at `tid` in place.
+    pub fn update(
+        &self,
+        pager: &mut Pager,
+        tid: TupleId,
+        row: &[u8],
+    ) -> Result<()> {
+        pager.write(self.file, tid.page, |p| {
+            p.write_row(self.row_width, tid.slot, row)
+        })?
+    }
+
+    /// Physically remove the row at `tid` (compacting within the page).
+    /// Only static relations do this; versioned relations delete logically
+    /// by stamping a stop time.
+    pub fn delete(&self, pager: &mut Pager, tid: TupleId) -> Result<()> {
+        pager.write(self.file, tid.page, |p| {
+            p.remove_row(self.row_width, tid.slot).map(|_| ())
+        })?
+    }
+
+    /// Total pages (all are data pages for a heap).
+    pub fn total_pages(&self, pager: &Pager) -> Result<u32> {
+        pager.page_count(self.file)
+    }
+
+    /// Begin a full scan.
+    pub fn scan(&self) -> HeapScan {
+        HeapScan { page: 0, slot: 0 }
+    }
+}
+
+/// Cursor over every row of a heap, in physical order.
+///
+/// Holds no borrow of the pager, so callers can interleave access to other
+/// relations (as tuple substitution does) between `next` calls.
+#[derive(Debug, Clone)]
+pub struct HeapScan {
+    page: u32,
+    slot: u16,
+}
+
+impl HeapScan {
+    /// Advance; `None` at end of file.
+    pub fn next(
+        &mut self,
+        pager: &mut Pager,
+        heap: &HeapFile,
+    ) -> Result<Option<(TupleId, Vec<u8>)>> {
+        let n = pager.page_count(heap.file)?;
+        while self.page < n {
+            let got = pager.read(heap.file, self.page, |p| {
+                if (self.slot as usize) < p.count() {
+                    Some(
+                        p.row(heap.row_width, self.slot)
+                            .map(|r| r.to_vec()),
+                    )
+                } else {
+                    None
+                }
+            })?;
+            match got {
+                Some(row) => {
+                    let tid = TupleId::new(self.page, self.slot);
+                    self.slot += 1;
+                    return Ok(Some((tid, row?)));
+                }
+                None => {
+                    self.page += 1;
+                    self.slot = 0;
+                }
+            }
+        }
+        Ok(None)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row(v: u8, w: usize) -> Vec<u8> {
+        vec![v; w]
+    }
+
+    #[test]
+    fn insert_fills_pages_in_order() {
+        let mut pager = Pager::in_memory();
+        let heap = HeapFile::create(&mut pager, 100).unwrap();
+        // 10 rows/page at width 100 (1012 / 100 = 10).
+        for i in 0..25u8 {
+            heap.insert(&mut pager, &row(i, 100)).unwrap();
+        }
+        assert_eq!(heap.total_pages(&pager).unwrap(), 3);
+        let mut scan = heap.scan();
+        let mut seen = Vec::new();
+        while let Some((_, r)) = scan.next(&mut pager, &heap).unwrap() {
+            seen.push(r[0]);
+        }
+        assert_eq!(seen, (0..25).collect::<Vec<u8>>());
+    }
+
+    #[test]
+    fn scan_cost_equals_page_count() {
+        let mut pager = Pager::in_memory();
+        let heap = HeapFile::create(&mut pager, 100).unwrap();
+        for i in 0..50u8 {
+            heap.insert(&mut pager, &row(i, 100)).unwrap();
+        }
+        pager.invalidate_buffers().unwrap();
+        pager.reset_stats();
+        let mut scan = heap.scan();
+        while scan.next(&mut pager, &heap).unwrap().is_some() {}
+        assert_eq!(
+            pager.stats().of(heap.file).reads as u32,
+            heap.total_pages(&pager).unwrap()
+        );
+    }
+
+    #[test]
+    fn get_update_delete_roundtrip() {
+        let mut pager = Pager::in_memory();
+        let heap = HeapFile::create(&mut pager, 10).unwrap();
+        let a = heap.insert(&mut pager, &row(1, 10)).unwrap();
+        let b = heap.insert(&mut pager, &row(2, 10)).unwrap();
+        assert_eq!(heap.get(&mut pager, a).unwrap(), row(1, 10));
+        heap.update(&mut pager, a, &row(9, 10)).unwrap();
+        assert_eq!(heap.get(&mut pager, a).unwrap(), row(9, 10));
+        heap.delete(&mut pager, a).unwrap();
+        // b moved into a's slot (compaction).
+        assert_eq!(heap.get(&mut pager, a).unwrap(), row(2, 10));
+        assert!(heap.get(&mut pager, b).is_err());
+    }
+
+    #[test]
+    fn empty_heap_scans_nothing() {
+        let mut pager = Pager::in_memory();
+        let heap = HeapFile::create(&mut pager, 10).unwrap();
+        let mut scan = heap.scan();
+        assert!(scan.next(&mut pager, &heap).unwrap().is_none());
+        assert_eq!(heap.total_pages(&pager).unwrap(), 0);
+    }
+}

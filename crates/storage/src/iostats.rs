@@ -1,0 +1,101 @@
+//! Page-access accounting.
+//!
+//! The paper's benchmark "focused solely on the number of disk accesses per
+//! query at a granularity of a page", counting only accesses to *user*
+//! relations. [`IoStats`] tallies, per file, the pages fetched from disk
+//! (buffer misses) and pages written back, so a harness can reset the
+//! counters before a query and read off exactly the paper's metric
+//! afterwards.
+
+use crate::disk::FileId;
+use std::collections::HashMap;
+
+/// Per-file read/write page counters.
+#[derive(Debug, Default, Clone)]
+pub struct IoStats {
+    counters: HashMap<FileId, FileIo>,
+}
+
+/// Counters for one file.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct FileIo {
+    /// Pages fetched from disk (buffer misses).
+    pub reads: u64,
+    /// Pages written back to disk.
+    pub writes: u64,
+}
+
+impl IoStats {
+    /// Fresh, all-zero stats.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub(crate) fn record_read(&mut self, file: FileId) {
+        self.counters.entry(file).or_default().reads += 1;
+    }
+
+    pub(crate) fn record_write(&mut self, file: FileId) {
+        self.counters.entry(file).or_default().writes += 1;
+    }
+
+    /// Counters for one file (zero if never touched).
+    pub fn of(&self, file: FileId) -> FileIo {
+        self.counters.get(&file).copied().unwrap_or_default()
+    }
+
+    /// Total page reads across all files.
+    pub fn total_reads(&self) -> u64 {
+        self.counters.values().map(|c| c.reads).sum()
+    }
+
+    /// Total page writes across all files.
+    pub fn total_writes(&self) -> u64 {
+        self.counters.values().map(|c| c.writes).sum()
+    }
+
+    /// Total page reads across a set of files.
+    pub fn reads_of(&self, files: &[FileId]) -> u64 {
+        files.iter().map(|f| self.of(*f).reads).sum()
+    }
+
+    /// Total page writes across a set of files.
+    pub fn writes_of(&self, files: &[FileId]) -> u64 {
+        files.iter().map(|f| self.of(*f).writes).sum()
+    }
+
+    /// Zero every counter.
+    pub fn reset(&mut self) {
+        self.counters.clear();
+    }
+
+    /// Iterate over `(file, counters)` for files that were touched.
+    pub fn iter(&self) -> impl Iterator<Item = (FileId, FileIo)> + '_ {
+        self.counters.iter().map(|(f, c)| (*f, *c))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_and_resets() {
+        let mut s = IoStats::new();
+        let a = FileId(1);
+        let b = FileId(2);
+        s.record_read(a);
+        s.record_read(a);
+        s.record_write(a);
+        s.record_read(b);
+        assert_eq!(s.of(a), FileIo { reads: 2, writes: 1 });
+        assert_eq!(s.of(b), FileIo { reads: 1, writes: 0 });
+        assert_eq!(s.of(FileId(99)), FileIo::default());
+        assert_eq!(s.total_reads(), 3);
+        assert_eq!(s.total_writes(), 1);
+        assert_eq!(s.reads_of(&[a, b]), 3);
+        assert_eq!(s.writes_of(&[a, b]), 1);
+        s.reset();
+        assert_eq!(s.total_reads(), 0);
+    }
+}

@@ -1,0 +1,669 @@
+//! ISAM files: sorted data pages under a static multi-level directory.
+//!
+//! `modify R to isam on k where fillfactor = F` sorts the rows, writes data
+//! pages filled to the fill factor, then builds a directory of first keys —
+//! one entry per child page, key-only (the child page number is implicit in
+//! the entry's position, Ingres-style), so a 1024-byte directory page
+//! indexes 253 children. Keyed access descends one directory page per
+//! level, then walks the data page's overflow chain; a sequential scan
+//! reads data and overflow pages but *not* the directory (which is why the
+//! paper's ISAM scans cost exactly `size - directory` pages).
+//!
+//! The directory is static: inserted rows go to the overflow chain of the
+//! data page their key maps to, and reorganization (`modify`) is the only
+//! way to flatten chains — but, as the paper notes, "reorganization does
+//! not help to shorten overflow chains, because all versions of a tuple
+//! share the same key".
+
+use crate::disk::FileId;
+use crate::key::KeySpec;
+use crate::page::{page_capacity, PageKind, NO_PAGE};
+use crate::pager::Pager;
+use crate::tuple::TupleId;
+use std::cmp::Ordering;
+use std::ops::Range;
+use tdbms_kernel::{Error, Result};
+
+/// An ISAM file of fixed-width rows.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IsamFile {
+    /// The underlying storage file.
+    pub file: FileId,
+    /// Fixed row width in bytes.
+    pub row_width: usize,
+    /// Where the key lives in a row.
+    pub key: KeySpec,
+    /// Number of data pages (pages `0..n_data_pages`).
+    pub n_data_pages: u32,
+    /// Directory page ranges, leaf level first, root level last. The root
+    /// range always has length 1.
+    pub levels: Vec<Range<u32>>,
+}
+
+impl IsamFile {
+    /// Build an ISAM file over a fresh storage file from `rows` (sorted
+    /// internally).
+    pub fn build(
+        pager: &mut Pager,
+        rows: &[Vec<u8>],
+        row_width: usize,
+        key: KeySpec,
+        fillfactor: u8,
+    ) -> Result<IsamFile> {
+        let file = pager.create_file()?;
+        Self::build_into(pager, file, rows, row_width, key, fillfactor)
+    }
+
+    /// Build into an existing (truncated) file — used by `modify`.
+    pub fn build_into(
+        pager: &mut Pager,
+        file: FileId,
+        rows: &[Vec<u8>],
+        row_width: usize,
+        key: KeySpec,
+        fillfactor: u8,
+    ) -> Result<IsamFile> {
+        if pager.page_count(file)? != 0 {
+            return Err(Error::Internal(
+                "isam build requires an empty file".into(),
+            ));
+        }
+        let mut sorted: Vec<&Vec<u8>> = rows.iter().collect();
+        for row in &sorted {
+            if row.len() != row_width {
+                return Err(Error::RowSize {
+                    expected: row_width,
+                    got: row.len(),
+                });
+            }
+        }
+        sorted.sort_by(|a, b| key.compare(key.extract(a), key.extract(b)));
+
+        let per_page = crate::hash::rows_per_page_at_fill(row_width, fillfactor);
+
+        // Data pages, filled to the fill factor.
+        let mut first_keys: Vec<Vec<u8>> = Vec::new();
+        if sorted.is_empty() {
+            pager.append_page(file, PageKind::Data)?;
+            first_keys.push(vec![0u8; key.len]);
+        }
+        for chunk in sorted.chunks(per_page) {
+            let page_no = pager.append_page(file, PageKind::Data)?;
+            for row in chunk {
+                pager.write(file, page_no, |p| p.push_row(row_width, row))??;
+            }
+            first_keys.push(key.extract(chunk[0]).to_vec());
+        }
+        let n_data_pages = first_keys.len() as u32;
+
+        // Directory levels: each level holds the first keys of the level
+        // below (level 0 = data pages), `fanout` entries per page, until a
+        // level fits in one page (the root). Entries are key-only rows.
+        let fanout = page_capacity(key.len);
+        let mut levels: Vec<Range<u32>> = Vec::new();
+        let mut level_keys = first_keys;
+        loop {
+            let start = pager.page_count(file)?;
+            let mut next_keys: Vec<Vec<u8>> = Vec::new();
+            for chunk in level_keys.chunks(fanout) {
+                let page_no = pager.append_page(file, PageKind::Directory)?;
+                for k in chunk {
+                    pager.write(file, page_no, |p| p.push_row(key.len, k))??;
+                }
+                next_keys.push(chunk[0].clone());
+            }
+            let end = pager.page_count(file)?;
+            levels.push(start..end);
+            if end - start <= 1 {
+                break;
+            }
+            level_keys = next_keys;
+        }
+        pager.flush_file(file)?;
+        Ok(IsamFile { file, row_width, key, n_data_pages, levels })
+    }
+
+    /// Number of directory pages (of all levels).
+    pub fn n_directory_pages(&self) -> u32 {
+        self.levels.iter().map(|r| r.end - r.start).sum()
+    }
+
+    /// Number of directory levels (= directory pages read per keyed
+    /// access).
+    pub fn n_levels(&self) -> u32 {
+        self.levels.len() as u32
+    }
+
+    /// Total pages: data + overflow + directory.
+    pub fn total_pages(&self, pager: &Pager) -> Result<u32> {
+        pager.page_count(self.file)
+    }
+
+    /// Pages a sequential scan touches: everything except the directory.
+    pub fn scannable_pages(&self, pager: &Pager) -> Result<u32> {
+        Ok(self.total_pages(pager)? - self.n_directory_pages())
+    }
+
+    /// Stored entries at directory level `i` (level 0 is the leaf level,
+    /// whose entries are data-page first keys).
+    fn entries_of_level(&self, i: usize) -> u32 {
+        if i == 0 {
+            self.n_data_pages
+        } else {
+            self.levels[i - 1].end - self.levels[i - 1].start
+        }
+    }
+
+    /// Read directory entry `idx` (a level-wide index) of level `i`.
+    /// Consecutive indices hit the same buffered page, so walking a run of
+    /// entries costs one page read.
+    fn dir_entry(
+        &self,
+        pager: &mut Pager,
+        i: usize,
+        idx: u32,
+    ) -> Result<Vec<u8>> {
+        let fanout = page_capacity(self.key.len) as u32;
+        let page = self.levels[i].start + idx / fanout;
+        let slot = (idx % fanout) as u16;
+        pager.read(self.file, page, |p| {
+            p.row(self.key.len, slot).map(|r| r.to_vec())
+        })?
+    }
+
+    /// Descend the directory for `key_bytes`. Returns the inclusive range
+    /// `(start, end)` of data pages that may contain the key: the rightmost
+    /// page whose first key is below the key (it may hold the key in its
+    /// tail), plus every following page whose first key *equals* the key
+    /// (duplicate runs).
+    ///
+    /// A candidate entry range is narrowed level by level, so boundary keys
+    /// (a key equal to some page's first key) are handled exactly. For a
+    /// key that is not a boundary — every benchmark key — the descent reads
+    /// exactly one directory page per level, the paper's keyed-ISAM cost;
+    /// a boundary key may touch a second page at a level.
+    fn descend(
+        &self,
+        pager: &mut Pager,
+        key_bytes: &[u8],
+    ) -> Result<(u32, u32)> {
+        let fanout = page_capacity(self.key.len) as u32;
+        let nlevels = self.levels.len();
+        // Candidate entry range at the current level, inclusive.
+        let mut cs: u32 = 0;
+        let mut ce: u32 = self.entries_of_level(nlevels - 1) - 1;
+        for i in (0..nlevels).rev() {
+            // Narrow [cs, ce] to the children that can contain the key:
+            // the rightmost entry below it plus any run of equal entries.
+            let mut new_cs = cs;
+            let mut new_ce = cs;
+            for idx in cs..=ce {
+                let entry = self.dir_entry(pager, i, idx)?;
+                match self.key.compare(&entry, key_bytes) {
+                    Ordering::Less => {
+                        new_cs = idx;
+                        new_ce = idx;
+                    }
+                    Ordering::Equal => new_ce = idx,
+                    Ordering::Greater => break,
+                }
+            }
+            if i == 0 {
+                return Ok((new_cs, new_ce));
+            }
+            // Expand to the entries those child pages hold, one level down.
+            cs = new_cs * fanout;
+            ce = ((new_ce + 1) * fanout - 1)
+                .min(self.entries_of_level(i - 1) - 1);
+        }
+        unreachable!("loop returns at the leaf level")
+    }
+
+    /// Insert a row: descend to its data page, then place it in the first
+    /// chain page with room (appending an overflow page if needed).
+    pub fn insert(&self, pager: &mut Pager, row: &[u8]) -> Result<TupleId> {
+        if row.len() != self.row_width {
+            return Err(Error::RowSize {
+                expected: self.row_width,
+                got: row.len(),
+            });
+        }
+        // Insert at the *last* candidate page: for a key equal to some
+        // page's first key that is the page which naturally owns it, so
+        // uniform update rounds grow every data page's chain evenly.
+        let (_start, mut page_no) =
+            self.descend(pager, self.key.extract(row))?;
+        loop {
+            let w = self.row_width;
+            let (slot, next) = pager.write(self.file, page_no, |p| {
+                if p.has_room(w) {
+                    (Some(p.push_row(w, row)), NO_PAGE)
+                } else {
+                    (None, p.overflow())
+                }
+            })?;
+            if let Some(slot) = slot {
+                return Ok(TupleId::new(page_no, slot?));
+            }
+            if next == NO_PAGE {
+                let of = pager.append_page(self.file, PageKind::Overflow)?;
+                pager.write(self.file, page_no, |p| p.set_overflow(of))?;
+                let slot = pager.write(self.file, of, |p| {
+                    p.push_row(self.row_width, row)
+                })??;
+                return Ok(TupleId::new(of, slot));
+            }
+            page_no = next;
+        }
+    }
+
+    /// Read the row at `tid`.
+    pub fn get(&self, pager: &mut Pager, tid: TupleId) -> Result<Vec<u8>> {
+        pager.read(self.file, tid.page, |p| {
+            p.row(self.row_width, tid.slot).map(|r| r.to_vec())
+        })?
+    }
+
+    /// Overwrite the row at `tid` in place.
+    pub fn update(
+        &self,
+        pager: &mut Pager,
+        tid: TupleId,
+        row: &[u8],
+    ) -> Result<()> {
+        pager.write(self.file, tid.page, |p| {
+            p.write_row(self.row_width, tid.slot, row)
+        })?
+    }
+
+    /// Begin a keyed lookup: descends the directory (one read per level),
+    /// then yields every version with the key from the candidate data
+    /// pages' chains.
+    pub fn lookup(
+        &self,
+        pager: &mut Pager,
+        key_bytes: &[u8],
+    ) -> Result<IsamLookup> {
+        let (start, end) = self.descend(pager, key_bytes)?;
+        Ok(IsamLookup {
+            key: key_bytes.to_vec(),
+            page: start,
+            data_page: start,
+            end_data_page: end,
+            slot: 0,
+            done: false,
+        })
+    }
+
+    /// Begin a full scan of data + overflow pages (directory untouched).
+    pub fn scan(&self) -> IsamScan {
+        IsamScan { data_page: 0, page: 0, slot: 0 }
+    }
+}
+
+/// Cursor over the versions matching one key.
+#[derive(Debug, Clone)]
+pub struct IsamLookup {
+    key: Vec<u8>,
+    /// Current page in the current data page's chain.
+    page: u32,
+    /// Current data (primary) page.
+    data_page: u32,
+    /// Last candidate data page (inclusive).
+    end_data_page: u32,
+    slot: u16,
+    done: bool,
+}
+
+impl IsamLookup {
+    /// Advance to the next version with the sought key.
+    pub fn next(
+        &mut self,
+        pager: &mut Pager,
+        isam: &IsamFile,
+    ) -> Result<Option<(TupleId, Vec<u8>)>> {
+        while !self.done {
+            let page_no = self.page;
+            let start = self.slot;
+            let key = &self.key;
+            let step = pager.read(isam.file, page_no, |p| {
+                let mut s = start;
+                while (s as usize) < p.count() {
+                    let row = p.row(isam.row_width, s)?;
+                    if isam.key.compare(isam.key.extract(row), key)
+                        == Ordering::Equal
+                    {
+                        return Ok::<_, Error>(Err((s, row.to_vec())));
+                    }
+                    s += 1;
+                }
+                Ok(Ok(p.overflow()))
+            })??;
+            match step {
+                Err((slot, row)) => {
+                    self.slot = slot + 1;
+                    return Ok(Some((TupleId::new(page_no, slot), row)));
+                }
+                Ok(next) => {
+                    self.slot = 0;
+                    if next != NO_PAGE {
+                        self.page = next;
+                    } else if self.data_page < self.end_data_page {
+                        // Equal-key run continues on the next data page.
+                        self.data_page += 1;
+                        self.page = self.data_page;
+                    } else {
+                        self.done = true;
+                    }
+                }
+            }
+        }
+        Ok(None)
+    }
+}
+
+/// Cursor over every data/overflow row, data page by data page.
+#[derive(Debug, Clone)]
+pub struct IsamScan {
+    data_page: u32,
+    page: u32,
+    slot: u16,
+}
+
+impl IsamScan {
+    /// Advance; `None` once every data page's chain is exhausted.
+    pub fn next(
+        &mut self,
+        pager: &mut Pager,
+        isam: &IsamFile,
+    ) -> Result<Option<(TupleId, Vec<u8>)>> {
+        while self.data_page < isam.n_data_pages {
+            let got = pager.read(isam.file, self.page, |p| {
+                if (self.slot as usize) < p.count() {
+                    Some(p.row(isam.row_width, self.slot).map(|r| r.to_vec()))
+                } else {
+                    self.slot = 0;
+                    let next = p.overflow();
+                    if next == NO_PAGE {
+                        self.data_page += 1;
+                        self.page = self.data_page;
+                    } else {
+                        self.page = next;
+                    }
+                    None
+                }
+            })?;
+            if let Some(row) = got {
+                let tid = TupleId::new(self.page, self.slot);
+                self.slot += 1;
+                return Ok(Some((tid, row?)));
+            }
+        }
+        Ok(None)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::key::KeyKind;
+    use tdbms_kernel::{AttrDef, Domain, RowCodec, Schema, Value};
+
+    fn make_rows(n: i32, width_pad: u16) -> (RowCodec, Vec<Vec<u8>>) {
+        let s = Schema::static_relation(vec![
+            AttrDef::new("id", Domain::I4),
+            AttrDef::new("pad", Domain::Char(width_pad)),
+        ])
+        .unwrap();
+        let codec = RowCodec::new(&s);
+        // Shuffled insertion order to prove build() sorts.
+        let mut ids: Vec<i32> = (1..=n).collect();
+        ids.reverse();
+        let rows = ids
+            .iter()
+            .map(|i| {
+                codec
+                    .encode(&[Value::Int(*i as i64), Value::Str("x".into())])
+                    .unwrap()
+            })
+            .collect();
+        (codec, rows)
+    }
+
+    fn key(codec: &RowCodec) -> KeySpec {
+        KeySpec::for_attr(codec, 0)
+    }
+
+    #[test]
+    fn build_produces_paper_page_counts() {
+        // 1024 rows at 108 bytes, 100 % fill: 114 data pages + 1 directory.
+        let (codec, rows) = make_rows(1024, 104);
+        let mut pager = Pager::in_memory();
+        let f = IsamFile::build(&mut pager, &rows, 108, key(&codec), 100)
+            .unwrap();
+        assert_eq!(f.n_data_pages, 114);
+        assert_eq!(f.n_directory_pages(), 1);
+        assert_eq!(f.n_levels(), 1);
+        assert_eq!(f.total_pages(&pager).unwrap(), 115);
+
+        // 50 % fill: 256 data pages; 256 entries exceed one directory page
+        // (fanout 253), so two leaf pages plus a root = 3 directory pages.
+        let f50 = IsamFile::build(&mut pager, &rows, 108, key(&codec), 50)
+            .unwrap();
+        assert_eq!(f50.n_data_pages, 256);
+        assert_eq!(f50.n_directory_pages(), 3);
+        assert_eq!(f50.n_levels(), 2);
+        assert_eq!(f50.total_pages(&pager).unwrap(), 259);
+    }
+
+    #[test]
+    fn keyed_access_costs_levels_plus_chain() {
+        let (codec, rows) = make_rows(1024, 104);
+        let mut pager = Pager::in_memory();
+        let f = IsamFile::build(&mut pager, &rows, 108, key(&codec), 100)
+            .unwrap();
+        pager.invalidate_buffers().unwrap();
+        pager.reset_stats();
+        let kb = 500i32.to_le_bytes();
+        let mut cur = f.lookup(&mut pager, &kb).unwrap();
+        let mut n = 0;
+        while let Some((_, row)) = cur.next(&mut pager, &f).unwrap() {
+            assert_eq!(codec.get_i4(&row, 0), 500);
+            n += 1;
+        }
+        assert_eq!(n, 1);
+        // 1 directory + 1 data page = the paper's Q02 cost of 2 at UC 0.
+        assert_eq!(pager.stats().of(f.file).reads, 2);
+
+        // At 50 % loading the directory has two levels: cost 3 (paper's
+        // Q02 at 50 %).
+        let f50 = IsamFile::build(&mut pager, &rows, 108, key(&codec), 50)
+            .unwrap();
+        pager.invalidate_buffers().unwrap();
+        pager.reset_stats();
+        let mut cur = f50.lookup(&mut pager, &kb).unwrap();
+        while cur.next(&mut pager, &f50).unwrap().is_some() {}
+        assert_eq!(pager.stats().of(f50.file).reads, 3);
+    }
+
+    #[test]
+    fn scan_skips_directory_pages() {
+        let (codec, rows) = make_rows(1024, 104);
+        let mut pager = Pager::in_memory();
+        let f = IsamFile::build(&mut pager, &rows, 108, key(&codec), 100)
+            .unwrap();
+        pager.invalidate_buffers().unwrap();
+        pager.reset_stats();
+        let mut scan = f.scan();
+        let mut n = 0;
+        while scan.next(&mut pager, &f).unwrap().is_some() {
+            n += 1;
+        }
+        assert_eq!(n, 1024);
+        assert_eq!(pager.stats().of(f.file).reads, 114);
+    }
+
+    #[test]
+    fn scan_yields_rows_in_key_order() {
+        let (codec, rows) = make_rows(100, 104);
+        let mut pager = Pager::in_memory();
+        let f =
+            IsamFile::build(&mut pager, &rows, 108, key(&codec), 100).unwrap();
+        let mut scan = f.scan();
+        let mut prev = i32::MIN;
+        while let Some((_, row)) = scan.next(&mut pager, &f).unwrap() {
+            let id = codec.get_i4(&row, 0);
+            assert!(id > prev);
+            prev = id;
+        }
+        assert_eq!(prev, 100);
+    }
+
+    #[test]
+    fn inserts_chain_on_the_right_data_page() {
+        let (codec, rows) = make_rows(64, 104); // 8 data pages of 9... 64/9=8 pages
+        let mut pager = Pager::in_memory();
+        let f =
+            IsamFile::build(&mut pager, &rows, 108, key(&codec), 100).unwrap();
+        let v = codec
+            .encode(&[Value::Int(12), Value::Str("v".into())])
+            .unwrap();
+        for _ in 0..12 {
+            f.insert(&mut pager, &v).unwrap();
+        }
+        pager.invalidate_buffers().unwrap();
+        pager.reset_stats();
+        let kb = 12i32.to_le_bytes();
+        let mut cur = f.lookup(&mut pager, &kb).unwrap();
+        let mut n = 0;
+        while cur.next(&mut pager, &f).unwrap().is_some() {
+            n += 1;
+        }
+        assert_eq!(n, 13);
+        // dir (1) + data page + 2 overflow pages (8 full + 12 versions:
+        // page had 9, 8 original + 1 new fills it, 11 more → 2 overflow).
+        assert_eq!(pager.stats().of(f.file).reads, 4);
+        // Unrelated key in another page: still 2 reads.
+        pager.invalidate_buffers().unwrap();
+        pager.reset_stats();
+        let kb = 60i32.to_le_bytes();
+        let mut cur = f.lookup(&mut pager, &kb).unwrap();
+        while cur.next(&mut pager, &f).unwrap().is_some() {}
+        assert_eq!(pager.stats().of(f.file).reads, 2);
+    }
+
+    #[test]
+    fn equal_key_runs_crossing_pages_are_found() {
+        // 30 rows with key 5 span multiple data pages at load.
+        let s = Schema::static_relation(vec![
+            AttrDef::new("id", Domain::I4),
+            AttrDef::new("pad", Domain::Char(104)),
+        ])
+        .unwrap();
+        let codec = RowCodec::new(&s);
+        let mut rows: Vec<Vec<u8>> = Vec::new();
+        for i in 1..=5i64 {
+            rows.push(
+                codec.encode(&[Value::Int(i), Value::Str("a".into())]).unwrap(),
+            );
+        }
+        for _ in 0..30 {
+            rows.push(
+                codec.encode(&[Value::Int(5), Value::Str("b".into())]).unwrap(),
+            );
+        }
+        for i in 6..=10i64 {
+            rows.push(
+                codec.encode(&[Value::Int(i), Value::Str("c".into())]).unwrap(),
+            );
+        }
+        let mut pager = Pager::in_memory();
+        let f = IsamFile::build(
+            &mut pager,
+            &rows,
+            108,
+            KeySpec { offset: 0, len: 4, kind: KeyKind::I4 },
+            100,
+        )
+        .unwrap();
+        let kb = 5i32.to_le_bytes();
+        let mut cur = f.lookup(&mut pager, &kb).unwrap();
+        let mut n = 0;
+        while cur.next(&mut pager, &f).unwrap().is_some() {
+            n += 1;
+        }
+        assert_eq!(n, 31);
+    }
+
+    #[test]
+    fn lookup_of_absent_and_extreme_keys() {
+        let (codec, rows) = make_rows(50, 104);
+        let mut pager = Pager::in_memory();
+        let f =
+            IsamFile::build(&mut pager, &rows, 108, key(&codec), 100).unwrap();
+        for probe in [0i32, 51, 1000, -7] {
+            let kb = probe.to_le_bytes();
+            let mut cur = f.lookup(&mut pager, &kb).unwrap();
+            assert!(
+                cur.next(&mut pager, &f).unwrap().is_none(),
+                "key {probe} should be absent"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_build_has_one_data_page_and_root() {
+        let (codec, _) = make_rows(0, 104);
+        let mut pager = Pager::in_memory();
+        let f = IsamFile::build(&mut pager, &[], 108, key(&codec), 100)
+            .unwrap();
+        assert_eq!(f.n_data_pages, 1);
+        assert_eq!(f.n_directory_pages(), 1);
+        let mut scan = f.scan();
+        assert!(scan.next(&mut pager, &f).unwrap().is_none());
+    }
+
+    #[test]
+    fn three_level_directory() {
+        // Force multiple directory levels with a wide key: fanout for a
+        // 340-byte key is (1024-12)/340 = 2 entries/page. 9 data pages →
+        // levels of 5, 3, 2, 1 pages.
+        let s = Schema::static_relation(vec![AttrDef::new(
+            "k",
+            Domain::Char(340),
+        )])
+        .unwrap();
+        let codec = RowCodec::new(&s);
+        let rows: Vec<Vec<u8>> = (0..18)
+            .map(|i| {
+                codec
+                    .encode(&[Value::Str(format!("key{:02}", i))])
+                    .unwrap()
+            })
+            .collect();
+        let mut pager = Pager::in_memory();
+        let f = IsamFile::build(
+            &mut pager,
+            &rows,
+            340,
+            KeySpec { offset: 0, len: 340, kind: KeyKind::Bytes },
+            100,
+        )
+        .unwrap();
+        assert_eq!(f.n_data_pages, 9); // 2 rows per page
+        assert_eq!(f.n_levels(), 4);
+        // Every key is findable through the deep directory.
+        for i in 0..18 {
+            let probe = codec
+                .encode(&[Value::Str(format!("key{:02}", i))])
+                .unwrap();
+            let kb = f.key.extract(&probe).to_vec();
+            let mut cur = f.lookup(&mut pager, &kb).unwrap();
+            assert!(
+                cur.next(&mut pager, &f).unwrap().is_some(),
+                "key{:02} not found",
+                i
+            );
+        }
+    }
+}

@@ -1,0 +1,196 @@
+//! Keys for the keyed access methods.
+//!
+//! A key is a fixed-width byte range of the encoded row (keys are single
+//! attributes in the prototype, as in `modify Temporal_h to hash on id`).
+//! [`KeySpec`] says where the key lives and how to compare it; [`HashFn`]
+//! says how a hash file maps it to a bucket.
+
+use std::cmp::Ordering;
+use tdbms_kernel::{Domain, RowCodec};
+
+/// How key bytes are ordered and hashed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KeyKind {
+    /// 4-byte little-endian signed integer (the benchmark's `id = i4`).
+    I4,
+    /// Uninterpreted bytes, compared lexicographically (covers `c<N>`
+    /// attributes; blank padding makes lexicographic order correct).
+    Bytes,
+}
+
+/// Location and interpretation of a key within an encoded row.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KeySpec {
+    /// Byte offset of the key within the row.
+    pub offset: usize,
+    /// Key width in bytes.
+    pub len: usize,
+    /// Interpretation for ordering/hashing.
+    pub kind: KeyKind,
+}
+
+impl KeySpec {
+    /// Key spec for attribute `attr_idx` of a relation with this codec.
+    pub fn for_attr(codec: &RowCodec, attr_idx: usize) -> KeySpec {
+        let domain = codec.domain_of(attr_idx);
+        let kind = match domain {
+            Domain::I4 | Domain::Time => KeyKind::I4,
+            _ => KeyKind::Bytes,
+        };
+        KeySpec {
+            offset: codec.offset_of(attr_idx),
+            len: domain.width(),
+            kind,
+        }
+    }
+
+    /// Borrow the key bytes out of a row.
+    pub fn extract<'a>(&self, row: &'a [u8]) -> &'a [u8] {
+        &row[self.offset..self.offset + self.len]
+    }
+
+    /// Compare two keys (already extracted).
+    pub fn compare(&self, a: &[u8], b: &[u8]) -> Ordering {
+        match self.kind {
+            KeyKind::I4 => {
+                let x = i32::from_le_bytes(a.try_into().expect("4-byte key"));
+                let y = i32::from_le_bytes(b.try_into().expect("4-byte key"));
+                x.cmp(&y)
+            }
+            KeyKind::Bytes => a.cmp(b),
+        }
+    }
+}
+
+/// The bucket function of a hash file.
+///
+/// `Mod` reduces an integer key modulo the bucket count — for the
+/// benchmark's sequential ids this distributes tuples perfectly evenly,
+/// giving the clean space numbers the analysis assumes. `Multiplicative`
+/// (FNV-1a over the key bytes) behaves like Ingres' real hash: buckets
+/// receive Poisson-distributed loads and some overflow even at load time,
+/// reproducing the collision overhead the paper observed on its static
+/// hashed relation. See DESIGN.md, substitution 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum HashFn {
+    /// Integer value modulo bucket count (default).
+    #[default]
+    Mod,
+    /// FNV-1a over the key bytes, then modulo bucket count.
+    Multiplicative,
+}
+
+impl HashFn {
+    /// The bucket for `key` among `nbuckets` buckets.
+    pub fn bucket(&self, kind: KeyKind, key: &[u8], nbuckets: u32) -> u32 {
+        debug_assert!(nbuckets > 0);
+        match self {
+            HashFn::Mod => match kind {
+                KeyKind::I4 => {
+                    let v = i32::from_le_bytes(
+                        key.try_into().expect("4-byte key"),
+                    );
+                    (v as i64).rem_euclid(nbuckets as i64) as u32
+                }
+                KeyKind::Bytes => {
+                    let sum: u64 =
+                        key.iter().map(|b| *b as u64).sum::<u64>();
+                    (sum % nbuckets as u64) as u32
+                }
+            },
+            HashFn::Multiplicative => {
+                let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+                for b in key {
+                    h ^= *b as u64;
+                    h = h.wrapping_mul(0x100_0000_01b3);
+                }
+                // Final avalanche so low-entropy keys spread across all
+                // bucket counts.
+                h ^= h >> 33;
+                h = h.wrapping_mul(0xff51_afd7_ed55_8ccd);
+                h ^= h >> 33;
+                (h % nbuckets as u64) as u32
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tdbms_kernel::{AttrDef, Schema};
+
+    fn codec() -> RowCodec {
+        let s = Schema::static_relation(vec![
+            AttrDef::new("id", Domain::I4),
+            AttrDef::new("name", Domain::Char(8)),
+        ])
+        .unwrap();
+        RowCodec::new(&s)
+    }
+
+    #[test]
+    fn spec_for_i4_attr() {
+        let c = codec();
+        let k = KeySpec::for_attr(&c, 0);
+        assert_eq!(k, KeySpec { offset: 0, len: 4, kind: KeyKind::I4 });
+        let k2 = KeySpec::for_attr(&c, 1);
+        assert_eq!(k2, KeySpec { offset: 4, len: 8, kind: KeyKind::Bytes });
+    }
+
+    #[test]
+    fn i4_comparison_is_numeric_not_lexicographic() {
+        let k = KeySpec { offset: 0, len: 4, kind: KeyKind::I4 };
+        let a = (-1i32).to_le_bytes();
+        let b = 1i32.to_le_bytes();
+        assert_eq!(k.compare(&a, &b), Ordering::Less);
+        // Lexicographic comparison would get this wrong:
+        assert_eq!(a.as_slice().cmp(b.as_slice()), Ordering::Greater);
+    }
+
+    #[test]
+    fn mod_hash_spreads_sequential_ids_perfectly() {
+        // The property the benchmark relies on: ids 1..=1024 over 128
+        // buckets land exactly 8 per bucket.
+        let mut counts = [0u32; 128];
+        for id in 1..=1024i32 {
+            let b = HashFn::Mod.bucket(KeyKind::I4, &id.to_le_bytes(), 128);
+            counts[b as usize] += 1;
+        }
+        assert!(counts.iter().all(|&c| c == 8));
+    }
+
+    #[test]
+    fn mod_hash_handles_negative_keys() {
+        let b = HashFn::Mod.bucket(KeyKind::I4, &(-3i32).to_le_bytes(), 7);
+        assert!(b < 7);
+    }
+
+    #[test]
+    fn multiplicative_hash_spreads_but_collides() {
+        // Poisson-like behaviour: all buckets hit overall range, but loads
+        // are uneven (that unevenness is the paper's collision overhead).
+        let mut counts = vec![0u32; 114];
+        for id in 1..=1024i32 {
+            let b = HashFn::Multiplicative.bucket(
+                KeyKind::I4,
+                &id.to_le_bytes(),
+                114,
+            );
+            counts[b as usize] += 1;
+        }
+        let max = *counts.iter().max().unwrap();
+        let min = *counts.iter().min().unwrap();
+        assert!(max > min, "loads should be uneven");
+        assert!(max <= 30, "but not degenerate (max {max})");
+        assert_eq!(counts.iter().sum::<u32>(), 1024);
+    }
+
+    #[test]
+    fn bytes_kind_hashes_within_range() {
+        for h in [HashFn::Mod, HashFn::Multiplicative] {
+            let b = h.bucket(KeyKind::Bytes, b"hello   ", 13);
+            assert!(b < 13);
+        }
+    }
+}

@@ -1,0 +1,48 @@
+//! # tdbms-storage
+//!
+//! The Ingres-style page storage engine underneath the temporal DBMS:
+//!
+//! * [`page`] — 1024-byte slotted pages with per-page overflow pointers.
+//! * [`disk`] — page-granularity storage ([`MemDisk`] for benchmarking,
+//!   [`FileDisk`] for durability).
+//! * [`pager`] — buffer management with per-file frame pools (default one
+//!   frame per file, the paper's configuration) and page-access accounting.
+//! * [`iostats`] — the benchmark's metric: page reads/writes per file.
+//! * [`heap`], [`hash`], [`isam`] — the three access methods the paper
+//!   exercises, each with the overflow-chain behaviour its analysis is
+//!   built on.
+//! * [`relfile`] — the access methods behind one interface.
+//! * [`catalog`] — the registry of stored relations plus the `modify`
+//!   reorganization.
+//!
+//! The engine is deliberately faithful to the prototype: static bucket
+//! counts, chain-walking inserts, no early termination on keyed lookups —
+//! because those are the behaviours whose cost the paper measures.
+
+pub mod catalog;
+pub mod disk;
+pub mod hash;
+pub mod heap;
+pub mod iostats;
+pub mod isam;
+pub mod key;
+pub mod page;
+pub mod pager;
+pub mod persist;
+pub mod relfile;
+pub mod secondary;
+pub mod tuple;
+
+pub use catalog::{Catalog, NamedIndex, RelId, StoredRelation};
+pub use disk::{DiskManager, FileDisk, FileId, MemDisk};
+pub use hash::{rows_per_page_at_fill, HashFile};
+pub use heap::HeapFile;
+pub use iostats::{FileIo, IoStats};
+pub use isam::IsamFile;
+pub use key::{HashFn, KeyKind, KeySpec};
+pub use page::{page_capacity, Page, PageKind, NO_PAGE, PAGE_HEADER, PAGE_SIZE};
+pub use pager::Pager;
+pub use persist::{load_catalog, save_catalog};
+pub use relfile::{AccessMethod, RelFile, RelLookup, RelScan};
+pub use secondary::{i4_attr, IndexStructure, SecondaryIndex};
+pub use tuple::TupleId;

@@ -1,0 +1,362 @@
+//! The pager: buffer management plus access accounting.
+//!
+//! The paper's methodology is specific about buffering: "we counted only
+//! disk accesses to user relations, and allocated only 1 buffer for each
+//! user relation so that a page resides in main memory only until another
+//! page from the same relation is brought in." [`Pager`] reproduces that:
+//! each file gets its own small frame pool (default **one** frame), a
+//! buffer hit is free, a miss fetches from the [`DiskManager`] and bumps
+//! the file's read counter, and dirty frames are written back on eviction
+//! or flush (bumping the write counter).
+
+use crate::disk::{DiskManager, FileId, MemDisk};
+use crate::iostats::IoStats;
+use crate::page::{Page, PageKind};
+use tdbms_kernel::Result;
+
+struct Frame {
+    page_no: u32,
+    page: Page,
+    dirty: bool,
+}
+
+struct FilePool {
+    cap: usize,
+    /// MRU-first frame list; tiny (cap is 1 in the benchmark), so linear
+    /// search beats any fancier structure.
+    frames: Vec<Frame>,
+}
+
+/// Buffer-managing page store over a [`DiskManager`].
+pub struct Pager {
+    disk: Box<dyn DiskManager>,
+    pools: std::collections::HashMap<FileId, FilePool>,
+    stats: IoStats,
+    default_cap: usize,
+}
+
+impl Pager {
+    /// A pager over the given disk with the paper's 1-frame-per-file
+    /// buffering.
+    pub fn new(disk: Box<dyn DiskManager>) -> Self {
+        Pager {
+            disk,
+            pools: std::collections::HashMap::new(),
+            stats: IoStats::new(),
+            default_cap: 1,
+        }
+    }
+
+    /// In-memory pager (the benchmark configuration).
+    pub fn in_memory() -> Self {
+        Pager::new(Box::new(MemDisk::new()))
+    }
+
+    /// Change the default buffer frames allotted to newly created files.
+    pub fn set_default_buffer_frames(&mut self, cap: usize) {
+        self.default_cap = cap.max(1);
+    }
+
+    /// Change the buffer frames allotted to one file, evicting as needed.
+    pub fn set_buffer_frames(&mut self, file: FileId, cap: usize) -> Result<()> {
+        let cap = cap.max(1);
+        // Evict overflowing frames (LRU end first).
+        loop {
+            let pool = self.pools.entry(file).or_insert(FilePool {
+                cap,
+                frames: Vec::new(),
+            });
+            pool.cap = cap;
+            if pool.frames.len() <= cap {
+                break;
+            }
+            let frame = pool.frames.pop().expect("nonempty");
+            self.write_back(file, frame)?;
+        }
+        Ok(())
+    }
+
+    /// The access counters.
+    pub fn stats(&self) -> &IoStats {
+        &self.stats
+    }
+
+    /// Zero the access counters (done by the harness before each query).
+    pub fn reset_stats(&mut self) {
+        self.stats.reset();
+    }
+
+    /// Drop every buffered frame (writing dirty ones back) so the next
+    /// access of each page is a cold read. The harness calls this between
+    /// queries so each query starts with cold buffers, as a fresh query
+    /// would in the prototype.
+    pub fn invalidate_buffers(&mut self) -> Result<()> {
+        let files: Vec<FileId> = self.pools.keys().copied().collect();
+        for f in files {
+            let frames = std::mem::take(
+                &mut self.pools.get_mut(&f).expect("present").frames,
+            );
+            for frame in frames {
+                self.write_back(f, frame)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Create a new empty file.
+    pub fn create_file(&mut self) -> Result<FileId> {
+        let id = self.disk.create_file()?;
+        self.pools
+            .insert(id, FilePool { cap: self.default_cap, frames: Vec::new() });
+        Ok(id)
+    }
+
+    /// Delete a file and all its pages and buffers.
+    pub fn drop_file(&mut self, file: FileId) -> Result<()> {
+        self.pools.remove(&file);
+        self.disk.drop_file(file)
+    }
+
+    /// Truncate a file to zero pages (dropping its buffers).
+    pub fn truncate(&mut self, file: FileId) -> Result<()> {
+        if let Some(pool) = self.pools.get_mut(&file) {
+            pool.frames.clear();
+        }
+        self.disk.truncate(file)
+    }
+
+    /// Number of pages in `file`.
+    pub fn page_count(&self, file: FileId) -> Result<u32> {
+        self.disk.page_count(file)
+    }
+
+    fn write_back(&mut self, file: FileId, frame: Frame) -> Result<()> {
+        if frame.dirty {
+            self.disk.write_page(file, frame.page_no, &frame.page)?;
+            self.stats.record_write(file);
+        }
+        Ok(())
+    }
+
+    /// Position the frame for (`file`, `page_no`) at the MRU slot, fetching
+    /// from disk on a miss. Returns the pool index (always 0 after this).
+    fn fault_in(&mut self, file: FileId, page_no: u32) -> Result<()> {
+        let pool =
+            self.pools.entry(file).or_insert_with(|| FilePool {
+                cap: 1,
+                frames: Vec::new(),
+            });
+        if let Some(pos) =
+            pool.frames.iter().position(|f| f.page_no == page_no)
+        {
+            // Hit: move to MRU position.
+            let frame = pool.frames.remove(pos);
+            pool.frames.insert(0, frame);
+            return Ok(());
+        }
+        // Miss: evict if full, then fetch.
+        let evicted = if pool.frames.len() >= pool.cap {
+            pool.frames.pop()
+        } else {
+            None
+        };
+        if let Some(frame) = evicted {
+            self.write_back(file, frame)?;
+        }
+        let page = self.disk.read_page(file, page_no)?;
+        self.stats.record_read(file);
+        let pool = self.pools.get_mut(&file).expect("present");
+        pool.frames.insert(0, Frame { page_no, page, dirty: false });
+        Ok(())
+    }
+
+    /// Read access to a page through the buffer.
+    pub fn read<R>(
+        &mut self,
+        file: FileId,
+        page_no: u32,
+        f: impl FnOnce(&Page) -> R,
+    ) -> Result<R> {
+        self.fault_in(file, page_no)?;
+        let frame = &self.pools.get(&file).expect("present").frames[0];
+        Ok(f(&frame.page))
+    }
+
+    /// Write access to a page through the buffer; marks the frame dirty.
+    pub fn write<R>(
+        &mut self,
+        file: FileId,
+        page_no: u32,
+        f: impl FnOnce(&mut Page) -> R,
+    ) -> Result<R> {
+        self.fault_in(file, page_no)?;
+        let frame =
+            &mut self.pools.get_mut(&file).expect("present").frames[0];
+        frame.dirty = true;
+        Ok(f(&mut frame.page))
+    }
+
+    /// Append a fresh page of the given kind to `file`, placing it in the
+    /// buffer dirty. The write is counted once, when the frame is evicted
+    /// or flushed — so bulk-loading a page counts one output page, exactly
+    /// as the paper's output-cost accounting expects.
+    pub fn append_page(&mut self, file: FileId, kind: PageKind) -> Result<u32> {
+        let page = Page::new(kind);
+        let page_no = self.disk.append_page(file, &page)?;
+        // Install as the MRU frame, dirty, evicting as needed.
+        let pool = self.pools.entry(file).or_insert_with(|| FilePool {
+            cap: 1,
+            frames: Vec::new(),
+        });
+        let evicted = if pool.frames.len() >= pool.cap {
+            pool.frames.pop()
+        } else {
+            None
+        };
+        if let Some(frame) = evicted {
+            self.write_back(file, frame)?;
+        }
+        let pool = self.pools.get_mut(&file).expect("present");
+        pool.frames.insert(0, Frame { page_no, page, dirty: true });
+        Ok(page_no)
+    }
+
+    /// Write all dirty frames of `file` back to disk.
+    pub fn flush_file(&mut self, file: FileId) -> Result<()> {
+        if let Some(pool) = self.pools.get_mut(&file) {
+            let mut dirty = Vec::new();
+            for frame in pool.frames.iter_mut() {
+                if frame.dirty {
+                    frame.dirty = false;
+                    dirty.push((frame.page_no, frame.page.clone()));
+                }
+            }
+            for (page_no, page) in dirty {
+                self.disk.write_page(file, page_no, &page)?;
+                self.stats.record_write(file);
+            }
+        }
+        Ok(())
+    }
+
+    /// Write all dirty frames of all files back to disk.
+    pub fn flush_all(&mut self) -> Result<()> {
+        let files: Vec<FileId> = self.pools.keys().copied().collect();
+        for f in files {
+            self.flush_file(f)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_page_file(pager: &mut Pager) -> FileId {
+        let f = pager.create_file().unwrap();
+        pager.append_page(f, PageKind::Data).unwrap();
+        pager.append_page(f, PageKind::Data).unwrap();
+        pager.flush_file(f).unwrap();
+        pager.invalidate_buffers().unwrap();
+        pager.reset_stats();
+        f
+    }
+
+    #[test]
+    fn repeated_access_to_resident_page_is_free() {
+        let mut pager = Pager::in_memory();
+        let f = two_page_file(&mut pager);
+        for _ in 0..10 {
+            pager.read(f, 0, |_| ()).unwrap();
+        }
+        assert_eq!(pager.stats().of(f).reads, 1);
+    }
+
+    #[test]
+    fn single_frame_alternation_thrashes() {
+        // With 1 buffer per file, alternating between two pages costs one
+        // read per access — the degradation the paper's setup makes visible.
+        let mut pager = Pager::in_memory();
+        let f = two_page_file(&mut pager);
+        for _ in 0..5 {
+            pager.read(f, 0, |_| ()).unwrap();
+            pager.read(f, 1, |_| ()).unwrap();
+        }
+        assert_eq!(pager.stats().of(f).reads, 10);
+    }
+
+    #[test]
+    fn two_frames_stop_the_thrash() {
+        let mut pager = Pager::in_memory();
+        let f = two_page_file(&mut pager);
+        pager.set_buffer_frames(f, 2).unwrap();
+        for _ in 0..5 {
+            pager.read(f, 0, |_| ()).unwrap();
+            pager.read(f, 1, |_| ()).unwrap();
+        }
+        assert_eq!(pager.stats().of(f).reads, 2);
+    }
+
+    #[test]
+    fn files_have_independent_buffers() {
+        let mut pager = Pager::in_memory();
+        let f = two_page_file(&mut pager);
+        let g = two_page_file(&mut pager);
+        pager.reset_stats();
+        for _ in 0..5 {
+            pager.read(f, 0, |_| ()).unwrap();
+            pager.read(g, 0, |_| ()).unwrap();
+        }
+        assert_eq!(pager.stats().of(f).reads, 1);
+        assert_eq!(pager.stats().of(g).reads, 1);
+    }
+
+    #[test]
+    fn dirty_eviction_writes_back_once() {
+        let mut pager = Pager::in_memory();
+        let f = two_page_file(&mut pager);
+        pager.write(f, 0, |p| p.push_row(4, &[1, 2, 3, 4]).unwrap()).unwrap();
+        // Evict page 0 by touching page 1.
+        pager.read(f, 1, |_| ()).unwrap();
+        assert_eq!(pager.stats().of(f).writes, 1);
+        // The mutation survived the round trip.
+        pager
+            .read(f, 0, |p| assert_eq!(p.row(4, 0).unwrap(), &[1, 2, 3, 4]))
+            .unwrap();
+    }
+
+    #[test]
+    fn appended_page_counts_one_write_when_flushed() {
+        let mut pager = Pager::in_memory();
+        let f = pager.create_file().unwrap();
+        pager.reset_stats();
+        let p = pager.append_page(f, PageKind::Data).unwrap();
+        pager.write(f, p, |pg| pg.push_row(4, &[0; 4]).unwrap()).unwrap();
+        pager.write(f, p, |pg| pg.push_row(4, &[1; 4]).unwrap()).unwrap();
+        pager.flush_file(f).unwrap();
+        assert_eq!(pager.stats().of(f).writes, 1);
+        assert_eq!(pager.stats().of(f).reads, 0);
+    }
+
+    #[test]
+    fn truncate_clears_buffers_and_pages() {
+        let mut pager = Pager::in_memory();
+        let f = two_page_file(&mut pager);
+        pager.read(f, 1, |_| ()).unwrap();
+        pager.truncate(f).unwrap();
+        assert_eq!(pager.page_count(f).unwrap(), 0);
+        assert!(pager.read(f, 0, |_| ()).is_err());
+    }
+
+    #[test]
+    fn invalidate_buffers_forces_cold_reads() {
+        let mut pager = Pager::in_memory();
+        let f = two_page_file(&mut pager);
+        pager.read(f, 0, |_| ()).unwrap();
+        pager.invalidate_buffers().unwrap();
+        pager.reset_stats();
+        pager.read(f, 0, |_| ()).unwrap();
+        assert_eq!(pager.stats().of(f).reads, 1);
+    }
+}

@@ -1,0 +1,331 @@
+//! A relation's storage file, whatever its organization.
+//!
+//! [`RelFile`] unifies the three access methods behind one interface so the
+//! query processor can pick an access path ([`RelFile::lookup_eq`] when a
+//! key-equality predicate exists, [`RelFile::scan`] otherwise) without
+//! caring how the relation is organized.
+
+use crate::disk::FileId;
+use crate::hash::{HashFile, HashLookup, HashScan};
+use crate::heap::{HeapFile, HeapScan};
+use crate::isam::{IsamFile, IsamLookup, IsamScan};
+use crate::pager::Pager;
+use crate::tuple::TupleId;
+use tdbms_kernel::{Error, Result};
+
+/// The storage organization of a relation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum AccessMethod {
+    /// Unordered heap (the organization of a freshly created relation).
+    #[default]
+    Heap,
+    /// Static hashing on a key attribute.
+    Hash,
+    /// ISAM on a key attribute.
+    Isam,
+}
+
+impl std::fmt::Display for AccessMethod {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AccessMethod::Heap => write!(f, "heap"),
+            AccessMethod::Hash => write!(f, "hash"),
+            AccessMethod::Isam => write!(f, "isam"),
+        }
+    }
+}
+
+/// A relation's file in one of the three organizations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RelFile {
+    /// Heap organization.
+    Heap(HeapFile),
+    /// Static hash organization.
+    Hash(HashFile),
+    /// ISAM organization.
+    Isam(IsamFile),
+}
+
+impl RelFile {
+    /// The organization tag.
+    pub fn method(&self) -> AccessMethod {
+        match self {
+            RelFile::Heap(_) => AccessMethod::Heap,
+            RelFile::Hash(_) => AccessMethod::Hash,
+            RelFile::Isam(_) => AccessMethod::Isam,
+        }
+    }
+
+    /// The underlying storage file id.
+    pub fn file_id(&self) -> FileId {
+        match self {
+            RelFile::Heap(f) => f.file,
+            RelFile::Hash(f) => f.file,
+            RelFile::Isam(f) => f.file,
+        }
+    }
+
+    /// Fixed row width in bytes.
+    pub fn row_width(&self) -> usize {
+        match self {
+            RelFile::Heap(f) => f.row_width,
+            RelFile::Hash(f) => f.row_width,
+            RelFile::Isam(f) => f.row_width,
+        }
+    }
+
+    /// Insert a row, returning its address.
+    pub fn insert(&self, pager: &mut Pager, row: &[u8]) -> Result<TupleId> {
+        match self {
+            RelFile::Heap(f) => f.insert(pager, row),
+            RelFile::Hash(f) => f.insert(pager, row),
+            RelFile::Isam(f) => f.insert(pager, row),
+        }
+    }
+
+    /// Read the row at `tid`.
+    pub fn get(&self, pager: &mut Pager, tid: TupleId) -> Result<Vec<u8>> {
+        match self {
+            RelFile::Heap(f) => f.get(pager, tid),
+            RelFile::Hash(f) => f.get(pager, tid),
+            RelFile::Isam(f) => f.get(pager, tid),
+        }
+    }
+
+    /// Overwrite the row at `tid` in place.
+    pub fn update(
+        &self,
+        pager: &mut Pager,
+        tid: TupleId,
+        row: &[u8],
+    ) -> Result<()> {
+        match self {
+            RelFile::Heap(f) => f.update(pager, tid, row),
+            RelFile::Hash(f) => f.update(pager, tid, row),
+            RelFile::Isam(f) => f.update(pager, tid, row),
+        }
+    }
+
+    /// Physically remove the row at `tid`, compacting within its page.
+    /// Only static relations delete physically; the compaction moves the
+    /// page's last row into the vacated slot, so callers deleting several
+    /// rows must process slots of one page highest-first.
+    pub fn delete(&self, pager: &mut Pager, tid: TupleId) -> Result<()> {
+        let w = self.row_width();
+        pager.write(self.file_id(), tid.page, |p| {
+            p.remove_row(w, tid.slot).map(|_| ())
+        })?
+    }
+
+    /// Begin a full scan.
+    pub fn scan(&self) -> RelScan {
+        match self {
+            RelFile::Heap(f) => RelScan::Heap(f.scan()),
+            RelFile::Hash(f) => RelScan::Hash(f.scan()),
+            RelFile::Isam(f) => RelScan::Isam(f.scan()),
+        }
+    }
+
+    /// Begin a keyed equality lookup, if this organization supports one.
+    /// Returns `Ok(None)` for heaps (the caller falls back to a scan).
+    pub fn lookup_eq(
+        &self,
+        pager: &mut Pager,
+        key_bytes: &[u8],
+    ) -> Result<Option<RelLookup>> {
+        match self {
+            RelFile::Heap(_) => Ok(None),
+            RelFile::Hash(f) => Ok(Some(RelLookup::Hash(f.lookup(key_bytes)))),
+            RelFile::Isam(f) => {
+                Ok(Some(RelLookup::Isam(f.lookup(pager, key_bytes)?)))
+            }
+        }
+    }
+
+    /// Total pages, including any directory.
+    pub fn total_pages(&self, pager: &Pager) -> Result<u32> {
+        pager.page_count(self.file_id())
+    }
+
+    /// Pages a sequential scan reads (total minus ISAM directory).
+    pub fn scannable_pages(&self, pager: &Pager) -> Result<u32> {
+        match self {
+            RelFile::Isam(f) => f.scannable_pages(pager),
+            _ => self.total_pages(pager),
+        }
+    }
+
+    /// Directory levels a keyed access descends (ISAM only; 0 otherwise).
+    pub fn directory_levels(&self) -> u32 {
+        match self {
+            RelFile::Isam(f) => f.n_levels(),
+            _ => 0,
+        }
+    }
+}
+
+/// A full-scan cursor over any organization.
+#[derive(Debug, Clone)]
+pub enum RelScan {
+    /// Heap scan state.
+    Heap(HeapScan),
+    /// Hash scan state.
+    Hash(HashScan),
+    /// ISAM scan state.
+    Isam(IsamScan),
+}
+
+impl RelScan {
+    /// Advance; `None` at end.
+    pub fn next(
+        &mut self,
+        pager: &mut Pager,
+        file: &RelFile,
+    ) -> Result<Option<(TupleId, Vec<u8>)>> {
+        match (self, file) {
+            (RelScan::Heap(c), RelFile::Heap(f)) => c.next(pager, f),
+            (RelScan::Hash(c), RelFile::Hash(f)) => c.next(pager, f),
+            (RelScan::Isam(c), RelFile::Isam(f)) => c.next(pager, f),
+            _ => Err(Error::Internal(
+                "scan cursor does not match file organization".into(),
+            )),
+        }
+    }
+}
+
+/// A keyed-lookup cursor over a hash or ISAM file.
+#[derive(Debug, Clone)]
+pub enum RelLookup {
+    /// Hash bucket-chain lookup state.
+    Hash(HashLookup),
+    /// ISAM directory-descended lookup state.
+    Isam(IsamLookup),
+}
+
+impl RelLookup {
+    /// Advance; `None` when no more versions match the key.
+    pub fn next(
+        &mut self,
+        pager: &mut Pager,
+        file: &RelFile,
+    ) -> Result<Option<(TupleId, Vec<u8>)>> {
+        match (self, file) {
+            (RelLookup::Hash(c), RelFile::Hash(f)) => c.next(pager, f),
+            (RelLookup::Isam(c), RelFile::Isam(f)) => c.next(pager, f),
+            _ => Err(Error::Internal(
+                "lookup cursor does not match file organization".into(),
+            )),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::key::{HashFn, KeySpec};
+    use tdbms_kernel::{AttrDef, Domain, RowCodec, Schema, Value};
+
+    fn setup() -> (RowCodec, Vec<Vec<u8>>) {
+        let s = Schema::static_relation(vec![
+            AttrDef::new("id", Domain::I4),
+            AttrDef::new("pad", Domain::Char(104)),
+        ])
+        .unwrap();
+        let codec = RowCodec::new(&s);
+        let rows = (1..=40i64)
+            .map(|i| {
+                codec.encode(&[Value::Int(i), Value::Str("x".into())]).unwrap()
+            })
+            .collect();
+        (codec, rows)
+    }
+
+    fn all_organizations(
+        pager: &mut Pager,
+        rows: &[Vec<u8>],
+        key: KeySpec,
+    ) -> Vec<RelFile> {
+        let heap = HeapFile::create(pager, 108).unwrap();
+        for r in rows {
+            heap.insert(pager, r).unwrap();
+        }
+        let hash =
+            HashFile::build(pager, rows, 108, key, HashFn::Mod, 100).unwrap();
+        let isam = IsamFile::build(pager, rows, 108, key, 100).unwrap();
+        vec![RelFile::Heap(heap), RelFile::Hash(hash), RelFile::Isam(isam)]
+    }
+
+    #[test]
+    fn scan_sees_all_rows_in_every_organization() {
+        let (codec, rows) = setup();
+        let mut pager = Pager::in_memory();
+        let key = KeySpec::for_attr(&codec, 0);
+        for rel in all_organizations(&mut pager, &rows, key) {
+            let mut ids: Vec<i32> = Vec::new();
+            let mut cur = rel.scan();
+            while let Some((_, row)) = cur.next(&mut pager, &rel).unwrap() {
+                ids.push(codec.get_i4(&row, 0));
+            }
+            ids.sort_unstable();
+            assert_eq!(
+                ids,
+                (1..=40).collect::<Vec<i32>>(),
+                "organization {:?}",
+                rel.method()
+            );
+        }
+    }
+
+    #[test]
+    fn lookup_eq_matches_organization_capability() {
+        let (codec, rows) = setup();
+        let mut pager = Pager::in_memory();
+        let key = KeySpec::for_attr(&codec, 0);
+        let rels = all_organizations(&mut pager, &rows, key);
+        let kb = 17i32.to_le_bytes();
+        assert!(rels[0].lookup_eq(&mut pager, &kb).unwrap().is_none());
+        for rel in &rels[1..] {
+            let mut cur =
+                rel.lookup_eq(&mut pager, &kb).unwrap().expect("keyed");
+            let (_, row) = cur.next(&mut pager, rel).unwrap().expect("found");
+            assert_eq!(codec.get_i4(&row, 0), 17);
+            assert!(cur.next(&mut pager, rel).unwrap().is_none());
+        }
+    }
+
+    #[test]
+    fn mismatched_cursor_is_an_error() {
+        let (codec, rows) = setup();
+        let mut pager = Pager::in_memory();
+        let key = KeySpec::for_attr(&codec, 0);
+        let rels = all_organizations(&mut pager, &rows, key);
+        let mut heap_cursor = rels[0].scan();
+        assert!(heap_cursor.next(&mut pager, &rels[1]).is_err());
+    }
+
+    #[test]
+    fn delete_compacts_in_any_organization() {
+        let (codec, rows) = setup();
+        let mut pager = Pager::in_memory();
+        let key = KeySpec::for_attr(&codec, 0);
+        for rel in all_organizations(&mut pager, &rows, key) {
+            // Find id 5 and delete it.
+            let mut cur = rel.scan();
+            let mut target = None;
+            while let Some((tid, row)) = cur.next(&mut pager, &rel).unwrap() {
+                if codec.get_i4(&row, 0) == 5 {
+                    target = Some(tid);
+                    break;
+                }
+            }
+            rel.delete(&mut pager, target.unwrap()).unwrap();
+            let mut n = 0;
+            let mut cur = rel.scan();
+            while let Some((_, row)) = cur.next(&mut pager, &rel).unwrap() {
+                assert_ne!(codec.get_i4(&row, 0), 5);
+                n += 1;
+            }
+            assert_eq!(n, 39, "organization {:?}", rel.method());
+        }
+    }
+}

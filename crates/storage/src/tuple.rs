@@ -1,0 +1,46 @@
+//! Tuple identifiers.
+
+/// Physical address of a stored tuple: page number within the relation's
+/// file, plus slot within the page.
+///
+/// Tuple ids are stable for versioned relations (rollback / historical /
+/// temporal never physically remove rows); static relations may move the
+/// last row of a page into a deleted slot, invalidating that row's previous
+/// id — callers that delete collect ids first and delete from the highest
+/// slot down.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TupleId {
+    /// Page number within the relation's file.
+    pub page: u32,
+    /// Slot within the page.
+    pub slot: u16,
+}
+
+impl TupleId {
+    /// Construct a tuple id.
+    pub fn new(page: u32, slot: u16) -> Self {
+        TupleId { page, slot }
+    }
+}
+
+impl std::fmt::Display for TupleId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}:{}", self.page, self.slot)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordering_is_page_major() {
+        assert!(TupleId::new(1, 5) < TupleId::new(2, 0));
+        assert!(TupleId::new(1, 5) < TupleId::new(1, 6));
+    }
+
+    #[test]
+    fn displays_as_page_slot() {
+        assert_eq!(TupleId::new(3, 7).to_string(), "3:7");
+    }
+}

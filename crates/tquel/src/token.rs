@@ -1,0 +1,511 @@
+//! Tokens and the lexer for TQuel.
+//!
+//! TQuel is line-oriented free-form text like its parent Quel: keywords are
+//! case-insensitive, identifiers are `[a-zA-Z_][a-zA-Z0-9_]*`, string
+//! literals are double-quoted (they double as date/time literals, e.g.
+//! `"08:00 1/1/80"`), and statements may optionally be separated by `;`.
+
+use std::fmt;
+use tdbms_kernel::{Error, Result};
+
+/// A lexical token with its source position.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// The token itself.
+    pub kind: TokenKind,
+    /// 1-based source line.
+    pub line: u32,
+    /// 1-based source column.
+    pub col: u32,
+}
+
+/// The kinds of TQuel tokens.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenKind {
+    /// Keyword (already lower-cased).
+    Keyword(Keyword),
+    /// Identifier (already lower-cased).
+    Ident(String),
+    /// Integer literal.
+    Int(i64),
+    /// Float literal.
+    Float(f64),
+    /// Double-quoted string literal (quotes stripped).
+    Str(String),
+    /// `=`
+    Eq,
+    /// `!=` or `<>`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `*`
+    Star,
+    /// `/`
+    Slash,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `,`
+    Comma,
+    /// `.`
+    Dot,
+    /// `;`
+    Semi,
+    /// End of input.
+    Eof,
+}
+
+macro_rules! keywords {
+    ($($variant:ident => $text:literal),+ $(,)?) => {
+        /// Reserved words of TQuel.
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+        #[allow(missing_docs)]
+        pub enum Keyword {
+            $($variant),+
+        }
+
+        impl Keyword {
+            /// Parse a lower-cased word as a keyword. (Not the `FromStr`
+            /// trait: this is infallible-by-Option and keyword-specific.)
+            #[allow(clippy::should_implement_trait)]
+            pub fn from_str(s: &str) -> Option<Keyword> {
+                match s {
+                    $($text => Some(Keyword::$variant),)+
+                    _ => None,
+                }
+            }
+
+            /// The keyword's source text.
+            pub fn as_str(self) -> &'static str {
+                match self {
+                    $(Keyword::$variant => $text),+
+                }
+            }
+        }
+    };
+}
+
+keywords! {
+    Range => "range",
+    Of => "of",
+    Is => "is",
+    Retrieve => "retrieve",
+    Into => "into",
+    Where => "where",
+    When => "when",
+    Valid => "valid",
+    From => "from",
+    To => "to",
+    At => "at",
+    As => "as",
+    Through => "through",
+    Append => "append",
+    Delete => "delete",
+    Replace => "replace",
+    Create => "create",
+    Destroy => "destroy",
+    Modify => "modify",
+    Copy => "copy",
+    On => "on",
+    Persistent => "persistent",
+    Static => "static",
+    Rollback => "rollback",
+    Historical => "historical",
+    Temporal => "temporal",
+    Interval => "interval",
+    Event => "event",
+    Start => "start",
+    End => "end",
+    Overlap => "overlap",
+    Extend => "extend",
+    Precede => "precede",
+    Equal => "equal",
+    And => "and",
+    Or => "or",
+    Not => "not",
+    Mod => "mod",
+    Heap => "heap",
+    Hash => "hash",
+    Isam => "isam",
+    Fillfactor => "fillfactor",
+    Index => "index",
+    Sort => "sort",
+    By => "by",
+    Asc => "asc",
+    Desc => "desc",
+}
+
+impl fmt::Display for TokenKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TokenKind::Keyword(k) => write!(f, "{}", k.as_str()),
+            TokenKind::Ident(s) => write!(f, "{s}"),
+            TokenKind::Int(i) => write!(f, "{i}"),
+            TokenKind::Float(x) => write!(f, "{x}"),
+            TokenKind::Str(s) => write!(f, "\"{s}\""),
+            TokenKind::Eq => write!(f, "="),
+            TokenKind::Ne => write!(f, "!="),
+            TokenKind::Lt => write!(f, "<"),
+            TokenKind::Le => write!(f, "<="),
+            TokenKind::Gt => write!(f, ">"),
+            TokenKind::Ge => write!(f, ">="),
+            TokenKind::Plus => write!(f, "+"),
+            TokenKind::Minus => write!(f, "-"),
+            TokenKind::Star => write!(f, "*"),
+            TokenKind::Slash => write!(f, "/"),
+            TokenKind::LParen => write!(f, "("),
+            TokenKind::RParen => write!(f, ")"),
+            TokenKind::Comma => write!(f, ","),
+            TokenKind::Dot => write!(f, "."),
+            TokenKind::Semi => write!(f, ";"),
+            TokenKind::Eof => write!(f, "<eof>"),
+        }
+    }
+}
+
+/// Tokenize a TQuel source string.
+pub fn lex(src: &str) -> Result<Vec<Token>> {
+    let mut out = Vec::new();
+    let bytes = src.as_bytes();
+    let mut i = 0;
+    let mut line: u32 = 1;
+    let mut col: u32 = 1;
+
+    macro_rules! push {
+        ($kind:expr, $c:expr) => {
+            out.push(Token { kind: $kind, line, col: $c })
+        };
+    }
+
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        let start_col = col;
+        match c {
+            '\n' => {
+                i += 1;
+                line += 1;
+                col = 1;
+            }
+            ' ' | '\t' | '\r' => {
+                i += 1;
+                col += 1;
+            }
+            '/' if i + 1 < bytes.len() && bytes[i + 1] == b'*' => {
+                // Quel comment: /* ... */
+                let mut j = i + 2;
+                loop {
+                    if j + 1 >= bytes.len() {
+                        return Err(Error::Lex {
+                            line,
+                            col: start_col,
+                            msg: "unterminated comment".into(),
+                        });
+                    }
+                    if bytes[j] == b'\n' {
+                        line += 1;
+                        col = 0;
+                    }
+                    if bytes[j] == b'*' && bytes[j + 1] == b'/' {
+                        break;
+                    }
+                    j += 1;
+                    col += 1;
+                }
+                col += 2;
+                i = j + 2;
+            }
+            '"' => {
+                let mut s = String::new();
+                let mut j = i + 1;
+                let mut c2 = col + 1;
+                loop {
+                    if j >= bytes.len() || bytes[j] == b'\n' {
+                        return Err(Error::Lex {
+                            line,
+                            col: start_col,
+                            msg: "unterminated string literal".into(),
+                        });
+                    }
+                    if bytes[j] == b'"' {
+                        break;
+                    }
+                    if bytes[j] == b'\\' && j + 1 < bytes.len() {
+                        s.push(bytes[j + 1] as char);
+                        j += 2;
+                        c2 += 2;
+                    } else {
+                        s.push(bytes[j] as char);
+                        j += 1;
+                        c2 += 1;
+                    }
+                }
+                push!(TokenKind::Str(s), start_col);
+                i = j + 1;
+                col = c2 + 1;
+            }
+            '0'..='9' => {
+                let mut j = i;
+                while j < bytes.len() && bytes[j].is_ascii_digit() {
+                    j += 1;
+                }
+                let is_float = j + 1 < bytes.len()
+                    && bytes[j] == b'.'
+                    && bytes[j + 1].is_ascii_digit();
+                if is_float {
+                    j += 1;
+                    while j < bytes.len() && bytes[j].is_ascii_digit() {
+                        j += 1;
+                    }
+                    let text = &src[i..j];
+                    let v: f64 = text.parse().map_err(|_| Error::Lex {
+                        line,
+                        col: start_col,
+                        msg: format!("bad float literal {text:?}"),
+                    })?;
+                    push!(TokenKind::Float(v), start_col);
+                } else {
+                    let text = &src[i..j];
+                    let v: i64 = text.parse().map_err(|_| Error::Lex {
+                        line,
+                        col: start_col,
+                        msg: format!("integer literal {text:?} overflows"),
+                    })?;
+                    push!(TokenKind::Int(v), start_col);
+                }
+                col += (j - i) as u32;
+                i = j;
+            }
+            'a'..='z' | 'A'..='Z' | '_' => {
+                let mut j = i;
+                while j < bytes.len()
+                    && (bytes[j].is_ascii_alphanumeric() || bytes[j] == b'_')
+                {
+                    j += 1;
+                }
+                let word = src[i..j].to_ascii_lowercase();
+                match Keyword::from_str(&word) {
+                    Some(k) => push!(TokenKind::Keyword(k), start_col),
+                    None => push!(TokenKind::Ident(word), start_col),
+                }
+                col += (j - i) as u32;
+                i = j;
+            }
+            '=' => {
+                push!(TokenKind::Eq, start_col);
+                i += 1;
+                col += 1;
+            }
+            '!' if i + 1 < bytes.len() && bytes[i + 1] == b'=' => {
+                push!(TokenKind::Ne, start_col);
+                i += 2;
+                col += 2;
+            }
+            '<' => {
+                if i + 1 < bytes.len() && bytes[i + 1] == b'=' {
+                    push!(TokenKind::Le, start_col);
+                    i += 2;
+                    col += 2;
+                } else if i + 1 < bytes.len() && bytes[i + 1] == b'>' {
+                    push!(TokenKind::Ne, start_col);
+                    i += 2;
+                    col += 2;
+                } else {
+                    push!(TokenKind::Lt, start_col);
+                    i += 1;
+                    col += 1;
+                }
+            }
+            '>' => {
+                if i + 1 < bytes.len() && bytes[i + 1] == b'=' {
+                    push!(TokenKind::Ge, start_col);
+                    i += 2;
+                    col += 2;
+                } else {
+                    push!(TokenKind::Gt, start_col);
+                    i += 1;
+                    col += 1;
+                }
+            }
+            '+' => {
+                push!(TokenKind::Plus, start_col);
+                i += 1;
+                col += 1;
+            }
+            '-' => {
+                push!(TokenKind::Minus, start_col);
+                i += 1;
+                col += 1;
+            }
+            '*' => {
+                push!(TokenKind::Star, start_col);
+                i += 1;
+                col += 1;
+            }
+            '/' => {
+                push!(TokenKind::Slash, start_col);
+                i += 1;
+                col += 1;
+            }
+            '(' => {
+                push!(TokenKind::LParen, start_col);
+                i += 1;
+                col += 1;
+            }
+            ')' => {
+                push!(TokenKind::RParen, start_col);
+                i += 1;
+                col += 1;
+            }
+            ',' => {
+                push!(TokenKind::Comma, start_col);
+                i += 1;
+                col += 1;
+            }
+            '.' => {
+                push!(TokenKind::Dot, start_col);
+                i += 1;
+                col += 1;
+            }
+            ';' => {
+                push!(TokenKind::Semi, start_col);
+                i += 1;
+                col += 1;
+            }
+            other => {
+                return Err(Error::Lex {
+                    line,
+                    col: start_col,
+                    msg: format!("unexpected character {other:?}"),
+                })
+            }
+        }
+    }
+    out.push(Token { kind: TokenKind::Eof, line, col });
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        lex(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn lexes_a_paper_query() {
+        let toks = kinds("retrieve (h.id) where h.id = 500");
+        assert_eq!(
+            toks,
+            vec![
+                TokenKind::Keyword(Keyword::Retrieve),
+                TokenKind::LParen,
+                TokenKind::Ident("h".into()),
+                TokenKind::Dot,
+                TokenKind::Ident("id".into()),
+                TokenKind::RParen,
+                TokenKind::Keyword(Keyword::Where),
+                TokenKind::Ident("h".into()),
+                TokenKind::Dot,
+                TokenKind::Ident("id".into()),
+                TokenKind::Eq,
+                TokenKind::Int(500),
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn keywords_are_case_insensitive() {
+        assert_eq!(
+            kinds("RETRIEVE Retrieve retrieve")[..3],
+            [
+                TokenKind::Keyword(Keyword::Retrieve),
+                TokenKind::Keyword(Keyword::Retrieve),
+                TokenKind::Keyword(Keyword::Retrieve)
+            ]
+        );
+        // Identifiers are lower-cased (Quel is case-insensitive).
+        assert_eq!(kinds("Temporal_H")[0], TokenKind::Ident("temporal_h".into()));
+    }
+
+    #[test]
+    fn strings_keep_case_and_spaces() {
+        assert_eq!(
+            kinds("\"08:00 1/1/80\"")[0],
+            TokenKind::Str("08:00 1/1/80".into())
+        );
+        assert_eq!(kinds(r#""a\"b""#)[0], TokenKind::Str("a\"b".into()));
+    }
+
+    #[test]
+    fn numbers_and_operators() {
+        assert_eq!(
+            kinds("1 2.5 <= >= != <> < > = + - * /"),
+            vec![
+                TokenKind::Int(1),
+                TokenKind::Float(2.5),
+                TokenKind::Le,
+                TokenKind::Ge,
+                TokenKind::Ne,
+                TokenKind::Ne,
+                TokenKind::Lt,
+                TokenKind::Gt,
+                TokenKind::Eq,
+                TokenKind::Plus,
+                TokenKind::Minus,
+                TokenKind::Star,
+                TokenKind::Slash,
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        // retrieve ( h . id ) <eof> — the comment vanishes.
+        assert_eq!(
+            kinds("retrieve /* 1024 tuples, hashed on id */ (h.id)").len(),
+            7
+        );
+    }
+
+    #[test]
+    fn errors_carry_positions() {
+        match lex("retrieve\n  @") {
+            Err(Error::Lex { line, col, .. }) => {
+                assert_eq!((line, col), (2, 3));
+            }
+            other => panic!("expected lex error, got {other:?}"),
+        }
+        assert!(lex("\"unterminated").is_err());
+        assert!(lex("/* unterminated").is_err());
+        assert!(lex("99999999999999999999").is_err());
+    }
+
+    #[test]
+    fn time_keywords_tokenize_as_keywords() {
+        assert_eq!(
+            kinds("when h overlap i as of \"1981\"")[..6],
+            [
+                TokenKind::Keyword(Keyword::When),
+                TokenKind::Ident("h".into()),
+                TokenKind::Keyword(Keyword::Overlap),
+                TokenKind::Ident("i".into()),
+                TokenKind::Keyword(Keyword::As),
+                TokenKind::Keyword(Keyword::Of),
+            ]
+        );
+    }
+}

@@ -1,0 +1,324 @@
+//! The history store: where non-current versions live.
+//!
+//! Two layouts, as in Figure 10 of the paper:
+//!
+//! * [`HistoryStore::Simple`] — an append-only heap. Cheap to maintain
+//!   (one insert per superseded version) but a version scan for one tuple
+//!   must read every history page.
+//! * [`HistoryStore::Clustered`] — the history versions of each tuple are
+//!   clustered into pages owned by that tuple, with an in-memory directory
+//!   from key to its cluster's pages. A version scan reads only
+//!   `ceil(versions / capacity)` pages — the paper's "28 history versions
+//!   into 4 pages".
+//!
+//! Because history versions are never updated in place, both layouts are
+//! strictly append-only (write-once-media friendly, as the paper notes).
+
+use std::collections::HashMap;
+use tdbms_kernel::{Error, Result};
+use tdbms_storage::{
+    page_capacity, FileId, HeapFile, KeySpec, Pager, PageKind, TupleId,
+};
+
+/// Key bytes, owned (small: 1-8 bytes for practical keys).
+type KeyBuf = Vec<u8>;
+
+/// The two history-store layouts.
+#[derive(Debug)]
+pub enum HistoryStore {
+    /// Append-only heap of history versions.
+    Simple {
+        /// The heap file.
+        heap: HeapFile,
+        /// Key location within a row (used only to answer keyed scans by
+        /// filtering).
+        key: KeySpec,
+    },
+    /// Per-tuple clustered pages with an in-memory cluster directory.
+    Clustered {
+        /// The storage file.
+        file: FileId,
+        /// Fixed row width.
+        row_width: usize,
+        /// Key location within a row.
+        key: KeySpec,
+        /// Cluster directory: key bytes → pages holding that tuple's
+        /// history, in insertion order. The last page may have room.
+        clusters: HashMap<KeyBuf, Vec<u32>>,
+    },
+}
+
+impl HistoryStore {
+    /// Create an empty simple history store.
+    pub fn simple(pager: &mut Pager, row_width: usize, key: KeySpec) -> Result<Self> {
+        Ok(HistoryStore::Simple { heap: HeapFile::create(pager, row_width)?, key })
+    }
+
+    /// Create an empty clustered history store.
+    pub fn clustered(
+        pager: &mut Pager,
+        row_width: usize,
+        key: KeySpec,
+    ) -> Result<Self> {
+        let file = pager.create_file()?;
+        Ok(HistoryStore::Clustered {
+            file,
+            row_width,
+            key,
+            clusters: HashMap::new(),
+        })
+    }
+
+    /// The underlying file.
+    pub fn file_id(&self) -> FileId {
+        match self {
+            HistoryStore::Simple { heap, .. } => heap.file,
+            HistoryStore::Clustered { file, .. } => *file,
+        }
+    }
+
+    /// Total pages of history.
+    pub fn total_pages(&self, pager: &Pager) -> Result<u32> {
+        pager.page_count(self.file_id())
+    }
+
+    /// Append one superseded version.
+    pub fn push(&mut self, pager: &mut Pager, row: &[u8]) -> Result<TupleId> {
+        match self {
+            HistoryStore::Simple { heap, .. } => heap.insert(pager, row),
+            HistoryStore::Clustered { file, row_width, key, clusters } => {
+                if row.len() != *row_width {
+                    return Err(Error::RowSize {
+                        expected: *row_width,
+                        got: row.len(),
+                    });
+                }
+                let kb = key.extract(row).to_vec();
+                let pages = clusters.entry(kb).or_default();
+                if let Some(&last) = pages.last() {
+                    let w = *row_width;
+                    let slot = pager.write(*file, last, |p| {
+                        if p.has_room(w) {
+                            Some(p.push_row(w, row))
+                        } else {
+                            None
+                        }
+                    })?;
+                    if let Some(slot) = slot {
+                        return Ok(TupleId::new(last, slot?));
+                    }
+                }
+                let page_no = pager.append_page(*file, PageKind::Data)?;
+                pages.push(page_no);
+                let slot = pager
+                    .write(*file, page_no, |p| p.push_row(*row_width, row))??;
+                Ok(TupleId::new(page_no, slot))
+            }
+        }
+    }
+
+    /// Visit every history version of `key_bytes`, in insertion order.
+    /// Simple layout scans the whole store; clustered reads only the
+    /// tuple's own pages.
+    pub fn for_key(
+        &self,
+        pager: &mut Pager,
+        key_bytes: &[u8],
+        mut f: impl FnMut(&[u8]) -> Result<()>,
+    ) -> Result<()> {
+        match self {
+            HistoryStore::Simple { heap, key } => {
+                let mut cur = heap.scan();
+                while let Some((_, row)) = cur.next(pager, heap)? {
+                    if key.compare(key.extract(&row), key_bytes)
+                        == std::cmp::Ordering::Equal
+                    {
+                        f(&row)?;
+                    }
+                }
+                Ok(())
+            }
+            HistoryStore::Clustered { file, row_width, key, clusters } => {
+                let Some(pages) = clusters.get(key_bytes) else {
+                    return Ok(());
+                };
+                for &page_no in pages {
+                    let rows: Vec<Vec<u8>> =
+                        pager.read(*file, page_no, |p| {
+                            p.rows(*row_width)
+                                .map(|(_, r)| r.to_vec())
+                                .collect()
+                        })?;
+                    for row in rows {
+                        if key.compare(key.extract(&row), key_bytes)
+                            == std::cmp::Ordering::Equal
+                        {
+                            f(&row)?;
+                        }
+                    }
+                }
+                Ok(())
+            }
+        }
+    }
+
+    /// Visit every history version.
+    pub fn for_all(
+        &self,
+        pager: &mut Pager,
+        mut f: impl FnMut(&[u8]) -> Result<()>,
+    ) -> Result<()> {
+        match self {
+            HistoryStore::Simple { heap, .. } => {
+                let mut cur = heap.scan();
+                while let Some((_, row)) = cur.next(pager, heap)? {
+                    f(&row)?;
+                }
+                Ok(())
+            }
+            HistoryStore::Clustered { file, row_width, .. } => {
+                let n = pager.page_count(*file)?;
+                for page_no in 0..n {
+                    let rows: Vec<Vec<u8>> =
+                        pager.read(*file, page_no, |p| {
+                            p.rows(*row_width)
+                                .map(|(_, r)| r.to_vec())
+                                .collect()
+                        })?;
+                    for row in rows {
+                        f(&row)?;
+                    }
+                }
+                Ok(())
+            }
+        }
+    }
+
+    /// Pages a keyed history access touches (without performing it):
+    /// `ceil(versions / capacity)` for a clustered store.
+    pub fn cluster_pages(&self, key_bytes: &[u8]) -> Option<u32> {
+        match self {
+            HistoryStore::Simple { .. } => None,
+            HistoryStore::Clustered { clusters, .. } => Some(
+                clusters.get(key_bytes).map(|p| p.len() as u32).unwrap_or(0),
+            ),
+        }
+    }
+
+    /// Row capacity per page for this store's rows.
+    pub fn rows_per_page(&self) -> usize {
+        match self {
+            HistoryStore::Simple { heap, .. } => page_capacity(heap.row_width),
+            HistoryStore::Clustered { row_width, .. } => {
+                page_capacity(*row_width)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tdbms_storage::KeyKind;
+
+    const W: usize = 124; // temporal benchmark row width → 8 per page
+
+    fn row(id: i32, tag: u8) -> Vec<u8> {
+        let mut r = vec![tag; W];
+        r[..4].copy_from_slice(&id.to_le_bytes());
+        r
+    }
+
+    fn key() -> KeySpec {
+        KeySpec { offset: 0, len: 4, kind: KeyKind::I4 }
+    }
+
+    fn fill(store: &mut HistoryStore, pager: &mut Pager) {
+        // 28 versions each for ids 1..=4, interleaved by round (the order
+        // updates actually produce).
+        for round in 0..28u8 {
+            for id in 1..=4 {
+                store.push(pager, &row(id, round)).unwrap();
+            }
+        }
+    }
+
+    #[test]
+    fn clustered_version_access_reads_only_the_cluster() {
+        let mut pager = Pager::in_memory();
+        let mut store = HistoryStore::clustered(&mut pager, W, key()).unwrap();
+        fill(&mut store, &mut pager);
+        // 28 versions at 8/page = 4 pages per tuple — the paper's number.
+        assert_eq!(store.cluster_pages(&1i32.to_le_bytes()), Some(4));
+        pager.invalidate_buffers().unwrap();
+        pager.reset_stats();
+        let mut n = 0;
+        store
+            .for_key(&mut pager, &2i32.to_le_bytes(), |_| {
+                n += 1;
+                Ok(())
+            })
+            .unwrap();
+        assert_eq!(n, 28);
+        assert_eq!(pager.stats().of(store.file_id()).reads, 4);
+    }
+
+    #[test]
+    fn simple_version_access_scans_everything() {
+        let mut pager = Pager::in_memory();
+        let mut store = HistoryStore::simple(&mut pager, W, key()).unwrap();
+        fill(&mut store, &mut pager);
+        pager.invalidate_buffers().unwrap();
+        pager.reset_stats();
+        let mut n = 0;
+        store
+            .for_key(&mut pager, &2i32.to_le_bytes(), |_| {
+                n += 1;
+                Ok(())
+            })
+            .unwrap();
+        assert_eq!(n, 28);
+        // 4 tuples × 28 versions / 8 per page = 14 pages, all read.
+        assert_eq!(pager.stats().of(store.file_id()).reads, 14);
+    }
+
+    #[test]
+    fn both_layouts_hold_the_same_versions() {
+        let mut pager = Pager::in_memory();
+        let mut simple = HistoryStore::simple(&mut pager, W, key()).unwrap();
+        let mut clustered =
+            HistoryStore::clustered(&mut pager, W, key()).unwrap();
+        fill(&mut simple, &mut pager);
+        fill(&mut clustered, &mut pager);
+        let collect = |s: &HistoryStore, pager: &mut Pager| {
+            let mut rows: Vec<Vec<u8>> = Vec::new();
+            s.for_all(pager, |r| {
+                rows.push(r.to_vec());
+                Ok(())
+            })
+            .unwrap();
+            rows.sort();
+            rows
+        };
+        assert_eq!(
+            collect(&simple, &mut pager),
+            collect(&clustered, &mut pager)
+        );
+    }
+
+    #[test]
+    fn unknown_key_visits_nothing() {
+        let mut pager = Pager::in_memory();
+        let mut store = HistoryStore::clustered(&mut pager, W, key()).unwrap();
+        fill(&mut store, &mut pager);
+        let mut n = 0;
+        store
+            .for_key(&mut pager, &99i32.to_le_bytes(), |_| {
+                n += 1;
+                Ok(())
+            })
+            .unwrap();
+        assert_eq!(n, 0);
+        assert_eq!(store.cluster_pages(&99i32.to_le_bytes()), Some(0));
+    }
+}

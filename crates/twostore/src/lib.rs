@@ -1,0 +1,27 @@
+//! # tdbms-twostore
+//!
+//! The performance enhancements proposed in Section 6 of the paper,
+//! implemented and measurable (the paper only *estimated* them):
+//!
+//! * [`TwoLevelStore`] — current versions in a keyed primary store updated
+//!   in place, superseded versions in an append-only history store. Static
+//!   queries touch only the primary store, so their cost stops growing
+//!   with the update count.
+//! * [`HistoryStore`] — simple (heap) or clustered per-tuple layout for
+//!   history versions; clustering turns a version scan from "length of an
+//!   overflow chain" into "ceil(versions / page capacity)".
+//! * [`SecondaryIndex`] — heap- or hash-structured indexes on non-key
+//!   attributes, at one level (all versions) or two levels (current +
+//!   history separately), reproducing the Figure 10 comparison.
+
+pub mod history;
+pub mod twolevel;
+
+/// Secondary indexing lives in `tdbms-storage` (the query processor uses
+/// it too); re-exported here because it is conceptually a Section 6
+/// enhancement.
+pub use tdbms_storage::secondary;
+
+pub use history::HistoryStore;
+pub use secondary::{i4_attr, IndexStructure, SecondaryIndex};
+pub use twolevel::{is_current_row, HistoryLayout, TwoLevelStore};

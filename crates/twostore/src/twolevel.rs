@@ -1,0 +1,518 @@
+//! The two-level store of Section 6: current versions in a *primary
+//! store*, everything else in a *history store*.
+//!
+//! "The primary store contains current versions which can satisfy all
+//! non-temporal queries … The history store holds the remaining history
+//! versions. This scheme to separate current data from the bulk of history
+//! data can minimize the overhead for non-temporal queries, and at the
+//! same time provide a fast access path for temporal queries."
+//!
+//! The primary store is an ordinary keyed file (hash or ISAM) holding
+//! exactly one version per tuple, updated *in place* on replace — so its
+//! size, and with it the cost of every static query, stays constant no
+//! matter how many updates the relation has seen. Superseded versions move
+//! to the [`HistoryStore`].
+
+use crate::history::HistoryStore;
+use tdbms_kernel::{
+    Error, Result, RowCodec, Schema, TemporalAttr, TimeVal,
+};
+use tdbms_storage::{
+    AccessMethod, HashFile, HashFn, IsamFile, KeySpec, Pager, RelFile,
+};
+
+/// Which history layout a store uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HistoryLayout {
+    /// Append-only heap.
+    Simple,
+    /// Per-tuple clustered pages.
+    Clustered,
+}
+
+/// A temporal (or historical) relation stored as primary + history.
+#[derive(Debug)]
+pub struct TwoLevelStore {
+    schema: Schema,
+    codec: RowCodec,
+    /// The primary store: one current version per tuple.
+    primary: RelFile,
+    /// The history store.
+    history: HistoryStore,
+    n_current: u64,
+    n_history: u64,
+}
+
+impl TwoLevelStore {
+    /// Partition `rows` (full stored rows of `schema`) into a two-level
+    /// store. `schema` must carry valid and/or transaction time.
+    #[allow(clippy::too_many_arguments)]
+    pub fn build_from_rows(
+        pager: &mut Pager,
+        schema: &Schema,
+        rows: &[Vec<u8>],
+        key_attr: usize,
+        primary_method: AccessMethod,
+        fillfactor: u8,
+        hashfn: HashFn,
+        layout: HistoryLayout,
+    ) -> Result<Self> {
+        if !schema.class().has_valid_time()
+            && !schema.class().has_transaction_time()
+        {
+            return Err(Error::NotApplicable(
+                "a two-level store needs a versioned relation".into(),
+            ));
+        }
+        let codec = RowCodec::new(schema);
+        let key = KeySpec::for_attr(&codec, key_attr);
+        let width = schema.row_width();
+
+        let mut current: Vec<Vec<u8>> = Vec::new();
+        let mut past: Vec<&Vec<u8>> = Vec::new();
+        for row in rows {
+            if is_current_row(schema, &codec, row) {
+                current.push(row.clone());
+            } else {
+                past.push(row);
+            }
+        }
+
+        let primary = match primary_method {
+            AccessMethod::Hash => RelFile::Hash(HashFile::build(
+                pager, &current, width, key, hashfn, fillfactor,
+            )?),
+            AccessMethod::Isam => RelFile::Isam(IsamFile::build(
+                pager, &current, width, key, fillfactor,
+            )?),
+            AccessMethod::Heap => {
+                return Err(Error::NotApplicable(
+                    "the primary store must be keyed (hash or isam)".into(),
+                ))
+            }
+        };
+        let mut history = match layout {
+            HistoryLayout::Simple => HistoryStore::simple(pager, width, key)?,
+            HistoryLayout::Clustered => {
+                HistoryStore::clustered(pager, width, key)?
+            }
+        };
+        let n_history = past.len() as u64;
+        for row in past {
+            history.push(pager, row)?;
+        }
+        pager.flush_all()?;
+        Ok(TwoLevelStore {
+            schema: schema.clone(),
+            codec,
+            primary,
+            history,
+            n_current: current.len() as u64,
+            n_history,
+        })
+    }
+
+    /// The primary store file (for running static queries against).
+    pub fn primary(&self) -> &RelFile {
+        &self.primary
+    }
+
+    /// The history store.
+    pub fn history(&self) -> &HistoryStore {
+        &self.history
+    }
+
+    /// The schema of stored rows.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// The row codec.
+    pub fn codec(&self) -> &RowCodec {
+        &self.codec
+    }
+
+    /// Count of current versions.
+    pub fn current_count(&self) -> u64 {
+        self.n_current
+    }
+
+    /// Count of history versions.
+    pub fn history_count(&self) -> u64 {
+        self.n_history
+    }
+
+    /// Total pages (primary + history).
+    pub fn total_pages(&self, pager: &Pager) -> Result<u32> {
+        Ok(self.primary.total_pages(pager)?
+            + self.history.total_pages(pager)?)
+    }
+
+    /// Fetch the current version of `key_bytes` from the primary store.
+    pub fn current_for_key(
+        &self,
+        pager: &mut Pager,
+        key_bytes: &[u8],
+    ) -> Result<Option<(tdbms_storage::TupleId, Vec<u8>)>> {
+        let mut cur = self
+            .primary
+            .lookup_eq(pager, key_bytes)?
+            .ok_or_else(|| Error::Internal("primary store is keyed".into()))?;
+        cur.next(pager, &self.primary)
+    }
+
+    /// Version scan: the current version plus every history version of
+    /// one tuple — the two-level answer to the paper's Q01/Q02.
+    pub fn versions_for_key(
+        &self,
+        pager: &mut Pager,
+        key_bytes: &[u8],
+    ) -> Result<Vec<Vec<u8>>> {
+        let mut out = Vec::new();
+        if let Some((_, row)) = self.current_for_key(pager, key_bytes)? {
+            out.push(row);
+        }
+        self.history.for_key(pager, key_bytes, |row| {
+            out.push(row.to_vec());
+            Ok(())
+        })?;
+        Ok(out)
+    }
+
+    /// Append a brand-new tuple (its row must be current-shaped: open
+    /// valid/transaction end).
+    pub fn append(&mut self, pager: &mut Pager, row: &[u8]) -> Result<()> {
+        if !is_current_row(&self.schema, &self.codec, row) {
+            return Err(Error::BadValue(
+                "appended version must be current (open-ended)".into(),
+            ));
+        }
+        self.primary.insert(pager, row)?;
+        self.n_current += 1;
+        Ok(())
+    }
+
+    /// Replace the current version of `key_bytes`: the temporal-relation
+    /// semantics of Section 4, restaged for the two-level layout. The old
+    /// version (stamped dead) and its closed copy go to the history store;
+    /// the new version overwrites the primary slot **in place**, so the
+    /// primary store never grows.
+    pub fn replace_current(
+        &mut self,
+        pager: &mut Pager,
+        key_bytes: &[u8],
+        now: TimeVal,
+        update_explicit: impl FnOnce(&mut Vec<u8>),
+    ) -> Result<bool> {
+        let Some((tid, old)) = self.current_for_key(pager, key_bytes)? else {
+            return Ok(false);
+        };
+        let has_tx = self.schema.class().has_transaction_time();
+        let ts_stop = self.schema.temporal_index(TemporalAttr::TransactionStop);
+        let ts_start =
+            self.schema.temporal_index(TemporalAttr::TransactionStart);
+        let valid_from = self.schema.temporal_index(TemporalAttr::ValidFrom);
+        let valid_to = self.schema.temporal_index(TemporalAttr::ValidTo);
+
+        // Dead original (transaction-time relations only).
+        if has_tx {
+            let mut dead = old.clone();
+            self.codec.put_time(&mut dead, ts_stop.expect("tx"), now);
+            self.history.push(pager, &dead)?;
+            self.n_history += 1;
+        }
+        // Closed copy: the version was valid until now.
+        if let Some(vt) = valid_to {
+            let mut closed = old.clone();
+            self.codec.put_time(&mut closed, vt, now);
+            if let (Some(s), Some(e)) = (ts_start, ts_stop) {
+                self.codec.put_time(&mut closed, s, now);
+                self.codec.put_time(&mut closed, e, TimeVal::FOREVER);
+            }
+            self.history.push(pager, &closed)?;
+            self.n_history += 1;
+        }
+        // New current version, in place.
+        let mut fresh = old;
+        update_explicit(&mut fresh);
+        if let Some(vf) = valid_from {
+            self.codec.put_time(&mut fresh, vf, now);
+        }
+        if let Some(vt) = valid_to {
+            self.codec.put_time(&mut fresh, vt, TimeVal::FOREVER);
+        }
+        if let (Some(s), Some(e)) = (ts_start, ts_stop) {
+            self.codec.put_time(&mut fresh, s, now);
+            self.codec.put_time(&mut fresh, e, TimeVal::FOREVER);
+        }
+        self.primary.update(pager, tid, &fresh)?;
+        Ok(true)
+    }
+
+    /// Delete the current version of `key_bytes`: history receives the
+    /// dead original and (for valid-time relations) the closed copy; the
+    /// primary slot is freed.
+    pub fn delete_current(
+        &mut self,
+        pager: &mut Pager,
+        key_bytes: &[u8],
+        now: TimeVal,
+    ) -> Result<bool> {
+        let Some((tid, old)) = self.current_for_key(pager, key_bytes)? else {
+            return Ok(false);
+        };
+        let has_tx = self.schema.class().has_transaction_time();
+        let ts_stop = self.schema.temporal_index(TemporalAttr::TransactionStop);
+        let ts_start =
+            self.schema.temporal_index(TemporalAttr::TransactionStart);
+        let valid_to = self.schema.temporal_index(TemporalAttr::ValidTo);
+        if has_tx {
+            let mut dead = old.clone();
+            self.codec.put_time(&mut dead, ts_stop.expect("tx"), now);
+            self.history.push(pager, &dead)?;
+            self.n_history += 1;
+        }
+        if let Some(vt) = valid_to {
+            let mut closed = old.clone();
+            self.codec.put_time(&mut closed, vt, now);
+            if let (Some(s), Some(e)) = (ts_start, ts_stop) {
+                self.codec.put_time(&mut closed, s, now);
+                self.codec.put_time(&mut closed, e, TimeVal::FOREVER);
+            }
+            self.history.push(pager, &closed)?;
+            self.n_history += 1;
+        }
+        self.primary.delete(pager, tid)?;
+        self.n_current -= 1;
+        Ok(true)
+    }
+}
+
+/// Is this stored row a current version (open-ended in both the times its
+/// schema records)?
+pub fn is_current_row(schema: &Schema, codec: &RowCodec, row: &[u8]) -> bool {
+    if let Some(i) = schema.temporal_index(TemporalAttr::TransactionStop) {
+        if !codec.get_time(row, i).is_forever() {
+            return false;
+        }
+    }
+    if let Some(i) = schema.temporal_index(TemporalAttr::ValidTo) {
+        if !codec.get_time(row, i).is_forever() {
+            return false;
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tdbms_kernel::{AttrDef, DatabaseClass, Domain, TemporalKind, Value};
+
+    fn schema() -> Schema {
+        Schema::new(
+            vec![
+                AttrDef::new("id", Domain::I4),
+                AttrDef::new("amount", Domain::I4),
+                AttrDef::new("seq", Domain::I4),
+                AttrDef::new("string", Domain::Char(96)),
+            ],
+            DatabaseClass::Temporal,
+            TemporalKind::Interval,
+        )
+        .unwrap()
+    }
+
+    fn initial_rows(schema: &Schema, n: i64) -> (RowCodec, Vec<Vec<u8>>) {
+        let codec = RowCodec::new(schema);
+        let t0 = TimeVal::from_ymd(1980, 1, 1).unwrap();
+        let rows = (1..=n)
+            .map(|i| {
+                codec
+                    .encode(&[
+                        Value::Int(i),
+                        Value::Int(i * 100),
+                        Value::Int(0),
+                        Value::Str("x".into()),
+                        Value::Time(t0),
+                        Value::Time(TimeVal::FOREVER),
+                        Value::Time(t0),
+                        Value::Time(TimeVal::FOREVER),
+                    ])
+                    .unwrap()
+            })
+            .collect();
+        (codec, rows)
+    }
+
+    fn store_with_updates(
+        pager: &mut Pager,
+        layout: HistoryLayout,
+        n: i64,
+        rounds: u32,
+    ) -> (TwoLevelStore, RowCodec) {
+        let schema = schema();
+        let (codec, rows) = initial_rows(&schema, n);
+        let mut store = TwoLevelStore::build_from_rows(
+            pager,
+            &schema,
+            &rows,
+            0,
+            AccessMethod::Hash,
+            100,
+            HashFn::Mod,
+            layout,
+        )
+        .unwrap();
+        let mut t = TimeVal::from_ymd(1980, 3, 1).unwrap();
+        for _ in 0..rounds {
+            for id in 1..=n {
+                let kb = (id as i32).to_le_bytes();
+                let c2 = codec.clone();
+                store
+                    .replace_current(pager, &kb, t, |row| {
+                        let seq = c2.get_i4(row, 2);
+                        c2.put(row, 2, &Value::Int(seq as i64 + 1)).unwrap();
+                    })
+                    .unwrap();
+                t = t.saturating_add_secs(60);
+            }
+        }
+        (store, codec)
+    }
+
+    #[test]
+    fn primary_store_never_grows() {
+        let mut pager = Pager::in_memory();
+        let (store, _) =
+            store_with_updates(&mut pager, HistoryLayout::Simple, 64, 0);
+        let p0 = store.primary().total_pages(&pager).unwrap();
+        let mut pager = Pager::in_memory();
+        let (store, _) =
+            store_with_updates(&mut pager, HistoryLayout::Simple, 64, 14);
+        assert_eq!(store.primary().total_pages(&pager).unwrap(), p0);
+        // History took the 2-per-replace versions.
+        assert_eq!(store.history_count(), 2 * 14 * 64);
+    }
+
+    #[test]
+    fn static_query_cost_is_constant_in_update_count() {
+        for rounds in [0, 5, 14] {
+            let mut pager = Pager::in_memory();
+            let (store, codec) = store_with_updates(
+                &mut pager,
+                HistoryLayout::Simple,
+                64,
+                rounds,
+            );
+            pager.invalidate_buffers().unwrap();
+            pager.reset_stats();
+            let (_, row) = store
+                .current_for_key(&mut pager, &7i32.to_le_bytes())
+                .unwrap()
+                .expect("current version exists");
+            assert_eq!(codec.get_i4(&row, 2) as u32, rounds);
+            // Exactly one page, at any update count — the paper's Q05
+            // improvement.
+            assert_eq!(
+                pager.stats().of(store.primary().file_id()).reads,
+                1
+            );
+            assert_eq!(
+                pager.stats().of(store.history().file_id()).reads,
+                0
+            );
+        }
+    }
+
+    #[test]
+    fn clustered_version_scan_costs_cluster_pages_plus_one() {
+        let mut pager = Pager::in_memory();
+        let (store, _) =
+            store_with_updates(&mut pager, HistoryLayout::Clustered, 64, 14);
+        pager.invalidate_buffers().unwrap();
+        pager.reset_stats();
+        let versions =
+            store.versions_for_key(&mut pager, &7i32.to_le_bytes()).unwrap();
+        // 1 current + 28 history.
+        assert_eq!(versions.len(), 29);
+        // 1 primary page + ceil(28/8) = 4 cluster pages — Figure 10's "5".
+        let reads = pager.stats().of(store.primary().file_id()).reads
+            + pager.stats().of(store.history().file_id()).reads;
+        assert_eq!(reads, 5);
+    }
+
+    #[test]
+    fn version_multiset_matches_expected_counts() {
+        let mut pager = Pager::in_memory();
+        let (store, codec) =
+            store_with_updates(&mut pager, HistoryLayout::Clustered, 8, 3);
+        // Per tuple: 1 current + 2 per round history.
+        for id in 1..=8i32 {
+            let versions = store
+                .versions_for_key(&mut pager, &id.to_le_bytes())
+                .unwrap();
+            assert_eq!(versions.len(), 1 + 2 * 3, "tuple {id}");
+            // Current version carries the final seq.
+            assert_eq!(codec.get_i4(&versions[0], 2), 3);
+        }
+    }
+
+    #[test]
+    fn delete_moves_versions_to_history() {
+        let mut pager = Pager::in_memory();
+        let (mut store, _) =
+            store_with_updates(&mut pager, HistoryLayout::Simple, 8, 1);
+        let t = TimeVal::from_ymd(1981, 1, 1).unwrap();
+        assert!(store
+            .delete_current(&mut pager, &3i32.to_le_bytes(), t)
+            .unwrap());
+        assert!(!store
+            .delete_current(&mut pager, &3i32.to_le_bytes(), t)
+            .unwrap());
+        assert_eq!(store.current_count(), 7);
+        assert!(store
+            .current_for_key(&mut pager, &3i32.to_le_bytes())
+            .unwrap()
+            .is_none());
+        // 2 from the replace round + 2 from the delete.
+        let versions =
+            store.versions_for_key(&mut pager, &3i32.to_le_bytes()).unwrap();
+        assert_eq!(versions.len(), 4);
+    }
+
+    #[test]
+    fn rejects_heap_primary_and_static_schema() {
+        let mut pager = Pager::in_memory();
+        let s = schema();
+        let (_, rows) = initial_rows(&s, 4);
+        assert!(TwoLevelStore::build_from_rows(
+            &mut pager,
+            &s,
+            &rows,
+            0,
+            AccessMethod::Heap,
+            100,
+            HashFn::Mod,
+            HistoryLayout::Simple,
+        )
+        .is_err());
+        let static_schema = Schema::new(
+            vec![AttrDef::new("id", Domain::I4)],
+            DatabaseClass::Static,
+            TemporalKind::Interval,
+        )
+        .unwrap();
+        assert!(TwoLevelStore::build_from_rows(
+            &mut pager,
+            &static_schema,
+            &[],
+            0,
+            AccessMethod::Hash,
+            100,
+            HashFn::Mod,
+            HistoryLayout::Simple,
+        )
+        .is_err());
+    }
+}

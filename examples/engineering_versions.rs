@@ -1,0 +1,105 @@
+//! Version management for engineering design data on a temporal database.
+//!
+//! The paper's introduction points at "version management and design
+//! control in computer aided design" (Katz & Lehman 1984) as a driver for
+//! temporal support. A temporal relation gives a design database both
+//! axes for free: *valid time* says when a part revision was the released
+//! design, *transaction time* says when the database learned it — so
+//! "which drawing was current when unit 42 was built, according to what
+//! we knew at the time?" is one query, not a journal reconstruction.
+//!
+//! ```sh
+//! cargo run --example engineering_versions
+//! ```
+
+use tdbms::{Database, Granularity};
+
+fn main() {
+    let mut db = Database::in_memory();
+    db.execute(
+        "create temporal interval part \
+         (part = c12, rev = c4, mass_g = i4)",
+    )
+    .unwrap();
+    db.execute("range of p is part").unwrap();
+
+    // Rev A released January 1980.
+    db.execute(
+        r#"append to part (part = "bracket", rev = "A", mass_g = 112)
+           valid from "1/7/80" to "forever""#,
+    )
+    .unwrap();
+    // Rev B supersedes it in June.
+    db.execute(
+        r#"replace p (rev = "B", mass_g = 97)
+           valid from "6/2/80" to "forever"
+           where p.part = "bracket""#,
+    )
+    .unwrap();
+    let before_recall = db.clock().now();
+    // In 1981, stress testing shows rev B was never airworthy: engineering
+    // retroactively reinstates rev A from September 1980 (a *retroactive*
+    // change — the database corrects what was true, keeping what it said).
+    db.execute(
+        r#"replace p (rev = "A2", mass_g = 114)
+           valid from "9/1/80" to "forever"
+           where p.part = "bracket""#,
+    )
+    .unwrap();
+
+    // Which revision does today's engineering record say was released in
+    // October 1980?
+    let out = db
+        .execute(r#"retrieve (p.rev) when p overlap "10/15/80""#)
+        .unwrap();
+    println!(
+        "released revision for builds of Oct 1980 (current knowledge): {}",
+        out.rows()[0][0]
+    );
+    assert_eq!(out.rows()[0][0].to_string(), "A2");
+
+    // ...and what did the manufacturing floor believe at the time? (They
+    // were still building rev B — exactly the discrepancy a recall
+    // investigation needs to establish.)
+    let t = before_recall.format(Granularity::Second);
+    let out = db
+        .execute(&format!(
+            r#"retrieve (p.rev) when p overlap "10/15/80" as of "{t}""#
+        ))
+        .unwrap();
+    println!(
+        "released revision for Oct 1980, as recorded before the recall: {}",
+        out.rows()[0][0]
+    );
+    assert_eq!(out.rows()[0][0].to_string(), "B");
+
+    // The full design lineage, with validity periods.
+    println!("\ndesign lineage of \"bracket\":");
+    let out = db.execute("retrieve (p.rev, p.mass_g)").unwrap();
+    let vf = out.column_index("valid_from").unwrap();
+    let vt = out.column_index("valid_to").unwrap();
+    let mut rows: Vec<_> = out.rows().to_vec();
+    rows.sort_by_key(|r| r[vf].as_time());
+    for row in &rows {
+        println!(
+            "  rev {:<3} {:>4} g   valid {} .. {}",
+            row[0].to_string(),
+            row[1].to_string(),
+            row[vf].as_time().unwrap().format(Granularity::Day),
+            row[vt].as_time().unwrap().format(Granularity::Day),
+        );
+    }
+
+    // Materialize the current bill-of-record into its own relation for a
+    // downstream tool.
+    db.execute(
+        r#"retrieve into released (p.part, p.rev, p.mass_g)
+           when p overlap "now""#,
+    )
+    .unwrap();
+    let meta = db.relation_meta("released").unwrap();
+    println!(
+        "\nmaterialized {:?}: {} tuple(s), class {}",
+        meta.name, meta.tuple_count, meta.class
+    );
+}

@@ -1,0 +1,127 @@
+//! Trend analysis over a historical database.
+//!
+//! "Conventional DBMS's cannot support historical queries about the past
+//! status, much less trend analysis which is essential for applications
+//! such as decision support systems" — the paper's opening motivation.
+//! A historical relation records *valid time*: when each fact held in the
+//! modeled world. This example loads a small personnel history and runs
+//! the decision-support queries a static database cannot answer.
+//!
+//! ```sh
+//! cargo run --example personnel_history
+//! ```
+
+use tdbms::Database;
+
+fn main() {
+    let mut db = Database::in_memory();
+    db.execute(
+        "create historical interval staff \
+         (name = c12, dept = c12, salary = i4)",
+    )
+    .unwrap();
+    db.execute("range of s is staff").unwrap();
+
+    // Careers, loaded with explicit valid periods.
+    let history: &[(&str, &str, i64, &str, &str)] = &[
+        ("ibsen", "toys", 18000, "1/1/80", "6/1/81"),
+        ("ibsen", "tools", 21000, "6/1/81", "forever"),
+        ("padma", "toys", 17000, "3/1/80", "9/1/82"),
+        ("padma", "toys", 19500, "9/1/82", "forever"),
+        ("quine", "books", 16000, "1/1/80", "4/1/81"),
+        ("quine", "toys", 16500, "4/1/81", "2/1/83"),
+        ("quine", "tools", 20000, "2/1/83", "forever"),
+    ];
+    for (name, dept, salary, from, to) in history {
+        db.execute(&format!(
+            r#"append to staff (name = "{name}", dept = "{dept}", salary = {salary})
+               valid from "{from}" to "{to}""#
+        ))
+        .unwrap();
+    }
+
+    // Who staffed the toy department on particular dates?
+    for date in ["6/1/80", "6/1/82", "6/1/83"] {
+        let out = db
+            .execute(&format!(
+                r#"retrieve (s.name, s.salary)
+                   where s.dept = "toys" when s overlap "{date}""#
+            ))
+            .unwrap();
+        let names: Vec<String> =
+            out.rows().iter().map(|r| r[0].to_string()).collect();
+        println!("toy department on {date}: {names:?}");
+    }
+
+    // Salary trend for one person: the valid clause labels each result
+    // tuple with the period it describes.
+    println!("\nquine's salary history:");
+    let out = db
+        .execute(r#"retrieve (s.salary, s.dept) where s.name = "quine""#)
+        .unwrap();
+    let vf = out.column_index("valid_from").unwrap();
+    let vt = out.column_index("valid_to").unwrap();
+    for row in out.rows() {
+        println!(
+            "  {:>6} in {:<6} from {} to {}",
+            row[0].to_string(),
+            row[1].to_string(),
+            row[vf]
+                .as_time()
+                .unwrap()
+                .format(tdbms::Granularity::Day),
+            row[vt]
+                .as_time()
+                .unwrap()
+                .format(tdbms::Granularity::Day),
+        );
+    }
+
+    // A temporal join: who were colleagues in the same department at some
+    // moment? (`when s overlap t` — "the two tuples must have coexisted".)
+    db.execute("range of t is staff").unwrap();
+    let out = db
+        .execute(
+            r#"retrieve (a = s.name, b = t.name, s.dept)
+               where s.dept = t.dept and s.name < t.name
+               when s overlap t"#,
+        )
+        .unwrap();
+    println!("\ncolleague pairs (dept, overlapping tenure):");
+    let vf = out.column_index("valid_from").unwrap();
+    let vt = out.column_index("valid_to").unwrap();
+    for row in out.rows() {
+        println!(
+            "  {} & {} in {} ({} .. {})",
+            row[0],
+            row[1],
+            row[2],
+            row[vf]
+                .as_time()
+                .unwrap()
+                .format(tdbms::Granularity::Day),
+            row[vt]
+                .as_time()
+                .unwrap()
+                .format(tdbms::Granularity::Day),
+        );
+    }
+    assert!(!out.rows().is_empty());
+
+    // Headcount trend by year — the kind of aggregate a decision-support
+    // system derives from snapshots at successive instants.
+    println!("\ntoy-department headcount by year:");
+    for year in 1980..=1983 {
+        let out = db
+            .execute(&format!(
+                r#"retrieve (s.name) where s.dept = "toys"
+                   when s overlap "7/1/{year}""#
+            ))
+            .unwrap();
+        println!(
+            "  {year}: {} {}",
+            out.rows().len(),
+            "▮".repeat(out.rows().len())
+        );
+    }
+}

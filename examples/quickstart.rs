@@ -1,0 +1,107 @@
+//! Quickstart: the four database classes in five minutes.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use tdbms::{Database, Granularity};
+
+fn show(db: &mut Database, title: &str, q: &str) {
+    println!("— {title}\n  tquel> {}", q.trim());
+    let out = db.execute(q).expect("query");
+    for line in out.to_table().lines() {
+        println!("  {line}");
+    }
+    println!(
+        "  ({} tuple(s), {} input page(s))\n",
+        out.affected, out.stats.input_pages
+    );
+}
+
+fn main() {
+    let mut db = Database::in_memory();
+
+    // --- 1. A temporal relation records valid time AND transaction time.
+    db.execute(
+        "create temporal interval skipper \
+         (name = c16, rank = c16, salary = i4)",
+    )
+    .unwrap();
+    db.execute("range of s is skipper").unwrap();
+
+    db.execute(
+        r#"append to skipper (name = "merrie", rank = "ensign", salary = 20000)
+           valid from "1/1/80" to "forever""#,
+    )
+    .unwrap();
+
+    // Promotion — recorded now, effective now.
+    db.execute(
+        r#"replace s (rank = "lieutenant", salary = 26000)
+           where s.name = "merrie""#,
+    )
+    .unwrap();
+    let promotion_recorded = db.clock().now();
+
+    // Retroactive correction: the raise was actually effective June 1980.
+    db.execute(
+        r#"replace s (salary = 30000)
+           valid from "6/1/80" to "forever"
+           where s.name = "merrie""#,
+    )
+    .unwrap();
+
+    show(
+        &mut db,
+        "current state (static query on a temporal relation)",
+        r#"retrieve (s.name, s.rank, s.salary) when s overlap "now""#,
+    );
+
+    show(
+        &mut db,
+        "historical query: what held in March 1980?",
+        r#"retrieve (s.rank, s.salary) when s overlap "3/15/80""#,
+    );
+
+    show(
+        &mut db,
+        "every version the database has ever stored (version scan)",
+        "retrieve (s.rank, s.salary)",
+    );
+
+    let t = promotion_recorded.format(Granularity::Second);
+    show(
+        &mut db,
+        "rollback: what did the database believe just after the promotion?",
+        &format!(
+            r#"retrieve (s.rank, s.salary) when s overlap "7/1/80" as of "{t}""#
+        ),
+    );
+
+    // --- 2. The same data as a plain static relation forgets everything.
+    db.execute("create static flat (name = c16, salary = i4)").unwrap();
+    db.execute(r#"append to flat (name = "merrie", salary = 20000)"#).unwrap();
+    db.execute("range of f is flat").unwrap();
+    db.execute(r#"replace f (salary = 26000) where f.name = "merrie""#)
+        .unwrap();
+    show(
+        &mut db,
+        "a static relation keeps only the latest state",
+        "retrieve (f.name, f.salary)",
+    );
+
+    // --- 3. Storage structures are first-class: reorganize and inspect.
+    db.execute("modify skipper to hash on name where fillfactor = 100")
+        .unwrap();
+    let meta = db.relation_meta("skipper").unwrap();
+    println!(
+        "— relation {:?}: {} {} relation, {} on {:?}, {} stored versions in {} pages",
+        meta.name,
+        meta.class,
+        meta.kind,
+        meta.method,
+        meta.key.as_deref().unwrap_or("-"),
+        meta.tuple_count,
+        meta.total_pages
+    );
+}

@@ -1,0 +1,109 @@
+//! Aggregates and secondary indexing over a growing temporal warehouse —
+//! the paper's Section 6 proposals at work in the query processor.
+//!
+//! A temporal `stock` relation receives continuous updates; we watch the
+//! cost of a non-key lookup degrade exactly as the paper predicts, then
+//! create a secondary index (`index on stock is stock_sku (sku)`) and
+//! watch the same query collapse to a few pages. Aggregates summarize the
+//! history that accumulated along the way.
+//!
+//! ```sh
+//! cargo run --release --example warehouse_analytics
+//! ```
+
+use tdbms::{Database, Value};
+
+const BINS: i64 = 512;
+
+fn main() {
+    let mut db = Database::in_memory();
+    db.execute(
+        "create temporal interval stock \
+         (bin = i4, sku = i4, qty = i4)",
+    )
+    .unwrap();
+    db.execute("range of s is stock").unwrap();
+
+    // One pallet per bin; SKUs repeat every 64 bins.
+    for bin in 1..=BINS {
+        db.execute(&format!(
+            "append to stock (bin = {bin}, sku = {}, qty = 100)",
+            bin % 64
+        ))
+        .unwrap();
+    }
+    db.execute("modify stock to hash on bin where fillfactor = 100").unwrap();
+
+    let probe = "retrieve (s.bin, s.qty) where s.sku = 17 \
+                 when s overlap \"now\"";
+
+    // Update rounds degrade the non-key lookup linearly (growth rate 2:
+    // each replace writes two versions).
+    println!("cost of the non-key SKU lookup as the warehouse churns:");
+    println!("{:>6} {:>12} {:>12}", "round", "scan pages", "stock pages");
+    for round in 0..=4 {
+        if round > 0 {
+            db.execute("replace s (qty = s.qty - 1)").unwrap();
+        }
+        let out = db.execute(probe).unwrap();
+        assert_eq!(out.rows().len(), 8); // 512 bins / 64 SKUs
+        println!(
+            "{:>6} {:>12} {:>12}",
+            round,
+            out.stats.input_pages,
+            db.relation_meta("stock").unwrap().total_pages
+        );
+    }
+
+    // The Section 6 fix, as a statement. A (1-level) index still fetches
+    // every stored version of the matching tuples before the currency
+    // filter — the paper's Figure 10 makes the same observation, and its
+    // 2-level store + current-only index is the full cure — but the win
+    // over the sequential scan is already large and grows with the
+    // relation.
+    db.execute("index on stock is stock_sku (sku)").unwrap();
+    let out = db.execute(probe).unwrap();
+    println!(
+        "\nwith `index on stock is stock_sku (sku)`: {} pages (scan was 135)\n",
+        out.stats.input_pages,
+    );
+    assert!(out.stats.input_pages < 60);
+
+    // Aggregates over the accumulated history: current totals per SKU
+    // (for a few SKUs), then a churn summary.
+    let out = db
+        .execute(
+            r#"retrieve (s.sku, total = sum(s.qty), bins = count(s.bin))
+               where s.sku < 4 when s overlap "now""#,
+        )
+        .unwrap();
+    println!("current stock by SKU (first four):");
+    print!("{}", out.to_table());
+
+    let out = db
+        .execute(
+            "retrieve (versions = count(s.qty), \
+             qmin = min(s.qty), qmax = max(s.qty), qavg = avg(s.qty))",
+        )
+        .unwrap();
+    let row = &out.rows()[0];
+    println!(
+        "\nqueryable history: {} transaction-current versions, qty range \
+         {}..{} (mean {})",
+        row[0],
+        row[1],
+        row[2],
+        match &row[3] {
+            Value::Float(f) => format!("{f:.1}"),
+            other => other.to_string(),
+        }
+    );
+    // The version scan sees 1 + rounds versions per bin (the superseded
+    // originals are reachable only by rolling back)...
+    assert_eq!(row[0].as_int().unwrap(), BINS * (1 + 4));
+    // ...while storage holds the full 1 + 2·rounds versions per bin.
+    assert_eq!(
+        db.relation_meta("stock").unwrap().tuple_count,
+        (BINS + 2 * 4 * BINS) as u64
+    );
+}

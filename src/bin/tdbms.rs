@@ -1,0 +1,203 @@
+//! The tdbms terminal monitor: an interactive TQuel shell, in the spirit
+//! of the Ingres terminal monitor the prototype's users typed at.
+//!
+//! ```sh
+//! cargo run --bin tdbms                # in-memory session
+//! cargo run --bin tdbms -- /path/dir   # file-backed (persists)
+//! echo 'create static t (x = i4);' | cargo run --bin tdbms
+//! ```
+//!
+//! Statements may span lines; they run when a line ends with `;` or `\g`
+//! (Ingres-style "go"). Backslash commands:
+//!
+//! * `\l` — list relations
+//! * `\d <rel>` — describe a relation
+//! * `\stats` — page-access counters of the last statement
+//! * `\now` — the transaction clock
+//! * `\i <file>` — run statements from a file
+//! * `\q` — quit
+
+use std::io::{BufRead, Write};
+use tdbms::{Database, Granularity};
+
+struct Shell {
+    db: Database,
+    buffer: String,
+}
+
+impl Shell {
+    fn describe(&self, name: &str) -> String {
+        let db = &self.db;
+        match db.relation_meta(name) {
+            Err(e) => format!("{e}"),
+            Ok(m) => {
+                let mut s = String::new();
+                s.push_str(&format!(
+                    "{} — {} {} relation, {} organization",
+                    m.name, m.class, m.kind, m.method
+                ));
+                if let Some(k) = &m.key {
+                    s.push_str(&format!(
+                        " on {k} (fillfactor {}%)",
+                        m.fillfactor
+                    ));
+                }
+                s.push_str(&format!(
+                    "\n  {} stored versions, {} pages ({} scannable), \
+                     row width {}",
+                    m.tuple_count,
+                    m.total_pages,
+                    m.scannable_pages,
+                    m.row_width
+                ));
+                if let Ok(schema) = db.schema_of(name) {
+                    s.push_str("\n  attributes:");
+                    for (attr, domain) in schema.iter_all() {
+                        s.push_str(&format!(" {attr}={domain}"));
+                    }
+                }
+                if !m.index_names.is_empty() {
+                    s.push_str(&format!(
+                        "\n  indexes: {}",
+                        m.index_names.join(", ")
+                    ));
+                }
+                s
+            }
+        }
+    }
+
+    fn run_statement(&mut self, text: &str) {
+        match self.db.execute(text) {
+            Ok(out) => {
+                if !out.columns.is_empty() {
+                    print!("{}", out.to_table());
+                }
+                println!(
+                    "({} tuple(s), {} input / {} output pages)",
+                    out.affected,
+                    out.stats.input_pages,
+                    out.stats.output_pages
+                );
+            }
+            Err(e) => println!("error: {e}"),
+        }
+    }
+
+    fn backslash(&mut self, line: &str) {
+        let mut parts = line.splitn(2, ' ');
+        let cmd = parts.next().unwrap_or("");
+        let arg = parts.next().unwrap_or("").trim();
+        match cmd {
+            "\\q" => std::process::exit(0),
+            "\\l" => {
+                for r in self.db.relation_names() {
+                    println!("{r}");
+                }
+            }
+            "\\d" => println!("{}", self.describe(arg)),
+            "\\stats" => {
+                let st = self.db.io_stats();
+                println!(
+                    "last statement: {} page reads, {} page writes",
+                    st.total_reads(),
+                    st.total_writes()
+                );
+            }
+            "\\now" => println!(
+                "{}",
+                self.db.clock().now().format(Granularity::Second)
+            ),
+            "\\i" => match std::fs::read_to_string(arg) {
+                Ok(text) => {
+                    for l in text.lines() {
+                        self.feed_line(l);
+                    }
+                    self.flush_buffer();
+                }
+                Err(e) => println!("error reading {arg}: {e}"),
+            },
+            other => println!(
+                "unknown command {other} (try \\l \\d \\stats \\now \\i \\q)"
+            ),
+        }
+    }
+
+    /// Process one input line: a backslash command (only at statement
+    /// start) or more statement text.
+    fn feed_line(&mut self, line: &str) {
+        let trimmed = line.trim();
+        if self.buffer.trim().is_empty() && trimmed.starts_with('\\') {
+            self.backslash(trimmed);
+            return;
+        }
+        self.buffer.push_str(line);
+        self.buffer.push('\n');
+        if trimmed.ends_with(';') || trimmed.ends_with("\\g") {
+            self.flush_buffer();
+        }
+    }
+
+    /// Run whatever is buffered (used at terminators and at EOF).
+    fn flush_buffer(&mut self) {
+        let text = self
+            .buffer
+            .trim_end()
+            .trim_end_matches("\\g")
+            .trim_end_matches(';')
+            .trim()
+            .to_string();
+        self.buffer.clear();
+        if !text.is_empty() {
+            self.run_statement(&text);
+        }
+    }
+}
+
+fn prompt() {
+    print!("tquel> ");
+    std::io::stdout().flush().ok();
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let db = match args.next() {
+        Some(dir) => match Database::open(&dir) {
+            Ok(db) => {
+                eprintln!("opened file-backed database at {dir}");
+                db
+            }
+            Err(e) => {
+                eprintln!("cannot open {dir}: {e}");
+                std::process::exit(1);
+            }
+        },
+        None => Database::in_memory(),
+    };
+    let mut shell = Shell { db, buffer: String::new() };
+
+    // Suppress the prompt for piped/batch use with TDBMS_BATCH=1 (a crude
+    // TTY check that avoids extra dependencies; the prompt goes to stdout
+    // and is harmless when piped anyway).
+    let interactive = std::env::var("TDBMS_BATCH").is_err();
+    if interactive {
+        eprintln!(
+            "tdbms terminal monitor — TQuel statements end with `;` or \
+             `\\g`; \\q quits"
+        );
+        prompt();
+    }
+    let stdin = std::io::stdin();
+    for line in stdin.lock().lines() {
+        match line {
+            Ok(l) => {
+                shell.feed_line(&l);
+                if interactive && shell.buffer.trim().is_empty() {
+                    prompt();
+                }
+            }
+            Err(_) => break,
+        }
+    }
+    shell.flush_buffer();
+}

@@ -1,0 +1,219 @@
+//! The paper's write-once-media claim, checked as an invariant:
+//!
+//! "In addition, all modification operations for rollback and temporal
+//! relations in this scheme are append only, so write-once optical disks
+//! can be utilized."
+//!
+//! Strictly, one kind of in-place mutation remains — stamping a stop time
+//! (`transaction_stop` / `valid_to`) into an existing version — which maps
+//! onto WORM hardware by reserving those four bytes (Ahn 1986 discusses
+//! the technique). This test wraps the disk manager in an auditor that
+//! diffs every page rewrite and asserts that updates to versioned
+//! relations never mutate anything *except* appended bytes, the page
+//! header, and 4-byte time-attribute fields of existing rows.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+use tdbms::{Database, PAGE_SIZE};
+use tdbms_storage::{
+    DiskManager, FileId, MemDisk, Page, Pager,
+};
+
+/// Byte ranges of an existing page image that a rewrite changed.
+#[derive(Debug, Clone)]
+struct Mutation {
+    file: FileId,
+    page: u32,
+    /// Offsets of changed bytes, coalesced into runs.
+    runs: Vec<(usize, usize)>,
+}
+
+#[derive(Default)]
+struct AuditLog {
+    mutations: Vec<Mutation>,
+}
+
+/// A disk manager that remembers every page image and reports rewrites
+/// that change already-written bytes.
+struct AuditDisk {
+    inner: MemDisk,
+    log: Rc<RefCell<AuditLog>>,
+}
+
+impl DiskManager for AuditDisk {
+    fn create_file(&mut self) -> tdbms::Result<FileId> {
+        self.inner.create_file()
+    }
+    fn drop_file(&mut self, file: FileId) -> tdbms::Result<()> {
+        self.inner.drop_file(file)
+    }
+    fn page_count(&self, file: FileId) -> tdbms::Result<u32> {
+        self.inner.page_count(file)
+    }
+    fn read_page(&mut self, file: FileId, page_no: u32) -> tdbms::Result<Page> {
+        self.inner.read_page(file, page_no)
+    }
+    fn write_page(
+        &mut self,
+        file: FileId,
+        page_no: u32,
+        page: &Page,
+    ) -> tdbms::Result<()> {
+        let before = self.inner.read_page(file, page_no)?;
+        let old = before.as_bytes();
+        let new = page.as_bytes();
+        let mut runs: Vec<(usize, usize)> = Vec::new();
+        let mut i = 0;
+        while i < PAGE_SIZE {
+            if old[i] != new[i] {
+                let start = i;
+                while i < PAGE_SIZE && old[i] != new[i] {
+                    i += 1;
+                }
+                runs.push((start, i));
+            } else {
+                i += 1;
+            }
+        }
+        if !runs.is_empty() {
+            self.log.borrow_mut().mutations.push(Mutation {
+                file,
+                page: page_no,
+                runs,
+            });
+        }
+        self.inner.write_page(file, page_no, page)
+    }
+    fn append_page(&mut self, file: FileId, page: &Page) -> tdbms::Result<u32> {
+        self.inner.append_page(file, page)
+    }
+    fn truncate(&mut self, file: FileId) -> tdbms::Result<()> {
+        self.inner.truncate(file)
+    }
+}
+
+/// Classify whether a mutated byte range is WORM-compatible for a
+/// relation with `row_width`-byte rows and 4-byte time attributes at the
+/// stored offsets `time_offsets` (within the row).
+fn run_is_worm_ok(
+    run: (usize, usize),
+    old_count: usize,
+    row_width: usize,
+    time_offsets: &[usize],
+) -> bool {
+    const HEADER: usize = 12;
+    let (start, end) = run;
+    // Page header (overflow pointer + slot count) may change.
+    if end <= HEADER {
+        return true;
+    }
+    // Bytes beyond the previously used area are fresh appends.
+    let used_end = HEADER + old_count * row_width;
+    if start >= used_end {
+        return true;
+    }
+    // Otherwise the run must fall wholly inside one existing row's 4-byte
+    // time attribute.
+    if start < HEADER {
+        return false;
+    }
+    let slot = (start - HEADER) / row_width;
+    let row_base = HEADER + slot * row_width;
+    time_offsets.iter().any(|&off| {
+        start >= row_base + off && end <= row_base + off + 4
+    })
+}
+
+#[test]
+fn temporal_updates_are_append_only_plus_time_stamps() {
+    let log = Rc::new(RefCell::new(AuditLog::default()));
+    let disk = AuditDisk { inner: MemDisk::new(), log: Rc::clone(&log) };
+    let mut db = Database::with_pager(Pager::new(Box::new(disk)));
+
+    db.execute("create temporal interval t (id = i4, x = i4)").unwrap();
+    db.execute("range of v is t").unwrap();
+    for i in 1..=64 {
+        db.execute(&format!("append to t (id = {i}, x = 0)")).unwrap();
+    }
+    db.execute("modify t to hash on id where fillfactor = 100").unwrap();
+    // Discard mutations from the load/reorganization phase: WORM media
+    // would be written once after organization, then appended to.
+    let old_counts = snapshot_counts(&mut db);
+    log.borrow_mut().mutations.clear();
+
+    for round in 1..=3 {
+        db.execute(&format!("replace v (x = {round})")).unwrap();
+    }
+    db.execute("delete v where v.id = 7").unwrap();
+
+    // The temporal schema: id(0..4) x(4..8) vf(8..12) vt(12..16)
+    // ts(16..20) te(20..24); the stampable fields are valid_to (12) and
+    // transaction_stop (20).
+    let schema = db.schema_of("t").unwrap();
+    let row_width = schema.row_width();
+    assert_eq!(row_width, 24);
+    let time_offsets = [12usize, 20];
+
+    let log = log.borrow();
+    assert!(!log.mutations.is_empty(), "updates must have hit the disk");
+    for m in &log.mutations {
+        let old_count =
+            old_counts.get(&(m.file, m.page)).copied().unwrap_or(0);
+        for run in &m.runs {
+            assert!(
+                run_is_worm_ok(*run, old_count, row_width, &time_offsets),
+                "non-append mutation outside a time stamp: file {:?} page {} \
+                 bytes {:?} (old slot count {})",
+                m.file,
+                m.page,
+                run,
+                old_count
+            );
+        }
+    }
+}
+
+/// Slot counts per page at the WORM cutover point, so later appends to
+/// partially filled pages are recognized as appends.
+fn snapshot_counts(
+    db: &mut Database,
+) -> std::collections::HashMap<(FileId, u32), usize> {
+    let (pager, catalog, _) = db.internals();
+    let mut counts = std::collections::HashMap::new();
+    let id = catalog.require("t").unwrap();
+    let file = catalog.get(id).file.file_id();
+    let n = pager.page_count(file).unwrap();
+    for p in 0..n {
+        let c = pager.read(file, p, |pg| pg.count()).unwrap();
+        counts.insert((file, p), c);
+    }
+    counts
+}
+
+#[test]
+fn static_updates_are_not_append_only() {
+    // The contrast that motivates the taxonomy: a static relation rewrites
+    // user data in place, so it could never live on write-once media.
+    let log = Rc::new(RefCell::new(AuditLog::default()));
+    let disk = AuditDisk { inner: MemDisk::new(), log: Rc::clone(&log) };
+    let mut db = Database::with_pager(Pager::new(Box::new(disk)));
+    db.execute("create static s (id = i4, x = i4)").unwrap();
+    db.execute("range of v is s").unwrap();
+    for i in 1..=16 {
+        db.execute(&format!("append to s (id = {i}, x = 0)")).unwrap();
+    }
+    log.borrow_mut().mutations.clear();
+    db.execute("replace v (x = 9) where v.id = 3").unwrap();
+    let log = log.borrow();
+    // Some rewrite touched existing non-time bytes (the x attribute at
+    // row offset 4..8 of an already-written slot).
+    let schema_width = 8usize;
+    // Treat every slot as pre-existing (a large-but-safe old count), so
+    // any in-row change registers as a violation.
+    let violating = log.mutations.iter().any(|m| {
+        m.runs
+            .iter()
+            .any(|r| !run_is_worm_ok(*r, 10_000, schema_width, &[]))
+    });
+    assert!(violating, "static replace should mutate user data in place");
+}

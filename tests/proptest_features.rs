@@ -1,0 +1,193 @@
+//! Property tests for the extension features: aggregates against a naive
+//! model, `copy` round-trips, and catalog persistence under random
+//! schemas.
+
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+use tdbms::{Database, Value};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Grouped aggregates agree with a naive recomputation for arbitrary
+    /// data.
+    #[test]
+    fn aggregates_agree_with_naive_model(
+        rows in prop::collection::vec((0i32..6, -1000i32..1000), 1..80)
+    ) {
+        let mut db = Database::in_memory();
+        db.execute("create static t (grp = i4, x = i4)").unwrap();
+        for (g, x) in &rows {
+            db.execute(&format!("append to t (grp = {g}, x = {x})")).unwrap();
+        }
+        db.execute("range of v is t").unwrap();
+        let out = db
+            .execute(
+                "retrieve (v.grp, n = count(v.x), s = sum(v.x), \
+                 lo = min(v.x), hi = max(v.x), m = avg(v.x))",
+            )
+            .unwrap();
+
+        let mut model: BTreeMap<i32, Vec<i64>> = BTreeMap::new();
+        for (g, x) in &rows {
+            model.entry(*g).or_default().push(*x as i64);
+        }
+        prop_assert_eq!(out.rows().len(), model.len());
+        for row in out.rows() {
+            let g = row[0].as_int().unwrap() as i32;
+            let xs = model.get(&g).expect("group exists in model");
+            prop_assert_eq!(row[1].as_int().unwrap(), xs.len() as i64);
+            prop_assert_eq!(
+                row[2].as_int().unwrap(),
+                xs.iter().sum::<i64>()
+            );
+            prop_assert_eq!(
+                row[3].as_int().unwrap(),
+                *xs.iter().min().unwrap()
+            );
+            prop_assert_eq!(
+                row[4].as_int().unwrap(),
+                *xs.iter().max().unwrap()
+            );
+            let avg = xs.iter().sum::<i64>() as f64 / xs.len() as f64;
+            let got = match &row[5] {
+                Value::Float(f) => *f,
+                other => panic!("avg should be float, got {other}"),
+            };
+            prop_assert!((got - avg).abs() < 1e-9);
+        }
+    }
+
+    /// `copy into` followed by `copy from` reproduces the relation
+    /// exactly, including version history, for arbitrary contents.
+    #[test]
+    fn copy_roundtrips_arbitrary_history(
+        rows in prop::collection::vec(
+            // Printable payloads without quote/backslash (TQuel string
+            // escapes) and without edge whitespace (the blank-padded
+            // c-domain trims it).
+            (1i32..20, -100i32..100, "[a-z0-9,.;:']{0,10}"),
+            1..40,
+        ),
+        updates in prop::collection::vec((1i32..20, -100i32..100), 0..15),
+    ) {
+        let dir = std::env::temp_dir().join(format!(
+            "tdbms-prop-copy-{}-{:x}",
+            std::process::id(),
+            rows.len() * 1000 + updates.len()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("data.tq");
+        let path_s = path.to_str().unwrap();
+
+        let mut db = Database::in_memory();
+        db.execute("create temporal interval t (id = i4, x = i4, note = c12)")
+            .unwrap();
+        db.execute("range of v is t").unwrap();
+        let mut seen = std::collections::BTreeSet::new();
+        for (id, x, note) in &rows {
+            if !seen.insert(*id) {
+                continue;
+            }
+            // Escape quotes for the TQuel literal.
+            let note: String = note.replace('"', "'");
+            db.execute(&format!(
+                r#"append to t (id = {id}, x = {x}, note = "{}")"#,
+                note.trim()
+            ))
+            .unwrap();
+        }
+        for (id, x) in &updates {
+            db.execute(&format!("replace v (x = {x}) where v.id = {id}"))
+                .unwrap();
+        }
+        db.execute(&format!(r#"copy t into "{path_s}""#)).unwrap();
+
+        let mut db2 = Database::in_memory();
+        db2.clock().advance_to(db.clock().now());
+        db2.execute("create temporal interval t (id = i4, x = i4, note = c12)")
+            .unwrap();
+        db2.execute(&format!(r#"copy t from "{path_s}""#)).unwrap();
+        db2.execute("range of v is t").unwrap();
+
+        prop_assert_eq!(
+            db.relation_meta("t").unwrap().tuple_count,
+            db2.relation_meta("t").unwrap().tuple_count
+        );
+        // Every version (id, x, valid_from, valid_to, tx times) matches.
+        let dump = |d: &mut Database| -> Vec<Vec<String>> {
+            let out = d
+                .execute(
+                    "retrieve (v.id, v.x, v.note, v.valid_from, v.valid_to, \
+                     v.transaction_start, v.transaction_stop) \
+                     as of \"beginning\" through \"forever\"",
+                )
+                .unwrap();
+            let mut rows: Vec<Vec<String>> = out
+                .rows()
+                .iter()
+                .map(|r| r.iter().map(|v| v.to_string()).collect())
+                .collect();
+            rows.sort();
+            rows
+        };
+        prop_assert_eq!(dump(&mut db), dump(&mut db2));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    /// A file-backed database reopened after arbitrary DDL/DML reports the
+    /// same catalog state and answers the same current-state query.
+    #[test]
+    fn persistence_roundtrips_random_workloads(
+        n_rels in 1usize..4,
+        rows in prop::collection::vec((0i32..30, -50i32..50), 1..30),
+        seed in 0u64..1000,
+    ) {
+        let dir = std::env::temp_dir().join(format!(
+            "tdbms-prop-persist-{}-{seed}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+
+        let classes = ["static", "rollback", "historical", "temporal"];
+        let mut expected: Vec<(String, u64)> = Vec::new();
+        {
+            let mut db = Database::open(&dir).unwrap();
+            for r in 0..n_rels {
+                let class = classes[(seed as usize + r) % classes.len()];
+                let name = format!("r{r}");
+                db.execute(&format!(
+                    "create {class} interval {name} (id = i4, x = i4)"
+                ))
+                .unwrap();
+                for (i, (id, x)) in rows.iter().enumerate() {
+                    if i % n_rels == r {
+                        db.execute(&format!(
+                            "append to {name} (id = {id}, x = {x})"
+                        ))
+                        .unwrap();
+                    }
+                }
+                if seed % 2 == 0 {
+                    db.execute(&format!(
+                        "modify {name} to hash on id where fillfactor = 50"
+                    ))
+                    .unwrap();
+                }
+                expected.push((
+                    name.clone(),
+                    db.relation_meta(&name).unwrap().tuple_count,
+                ));
+            }
+        }
+        {
+            let db = Database::open(&dir).unwrap();
+            for (name, count) in &expected {
+                let meta = db.relation_meta(name).unwrap();
+                prop_assert_eq!(meta.tuple_count, *count, "{}", name);
+            }
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

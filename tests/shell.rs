@@ -1,0 +1,110 @@
+//! End-to-end tests of the `tdbms` terminal monitor binary.
+
+use std::io::Write;
+use std::process::{Command, Stdio};
+
+fn run_shell(args: &[&str], input: &str) -> (String, String) {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_tdbms"))
+        .args(args)
+        .env("TDBMS_BATCH", "1")
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn tdbms");
+    child
+        .stdin
+        .as_mut()
+        .expect("stdin")
+        .write_all(input.as_bytes())
+        .expect("write input");
+    let out = child.wait_with_output().expect("wait");
+    (
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+    )
+}
+
+#[test]
+fn shell_runs_a_session() {
+    let (stdout, _) = run_shell(
+        &[],
+        r#"create temporal interval emp (name = c12, salary = i4);
+append to emp (name = "di", salary = 100);
+range of e is emp;
+replace e (salary = 150) where e.name = "di";
+retrieve (e.name, e.salary) when e overlap "now";
+\d emp
+\l
+"#,
+    );
+    assert!(stdout.contains("di"), "stdout: {stdout}");
+    assert!(stdout.contains("150"));
+    assert!(stdout.contains("temporal interval relation"));
+    assert!(stdout.contains("3 stored versions"));
+    // \l lists the relation.
+    assert!(stdout.lines().any(|l| l.trim() == "emp"));
+}
+
+#[test]
+fn shell_reports_errors_without_dying() {
+    let (stdout, _) = run_shell(
+        &[],
+        "retrieve (x.y);\ncreate static t (a = i4);\n\\l\n",
+    );
+    assert!(stdout.contains("error:"), "stdout: {stdout}");
+    // The session continued after the error.
+    assert!(stdout.lines().any(|l| l.trim() == "t"));
+}
+
+#[test]
+fn shell_multiline_statements_and_backslash_g() {
+    let (stdout, _) = run_shell(
+        &[],
+        "create static t (a = i4);\nappend to t\n  (a = 7)\\g\nrange of v is t;\nretrieve (v.a);\n",
+    );
+    assert!(stdout.contains('7'), "stdout: {stdout}");
+}
+
+#[test]
+fn shell_persists_to_a_directory() {
+    let dir = std::env::temp_dir()
+        .join(format!("tdbms-shell-test-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let dir_s = dir.to_str().unwrap();
+
+    let (_, stderr) = run_shell(
+        &[dir_s],
+        "create rollback r (x = i4);\nappend to r (x = 42);\n",
+    );
+    assert!(stderr.contains("file-backed"), "stderr: {stderr}");
+
+    let (stdout, _) =
+        run_shell(&[dir_s], "range of v is r;\nretrieve (v.x);\n");
+    assert!(stdout.contains("42"), "stdout: {stdout}");
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn shell_runs_files_via_backslash_i() {
+    let dir = std::env::temp_dir()
+        .join(format!("tdbms-shell-i-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let script = dir.join("setup.tq");
+    std::fs::write(
+        &script,
+        "create static s (x = i4);\nappend to s (x = 1);\nappend to s (x = 2);\n",
+    )
+    .unwrap();
+    let (stdout, _) = run_shell(
+        &[],
+        &format!(
+            "\\i {}\nrange of v is s;\nretrieve (total = sum(v.x));\n",
+            script.display()
+        ),
+    );
+    assert!(stdout.contains('3'), "stdout: {stdout}");
+    std::fs::remove_dir_all(&dir).unwrap();
+}

@@ -1,0 +1,177 @@
+//! The Figure 1 taxonomy, demonstrated: the same update stream applied to
+//! all four database classes, probing exactly the capabilities that
+//! distinguish them (historical queries × rollback).
+//!
+//! The scenario follows the paper's running example style: a fact is
+//! recorded, then *retroactively corrected* — the correction is the case
+//! that separates all four classes at once.
+
+use tdbms::{Database, DatabaseClass, Granularity, TimeVal, Value};
+
+/// Apply the shared scenario to a database of the given class. Returns
+/// the instant "between" the initial recording and the correction.
+fn play(db: &mut Database, class: DatabaseClass) -> TimeVal {
+    db.execute(&format!(
+        "create {class} interval fact (id = i4, claim = c24)"
+    ))
+    .unwrap();
+    db.execute("range of f is fact").unwrap();
+    // Recorded belief: the launch is scheduled for June 1980.
+    if class.has_valid_time() {
+        db.execute(
+            r#"append to fact (id = 1, claim = "june launch")
+               valid from "1/1/80" to "forever""#,
+        )
+        .unwrap();
+    } else {
+        db.execute(r#"append to fact (id = 1, claim = "june launch")"#)
+            .unwrap();
+    }
+    let between = TimeVal::from_secs(db.clock().now().as_secs() + 30);
+    // Correction: it was actually always going to be September (a
+    // retroactive change where valid time allows one).
+    if class.has_valid_time() {
+        db.execute(
+            r#"replace f (claim = "september launch")
+               valid from "1/1/80" to "forever"
+               where f.id = 1"#,
+        )
+        .unwrap();
+    } else {
+        db.execute(
+            r#"replace f (claim = "september launch") where f.id = 1"#,
+        )
+        .unwrap();
+    }
+    between
+}
+
+fn current_claim(db: &mut Database, class: DatabaseClass) -> String {
+    let q = if class.has_valid_time() {
+        r#"retrieve (f.claim) when f overlap "now""#
+    } else {
+        "retrieve (f.claim)"
+    };
+    let out = db.execute(q).unwrap();
+    assert_eq!(out.rows().len(), 1, "{class}: one current claim");
+    out.rows()[0][0].to_string()
+}
+
+#[test]
+fn all_four_classes_agree_on_the_present() {
+    for class in DatabaseClass::ALL {
+        let mut db = Database::in_memory();
+        play(&mut db, class);
+        assert_eq!(
+            current_claim(&mut db, class),
+            "september launch",
+            "{class}"
+        );
+    }
+}
+
+#[test]
+fn static_queries_about_the_past_need_valid_time() {
+    // Historical & temporal answer "what was (believed) true for March
+    // 1980?" with the *corrected* fact; static and rollback cannot ask.
+    for class in [DatabaseClass::Historical, DatabaseClass::Temporal] {
+        let mut db = Database::in_memory();
+        play(&mut db, class);
+        let out = db
+            .execute(r#"retrieve (f.claim) when f overlap "3/15/80""#)
+            .unwrap();
+        assert_eq!(out.rows().len(), 1, "{class}");
+        assert_eq!(
+            out.rows()[0][0],
+            Value::Str("september launch".into()),
+            "{class}: the correction rewrote history"
+        );
+    }
+    for class in [DatabaseClass::Static, DatabaseClass::Rollback] {
+        let mut db = Database::in_memory();
+        play(&mut db, class);
+        assert!(
+            db.execute(r#"retrieve (f.claim) when f overlap "3/15/80""#)
+                .is_err(),
+            "{class}: when clause must be inapplicable"
+        );
+    }
+}
+
+#[test]
+fn rollback_needs_transaction_time() {
+    // Rollback & temporal reproduce what the database said before the
+    // correction; static and historical cannot.
+    for class in [DatabaseClass::Rollback, DatabaseClass::Temporal] {
+        let mut db = Database::in_memory();
+        let between = play(&mut db, class);
+        let t = between.format(Granularity::Second);
+        let q = if class.has_valid_time() {
+            format!(r#"retrieve (f.claim) when f overlap "{t}" as of "{t}""#)
+        } else {
+            format!(r#"retrieve (f.claim) as of "{t}""#)
+        };
+        let out = db.execute(&q).unwrap();
+        assert_eq!(out.rows().len(), 1, "{class}");
+        assert_eq!(
+            out.rows()[0][0],
+            Value::Str("june launch".into()),
+            "{class}: the rolled-back state still shows the error"
+        );
+    }
+    for class in [DatabaseClass::Static, DatabaseClass::Historical] {
+        let mut db = Database::in_memory();
+        let between = play(&mut db, class);
+        let t = between.format(Granularity::Second);
+        assert!(
+            db.execute(&format!(r#"retrieve (f.claim) as of "{t}""#))
+                .is_err(),
+            "{class}: as of must be inapplicable"
+        );
+    }
+}
+
+#[test]
+fn only_temporal_distinguishes_belief_from_truth() {
+    // The temporal database answers the combined question: "according to
+    // what we knew before the correction, what held in March 1980?" —
+    // tuples "valid at some moment seen as of some other moment".
+    let mut db = Database::in_memory();
+    let between = play(&mut db, DatabaseClass::Temporal);
+    let t = between.format(Granularity::Second);
+
+    // Belief then, about then: the june plan.
+    let out = db
+        .execute(&format!(
+            r#"retrieve (f.claim) when f overlap "3/15/80" as of "{t}""#
+        ))
+        .unwrap();
+    assert_eq!(out.rows()[0][0], Value::Str("june launch".into()));
+
+    // Belief now, about then: the corrected september plan.
+    let out = db
+        .execute(r#"retrieve (f.claim) when f overlap "3/15/80""#)
+        .unwrap();
+    assert_eq!(out.rows()[0][0], Value::Str("september launch".into()));
+}
+
+#[test]
+fn storage_growth_reflects_what_each_class_remembers() {
+    let mut sizes = Vec::new();
+    for class in DatabaseClass::ALL {
+        let mut db = Database::in_memory();
+        play(&mut db, class);
+        sizes.push((class, db.relation_meta("fact").unwrap().tuple_count));
+    }
+    // static: 1 (overwritten); rollback/historical: 2 (old + new);
+    // temporal: 3 (old + closed copy + new).
+    assert_eq!(
+        sizes,
+        vec![
+            (DatabaseClass::Static, 1),
+            (DatabaseClass::Rollback, 2),
+            (DatabaseClass::Historical, 2),
+            (DatabaseClass::Temporal, 3),
+        ]
+    );
+}

@@ -1,0 +1,199 @@
+//! Property test: pretty-printing any TQuel syntax tree and re-parsing it
+//! yields the same tree (print ∘ parse = id on the printer's image).
+
+use proptest::prelude::*;
+use tdbms::tquel::ast::*;
+use tdbms::tquel::{parse_statement, token::Keyword};
+
+fn arb_ident() -> impl Strategy<Value = String> {
+    "[a-z][a-z0-9_]{0,6}"
+        .prop_filter("not a keyword", |s| Keyword::from_str(s).is_none())
+}
+
+fn arb_string_lit() -> impl Strategy<Value = String> {
+    // Printable, no backslashes (the printer escapes quotes only).
+    "[ -!#-\\[\\]-~]{0,12}".prop_map(|s| s)
+}
+
+fn arb_expr() -> impl Strategy<Value = Expr> {
+    // Literals are non-negative: `-1` prints identically to `Neg(Int(1))`,
+    // and the parser (correctly) produces the latter. Negation is covered
+    // by explicit `Neg` nodes.
+    let leaf = prop_oneof![
+        (0i64..1_000_000).prop_map(Expr::Int),
+        (0i64..1000).prop_map(|v| Expr::Float(v as f64 / 8.0)),
+        arb_string_lit().prop_map(Expr::Str),
+        (arb_ident(), arb_ident())
+            .prop_map(|(var, attr)| Expr::Attr { var, attr }),
+    ];
+    leaf.prop_recursive(4, 24, 3, |inner| {
+        prop_oneof![
+            (
+                prop_oneof![
+                    Just(BinOp::Add),
+                    Just(BinOp::Sub),
+                    Just(BinOp::Mul),
+                    Just(BinOp::Div),
+                    Just(BinOp::Mod),
+                    Just(BinOp::Eq),
+                    Just(BinOp::Ne),
+                    Just(BinOp::Lt),
+                    Just(BinOp::Le),
+                    Just(BinOp::Gt),
+                    Just(BinOp::Ge),
+                    Just(BinOp::And),
+                    Just(BinOp::Or),
+                ],
+                inner.clone(),
+                inner.clone()
+            )
+                .prop_map(|(op, l, r)| Expr::Bin {
+                    op,
+                    lhs: Box::new(l),
+                    rhs: Box::new(r)
+                }),
+            inner.clone().prop_map(|e| Expr::Neg(Box::new(e))),
+            inner.prop_map(|e| Expr::Not(Box::new(e))),
+        ]
+    })
+}
+
+fn arb_texpr() -> impl Strategy<Value = TemporalExpr> {
+    let leaf = prop_oneof![
+        arb_ident().prop_map(TemporalExpr::Var),
+        arb_string_lit().prop_map(TemporalExpr::Lit),
+    ];
+    leaf.prop_recursive(3, 16, 2, |inner| {
+        prop_oneof![
+            inner.clone().prop_map(|e| TemporalExpr::Start(Box::new(e))),
+            inner.clone().prop_map(|e| TemporalExpr::End(Box::new(e))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| {
+                TemporalExpr::Overlap(Box::new(a), Box::new(b))
+            }),
+            (inner.clone(), inner).prop_map(|(a, b)| {
+                TemporalExpr::Extend(Box::new(a), Box::new(b))
+            }),
+        ]
+    })
+}
+
+fn arb_tpred() -> impl Strategy<Value = TemporalPred> {
+    let leaf = prop_oneof![
+        (arb_texpr(), arb_texpr())
+            .prop_map(|(a, b)| TemporalPred::Precede(a, b)),
+        (arb_texpr(), arb_texpr())
+            .prop_map(|(a, b)| TemporalPred::Overlap(a, b)),
+        (arb_texpr(), arb_texpr())
+            .prop_map(|(a, b)| TemporalPred::Equal(a, b)),
+    ];
+    leaf.prop_recursive(3, 12, 2, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| {
+                TemporalPred::And(Box::new(a), Box::new(b))
+            }),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| {
+                TemporalPred::Or(Box::new(a), Box::new(b))
+            }),
+            inner.prop_map(|p| TemporalPred::Not(Box::new(p))),
+        ]
+    })
+}
+
+fn arb_retrieve() -> impl Strategy<Value = Statement> {
+    (
+        prop::collection::vec(
+            (prop::option::of(arb_ident()), arb_expr()),
+            1..4,
+        ),
+        prop::option::of((arb_texpr(), arb_texpr())),
+        prop::option::of(arb_expr()),
+        prop::option::of(arb_tpred()),
+        prop::option::of((arb_string_lit(), prop::option::of(arb_string_lit()))),
+        prop::collection::vec((arb_ident(), any::<bool>()), 0..3),
+    )
+        .prop_map(|(targets, valid, where_clause, when_clause, as_of, sort)| {
+            // Explicit target names must be unique for the printed form to
+            // re-bind identically; suffix them by position.
+            let targets = targets
+                .into_iter()
+                .enumerate()
+                .map(|(i, (name, expr))| Target {
+                    name: name.map(|n| format!("{n}_{i}")),
+                    expr,
+                })
+                .collect();
+            Statement::Retrieve(Retrieve {
+                into: None,
+                targets,
+                valid: valid.map(|(from, to)| ValidClause::Interval {
+                    from,
+                    to,
+                }),
+                where_clause,
+                when_clause,
+                as_of: as_of.map(|(at, through)| AsOf {
+                    at: TemporalExpr::Lit(at),
+                    through: through.map(TemporalExpr::Lit),
+                }),
+                sort: sort
+                    .into_iter()
+                    .map(|(column, descending)| SortKey {
+                        column,
+                        descending,
+                    })
+                    .collect(),
+            })
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    #[test]
+    fn retrieve_statements_roundtrip(stmt in arb_retrieve()) {
+        let printed = stmt.to_string();
+        let reparsed = parse_statement(&printed)
+            .map_err(|e| TestCaseError::fail(format!("{e}\n{printed}")))?;
+        prop_assert_eq!(stmt, reparsed, "printed: {}", printed);
+    }
+
+    #[test]
+    fn where_expressions_roundtrip(e in arb_expr()) {
+        let stmt = Statement::Retrieve(Retrieve {
+            into: None,
+            targets: vec![Target {
+                name: None,
+                expr: Expr::Attr { var: "v".into(), attr: "x".into() },
+            }],
+            valid: None,
+            where_clause: Some(e),
+            when_clause: None,
+            as_of: None,
+            sort: Vec::new(),
+        });
+        let printed = stmt.to_string();
+        let reparsed = parse_statement(&printed)
+            .map_err(|e| TestCaseError::fail(format!("{e}\n{printed}")))?;
+        prop_assert_eq!(stmt, reparsed, "printed: {}", printed);
+    }
+
+    #[test]
+    fn when_predicates_roundtrip(p in arb_tpred()) {
+        let stmt = Statement::Retrieve(Retrieve {
+            into: None,
+            targets: vec![Target {
+                name: None,
+                expr: Expr::Attr { var: "v".into(), attr: "x".into() },
+            }],
+            valid: None,
+            where_clause: None,
+            when_clause: Some(p),
+            as_of: None,
+            sort: Vec::new(),
+        });
+        let printed = stmt.to_string();
+        let reparsed = parse_statement(&printed)
+            .map_err(|e| TestCaseError::fail(format!("{e}\n{printed}")))?;
+        prop_assert_eq!(stmt, reparsed, "printed: {}", printed);
+    }
+}
