@@ -1,9 +1,12 @@
-//! Criterion microbenchmarks of the storage engine's access methods:
-//! build, keyed lookup, insert, and sequential scan for heap, hash, and
-//! ISAM organizations on benchmark-shaped rows.
+//! Microbenchmarks of the storage engine's access methods: build, keyed
+//! lookup, and sequential scan for heap, hash, and ISAM organizations on
+//! benchmark-shaped rows.
+//!
+//! Plain `harness = false` binary on the in-repo timing helper — the
+//! build is hermetic, so no Criterion.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
+use tdbms_bench::timing;
 use tdbms_kernel::{AttrDef, Domain, RowCodec, Schema, Value};
 use tdbms_storage::{
     HashFile, HashFn, HeapFile, IsamFile, KeySpec, Pager, RelFile,
@@ -24,34 +27,22 @@ fn rows(n: i64) -> (RowCodec, Vec<Vec<u8>>) {
     (codec, rows)
 }
 
-fn bench_access(c: &mut Criterion) {
+fn main() {
     let (codec, data) = rows(1024);
     let key = KeySpec::for_attr(&codec, 0);
 
-    let mut group = c.benchmark_group("build");
-    group.bench_function("hash_1024", |b| {
-        b.iter(|| {
-            let mut pager = Pager::in_memory();
-            black_box(
-                HashFile::build(
-                    &mut pager,
-                    &data,
-                    108,
-                    key,
-                    HashFn::Mod,
-                    100,
-                )
+    timing::print_header("build");
+    timing::bench("hash_1024", 20, || {
+        let mut pager = Pager::in_memory();
+        black_box(
+            HashFile::build(&mut pager, &data, 108, key, HashFn::Mod, 100)
                 .unwrap(),
-            )
-        })
+        )
     });
-    group.bench_function("isam_1024", |b| {
-        b.iter(|| {
-            let mut pager = Pager::in_memory();
-            black_box(IsamFile::build(&mut pager, &data, 108, key, 100).unwrap())
-        })
+    timing::bench("isam_1024", 20, || {
+        let mut pager = Pager::in_memory();
+        black_box(IsamFile::build(&mut pager, &data, 108, key, 100).unwrap())
     });
-    group.finish();
 
     let mut pager = Pager::in_memory();
     let heap = HeapFile::create(&mut pager, 108).unwrap();
@@ -75,39 +66,29 @@ fn bench_access(c: &mut Criterion) {
         ("heap", RelFile::Heap(heap)),
     ];
 
-    let mut group = c.benchmark_group("lookup_id500");
+    timing::print_header("lookup_id500");
     for (name, file) in &files {
         if matches!(file, RelFile::Heap(_)) {
             continue;
         }
-        group.bench_function(*name, |b| {
-            b.iter(|| {
-                let kb = 500i32.to_le_bytes();
-                let mut cur =
-                    file.lookup_eq(&mut pager, &kb).unwrap().unwrap();
-                while let Some(hit) = cur.next(&mut pager, file).unwrap() {
-                    black_box(hit);
-                }
-            })
+        timing::bench(name, 100, || {
+            let kb = 500i32.to_le_bytes();
+            let mut cur = file.lookup_eq(&mut pager, &kb).unwrap().unwrap();
+            while let Some(hit) = cur.next(&mut pager, file).unwrap() {
+                black_box(hit);
+            }
         });
     }
-    group.finish();
 
-    let mut group = c.benchmark_group("scan_1024");
+    timing::print_header("scan_1024");
     for (name, file) in &files {
-        group.bench_function(*name, |b| {
-            b.iter(|| {
-                let mut n = 0u64;
-                let mut cur = file.scan();
-                while cur.next(&mut pager, file).unwrap().is_some() {
-                    n += 1;
-                }
-                black_box(n)
-            })
+        timing::bench(name, 50, || {
+            let mut n = 0u64;
+            let mut cur = file.scan();
+            while cur.next(&mut pager, file).unwrap().is_some() {
+                n += 1;
+            }
+            black_box(n)
         });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_access);
-criterion_main!(benches);

@@ -1,29 +1,24 @@
-//! Criterion wall-clock benchmarks of the twelve queries on the temporal
-//! database at update counts 0 and 8 (page accesses are the paper's
-//! metric; this confirms they track runtime on the in-memory engine too).
+//! Wall-clock benchmarks of the twelve queries on the temporal database
+//! at update counts 0 and 8 (page accesses are the paper's metric; this
+//! confirms they track runtime on the in-memory engine too).
+//!
+//! Plain `harness = false` binary on the in-repo timing helper — the
+//! build is hermetic, so no Criterion.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
-use tdbms_bench::{queries_for, run_sweep, BenchConfig};
+use tdbms_bench::{queries_for, run_sweep, timing, BenchConfig};
 use tdbms_kernel::DatabaseClass;
 
-fn bench_queries(c: &mut Criterion) {
+fn main() {
     for uc in [0u32, 8] {
         let cfg = BenchConfig::new(DatabaseClass::Temporal, 100);
         let (_, mut db) = run_sweep(cfg, uc);
-        let mut group = c.benchmark_group(format!("temporal100_uc{uc}"));
-        group.sample_size(10);
+        timing::print_header(&format!("temporal100_uc{uc}"));
         for q in queries_for(DatabaseClass::Temporal) {
-            group.bench_function(q.id, |b| {
-                b.iter(|| {
-                    let out = db.execute(black_box(&q.tquel)).unwrap();
-                    black_box(out.stats.input_pages)
-                })
+            timing::bench(q.id, 10, || {
+                let out = db.execute(black_box(&q.tquel)).unwrap();
+                black_box(out.stats.input_pages)
             });
         }
-        group.finish();
     }
 }
-
-criterion_group!(benches, bench_queries);
-criterion_main!(benches);

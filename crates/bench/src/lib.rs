@@ -11,12 +11,14 @@ pub mod figures;
 pub mod improvements;
 pub mod queries;
 pub mod sweep;
+pub mod timing;
 pub mod workload;
 
 pub use analysis::{cost_model, fixed_cost, CostModel};
 pub use improvements::{measure_improvements, nonuniform_experiment, Fig10Row};
 pub use queries::{queries_for, query_for, BenchQuery, QUERY_IDS};
 pub use sweep::{measure, run_sweep, Cost, SweepData};
+pub use timing::{time_n, TimingStats};
 pub use workload::{
     build_database, build_database_with_hash, evolve_single_tuple,
     evolve_uniform, BenchConfig,

@@ -1,0 +1,129 @@
+//! In-repo wall-clock measurement for the `harness = false` benchmark
+//! binaries (the registry `criterion` crate is not available offline).
+//!
+//! The paper's metric is page I/O, which `tdbms-storage::iostats` counts
+//! exactly and deterministically; wall-clock numbers here are the
+//! secondary check that page counts track runtime on the in-memory
+//! engine. Accordingly the statistics are deliberately simple: run a
+//! closure N times, report min / median / mean / max of the per-
+//! iteration durations. Median over mean is the headline number — it is
+//! robust against the occasional scheduler hiccup.
+
+use std::time::{Duration, Instant};
+
+/// Summary statistics over N timed iterations.
+#[derive(Debug, Clone, Copy)]
+pub struct TimingStats {
+    /// Number of timed iterations.
+    pub iters: u32,
+    /// Fastest iteration.
+    pub min: Duration,
+    /// Median iteration (the headline number).
+    pub median: Duration,
+    /// Arithmetic mean.
+    pub mean: Duration,
+    /// Slowest iteration.
+    pub max: Duration,
+}
+
+impl TimingStats {
+    /// `"   12.3 µs … 14.0 µs (median 13.1 µs over 10 iters)"`-style cell.
+    pub fn to_row(&self) -> String {
+        format!(
+            "{:>12} {:>12} {:>12} {:>12}",
+            fmt_duration(self.min),
+            fmt_duration(self.median),
+            fmt_duration(self.mean),
+            fmt_duration(self.max),
+        )
+    }
+}
+
+/// Render a duration with a unit that keeps 3–4 significant digits.
+pub fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 10_000 {
+        format!("{ns} ns")
+    } else if ns < 10_000_000 {
+        format!("{:.1} µs", ns as f64 / 1e3)
+    } else if ns < 10_000_000_000 {
+        format!("{:.1} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.2} s", ns as f64 / 1e9)
+    }
+}
+
+/// Time `iters` runs of `f` (after one untimed warm-up run) and return
+/// the summary. The closure's return value is passed through
+/// [`std::hint::black_box`] so the compiler cannot elide the work.
+pub fn time_n<R>(iters: u32, mut f: impl FnMut() -> R) -> TimingStats {
+    assert!(iters > 0, "time_n needs at least one iteration");
+    std::hint::black_box(f());
+    let mut samples: Vec<Duration> = (0..iters)
+        .map(|_| {
+            let t0 = Instant::now();
+            std::hint::black_box(f());
+            t0.elapsed()
+        })
+        .collect();
+    samples.sort_unstable();
+    let min = samples[0];
+    let max = samples[samples.len() - 1];
+    let median = if samples.len() % 2 == 1 {
+        samples[samples.len() / 2]
+    } else {
+        (samples[samples.len() / 2 - 1] + samples[samples.len() / 2]) / 2
+    };
+    let mean = samples.iter().sum::<Duration>() / iters;
+    TimingStats { iters, min, median, mean, max }
+}
+
+/// Print the header row matching [`TimingStats::to_row`].
+pub fn print_header(group: &str) {
+    println!("\n{group}");
+    println!(
+        "{:<24} {:>12} {:>12} {:>12} {:>12}",
+        "benchmark", "min", "median", "mean", "max"
+    );
+}
+
+/// Run and print one named benchmark under the current group.
+pub fn bench<R>(name: &str, iters: u32, f: impl FnMut() -> R) {
+    let stats = time_n(iters, f);
+    println!("{name:<24} {}", stats.to_row());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_are_ordered_and_counted() {
+        let mut n = 0u64;
+        let s = time_n(9, || {
+            n += 1;
+            std::thread::sleep(Duration::from_micros(50));
+            n
+        });
+        assert_eq!(s.iters, 9);
+        // warm-up + 9 timed runs
+        assert_eq!(n, 10);
+        assert!(s.min <= s.median && s.median <= s.max);
+        assert!(s.min <= s.mean && s.mean <= s.max);
+        assert!(s.min >= Duration::from_micros(50));
+    }
+
+    #[test]
+    fn median_of_even_sample_count_averages_middle_pair() {
+        let s = time_n(2, || std::thread::sleep(Duration::from_micros(10)));
+        assert!(s.median >= s.min && s.median <= s.max);
+    }
+
+    #[test]
+    fn duration_formatting_picks_sane_units() {
+        assert_eq!(fmt_duration(Duration::from_nanos(42)), "42 ns");
+        assert_eq!(fmt_duration(Duration::from_micros(42)), "42.0 µs");
+        assert_eq!(fmt_duration(Duration::from_millis(42)), "42.0 ms");
+        assert_eq!(fmt_duration(Duration::from_secs(42)), "42.00 s");
+    }
+}

@@ -14,12 +14,15 @@
 //!   appending implicit time attributes.
 //! * [`row`] — fixed-width binary row encoding used by the page store.
 //! * [`clock`] — the transaction clock ("now"), logical for reproducibility.
+//! * [`prng`] — deterministic seedable randomness (PCG32) so benchmark
+//!   workloads and property tests replay bit-identically, offline.
 //! * [`error`] — the common error type.
 //!
 //! The crate is dependency-free and usable on its own.
 
 pub mod clock;
 pub mod error;
+pub mod prng;
 pub mod row;
 pub mod schema;
 pub mod time;
@@ -27,6 +30,7 @@ pub mod value;
 
 pub use clock::Clock;
 pub use error::{Error, Result};
+pub use prng::Prng;
 pub use row::{RowCodec, RowView};
 pub use schema::{AttrDef, DatabaseClass, Schema, TemporalAttr, TemporalKind};
 pub use time::{Granularity, TimeVal};

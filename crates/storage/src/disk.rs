@@ -39,7 +39,7 @@ pub trait DiskManager {
 /// the paper's full update-count sweep in seconds.
 #[derive(Default)]
 pub struct MemDisk {
-    files: HashMap<FileId, Vec<Box<[u8; PAGE_SIZE]>>>,
+    files: HashMap<FileId, Vec<[u8; PAGE_SIZE]>>,
     next_id: u32,
 }
 
@@ -49,7 +49,7 @@ impl MemDisk {
         Self::default()
     }
 
-    fn file(&self, file: FileId) -> Result<&Vec<Box<[u8; PAGE_SIZE]>>> {
+    fn file(&self, file: FileId) -> Result<&Vec<[u8; PAGE_SIZE]>> {
         self.files
             .get(&file)
             .ok_or_else(|| Error::Internal(format!("no such file {file:?}")))
@@ -58,7 +58,7 @@ impl MemDisk {
     fn file_mut(
         &mut self,
         file: FileId,
-    ) -> Result<&mut Vec<Box<[u8; PAGE_SIZE]>>> {
+    ) -> Result<&mut Vec<[u8; PAGE_SIZE]>> {
         self.files
             .get_mut(&file)
             .ok_or_else(|| Error::Internal(format!("no such file {file:?}")))
@@ -89,7 +89,7 @@ impl DiskManager for MemDisk {
         let bytes = pages
             .get(page_no as usize)
             .ok_or(Error::NoSuchPage(page_no))?;
-        Ok(Page::from_bytes(bytes.clone()))
+        Ok(Page::from_bytes(Box::new(*bytes)))
     }
 
     fn write_page(
@@ -108,7 +108,7 @@ impl DiskManager for MemDisk {
 
     fn append_page(&mut self, file: FileId, page: &Page) -> Result<u32> {
         let pages = self.file_mut(file)?;
-        pages.push(Box::new(*page.as_bytes()));
+        pages.push(*page.as_bytes());
         Ok(pages.len() as u32 - 1)
     }
 

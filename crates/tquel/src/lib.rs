@@ -295,6 +295,33 @@ mod tests {
     }
 
     #[test]
+    fn string_literals_with_escapes_roundtrip() {
+        // The lexer treats `\x` as an escape for any x, so the printer
+        // must escape both `\` and `"` (regression: a lone backslash used
+        // to print as `"\"`, an unterminated literal).
+        for s in ["\\", "\"", "a\\b", "say \"hi\"", "trail\\", "\\\""] {
+            let q = format!(
+                "retrieve (v.x) where v.x = {}",
+                printer::quote_str(s)
+            );
+            let Statement::Retrieve(r) = parse1(&q) else { unreachable!() };
+            assert_eq!(
+                r.where_clause,
+                Some(Expr::Bin {
+                    op: BinOp::Eq,
+                    lhs: Box::new(Expr::Attr {
+                        var: "v".into(),
+                        attr: "x".into()
+                    }),
+                    rhs: Box::new(Expr::Str(s.into())),
+                }),
+                "literal {s:?} did not survive quote_str + lex"
+            );
+            roundtrip(&q);
+        }
+    }
+
+    #[test]
     fn keywords_cannot_be_relation_names() {
         assert!(parse_statement("range of h is retrieve").is_err());
     }

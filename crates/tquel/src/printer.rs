@@ -8,6 +8,13 @@
 use crate::ast::*;
 use std::fmt;
 
+/// Render a string literal so the lexer reads back the exact value: the
+/// lexer treats `\x` as an escape for any `x`, so both the backslash
+/// itself and the quote must be escaped (backslash first).
+pub fn quote_str(s: &str) -> String {
+    format!("\"{}\"", s.replace('\\', "\\\\").replace('"', "\\\""))
+}
+
 impl fmt::Display for Statement {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
@@ -169,10 +176,10 @@ impl fmt::Display for Copy {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "copy {} {} \"{}\"",
+            "copy {} {} {}",
             self.rel,
             if self.from { "from" } else { "into" },
-            self.file
+            quote_str(&self.file)
         )
     }
 }
@@ -189,7 +196,7 @@ impl fmt::Display for Expr {
                     write!(f, "{v}")
                 }
             }
-            Expr::Str(s) => write!(f, "\"{}\"", s.replace('"', "\\\"")),
+            Expr::Str(s) => write!(f, "{}", quote_str(s)),
             Expr::Attr { var, attr } => write!(f, "{var}.{attr}"),
             Expr::Bin { op, lhs, rhs } => {
                 write!(f, "({lhs} {} {rhs})", op.as_str())
@@ -205,7 +212,7 @@ impl fmt::Display for TemporalExpr {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             TemporalExpr::Var(v) => write!(f, "{v}"),
-            TemporalExpr::Lit(s) => write!(f, "\"{}\"", s.replace('"', "\\\"")),
+            TemporalExpr::Lit(s) => write!(f, "{}", quote_str(s)),
             TemporalExpr::Start(e) => write!(f, "start of {e}"),
             TemporalExpr::End(e) => write!(f, "end of {e}"),
             TemporalExpr::Overlap(a, b) => write!(f, "({a} overlap {b})"),

@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+# Tier-1 verify, hermetically: no network, no registry, warnings are
+# errors. This is exactly what CI and the PR driver run.
+#
+#   scripts/ci.sh            # build + clippy + test
+#   scripts/ci.sh --quick    # skip the release build (debug test only)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+export CARGO_NET_OFFLINE=true
+export RUSTFLAGS="${RUSTFLAGS:-} -D warnings"
+
+quick=false
+[[ "${1:-}" == "--quick" ]] && quick=true
+
+if ! $quick; then
+    echo "==> cargo build --release (offline, -D warnings)"
+    cargo build --release --workspace --all-targets
+fi
+
+if cargo clippy --version >/dev/null 2>&1; then
+    echo "==> cargo clippy --all-targets (offline, -D warnings)"
+    cargo clippy --workspace --all-targets -- -D warnings
+else
+    echo "==> clippy not installed; skipping lint step"
+fi
+
+echo "==> cargo test -q (offline)"
+cargo test --workspace -q
+
+echo "ci: all green"

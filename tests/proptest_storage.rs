@@ -2,9 +2,9 @@
 //! with a simple in-memory reference model, regardless of key
 //! distribution, fill factor, or insertion order.
 
-use proptest::prelude::*;
 use std::collections::BTreeMap;
 use tdbms::{AttrDef, Domain, Schema, Value};
+use tdbms_prop::{check, Gen};
 use tdbms_storage::{
     HashFile, HashFn, HeapFile, IsamFile, KeySpec, Pager, RelFile,
 };
@@ -77,18 +77,17 @@ fn collect_lookup(
     out
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
+/// Hash and ISAM agree with the model under arbitrary build + insert
+/// sequences (duplicates, negatives, clustered keys).
+#[test]
+fn keyed_files_agree_with_model() {
+    check("keyed_files_agree_with_model", 48, |g: &mut Gen| {
+        let initial =
+            g.vec(0..150, |g| (g.range(-40i32..40), g.any_i32()));
+        let inserts = g.vec(0..80, |g| (g.range(-40i32..40), g.any_i32()));
+        let fill = *g.pick(&[50u8, 75, 100]);
+        let hashfn = *g.pick(&[HashFn::Mod, HashFn::Multiplicative]);
 
-    /// Hash and ISAM agree with the model under arbitrary build + insert
-    /// sequences (duplicates, negatives, clustered keys).
-    #[test]
-    fn keyed_files_agree_with_model(
-        initial in prop::collection::vec((-40i32..40, any::<i32>()), 0..150),
-        inserts in prop::collection::vec((-40i32..40, any::<i32>()), 0..80),
-        fill in prop_oneof![Just(50u8), Just(75), Just(100)],
-        hashfn in prop_oneof![Just(HashFn::Mod), Just(HashFn::Multiplicative)],
-    ) {
         let schema = codec();
         let mut pager = Pager::in_memory();
         let rows: Vec<Vec<u8>> = initial
@@ -109,34 +108,31 @@ proptest! {
                 IsamFile::build(&mut pager, &rows, WIDTH, key, fill).unwrap(),
             ),
         ];
-        let mut all = initial.clone();
         for file in files {
-            let mut local = all.clone();
+            let mut local = initial.clone();
             for (k, v) in &inserts {
                 file.insert(&mut pager, &encode(&schema, *k, *v)).unwrap();
                 local.push((*k, *v));
             }
             let want = model_of(&local);
             // Full scan sees exactly the model.
-            prop_assert_eq!(collect_scan(&mut pager, &file, &schema), want.clone());
+            assert_eq!(collect_scan(&mut pager, &file, &schema), want);
             // Every present key is found with all its versions; absent
             // probes find nothing.
             for probe in -42i32..42 {
                 let got = collect_lookup(&mut pager, &file, &schema, probe);
                 let expect = want.get(&probe).cloned().unwrap_or_default();
-                prop_assert_eq!(got, expect, "probe {}", probe);
+                assert_eq!(got, expect, "probe {probe}");
             }
         }
-        // (keep `all` alive for clarity — both organizations got the same
-        // insert stream)
-        all.extend(inserts);
-    }
+    });
+}
 
-    /// A heap preserves insertion order exactly.
-    #[test]
-    fn heap_preserves_order(
-        rows in prop::collection::vec((any::<i32>(), any::<i32>()), 0..120)
-    ) {
+/// A heap preserves insertion order exactly.
+#[test]
+fn heap_preserves_order() {
+    check("heap_preserves_order", 48, |g: &mut Gen| {
+        let rows = g.vec(0..120, |g| (g.any_i32(), g.any_i32()));
         let schema = codec();
         let mut pager = Pager::in_memory();
         let heap = HeapFile::create(&mut pager, WIDTH).unwrap();
@@ -149,16 +145,17 @@ proptest! {
         while let Some((_, row)) = cur.next(&mut pager, &heap).unwrap() {
             got.push((c.get_i4(&row, 0), c.get_i4(&row, 1)));
         }
-        prop_assert_eq!(got, rows);
-    }
+        assert_eq!(got, rows);
+    });
+}
 
-    /// Scan I/O cost is exactly the scannable page count, for any
-    /// organization and any contents.
-    #[test]
-    fn scan_cost_is_page_count(
-        rows in prop::collection::vec((-20i32..20, any::<i32>()), 1..200),
-        fill in prop_oneof![Just(50u8), Just(100)],
-    ) {
+/// Scan I/O cost is exactly the scannable page count, for any
+/// organization and any contents.
+#[test]
+fn scan_cost_is_page_count() {
+    check("scan_cost_is_page_count", 48, |g: &mut Gen| {
+        let rows = g.vec(1..200, |g| (g.range(-20i32..20), g.any_i32()));
+        let fill = *g.pick(&[50u8, 100]);
         let schema = codec();
         let mut pager = Pager::in_memory();
         let encoded: Vec<Vec<u8>> =
@@ -187,46 +184,50 @@ proptest! {
             while cur.next(&mut pager, &file).unwrap().is_some() {
                 n += 1;
             }
-            prop_assert_eq!(n, rows.len());
-            prop_assert_eq!(
+            assert_eq!(n, rows.len());
+            assert_eq!(
                 pager.stats().of(file.file_id()).reads as u32,
                 file.scannable_pages(&pager).unwrap()
             );
         }
-    }
+    });
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
-
-    /// TimeVal: format-then-parse is the identity at second granularity.
-    #[test]
-    fn time_format_parse_roundtrip(secs in 0u32..u32::MAX - 1) {
+/// TimeVal: format-then-parse is the identity at second granularity.
+#[test]
+fn time_format_parse_roundtrip() {
+    check("time_format_parse_roundtrip", 256, |g: &mut Gen| {
+        let secs = g.range(0u32..u32::MAX - 1);
         let t = tdbms::TimeVal::from_secs(secs);
         let s = t.format(tdbms::Granularity::Second);
-        prop_assert_eq!(tdbms::TimeVal::parse(&s).unwrap(), t);
-    }
+        assert_eq!(tdbms::TimeVal::parse(&s).unwrap(), t);
+    });
+}
 
-    /// Civil conversion round-trips for every representable instant.
-    #[test]
-    fn civil_roundtrip(secs in 0u32..u32::MAX - 1) {
+/// Civil conversion round-trips for every representable instant.
+#[test]
+fn civil_roundtrip() {
+    check("civil_roundtrip", 256, |g: &mut Gen| {
+        let secs = g.range(0u32..u32::MAX - 1);
         let t = tdbms::TimeVal::from_secs(secs);
         let c = t.to_civil();
         let back = tdbms::TimeVal::from_ymd_hms(
             c.year, c.month, c.day, c.hour, c.minute, c.second,
-        ).unwrap();
-        prop_assert_eq!(back, t);
-    }
+        )
+        .unwrap();
+        assert_eq!(back, t);
+    });
+}
 
-    /// Interval algebra laws: intersection is commutative and contained in
-    /// both operands; span contains both; overlap is symmetric; precede is
-    /// antisymmetric apart from meeting points.
-    #[test]
-    fn interval_algebra_laws(
-        a_lo in 0u32..1000, a_len in 0u32..1000,
-        b_lo in 0u32..1000, b_len in 0u32..1000,
-    ) {
+/// Interval algebra laws: intersection is commutative and contained in
+/// both operands; span contains both; overlap is symmetric; precede is
+/// antisymmetric apart from meeting points.
+#[test]
+fn interval_algebra_laws() {
+    check("interval_algebra_laws", 256, |g: &mut Gen| {
         use tdbms::{TInterval, TimeVal};
+        let (a_lo, a_len) = (g.range(0u32..1000), g.range(0u32..1000));
+        let (b_lo, b_len) = (g.range(0u32..1000), g.range(0u32..1000));
         let a = TInterval::new(
             TimeVal::from_secs(a_lo),
             TimeVal::from_secs(a_lo + a_len),
@@ -235,22 +236,22 @@ proptest! {
             TimeVal::from_secs(b_lo),
             TimeVal::from_secs(b_lo + b_len),
         );
-        prop_assert_eq!(a.intersect(&b), b.intersect(&a));
-        prop_assert_eq!(a.span(&b), b.span(&a));
-        prop_assert_eq!(a.overlaps(&b), b.overlaps(&a));
+        assert_eq!(a.intersect(&b), b.intersect(&a));
+        assert_eq!(a.span(&b), b.span(&a));
+        assert_eq!(a.overlaps(&b), b.overlaps(&a));
         let i = a.intersect(&b);
         if !i.is_empty() {
-            prop_assert!(a.contains(i.lo) && a.contains(i.hi));
-            prop_assert!(b.contains(i.lo) && b.contains(i.hi));
+            assert!(a.contains(i.lo) && a.contains(i.hi));
+            assert!(b.contains(i.lo) && b.contains(i.hi));
         }
         let s = a.span(&b);
-        prop_assert!(s.lo <= a.lo && s.hi >= a.hi);
-        prop_assert!(s.lo <= b.lo && s.hi >= b.hi);
+        assert!(s.lo <= a.lo && s.hi >= a.hi);
+        assert!(s.lo <= b.lo && s.hi >= b.hi);
         // overlap(a, b) == !(a precede strictly before b) && vice versa,
         // with the meeting-point convention that both may hold at a shared
         // endpoint.
         if a.precedes(&b) && b.precedes(&a) {
-            prop_assert!(a.hi == b.lo && b.hi == a.lo);
+            assert!(a.hi == b.lo && b.hi == a.lo);
         }
-    }
+    });
 }

@@ -1,199 +1,301 @@
 //! Property test: pretty-printing any TQuel syntax tree and re-parsing it
 //! yields the same tree (print ∘ parse = id on the printer's image).
 
-use proptest::prelude::*;
 use tdbms::tquel::ast::*;
 use tdbms::tquel::{parse_statement, token::Keyword};
+use tdbms_prop::{check, Gen};
 
-fn arb_ident() -> impl Strategy<Value = String> {
-    "[a-z][a-z0-9_]{0,6}"
-        .prop_filter("not a keyword", |s| Keyword::from_str(s).is_none())
+const IDENT_REST: &[u8] = b"abcdefghijklmnopqrstuvwxyz0123456789_";
+
+fn arb_ident(g: &mut Gen) -> String {
+    loop {
+        let first = g.range(b'a'..=b'z') as char;
+        let rest = g.string_from(IDENT_REST, 0..7);
+        let s = format!("{first}{rest}");
+        if Keyword::from_str(&s).is_none() {
+            return s;
+        }
+    }
 }
 
-fn arb_string_lit() -> impl Strategy<Value = String> {
-    // Printable, no backslashes (the printer escapes quotes only).
-    "[ -!#-\\[\\]-~]{0,12}".prop_map(|s| s)
+/// Any printable ASCII — including `"` and `\`, which the printer
+/// escapes (`printer::quote_str`); the round-trip property covers the
+/// escaping itself.
+fn arb_string_lit(g: &mut Gen) -> String {
+    let printable: Vec<u8> = (0x20u8..=0x7E).collect();
+    g.string_from(&printable, 0..13)
 }
 
-fn arb_expr() -> impl Strategy<Value = Expr> {
+const BIN_OPS: [BinOp; 13] = [
+    BinOp::Add,
+    BinOp::Sub,
+    BinOp::Mul,
+    BinOp::Div,
+    BinOp::Mod,
+    BinOp::Eq,
+    BinOp::Ne,
+    BinOp::Lt,
+    BinOp::Le,
+    BinOp::Gt,
+    BinOp::Ge,
+    BinOp::And,
+    BinOp::Or,
+];
+
+fn arb_expr(g: &mut Gen, depth: u32) -> Expr {
     // Literals are non-negative: `-1` prints identically to `Neg(Int(1))`,
     // and the parser (correctly) produces the latter. Negation is covered
     // by explicit `Neg` nodes.
-    let leaf = prop_oneof![
-        (0i64..1_000_000).prop_map(Expr::Int),
-        (0i64..1000).prop_map(|v| Expr::Float(v as f64 / 8.0)),
-        arb_string_lit().prop_map(Expr::Str),
-        (arb_ident(), arb_ident())
-            .prop_map(|(var, attr)| Expr::Attr { var, attr }),
-    ];
-    leaf.prop_recursive(4, 24, 3, |inner| {
-        prop_oneof![
-            (
-                prop_oneof![
-                    Just(BinOp::Add),
-                    Just(BinOp::Sub),
-                    Just(BinOp::Mul),
-                    Just(BinOp::Div),
-                    Just(BinOp::Mod),
-                    Just(BinOp::Eq),
-                    Just(BinOp::Ne),
-                    Just(BinOp::Lt),
-                    Just(BinOp::Le),
-                    Just(BinOp::Gt),
-                    Just(BinOp::Ge),
-                    Just(BinOp::And),
-                    Just(BinOp::Or),
-                ],
-                inner.clone(),
-                inner.clone()
-            )
-                .prop_map(|(op, l, r)| Expr::Bin {
-                    op,
-                    lhs: Box::new(l),
-                    rhs: Box::new(r)
-                }),
-            inner.clone().prop_map(|e| Expr::Neg(Box::new(e))),
-            inner.prop_map(|e| Expr::Not(Box::new(e))),
-        ]
-    })
+    if depth == 0 || g.bool() {
+        match g.range(0u8..4) {
+            0 => Expr::Int(g.range(0i64..1_000_000)),
+            1 => Expr::Float(g.range(0i64..1000) as f64 / 8.0),
+            2 => Expr::Str(arb_string_lit(g)),
+            _ => Expr::Attr { var: arb_ident(g), attr: arb_ident(g) },
+        }
+    } else {
+        match g.range(0u8..3) {
+            0 => Expr::Bin {
+                op: *g.pick(&BIN_OPS),
+                lhs: Box::new(arb_expr(g, depth - 1)),
+                rhs: Box::new(arb_expr(g, depth - 1)),
+            },
+            1 => Expr::Neg(Box::new(arb_expr(g, depth - 1))),
+            _ => Expr::Not(Box::new(arb_expr(g, depth - 1))),
+        }
+    }
 }
 
-fn arb_texpr() -> impl Strategy<Value = TemporalExpr> {
-    let leaf = prop_oneof![
-        arb_ident().prop_map(TemporalExpr::Var),
-        arb_string_lit().prop_map(TemporalExpr::Lit),
-    ];
-    leaf.prop_recursive(3, 16, 2, |inner| {
-        prop_oneof![
-            inner.clone().prop_map(|e| TemporalExpr::Start(Box::new(e))),
-            inner.clone().prop_map(|e| TemporalExpr::End(Box::new(e))),
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| {
-                TemporalExpr::Overlap(Box::new(a), Box::new(b))
-            }),
-            (inner.clone(), inner).prop_map(|(a, b)| {
-                TemporalExpr::Extend(Box::new(a), Box::new(b))
-            }),
-        ]
-    })
+fn arb_texpr(g: &mut Gen, depth: u32) -> TemporalExpr {
+    if depth == 0 || g.bool() {
+        if g.bool() {
+            TemporalExpr::Var(arb_ident(g))
+        } else {
+            TemporalExpr::Lit(arb_string_lit(g))
+        }
+    } else {
+        match g.range(0u8..4) {
+            0 => TemporalExpr::Start(Box::new(arb_texpr(g, depth - 1))),
+            1 => TemporalExpr::End(Box::new(arb_texpr(g, depth - 1))),
+            2 => TemporalExpr::Overlap(
+                Box::new(arb_texpr(g, depth - 1)),
+                Box::new(arb_texpr(g, depth - 1)),
+            ),
+            _ => TemporalExpr::Extend(
+                Box::new(arb_texpr(g, depth - 1)),
+                Box::new(arb_texpr(g, depth - 1)),
+            ),
+        }
+    }
 }
 
-fn arb_tpred() -> impl Strategy<Value = TemporalPred> {
-    let leaf = prop_oneof![
-        (arb_texpr(), arb_texpr())
-            .prop_map(|(a, b)| TemporalPred::Precede(a, b)),
-        (arb_texpr(), arb_texpr())
-            .prop_map(|(a, b)| TemporalPred::Overlap(a, b)),
-        (arb_texpr(), arb_texpr())
-            .prop_map(|(a, b)| TemporalPred::Equal(a, b)),
-    ];
-    leaf.prop_recursive(3, 12, 2, |inner| {
-        prop_oneof![
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| {
-                TemporalPred::And(Box::new(a), Box::new(b))
-            }),
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| {
-                TemporalPred::Or(Box::new(a), Box::new(b))
-            }),
-            inner.prop_map(|p| TemporalPred::Not(Box::new(p))),
-        ]
-    })
+fn arb_tpred(g: &mut Gen, depth: u32) -> TemporalPred {
+    if depth == 0 || g.bool() {
+        let a = arb_texpr(g, 2);
+        let b = arb_texpr(g, 2);
+        match g.range(0u8..3) {
+            0 => TemporalPred::Precede(a, b),
+            1 => TemporalPred::Overlap(a, b),
+            _ => TemporalPred::Equal(a, b),
+        }
+    } else {
+        match g.range(0u8..3) {
+            0 => TemporalPred::And(
+                Box::new(arb_tpred(g, depth - 1)),
+                Box::new(arb_tpred(g, depth - 1)),
+            ),
+            1 => TemporalPred::Or(
+                Box::new(arb_tpred(g, depth - 1)),
+                Box::new(arb_tpred(g, depth - 1)),
+            ),
+            _ => TemporalPred::Not(Box::new(arb_tpred(g, depth - 1))),
+        }
+    }
 }
 
-fn arb_retrieve() -> impl Strategy<Value = Statement> {
-    (
-        prop::collection::vec(
-            (prop::option::of(arb_ident()), arb_expr()),
-            1..4,
-        ),
-        prop::option::of((arb_texpr(), arb_texpr())),
-        prop::option::of(arb_expr()),
-        prop::option::of(arb_tpred()),
-        prop::option::of((arb_string_lit(), prop::option::of(arb_string_lit()))),
-        prop::collection::vec((arb_ident(), any::<bool>()), 0..3),
-    )
-        .prop_map(|(targets, valid, where_clause, when_clause, as_of, sort)| {
-            // Explicit target names must be unique for the printed form to
-            // re-bind identically; suffix them by position.
-            let targets = targets
-                .into_iter()
-                .enumerate()
-                .map(|(i, (name, expr))| Target {
-                    name: name.map(|n| format!("{n}_{i}")),
-                    expr,
-                })
-                .collect();
-            Statement::Retrieve(Retrieve {
-                into: None,
-                targets,
-                valid: valid.map(|(from, to)| ValidClause::Interval {
-                    from,
-                    to,
-                }),
-                where_clause,
-                when_clause,
-                as_of: as_of.map(|(at, through)| AsOf {
-                    at: TemporalExpr::Lit(at),
-                    through: through.map(TemporalExpr::Lit),
-                }),
-                sort: sort
-                    .into_iter()
-                    .map(|(column, descending)| SortKey {
-                        column,
-                        descending,
-                    })
-                    .collect(),
-            })
+fn arb_retrieve(g: &mut Gen) -> Statement {
+    let targets = g.vec(1..4, |g| {
+        (g.option(arb_ident), arb_expr(g, 4))
+    });
+    // Explicit target names must be unique for the printed form to
+    // re-bind identically; suffix them by position.
+    let targets = targets
+        .into_iter()
+        .enumerate()
+        .map(|(i, (name, expr))| Target {
+            name: name.map(|n| format!("{n}_{i}")),
+            expr,
         })
+        .collect();
+    Statement::Retrieve(Retrieve {
+        into: None,
+        targets,
+        valid: g.option(|g| ValidClause::Interval {
+            from: arb_texpr(g, 3),
+            to: arb_texpr(g, 3),
+        }),
+        where_clause: g.option(|g| arb_expr(g, 4)),
+        when_clause: g.option(|g| arb_tpred(g, 3)),
+        as_of: g.option(|g| AsOf {
+            at: TemporalExpr::Lit(arb_string_lit(g)),
+            through: g.option(|g| TemporalExpr::Lit(arb_string_lit(g))),
+        }),
+        sort: g
+            .vec(0..3, |g| (arb_ident(g), g.bool()))
+            .into_iter()
+            .map(|(column, descending)| SortKey { column, descending })
+            .collect(),
+    })
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(192))]
+fn assert_roundtrips(stmt: &Statement) {
+    let printed = stmt.to_string();
+    let reparsed = match parse_statement(&printed) {
+        Ok(s) => s,
+        Err(e) => panic!("{e}\n{printed}"),
+    };
+    assert_eq!(stmt, &reparsed, "printed: {printed}");
+}
 
-    #[test]
-    fn retrieve_statements_roundtrip(stmt in arb_retrieve()) {
-        let printed = stmt.to_string();
-        let reparsed = parse_statement(&printed)
-            .map_err(|e| TestCaseError::fail(format!("{e}\n{printed}")))?;
-        prop_assert_eq!(stmt, reparsed, "printed: {}", printed);
-    }
+#[test]
+fn retrieve_statements_roundtrip() {
+    check("retrieve_statements_roundtrip", 192, |g: &mut Gen| {
+        assert_roundtrips(&arb_retrieve(g));
+    });
+}
 
-    #[test]
-    fn where_expressions_roundtrip(e in arb_expr()) {
-        let stmt = Statement::Retrieve(Retrieve {
-            into: None,
-            targets: vec![Target {
-                name: None,
-                expr: Expr::Attr { var: "v".into(), attr: "x".into() },
-            }],
-            valid: None,
-            where_clause: Some(e),
-            when_clause: None,
-            as_of: None,
-            sort: Vec::new(),
-        });
-        let printed = stmt.to_string();
-        let reparsed = parse_statement(&printed)
-            .map_err(|e| TestCaseError::fail(format!("{e}\n{printed}")))?;
-        prop_assert_eq!(stmt, reparsed, "printed: {}", printed);
-    }
+#[test]
+fn where_expressions_roundtrip() {
+    check("where_expressions_roundtrip", 192, |g: &mut Gen| {
+        assert_roundtrips(&where_stmt(arb_expr(g, 4)));
+    });
+}
 
-    #[test]
-    fn when_predicates_roundtrip(p in arb_tpred()) {
-        let stmt = Statement::Retrieve(Retrieve {
-            into: None,
-            targets: vec![Target {
-                name: None,
-                expr: Expr::Attr { var: "v".into(), attr: "x".into() },
-            }],
-            valid: None,
-            where_clause: None,
-            when_clause: Some(p),
-            as_of: None,
-            sort: Vec::new(),
-        });
-        let printed = stmt.to_string();
-        let reparsed = parse_statement(&printed)
-            .map_err(|e| TestCaseError::fail(format!("{e}\n{printed}")))?;
-        prop_assert_eq!(stmt, reparsed, "printed: {}", printed);
-    }
+#[test]
+fn when_predicates_roundtrip() {
+    check("when_predicates_roundtrip", 192, |g: &mut Gen| {
+        assert_roundtrips(&when_stmt(arb_tpred(g, 3)));
+    });
+}
+
+fn where_stmt(e: Expr) -> Statement {
+    Statement::Retrieve(Retrieve {
+        into: None,
+        targets: vec![Target {
+            name: None,
+            expr: Expr::Attr { var: "v".into(), attr: "x".into() },
+        }],
+        valid: None,
+        where_clause: Some(e),
+        when_clause: None,
+        as_of: None,
+        sort: Vec::new(),
+    })
+}
+
+fn when_stmt(p: TemporalPred) -> Statement {
+    Statement::Retrieve(Retrieve {
+        into: None,
+        targets: vec![Target {
+            name: None,
+            expr: Expr::Attr { var: "v".into(), attr: "x".into() },
+        }],
+        valid: None,
+        where_clause: None,
+        when_clause: Some(p),
+        as_of: None,
+        sort: Vec::new(),
+    })
+}
+
+/// Recorded proptest counterexample (tests/tquel_roundtrip.proptest-
+/// regressions, first entry): a retrieve whose `valid` clause nests
+/// `extend`/`begin of`/`end of` and whose `where` clause takes `mod` of
+/// two comparison results. The shrunk case predates the non-negative-
+/// literal convention and held `Int(-458770)` / `Int(-932785)`; those
+/// print as `-458770`, which the parser (correctly) reads back as
+/// `Neg(Int(458770))` — so the AST here uses the `Neg` form, printing
+/// the exact same statement text as the original counterexample.
+#[test]
+fn regression_valid_clause_extend_nesting_and_mod_of_comparisons() {
+    let stmt = Statement::Retrieve(Retrieve {
+        into: None,
+        targets: vec![Target { name: None, expr: Expr::Int(0) }],
+        valid: Some(ValidClause::Interval {
+            from: TemporalExpr::Var("a".into()),
+            to: TemporalExpr::Extend(
+                Box::new(TemporalExpr::Extend(
+                    Box::new(TemporalExpr::Var("a".into())),
+                    Box::new(TemporalExpr::Start(Box::new(
+                        TemporalExpr::Var("s_1_".into()),
+                    ))),
+                )),
+                Box::new(TemporalExpr::End(Box::new(TemporalExpr::Var(
+                    "n_na".into(),
+                )))),
+            ),
+        }),
+        where_clause: Some(Expr::Bin {
+            op: BinOp::Mod,
+            lhs: Box::new(Expr::Bin {
+                op: BinOp::Lt,
+                lhs: Box::new(Expr::Neg(Box::new(Expr::Int(458_770)))),
+                rhs: Box::new(Expr::Str("yKXE".into())),
+            }),
+            rhs: Box::new(Expr::Bin {
+                op: BinOp::Div,
+                lhs: Box::new(Expr::Neg(Box::new(Expr::Int(932_785)))),
+                rhs: Box::new(Expr::Int(120_859)),
+            }),
+        }),
+        when_clause: None,
+        as_of: None,
+        sort: Vec::new(),
+    });
+    assert_roundtrips(&stmt);
+}
+
+/// Recorded proptest counterexample (tests/tquel_roundtrip.proptest-
+/// regressions, second entry): a deeply nested `when` predicate mixing
+/// `precede`/`overlap`/`equal` under `not`/`and`/`or`, with string
+/// literals containing spaces and punctuation.
+#[test]
+fn regression_when_predicate_nested_boolean_structure() {
+    use TemporalExpr as TE;
+    let p = TemporalPred::Not(Box::new(TemporalPred::And(
+        Box::new(TemporalPred::Precede(
+            TE::Var("a".into()),
+            TE::Start(Box::new(TE::Start(Box::new(TE::Start(Box::new(
+                TE::Var("bqk".into()),
+            )))))),
+        )),
+        Box::new(TemporalPred::Or(
+            Box::new(TemporalPred::Overlap(
+                TE::Extend(
+                    Box::new(TE::Var("xmm".into())),
+                    Box::new(TE::Extend(
+                        Box::new(TE::Start(Box::new(TE::Var("j2".into())))),
+                        Box::new(TE::Overlap(
+                            Box::new(TE::Var("d".into())),
+                            Box::new(TE::Lit("s'[%".into())),
+                        )),
+                    )),
+                ),
+                TE::End(Box::new(TE::End(Box::new(TE::Start(Box::new(
+                    TE::Lit("Tz$? TZ<)".into()),
+                )))))),
+            )),
+            Box::new(TemporalPred::Equal(
+                TE::Extend(
+                    Box::new(TE::Lit("o".into())),
+                    Box::new(TE::Start(Box::new(TE::Lit("7<H6%k".into())))),
+                ),
+                TE::Overlap(
+                    Box::new(TE::Var("p_9_9_".into())),
+                    Box::new(TE::Lit("y|.t=vN p*Hs".into())),
+                ),
+            )),
+        )),
+    )));
+    assert_roundtrips(&when_stmt(p));
 }
