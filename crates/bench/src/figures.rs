@@ -9,7 +9,7 @@
 use crate::analysis::{cost_model, space_growth};
 use crate::improvements::Fig10Row;
 use crate::queries::QUERY_IDS;
-use crate::sweep::SweepData;
+use crate::sweep::{BufferSweepData, SweepData};
 use std::fmt::Write as _;
 
 fn opt(v: Option<u64>) -> String {
@@ -278,6 +278,52 @@ pub fn fig10(rows: &[Fig10Row], max_uc: u32) -> String {
     s
 }
 
+/// Figure 11 (extension): buffer sensitivity. Input pages per query as
+/// the frames-per-relation cap grows; the paper's 1-buffer setup is the
+/// leftmost column. A second block reports the buffer hits behind each
+/// cell, so thrash-bound queries (large drop, large hit gain) stand out
+/// from sequential ones (flat lines).
+pub fn fig11(d: &BufferSweepData) -> String {
+    let mut s = String::new();
+    writeln!(
+        s,
+        "Figure 11: Input Pages vs. Buffer Frames — {} database, {} % \
+         loading, UC={}",
+        d.cfg.class, d.cfg.fillfactor, d.uc
+    )
+    .unwrap();
+    writeln!(s, "(frames apply per relation, temporaries included; LRU)")
+        .unwrap();
+    write!(s, "{:<6}", "Query").unwrap();
+    for f in &d.frames {
+        write!(s, "{:>8}", format!("f={f}")).unwrap();
+    }
+    writeln!(s).unwrap();
+    for q in QUERY_IDS {
+        let Some(costs) = d.costs.get(q) else { continue };
+        write!(s, "{q:<6}").unwrap();
+        for c in costs {
+            write!(s, "{:>8}", c.cost.input).unwrap();
+        }
+        writeln!(s).unwrap();
+    }
+    writeln!(s, "\nBuffer hits (of the same accesses)").unwrap();
+    write!(s, "{:<6}", "Query").unwrap();
+    for f in &d.frames {
+        write!(s, "{:>8}", format!("f={f}")).unwrap();
+    }
+    writeln!(s).unwrap();
+    for q in QUERY_IDS {
+        let Some(costs) = d.costs.get(q) else { continue };
+        write!(s, "{q:<6}").unwrap();
+        for c in costs {
+            write!(s, "{:>8}", c.hits).unwrap();
+        }
+        writeln!(s).unwrap();
+    }
+    s
+}
+
 /// The §5.4 non-uniform-distribution table.
 pub fn nonuniform_table(rows: &[(u32, u64, u64, f64)]) -> String {
     let mut s = String::new();
@@ -334,6 +380,15 @@ mod tests {
         assert!(f8.contains("uc,Q03,Q09"));
         let f9 = fig9(&sweeps);
         assert!(f9.contains("Rate"));
+        let buf = crate::sweep::run_buffer_sweep(
+            BenchConfig::new(DatabaseClass::Temporal, 100),
+            1,
+            &[1, 2],
+        );
+        let f11 = fig11(&buf);
+        assert!(f11.contains("Figure 11"));
+        assert!(f11.contains("f=2"));
+        assert!(f11.contains("Buffer hits"));
     }
 
     #[test]

@@ -17,7 +17,10 @@ pub mod workload;
 pub use analysis::{cost_model, fixed_cost, CostModel};
 pub use improvements::{measure_improvements, nonuniform_experiment, Fig10Row};
 pub use queries::{queries_for, query_for, BenchQuery, QUERY_IDS};
-pub use sweep::{measure, run_sweep, Cost, SweepData};
+pub use sweep::{
+    measure, run_buffer_sweep, run_sweep, BufferCost, BufferSweepData, Cost,
+    SweepData,
+};
 pub use timing::{time_n, TimingStats};
 pub use workload::{
     build_database, build_database_with_hash, evolve_single_tuple,

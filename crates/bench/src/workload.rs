@@ -9,7 +9,7 @@
 //! incrementing `seq` in every current version (uniform distribution) or
 //! in a single tuple (the §5.4 maximum-variance case).
 
-use tdbms_core::Database;
+use tdbms_core::{Database, EvictionPolicy};
 use tdbms_kernel::{
     Clock, DatabaseClass, Prng, TemporalAttr, TimeVal, Value,
 };
@@ -32,12 +32,23 @@ pub struct BenchConfig {
     pub fillfactor: u8,
     /// RNG seed for `amount`/`string`/initial-time generation.
     pub seed: u64,
+    /// Buffer frames per relation (paper: 1). Applied as the pager's
+    /// default, so temporaries and `into` relations get it too.
+    pub buffer_frames: usize,
+    /// Buffer eviction policy (paper: LRU; moot at 1 frame).
+    pub buffer_policy: EvictionPolicy,
 }
 
 impl BenchConfig {
     /// The paper's configuration for a class and fill factor.
     pub fn new(class: DatabaseClass, fillfactor: u8) -> Self {
-        BenchConfig { class, fillfactor, seed: 8_504_033 }
+        BenchConfig {
+            class,
+            fillfactor,
+            seed: 8_504_033,
+            buffer_frames: 1,
+            buffer_policy: EvictionPolicy::Lru,
+        }
     }
 
     /// All eight benchmark databases, in the paper's order.
@@ -86,7 +97,11 @@ pub fn build_database_with_hash(
     cfg: &BenchConfig,
     hashfn: tdbms_storage::HashFn,
 ) -> Database {
-    let mut db = Database::in_memory();
+    let mut db = Database::in_memory_with_buffers(tdbms_core::BufferConfig {
+        default_frames: cfg.buffer_frames,
+        policy: cfg.buffer_policy,
+        per_file: Vec::new(),
+    });
     db.set_hash_fn(hashfn);
     // Updates happen from March 1980 on, after the initialization window.
     db.set_clock(Clock::new(TimeVal::from_ymd(1980, 3, 1).unwrap(), 60));

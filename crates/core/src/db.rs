@@ -11,7 +11,8 @@ use tdbms_kernel::{
     TimeVal, Value,
 };
 use tdbms_storage::{
-    AccessMethod, Catalog, FileDisk, HashFn, IoStats, Pager, RelId,
+    AccessMethod, BufferConfig, Catalog, EvictionPolicy, FileDisk, HashFn,
+    IoStats, Pager, RelId,
 };
 use tdbms_tquel::ast::Statement;
 
@@ -131,6 +132,13 @@ impl Database {
         Database::with_pager(Pager::in_memory())
     }
 
+    /// An in-memory database with an explicit buffer configuration
+    /// (frames per relation, eviction policy). `BufferConfig::paper()` is
+    /// what [`Database::in_memory`] uses.
+    pub fn in_memory_with_buffers(config: BufferConfig) -> Self {
+        Database::with_pager(Pager::in_memory_with_config(config))
+    }
+
     /// A file-backed database rooted at `dir`. Both the page files and the
     /// catalog persist: reopening the directory restores every relation,
     /// organization, and index (session state — the range table and clock
@@ -210,6 +218,18 @@ impl Database {
         let id = self.catalog.require(rel)?;
         let file = self.catalog.get(id).file.file_id();
         self.pager.set_buffer_frames(file, frames)
+    }
+
+    /// Change the default frames-per-file cap for every file without an
+    /// explicit override — including files created later (temporaries,
+    /// `into` relations) and files buffered lazily after a reopen.
+    pub fn set_default_buffer_frames(&mut self, frames: usize) {
+        self.pager.set_default_buffer_frames(frames);
+    }
+
+    /// Change the buffer eviction policy (paper default: LRU).
+    pub fn set_eviction_policy(&mut self, policy: EvictionPolicy) {
+        self.pager.set_eviction_policy(policy);
     }
 
     /// Cumulative page-access counters since the last statement started.
@@ -409,9 +429,16 @@ impl Database {
             }
         }
 
+        // Close any phase the executor left open, then snapshot the v2
+        // ledger into the statement's stats.
+        self.pager.end_phase();
+        debug_assert!(self.pager.stats().is_consistent());
         out.stats = QueryStats {
             input_pages: self.pager.stats().total_reads(),
             output_pages: self.pager.stats().total_writes(),
+            buffer_hits: self.pager.stats().total_hits(),
+            evictions: self.pager.stats().total_evictions(),
+            phases: self.pager.stats().phases().to_vec(),
         };
         if self.persist_dir.is_some() {
             let mutating = !matches!(

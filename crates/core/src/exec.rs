@@ -24,11 +24,16 @@ use crate::binder::row_tx_period;
 use crate::bound::{BExpr, BTPred, BoundRetrieve, Visibility};
 use crate::eval::{eval_bool, eval_expr, eval_texpr, eval_tpred, Slot};
 use tdbms_kernel::{AttrDef, Domain, Error, Result, Schema, Value};
-use tdbms_storage::{Catalog, Pager, RelFile, RelId};
+use tdbms_storage::{Catalog, Pager, PhaseIo, RelFile, RelId};
 use tdbms_tquel::ast::BinOp;
 
 /// Page-access accounting for one executed statement.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+///
+/// `input_pages`/`output_pages` are the paper's two columns; the v2
+/// buffer manager adds the hit/eviction counters and, for decomposed
+/// retrieves, the per-phase attribution recorded by the pager's
+/// [`tdbms_storage::IoStats`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct QueryStats {
     /// Pages read from user relations (including temporaries) — the
     /// paper's *input cost*.
@@ -36,6 +41,28 @@ pub struct QueryStats {
     /// Pages written (temporaries, `into` relations, DML) — the paper's
     /// *output cost*.
     pub output_pages: u64,
+    /// Buffered accesses satisfied without a disk fetch.
+    pub buffer_hits: u64,
+    /// Frames evicted under capacity pressure.
+    pub evictions: u64,
+    /// Named execution phases (`"decomposition"`, `"substitution"`) with
+    /// their I/O deltas; empty for statements that don't decompose.
+    pub phases: Vec<PhaseIo>,
+}
+
+impl QueryStats {
+    /// The aggregate I/O of every recorded phase named `name` (all-zero
+    /// if the phase never ran).
+    pub fn scoped(&self, name: &str) -> PhaseIo {
+        let mut out = PhaseIo { name: name.to_string(), ..Default::default() };
+        for p in self.phases.iter().filter(|p| p.name == name) {
+            out.reads += p.reads;
+            out.writes += p.writes;
+            out.hits += p.hits;
+            out.evictions += p.evictions;
+        }
+        out
+    }
 }
 
 /// The rows and column shape a retrieve produced.
@@ -110,6 +137,7 @@ pub fn exec_retrieve(
 
     // ---- Phase 1: one-variable detachment ------------------------------
     if nvars >= 2 {
+        pager.begin_phase("decomposition");
         for v in 0..nvars {
             let has_own = where_cj.iter().any(|(_, vs)| vs == &[v])
                 || when_cj.iter().any(|(_, vs)| vs == &[v]);
@@ -267,8 +295,10 @@ pub fn exec_retrieve(
             }
         }
         // Temporaries are fully written; start the join phase with cold
-        // buffers (also flushes the temps, counting their output pages).
+        // buffers (also flushes the temps, counting their output pages —
+        // attributed to the decomposition phase, which produced them).
         pager.invalidate_buffers()?;
+        pager.end_phase();
     }
 
     // ---- Phase 2: variable ordering ------------------------------------
@@ -324,6 +354,9 @@ pub fn exec_retrieve(
     }
 
     let mut rows: Vec<Vec<Value>> = Vec::new();
+    if nvars >= 2 {
+        pager.begin_phase("substitution");
+    }
     join_level(
         pager,
         &mut slots,
@@ -349,6 +382,9 @@ pub fn exec_retrieve(
             Ok(())
         },
     )?;
+    if nvars >= 2 {
+        pager.end_phase();
+    }
 
     // Drop the temporaries.
     for rt in &rts {

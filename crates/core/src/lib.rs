@@ -36,4 +36,4 @@ pub mod interval;
 pub use db::{Database, ExecOutput, RelationMeta};
 pub use exec::QueryStats;
 pub use interval::TInterval;
-pub use tdbms_storage::AccessMethod;
+pub use tdbms_storage::{AccessMethod, BufferConfig, EvictionPolicy, PhaseIo};

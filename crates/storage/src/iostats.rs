@@ -6,6 +6,17 @@
 //! (buffer misses) and pages written back, so a harness can reset the
 //! counters before a query and read off exactly the paper's metric
 //! afterwards.
+//!
+//! Version 2 widens the ledger beyond the paper's two columns: every
+//! buffered page access is classified as a **hit** or a **miss** (a miss
+//! is a disk fetch, i.e. a `read`), capacity-pressure **evictions** are
+//! counted separately from explicit flushes, and the whole ledger can be
+//! sliced into **named phases** (`begin_phase` / `end_phase`) so a query
+//! processor can attribute I/O to, say, decomposition vs. tuple
+//! substitution. The structural invariant `hits + misses == accesses`
+//! holds per file and in total; `accesses` is counted at the access site
+//! and `hits`/`reads` at the classification sites, so the identity is a
+//! real cross-check, not a tautology.
 
 use crate::disk::FileId;
 use std::collections::HashMap;
@@ -14,6 +25,8 @@ use std::collections::HashMap;
 #[derive(Debug, Default, Clone)]
 pub struct IoStats {
     counters: HashMap<FileId, FileIo>,
+    phases: Vec<PhaseIo>,
+    open_phase: Option<(String, Totals)>,
 }
 
 /// Counters for one file.
@@ -23,6 +36,50 @@ pub struct FileIo {
     pub reads: u64,
     /// Pages written back to disk.
     pub writes: u64,
+    /// Buffered accesses satisfied without a disk fetch.
+    pub hits: u64,
+    /// Frames evicted under capacity pressure (explicit flushes and
+    /// invalidations are not evictions).
+    pub evictions: u64,
+    /// Buffered page accesses (every access is either a hit or a miss;
+    /// a miss is exactly one `read`).
+    pub accesses: u64,
+}
+
+impl FileIo {
+    /// Buffer misses (identical to `reads`; named for the invariant).
+    pub fn misses(&self) -> u64 {
+        self.reads
+    }
+
+    /// The v2 ledger invariant: every access was classified exactly once.
+    pub fn is_consistent(&self) -> bool {
+        self.hits + self.reads == self.accesses
+    }
+}
+
+/// Aggregate totals at one instant (phase baselines).
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+struct Totals {
+    reads: u64,
+    writes: u64,
+    hits: u64,
+    evictions: u64,
+}
+
+/// The I/O attributed to one named phase of a statement.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct PhaseIo {
+    /// Phase name (e.g. `"decomposition"`, `"substitution"`).
+    pub name: String,
+    /// Pages fetched from disk during the phase.
+    pub reads: u64,
+    /// Pages written back during the phase.
+    pub writes: u64,
+    /// Buffer hits during the phase.
+    pub hits: u64,
+    /// Capacity evictions during the phase.
+    pub evictions: u64,
 }
 
 impl IoStats {
@@ -37,6 +94,18 @@ impl IoStats {
 
     pub(crate) fn record_write(&mut self, file: FileId) {
         self.counters.entry(file).or_default().writes += 1;
+    }
+
+    pub(crate) fn record_hit(&mut self, file: FileId) {
+        self.counters.entry(file).or_default().hits += 1;
+    }
+
+    pub(crate) fn record_eviction(&mut self, file: FileId) {
+        self.counters.entry(file).or_default().evictions += 1;
+    }
+
+    pub(crate) fn record_access(&mut self, file: FileId) {
+        self.counters.entry(file).or_default().accesses += 1;
     }
 
     /// Counters for one file (zero if never touched).
@@ -54,6 +123,26 @@ impl IoStats {
         self.counters.values().map(|c| c.writes).sum()
     }
 
+    /// Total buffer hits across all files.
+    pub fn total_hits(&self) -> u64 {
+        self.counters.values().map(|c| c.hits).sum()
+    }
+
+    /// Total capacity evictions across all files.
+    pub fn total_evictions(&self) -> u64 {
+        self.counters.values().map(|c| c.evictions).sum()
+    }
+
+    /// Total buffered page accesses across all files.
+    pub fn total_accesses(&self) -> u64 {
+        self.counters.values().map(|c| c.accesses).sum()
+    }
+
+    /// The ledger invariant over every file: `hits + misses == accesses`.
+    pub fn is_consistent(&self) -> bool {
+        self.counters.values().all(|c| c.is_consistent())
+    }
+
     /// Total page reads across a set of files.
     pub fn reads_of(&self, files: &[FileId]) -> u64 {
         files.iter().map(|f| self.of(*f).reads).sum()
@@ -64,14 +153,66 @@ impl IoStats {
         files.iter().map(|f| self.of(*f).writes).sum()
     }
 
-    /// Zero every counter.
+    /// Zero every counter and drop all recorded phases.
     pub fn reset(&mut self) {
         self.counters.clear();
+        self.phases.clear();
+        self.open_phase = None;
     }
 
     /// Iterate over `(file, counters)` for files that were touched.
     pub fn iter(&self) -> impl Iterator<Item = (FileId, FileIo)> + '_ {
         self.counters.iter().map(|(f, c)| (*f, *c))
+    }
+
+    fn totals(&self) -> Totals {
+        Totals {
+            reads: self.total_reads(),
+            writes: self.total_writes(),
+            hits: self.total_hits(),
+            evictions: self.total_evictions(),
+        }
+    }
+
+    /// Open a named phase. All I/O until `end_phase` (or the next
+    /// `begin_phase`, which closes the current one first) is attributed to
+    /// it. Phases do not nest — the paper's decomposition pipeline is a
+    /// sequence, not a tree.
+    pub fn begin_phase(&mut self, name: &str) {
+        self.end_phase();
+        self.open_phase = Some((name.to_string(), self.totals()));
+    }
+
+    /// Close the open phase, if any, recording its I/O delta.
+    pub fn end_phase(&mut self) {
+        if let Some((name, base)) = self.open_phase.take() {
+            let now = self.totals();
+            self.phases.push(PhaseIo {
+                name,
+                reads: now.reads - base.reads,
+                writes: now.writes - base.writes,
+                hits: now.hits - base.hits,
+                evictions: now.evictions - base.evictions,
+            });
+        }
+    }
+
+    /// Every closed phase, in the order recorded.
+    pub fn phases(&self) -> &[PhaseIo] {
+        &self.phases
+    }
+
+    /// The aggregate I/O of every recorded phase named `name` (all-zero if
+    /// the phase never ran).
+    pub fn scoped(&self, name: &str) -> PhaseIo {
+        let mut out = PhaseIo { name: name.to_string(), ..Default::default() };
+        for p in self.phases.iter().filter(|p| p.name == name) {
+            out.reads += p.reads;
+            out.writes += p.writes;
+            out.hits += p.hits;
+            out.evictions += p.evictions;
+        }
+        out
     }
 }
 
@@ -84,18 +225,85 @@ mod tests {
         let mut s = IoStats::new();
         let a = FileId(1);
         let b = FileId(2);
+        s.record_access(a);
         s.record_read(a);
+        s.record_access(a);
         s.record_read(a);
         s.record_write(a);
+        s.record_access(b);
         s.record_read(b);
-        assert_eq!(s.of(a), FileIo { reads: 2, writes: 1 });
-        assert_eq!(s.of(b), FileIo { reads: 1, writes: 0 });
+        assert_eq!(s.of(a).reads, 2);
+        assert_eq!(s.of(a).writes, 1);
+        assert_eq!(s.of(b).reads, 1);
         assert_eq!(s.of(FileId(99)), FileIo::default());
         assert_eq!(s.total_reads(), 3);
         assert_eq!(s.total_writes(), 1);
         assert_eq!(s.reads_of(&[a, b]), 3);
         assert_eq!(s.writes_of(&[a, b]), 1);
+        assert!(s.is_consistent());
         s.reset();
         assert_eq!(s.total_reads(), 0);
+    }
+
+    #[test]
+    fn hit_miss_access_identity() {
+        let mut s = IoStats::new();
+        let f = FileId(7);
+        for _ in 0..5 {
+            s.record_access(f);
+            s.record_hit(f);
+        }
+        for _ in 0..3 {
+            s.record_access(f);
+            s.record_read(f);
+        }
+        s.record_eviction(f);
+        let io = s.of(f);
+        assert_eq!(io.hits, 5);
+        assert_eq!(io.misses(), 3);
+        assert_eq!(io.accesses, 8);
+        assert_eq!(io.evictions, 1);
+        assert!(io.is_consistent());
+        assert_eq!(s.total_hits(), 5);
+        assert_eq!(s.total_accesses(), 8);
+        assert_eq!(s.total_evictions(), 1);
+    }
+
+    #[test]
+    fn phases_slice_the_ledger() {
+        let mut s = IoStats::new();
+        let f = FileId(3);
+        s.begin_phase("decomposition");
+        s.record_access(f);
+        s.record_read(f);
+        s.record_write(f);
+        // begin_phase closes the open phase implicitly.
+        s.begin_phase("substitution");
+        s.record_access(f);
+        s.record_hit(f);
+        s.record_access(f);
+        s.record_read(f);
+        s.record_eviction(f);
+        s.end_phase();
+        // A second round of the same phase aggregates under `scoped`.
+        s.begin_phase("substitution");
+        s.record_access(f);
+        s.record_read(f);
+        s.end_phase();
+
+        assert_eq!(s.phases().len(), 3);
+        let d = s.scoped("decomposition");
+        assert_eq!((d.reads, d.writes, d.hits, d.evictions), (1, 1, 0, 0));
+        let sub = s.scoped("substitution");
+        assert_eq!((sub.reads, sub.writes, sub.hits, sub.evictions), (2, 0, 1, 1));
+        assert_eq!(s.scoped("never-ran"), PhaseIo {
+            name: "never-ran".into(),
+            ..Default::default()
+        });
+        // end_phase with nothing open is a no-op.
+        s.end_phase();
+        assert_eq!(s.phases().len(), 3);
+        s.reset();
+        assert!(s.phases().is_empty());
     }
 }

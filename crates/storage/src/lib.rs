@@ -37,11 +37,11 @@ pub use catalog::{Catalog, NamedIndex, RelId, StoredRelation};
 pub use disk::{DiskManager, FileDisk, FileId, MemDisk};
 pub use hash::{rows_per_page_at_fill, HashFile};
 pub use heap::HeapFile;
-pub use iostats::{FileIo, IoStats};
+pub use iostats::{FileIo, IoStats, PhaseIo};
 pub use isam::IsamFile;
 pub use key::{HashFn, KeyKind, KeySpec};
 pub use page::{page_capacity, Page, PageKind, NO_PAGE, PAGE_HEADER, PAGE_SIZE};
-pub use pager::Pager;
+pub use pager::{BufferConfig, EvictionPolicy, Pager};
 pub use persist::{load_catalog, save_catalog};
 pub use relfile::{AccessMethod, RelFile, RelLookup, RelScan};
 pub use secondary::{i4_attr, IndexStructure, SecondaryIndex};

@@ -28,4 +28,23 @@ fi
 echo "==> cargo test -q (offline)"
 cargo test --workspace -q
 
+if ! $quick; then
+    # Smoke-run the figure harness binaries at a reduced update count so a
+    # harness regression fails tier-1, not at paper-reproduction time.
+    # fig11 additionally re-checks its acceptance shape: every query's
+    # input-page curve must be non-increasing as frames grow.
+    echo "==> figure-binary smoke run (TDBMS_MAX_UC=2)"
+    TDBMS_MAX_UC=2 ./target/release/fig5 >/dev/null
+    TDBMS_MAX_UC=2 ./target/release/fig11 | awk '
+        /^Q[0-9]+/ && !hits_block {
+            for (i = 3; i <= NF; i++)
+                if ($i + 0 > $(i-1) + 0) {
+                    print "fig11: " $1 " input pages grew with more frames"
+                    exit 1
+                }
+        }
+        /^Buffer hits/ { hits_block = 1 }
+    '
+fi
+
 echo "ci: all green"

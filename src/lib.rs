@@ -28,6 +28,8 @@ pub use tdbms_kernel::{
     AttrDef, Clock, DatabaseClass, Domain, Error, Granularity, Result,
     Schema, TemporalAttr, TemporalKind, TimeVal, Value,
 };
-pub use tdbms_storage::{HashFn, IoStats, PAGE_SIZE};
+pub use tdbms_storage::{
+    BufferConfig, EvictionPolicy, HashFn, IoStats, PhaseIo, PAGE_SIZE,
+};
 pub use tdbms_tquel as tquel;
 pub use tdbms_twostore as twostore;
