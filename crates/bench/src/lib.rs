@@ -24,7 +24,7 @@ pub use sweep::{
 pub use timing::{time_n, TimingStats};
 pub use workload::{
     build_database, build_database_with_hash, evolve_single_tuple,
-    evolve_uniform, BenchConfig,
+    evolve_uniform, populate_database, BenchConfig,
 };
 
 /// Update-count ceiling for harness binaries: `TDBMS_MAX_UC` (default 14,

@@ -103,6 +103,17 @@ pub fn build_database_with_hash(
         per_file: Vec::new(),
     });
     db.set_hash_fn(hashfn);
+    populate_database(&mut db, cfg);
+    db
+}
+
+/// Load the paper's workload into an existing (possibly durable /
+/// WAL-enabled) database: create both relations, load 1024 tuples with
+/// randomized initial times, `modify` to hash / ISAM at the configured
+/// fill factor, and declare the `h` / `i` range variables. The data is a
+/// pure function of `cfg` — the storage backend underneath must not
+/// change it.
+pub fn populate_database(db: &mut Database, cfg: &BenchConfig) {
     // Updates happen from March 1980 on, after the initialization window.
     db.set_clock(Clock::new(TimeVal::from_ymd(1980, 3, 1).unwrap(), 60));
 
@@ -118,7 +129,7 @@ pub fn build_database_with_hash(
         ))
         .expect("create benchmark relation");
 
-        let rows = generate_rows(&db, &rel, planted_amount, &mut rng);
+        let rows = generate_rows(db, &rel, planted_amount, &mut rng);
         db.bulk_load_rows(&rel, &rows).expect("bulk load");
         db.execute(&format!(
             "modify {rel} to {method} on id where fillfactor = {}",
@@ -128,7 +139,6 @@ pub fn build_database_with_hash(
     }
     db.execute(&format!("range of h is {}", cfg.rel_h())).unwrap();
     db.execute(&format!("range of i is {}", cfg.rel_i())).unwrap();
-    db
 }
 
 /// Generate the 1024 initial rows for one relation (full stored arity).

@@ -33,7 +33,8 @@ pub mod eval;
 pub mod exec;
 pub mod interval;
 
-pub use db::{Database, ExecOutput, RelationMeta};
+pub use db::{Database, ExecOutput, RelationMeta, WAL_FILE};
+pub use tdbms_wal::CheckpointPolicy;
 pub use exec::QueryStats;
 pub use interval::TInterval;
 pub use tdbms_storage::{AccessMethod, BufferConfig, EvictionPolicy, PhaseIo};

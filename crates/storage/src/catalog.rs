@@ -128,10 +128,18 @@ impl StoredRelation {
         self.indexes.iter().find(|ix| ix.attr == attr)
     }
 
-    /// Reorganize the relation: collect every stored row, truncate the
-    /// file, and rebuild it with the requested organization. This is the
-    /// `modify` statement. Reorganization I/O is charged like any other
-    /// access (the benchmark resets counters afterwards).
+    /// Reorganize the relation: collect every stored row, build the
+    /// requested organization in a *fresh* file, swap the relation onto
+    /// it, and drop the old file. This is the `modify` statement.
+    ///
+    /// Building aside and swapping (rather than truncating and rebuilding
+    /// in place) closes a crash window: the original pages are intact on
+    /// disk until the fully-built replacement takes over, so a crash at
+    /// any point leaves a readable relation. Under WAL staging the swap
+    /// is logged — the old file's physical drop is deferred until the
+    /// commit that records the new file is durable. Reorganization I/O is
+    /// charged like any other access (the benchmark resets counters
+    /// afterwards).
     pub fn modify(
         &mut self,
         pager: &mut Pager,
@@ -145,16 +153,16 @@ impl StoredRelation {
         while let Some((_, row)) = cur.next(pager, &self.file)? {
             rows.push(row);
         }
-        let file_id = self.file.file_id();
-        pager.truncate(file_id)?;
+        let old_id = self.file.file_id();
+        let new_id = pager.create_file()?;
         let width = self.schema.row_width();
         self.file = match method {
             AccessMethod::Heap => {
-                let heap = HeapFile::attach(file_id, width);
+                let heap = HeapFile::attach(new_id, width);
                 for row in &rows {
                     heap.insert(pager, row)?;
                 }
-                pager.flush_file(file_id)?;
+                pager.flush_file(new_id)?;
                 RelFile::Heap(heap)
             }
             AccessMethod::Hash => {
@@ -163,7 +171,7 @@ impl StoredRelation {
                 })?;
                 let key = KeySpec::for_attr(&self.codec, attr);
                 RelFile::Hash(HashFile::build_into(
-                    pager, file_id, &rows, width, key, hashfn, fillfactor,
+                    pager, new_id, &rows, width, key, hashfn, fillfactor,
                 )?)
             }
             AccessMethod::Isam => {
@@ -172,10 +180,11 @@ impl StoredRelation {
                 })?;
                 let key = KeySpec::for_attr(&self.codec, attr);
                 RelFile::Isam(IsamFile::build_into(
-                    pager, file_id, &rows, width, key, fillfactor,
+                    pager, new_id, &rows, width, key, fillfactor,
                 )?)
             }
         };
+        pager.drop_file(old_id)?;
         self.key_attr = match method {
             AccessMethod::Heap => None,
             _ => key_attr,
@@ -428,6 +437,29 @@ mod tests {
             assert_eq!(n, 100, "after modify to {method:?}");
             assert_eq!(sum, 5050);
         }
+    }
+
+    #[test]
+    fn modify_builds_aside_and_drops_the_old_file() {
+        let mut pager = Pager::in_memory();
+        let mut cat = Catalog::new();
+        let id = cat.create_relation(&mut pager, "r", schema()).unwrap();
+        let rel = cat.get_mut(id);
+        let row = rel
+            .codec
+            .encode(&[Value::Int(1), Value::Str("x".into())])
+            .unwrap();
+        rel.file.insert(&mut pager, &row).unwrap();
+        rel.tuple_count += 1;
+        let old = rel.file.file_id();
+        rel.modify(&mut pager, AccessMethod::Hash, Some(0), 100, HashFn::Mod)
+            .unwrap();
+        let new = rel.file.file_id();
+        assert_ne!(old, new, "reorganization swaps onto a fresh file");
+        assert!(
+            pager.page_count(old).is_err(),
+            "the superseded file is dropped"
+        );
     }
 
     #[test]

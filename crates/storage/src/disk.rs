@@ -33,6 +33,15 @@ pub trait DiskManager {
     fn append_page(&mut self, file: FileId, page: &Page) -> Result<u32>;
     /// Truncate `file` to zero pages (used by `modify` reorganization).
     fn truncate(&mut self, file: FileId) -> Result<()>;
+    /// Force `file`'s pages to stable storage. A real fsync for
+    /// [`FileDisk`]; a no-op (beyond existence checking) for [`MemDisk`].
+    /// Durability paths call this before any metadata that references the
+    /// file is written, so a crash never leaves the catalog pointing at
+    /// pages the device has not seen.
+    fn sync(&mut self, file: FileId) -> Result<()>;
+    /// Every live file id, sorted (checkpoint snapshots and recovery
+    /// sweeps iterate the whole disk).
+    fn files(&self) -> Vec<FileId>;
 }
 
 /// In-memory disk: deterministic, allocation-cheap, and fast enough to run
@@ -115,6 +124,16 @@ impl DiskManager for MemDisk {
     fn truncate(&mut self, file: FileId) -> Result<()> {
         self.file_mut(file)?.clear();
         Ok(())
+    }
+
+    fn sync(&mut self, file: FileId) -> Result<()> {
+        self.file(file).map(|_| ())
+    }
+
+    fn files(&self) -> Vec<FileId> {
+        let mut ids: Vec<FileId> = self.files.keys().copied().collect();
+        ids.sort_unstable();
+        ids
     }
 }
 
@@ -236,6 +255,17 @@ impl DiskManager for FileDisk {
         fh.set_len(0)?;
         Ok(())
     }
+
+    fn sync(&mut self, file: FileId) -> Result<()> {
+        self.handle(file)?.sync_all()?;
+        Ok(())
+    }
+
+    fn files(&self) -> Vec<FileId> {
+        let mut ids: Vec<FileId> = self.handles.keys().copied().collect();
+        ids.sort_unstable();
+        ids
+    }
 }
 
 #[cfg(test)]
@@ -260,6 +290,10 @@ mod tests {
         disk.write_page(f, 1, &p2).unwrap();
         let got = disk.read_page(f, 1).unwrap();
         assert_eq!(got.kind().unwrap(), PageKind::Overflow);
+
+        disk.sync(f).unwrap();
+        assert!(disk.sync(FileId(9999)).is_err(), "sync checks existence");
+        assert_eq!(disk.files(), vec![f]);
 
         assert!(disk.read_page(f, 7).is_err());
         assert!(disk.write_page(f, 7, &p).is_err());

@@ -1,0 +1,360 @@
+//! Deterministic fault injection for crash-recovery testing.
+//!
+//! [`FaultDisk`] wraps any [`DiskManager`] and simulates a process crash
+//! at a chosen point: every *mutating* operation (write, append,
+//! truncate, create, drop, sync) charges one unit against a budget held
+//! in a shared [`FaultPlan`]; the operation that exhausts the budget is
+//! dropped — or, for page writes, **torn**: only a prefix of the page
+//! reaches the device — and from then on every operation fails with an
+//! I/O error, exactly as a dead process stops issuing I/O. Reads are
+//! free until the crash (a crash loses no already-durable data) and fail
+//! after it.
+//!
+//! The plan is shared (`Rc<RefCell<…>>`) so one budget can span several
+//! channels — the data disk and the write-ahead log — giving a single
+//! global "crash at op N" knob. [`SharedMemDisk`] is a cloneable handle
+//! over a [`MemDisk`] so a test can crash one incarnation of a database
+//! and reopen the *same* surviving bytes in the next, without touching
+//! the filesystem.
+
+use crate::disk::{DiskManager, FileId, MemDisk};
+use crate::page::{Page, PAGE_SIZE};
+use std::cell::RefCell;
+use std::rc::Rc;
+use tdbms_kernel::{Error, Result};
+
+/// Shared crash schedule. Clones observe and charge the same budget.
+#[derive(Clone)]
+pub struct FaultPlan {
+    state: Rc<RefCell<FaultState>>,
+}
+
+struct FaultState {
+    /// Mutating ops left before the crash; `None` never crashes.
+    remaining: Option<u64>,
+    /// Mutating ops charged so far (for sizing a crash matrix).
+    charged: u64,
+    crashed: bool,
+}
+
+impl FaultPlan {
+    /// A plan that crashes on the `crash_after_ops`-th mutating
+    /// operation (1-based): `Some(1)` tears/drops the very first write.
+    /// `None` counts ops but never crashes (dry run to size the matrix).
+    pub fn new(crash_after_ops: Option<u64>) -> Self {
+        FaultPlan {
+            state: Rc::new(RefCell::new(FaultState {
+                remaining: crash_after_ops,
+                charged: 0,
+                crashed: false,
+            })),
+        }
+    }
+
+    /// Has the simulated crash happened?
+    pub fn crashed(&self) -> bool {
+        self.state.borrow().crashed
+    }
+
+    /// Mutating operations charged so far.
+    pub fn ops_charged(&self) -> u64 {
+        self.state.borrow().charged
+    }
+
+    /// The error every operation returns once the process is "dead".
+    fn dead() -> Error {
+        Error::Io("simulated crash: process is dead".into())
+    }
+
+    /// Fail if already crashed (guards reads too). Public so other fault
+    /// channels — the WAL's log store — can share one plan.
+    pub fn check_alive(&self) -> Result<()> {
+        if self.crashed() {
+            Err(Self::dead())
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Charge one mutating op. `Ok(())` means the op proceeds normally;
+    /// `Err` means this op crashed (the caller must not apply it, except
+    /// for a torn prefix) or the process was already dead. Public for the
+    /// same reason as [`FaultPlan::check_alive`].
+    pub fn charge(&self) -> Result<()> {
+        let mut s = self.state.borrow_mut();
+        if s.crashed {
+            return Err(Self::dead());
+        }
+        s.charged += 1;
+        if let Some(rem) = &mut s.remaining {
+            if *rem <= 1 {
+                s.crashed = true;
+                return Err(Error::Io(format!(
+                    "simulated crash at mutating op {}",
+                    s.charged
+                )));
+            }
+            *rem -= 1;
+        }
+        Ok(())
+    }
+}
+
+/// A [`DiskManager`] that crashes on schedule (see module docs).
+pub struct FaultDisk {
+    inner: Box<dyn DiskManager>,
+    plan: FaultPlan,
+    /// When the crashing op is a page write, persist this many leading
+    /// bytes of the new image over the old page (a torn write). `None`
+    /// drops the crashing write entirely.
+    torn_bytes: Option<usize>,
+}
+
+impl FaultDisk {
+    /// Wrap `inner` under `plan`, dropping the crashing write whole.
+    pub fn new(inner: Box<dyn DiskManager>, plan: FaultPlan) -> Self {
+        FaultDisk { inner, plan, torn_bytes: None }
+    }
+
+    /// Wrap `inner` under `plan`; the crashing page write persists only
+    /// its first `bytes` bytes (clamped to the page size).
+    pub fn with_torn_writes(
+        inner: Box<dyn DiskManager>,
+        plan: FaultPlan,
+        bytes: usize,
+    ) -> Self {
+        FaultDisk { inner, plan, torn_bytes: Some(bytes.min(PAGE_SIZE)) }
+    }
+
+    /// Splice the torn prefix of `new` over `old`.
+    fn tear(&self, old: &Page, new: &Page) -> Option<Page> {
+        let k = self.torn_bytes?;
+        let mut bytes = Box::new(*old.as_bytes());
+        bytes[..k].copy_from_slice(&new.as_bytes()[..k]);
+        Some(Page::from_bytes(bytes))
+    }
+}
+
+impl DiskManager for FaultDisk {
+    fn create_file(&mut self) -> Result<FileId> {
+        self.plan.charge()?;
+        self.inner.create_file()
+    }
+
+    fn drop_file(&mut self, file: FileId) -> Result<()> {
+        self.plan.charge()?;
+        self.inner.drop_file(file)
+    }
+
+    fn page_count(&self, file: FileId) -> Result<u32> {
+        self.plan.check_alive()?;
+        self.inner.page_count(file)
+    }
+
+    fn read_page(&mut self, file: FileId, page_no: u32) -> Result<Page> {
+        self.plan.check_alive()?;
+        self.inner.read_page(file, page_no)
+    }
+
+    fn write_page(
+        &mut self,
+        file: FileId,
+        page_no: u32,
+        page: &Page,
+    ) -> Result<()> {
+        let was_alive = !self.plan.crashed();
+        if let Err(e) = self.plan.charge() {
+            // The write that *causes* the crash may persist a torn
+            // prefix; writes after the crash persist nothing.
+            if was_alive {
+                if let Some(torn) = self
+                    .inner
+                    .read_page(file, page_no)
+                    .ok()
+                    .and_then(|old| self.tear(&old, page))
+                {
+                    let _ = self.inner.write_page(file, page_no, &torn);
+                }
+            }
+            return Err(e);
+        }
+        self.inner.write_page(file, page_no, page)
+    }
+
+    fn append_page(&mut self, file: FileId, page: &Page) -> Result<u32> {
+        self.plan.charge()?;
+        self.inner.append_page(file, page)
+    }
+
+    fn truncate(&mut self, file: FileId) -> Result<()> {
+        self.plan.charge()?;
+        self.inner.truncate(file)
+    }
+
+    fn sync(&mut self, file: FileId) -> Result<()> {
+        self.plan.charge()?;
+        self.inner.sync(file)
+    }
+
+    fn files(&self) -> Vec<FileId> {
+        self.inner.files()
+    }
+}
+
+/// A cloneable handle over one shared [`MemDisk`]: the surviving bytes of
+/// a crashed in-memory database, reopenable by the next incarnation.
+#[derive(Clone, Default)]
+pub struct SharedMemDisk {
+    inner: Rc<RefCell<MemDisk>>,
+}
+
+impl SharedMemDisk {
+    /// An empty shared disk.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl DiskManager for SharedMemDisk {
+    fn create_file(&mut self) -> Result<FileId> {
+        self.inner.borrow_mut().create_file()
+    }
+
+    fn drop_file(&mut self, file: FileId) -> Result<()> {
+        self.inner.borrow_mut().drop_file(file)
+    }
+
+    fn page_count(&self, file: FileId) -> Result<u32> {
+        self.inner.borrow().page_count(file)
+    }
+
+    fn read_page(&mut self, file: FileId, page_no: u32) -> Result<Page> {
+        self.inner.borrow_mut().read_page(file, page_no)
+    }
+
+    fn write_page(
+        &mut self,
+        file: FileId,
+        page_no: u32,
+        page: &Page,
+    ) -> Result<()> {
+        self.inner.borrow_mut().write_page(file, page_no, page)
+    }
+
+    fn append_page(&mut self, file: FileId, page: &Page) -> Result<u32> {
+        self.inner.borrow_mut().append_page(file, page)
+    }
+
+    fn truncate(&mut self, file: FileId) -> Result<()> {
+        self.inner.borrow_mut().truncate(file)
+    }
+
+    fn sync(&mut self, file: FileId) -> Result<()> {
+        self.inner.borrow_mut().sync(file)
+    }
+
+    fn files(&self) -> Vec<FileId> {
+        self.inner.borrow().files()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::page::PageKind;
+
+    fn page_of(byte: u8) -> Page {
+        let mut p = Page::new(PageKind::Data);
+        p.push_row(4, &[byte; 4]).unwrap();
+        p
+    }
+
+    #[test]
+    fn budget_counts_only_mutations_and_kills_the_process() {
+        let plan = FaultPlan::new(Some(3));
+        let mut disk =
+            FaultDisk::new(Box::new(MemDisk::new()), plan.clone());
+        let f = disk.create_file().unwrap(); // op 1
+        disk.append_page(f, &page_of(1)).unwrap(); // op 2
+        for _ in 0..10 {
+            disk.read_page(f, 0).unwrap(); // reads are free
+        }
+        assert_eq!(plan.ops_charged(), 2);
+        assert!(!plan.crashed());
+        // Op 3 crashes: the write is dropped whole.
+        assert!(disk.write_page(f, 0, &page_of(9)).is_err());
+        assert!(plan.crashed());
+        // Dead process: everything fails, nothing further is charged.
+        assert!(disk.read_page(f, 0).is_err());
+        assert!(disk.append_page(f, &page_of(2)).is_err());
+        assert!(disk.sync(f).is_err());
+        assert_eq!(plan.ops_charged(), 3);
+    }
+
+    #[test]
+    fn dropped_write_leaves_the_old_image() {
+        let shared = SharedMemDisk::new();
+        let plan = FaultPlan::new(Some(3));
+        let mut disk =
+            FaultDisk::new(Box::new(shared.clone()), plan);
+        let f = disk.create_file().unwrap();
+        disk.append_page(f, &page_of(1)).unwrap();
+        assert!(disk.write_page(f, 0, &page_of(9)).is_err());
+        // Reopen the surviving bytes without the fault wrapper.
+        let mut survivor = shared;
+        let p = survivor.read_page(f, 0).unwrap();
+        assert_eq!(p.row(4, 0).unwrap(), &[1; 4], "old image survives");
+    }
+
+    #[test]
+    fn torn_write_persists_exactly_the_prefix() {
+        let shared = SharedMemDisk::new();
+        let plan = FaultPlan::new(Some(3));
+        let mut disk = FaultDisk::with_torn_writes(
+            Box::new(shared.clone()),
+            plan,
+            100,
+        );
+        let f = disk.create_file().unwrap();
+        disk.append_page(f, &page_of(1)).unwrap();
+        assert!(disk.write_page(f, 0, &page_of(9)).is_err());
+        let mut survivor = shared;
+        let got = survivor.read_page(f, 0).unwrap();
+        let old = page_of(1);
+        let new = page_of(9);
+        assert_eq!(&got.as_bytes()[..100], &new.as_bytes()[..100]);
+        assert_eq!(&got.as_bytes()[100..], &old.as_bytes()[100..]);
+    }
+
+    #[test]
+    fn dry_run_counts_without_crashing() {
+        let plan = FaultPlan::new(None);
+        let mut disk =
+            FaultDisk::new(Box::new(MemDisk::new()), plan.clone());
+        let f = disk.create_file().unwrap();
+        for _ in 0..5 {
+            disk.append_page(f, &page_of(0)).unwrap();
+        }
+        disk.truncate(f).unwrap();
+        disk.drop_file(f).unwrap();
+        assert_eq!(plan.ops_charged(), 8);
+        assert!(!plan.crashed());
+    }
+
+    #[test]
+    fn shared_mem_disk_satisfies_the_disk_contract() {
+        // Same exercise the concrete disks run in disk.rs, via the
+        // shared handle.
+        let mut disk = SharedMemDisk::new();
+        let f = disk.create_file().unwrap();
+        disk.append_page(f, &page_of(3)).unwrap();
+        let clone = disk.clone();
+        let mut other = clone;
+        assert_eq!(other.page_count(f).unwrap(), 1);
+        other.write_page(f, 0, &page_of(4)).unwrap();
+        assert_eq!(disk.read_page(f, 0).unwrap().row(4, 0).unwrap(), &[4; 4]);
+        assert_eq!(disk.files(), vec![f]);
+        disk.drop_file(f).unwrap();
+        assert!(other.read_page(f, 0).is_err());
+    }
+}

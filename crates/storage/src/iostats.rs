@@ -108,6 +108,14 @@ impl IoStats {
         self.counters.entry(file).or_default().accesses += 1;
     }
 
+    /// Charge `n` page writes against `file` from outside the pager. The
+    /// WAL uses this to account its log appends (to a pseudo file id) in
+    /// the same ledger as data-page I/O, so `QueryStats` phases can show
+    /// the durability cost next to the paper's metric.
+    pub fn add_writes(&mut self, file: FileId, n: u64) {
+        self.counters.entry(file).or_default().writes += n;
+    }
+
     /// Counters for one file (zero if never touched).
     pub fn of(&self, file: FileId) -> FileIo {
         self.counters.get(&file).copied().unwrap_or_default()

@@ -21,6 +21,7 @@
 
 pub mod catalog;
 pub mod disk;
+pub mod fault;
 pub mod hash;
 pub mod heap;
 pub mod iostats;
@@ -35,6 +36,7 @@ pub mod tuple;
 
 pub use catalog::{Catalog, NamedIndex, RelId, StoredRelation};
 pub use disk::{DiskManager, FileDisk, FileId, MemDisk};
+pub use fault::{FaultDisk, FaultPlan, SharedMemDisk};
 pub use hash::{rows_per_page_at_fill, HashFile};
 pub use heap::HeapFile;
 pub use iostats::{FileIo, IoStats, PhaseIo};
@@ -42,7 +44,7 @@ pub use isam::IsamFile;
 pub use key::{HashFn, KeyKind, KeySpec};
 pub use page::{page_capacity, Page, PageKind, NO_PAGE, PAGE_HEADER, PAGE_SIZE};
 pub use pager::{BufferConfig, EvictionPolicy, Pager};
-pub use persist::{load_catalog, save_catalog};
+pub use persist::{decode_catalog, encode_catalog, load_catalog, save_catalog};
 pub use relfile::{AccessMethod, RelFile, RelLookup, RelScan};
 pub use secondary::{i4_attr, IndexStructure, SecondaryIndex};
 pub use tuple::TupleId;

@@ -5,7 +5,7 @@
 //!
 //! ```text
 //! +--------------+-------------+---------+----------+------------------+
-//! | overflow u32 | count u16   | kind u16| spare u32| slots ...        |
+//! | overflow u32 | count u16   | kind u16| lsn u32  | slots ...        |
 //! +--------------+-------------+---------+----------+------------------+
 //! 0              4             6         8          12             1024
 //! ```
@@ -16,6 +16,9 @@
 //!   the paper measures.
 //! * `count` — number of occupied slots.
 //! * `kind` — [`PageKind`] tag, for integrity checking.
+//! * `lsn` — log sequence number of the last write-ahead-log page image
+//!   that produced this page (0 when the page was never logged). Recovery
+//!   skips replaying an image onto a page that already carries it.
 //!
 //! With a 108-byte row this yields 9 tuples per page, and 8 for the
 //! 116/124-byte rows of the versioned relation classes — matching the
@@ -58,7 +61,7 @@ pub fn page_capacity(row_width: usize) -> usize {
 }
 
 /// An in-memory page image.
-#[derive(Clone)]
+#[derive(Clone, PartialEq, Eq)]
 pub struct Page {
     bytes: Box<[u8; PAGE_SIZE]>,
 }
@@ -111,6 +114,17 @@ impl Page {
     /// Set the page kind tag.
     pub fn set_kind(&mut self, k: PageKind) {
         self.bytes[6..8].copy_from_slice(&(k as u16).to_le_bytes());
+    }
+
+    /// Log sequence number of the last WAL image of this page (0 when the
+    /// page has never been logged).
+    pub fn lsn(&self) -> u32 {
+        u32::from_le_bytes(self.bytes[8..12].try_into().unwrap())
+    }
+
+    /// Stamp the LSN (done by the WAL when an image is logged).
+    pub fn set_lsn(&mut self, lsn: u32) {
+        self.bytes[8..12].copy_from_slice(&lsn.to_le_bytes());
     }
 
     /// True if another `row_width`-byte row fits.
@@ -244,6 +258,22 @@ mod tests {
         assert_eq!(p.overflow(), NO_PAGE);
         p.set_overflow(42);
         assert_eq!(p.overflow(), 42);
+    }
+
+    #[test]
+    fn lsn_roundtrip_and_independence() {
+        // The LSN lives in the spare header word: stamping it must not
+        // disturb the overflow pointer, count, kind, or any slot.
+        let mut p = Page::new(PageKind::Overflow);
+        assert_eq!(p.lsn(), 0, "fresh pages are unlogged");
+        p.set_overflow(7);
+        p.push_row(4, &[1, 2, 3, 4]).unwrap();
+        p.set_lsn(0xDEAD_BEEF);
+        assert_eq!(p.lsn(), 0xDEAD_BEEF);
+        assert_eq!(p.overflow(), 7);
+        assert_eq!(p.count(), 1);
+        assert_eq!(p.kind().unwrap(), PageKind::Overflow);
+        assert_eq!(p.row(4, 0).unwrap(), &[1, 2, 3, 4]);
     }
 
     #[test]

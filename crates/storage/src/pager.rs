@@ -31,6 +31,7 @@
 use crate::disk::{DiskManager, FileId, MemDisk};
 use crate::iostats::IoStats;
 use crate::page::{Page, PageKind};
+use std::collections::{BTreeMap, BTreeSet};
 use tdbms_kernel::{Error, Result};
 
 /// Which frame a full pool gives up.
@@ -158,6 +159,16 @@ pub struct Pager {
     /// Per-file caps that outlive the pools they configure (a pool can be
     /// created lazily long after the cap was requested).
     overrides: std::collections::HashMap<FileId, usize>,
+    /// WAL staging mode: write-backs land in `overlay`, not on disk.
+    staging: bool,
+    /// Staged after-images shadowing the disk (staging mode only).
+    overlay: BTreeMap<(FileId, u32), Page>,
+    /// Pages dirtied since the last commit (keys into `overlay`).
+    staged: BTreeSet<(FileId, u32)>,
+    /// Files whose length changed since the last commit.
+    resized: BTreeSet<FileId>,
+    /// Files dropped while staging; physically dropped after commit.
+    pending_drops: Vec<FileId>,
 }
 
 impl Pager {
@@ -180,6 +191,11 @@ impl Pager {
                 .into_iter()
                 .map(|(f, cap)| (f, cap.max(1)))
                 .collect(),
+            staging: false,
+            overlay: BTreeMap::new(),
+            staged: BTreeSet::new(),
+            resized: BTreeSet::new(),
+            pending_drops: Vec::new(),
         }
     }
 
@@ -299,6 +315,16 @@ impl Pager {
     pub fn drop_file(&mut self, file: FileId) -> Result<()> {
         self.pools.remove(&file);
         self.overrides.remove(&file);
+        if self.staging {
+            // Defer the physical drop until the commit that logs it is
+            // durable: a crash in between must not have destroyed pages
+            // a committed state still references.
+            self.overlay.retain(|(f, _), _| *f != file);
+            self.staged.retain(|(f, _)| *f != file);
+            self.resized.remove(&file);
+            self.pending_drops.push(file);
+            return Ok(());
+        }
         self.disk.drop_file(file)
     }
 
@@ -311,6 +337,11 @@ impl Pager {
         if let Some(pool) = self.pools.get_mut(&file) {
             pool.frames.clear();
             pool.hand = 0;
+        }
+        if self.staging {
+            self.overlay.retain(|(f, _), _| *f != file);
+            self.staged.retain(|(f, _)| *f != file);
+            self.resized.insert(file);
         }
         self.disk.truncate(file)
     }
@@ -336,7 +367,12 @@ impl Pager {
 
     fn write_back(&mut self, file: FileId, frame: Frame) -> Result<()> {
         if frame.dirty {
-            self.disk.write_page(file, frame.page_no, &frame.page)?;
+            if self.staging {
+                self.overlay.insert((file, frame.page_no), frame.page);
+                self.staged.insert((file, frame.page_no));
+            } else {
+                self.disk.write_page(file, frame.page_no, &frame.page)?;
+            }
             self.stats.record_write(file);
         }
         Ok(())
@@ -406,8 +442,12 @@ impl Pager {
             self.stats.record_hit(file);
             return Ok(at);
         }
-        // Miss: fetch, then install (evicting as needed).
-        let page = self.disk.read_page(file, page_no)?;
+        // Miss: fetch (the staging overlay shadows the disk), then
+        // install (evicting as needed).
+        let page = match self.overlay.get(&(file, page_no)) {
+            Some(p) => p.clone(),
+            None => self.disk.read_page(file, page_no)?,
+        };
         self.stats.record_read(file);
         self.install_frame(
             file,
@@ -456,6 +496,14 @@ impl Pager {
     pub fn append_page(&mut self, file: FileId, kind: PageKind) -> Result<u32> {
         let page = Page::new(kind);
         let page_no = self.disk.append_page(file, &page)?;
+        if self.staging {
+            // The file grows on disk immediately, but only with this
+            // empty page: the content arrives through the buffer, whose
+            // dirty frame (installed below) stages an after-image. The
+            // commit logs the new length so recovery can trim an
+            // uncommitted tail.
+            self.resized.insert(file);
+        }
         self.install_frame(
             file,
             Frame { page_no, page, dirty: true, pinned: false, referenced: false },
@@ -474,7 +522,12 @@ impl Pager {
                 }
             }
             for (page_no, page) in dirty {
-                self.disk.write_page(file, page_no, &page)?;
+                if self.staging {
+                    self.overlay.insert((file, page_no), page);
+                    self.staged.insert((file, page_no));
+                } else {
+                    self.disk.write_page(file, page_no, &page)?;
+                }
                 self.stats.record_write(file);
             }
         }
@@ -488,6 +541,130 @@ impl Pager {
             self.flush_file(f)?;
         }
         Ok(())
+    }
+
+    // --- WAL staging ----------------------------------------------------
+    //
+    // In staging mode the pager never writes data-page *content* to disk
+    // on its own: every dirty write-back (eviction or flush) lands in an
+    // in-memory overlay that shadows the disk for subsequent reads,
+    // accumulating the transaction's after-images. The WAL commits by
+    // logging those images; a checkpoint later writes the overlay
+    // through. Appends and truncations still size the file on disk
+    // immediately — only ever with empty pages, content arrives through
+    // buffered writes — so `page_count` stays truthful, and the commit
+    // logs each changed length so recovery can trim uncommitted tails.
+
+    /// Switch staging mode (see above). Turn it on at open, before any
+    /// writes; it is not meant to be toggled mid-transaction.
+    pub fn set_staging(&mut self, on: bool) {
+        self.staging = on;
+    }
+
+    /// Is the pager staging write-backs in the overlay?
+    pub fn staging(&self) -> bool {
+        self.staging
+    }
+
+    /// The `(file, page)` pairs dirtied since the last
+    /// [`Pager::clear_staged`], sorted. After a `flush_all` each has its
+    /// after-image in the overlay, ready to be logged.
+    pub fn staged_pages(&self) -> Vec<(FileId, u32)> {
+        self.staged.iter().copied().collect()
+    }
+
+    /// Forget the staged-page set (the commit that logged it is durable).
+    pub fn clear_staged(&mut self) {
+        self.staged.clear();
+    }
+
+    /// Stamp `lsn` into the overlay image of (`file`, `page_no`) — and
+    /// into any resident frame of the same page — returning a copy of the
+    /// stamped image for the log. Errors if the page is not staged
+    /// (commit must flush first).
+    pub fn stamp_overlay_lsn(
+        &mut self,
+        file: FileId,
+        page_no: u32,
+        lsn: u32,
+    ) -> Result<Page> {
+        let page =
+            self.overlay.get_mut(&(file, page_no)).ok_or_else(|| {
+                Error::Internal(format!(
+                    "page {page_no} of {file:?} is not staged"
+                ))
+            })?;
+        page.set_lsn(lsn);
+        let copy = page.clone();
+        if let Some(pool) = self.pools.get_mut(&file) {
+            if let Some(f) =
+                pool.frames.iter_mut().find(|f| f.page_no == page_no)
+            {
+                f.page.set_lsn(lsn);
+            }
+        }
+        Ok(copy)
+    }
+
+    /// Drain the files whose length changed since the last call, paired
+    /// with their current length (the commit's file-length records).
+    pub fn take_resized(&mut self) -> Result<Vec<(FileId, u32)>> {
+        let files = std::mem::take(&mut self.resized);
+        files
+            .into_iter()
+            .map(|f| Ok((f, self.disk.page_count(f)?)))
+            .collect()
+    }
+
+    /// Drain the files whose drop was deferred by staging mode, to be
+    /// physically dropped once the commit that logs them is durable.
+    pub fn take_pending_drops(&mut self) -> Vec<FileId> {
+        std::mem::take(&mut self.pending_drops)
+    }
+
+    /// Physically drop a file whose drop was deferred by staging mode.
+    pub fn execute_drop(&mut self, file: FileId) -> Result<()> {
+        self.disk.drop_file(file)
+    }
+
+    /// Write every overlay page through to the disk (counting one write
+    /// per page — attribute it to a phase if it should be visible as
+    /// checkpoint cost) and clear the overlay. Returns the files touched,
+    /// sorted, so the caller can sync them.
+    pub fn materialize_overlay(&mut self) -> Result<Vec<FileId>> {
+        let overlay = std::mem::take(&mut self.overlay);
+        let mut files: Vec<FileId> = Vec::new();
+        for ((file, page_no), page) in overlay {
+            self.disk.write_page(file, page_no, &page)?;
+            self.stats.record_write(file);
+            if files.last() != Some(&file) {
+                files.push(file);
+            }
+        }
+        Ok(files)
+    }
+
+    /// Force one file's pages to stable storage.
+    pub fn sync_file(&mut self, file: FileId) -> Result<()> {
+        self.disk.sync(file)
+    }
+
+    /// Force every live file's pages to stable storage.
+    pub fn sync_all(&mut self) -> Result<()> {
+        for f in self.disk.files() {
+            self.disk.sync(f)?;
+        }
+        Ok(())
+    }
+
+    /// Current length of every live disk file, sorted (the checkpoint's
+    /// file-length snapshot).
+    pub fn file_lengths(&self) -> Result<Vec<(FileId, u32)>> {
+        self.disk
+            .files()
+            .into_iter()
+            .map(|f| Ok((f, self.disk.page_count(f)?)))
+            .collect()
     }
 }
 
@@ -745,6 +922,52 @@ mod tests {
         );
         pager.pools.get_mut(&f).unwrap().frames[0].pinned = false;
         pager.read(f, 1, |_| ()).unwrap();
+    }
+
+    #[test]
+    fn staging_holds_writes_in_the_overlay() {
+        let mut pager = Pager::in_memory();
+        pager.set_staging(true);
+        let f = pager.create_file().unwrap();
+        let p = pager.append_page(f, PageKind::Data).unwrap();
+        pager.write(f, p, |pg| pg.push_row(4, &[7; 4]).unwrap()).unwrap();
+        pager.flush_all().unwrap();
+        assert_eq!(pager.staged_pages(), vec![(f, p)]);
+        // The overlay shadows the (still empty) on-disk page for reads.
+        pager.invalidate_buffers().unwrap();
+        pager
+            .read(f, p, |pg| assert_eq!(pg.row(4, 0).unwrap(), &[7; 4]))
+            .unwrap();
+        // Commit stamps the LSN into the image; checkpoint materializes.
+        let img = pager.stamp_overlay_lsn(f, p, 42).unwrap();
+        assert_eq!(img.lsn(), 42);
+        pager.clear_staged();
+        assert!(pager.staged_pages().is_empty());
+        assert_eq!(pager.materialize_overlay().unwrap(), vec![f]);
+        pager.invalidate_buffers().unwrap();
+        pager
+            .read(f, p, |pg| {
+                assert_eq!(pg.lsn(), 42);
+                assert_eq!(pg.row(4, 0).unwrap(), &[7; 4]);
+            })
+            .unwrap();
+    }
+
+    #[test]
+    fn staging_defers_drops_and_tracks_lengths() {
+        let mut pager = Pager::in_memory();
+        pager.set_staging(true);
+        let f = pager.create_file().unwrap();
+        pager.append_page(f, PageKind::Data).unwrap();
+        pager.append_page(f, PageKind::Data).unwrap();
+        assert_eq!(pager.take_resized().unwrap(), vec![(f, 2)]);
+        assert!(pager.take_resized().unwrap().is_empty(), "drained");
+        pager.drop_file(f).unwrap();
+        // Still on disk until the commit executes the deferred drop.
+        assert_eq!(pager.page_count(f).unwrap(), 2);
+        assert_eq!(pager.take_pending_drops(), vec![f]);
+        pager.execute_drop(f).unwrap();
+        assert!(pager.page_count(f).is_err());
     }
 
     #[test]

@@ -150,8 +150,10 @@ fn parse_relfile(
     }
 }
 
-/// Write the catalog beside the page files.
-pub fn save_catalog(catalog: &Catalog, dir: &Path) -> Result<()> {
+/// Serialize the catalog to its line-oriented text form. The WAL embeds
+/// this text in commit records so recovery restores the exact catalog the
+/// committed state was described by.
+pub fn encode_catalog(catalog: &Catalog) -> String {
     let mut out = String::new();
     writeln!(out, "{MAGIC}").unwrap();
     for (_, rel) in catalog.iter() {
@@ -190,8 +192,21 @@ pub fn save_catalog(catalog: &Catalog, dir: &Path) -> Result<()> {
         }
         writeln!(out, "end").unwrap();
     }
+    out
+}
+
+/// Write the catalog beside the page files: serialized to a temporary
+/// file, fsynced, then atomically renamed over `catalog.tdbms` — a crash
+/// leaves either the old catalog or the new one, never a torn mix, and
+/// never a rename pointing at unsynced bytes.
+pub fn save_catalog(catalog: &Catalog, dir: &Path) -> Result<()> {
+    let out = encode_catalog(catalog);
     let tmp = dir.join("catalog.tdbms.tmp");
-    std::fs::write(&tmp, out)?;
+    {
+        let mut fh = std::fs::File::create(&tmp)?;
+        std::io::Write::write_all(&mut fh, out.as_bytes())?;
+        fh.sync_all()?;
+    }
     std::fs::rename(&tmp, dir.join("catalog.tdbms"))?;
     Ok(())
 }
@@ -207,12 +222,15 @@ pub fn load_catalog(dir: &Path, pager: &mut Pager) -> Result<Option<Catalog>> {
         }
         Err(e) => return Err(e.into()),
     };
+    decode_catalog(&text, pager).map(Some)
+}
+
+/// Parse a serialized catalog, validating every referenced page file
+/// against the pager's disk. The inverse of [`encode_catalog`].
+pub fn decode_catalog(text: &str, pager: &mut Pager) -> Result<Catalog> {
     let mut lines = text.lines().peekable();
     if lines.next() != Some(MAGIC) {
-        return Err(Error::Io(format!(
-            "{} is not a tdbms catalog",
-            path.display()
-        )));
+        return Err(Error::Io("not a tdbms catalog".into()));
     }
     let mut catalog = Catalog::new();
     while let Some(line) = lines.next() {
@@ -327,7 +345,7 @@ pub fn load_catalog(dir: &Path, pager: &mut Pager) -> Result<Option<Catalog>> {
         })?;
         let _ = id;
     }
-    Ok(Some(catalog))
+    Ok(catalog)
 }
 
 /// Like [`parse_relfile`] but for index-entry files, whose "codec" is just

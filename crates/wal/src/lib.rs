@@ -1,0 +1,471 @@
+//! # tdbms-wal
+//!
+//! A physical-redo write-ahead log with ARIES-lite, redo-only recovery
+//! for the temporal DBMS storage engine.
+//!
+//! ## Protocol
+//!
+//! The pager runs in *staging* mode: dirty write-backs accumulate in an
+//! in-memory overlay and never touch the data files. At commit, the
+//! database logs one transaction — `Begin`, the new length of every
+//! resized file, the after-image of every dirtied page (each stamped
+//! with its record's LSN, in the log *and* in the overlay copy that will
+//! eventually reach disk), any deferred file drops, the catalog + clock
+//! text, `Commit` — and fsyncs the log. Only then do deferred drops
+//! execute physically. A checkpoint writes the overlay through to the
+//! data files, fsyncs them, saves the catalog, and truncates the log to
+//! a fresh header carrying the next LSN and a snapshot of every file's
+//! length.
+//!
+//! ## Recovery invariants
+//!
+//! Redo-only suffices because uncommitted page *content* never reaches
+//! the data files — only empty appended pages and length changes do, and
+//! the log records committed lengths so recovery trims uncommitted
+//! tails. On reopen:
+//!
+//! 1. An empty or torn header means the log is the fresh product of a
+//!    checkpoint (which durably materialized everything first): nothing
+//!    to redo.
+//! 2. The header snapshot restores each listed file's checkpointed
+//!    length; then each *committed* transaction replays in order —
+//!    lengths, then page images (skipped when the on-disk page already
+//!    carries an LSN at least as new), then drops. Records for files
+//!    that no longer exist are skipped: a later committed `DropFile`
+//!    must have removed them.
+//! 3. Parsing stops at the first torn or corrupt record; a transaction
+//!    without an intact `Commit` contributes nothing.
+//! 4. Replay is idempotent — every step either re-establishes a length,
+//!    re-writes an identical image, or re-drops — so recovering twice
+//!    equals recovering once, and a crash *during* recovery is no worse
+//!    than the original crash.
+
+mod log;
+mod record;
+
+pub use crate::log::{FaultLog, FileLog, LogStore, MemLog, SharedMemLog};
+pub use crate::record::{
+    encode_header, fnv64, parse_header, parse_records, Record,
+};
+
+use tdbms_kernel::Result;
+use tdbms_storage::{DiskManager, FileId, Page, PageKind};
+
+/// When the database takes a checkpoint (overlay write-through + log
+/// truncation).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CheckpointPolicy {
+    /// After every commit: the log stays one transaction long and the
+    /// overlay never outlives a statement. The default.
+    EveryCommit,
+    /// After every `n` commits: amortizes the write-through at the cost
+    /// of a longer log and a bigger overlay.
+    EveryN(u32),
+    /// Only when explicitly requested.
+    Manual,
+}
+
+impl CheckpointPolicy {
+    /// Should a checkpoint follow the `commits_since_checkpoint`-th
+    /// commit since the last one?
+    pub fn due(&self, commits_since_checkpoint: u32) -> bool {
+        match self {
+            CheckpointPolicy::EveryCommit => true,
+            CheckpointPolicy::EveryN(n) => {
+                commits_since_checkpoint >= (*n).max(1)
+            }
+            CheckpointPolicy::Manual => false,
+        }
+    }
+}
+
+/// What recovery learned from the log at open.
+pub struct RecoveryPlan {
+    /// LSN space starts here (stamped pages may carry up to this - 1).
+    pub base_lsn: u32,
+    /// File lengths at the checkpoint that last truncated the log.
+    pub snapshot: Vec<(FileId, u32)>,
+    /// Committed transactions, in commit order, as `(lsn, record)` runs.
+    pub txns: Vec<Vec<(u32, Record)>>,
+    /// The last committed `(clock, catalog)` texts, if any transaction
+    /// carried one — these supersede the files on disk.
+    pub catalog: Option<(String, String)>,
+    next_lsn: u32,
+}
+
+impl RecoveryPlan {
+    /// Parse the raw log bytes. Never fails: a torn header yields an
+    /// empty plan (see module docs for why that is sound) and a torn
+    /// record ends the scan at the last intact commit.
+    pub fn parse(bytes: &[u8]) -> RecoveryPlan {
+        let (base_lsn, snapshot, off) = match parse_header(bytes) {
+            Ok(Some(h)) => h,
+            Ok(None) | Err(_) => (1, Vec::new(), bytes.len()),
+        };
+        let (records, max_lsn) = parse_records(&bytes[off..]);
+        let mut txns = Vec::new();
+        let mut catalog = None;
+        let mut current: Vec<(u32, Record)> = Vec::new();
+        for (lsn, rec) in records {
+            let is_commit = matches!(rec, Record::Commit);
+            current.push((lsn, rec));
+            if is_commit {
+                for (_, r) in &current {
+                    if let Record::Catalog { clock, catalog: text } = r {
+                        catalog = Some((clock.clone(), text.clone()));
+                    }
+                }
+                txns.push(std::mem::take(&mut current));
+            }
+        }
+        // `current` now holds an uncommitted tail: dropped by design.
+        RecoveryPlan {
+            base_lsn,
+            snapshot,
+            txns,
+            catalog,
+            next_lsn: base_lsn.max(max_lsn + 1),
+        }
+    }
+
+    /// The first LSN the reopened log may assign.
+    pub fn next_lsn(&self) -> u32 {
+        self.next_lsn
+    }
+
+    /// True when there is nothing to redo.
+    pub fn is_clean(&self) -> bool {
+        self.snapshot.is_empty() && self.txns.is_empty()
+    }
+}
+
+/// Force `file` to exactly `len` pages. Shrinking preserves the first
+/// `len` pages (the trait only truncates to zero, so they are read,
+/// dropped, and re-appended); growing appends empty data pages — safe
+/// placeholders, because every page appended under staging is installed
+/// dirty and therefore always has a committed image to replay over it.
+/// A missing file is skipped: a later committed `DropFile` removed it.
+fn set_len(disk: &mut dyn DiskManager, file: FileId, len: u32) -> Result<()> {
+    let Ok(cur) = disk.page_count(file) else { return Ok(()) };
+    if cur > len {
+        let keep: Vec<Page> = (0..len)
+            .map(|p| disk.read_page(file, p))
+            .collect::<Result<_>>()?;
+        disk.truncate(file)?;
+        for p in &keep {
+            disk.append_page(file, p)?;
+        }
+    } else {
+        for _ in cur..len {
+            disk.append_page(file, &Page::new(PageKind::Data))?;
+        }
+    }
+    Ok(())
+}
+
+/// Redo a [`RecoveryPlan`] against the raw disk (run *before* any pager
+/// buffers pages). Idempotent: see the module-level invariants.
+pub fn replay(plan: &RecoveryPlan, disk: &mut dyn DiskManager) -> Result<()> {
+    for &(file, len) in &plan.snapshot {
+        set_len(disk, file, len)?;
+    }
+    for txn in &plan.txns {
+        for (lsn, rec) in txn {
+            match rec {
+                Record::FileLen { file, len } => set_len(disk, *file, *len)?,
+                Record::PageImage { file, page_no, image } => {
+                    let Ok(n) = disk.page_count(*file) else { continue };
+                    if *page_no >= n {
+                        set_len(disk, *file, page_no + 1)?;
+                    }
+                    let on_disk = disk.read_page(*file, *page_no)?;
+                    if on_disk.lsn() < *lsn {
+                        disk.write_page(*file, *page_no, image)?;
+                    }
+                }
+                Record::DropFile { file } => {
+                    if disk.page_count(*file).is_ok() {
+                        disk.drop_file(*file)?;
+                    }
+                }
+                Record::Begin
+                | Record::Catalog { .. }
+                | Record::Commit => {}
+            }
+        }
+    }
+    Ok(())
+}
+
+/// The write-ahead log: LSN assignment, record appending, and
+/// checkpoint truncation over a [`LogStore`].
+pub struct Wal {
+    store: Box<dyn LogStore>,
+    next_lsn: u32,
+    bytes_appended: u64,
+}
+
+impl Wal {
+    /// Open the log: read it back, derive the [`RecoveryPlan`], and
+    /// position the LSN counter past everything ever logged. A brand-new
+    /// log gets its initial header here, so records never precede one.
+    pub fn open(mut store: Box<dyn LogStore>) -> Result<(Wal, RecoveryPlan)> {
+        let bytes = store.read_all()?;
+        let plan = RecoveryPlan::parse(&bytes);
+        if bytes.is_empty() {
+            store.reset(&encode_header(plan.next_lsn(), &[]))?;
+        }
+        let wal =
+            Wal { store, next_lsn: plan.next_lsn(), bytes_appended: 0 };
+        Ok((wal, plan))
+    }
+
+    /// The LSN the next [`Wal::append`] will assign (the database stamps
+    /// it into the page image before logging).
+    pub fn peek_lsn(&self) -> u32 {
+        self.next_lsn
+    }
+
+    /// Append one record; returns its LSN.
+    pub fn append(&mut self, rec: &Record) -> Result<u32> {
+        let lsn = self.next_lsn;
+        self.next_lsn += 1;
+        let bytes = rec.encode(lsn);
+        self.store.append(&bytes)?;
+        self.bytes_appended += bytes.len() as u64;
+        Ok(lsn)
+    }
+
+    /// Force the log to stable storage (the commit point).
+    pub fn sync(&mut self) -> Result<()> {
+        self.store.sync()
+    }
+
+    /// Total bytes appended since open (the database converts deltas to
+    /// page-equivalents for I/O accounting).
+    pub fn bytes_appended(&self) -> u64 {
+        self.bytes_appended
+    }
+
+    /// Checkpoint truncation: replace the log with a fresh header
+    /// carrying the current LSN frontier and the given file-length
+    /// snapshot, then sync. Call only after the data files and catalog
+    /// the snapshot describes are durably on disk.
+    pub fn truncate(&mut self, snapshot: &[(FileId, u32)]) -> Result<()> {
+        self.truncate_with(snapshot, &[])
+    }
+
+    /// [`Wal::truncate`] with `records` (LSN-assigned here) composed
+    /// into the same atomic reset. The database rides a committed
+    /// catalog transaction along with every truncation, so the log never
+    /// — not even between two operations of a checkpoint — lacks the
+    /// catalog it would need to recover a directory-less database.
+    pub fn truncate_with(
+        &mut self,
+        snapshot: &[(FileId, u32)],
+        records: &[Record],
+    ) -> Result<()> {
+        let mut buf = encode_header(self.next_lsn, snapshot);
+        for rec in records {
+            let lsn = self.next_lsn;
+            self.next_lsn += 1;
+            buf.extend_from_slice(&rec.encode(lsn));
+        }
+        self.bytes_appended += buf.len() as u64;
+        self.store.reset(&buf)?;
+        self.store.sync()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tdbms_storage::{MemDisk, PAGE_SIZE};
+
+    fn image(byte: u8, lsn: u32) -> Page {
+        let mut p = Page::new(PageKind::Data);
+        p.push_row(4, &[byte; 4]).unwrap();
+        p.set_lsn(lsn);
+        p
+    }
+
+    /// Build a one-file disk with `n` pages of content `fill`.
+    fn disk_with(n: u32, fill: u8) -> (MemDisk, FileId) {
+        let mut d = MemDisk::new();
+        let f = d.create_file().unwrap();
+        for _ in 0..n {
+            d.append_page(f, &image(fill, 0)).unwrap();
+        }
+        (d, f)
+    }
+
+    #[test]
+    fn commit_boundary_separates_winners_from_losers() {
+        let mut wal = Wal::open(Box::new(MemLog::new())).unwrap().0;
+        wal.append(&Record::Begin).unwrap();
+        wal.append(&Record::FileLen { file: FileId(0), len: 1 }).unwrap();
+        wal.append(&Record::Commit).unwrap();
+        wal.append(&Record::Begin).unwrap();
+        let lsn =
+            wal.append(&Record::FileLen { file: FileId(0), len: 9 }).unwrap();
+        // No commit: the second transaction must vanish.
+        let bytes = wal.store.read_all().unwrap();
+        let plan = RecoveryPlan::parse(&bytes);
+        assert_eq!(plan.txns.len(), 1);
+        assert_eq!(plan.txns[0].len(), 3);
+        assert!(plan.next_lsn() > lsn, "lsn frontier covers losers too");
+    }
+
+    #[test]
+    fn replay_trims_uncommitted_tail_and_applies_images() {
+        // Committed state: 2 pages, page 1 re-imaged at lsn 3. The disk
+        // additionally has an uncommitted appended tail (pages 2, 3).
+        let (mut disk, f) = disk_with(4, 1);
+        let mut wal = Wal::open(Box::new(MemLog::new())).unwrap().0;
+        wal.append(&Record::Begin).unwrap();
+        wal.append(&Record::FileLen { file: f, len: 2 }).unwrap();
+        let lsn = wal.peek_lsn();
+        wal.append(&Record::PageImage {
+            file: f,
+            page_no: 1,
+            image: image(7, lsn),
+        })
+        .unwrap();
+        wal.append(&Record::Commit).unwrap();
+        let plan = RecoveryPlan::parse(&wal.store.read_all().unwrap());
+        replay(&plan, &mut disk).unwrap();
+        assert_eq!(disk.page_count(f).unwrap(), 2, "tail trimmed");
+        assert_eq!(disk.read_page(f, 1).unwrap().row(4, 0).unwrap(), &[7; 4]);
+        assert_eq!(disk.read_page(f, 0).unwrap().row(4, 0).unwrap(), &[1; 4]);
+        // Idempotence: replaying again changes nothing.
+        let before: Vec<Vec<u8>> = (0..2)
+            .map(|p| disk.read_page(f, p).unwrap().as_bytes().to_vec())
+            .collect();
+        replay(&plan, &mut disk).unwrap();
+        let after: Vec<Vec<u8>> = (0..2)
+            .map(|p| disk.read_page(f, p).unwrap().as_bytes().to_vec())
+            .collect();
+        assert_eq!(before, after);
+    }
+
+    #[test]
+    fn replay_skips_pages_the_disk_already_has() {
+        let (mut disk, f) = disk_with(1, 1);
+        // Disk page already stamped with lsn 10 (a checkpoint wrote it).
+        disk.write_page(f, 0, &image(9, 10)).unwrap();
+        let plan = RecoveryPlan {
+            base_lsn: 1,
+            snapshot: vec![],
+            txns: vec![vec![(
+                5,
+                Record::PageImage { file: f, page_no: 0, image: image(2, 5) },
+            )]],
+            catalog: None,
+            next_lsn: 11,
+        };
+        replay(&plan, &mut disk).unwrap();
+        assert_eq!(
+            disk.read_page(f, 0).unwrap().row(4, 0).unwrap(),
+            &[9; 4],
+            "older image must not clobber a newer page"
+        );
+    }
+
+    #[test]
+    fn replay_extends_with_placeholders_then_images() {
+        let (mut disk, f) = disk_with(0, 0);
+        let lsn = 4;
+        let plan = RecoveryPlan {
+            base_lsn: 1,
+            snapshot: vec![],
+            txns: vec![vec![
+                (2, Record::FileLen { file: f, len: 3 }),
+                (
+                    lsn,
+                    Record::PageImage {
+                        file: f,
+                        page_no: 2,
+                        image: image(5, lsn),
+                    },
+                ),
+            ]],
+            catalog: None,
+            next_lsn: 9,
+        };
+        replay(&plan, &mut disk).unwrap();
+        assert_eq!(disk.page_count(f).unwrap(), 3);
+        assert_eq!(disk.read_page(f, 2).unwrap().row(4, 0).unwrap(), &[5; 4]);
+        // Placeholder pages parse as empty data pages, not page-0 chains.
+        let ph = disk.read_page(f, 1).unwrap();
+        assert_eq!(ph.count(), 0);
+        assert_eq!(ph.overflow(), tdbms_storage::NO_PAGE);
+    }
+
+    #[test]
+    fn replay_handles_drops_of_present_and_absent_files() {
+        let (mut disk, f) = disk_with(2, 3);
+        let plan = RecoveryPlan {
+            base_lsn: 1,
+            snapshot: vec![],
+            txns: vec![vec![
+                (1, Record::DropFile { file: f }),
+                (2, Record::DropFile { file: FileId(909) }),
+                // Records for the dropped file are skipped, not errors.
+                (3, Record::FileLen { file: f, len: 5 }),
+                (
+                    4,
+                    Record::PageImage {
+                        file: f,
+                        page_no: 0,
+                        image: image(1, 4),
+                    },
+                ),
+            ]],
+            catalog: None,
+            next_lsn: 5,
+        };
+        replay(&plan, &mut disk).unwrap();
+        assert!(disk.page_count(f).is_err());
+    }
+
+    #[test]
+    fn truncation_preserves_the_lsn_frontier_and_snapshot() {
+        let mut wal = Wal::open(Box::new(MemLog::new())).unwrap().0;
+        wal.append(&Record::Begin).unwrap();
+        wal.append(&Record::Commit).unwrap();
+        let frontier = wal.peek_lsn();
+        wal.truncate(&[(FileId(0), 7)]).unwrap();
+        let bytes = wal.store.read_all().unwrap();
+        let plan = RecoveryPlan::parse(&bytes);
+        assert!(plan.txns.is_empty());
+        assert_eq!(plan.base_lsn, frontier);
+        assert_eq!(plan.snapshot, vec![(FileId(0), 7)]);
+        assert_eq!(plan.next_lsn(), frontier);
+        // Snapshot replay restores the checkpointed length.
+        let (mut disk, f) = disk_with(9, 1);
+        assert_eq!(f, FileId(0));
+        replay(&plan, &mut disk).unwrap();
+        assert_eq!(disk.page_count(f).unwrap(), 7);
+    }
+
+    #[test]
+    fn checkpoint_policies() {
+        assert!(CheckpointPolicy::EveryCommit.due(1));
+        assert!(!CheckpointPolicy::EveryN(3).due(2));
+        assert!(CheckpointPolicy::EveryN(3).due(3));
+        assert!(!CheckpointPolicy::Manual.due(1_000_000));
+    }
+
+    #[test]
+    fn bytes_appended_tracks_page_scale() {
+        let mut wal = Wal::open(Box::new(MemLog::new())).unwrap().0;
+        wal.append(&Record::PageImage {
+            file: FileId(0),
+            page_no: 0,
+            image: image(1, 1),
+        })
+        .unwrap();
+        let b = wal.bytes_appended();
+        assert!(b as usize > PAGE_SIZE && (b as usize) < PAGE_SIZE + 64);
+    }
+}

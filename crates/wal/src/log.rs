@@ -1,0 +1,286 @@
+//! Log storage backends.
+//!
+//! [`LogStore`] is the byte-level contract the WAL writes against:
+//! append, fsync, read back, and reset (checkpoint truncation). The
+//! backends mirror the disk managers: [`FileLog`] for a real durable log
+//! beside the page files, [`MemLog`] for unit tests, [`SharedMemLog`] so
+//! a crash test can reopen the surviving bytes in the next incarnation,
+//! and [`FaultLog`] to crash the log channel on the same
+//! [`FaultPlan`] budget as the data disk.
+
+use std::cell::RefCell;
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::PathBuf;
+use std::rc::Rc;
+use tdbms_kernel::Result;
+use tdbms_storage::FaultPlan;
+
+/// Byte-level log storage.
+pub trait LogStore {
+    /// The entire log contents, header included.
+    fn read_all(&mut self) -> Result<Vec<u8>>;
+    /// Append bytes at the end.
+    fn append(&mut self, bytes: &[u8]) -> Result<()>;
+    /// Force appended bytes to stable storage.
+    fn sync(&mut self) -> Result<()>;
+    /// Replace the whole log with `bytes` (checkpoint truncation).
+    /// Contract: **atomic** — after a crash the log holds either the old
+    /// contents or the new, never a mixture (file backends implement
+    /// this as write-to-temp + fsync + rename). The WAL relies on this:
+    /// the truncated log carries the only copy of the catalog when the
+    /// database has no directory to checkpoint it into.
+    fn reset(&mut self, bytes: &[u8]) -> Result<()>;
+}
+
+/// In-memory log.
+#[derive(Default)]
+pub struct MemLog {
+    bytes: Vec<u8>,
+}
+
+impl MemLog {
+    /// An empty in-memory log.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl LogStore for MemLog {
+    fn read_all(&mut self) -> Result<Vec<u8>> {
+        Ok(self.bytes.clone())
+    }
+
+    fn append(&mut self, bytes: &[u8]) -> Result<()> {
+        self.bytes.extend_from_slice(bytes);
+        Ok(())
+    }
+
+    fn sync(&mut self) -> Result<()> {
+        Ok(())
+    }
+
+    fn reset(&mut self, bytes: &[u8]) -> Result<()> {
+        self.bytes.clear();
+        self.bytes.extend_from_slice(bytes);
+        Ok(())
+    }
+}
+
+/// A cloneable handle over one shared in-memory log: the surviving bytes
+/// of a crashed incarnation, reopenable by the next.
+#[derive(Clone, Default)]
+pub struct SharedMemLog {
+    bytes: Rc<RefCell<Vec<u8>>>,
+}
+
+impl SharedMemLog {
+    /// An empty shared log.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl LogStore for SharedMemLog {
+    fn read_all(&mut self) -> Result<Vec<u8>> {
+        Ok(self.bytes.borrow().clone())
+    }
+
+    fn append(&mut self, bytes: &[u8]) -> Result<()> {
+        self.bytes.borrow_mut().extend_from_slice(bytes);
+        Ok(())
+    }
+
+    fn sync(&mut self) -> Result<()> {
+        Ok(())
+    }
+
+    fn reset(&mut self, bytes: &[u8]) -> Result<()> {
+        let mut b = self.bytes.borrow_mut();
+        b.clear();
+        b.extend_from_slice(bytes);
+        Ok(())
+    }
+}
+
+/// File-backed log (`wal.tdbms` in the database directory).
+pub struct FileLog {
+    fh: std::fs::File,
+    path: PathBuf,
+}
+
+impl FileLog {
+    /// Open (creating if needed) the log file at `path`.
+    pub fn open(path: impl Into<PathBuf>) -> Result<Self> {
+        let path = path.into();
+        let fh = std::fs::OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(false)
+            .open(&path)?;
+        Ok(FileLog { fh, path })
+    }
+}
+
+impl LogStore for FileLog {
+    fn read_all(&mut self) -> Result<Vec<u8>> {
+        let mut out = Vec::new();
+        self.fh.seek(SeekFrom::Start(0))?;
+        self.fh.read_to_end(&mut out)?;
+        Ok(out)
+    }
+
+    fn append(&mut self, bytes: &[u8]) -> Result<()> {
+        self.fh.seek(SeekFrom::End(0))?;
+        self.fh.write_all(bytes)?;
+        Ok(())
+    }
+
+    fn sync(&mut self) -> Result<()> {
+        self.fh.sync_all()?;
+        Ok(())
+    }
+
+    fn reset(&mut self, bytes: &[u8]) -> Result<()> {
+        // Atomic (per the trait contract): build the replacement beside
+        // the log, fsync it, and rename it into place.
+        let tmp = self.path.with_extension("tmp");
+        let mut fh = std::fs::File::create(&tmp)?;
+        fh.write_all(bytes)?;
+        fh.sync_all()?;
+        std::fs::rename(&tmp, &self.path)?;
+        // The temp handle is write-only; reopen for reading too.
+        self.fh = std::fs::OpenOptions::new()
+            .read(true)
+            .write(true)
+            .open(&self.path)?;
+        Ok(())
+    }
+}
+
+/// A [`LogStore`] that crashes on the shared [`FaultPlan`] budget.
+/// Appends and resets are mutating ops. A crashing *append* persists
+/// only a prefix (`torn_bytes`, default none) — simulating a torn log
+/// append, which recovery must treat as "this record never happened". A
+/// crashing *reset* leaves the old contents untouched: resets are atomic
+/// by the trait contract (rename-based), so they either happen whole or
+/// not at all.
+pub struct FaultLog {
+    inner: Box<dyn LogStore>,
+    plan: FaultPlan,
+    torn_bytes: Option<usize>,
+}
+
+impl FaultLog {
+    /// Wrap `inner` under `plan`, dropping the crashing append whole.
+    pub fn new(inner: Box<dyn LogStore>, plan: FaultPlan) -> Self {
+        FaultLog { inner, plan, torn_bytes: None }
+    }
+
+    /// Wrap `inner` under `plan`; the crashing append persists its first
+    /// `bytes` bytes.
+    pub fn with_torn_appends(
+        inner: Box<dyn LogStore>,
+        plan: FaultPlan,
+        bytes: usize,
+    ) -> Self {
+        FaultLog { inner, plan, torn_bytes: Some(bytes) }
+    }
+}
+
+impl LogStore for FaultLog {
+    fn read_all(&mut self) -> Result<Vec<u8>> {
+        self.plan.check_alive()?;
+        self.inner.read_all()
+    }
+
+    fn append(&mut self, bytes: &[u8]) -> Result<()> {
+        let was_alive = !self.plan.crashed();
+        if let Err(e) = self.plan.charge() {
+            if was_alive {
+                if let Some(k) = self.torn_bytes {
+                    let _ = self.inner.append(&bytes[..k.min(bytes.len())]);
+                }
+            }
+            return Err(e);
+        }
+        self.inner.append(bytes)
+    }
+
+    fn sync(&mut self) -> Result<()> {
+        self.plan.charge()?;
+        self.inner.sync()
+    }
+
+    fn reset(&mut self, bytes: &[u8]) -> Result<()> {
+        self.plan.charge()?;
+        self.inner.reset(bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn exercise(log: &mut dyn LogStore) {
+        assert!(log.read_all().unwrap().is_empty());
+        log.append(b"abc").unwrap();
+        log.append(b"def").unwrap();
+        log.sync().unwrap();
+        assert_eq!(log.read_all().unwrap(), b"abcdef");
+        log.reset(b"xy").unwrap();
+        assert_eq!(log.read_all().unwrap(), b"xy");
+        log.append(b"z").unwrap();
+        assert_eq!(log.read_all().unwrap(), b"xyz");
+    }
+
+    #[test]
+    fn mem_log_contract() {
+        exercise(&mut MemLog::new());
+    }
+
+    #[test]
+    fn shared_mem_log_contract_and_sharing() {
+        let mut log = SharedMemLog::new();
+        exercise(&mut log);
+        let mut other = log.clone();
+        other.append(b"!").unwrap();
+        assert_eq!(log.read_all().unwrap(), b"xyz!");
+    }
+
+    #[test]
+    fn file_log_contract_and_reopen() {
+        let dir = std::env::temp_dir()
+            .join(format!("tdbms-wal-log-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("wal.tdbms");
+        exercise(&mut FileLog::open(&path).unwrap());
+        // Reopen: contents survive.
+        let mut log = FileLog::open(&path).unwrap();
+        assert_eq!(log.read_all().unwrap(), b"xyz");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn fault_log_tears_the_crashing_append() {
+        let shared = SharedMemLog::new();
+        let plan = FaultPlan::new(Some(2));
+        let mut log = FaultLog::with_torn_appends(
+            Box::new(shared.clone()),
+            plan.clone(),
+            2,
+        );
+        log.append(b"abcd").unwrap();
+        assert!(log.append(b"efgh").is_err(), "second append crashes");
+        assert!(plan.crashed());
+        assert!(log.append(b"ijkl").is_err(), "dead after the crash");
+        assert!(log.read_all().is_err());
+        let mut survivor = shared;
+        assert_eq!(
+            survivor.read_all().unwrap(),
+            b"abcdef",
+            "2-byte torn tail of the crashing append"
+        );
+    }
+}

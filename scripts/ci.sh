@@ -28,6 +28,13 @@ fi
 echo "==> cargo test -q (offline)"
 cargo test --workspace -q
 
+# The WAL acceptance gate, run by name so a filter change in the suite
+# above can never silently drop it: kill the engine at a matrix of
+# injected crash points (per access method, over real page files and a
+# real log) and require zero committed-tuple loss on reopen.
+echo "==> WAL crash matrix (heap / hash / isam, fault-injected)"
+cargo test -q --test wal_recovery crash_matrix_over_real_files
+
 if ! $quick; then
     # Smoke-run the figure harness binaries at a reduced update count so a
     # harness regression fails tier-1, not at paper-reproduction time.

@@ -22,7 +22,8 @@
 //! ```
 
 pub use tdbms_core::{
-    AccessMethod, Database, ExecOutput, QueryStats, RelationMeta, TInterval,
+    AccessMethod, CheckpointPolicy, Database, ExecOutput, QueryStats,
+    RelationMeta, TInterval, WAL_FILE,
 };
 pub use tdbms_kernel::{
     AttrDef, Clock, DatabaseClass, Domain, Error, Granularity, Result,
@@ -33,3 +34,4 @@ pub use tdbms_storage::{
 };
 pub use tdbms_tquel as tquel;
 pub use tdbms_twostore as twostore;
+pub use tdbms_wal as wal;

@@ -90,6 +90,12 @@ impl DiskManager for AuditDisk {
     fn truncate(&mut self, file: FileId) -> tdbms::Result<()> {
         self.inner.truncate(file)
     }
+    fn sync(&mut self, file: FileId) -> tdbms::Result<()> {
+        self.inner.sync(file)
+    }
+    fn files(&self) -> Vec<FileId> {
+        self.inner.files()
+    }
 }
 
 /// Classify whether a mutated byte range is WORM-compatible for a
