@@ -103,6 +103,13 @@ pub fn build_database_with_hash(
         per_file: Vec::new(),
     });
     db.set_hash_fn(hashfn);
+    // Corruption-defense ablation: `TDBMS_CHECKSUMS=1` turns on page
+    // checksumming for the whole run, so CI can assert the golden
+    // figures are identical with scrubbing on and off (the sidecar is
+    // out-of-band; page capacity and access paths must not move).
+    if std::env::var("TDBMS_CHECKSUMS").is_ok_and(|v| v == "1") {
+        db.enable_checksums().expect("in-memory checksums cannot fail");
+    }
     populate_database(&mut db, cfg);
     db
 }

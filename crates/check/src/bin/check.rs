@@ -1,0 +1,55 @@
+//! `check` — fsck for tdbms database directories.
+//!
+//! ```text
+//! check <dir>            verify checksums, structure, temporal invariants
+//! check <dir> --repair   also salvage from the WAL / quarantine, then
+//!                        checkpoint the repaired state
+//! ```
+//!
+//! Exit status: 0 clean, 1 integrity findings, 2 operational error.
+
+use std::process::ExitCode;
+
+use tdbms_check::CheckedDb;
+
+const USAGE: &str = "usage: check <database-dir> [--repair]";
+
+fn main() -> ExitCode {
+    let mut dir: Option<String> = None;
+    let mut repair = false;
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--repair" => repair = true,
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            other if dir.is_none() && !other.starts_with('-') => {
+                dir = Some(other.to_string());
+            }
+            other => {
+                eprintln!("check: unexpected argument {other:?}\n{USAGE}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let Some(dir) = dir else {
+        eprintln!("{USAGE}");
+        return ExitCode::from(2);
+    };
+    match run(&dir, repair) {
+        Ok(true) => ExitCode::SUCCESS,
+        Ok(false) => ExitCode::from(1),
+        Err(e) => {
+            eprintln!("check: {e}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn run(dir: &str, repair: bool) -> tdbms_kernel::Result<bool> {
+    let mut db = CheckedDb::open(dir)?;
+    let report = if repair { db.repair()? } else { db.check()? };
+    print!("{}", report.render());
+    Ok(report.is_clean())
+}

@@ -33,7 +33,7 @@ pub mod eval;
 pub mod exec;
 pub mod interval;
 
-pub use db::{Database, ExecOutput, RelationMeta, WAL_FILE};
+pub use db::{Database, ExecOutput, RelationMeta, SCRUB_FILE, WAL_FILE};
 pub use tdbms_wal::CheckpointPolicy;
 pub use exec::QueryStats;
 pub use interval::TInterval;

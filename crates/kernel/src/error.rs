@@ -39,6 +39,11 @@ pub enum Error {
     NotApplicable(String),
     /// Underlying I/O failure (file-backed disk manager only).
     Io(String),
+    /// Data read back from storage failed a validity check: a checksum
+    /// mismatch, a bad page-kind tag, an out-of-range slot, a malformed
+    /// WAL frame. Unlike [`Error::Internal`] (a bug in the DBMS), this
+    /// points at the media; `file`/`page` locate the damage when known.
+    Corruption { file: Option<u32>, page: Option<u32>, detail: String },
     /// Invariant violation that indicates a bug in the DBMS itself.
     Internal(String),
 }
@@ -66,6 +71,16 @@ impl fmt::Display for Error {
             }
             Error::NotApplicable(s) => write!(f, "not applicable: {s}"),
             Error::Io(s) => write!(f, "i/o error: {s}"),
+            Error::Corruption { file, page, detail } => {
+                write!(f, "corruption detected")?;
+                if let Some(file) = file {
+                    write!(f, " in file {file}")?;
+                }
+                if let Some(page) = page {
+                    write!(f, " page {page}")?;
+                }
+                write!(f, ": {detail}")
+            }
             Error::Internal(s) => write!(f, "internal error: {s}"),
         }
     }
@@ -91,6 +106,25 @@ mod tests {
             Error::NoSuchRelation("emp".into()).to_string(),
             "no such relation: emp"
         );
+    }
+
+    #[test]
+    fn corruption_display_handles_missing_location() {
+        let full = Error::Corruption {
+            file: Some(3),
+            page: Some(17),
+            detail: "checksum mismatch".into(),
+        };
+        assert_eq!(
+            full.to_string(),
+            "corruption detected in file 3 page 17: checksum mismatch"
+        );
+        let bare = Error::Corruption {
+            file: None,
+            page: None,
+            detail: "bad page kind tag 9".into(),
+        };
+        assert_eq!(bare.to_string(), "corruption detected: bad page kind tag 9");
     }
 
     #[test]

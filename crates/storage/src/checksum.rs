@@ -1,0 +1,264 @@
+//! Page checksums, kept out-of-band.
+//!
+//! Every page's FNV-1a 64 checksum lives in a *sidecar* map (persisted as
+//! `sums.tdbms` next to the page files), never inside the page itself. An
+//! in-page checksum would eat slot space: the 12-byte header plus 9 rows of
+//! 108 bytes fills 984 of 1024 bytes, and the paper's space and I/O figures
+//! (fig5–fig10) depend on exactly 9/8/8 tuples per page. Out-of-band sums
+//! leave the page format — and therefore every golden number — untouched.
+//!
+//! The FNV-1a 64 function here is the same one the WAL uses to frame log
+//! records; `tdbms-wal` re-exports it from this module so both layers are
+//! guaranteed to agree on the polynomial.
+
+use std::collections::BTreeMap;
+use std::io::Write as _;
+use std::path::Path;
+
+use tdbms_kernel::{Error, Result};
+
+use crate::disk::FileId;
+use crate::page::Page;
+
+/// File name of the persisted checksum sidecar, stored in the same
+/// directory as the `f<N>.pages` files and the catalog.
+pub const SUMS_FILE: &str = "sums.tdbms";
+
+const MAGIC: &str = "tdbms-sums 1";
+
+/// FNV-1a 64-bit hash (also the WAL's record checksum).
+pub fn fnv64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// The sidecar: per-file maps of page number → FNV-1a 64 checksum of the
+/// full 1024-byte page image.
+///
+/// A page with no recorded sum verifies trivially (adopt-on-first-read):
+/// the sidecar may postdate the data files, and an absent entry carries no
+/// evidence either way. Only a *recorded* sum that disagrees with the bytes
+/// on disk is corruption.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ChecksumSet {
+    sums: BTreeMap<u32, BTreeMap<u32, u64>>,
+}
+
+impl ChecksumSet {
+    pub fn new() -> ChecksumSet {
+        ChecksumSet::default()
+    }
+
+    /// The recorded sum for a page, if any.
+    pub fn get(&self, file: FileId, page_no: u32) -> Option<u64> {
+        self.sums.get(&file.0).and_then(|m| m.get(&page_no)).copied()
+    }
+
+    /// Record the sum of `page` as the truth for `(file, page_no)`.
+    pub fn record(&mut self, file: FileId, page_no: u32, page: &Page) {
+        self.sums
+            .entry(file.0)
+            .or_default()
+            .insert(page_no, fnv64(page.as_bytes()));
+    }
+
+    /// Check `page` against the recorded sum. Absent entries pass; a
+    /// recorded sum that disagrees is [`Error::Corruption`].
+    pub fn verify(&self, file: FileId, page_no: u32, page: &Page) -> Result<()> {
+        match self.get(file, page_no) {
+            None => Ok(()),
+            Some(want) => {
+                let got = fnv64(page.as_bytes());
+                if got == want {
+                    Ok(())
+                } else {
+                    Err(Error::Corruption {
+                        file: Some(file.0),
+                        page: Some(page_no),
+                        detail: format!(
+                            "page checksum mismatch: stored {want:016x}, \
+                             computed {got:016x}"
+                        ),
+                    })
+                }
+            }
+        }
+    }
+
+    /// Drop sums for pages at or beyond the new length of `file`.
+    pub fn truncate(&mut self, file: FileId, n_pages: u32) {
+        if let Some(m) = self.sums.get_mut(&file.0) {
+            m.retain(|&p, _| p < n_pages);
+        }
+    }
+
+    /// Drop every sum recorded for `file`.
+    pub fn drop_file(&mut self, file: FileId) {
+        self.sums.remove(&file.0);
+    }
+
+    /// Total number of recorded page sums.
+    pub fn len(&self) -> usize {
+        self.sums.values().map(|m| m.len()).sum()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Render as the line-oriented sidecar text format.
+    pub fn encode(&self) -> String {
+        let mut out = String::from(MAGIC);
+        out.push('\n');
+        for (file, pages) in &self.sums {
+            if pages.is_empty() {
+                continue;
+            }
+            out.push_str(&format!("file {file}\n"));
+            for (page, sum) in pages {
+                out.push_str(&format!("page {page} {sum:016x}\n"));
+            }
+        }
+        out
+    }
+
+    /// Parse the sidecar text format.
+    pub fn decode(text: &str) -> Result<ChecksumSet> {
+        let bad = |why: &str| Error::Corruption {
+            file: None,
+            page: None,
+            detail: format!("malformed checksum sidecar: {why}"),
+        };
+        let mut lines = text.lines();
+        if lines.next() != Some(MAGIC) {
+            return Err(bad("missing magic"));
+        }
+        let mut set = ChecksumSet::new();
+        let mut cur: Option<u32> = None;
+        for line in lines {
+            let mut words = line.split_whitespace();
+            match words.next() {
+                Some("file") => {
+                    let id = words
+                        .next()
+                        .and_then(|w| w.parse::<u32>().ok())
+                        .ok_or_else(|| bad("bad file line"))?;
+                    cur = Some(id);
+                }
+                Some("page") => {
+                    let file = cur.ok_or_else(|| bad("page before file"))?;
+                    let page = words
+                        .next()
+                        .and_then(|w| w.parse::<u32>().ok())
+                        .ok_or_else(|| bad("bad page number"))?;
+                    let sum = words
+                        .next()
+                        .and_then(|w| u64::from_str_radix(w, 16).ok())
+                        .ok_or_else(|| bad("bad page sum"))?;
+                    set.sums.entry(file).or_default().insert(page, sum);
+                }
+                None => {}
+                Some(other) => {
+                    return Err(bad(&format!("unknown directive {other:?}")))
+                }
+            }
+        }
+        Ok(set)
+    }
+
+    /// Write the sidecar to `dir/sums.tdbms` atomically (tmp + fsync +
+    /// rename, like the catalog).
+    pub fn save(&self, dir: &Path) -> Result<()> {
+        let tmp = dir.join(format!("{SUMS_FILE}.tmp"));
+        let dst = dir.join(SUMS_FILE);
+        let mut f = std::fs::File::create(&tmp)?;
+        f.write_all(self.encode().as_bytes())?;
+        f.sync_all()?;
+        std::fs::rename(&tmp, &dst)?;
+        Ok(())
+    }
+
+    /// Load `dir/sums.tdbms`; `Ok(None)` when no sidecar exists yet.
+    pub fn load(dir: &Path) -> Result<Option<ChecksumSet>> {
+        let path = dir.join(SUMS_FILE);
+        match std::fs::read_to_string(&path) {
+            Ok(text) => Ok(Some(ChecksumSet::decode(&text)?)),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(None),
+            Err(e) => Err(e.into()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::page::PageKind;
+
+    #[test]
+    fn fnv64_matches_reference_vectors() {
+        // Classic FNV-1a 64 test vectors.
+        assert_eq!(fnv64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv64(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn verify_adopts_unknown_and_rejects_mismatch() {
+        let file = FileId(3);
+        let mut set = ChecksumSet::new();
+        let mut page = Page::new(PageKind::Data);
+        page.push_row(4, &[1, 2, 3, 4]).unwrap();
+        // Unknown page: passes without a recorded sum.
+        set.verify(file, 0, &page).unwrap();
+        set.record(file, 0, &page);
+        set.verify(file, 0, &page).unwrap();
+        // Flip one byte: recorded sum now disagrees.
+        let mut raw = Box::new(*page.as_bytes());
+        raw[20] ^= 0x40;
+        let bad = Page::from_bytes(raw);
+        let err = set.verify(file, 0, &bad).unwrap_err();
+        assert!(matches!(
+            err,
+            Error::Corruption { file: Some(3), page: Some(0), .. }
+        ));
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let mut set = ChecksumSet::new();
+        let page = Page::new(PageKind::Overflow);
+        set.record(FileId(1), 0, &page);
+        set.record(FileId(1), 7, &page);
+        set.record(FileId(5), 2, &page);
+        let back = ChecksumSet::decode(&set.encode()).unwrap();
+        assert_eq!(set, back);
+        assert_eq!(back.len(), 3);
+    }
+
+    #[test]
+    fn truncate_and_drop_narrow_the_set() {
+        let mut set = ChecksumSet::new();
+        let page = Page::new(PageKind::Data);
+        for p in 0..4 {
+            set.record(FileId(1), p, &page);
+        }
+        set.record(FileId(2), 0, &page);
+        set.truncate(FileId(1), 2);
+        assert!(set.get(FileId(1), 1).is_some());
+        assert!(set.get(FileId(1), 2).is_none());
+        set.drop_file(FileId(2));
+        assert!(set.get(FileId(2), 0).is_none());
+        assert_eq!(set.len(), 2);
+    }
+
+    #[test]
+    fn decode_rejects_garbage() {
+        assert!(ChecksumSet::decode("not a sidecar").is_err());
+        assert!(ChecksumSet::decode("tdbms-sums 1\npage 0 aa\n").is_err());
+        assert!(ChecksumSet::decode("tdbms-sums 1\nfile x\n").is_err());
+    }
+}

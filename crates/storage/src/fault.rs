@@ -100,7 +100,13 @@ impl FaultPlan {
     }
 }
 
-/// A [`DiskManager`] that crashes on schedule (see module docs).
+/// A [`DiskManager`] that crashes on schedule (see module docs), and can
+/// additionally inject *transient* read failures: a schedule of 1-based
+/// `read_page` ordinals that each fail exactly once with an I/O error.
+/// The ordinal counter advances on every read attempt — including the
+/// failing ones — so k *consecutive* ordinals make one fetch fail k times
+/// in a row before a retry can succeed, which is exactly the shape a
+/// bounded retry policy needs to be tested against.
 pub struct FaultDisk {
     inner: Box<dyn DiskManager>,
     plan: FaultPlan,
@@ -108,12 +114,23 @@ pub struct FaultDisk {
     /// bytes of the new image over the old page (a torn write). `None`
     /// drops the crashing write entirely.
     torn_bytes: Option<usize>,
+    /// 1-based `read_page` ordinals that fail once each (flaky media,
+    /// not a crash: the data underneath is intact).
+    transient_reads: std::collections::BTreeSet<u64>,
+    /// `read_page` calls issued so far.
+    reads_issued: u64,
 }
 
 impl FaultDisk {
     /// Wrap `inner` under `plan`, dropping the crashing write whole.
     pub fn new(inner: Box<dyn DiskManager>, plan: FaultPlan) -> Self {
-        FaultDisk { inner, plan, torn_bytes: None }
+        FaultDisk {
+            inner,
+            plan,
+            torn_bytes: None,
+            transient_reads: Default::default(),
+            reads_issued: 0,
+        }
     }
 
     /// Wrap `inner` under `plan`; the crashing page write persists only
@@ -123,7 +140,27 @@ impl FaultDisk {
         plan: FaultPlan,
         bytes: usize,
     ) -> Self {
-        FaultDisk { inner, plan, torn_bytes: Some(bytes.min(PAGE_SIZE)) }
+        FaultDisk {
+            inner,
+            plan,
+            torn_bytes: Some(bytes.min(PAGE_SIZE)),
+            transient_reads: Default::default(),
+            reads_issued: 0,
+        }
+    }
+
+    /// Schedule transient read failures: each listed 1-based `read_page`
+    /// ordinal fails once with an I/O error and succeeds if reissued.
+    pub fn set_transient_reads(
+        &mut self,
+        failing_ops: impl IntoIterator<Item = u64>,
+    ) {
+        self.transient_reads = failing_ops.into_iter().collect();
+    }
+
+    /// `read_page` calls issued so far (for sizing a transient schedule).
+    pub fn reads_issued(&self) -> u64 {
+        self.reads_issued
     }
 
     /// Splice the torn prefix of `new` over `old`.
@@ -153,6 +190,13 @@ impl DiskManager for FaultDisk {
 
     fn read_page(&mut self, file: FileId, page_no: u32) -> Result<Page> {
         self.plan.check_alive()?;
+        self.reads_issued += 1;
+        if self.transient_reads.remove(&self.reads_issued) {
+            return Err(Error::Io(format!(
+                "transient read error at read op {} ({file:?} page {page_no})",
+                self.reads_issued
+            )));
+        }
         self.inner.read_page(file, page_no)
     }
 
@@ -339,6 +383,23 @@ mod tests {
         disk.drop_file(f).unwrap();
         assert_eq!(plan.ops_charged(), 8);
         assert!(!plan.crashed());
+    }
+
+    #[test]
+    fn transient_reads_fail_once_and_then_succeed() {
+        let mut disk =
+            FaultDisk::new(Box::new(MemDisk::new()), FaultPlan::new(None));
+        let f = disk.create_file().unwrap();
+        disk.append_page(f, &page_of(5)).unwrap();
+        // Read ops 2 and 3 fail; everything else is healthy.
+        disk.set_transient_reads([2, 3]);
+        disk.read_page(f, 0).unwrap(); // op 1
+        assert!(disk.read_page(f, 0).is_err()); // op 2: transient failure
+        assert!(disk.read_page(f, 0).is_err()); // op 3: consecutive failure
+        let p = disk.read_page(f, 0).unwrap(); // op 4: media recovered
+        assert_eq!(p.row(4, 0).unwrap(), &[5; 4], "data was never damaged");
+        assert_eq!(disk.reads_issued(), 4);
+        assert!(!disk.plan.crashed(), "transient faults are not crashes");
     }
 
     #[test]

@@ -44,6 +44,10 @@ pub struct FileIo {
     /// Buffered page accesses (every access is either a hit or a miss;
     /// a miss is exactly one `read`).
     pub accesses: u64,
+    /// Disk reads retried after a transient failure. Retries are not
+    /// extra `reads`: a fetch that succeeds on its second attempt is
+    /// still one page read, with one retry on the side.
+    pub retries: u64,
 }
 
 impl FileIo {
@@ -106,6 +110,15 @@ impl IoStats {
 
     pub(crate) fn record_access(&mut self, file: FileId) {
         self.counters.entry(file).or_default().accesses += 1;
+    }
+
+    pub(crate) fn record_retry(&mut self, file: FileId) {
+        self.counters.entry(file).or_default().retries += 1;
+    }
+
+    /// Total transient-read retries across all files.
+    pub fn total_retries(&self) -> u64 {
+        self.counters.values().map(|c| c.retries).sum()
     }
 
     /// Charge `n` page writes against `file` from outside the pager. The

@@ -20,6 +20,7 @@
 //! because those are the behaviours whose cost the paper measures.
 
 pub mod catalog;
+pub mod checksum;
 pub mod disk;
 pub mod fault;
 pub mod hash;
@@ -35,6 +36,7 @@ pub mod secondary;
 pub mod tuple;
 
 pub use catalog::{Catalog, NamedIndex, RelId, StoredRelation};
+pub use checksum::{fnv64, ChecksumSet, SUMS_FILE};
 pub use disk::{DiskManager, FileDisk, FileId, MemDisk};
 pub use fault::{FaultDisk, FaultPlan, SharedMemDisk};
 pub use hash::{rows_per_page_at_fill, HashFile};
@@ -43,7 +45,7 @@ pub use iostats::{FileIo, IoStats, PhaseIo};
 pub use isam::IsamFile;
 pub use key::{HashFn, KeyKind, KeySpec};
 pub use page::{page_capacity, Page, PageKind, NO_PAGE, PAGE_HEADER, PAGE_SIZE};
-pub use pager::{BufferConfig, EvictionPolicy, Pager};
+pub use pager::{BufferConfig, EvictionPolicy, Pager, DEFAULT_READ_RETRIES};
 pub use persist::{decode_catalog, encode_catalog, load_catalog, save_catalog};
 pub use relfile::{AccessMethod, RelFile, RelLookup, RelScan};
 pub use secondary::{i4_attr, IndexStructure, SecondaryIndex};

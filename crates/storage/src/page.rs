@@ -50,7 +50,11 @@ impl PageKind {
             0 => Ok(PageKind::Data),
             1 => Ok(PageKind::Overflow),
             2 => Ok(PageKind::Directory),
-            _ => Err(Error::Internal(format!("bad page kind tag {v}"))),
+            _ => Err(Error::Corruption {
+                file: None,
+                page: None,
+                detail: format!("bad page kind tag {v}"),
+            }),
         }
     }
 }
@@ -150,10 +154,14 @@ impl Page {
     /// Borrow the row in `slot`.
     pub fn row(&self, row_width: usize, slot: u16) -> Result<&[u8]> {
         if (slot as usize) >= self.count() {
-            return Err(Error::Internal(format!(
-                "slot {slot} out of range (count {})",
-                self.count()
-            )));
+            return Err(Error::Corruption {
+                file: None,
+                page: None,
+                detail: format!(
+                    "slot {slot} out of range (count {})",
+                    self.count()
+                ),
+            });
         }
         let off = PAGE_HEADER + slot as usize * row_width;
         Ok(&self.bytes[off..off + row_width])

@@ -28,11 +28,17 @@
 //! additionally classifies every buffered access as hit or miss and
 //! counts capacity evictions, maintaining `hits + misses == accesses`.
 
+use crate::checksum::ChecksumSet;
 use crate::disk::{DiskManager, FileId, MemDisk};
 use crate::iostats::IoStats;
 use crate::page::{Page, PageKind};
 use std::collections::{BTreeMap, BTreeSet};
 use tdbms_kernel::{Error, Result};
+
+/// Default bounded retry budget for transient disk-read failures. Safe to
+/// leave on: a healthy disk never errors, so the retry path costs nothing
+/// until the first failure.
+pub const DEFAULT_READ_RETRIES: u32 = 2;
 
 /// Which frame a full pool gives up.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
@@ -169,6 +175,12 @@ pub struct Pager {
     resized: BTreeSet<FileId>,
     /// Files dropped while staging; physically dropped after commit.
     pending_drops: Vec<FileId>,
+    /// Sidecar page checksums, verified on fault-in and refreshed on every
+    /// real disk write. `None` (the paper default) skips both sides.
+    checksums: Option<ChecksumSet>,
+    /// Transient-read retry budget: a failing disk read is reissued up to
+    /// this many times before the error surfaces.
+    read_retries: u32,
 }
 
 impl Pager {
@@ -196,6 +208,8 @@ impl Pager {
             staged: BTreeSet::new(),
             resized: BTreeSet::new(),
             pending_drops: Vec::new(),
+            checksums: None,
+            read_retries: DEFAULT_READ_RETRIES,
         }
     }
 
@@ -283,6 +297,121 @@ impl Pager {
         self.stats.reset();
     }
 
+    // --- Corruption defense ---------------------------------------------
+
+    /// Install a checksum sidecar (or `None` to turn verification off,
+    /// the paper default). Pages with no recorded sum are adopted on
+    /// first read, so enabling with an empty [`ChecksumSet`] over an
+    /// existing database is safe.
+    pub fn set_checksums(&mut self, sums: Option<ChecksumSet>) {
+        self.checksums = sums;
+    }
+
+    /// Turn on checksum verification with an empty sidecar
+    /// (adopt-on-first-read over whatever is already on disk).
+    pub fn enable_checksums(&mut self) {
+        if self.checksums.is_none() {
+            self.checksums = Some(ChecksumSet::new());
+        }
+    }
+
+    /// The live checksum sidecar, if verification is on.
+    pub fn checksums(&self) -> Option<&ChecksumSet> {
+        self.checksums.as_ref()
+    }
+
+    /// Set the transient-read retry budget (0 disables retries).
+    pub fn set_read_retries(&mut self, budget: u32) {
+        self.read_retries = budget;
+    }
+
+    /// The transient-read retry budget.
+    pub fn read_retries(&self) -> u32 {
+        self.read_retries
+    }
+
+    /// Refresh a recorded checksum after the bytes were written outside
+    /// the pager's own write path (no-op when verification is off).
+    fn note_written(&mut self, file: FileId, page_no: u32, page: &Page) {
+        if let Some(sums) = &mut self.checksums {
+            sums.record(file, page_no, page);
+        }
+    }
+
+    /// Fetch a page from disk with bounded retry (transient I/O and
+    /// checksum failures are reissued; [`Error::NoSuchPage`] is not — a
+    /// missing page will not appear on a second look) and verify it
+    /// against the sidecar, adopting the sum when none is recorded.
+    fn fetch_from_disk(&mut self, file: FileId, page_no: u32) -> Result<Page> {
+        let mut attempt: u32 = 0;
+        loop {
+            let fetched = self.disk.read_page(file, page_no).and_then(|p| {
+                if let Some(sums) = &self.checksums {
+                    sums.verify(file, page_no, &p)?;
+                }
+                Ok(p)
+            });
+            match fetched {
+                Ok(page) => {
+                    if let Some(sums) = &mut self.checksums {
+                        if sums.get(file, page_no).is_none() {
+                            sums.record(file, page_no, &page);
+                        }
+                    }
+                    return Ok(page);
+                }
+                Err(e @ Error::NoSuchPage(_)) => return Err(e),
+                Err(e) => {
+                    if attempt >= self.read_retries {
+                        return Err(e);
+                    }
+                    attempt += 1;
+                    self.stats.record_retry(file);
+                    // Deterministic backoff: a counted spin, doubling per
+                    // attempt. No wall-clock, so fault-injection tests
+                    // replay identically.
+                    let mut spins = 1u64 << attempt.min(10);
+                    while spins > 0 {
+                        spins -= 1;
+                        std::hint::spin_loop();
+                    }
+                }
+            }
+        }
+    }
+
+    /// Read a page straight from the disk: no buffer, no checksum
+    /// verification, no retry. This is the scrubber's view — it must be
+    /// able to look at a page the verified path would refuse to return.
+    /// Counted as a read so scrub I/O is visible in the ledger.
+    pub fn read_page_raw(&mut self, file: FileId, page_no: u32) -> Result<Page> {
+        let page = self.disk.read_page(file, page_no)?;
+        self.stats.record_read(file);
+        Ok(page)
+    }
+
+    /// Write a page image straight to disk, refreshing its sidecar sum
+    /// and discarding any stale buffered frame (the raw image is now the
+    /// truth). This is the repair path: salvage installs a WAL image or a
+    /// reinitialized page wholesale.
+    pub fn write_page_raw(
+        &mut self,
+        file: FileId,
+        page_no: u32,
+        page: &Page,
+    ) -> Result<()> {
+        self.disk.write_page(file, page_no, page)?;
+        self.stats.record_write(file);
+        self.note_written(file, page_no, page);
+        self.overlay.remove(&(file, page_no));
+        self.staged.remove(&(file, page_no));
+        if let Some(pool) = self.pools.get_mut(&file) {
+            pool.frames.retain(|f| f.page_no != page_no);
+            pool.hand = 0;
+        }
+        Ok(())
+    }
+
     /// Drop every buffered frame (writing dirty ones back) so the next
     /// access of each page is a cold read. The harness calls this between
     /// queries so each query starts with cold buffers, as a fresh query
@@ -315,6 +444,9 @@ impl Pager {
     pub fn drop_file(&mut self, file: FileId) -> Result<()> {
         self.pools.remove(&file);
         self.overrides.remove(&file);
+        if let Some(sums) = &mut self.checksums {
+            sums.drop_file(file);
+        }
         if self.staging {
             // Defer the physical drop until the commit that logs it is
             // durable: a crash in between must not have destroyed pages
@@ -337,6 +469,9 @@ impl Pager {
         if let Some(pool) = self.pools.get_mut(&file) {
             pool.frames.clear();
             pool.hand = 0;
+        }
+        if let Some(sums) = &mut self.checksums {
+            sums.truncate(file, 0);
         }
         if self.staging {
             self.overlay.retain(|(f, _), _| *f != file);
@@ -372,6 +507,7 @@ impl Pager {
                 self.staged.insert((file, frame.page_no));
             } else {
                 self.disk.write_page(file, frame.page_no, &frame.page)?;
+                self.note_written(file, frame.page_no, &frame.page);
             }
             self.stats.record_write(file);
         }
@@ -442,11 +578,12 @@ impl Pager {
             self.stats.record_hit(file);
             return Ok(at);
         }
-        // Miss: fetch (the staging overlay shadows the disk), then
-        // install (evicting as needed).
+        // Miss: fetch (the staging overlay shadows the disk; disk reads
+        // are checksum-verified with bounded retry), then install
+        // (evicting as needed).
         let page = match self.overlay.get(&(file, page_no)) {
             Some(p) => p.clone(),
-            None => self.disk.read_page(file, page_no)?,
+            None => self.fetch_from_disk(file, page_no)?,
         };
         self.stats.record_read(file);
         self.install_frame(
@@ -496,6 +633,7 @@ impl Pager {
     pub fn append_page(&mut self, file: FileId, kind: PageKind) -> Result<u32> {
         let page = Page::new(kind);
         let page_no = self.disk.append_page(file, &page)?;
+        self.note_written(file, page_no, &page);
         if self.staging {
             // The file grows on disk immediately, but only with this
             // empty page: the content arrives through the buffer, whose
@@ -527,6 +665,7 @@ impl Pager {
                     self.staged.insert((file, page_no));
                 } else {
                     self.disk.write_page(file, page_no, &page)?;
+                    self.note_written(file, page_no, &page);
                 }
                 self.stats.record_write(file);
             }
@@ -636,6 +775,7 @@ impl Pager {
         let mut files: Vec<FileId> = Vec::new();
         for ((file, page_no), page) in overlay {
             self.disk.write_page(file, page_no, &page)?;
+            self.note_written(file, page_no, &page);
             self.stats.record_write(file);
             if files.last() != Some(&file) {
                 files.push(file);
@@ -968,6 +1108,107 @@ mod tests {
         assert_eq!(pager.take_pending_drops(), vec![f]);
         pager.execute_drop(f).unwrap();
         assert!(pager.page_count(f).is_err());
+    }
+
+    #[test]
+    fn corruption_error_round_trips_through_the_pager() {
+        // Satellite 1: flip a byte under the pager's feet; the verified
+        // read path must surface Error::Corruption locating the page —
+        // and a clean page on the same file must still read fine.
+        use crate::fault::SharedMemDisk;
+        let shared = SharedMemDisk::new();
+        let mut pager = Pager::new(Box::new(shared.clone()));
+        pager.enable_checksums();
+        let f = two_page_file(&mut pager);
+        pager.write(f, 0, |p| p.push_row(4, &[7; 4]).unwrap()).unwrap();
+        pager.flush_file(f).unwrap();
+        pager.invalidate_buffers().unwrap();
+        // Corrupt page 0 behind the pager's back.
+        let mut raw = shared.clone();
+        use crate::disk::DiskManager;
+        let mut bytes = Box::new(*raw.read_page(f, 0).unwrap().as_bytes());
+        bytes[500] ^= 0x01;
+        raw.write_page(f, 0, &Page::from_bytes(bytes)).unwrap();
+        let err = pager.read(f, 0, |_| ()).unwrap_err();
+        match err {
+            Error::Corruption { file, page, .. } => {
+                assert_eq!(file, Some(f.0));
+                assert_eq!(page, Some(0));
+            }
+            other => panic!("expected Corruption, got {other:?}"),
+        }
+        // The retry budget was spent on the (persistent) mismatch.
+        assert_eq!(
+            pager.stats().of(f).retries,
+            DEFAULT_READ_RETRIES as u64
+        );
+        // Page 1 is untouched and still readable.
+        pager.read(f, 1, |_| ()).unwrap();
+    }
+
+    #[test]
+    fn transient_read_failures_are_retried_within_budget() {
+        use crate::fault::{FaultDisk, FaultPlan};
+        let mut inner = MemDisk::new();
+        let f = inner.create_file().unwrap();
+        let mut page = Page::new(PageKind::Data);
+        page.push_row(4, &[3; 4]).unwrap();
+        inner.append_page(f, &page).unwrap();
+        let mut fault = FaultDisk::new(Box::new(inner), FaultPlan::new(None));
+        // Read ops 1 and 2 fail once each: the budget of 2 covers both.
+        fault.set_transient_reads([1, 2]);
+        let mut pager = Pager::new(Box::new(fault));
+        pager
+            .read(f, 0, |p| assert_eq!(p.row(4, 0).unwrap(), &[3; 4]))
+            .unwrap();
+        assert_eq!(pager.stats().of(f).retries, 2);
+        assert_eq!(pager.stats().of(f).reads, 1, "one page read, retried");
+        assert_eq!(pager.stats().total_retries(), 2);
+        assert!(pager.stats().is_consistent());
+    }
+
+    #[test]
+    fn transient_failures_beyond_the_budget_surface() {
+        use crate::fault::{FaultDisk, FaultPlan};
+        let mut inner = MemDisk::new();
+        let f = inner.create_file().unwrap();
+        inner.append_page(f, &Page::new(PageKind::Data)).unwrap();
+        let mut fault = FaultDisk::new(Box::new(inner), FaultPlan::new(None));
+        fault.set_transient_reads([1, 2, 3]);
+        let mut pager = Pager::new(Box::new(fault));
+        pager.set_read_retries(2);
+        assert!(
+            pager.read(f, 0, |_| ()).is_err(),
+            "3 consecutive failures exceed a budget of 2"
+        );
+        assert_eq!(pager.stats().of(f).retries, 2, "budget fully spent");
+        // The media has recovered by now; the next access succeeds.
+        pager.read(f, 0, |_| ()).unwrap();
+    }
+
+    #[test]
+    fn raw_write_repairs_a_checksum_failure() {
+        use crate::fault::SharedMemDisk;
+        let shared = SharedMemDisk::new();
+        let mut pager = Pager::new(Box::new(shared.clone()));
+        pager.enable_checksums();
+        pager.set_read_retries(0);
+        let f = two_page_file(&mut pager);
+        pager.write(f, 0, |p| p.push_row(4, &[9; 4]).unwrap()).unwrap();
+        pager.flush_file(f).unwrap();
+        pager.invalidate_buffers().unwrap();
+        let good = pager.read_page_raw(f, 0).unwrap();
+        // Corrupt, observe the failure, repair with the saved image.
+        use crate::disk::DiskManager;
+        let mut raw = shared.clone();
+        let mut bytes = Box::new(*good.as_bytes());
+        bytes[13] ^= 0xff;
+        raw.write_page(f, 0, &Page::from_bytes(bytes)).unwrap();
+        assert!(pager.read(f, 0, |_| ()).is_err());
+        pager.write_page_raw(f, 0, &good).unwrap();
+        pager
+            .read(f, 0, |p| assert_eq!(p.row(4, 0).unwrap(), &[9; 4]))
+            .unwrap();
     }
 
     #[test]

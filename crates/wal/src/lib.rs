@@ -137,6 +137,32 @@ impl RecoveryPlan {
     pub fn is_clean(&self) -> bool {
         self.snapshot.is_empty() && self.txns.is_empty()
     }
+
+    /// The newest *committed* after-image of (`file`, `page_no`), if the
+    /// log still holds one. This is the salvage source: a page that fails
+    /// its checksum can be restored to exactly these bytes — point-in-time
+    /// page repair out of the same records replay uses. Scans newest
+    /// transaction first (later commits supersede earlier ones); a
+    /// committed `DropFile` ends the search, since images older than the
+    /// drop describe a file that no longer exists.
+    pub fn latest_image(&self, file: FileId, page_no: u32) -> Option<&Page> {
+        for txn in self.txns.iter().rev() {
+            for (_, rec) in txn.iter().rev() {
+                match rec {
+                    Record::PageImage { file: f, page_no: p, image }
+                        if *f == file && *p == page_no =>
+                    {
+                        return Some(image);
+                    }
+                    Record::DropFile { file: f } if *f == file => {
+                        return None;
+                    }
+                    _ => {}
+                }
+            }
+        }
+        None
+    }
 }
 
 /// Force `file` to exactly `len` pages. Shrinking preserves the first
@@ -446,6 +472,37 @@ mod tests {
         assert_eq!(f, FileId(0));
         replay(&plan, &mut disk).unwrap();
         assert_eq!(disk.page_count(f).unwrap(), 7);
+    }
+
+    #[test]
+    fn latest_image_prefers_newer_commits_and_respects_drops() {
+        let f = FileId(0);
+        let g = FileId(1);
+        let plan = RecoveryPlan {
+            base_lsn: 1,
+            snapshot: vec![],
+            txns: vec![
+                vec![
+                    (1, Record::PageImage { file: f, page_no: 0, image: image(1, 1) }),
+                    (2, Record::PageImage { file: g, page_no: 0, image: image(8, 2) }),
+                    (3, Record::Commit),
+                ],
+                vec![
+                    (4, Record::PageImage { file: f, page_no: 0, image: image(2, 4) }),
+                    (5, Record::DropFile { file: g }),
+                    (6, Record::Commit),
+                ],
+            ],
+            catalog: None,
+            next_lsn: 7,
+        };
+        let img = plan.latest_image(f, 0).unwrap();
+        assert_eq!(img.row(4, 0).unwrap(), &[2; 4], "newest commit wins");
+        assert!(plan.latest_image(f, 1).is_none(), "never imaged");
+        assert!(
+            plan.latest_image(g, 0).is_none(),
+            "images older than a committed drop are not salvage material"
+        );
     }
 
     #[test]

@@ -169,12 +169,18 @@ pub struct FaultLog {
     inner: Box<dyn LogStore>,
     plan: FaultPlan,
     torn_bytes: Option<usize>,
+    /// Bit-flip injection: the crashing append persists the record *in
+    /// full* but with this bit (index into the record's bits, wrapped)
+    /// flipped — bit rot at the log tail rather than a torn tail. The
+    /// FNV frame check must catch it and truncate recovery at the last
+    /// valid record.
+    flip_bit: Option<u64>,
 }
 
 impl FaultLog {
     /// Wrap `inner` under `plan`, dropping the crashing append whole.
     pub fn new(inner: Box<dyn LogStore>, plan: FaultPlan) -> Self {
-        FaultLog { inner, plan, torn_bytes: None }
+        FaultLog { inner, plan, torn_bytes: None, flip_bit: None }
     }
 
     /// Wrap `inner` under `plan`; the crashing append persists its first
@@ -184,7 +190,17 @@ impl FaultLog {
         plan: FaultPlan,
         bytes: usize,
     ) -> Self {
-        FaultLog { inner, plan, torn_bytes: Some(bytes) }
+        FaultLog { inner, plan, torn_bytes: Some(bytes), flip_bit: None }
+    }
+
+    /// Wrap `inner` under `plan`; the crashing append persists all its
+    /// bytes with the `bit`-th bit (mod the record's bit length) flipped.
+    pub fn with_bit_flips(
+        inner: Box<dyn LogStore>,
+        plan: FaultPlan,
+        bit: u64,
+    ) -> Self {
+        FaultLog { inner, plan, torn_bytes: None, flip_bit: Some(bit) }
     }
 }
 
@@ -198,7 +214,14 @@ impl LogStore for FaultLog {
         let was_alive = !self.plan.crashed();
         if let Err(e) = self.plan.charge() {
             if was_alive {
-                if let Some(k) = self.torn_bytes {
+                if let Some(bit) = self.flip_bit {
+                    if !bytes.is_empty() {
+                        let mut rotted = bytes.to_vec();
+                        let at = (bit % (rotted.len() as u64 * 8)) as usize;
+                        rotted[at / 8] ^= 1 << (at % 8);
+                        let _ = self.inner.append(&rotted);
+                    }
+                } else if let Some(k) = self.torn_bytes {
                     let _ = self.inner.append(&bytes[..k.min(bytes.len())]);
                 }
             }
@@ -260,6 +283,27 @@ mod tests {
         let mut log = FileLog::open(&path).unwrap();
         assert_eq!(log.read_all().unwrap(), b"xyz");
         std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn fault_log_flips_one_bit_of_the_crashing_append() {
+        let shared = SharedMemLog::new();
+        let plan = FaultPlan::new(Some(2));
+        let mut log = FaultLog::with_bit_flips(
+            Box::new(shared.clone()),
+            plan.clone(),
+            9, // bit 9 = byte 1, bit 1
+        );
+        log.append(b"abcd").unwrap();
+        assert!(log.append(b"efgh").is_err(), "second append crashes");
+        assert!(plan.crashed());
+        let mut survivor = shared;
+        let got = survivor.read_all().unwrap();
+        assert_eq!(got.len(), 8, "full length persisted, unlike a tear");
+        assert_eq!(&got[..4], b"abcd");
+        assert_eq!(got[4], b'e');
+        assert_eq!(got[5], b'f' ^ 0b10, "exactly one bit rotted");
+        assert_eq!(&got[6..], b"gh");
     }
 
     #[test]

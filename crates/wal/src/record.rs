@@ -23,15 +23,10 @@ const MAGIC: &[u8; 8] = b"TDBMSWAL";
 const VERSION: u32 = 1;
 
 /// FNV-1a 64-bit: tiny, dependency-free, and plenty for torn-write
-/// detection (this is an integrity check, not an adversarial one).
-pub fn fnv64(bytes: &[u8]) -> u64 {
-    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-    for &b in bytes {
-        h ^= b as u64;
-        h = h.wrapping_mul(0x0000_0100_0000_01b3);
-    }
-    h
-}
+/// detection (this is an integrity check, not an adversarial one). The
+/// implementation lives in `tdbms-storage` so the page-checksum sidecar
+/// and the log framing are guaranteed to use the same polynomial.
+pub use tdbms_storage::fnv64;
 
 /// One log record. The WAL assigns each appended record its own LSN.
 #[derive(Debug, Clone, PartialEq)]
@@ -103,7 +98,11 @@ impl Record {
     }
 
     fn decode_body(body: &[u8]) -> Result<(u32, Record)> {
-        let bad = || Error::Io("malformed wal record".into());
+        let bad = || Error::Corruption {
+            file: None,
+            page: None,
+            detail: "malformed wal record".into(),
+        };
         if body.len() < 5 {
             return Err(bad());
         }

@@ -35,13 +35,29 @@ cargo test --workspace -q
 echo "==> WAL crash matrix (heap / hash / isam, fault-injected)"
 cargo test -q --test wal_recovery crash_matrix_over_real_files
 
+# Corruption-defense acceptance gates, also pinned by name: the scrub /
+# repair property (random workload, one random flipped bit, byte-exact
+# restore or precise quarantine) and both transient-retry invariants
+# (within budget: correct answers; beyond: an error, never a wrong one).
+echo "==> corruption-defense property tests (scrub + transient retry)"
+cargo test -q --test corruption_defense \
+    flip_a_bit_anywhere_and_repair_restores_or_reports
+cargo test -q --test corruption_defense transient_failures
+
 if ! $quick; then
     # Smoke-run the figure harness binaries at a reduced update count so a
     # harness regression fails tier-1, not at paper-reproduction time.
     # fig11 additionally re-checks its acceptance shape: every query's
     # input-page curve must be non-increasing as frames grow.
     echo "==> figure-binary smoke run (TDBMS_MAX_UC=2)"
-    TDBMS_MAX_UC=2 ./target/release/fig5 >/dev/null
+    # Checksumming is out-of-band by design; the whole Figure 5 output
+    # must be byte-identical with it on and off.
+    TDBMS_MAX_UC=2 ./target/release/fig5 >/tmp/tdbms-fig5-plain.txt
+    TDBMS_CHECKSUMS=1 TDBMS_MAX_UC=2 \
+        ./target/release/fig5 >/tmp/tdbms-fig5-scrubbed.txt
+    diff /tmp/tdbms-fig5-plain.txt /tmp/tdbms-fig5-scrubbed.txt || {
+        echo "fig5: output changed under TDBMS_CHECKSUMS=1"; exit 1; }
+    rm -f /tmp/tdbms-fig5-plain.txt /tmp/tdbms-fig5-scrubbed.txt
     TDBMS_MAX_UC=2 ./target/release/fig11 | awk '
         /^Q[0-9]+/ && !hits_block {
             for (i = 3; i <= NF; i++)
@@ -52,6 +68,31 @@ if ! $quick; then
         }
         /^Buffer hits/ { hits_block = 1 }
     '
+
+    # End-to-end scrubber gate: build a durable database through the
+    # shell with a manual checkpoint policy (so the process exit leaves
+    # a committed log tail), then `check` must replay the WAL and audit
+    # the recovered database clean.
+    echo "==> tdbms-check over a WAL-recovered file-backed database"
+    dbdir=$(mktemp -d)
+    trap 'rm -rf "$dbdir"' EXIT
+    {
+        echo 'create temporal interval emp (name = c16, salary = i4);'
+        echo 'range of e is emp;'
+        echo 'append to emp (name = "merrie", salary = 20000);'
+        echo 'append to emp (name = "tom", salary = 18000);'
+        echo 'replace e (salary = e.salary + 500) where e.name = "tom";'
+    } | TDBMS_BATCH=1 TDBMS_DURABLE=1 TDBMS_CHECKPOINT=manual \
+        TDBMS_CHECKSUMS=1 ./target/release/tdbms "$dbdir" >/dev/null
+    [[ -f "$dbdir/wal.tdbms" ]] || {
+        echo "check gate: durable session left no write-ahead log"
+        exit 1
+    }
+    ./target/release/check "$dbdir" | grep -qx 'clean' || {
+        echo "check gate: recovered database did not audit clean"
+        exit 1
+    }
+    rm -rf "$dbdir"
 fi
 
 echo "ci: all green"

@@ -16,9 +16,15 @@
 //! * `\now` — the transaction clock
 //! * `\i <file>` — run statements from a file
 //! * `\q` — quit
+//!
+//! Environment knobs for file-backed sessions: `TDBMS_DURABLE=1` opens
+//! through the write-ahead log (`Database::open_durable`),
+//! `TDBMS_CHECKSUMS=1` turns on sidecar page checksums, and
+//! `TDBMS_CHECKPOINT=manual` / `every:<n>` overrides the checkpoint
+//! policy (CI uses `manual` to leave a log tail for `check` to replay).
 
 use std::io::{BufRead, Write};
-use tdbms::{Database, Granularity};
+use tdbms::{CheckpointPolicy, Database, Granularity};
 
 struct Shell {
     db: Database,
@@ -159,19 +165,59 @@ fn prompt() {
     std::io::stdout().flush().ok();
 }
 
+fn env_is(name: &str, want: &str) -> bool {
+    std::env::var(name).is_ok_and(|v| v == want)
+}
+
 fn main() {
     let mut args = std::env::args().skip(1);
+    let durable = env_is("TDBMS_DURABLE", "1");
     let db = match args.next() {
-        Some(dir) => match Database::open(&dir) {
-            Ok(db) => {
-                eprintln!("opened file-backed database at {dir}");
-                db
+        Some(dir) => {
+            let opened = if durable {
+                Database::open_durable(&dir)
+            } else {
+                Database::open(&dir)
+            };
+            match opened {
+                Ok(mut db) => {
+                    eprintln!(
+                        "opened file-backed database at {dir}{}",
+                        if durable { " (durable)" } else { "" }
+                    );
+                    if env_is("TDBMS_CHECKSUMS", "1") {
+                        if let Err(e) = db.enable_checksums() {
+                            eprintln!("cannot enable checksums: {e}");
+                            std::process::exit(1);
+                        }
+                    }
+                    match std::env::var("TDBMS_CHECKPOINT").as_deref() {
+                        Ok("manual") => {
+                            db.set_checkpoint_policy(CheckpointPolicy::Manual)
+                        }
+                        Ok(v) if v.starts_with("every:") => {
+                            match v["every:".len()..].parse() {
+                                Ok(n) => db.set_checkpoint_policy(
+                                    CheckpointPolicy::EveryN(n),
+                                ),
+                                Err(_) => {
+                                    eprintln!(
+                                        "bad TDBMS_CHECKPOINT value: {v}"
+                                    );
+                                    std::process::exit(1);
+                                }
+                            }
+                        }
+                        _ => {}
+                    }
+                    db
+                }
+                Err(e) => {
+                    eprintln!("cannot open {dir}: {e}");
+                    std::process::exit(1);
+                }
             }
-            Err(e) => {
-                eprintln!("cannot open {dir}: {e}");
-                std::process::exit(1);
-            }
-        },
+        }
         None => Database::in_memory(),
     };
     let mut shell = Shell { db, buffer: String::new() };

@@ -23,14 +23,15 @@
 
 pub use tdbms_core::{
     AccessMethod, CheckpointPolicy, Database, ExecOutput, QueryStats,
-    RelationMeta, TInterval, WAL_FILE,
+    RelationMeta, TInterval, SCRUB_FILE, WAL_FILE,
 };
 pub use tdbms_kernel::{
     AttrDef, Clock, DatabaseClass, Domain, Error, Granularity, Result,
     Schema, TemporalAttr, TemporalKind, TimeVal, Value,
 };
 pub use tdbms_storage::{
-    BufferConfig, EvictionPolicy, HashFn, IoStats, PhaseIo, PAGE_SIZE,
+    BufferConfig, ChecksumSet, EvictionPolicy, HashFn, IoStats, PhaseIo,
+    PAGE_SIZE, SUMS_FILE,
 };
 pub use tdbms_tquel as tquel;
 pub use tdbms_twostore as twostore;

@@ -106,6 +106,7 @@ fn run_mem(
     plan: &FaultPlan,
     torn_disk: Option<usize>,
     torn_log: Option<usize>,
+    flip_log: Option<u64>,
     stmts: &[String],
 ) -> Option<(Vec<u64>, Vec<State>)> {
     let fdisk: Box<dyn DiskManager> = match torn_disk {
@@ -116,13 +117,20 @@ fn run_mem(
         )),
         None => Box::new(FaultDisk::new(Box::new(disk.clone()), plan.clone())),
     };
-    let flog: Box<dyn LogStore> = match torn_log {
-        Some(k) => Box::new(FaultLog::with_torn_appends(
+    let flog: Box<dyn LogStore> = match (torn_log, flip_log) {
+        (Some(k), _) => Box::new(FaultLog::with_torn_appends(
             Box::new(log.clone()),
             plan.clone(),
             k,
         )),
-        None => Box::new(FaultLog::new(Box::new(log.clone()), plan.clone())),
+        (None, Some(bit)) => Box::new(FaultLog::with_bit_flips(
+            Box::new(log.clone()),
+            plan.clone(),
+            bit,
+        )),
+        (None, None) => {
+            Box::new(FaultLog::new(Box::new(log.clone()), plan.clone()))
+        }
     };
     let Ok(mut db) = Database::open_durable_on(fdisk, flog, None) else {
         return None;
@@ -161,6 +169,7 @@ fn recovery_is_atomic_at_every_random_crash_point() {
             &FaultPlan::new(None),
             None,
             None,
+            None,
             &stmts,
         )
         .expect("dry run never crashes");
@@ -177,7 +186,7 @@ fn recovery_is_atomic_at_every_random_crash_point() {
         let log = SharedMemLog::new();
         let plan = FaultPlan::new(Some(crash_at));
         let finished =
-            run_mem(&disk, &log, &plan, torn_disk, torn_log, &stmts);
+            run_mem(&disk, &log, &plan, torn_disk, torn_log, None, &stmts);
         assert!(finished.is_none(), "the crash run must not finish");
         assert!(plan.crashed());
 
@@ -197,6 +206,56 @@ fn recovery_is_atomic_at_every_random_crash_point() {
         drop(rdb);
 
         // Recovering twice equals recovering once.
+        let mut rdb2 = reopen_mem(&disk, &log);
+        assert_eq!(snapshot(&mut rdb2), got, "recovery must be idempotent");
+    });
+}
+
+/// Bit rot on the log tail: the append at the crash point lands on disk
+/// in full but with one bit flipped. The record checksum must catch it,
+/// recovery must truncate at the last *valid* record, and the recovered
+/// state must still be a statement boundary — a flipped tail is just
+/// another shape of "statement k never committed". Recovery must never
+/// replay a corrupted record or fail outright.
+#[test]
+fn recovery_truncates_a_bit_flipped_log_tail() {
+    check("wal_recovery_bit_flip", 24, |g| {
+        let ops = g.range(3..9usize);
+        let stmts = gen_schedule(g, ops);
+        let (boundaries, states) = run_mem(
+            &SharedMemDisk::new(),
+            &SharedMemLog::new(),
+            &FaultPlan::new(None),
+            None,
+            None,
+            None,
+            &stmts,
+        )
+        .expect("dry run never crashes");
+        let (first, last) = (boundaries[0], *boundaries.last().unwrap());
+
+        let crash_at = g.range(first + 1..=last);
+        let flip_bit = g.range(0..4096u64);
+        let disk = SharedMemDisk::new();
+        let log = SharedMemLog::new();
+        let plan = FaultPlan::new(Some(crash_at));
+        let finished =
+            run_mem(&disk, &log, &plan, None, None, Some(flip_bit), &stmts);
+        assert!(finished.is_none(), "the crash run must not finish");
+        assert!(plan.crashed());
+
+        let k = boundaries.iter().position(|&b| b >= crash_at).unwrap();
+        let mut rdb = reopen_mem(&disk, &log);
+        let got = snapshot(&mut rdb);
+        assert!(
+            got == states[k - 1] || got == states[k],
+            "flip of bit {flip_bit} at op {crash_at} (statement {k}: \
+             {:?}): recovered {got:?}, expected {:?} or {:?}",
+            stmts.get(k - 1),
+            states[k - 1],
+            states[k],
+        );
+        drop(rdb);
         let mut rdb2 = reopen_mem(&disk, &log);
         assert_eq!(snapshot(&mut rdb2), got, "recovery must be idempotent");
     });
