@@ -20,9 +20,10 @@ fn ablation_hash_function() {
         "{:<16} {:>12} {:>12} {:>12}",
         "hash fn", "H pages", "Q07 scan", "Q01 keyed"
     );
-    for (name, f) in
-        [("mod", HashFn::Mod), ("multiplicative", HashFn::Multiplicative)]
-    {
+    for (name, f) in [
+        ("mod", HashFn::Mod),
+        ("multiplicative", HashFn::Multiplicative),
+    ] {
         let cfg = BenchConfig::new(DatabaseClass::Static, 100);
         let mut db = workload::build_database_with_hash(&cfg, f);
         let pages = db.relation_meta(&cfg.rel_h()).unwrap().total_pages;
@@ -53,10 +54,8 @@ fn ablation_buffer_frames() {
         let (_, mut db) = run_sweep(cfg, 4);
         db.set_buffer_frames(&cfg.rel_h(), frames).unwrap();
         db.set_buffer_frames(&cfg.rel_i(), frames).unwrap();
-        let q09 =
-            measure(&mut db, &query_for("Q09", cfg.class).unwrap());
-        let q03 =
-            measure(&mut db, &query_for("Q03", cfg.class).unwrap());
+        let q09 = measure(&mut db, &query_for("Q09", cfg.class).unwrap());
+        let q03 = measure(&mut db, &query_for("Q03", cfg.class).unwrap());
         println!("{:<10} {:>12} {:>12}", frames, q09.input, q03.input);
     }
     println!(
@@ -71,8 +70,10 @@ fn ablation_loading_factor() {
         "{:<8} {:>14} {:>14} {:>14} {:>14}",
         "UC", "Q10 @100%", "Q10 @50%", "Q07 @100%", "Q07 @50%"
     );
-    let (d100, _) = run_sweep(BenchConfig::new(DatabaseClass::Temporal, 100), 8);
-    let (d50, _) = run_sweep(BenchConfig::new(DatabaseClass::Temporal, 50), 8);
+    let (d100, _) =
+        run_sweep(BenchConfig::new(DatabaseClass::Temporal, 100), 8);
+    let (d50, _) =
+        run_sweep(BenchConfig::new(DatabaseClass::Temporal, 50), 8);
     for uc in [0u32, 4, 8] {
         println!(
             "{:<8} {:>14} {:>14} {:>14} {:>14}",
@@ -107,13 +108,16 @@ fn ablation_all_queries_track_runtime() {
 }
 
 fn ablation_disk_backend() {
-    println!("Ablation 5: disk backend (temporal 100%, UC 2, same page counts)");
-    println!("{:<10} {:>12} {:>14} {:>14}", "backend", "Q03 pages", "Q03 time", "Q09 time");
+    println!(
+        "Ablation 5: disk backend (temporal 100%, UC 2, same page counts)"
+    );
+    println!(
+        "{:<10} {:>12} {:>14} {:>14}",
+        "backend", "Q03 pages", "Q03 time", "Q09 time"
+    );
     for backend in ["memory", "file"] {
-        let dir = std::env::temp_dir().join(format!(
-            "tdbms-ablation-disk-{}",
-            std::process::id()
-        ));
+        let dir = std::env::temp_dir()
+            .join(format!("tdbms-ablation-disk-{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);
         let mut db = if backend == "memory" {
             tdbms_core::Database::in_memory()
@@ -137,7 +141,8 @@ fn ablation_disk_backend() {
             ))
             .unwrap();
         }
-        db.execute("modify t to hash on id where fillfactor = 100").unwrap();
+        db.execute("modify t to hash on id where fillfactor = 100")
+            .unwrap();
         db.execute("range of h is t").unwrap();
         for _ in 0..2 {
             db.execute("replace h (seq = h.seq + 1)").unwrap();

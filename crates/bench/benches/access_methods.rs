@@ -21,7 +21,9 @@ fn rows(n: i64) -> (RowCodec, Vec<Vec<u8>>) {
     let codec = RowCodec::new(&schema);
     let rows = (1..=n)
         .map(|i| {
-            codec.encode(&[Value::Int(i), Value::Str("x".into())]).unwrap()
+            codec
+                .encode(&[Value::Int(i), Value::Str("x".into())])
+                .unwrap()
         })
         .collect();
     (codec, rows)
@@ -33,34 +35,34 @@ fn main() {
 
     timing::print_header("build");
     timing::bench("hash_1024", 20, || {
-        let mut pager = Pager::in_memory();
+        let pager = Pager::in_memory();
         black_box(
-            HashFile::build(&mut pager, &data, 108, key, HashFn::Mod, 100)
+            HashFile::build(&pager, &data, 108, key, HashFn::Mod, 100)
                 .unwrap(),
         )
     });
     timing::bench("isam_1024", 20, || {
-        let mut pager = Pager::in_memory();
-        black_box(IsamFile::build(&mut pager, &data, 108, key, 100).unwrap())
+        let pager = Pager::in_memory();
+        black_box(IsamFile::build(&pager, &data, 108, key, 100).unwrap())
     });
 
-    let mut pager = Pager::in_memory();
-    let heap = HeapFile::create(&mut pager, 108).unwrap();
+    let pager = Pager::in_memory();
+    let heap = HeapFile::create(&pager, 108).unwrap();
     for r in &data {
-        heap.insert(&mut pager, r).unwrap();
+        heap.insert(&pager, r).unwrap();
     }
     let files = vec![
         (
             "hash",
             RelFile::Hash(
-                HashFile::build(&mut pager, &data, 108, key, HashFn::Mod, 100)
+                HashFile::build(&pager, &data, 108, key, HashFn::Mod, 100)
                     .unwrap(),
             ),
         ),
         (
             "isam",
             RelFile::Isam(
-                IsamFile::build(&mut pager, &data, 108, key, 100).unwrap(),
+                IsamFile::build(&pager, &data, 108, key, 100).unwrap(),
             ),
         ),
         ("heap", RelFile::Heap(heap)),
@@ -73,8 +75,8 @@ fn main() {
         }
         timing::bench(name, 100, || {
             let kb = 500i32.to_le_bytes();
-            let mut cur = file.lookup_eq(&mut pager, &kb).unwrap().unwrap();
-            while let Some(hit) = cur.next(&mut pager, file).unwrap() {
+            let mut cur = file.lookup_eq(&pager, &kb).unwrap().unwrap();
+            while let Some(hit) = cur.next(&pager, file).unwrap() {
                 black_box(hit);
             }
         });
@@ -85,7 +87,7 @@ fn main() {
         timing::bench(name, 50, || {
             let mut n = 0u64;
             let mut cur = file.scan();
-            while cur.next(&mut pager, file).unwrap().is_some() {
+            while cur.next(&pager, file).unwrap().is_some() {
                 n += 1;
             }
             black_box(n)

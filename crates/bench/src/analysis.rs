@@ -57,9 +57,7 @@ pub fn fixed_cost(query: &str, sweep: &SweepData) -> u64 {
     match query {
         "Q02" | "Q06" => dir,
         "Q09" => sweep.output(query, 0).unwrap_or(0),
-        "Q10" => {
-            NTUPLES as u64 * dir + sweep.output(query, 0).unwrap_or(0)
-        }
+        "Q10" => NTUPLES as u64 * dir + sweep.output(query, 0).unwrap_or(0),
         "Q12" => sweep.output(query, 0).unwrap_or(0),
         _ => 0,
     }
@@ -78,12 +76,19 @@ pub fn cost_model(query: &str, sweep: &SweepData) -> Option<CostModel> {
     } else {
         (cn as f64 - c0 as f64) / (variable as f64 * sweep.max_uc as f64)
     };
-    Some(CostModel { fixed, variable, growth_rate })
+    Some(CostModel {
+        fixed,
+        variable,
+        growth_rate,
+    })
 }
 
 /// Worst relative error of the predictive formula against the measured
 /// sweep, over all update counts (used by tests and EXPERIMENTS.md).
-pub fn model_max_relative_error(query: &str, sweep: &SweepData) -> Option<f64> {
+pub fn model_max_relative_error(
+    query: &str,
+    sweep: &SweepData,
+) -> Option<f64> {
     let model = cost_model(query, sweep)?;
     let mut worst: f64 = 0.0;
     for uc in 0..=sweep.max_uc {

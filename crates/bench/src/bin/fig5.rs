@@ -1,12 +1,16 @@
 //! Regenerate Figure 5: space requirements for the eight test databases.
-use tdbms_bench::{figures, max_uc_from_env, run_sweep, BenchConfig};
+//! `--threads N` (or `TDBMS_THREADS`) sweeps the eight configurations in
+//! parallel; the data is identical at any thread count because each
+//! configuration builds its own deterministic database.
+use tdbms_bench::{
+    figures, max_uc_from_env, run_sweeps_threaded, threads_from_args,
+    BenchConfig,
+};
 
 fn main() {
     let max_uc = max_uc_from_env(14);
-    let sweeps: Vec<_> = BenchConfig::all()
-        .into_iter()
-        .map(|cfg| run_sweep(cfg, max_uc).0)
-        .collect();
+    let threads = threads_from_args();
+    let sweeps = run_sweeps_threaded(&BenchConfig::all(), max_uc, threads);
     let refs: Vec<&_> = sweeps.iter().collect();
     print!("{}", figures::fig5(&refs));
 }

@@ -13,8 +13,5 @@ fn main() {
     );
     let (r, _) =
         run_sweep(BenchConfig::new(DatabaseClass::Rollback, 50), max_uc);
-    println!(
-        "{}",
-        figures::fig8(&r, &["Q10", "Q09", "Q03", "Q01"])
-    );
+    println!("{}", figures::fig8(&r, &["Q10", "Q09", "Q03", "Q01"]));
 }

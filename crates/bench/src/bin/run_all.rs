@@ -24,7 +24,8 @@ fn main() {
     let t100 = refs
         .iter()
         .find(|d| {
-            d.cfg.class == DatabaseClass::Temporal && d.cfg.fillfactor == 100
+            d.cfg.class == DatabaseClass::Temporal
+                && d.cfg.fillfactor == 100
         })
         .unwrap();
     let r50 = refs

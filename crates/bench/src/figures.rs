@@ -46,8 +46,16 @@ pub fn fig5(sweeps: &[&SweepData]) -> String {
             format!("{} ({}%)", d.cfg.class, d.cfg.fillfactor),
             gh.size0,
             gi.size0,
-            if grows { gh.size_n.to_string() } else { "-".into() },
-            if grows { gi.size_n.to_string() } else { "-".into() },
+            if grows {
+                gh.size_n.to_string()
+            } else {
+                "-".into()
+            },
+            if grows {
+                gi.size_n.to_string()
+            } else {
+                "-".into()
+            },
             if grows {
                 format!("{:.1}", gh.growth_per_update)
             } else {
@@ -58,8 +66,16 @@ pub fn fig5(sweeps: &[&SweepData]) -> String {
             } else {
                 "-".into()
             },
-            if grows { format!("{:.2}", gh.growth_rate) } else { "-".into() },
-            if grows { format!("{:.2}", gi.growth_rate) } else { "-".into() },
+            if grows {
+                format!("{:.2}", gh.growth_rate)
+            } else {
+                "-".into()
+            },
+            if grows {
+                format!("{:.2}", gi.growth_rate)
+            } else {
+                "-".into()
+            },
         )
         .unwrap();
     }
@@ -82,7 +98,9 @@ pub fn fig6(d: &SweepData) -> String {
     }
     writeln!(s).unwrap();
     for q in QUERY_IDS {
-        let Some(costs) = d.costs.get(q) else { continue };
+        let Some(costs) = d.costs.get(q) else {
+            continue;
+        };
         write!(s, "{q:<6}").unwrap();
         for c in costs {
             write!(s, "{:>7}", c.input).unwrap();
@@ -97,8 +115,11 @@ pub fn fig6(d: &SweepData) -> String {
 pub fn fig7(sweeps: &[&SweepData]) -> String {
     let mut s = String::new();
     let n = sweeps.first().map(|d| d.max_uc).unwrap_or(0);
-    writeln!(s, "Figure 7: Number of Input Pages for Four Types of Databases")
-        .unwrap();
+    writeln!(
+        s,
+        "Figure 7: Number of Input Pages for Four Types of Databases"
+    )
+    .unwrap();
     write!(s, "{:<6}", "Query").unwrap();
     for d in sweeps {
         write!(
@@ -122,7 +143,11 @@ pub fn fig7(sweeps: &[&SweepData]) -> String {
             write!(
                 s,
                 "{:>11}",
-                if grows { opt(d.input(q, n)) } else { "-".into() }
+                if grows {
+                    opt(d.input(q, n))
+                } else {
+                    "-".into()
+                }
             )
             .unwrap();
         }
@@ -207,7 +232,8 @@ pub fn fig9(sweeps: &[&SweepData]) -> String {
     writeln!(s).unwrap();
     write!(s, "{:<6}", "").unwrap();
     for _ in sweeps {
-        write!(s, "{:>12}{:>10}{:>8}", "Fixed", "Variable", "Rate").unwrap();
+        write!(s, "{:>12}{:>10}{:>8}", "Fixed", "Variable", "Rate")
+            .unwrap();
     }
     writeln!(s).unwrap();
     for q in QUERY_IDS {
@@ -233,7 +259,8 @@ pub fn fig9(sweeps: &[&SweepData]) -> String {
 /// Figure 10: improvements for the temporal database.
 pub fn fig10(rows: &[Fig10Row], max_uc: u32) -> String {
     let mut s = String::new();
-    writeln!(s, "Figure 10: Improvements for the Temporal Database").unwrap();
+    writeln!(s, "Figure 10: Improvements for the Temporal Database")
+        .unwrap();
     writeln!(
         s,
         "{:<6}{:>10}{:>10} | {:>8}{:>10} | {:>9}{:>9}{:>9}{:>9}",
@@ -273,8 +300,11 @@ pub fn fig10(rows: &[Fig10Row], max_uc: u32) -> String {
         )
         .unwrap();
     }
-    writeln!(s, "('-' : not applicable / unchanged from the conventional cost)")
-        .unwrap();
+    writeln!(
+        s,
+        "('-' : not applicable / unchanged from the conventional cost)"
+    )
+    .unwrap();
     s
 }
 
@@ -300,7 +330,9 @@ pub fn fig11(d: &BufferSweepData) -> String {
     }
     writeln!(s).unwrap();
     for q in QUERY_IDS {
-        let Some(costs) = d.costs.get(q) else { continue };
+        let Some(costs) = d.costs.get(q) else {
+            continue;
+        };
         write!(s, "{q:<6}").unwrap();
         for c in costs {
             write!(s, "{:>8}", c.cost.input).unwrap();
@@ -314,7 +346,9 @@ pub fn fig11(d: &BufferSweepData) -> String {
     }
     writeln!(s).unwrap();
     for q in QUERY_IDS {
-        let Some(costs) = d.costs.get(q) else { continue };
+        let Some(costs) = d.costs.get(q) else {
+            continue;
+        };
         write!(s, "{q:<6}").unwrap();
         for c in costs {
             write!(s, "{:>8}", c.hits).unwrap();
@@ -327,11 +361,16 @@ pub fn fig11(d: &BufferSweepData) -> String {
 /// The §5.4 non-uniform-distribution table.
 pub fn nonuniform_table(rows: &[(u32, u64, u64, f64)]) -> String {
     let mut s = String::new();
-    writeln!(s, "Section 5.4: Non-uniform (maximum-variance) Updates").unwrap();
+    writeln!(s, "Section 5.4: Non-uniform (maximum-variance) Updates")
+        .unwrap();
     writeln!(
         s,
         "{:>7} {:>10} {:>11} {:>14} {:>17}",
-        "avg UC", "hot probe", "cold probe", "weighted avg", "uniform (1+2n)"
+        "avg UC",
+        "hot probe",
+        "cold probe",
+        "weighted avg",
+        "uniform (1+2n)"
     )
     .unwrap();
     for (avg, hot, cold, weighted) in rows {
@@ -395,7 +434,8 @@ mod tests {
     fn fig10_renders_improvement_cells() {
         let (sweep, mut db) =
             run_sweep(BenchConfig::new(DatabaseClass::Temporal, 100), 1);
-        let rows = crate::improvements::measure_improvements(&mut db, &sweep);
+        let rows =
+            crate::improvements::measure_improvements(&mut db, &sweep);
         let table = fig10(&rows, sweep.max_uc);
         assert!(table.contains("Q07"));
         assert!(table.contains("2L hash"));

@@ -62,10 +62,7 @@ fn load_rel(db: &mut Database, name: &str) -> Rel {
 }
 
 /// Run `op` against cold buffers and return the pages it read.
-fn cost_of(
-    pager: &mut Pager,
-    mut op: impl FnMut(&mut Pager),
-) -> u64 {
+fn cost_of(pager: &Pager, mut op: impl FnMut(&Pager)) -> u64 {
     pager.invalidate_buffers().expect("invalidate");
     pager.reset_stats();
     op(pager);
@@ -76,7 +73,7 @@ fn cost_of(
 /// are current versions (the conventional Q07/Q08 work, restaged for a
 /// primary store).
 fn scan_filter(
-    pager: &mut Pager,
+    pager: &Pager,
     file: &RelFile,
     attr: &KeySpec,
     value: i32,
@@ -108,31 +105,44 @@ pub fn measure_improvements(
     // Two-level stores, simple and clustered history, hash/ISAM primaries
     // mirroring the conventional organizations.
     let key_attr = 0usize;
-    let build = |pager: &mut Pager, rel: &Rel, method, layout| {
+    let build = |pager: &Pager, rel: &Rel, method, layout| {
         TwoLevelStore::build_from_rows(
-            pager, &rel.schema, &rel.rows, key_attr, method, 100,
-            HashFn::Mod, layout,
+            pager,
+            &rel.schema,
+            &rel.rows,
+            key_attr,
+            method,
+            100,
+            HashFn::Mod,
+            layout,
         )
         .expect("two-level build")
     };
-    let h_simple = build(pager, &h, AccessMethod::Hash, HistoryLayout::Simple);
+    let h_simple =
+        build(pager, &h, AccessMethod::Hash, HistoryLayout::Simple);
     let h_clustered =
         build(pager, &h, AccessMethod::Hash, HistoryLayout::Clustered);
-    let i_simple = build(pager, &i, AccessMethod::Isam, HistoryLayout::Simple);
+    let i_simple =
+        build(pager, &i, AccessMethod::Isam, HistoryLayout::Simple);
     let i_clustered =
         build(pager, &i, AccessMethod::Isam, HistoryLayout::Clustered);
 
     // Secondary indexes on `amount` (attribute 1).
     let h_amount = KeySpec::for_attr(&h.codec, 1);
-    let conv_idx = |pager: &mut Pager, structure| {
-        SecondaryIndex::build(pager, &h.file, h_amount, structure, 100, |_| {
-            true
-        })
+    let conv_idx = |pager: &Pager, structure| {
+        SecondaryIndex::build(
+            pager,
+            &h.file,
+            h_amount,
+            structure,
+            100,
+            |_| true,
+        )
         .expect("1-level index")
     };
     let l1_heap = conv_idx(pager, IndexStructure::Heap);
     let l1_hash = conv_idx(pager, IndexStructure::Hash);
-    let cur_idx = |pager: &mut Pager, structure| {
+    let cur_idx = |pager: &Pager, structure| {
         SecondaryIndex::build(
             pager,
             h_simple.primary(),
@@ -158,10 +168,16 @@ pub fn measure_improvements(
         assert!(!v.is_empty());
     });
     let q05_simple = cost_of(pager, |p| {
-        h_simple.current_for_key(p, &probe).expect("Q05").expect("found");
+        h_simple
+            .current_for_key(p, &probe)
+            .expect("Q05")
+            .expect("found");
     });
     let q06_simple = cost_of(pager, |p| {
-        i_simple.current_for_key(p, &probe).expect("Q06").expect("found");
+        i_simple
+            .current_for_key(p, &probe)
+            .expect("Q06")
+            .expect("found");
     });
     let q07_simple = cost_of(pager, |p| {
         assert_eq!(
@@ -221,7 +237,7 @@ pub fn measure_improvements(
 
     // Q07 through the four index variants.
     let amount_key = (AMOUNT_H as i32).to_le_bytes();
-    let via_conv_index = |pager: &mut Pager, idx: &SecondaryIndex| {
+    let via_conv_index = |pager: &Pager, idx: &SecondaryIndex| {
         cost_of(pager, |p| {
             let hits = idx.fetch(p, &h.file, &amount_key).expect("fetch");
             // Keep only current versions, as Q07's `when` clause demands.
@@ -234,7 +250,7 @@ pub fn measure_improvements(
     };
     let q07_l1_heap = via_conv_index(pager, &l1_heap);
     let q07_l1_hash = via_conv_index(pager, &l1_hash);
-    let via_cur_index = |pager: &mut Pager, idx: &SecondaryIndex| {
+    let via_cur_index = |pager: &Pager, idx: &SecondaryIndex| {
         cost_of(pager, |p| {
             let hits = idx
                 .fetch(p, h_simple.primary(), &amount_key)
@@ -285,7 +301,9 @@ pub fn measure_improvements(
 /// average is over all 1024 tuples (the 8 tuples sharing the hot bucket
 /// pay the chain, the rest pay one page).
 pub fn nonuniform_experiment(max_avg_uc: u32) -> Vec<(u32, u64, u64, f64)> {
-    use crate::workload::{build_database, evolve_single_tuple, BenchConfig, NTUPLES};
+    use crate::workload::{
+        build_database, evolve_single_tuple, BenchConfig, NTUPLES,
+    };
     let cfg = BenchConfig::new(tdbms_kernel::DatabaseClass::Temporal, 100);
     let mut db = build_database(&cfg);
     let mut out = Vec::new();
@@ -311,9 +329,9 @@ pub fn nonuniform_experiment(max_avg_uc: u32) -> Vec<(u32, u64, u64, f64)> {
             .stats
             .input_pages;
         // 8 tuples share the hot bucket (1024 ids over 128 buckets).
-        let weighted =
-            (8.0 * hot as f64 + (NTUPLES as f64 - 8.0) * cold as f64)
-                / NTUPLES as f64;
+        let weighted = (8.0 * hot as f64
+            + (NTUPLES as f64 - 8.0) * cold as f64)
+            / NTUPLES as f64;
         out.push((avg, hot, cold, weighted));
     }
     out

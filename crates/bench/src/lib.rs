@@ -15,11 +15,13 @@ pub mod timing;
 pub mod workload;
 
 pub use analysis::{cost_model, fixed_cost, CostModel};
-pub use improvements::{measure_improvements, nonuniform_experiment, Fig10Row};
+pub use improvements::{
+    measure_improvements, nonuniform_experiment, Fig10Row,
+};
 pub use queries::{queries_for, query_for, BenchQuery, QUERY_IDS};
 pub use sweep::{
-    measure, run_buffer_sweep, run_sweep, BufferCost, BufferSweepData, Cost,
-    SweepData,
+    measure, run_buffer_sweep, run_buffer_sweep_threaded, run_sweep,
+    run_sweeps_threaded, BufferCost, BufferSweepData, Cost, SweepData,
 };
 pub use timing::{time_n, TimingStats};
 pub use workload::{
@@ -34,4 +36,27 @@ pub fn max_uc_from_env(default: u32) -> u32 {
         .ok()
         .and_then(|v| v.parse().ok())
         .unwrap_or(default)
+}
+
+/// Worker-thread count for harness binaries: `--threads N` on the command
+/// line, else the `TDBMS_THREADS` environment variable, else 1 (the
+/// paper-mode serial driver, whose output is the golden reference).
+pub fn threads_from_args() -> usize {
+    let mut args = std::env::args();
+    while let Some(a) = args.next() {
+        if a == "--threads" {
+            if let Some(n) = args.next().and_then(|v| v.parse().ok()) {
+                return n;
+            }
+        } else if let Some(n) =
+            a.strip_prefix("--threads=").and_then(|v| v.parse().ok())
+        {
+            return n;
+        }
+    }
+    std::env::var("TDBMS_THREADS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1)
+        .max(1)
 }

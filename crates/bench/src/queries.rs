@@ -89,20 +89,32 @@ pub fn query_for(id: &str, class: DatabaseClass) -> Option<BenchQuery> {
                 "retrieve (h.id, i.id, i.amount) where h.id = i.amount"
                     .to_string()
             }
-            Rollback => "retrieve (h.id, i.id, i.amount) where h.id = i.amount \
-                 as of \"now\"".to_string(),
-            Historical | Temporal => "retrieve (h.id, i.id, i.amount) where h.id = i.amount \
-                 when h overlap i and i overlap \"now\"".to_string(),
+            Rollback => {
+                "retrieve (h.id, i.id, i.amount) where h.id = i.amount \
+                 as of \"now\""
+                    .to_string()
+            }
+            Historical | Temporal => {
+                "retrieve (h.id, i.id, i.amount) where h.id = i.amount \
+                 when h overlap i and i overlap \"now\""
+                    .to_string()
+            }
         },
         "Q10" => match class {
             Static => {
                 "retrieve (i.id, h.id, h.amount) where i.id = h.amount"
                     .to_string()
             }
-            Rollback => "retrieve (i.id, h.id, h.amount) where i.id = h.amount \
-                 as of \"now\"".to_string(),
-            Historical | Temporal => "retrieve (i.id, h.id, h.amount) where i.id = h.amount \
-                 when h overlap i and h overlap \"now\"".to_string(),
+            Rollback => {
+                "retrieve (i.id, h.id, h.amount) where i.id = h.amount \
+                 as of \"now\""
+                    .to_string()
+            }
+            Historical | Temporal => {
+                "retrieve (i.id, h.id, h.amount) where i.id = h.amount \
+                 when h overlap i and h overlap \"now\""
+                    .to_string()
+            }
         },
         "Q11" => {
             if class != Temporal {
@@ -128,12 +140,18 @@ pub fn query_for(id: &str, class: DatabaseClass) -> Option<BenchQuery> {
         }
         _ => return None,
     };
-    Some(BenchQuery { id: QUERY_IDS.iter().find(|q| **q == id)?, tquel: text })
+    Some(BenchQuery {
+        id: QUERY_IDS.iter().find(|q| **q == id)?,
+        tquel: text,
+    })
 }
 
 /// Every applicable query for a class, in Q01..Q12 order.
 pub fn queries_for(class: DatabaseClass) -> Vec<BenchQuery> {
-    QUERY_IDS.iter().filter_map(|id| query_for(id, class)).collect()
+    QUERY_IDS
+        .iter()
+        .filter_map(|id| query_for(id, class))
+        .collect()
 }
 
 #[cfg(test)]
@@ -152,9 +170,9 @@ mod tests {
     fn all_query_texts_parse() {
         for class in DatabaseClass::ALL {
             for q in queries_for(class) {
-                tdbms_tquel::parse_statement(&q.tquel).unwrap_or_else(|e| {
-                    panic!("{} for {class}: {e}\n{}", q.id, q.tquel)
-                });
+                tdbms_tquel::parse_statement(&q.tquel).unwrap_or_else(
+                    |e| panic!("{} for {class}: {e}\n{}", q.id, q.tquel),
+                );
             }
         }
     }

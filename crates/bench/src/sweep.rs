@@ -177,24 +177,133 @@ pub fn run_buffer_sweep(
             let out = db
                 .execute(&q.tquel)
                 .unwrap_or_else(|e| panic!("{} failed: {e}", q.id));
-            data.costs.get_mut(q.id).expect("registered").push(BufferCost {
-                cost: Cost {
-                    input: out.stats.input_pages,
-                    output: out.stats.output_pages,
-                    tuples: out.affected as u64,
+            data.costs.get_mut(q.id).expect("registered").push(
+                BufferCost {
+                    cost: Cost {
+                        input: out.stats.input_pages,
+                        output: out.stats.output_pages,
+                        tuples: out.affected as u64,
+                    },
+                    hits: out.stats.buffer_hits,
+                    evictions: out.stats.evictions,
                 },
-                hits: out.stats.buffer_hits,
-                evictions: out.stats.evictions,
-            });
+            );
         }
     }
     data
+}
+
+/// Run one sweep per configuration across `threads` worker threads
+/// (work-queue order, results in configuration order). With `threads <= 1`
+/// this is exactly the serial loop — same code path, same figures — and
+/// with more threads each configuration still builds its own database, so
+/// the measurements are bit-for-bit identical to the serial run.
+pub fn run_sweeps_threaded(
+    cfgs: &[BenchConfig],
+    max_uc: u32,
+    threads: usize,
+) -> Vec<SweepData> {
+    if threads <= 1 || cfgs.len() <= 1 {
+        return cfgs.iter().map(|c| run_sweep(*c, max_uc).0).collect();
+    }
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    let next = AtomicUsize::new(0);
+    let results: Vec<std::sync::Mutex<Option<SweepData>>> =
+        cfgs.iter().map(|_| std::sync::Mutex::new(None)).collect();
+    std::thread::scope(|s| {
+        for _ in 0..threads.min(cfgs.len()) {
+            s.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= cfgs.len() {
+                    break;
+                }
+                let data = run_sweep(cfgs[i], max_uc).0;
+                *results[i].lock().expect("no panics hold this lock") =
+                    Some(data);
+            });
+        }
+    });
+    results
+        .into_iter()
+        .map(|m| m.into_inner().expect("unpoisoned").expect("computed"))
+        .collect()
+}
+
+/// [`run_buffer_sweep`] split across `threads` worker threads: the frame
+/// caps are chunked, and each chunk rebuilds + evolves its own copy of the
+/// (deterministic) database. The benchmark queries are side-effect free,
+/// so each cap's measurement is independent of which database copy serves
+/// it — the merged result equals the serial sweep.
+pub fn run_buffer_sweep_threaded(
+    cfg: BenchConfig,
+    uc: u32,
+    frames: &[usize],
+    threads: usize,
+) -> BufferSweepData {
+    if threads <= 1 || frames.len() <= 1 {
+        return run_buffer_sweep(cfg, uc, frames);
+    }
+    let nchunks = threads.min(frames.len());
+    let per_chunk = frames.len().div_ceil(nchunks);
+    let chunks: Vec<&[usize]> = frames.chunks(per_chunk).collect();
+    let parts: Vec<std::sync::Mutex<Option<BufferSweepData>>> =
+        chunks.iter().map(|_| std::sync::Mutex::new(None)).collect();
+    std::thread::scope(|s| {
+        for (i, chunk) in chunks.iter().enumerate() {
+            let parts = &parts;
+            s.spawn(move || {
+                let data = run_buffer_sweep(cfg, uc, chunk);
+                *parts[i].lock().expect("no panics hold this lock") =
+                    Some(data);
+            });
+        }
+    });
+    let mut merged = BufferSweepData {
+        cfg,
+        uc,
+        frames: frames.to_vec(),
+        costs: BTreeMap::new(),
+    };
+    for part in parts {
+        let part =
+            part.into_inner().expect("unpoisoned").expect("computed");
+        for (q, costs) in part.costs {
+            merged.costs.entry(q).or_default().extend(costs);
+        }
+    }
+    merged
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use tdbms_kernel::DatabaseClass;
+
+    /// The threaded drivers must be invisible in the data: every value
+    /// identical to the serial sweep, whatever the thread count.
+    #[test]
+    fn threaded_sweeps_match_serial_exactly() {
+        let cfgs = [
+            BenchConfig::new(DatabaseClass::Static, 100),
+            BenchConfig::new(DatabaseClass::Temporal, 100),
+            BenchConfig::new(DatabaseClass::Rollback, 50),
+        ];
+        let serial: Vec<SweepData> =
+            cfgs.iter().map(|c| run_sweep(*c, 1).0).collect();
+        let threaded = run_sweeps_threaded(&cfgs, 1, 3);
+        for (a, b) in serial.iter().zip(&threaded) {
+            assert_eq!(a.sizes_h, b.sizes_h);
+            assert_eq!(a.sizes_i, b.sizes_i);
+            assert_eq!(a.costs, b.costs);
+        }
+
+        let cfg = BenchConfig::new(DatabaseClass::Temporal, 100);
+        let frames = [1usize, 2, 4, 8];
+        let serial = run_buffer_sweep(cfg, 1, &frames);
+        let threaded = run_buffer_sweep_threaded(cfg, 1, &frames, 4);
+        assert_eq!(serial.frames, threaded.frames);
+        assert_eq!(serial.costs, threaded.costs);
+    }
 
     /// A miniature sweep (UC 0..=2) checking the headline cost behaviours
     /// from Figures 6 and 7 — the full-scale checks live in the
@@ -218,8 +327,9 @@ mod tests {
         // Q05 static query costs the same as the version scan (the
         // prototype reads the whole chain either way), though it returns
         // only the current version.
-        let inputs =
-            |q: &str| -> Vec<u64> { data.costs[q].iter().map(|c| c.input).collect() };
+        let inputs = |q: &str| -> Vec<u64> {
+            data.costs[q].iter().map(|c| c.input).collect()
+        };
         assert_eq!(inputs("Q05"), inputs("Q01"));
         // Sizes: 128/129 pages initially, +256 per round.
         assert_eq!(data.sizes_h, vec![128, 384, 640]);

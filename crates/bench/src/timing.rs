@@ -75,7 +75,13 @@ pub fn time_n<R>(iters: u32, mut f: impl FnMut() -> R) -> TimingStats {
         (samples[samples.len() / 2 - 1] + samples[samples.len() / 2]) / 2
     };
     let mean = samples.iter().sum::<Duration>() / iters;
-    TimingStats { iters, min, median, mean, max }
+    TimingStats {
+        iters,
+        min,
+        median,
+        mean,
+        max,
+    }
 }
 
 /// Print the header row matching [`TimingStats::to_row`].

@@ -97,18 +97,20 @@ pub fn build_database_with_hash(
     cfg: &BenchConfig,
     hashfn: tdbms_storage::HashFn,
 ) -> Database {
-    let mut db = Database::in_memory_with_buffers(tdbms_core::BufferConfig {
-        default_frames: cfg.buffer_frames,
-        policy: cfg.buffer_policy,
-        per_file: Vec::new(),
-    });
+    let mut db =
+        Database::in_memory_with_buffers(tdbms_core::BufferConfig {
+            default_frames: cfg.buffer_frames,
+            policy: cfg.buffer_policy,
+            per_file: Vec::new(),
+        });
     db.set_hash_fn(hashfn);
     // Corruption-defense ablation: `TDBMS_CHECKSUMS=1` turns on page
     // checksumming for the whole run, so CI can assert the golden
     // figures are identical with scrubbing on and off (the sidecar is
     // out-of-band; page capacity and access paths must not move).
     if std::env::var("TDBMS_CHECKSUMS").is_ok_and(|v| v == "1") {
-        db.enable_checksums().expect("in-memory checksums cannot fail");
+        db.enable_checksums()
+            .expect("in-memory checksums cannot fail");
     }
     populate_database(&mut db, cfg);
     db
@@ -144,8 +146,10 @@ pub fn populate_database(db: &mut Database, cfg: &BenchConfig) {
         ))
         .expect("modify benchmark relation");
     }
-    db.execute(&format!("range of h is {}", cfg.rel_h())).unwrap();
-    db.execute(&format!("range of i is {}", cfg.rel_i())).unwrap();
+    db.execute(&format!("range of h is {}", cfg.rel_h()))
+        .unwrap();
+    db.execute(&format!("range of i is {}", cfg.rel_i()))
+        .unwrap();
 }
 
 /// Generate the 1024 initial rows for one relation (full stored arity).
@@ -196,11 +200,12 @@ fn generate_rows(
             ];
             for t in schema.implicit_attrs() {
                 row.push(Value::Time(match t {
-                    TemporalAttr::ValidFrom | TemporalAttr::ValidAt => start,
-                    TemporalAttr::TransactionStart => start,
-                    TemporalAttr::ValidTo | TemporalAttr::TransactionStop => {
-                        TimeVal::FOREVER
+                    TemporalAttr::ValidFrom | TemporalAttr::ValidAt => {
+                        start
                     }
+                    TemporalAttr::TransactionStart => start,
+                    TemporalAttr::ValidTo
+                    | TemporalAttr::TransactionStop => TimeVal::FOREVER,
                 }));
             }
             row
@@ -267,13 +272,25 @@ mod tests {
 
         let cfg = BenchConfig::new(DatabaseClass::Static, 100);
         let db = build_database(&cfg);
-        assert_eq!(db.relation_meta(&cfg.rel_h()).unwrap().total_pages, 114);
-        assert_eq!(db.relation_meta(&cfg.rel_i()).unwrap().total_pages, 115);
+        assert_eq!(
+            db.relation_meta(&cfg.rel_h()).unwrap().total_pages,
+            114
+        );
+        assert_eq!(
+            db.relation_meta(&cfg.rel_i()).unwrap().total_pages,
+            115
+        );
 
         let cfg = BenchConfig::new(DatabaseClass::Rollback, 50);
         let db = build_database(&cfg);
-        assert_eq!(db.relation_meta(&cfg.rel_h()).unwrap().total_pages, 256);
-        assert_eq!(db.relation_meta(&cfg.rel_i()).unwrap().total_pages, 259);
+        assert_eq!(
+            db.relation_meta(&cfg.rel_h()).unwrap().total_pages,
+            256
+        );
+        assert_eq!(
+            db.relation_meta(&cfg.rel_i()).unwrap().total_pages,
+            259
+        );
     }
 
     #[test]
@@ -376,7 +393,10 @@ mod tests {
         // wired in, not bypassed).
         let other = BenchConfig { seed: 1, ..cfg };
         let mut c = build_database(&other);
-        assert_ne!(all_rows(&mut a, &cfg.rel_h()), all_rows(&mut c, &cfg.rel_h()));
+        assert_ne!(
+            all_rows(&mut a, &cfg.rel_h()),
+            all_rows(&mut c, &cfg.rel_h())
+        );
     }
 
     #[test]

@@ -143,7 +143,11 @@ impl CheckReport {
             self.count(Severity::Repaired),
             self.count(Severity::Lost),
         ));
-        out.push_str(if self.is_clean() { "clean\n" } else { "dirty\n" });
+        out.push_str(if self.is_clean() {
+            "clean\n"
+        } else {
+            "dirty\n"
+        });
         out
     }
 }
@@ -152,15 +156,22 @@ impl CheckReport {
 #[derive(Debug, Clone)]
 enum Layout {
     Heap,
-    Hash { nbuckets: u32 },
-    Isam { n_data: u32, levels: Vec<Range<u32>> },
+    Hash {
+        nbuckets: u32,
+    },
+    Isam {
+        n_data: u32,
+        levels: Vec<Range<u32>>,
+    },
 }
 
 impl Layout {
     fn of(file: &RelFile) -> Layout {
         match file {
             RelFile::Heap(_) => Layout::Heap,
-            RelFile::Hash(f) => Layout::Hash { nbuckets: f.nbuckets },
+            RelFile::Hash(f) => Layout::Hash {
+                nbuckets: f.nbuckets,
+            },
             RelFile::Isam(f) => Layout::Isam {
                 n_data: f.n_data_pages,
                 levels: f.levels.clone(),
@@ -210,12 +221,9 @@ impl Layout {
         match self {
             Layout::Heap => 0,
             Layout::Hash { nbuckets } => *nbuckets,
-            Layout::Isam { n_data, levels } => levels
-                .iter()
-                .map(|r| r.end)
-                .max()
-                .unwrap_or(0)
-                .max(*n_data),
+            Layout::Isam { n_data, levels } => {
+                levels.iter().map(|r| r.end).max().unwrap_or(0).max(*n_data)
+            }
         }
     }
 }
@@ -334,7 +342,7 @@ fn corruption_detail(e: Error) -> String {
 /// every problem becomes a finding and an entry in the returned [`Audit`];
 /// fixing anything is [`repair_database`]'s job.
 fn audit_unit(
-    pager: &mut Pager,
+    pager: &Pager,
     unit: &Unit,
     findings: &mut Vec<Finding>,
 ) -> Result<Audit> {
@@ -366,6 +374,7 @@ fn audit_unit(
 
     let mut ovs = vec![NO_PAGE; n as usize];
     let mut counts = vec![0usize; n as usize];
+    let sums = pager.checksums_snapshot();
     for p in 0..n {
         let page = match pager.read_page_raw(unit.file, p) {
             Ok(page) => page,
@@ -382,7 +391,7 @@ fn audit_unit(
         counts[p as usize] = page.count();
         ovs[p as usize] = page.overflow();
 
-        if let Some(sums) = pager.checksums() {
+        if let Some(sums) = &sums {
             if let Err(e) = sums.verify(unit.file, p, &page) {
                 findings.push(unit.finding(
                     Severity::Error,
@@ -570,7 +579,7 @@ fn render_key(spec: &KeySpec, bytes: &[u8]) -> String {
 /// interval) and per-key valid-time overlap among live versions (a
 /// warning — TQuel lets a user append duplicate keys on purpose).
 fn check_temporal(
-    pager: &mut Pager,
+    pager: &Pager,
     unit: &Unit,
     rel: &StoredRelation,
     findings: &mut Vec<Finding>,
@@ -628,7 +637,10 @@ fn check_temporal(
                 live_by_key
                     .entry(k.extract(&row).to_vec())
                     .or_default()
-                    .push((codec.get_time(&row, f), codec.get_time(&row, t)));
+                    .push((
+                        codec.get_time(&row, f),
+                        codec.get_time(&row, t),
+                    ));
             }
         }
     }
@@ -658,7 +670,7 @@ fn check_temporal(
 /// database. Read-only; all scrub traffic is attributed to the `"scrub"`
 /// I/O phase.
 pub fn check_database(
-    pager: &mut Pager,
+    pager: &Pager,
     catalog: &Catalog,
 ) -> Result<CheckReport> {
     let mut report = CheckReport::default();
@@ -744,7 +756,7 @@ pub fn check_database(
 /// The caller persists the result ([`CheckedDb::repair`] syncs files and
 /// saves the catalog and sidecar; in-memory callers need not).
 pub fn repair_database(
-    pager: &mut Pager,
+    pager: &Pager,
     catalog: &mut Catalog,
     plan: &RecoveryPlan,
 ) -> Result<CheckReport> {
@@ -765,7 +777,8 @@ pub fn repair_database(
             }
             let mut n = audit.n_pages;
             while n < unit.layout.min_len() {
-                pager.append_page(unit.file, unit.layout.expected_kind(n))?;
+                pager
+                    .append_page(unit.file, unit.layout.expected_kind(n))?;
                 if let Some(img) = plan.latest_image(unit.file, n) {
                     let img = img.clone();
                     pager.write_page_raw(unit.file, n, &img)?;
@@ -950,7 +963,7 @@ impl CheckedDb {
         let log = FileLog::open(dir.join(WAL_NAME))?;
         let (wal, plan) = Wal::open(Box::new(log))?;
         replay(&plan, disk.as_mut())?;
-        let mut pager = Pager::new(disk);
+        let pager = Pager::new(disk);
         if let Some(mut sums) = ChecksumSet::load(&dir)? {
             // The sidecar was saved at the last checkpoint; replay may
             // just have written newer committed images over those pages.
@@ -960,7 +973,11 @@ impl CheckedDb {
             for txn in &plan.txns {
                 for (_, rec) in txn {
                     match rec {
-                        Record::PageImage { file, page_no, image } => {
+                        Record::PageImage {
+                            file,
+                            page_no,
+                            image,
+                        } => {
                             sums.record(*file, *page_no, image);
                         }
                         Record::DropFile { file } => sums.drop_file(*file),
@@ -971,15 +988,21 @@ impl CheckedDb {
             pager.set_checksums(Some(sums));
         }
         let catalog = match &plan.catalog {
-            Some((_, text)) => decode_catalog(text, &mut pager)?,
-            None => load_catalog(&dir, &mut pager)?.unwrap_or_default(),
+            Some((_, text)) => decode_catalog(text, &pager)?,
+            None => load_catalog(&dir, &pager)?.unwrap_or_default(),
         };
-        Ok(CheckedDb { dir, pager, catalog, plan, wal })
+        Ok(CheckedDb {
+            dir,
+            pager,
+            catalog,
+            plan,
+            wal,
+        })
     }
 
     /// Run a read-only integrity check.
     pub fn check(&mut self) -> Result<CheckReport> {
-        check_database(&mut self.pager, &self.catalog)
+        check_database(&self.pager, &self.catalog)
     }
 
     /// Repair in place, then make the repaired state durable exactly like
@@ -989,14 +1012,14 @@ impl CheckedDb {
     /// repairing the database is left byte-identical.
     pub fn repair(&mut self) -> Result<CheckReport> {
         let report =
-            repair_database(&mut self.pager, &mut self.catalog, &self.plan)?;
+            repair_database(&self.pager, &mut self.catalog, &self.plan)?;
         let repaired = report.findings.iter().any(|f| {
             matches!(f.severity, Severity::Repaired | Severity::Lost)
         });
         if repaired {
             self.pager.sync_all()?;
             save_catalog(&self.catalog, &self.dir)?;
-            if let Some(sums) = self.pager.checksums() {
+            if let Some(sums) = self.pager.checksums_snapshot() {
                 sums.save(&self.dir)?;
             }
             let clock = match &self.plan.catalog {
@@ -1006,8 +1029,10 @@ impl CheckedDb {
                     std::fs::write(self.dir.join("clock.tdbms"), clock)?;
                     clock.clone()
                 }
-                None => std::fs::read_to_string(self.dir.join("clock.tdbms"))
-                    .unwrap_or_else(|_| "0".into()),
+                None => {
+                    std::fs::read_to_string(self.dir.join("clock.tdbms"))
+                        .unwrap_or_else(|_| "0".into())
+                }
             };
             let snapshot = self.pager.file_lengths()?;
             let catalog_text = encode_catalog(&self.catalog);
@@ -1015,7 +1040,10 @@ impl CheckedDb {
                 &snapshot,
                 &[
                     Record::Begin,
-                    Record::Catalog { clock, catalog: catalog_text },
+                    Record::Catalog {
+                        clock,
+                        catalog: catalog_text,
+                    },
                     Record::Commit,
                 ],
             )?;
@@ -1031,9 +1059,7 @@ mod tests {
         AttrDef, DatabaseClass, Domain, RowCodec, Schema, TemporalKind,
         Value,
     };
-    use tdbms_storage::{
-        AccessMethod, DiskManager, HashFn, SharedMemDisk,
-    };
+    use tdbms_storage::{AccessMethod, DiskManager, HashFn, SharedMemDisk};
 
     fn schema() -> Schema {
         Schema::new(
@@ -1055,9 +1081,9 @@ mod tests {
         n: i64,
     ) -> (SharedMemDisk, Pager, Catalog, RelId) {
         let shared = SharedMemDisk::new();
-        let mut pager = Pager::new(Box::new(shared.clone()));
+        let pager = Pager::new(Box::new(shared.clone()));
         let mut cat = Catalog::new();
-        let id = cat.create_relation(&mut pager, "r", schema()).unwrap();
+        let id = cat.create_relation(&pager, "r", schema()).unwrap();
         {
             let rel = cat.get_mut(id);
             for i in 1..=n {
@@ -1065,10 +1091,10 @@ mod tests {
                     .codec
                     .encode(&[Value::Int(i), Value::Str("x".into())])
                     .unwrap();
-                rel.insert_row(&mut pager, &row).unwrap();
+                rel.insert_row(&pager, &row).unwrap();
             }
             if method != AccessMethod::Heap {
-                rel.modify(&mut pager, method, Some(0), 100, HashFn::Mod)
+                rel.modify(&pager, method, Some(0), 100, HashFn::Mod)
                     .unwrap();
             }
         }
@@ -1077,7 +1103,7 @@ mod tests {
     }
 
     /// Record the current on-disk sums for every page of every file.
-    fn adopt_sums(pager: &mut Pager) {
+    fn adopt_sums(pager: &Pager) {
         let mut sums = ChecksumSet::new();
         for (f, n) in pager.file_lengths().unwrap() {
             for p in 0..n {
@@ -1106,14 +1132,10 @@ mod tests {
         for method in
             [AccessMethod::Heap, AccessMethod::Hash, AccessMethod::Isam]
         {
-            let (_shared, mut pager, cat, _) = fixture(method, 40);
-            adopt_sums(&mut pager);
-            let report = check_database(&mut pager, &cat).unwrap();
-            assert!(
-                report.is_clean(),
-                "{method:?}:\n{}",
-                report.render()
-            );
+            let (_shared, pager, cat, _) = fixture(method, 40);
+            adopt_sums(&pager);
+            let report = check_database(&pager, &cat).unwrap();
+            assert!(report.is_clean(), "{method:?}:\n{}", report.render());
             assert!(report.findings.is_empty(), "{method:?}");
             assert_eq!(report.relations_checked, 1);
             assert!(report.pages_checked > 0);
@@ -1130,9 +1152,8 @@ mod tests {
 
     #[test]
     fn bit_rot_is_detected_and_quarantined_without_a_log_image() {
-        let (shared, mut pager, mut cat, id) =
-            fixture(AccessMethod::Hash, 40);
-        adopt_sums(&mut pager);
+        let (shared, pager, mut cat, id) = fixture(AccessMethod::Hash, 40);
+        adopt_sums(&pager);
         let file = cat.get(id).file.file_id();
         // Flip one byte of page 2 behind the pager's back.
         let mut page = shared.clone().read_page(file, 2).unwrap();
@@ -1141,7 +1162,7 @@ mod tests {
         page = Page::from_bytes(bytes);
         shared.clone().write_page(file, 2, &page).unwrap();
 
-        let report = check_database(&mut pager, &cat).unwrap();
+        let report = check_database(&pager, &cat).unwrap();
         assert!(!report.is_clean());
         assert!(report
             .findings
@@ -1150,8 +1171,7 @@ mod tests {
                 && f.page == Some(2)));
 
         let before = cat.get(id).tuple_count;
-        let rep =
-            repair_database(&mut pager, &mut cat, &empty_plan()).unwrap();
+        let rep = repair_database(&pager, &mut cat, &empty_plan()).unwrap();
         assert!(rep
             .findings
             .iter()
@@ -1160,12 +1180,12 @@ mod tests {
         assert!(lost > 0, "quarantine must report the loss in the count");
 
         // The repaired database is clean, and the surviving rows scan.
-        let after = check_database(&mut pager, &cat).unwrap();
+        let after = check_database(&pager, &cat).unwrap();
         assert!(after.is_clean(), "{}", after.render());
         let rel = cat.get(id);
         let mut seen = 0u64;
         let mut cur = rel.file.scan();
-        while cur.next(&mut pager, &rel.file).unwrap().is_some() {
+        while cur.next(&pager, &rel.file).unwrap().is_some() {
             seen += 1;
         }
         assert_eq!(seen, rel.tuple_count);
@@ -1174,9 +1194,8 @@ mod tests {
 
     #[test]
     fn bit_rot_is_restored_exactly_from_a_log_image() {
-        let (shared, mut pager, mut cat, id) =
-            fixture(AccessMethod::Isam, 40);
-        adopt_sums(&mut pager);
+        let (shared, pager, mut cat, id) = fixture(AccessMethod::Isam, 40);
+        adopt_sums(&pager);
         let file = cat.get(id).file.file_id();
         let pristine = shared.clone().read_page(file, 1).unwrap();
         let mut plan = empty_plan();
@@ -1197,15 +1216,14 @@ mod tests {
             .unwrap();
 
         let before = cat.get(id).tuple_count;
-        let rep = repair_database(&mut pager, &mut cat, &plan).unwrap();
-        assert!(rep
-            .findings
-            .iter()
-            .any(|f| f.severity == Severity::Repaired && f.page == Some(1)));
-        assert!(!rep
-            .findings
-            .iter()
-            .any(|f| f.severity == Severity::Lost));
+        let rep = repair_database(&pager, &mut cat, &plan).unwrap();
+        assert!(
+            rep.findings
+                .iter()
+                .any(|f| f.severity == Severity::Repaired
+                    && f.page == Some(1))
+        );
+        assert!(!rep.findings.iter().any(|f| f.severity == Severity::Lost));
         assert_eq!(cat.get(id).tuple_count, before, "nothing lost");
         let restored = shared.clone().read_page(file, 1).unwrap();
         assert_eq!(
@@ -1213,7 +1231,7 @@ mod tests {
             pristine.as_bytes().as_slice(),
             "byte-exact restoration"
         );
-        let after = check_database(&mut pager, &cat).unwrap();
+        let after = check_database(&pager, &cat).unwrap();
         assert!(after.is_clean(), "{}", after.render());
     }
 
@@ -1221,9 +1239,9 @@ mod tests {
     fn cycles_are_clipped_and_orphans_discarded_with_a_loss_report() {
         // All rows share one key, forcing a long chain behind bucket 0.
         let shared = SharedMemDisk::new();
-        let mut pager = Pager::new(Box::new(shared.clone()));
+        let pager = Pager::new(Box::new(shared.clone()));
         let mut cat = Catalog::new();
-        let id = cat.create_relation(&mut pager, "r", schema()).unwrap();
+        let id = cat.create_relation(&pager, "r", schema()).unwrap();
         {
             let rel = cat.get_mut(id);
             for _ in 0..30 {
@@ -1231,10 +1249,10 @@ mod tests {
                     .codec
                     .encode(&[Value::Int(7), Value::Str("x".into())])
                     .unwrap();
-                rel.insert_row(&mut pager, &row).unwrap();
+                rel.insert_row(&pager, &row).unwrap();
             }
             rel.modify(
-                &mut pager,
+                &pager,
                 AccessMethod::Hash,
                 Some(0),
                 100,
@@ -1260,7 +1278,7 @@ mod tests {
         page.set_overflow(ov);
         shared.clone().write_page(file, ov, &page).unwrap();
 
-        let report = check_database(&mut pager, &cat).unwrap();
+        let report = check_database(&pager, &cat).unwrap();
         assert!(!report.is_clean());
         assert!(report
             .findings
@@ -1268,16 +1286,18 @@ mod tests {
             .any(|f| f.detail.contains("reached twice")));
 
         let before = cat.get(id).tuple_count;
-        let rep =
-            repair_database(&mut pager, &mut cat, &empty_plan()).unwrap();
-        assert!(rep.findings.iter().any(|f| f.detail.contains("truncated")));
-        let after = check_database(&mut pager, &cat).unwrap();
+        let rep = repair_database(&pager, &mut cat, &empty_plan()).unwrap();
+        assert!(rep
+            .findings
+            .iter()
+            .any(|f| f.detail.contains("truncated")));
+        let after = check_database(&pager, &cat).unwrap();
         assert!(after.is_clean(), "{}", after.render());
         // A scan terminates now and matches the corrected count.
         let rel = cat.get(id);
         let mut seen = 0u64;
         let mut cur = rel.file.scan();
-        while cur.next(&mut pager, &rel.file).unwrap().is_some() {
+        while cur.next(&pager, &rel.file).unwrap().is_some() {
             seen += 1;
         }
         assert_eq!(seen, rel.tuple_count);
@@ -1287,7 +1307,7 @@ mod tests {
     #[test]
     fn temporal_invariants_reversed_interval_is_an_error() {
         let shared = SharedMemDisk::new();
-        let mut pager = Pager::new(Box::new(shared.clone()));
+        let pager = Pager::new(Box::new(shared.clone()));
         let mut cat = Catalog::new();
         let hist = Schema::new(
             vec![AttrDef::new("id", Domain::I4)],
@@ -1295,21 +1315,22 @@ mod tests {
             TemporalKind::Interval,
         )
         .unwrap();
-        let id = cat.create_relation(&mut pager, "h", hist).unwrap();
+        let id = cat.create_relation(&pager, "h", hist).unwrap();
         let rel = cat.get_mut(id);
-        let vf = rel.schema.temporal_index(TemporalAttr::ValidFrom).unwrap();
+        let vf =
+            rel.schema.temporal_index(TemporalAttr::ValidFrom).unwrap();
         let vt = rel.schema.temporal_index(TemporalAttr::ValidTo).unwrap();
         let codec = RowCodec::new(&rel.schema);
         let mut good = full_row(&codec, &[Value::Int(1)]);
         codec.put_time(&mut good, vf, TimeVal::from_secs(10));
         codec.put_time(&mut good, vt, TimeVal::from_secs(20));
-        rel.insert_row(&mut pager, &good).unwrap();
+        rel.insert_row(&pager, &good).unwrap();
         let mut bad = full_row(&codec, &[Value::Int(2)]);
         codec.put_time(&mut bad, vf, TimeVal::from_secs(30));
         codec.put_time(&mut bad, vt, TimeVal::from_secs(5));
-        rel.insert_row(&mut pager, &bad).unwrap();
+        rel.insert_row(&pager, &bad).unwrap();
 
-        let report = check_database(&mut pager, &cat).unwrap();
+        let report = check_database(&pager, &cat).unwrap();
         assert!(!report.is_clean());
         assert!(report
             .findings
@@ -1320,7 +1341,7 @@ mod tests {
     #[test]
     fn overlapping_live_versions_of_one_key_warn_but_stay_clean() {
         let shared = SharedMemDisk::new();
-        let mut pager = Pager::new(Box::new(shared.clone()));
+        let pager = Pager::new(Box::new(shared.clone()));
         let mut cat = Catalog::new();
         let hist = Schema::new(
             vec![
@@ -1331,7 +1352,7 @@ mod tests {
             TemporalKind::Interval,
         )
         .unwrap();
-        let id = cat.create_relation(&mut pager, "h", hist).unwrap();
+        let id = cat.create_relation(&pager, "h", hist).unwrap();
         {
             let rel = cat.get_mut(id);
             let vf =
@@ -1346,10 +1367,10 @@ mod tests {
                 );
                 codec.put_time(&mut row, vf, TimeVal::from_secs(a));
                 codec.put_time(&mut row, vt, TimeVal::from_secs(b));
-                rel.insert_row(&mut pager, &row).unwrap();
+                rel.insert_row(&pager, &row).unwrap();
             }
             rel.modify(
-                &mut pager,
+                &pager,
                 AccessMethod::Isam,
                 Some(0),
                 100,
@@ -1357,7 +1378,7 @@ mod tests {
             )
             .unwrap();
         }
-        let report = check_database(&mut pager, &cat).unwrap();
+        let report = check_database(&pager, &cat).unwrap();
         assert!(report.is_clean(), "{}", report.render());
         assert!(report
             .findings
@@ -1369,18 +1390,17 @@ mod tests {
 
     #[test]
     fn tuple_count_drift_is_an_error_and_repair_corrects_it() {
-        let (_shared, mut pager, mut cat, id) =
-            fixture(AccessMethod::Heap, 12);
+        let (_shared, pager, mut cat, id) = fixture(AccessMethod::Heap, 12);
         cat.get_mut(id).tuple_count = 99;
-        let report = check_database(&mut pager, &cat).unwrap();
+        let report = check_database(&pager, &cat).unwrap();
         assert!(!report.is_clean());
         assert!(report
             .findings
             .iter()
             .any(|f| f.detail.contains("99 stored rows but 12")));
-        repair_database(&mut pager, &mut cat, &empty_plan()).unwrap();
+        repair_database(&pager, &mut cat, &empty_plan()).unwrap();
         assert_eq!(cat.get(id).tuple_count, 12);
-        assert!(check_database(&mut pager, &cat).unwrap().is_clean());
+        assert!(check_database(&pager, &cat).unwrap().is_clean());
     }
 
     #[test]

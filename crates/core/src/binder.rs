@@ -85,8 +85,12 @@ impl<'a> Binder<'a> {
                 lhs: Box::new(self.bind_expr(lhs, vars)?),
                 rhs: Box::new(self.bind_expr(rhs, vars)?),
             },
-            ast::Expr::Neg(x) => BExpr::Neg(Box::new(self.bind_expr(x, vars)?)),
-            ast::Expr::Not(x) => BExpr::Not(Box::new(self.bind_expr(x, vars)?)),
+            ast::Expr::Neg(x) => {
+                BExpr::Neg(Box::new(self.bind_expr(x, vars)?))
+            }
+            ast::Expr::Not(x) => {
+                BExpr::Not(Box::new(self.bind_expr(x, vars)?))
+            }
             ast::Expr::Agg { func, .. } => {
                 return Err(Error::Semantic(format!(
                     "{}(...) is only allowed as a retrieve target",
@@ -214,7 +218,9 @@ impl<'a> Binder<'a> {
                 .get(vars[*var].rel)
                 .schema
                 .domain_of(*attr)
-                .ok_or_else(|| Error::Internal("bound attr out of range".into()))?,
+                .ok_or_else(|| {
+                    Error::Internal("bound attr out of range".into())
+                })?,
             BExpr::Bin { op, lhs, rhs } => {
                 if op.is_comparison()
                     || matches!(op, ast::BinOp::And | ast::BinOp::Or)
@@ -236,7 +242,10 @@ impl<'a> Binder<'a> {
     }
 
     /// Bind a retrieve statement, applying TQuel's defaults.
-    pub fn bind_retrieve(&self, r: &ast::Retrieve) -> Result<BoundRetrieve> {
+    pub fn bind_retrieve(
+        &self,
+        r: &ast::Retrieve,
+    ) -> Result<BoundRetrieve> {
         let mut vars: Vec<VarBinding> = Vec::new();
 
         // Targets. An aggregate target groups by the non-aggregate
@@ -283,7 +292,12 @@ impl<'a> Binder<'a> {
                 }
                 Some(ast::AggFunc::Min | ast::AggFunc::Max) => arg_domain,
             };
-            targets.push(BoundTarget { name, domain, expr, agg });
+            targets.push(BoundTarget {
+                name,
+                domain,
+                expr,
+                agg,
+            });
         }
         let has_agg = targets.iter().any(|t| t.agg.is_some());
         if has_agg && r.valid.is_some() {
@@ -324,10 +338,9 @@ impl<'a> Binder<'a> {
         // As-of clause.
         let explicit_as_of = match &r.as_of {
             Some(a) => {
-                let at = self.const_texpr(&self.bind_texpr(
-                    &a.at,
-                    &mut Vec::new(),
-                )?)?;
+                let at = self.const_texpr(
+                    &self.bind_texpr(&a.at, &mut Vec::new())?,
+                )?;
                 let through = match &a.through {
                     Some(t) => Some(self.const_texpr(
                         &self.bind_texpr(t, &mut Vec::new())?,
@@ -428,8 +441,7 @@ impl<'a> Binder<'a> {
                 .position(|t| t.name == k.column)
                 .or_else(|| {
                     // Implicit valid columns follow the targets.
-                    let has_valid =
-                        !valid_vars.is_empty() && !has_agg;
+                    let has_valid = !valid_vars.is_empty() && !has_agg;
                     match (has_valid, k.column.as_str()) {
                         (true, "valid_from") => Some(targets.len()),
                         (true, "valid_to") => Some(targets.len() + 1),
@@ -461,7 +473,11 @@ impl<'a> Binder<'a> {
 /// Split a bound expression on top-level `and`s.
 pub fn split_conjuncts(e: BExpr, out: &mut Vec<BExpr>) {
     match e {
-        BExpr::Bin { op: ast::BinOp::And, lhs, rhs } => {
+        BExpr::Bin {
+            op: ast::BinOp::And,
+            lhs,
+            rhs,
+        } => {
             split_conjuncts(*lhs, out);
             split_conjuncts(*rhs, out);
         }

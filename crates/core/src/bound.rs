@@ -285,7 +285,10 @@ mod tests {
 
     #[test]
     fn visibility_span_semantics() {
-        let v = Visibility { at: t(100), through: t(200) };
+        let v = Visibility {
+            at: t(100),
+            through: t(200),
+        };
         assert!(v.sees(t(150), t(160))); // lived inside the window
         assert!(v.sees(t(0), t(101))); // still alive at window start
         assert!(v.sees(t(200), TimeVal::FOREVER)); // born at window end

@@ -78,7 +78,7 @@ fn parse_value(domain: Domain, s: &str) -> Result<Value> {
 
 /// `copy R from "file"` — bulk load.
 pub fn copy_from(
-    pager: &mut Pager,
+    pager: &Pager,
     catalog: &mut Catalog,
     rel_id: RelId,
     path: &str,
@@ -108,7 +108,9 @@ pub fn copy_from(
             let mut vals = Vec::with_capacity(arity);
             for (i, f) in fields.iter().enumerate() {
                 let d = schema.domain_of(i).expect("in range");
-                vals.push(parse_value(d, f).map_err(|e| err(e.to_string()))?);
+                vals.push(
+                    parse_value(d, f).map_err(|e| err(e.to_string()))?,
+                );
             }
             codec.encode(&vals)?
         } else if fields.len() == explicit_len {
@@ -116,7 +118,9 @@ pub fn copy_from(
             let mut vals = Vec::with_capacity(explicit_len);
             for (i, f) in fields.iter().enumerate() {
                 let d = schema.domain_of(i).expect("in range");
-                vals.push(parse_value(d, f).map_err(|e| err(e.to_string()))?);
+                vals.push(
+                    parse_value(d, f).map_err(|e| err(e.to_string()))?,
+                );
             }
             let valid = match schema.kind() {
                 tdbms_kernel::TemporalKind::Interval => {
@@ -140,7 +144,7 @@ pub fn copy_from(
 
 /// `copy R into "file"` — bulk unload of every stored version.
 pub fn copy_into(
-    pager: &mut Pager,
+    pager: &Pager,
     catalog: &Catalog,
     rel_id: RelId,
     path: &str,
@@ -203,7 +207,10 @@ mod tests {
 
     #[test]
     fn value_parsing_per_domain() {
-        assert_eq!(parse_value(Domain::I4, " 42 ").unwrap(), Value::Int(42));
+        assert_eq!(
+            parse_value(Domain::I4, " 42 ").unwrap(),
+            Value::Int(42)
+        );
         assert_eq!(
             parse_value(Domain::F8, "2.5").unwrap(),
             Value::Float(2.5)

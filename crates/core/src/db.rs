@@ -16,9 +16,7 @@ use tdbms_storage::{
     PAGE_SIZE,
 };
 use tdbms_tquel::ast::Statement;
-use tdbms_wal::{
-    replay, CheckpointPolicy, FileLog, LogStore, Record, Wal,
-};
+use tdbms_wal::{replay, CheckpointPolicy, FileLog, LogStore, Record, Wal};
 
 /// Pseudo file id under which WAL log traffic is accounted in
 /// [`IoStats`] (log appends are byte streams, charged as
@@ -46,7 +44,7 @@ pub struct ExecOutput {
     /// Result columns (retrieve only).
     pub columns: Vec<(String, Domain)>,
     /// Result rows (retrieve only).
-    rows: Vec<Vec<Value>>,
+    pub(crate) rows: Vec<Vec<Value>>,
     /// Page-access costs of the statement.
     pub stats: QueryStats,
     /// Tuples affected (DML) or returned (retrieve).
@@ -172,9 +170,9 @@ impl Database {
     /// depends on it, advance the clock past the stored history).
     pub fn open(dir: impl Into<std::path::PathBuf>) -> Result<Self> {
         let dir = dir.into();
-        let mut pager = Pager::new(Box::new(FileDisk::open(&dir)?));
-        let catalog = tdbms_storage::load_catalog(&dir, &mut pager)?
-            .unwrap_or_default();
+        let pager = Pager::new(Box::new(FileDisk::open(&dir)?));
+        let catalog =
+            tdbms_storage::load_catalog(&dir, &pager)?.unwrap_or_default();
         let mut db = Database::with_pager(pager);
         db.catalog = catalog;
         // Resume the transaction clock past everything already recorded,
@@ -194,7 +192,9 @@ impl Database {
     /// log are replayed onto the page files (redo-only recovery), so a
     /// process killed at any point reopens with every committed tuple
     /// intact and nothing uncommitted visible.
-    pub fn open_durable(dir: impl Into<std::path::PathBuf>) -> Result<Self> {
+    pub fn open_durable(
+        dir: impl Into<std::path::PathBuf>,
+    ) -> Result<Self> {
         let dir = dir.into();
         let disk = FileDisk::open(&dir)?;
         let log = FileLog::open(dir.join("wal.tdbms"))?;
@@ -216,7 +216,7 @@ impl Database {
         for f in disk.files() {
             disk.sync(f)?;
         }
-        let mut pager = Pager::new(disk);
+        let pager = Pager::new(disk);
         pager.set_staging(true);
         let mut db = Database::with_pager(pager);
         // The last committed catalog + clock in the log supersede the
@@ -226,18 +226,19 @@ impl Database {
         match &plan.catalog {
             Some((clock, catalog)) => {
                 db.catalog =
-                    tdbms_storage::decode_catalog(catalog, &mut db.pager)?;
+                    tdbms_storage::decode_catalog(catalog, &db.pager)?;
                 clock_text = Some(clock.clone());
             }
             None => {
                 if let Some(dir) = &persist_dir {
                     if let Some(cat) =
-                        tdbms_storage::load_catalog(dir, &mut db.pager)?
+                        tdbms_storage::load_catalog(dir, &db.pager)?
                     {
                         db.catalog = cat;
                     }
                     clock_text =
-                        std::fs::read_to_string(dir.join("clock.tdbms")).ok();
+                        std::fs::read_to_string(dir.join("clock.tdbms"))
+                            .ok();
                 }
             }
         }
@@ -287,7 +288,7 @@ impl Database {
     /// phase.
     fn persist_checksums(&mut self) -> Result<()> {
         let (Some(dir), Some(sums)) =
-            (self.persist_dir.clone(), self.pager.checksums())
+            (self.persist_dir.clone(), self.pager.checksums_snapshot())
         else {
             return Ok(());
         };
@@ -295,7 +296,7 @@ impl Database {
         sums.save(&dir)?;
         self.pager.begin_phase("scrub");
         self.pager
-            .stats_mut()
+            .stats()
             .add_writes(SCRUB_FILE, bytes.div_ceil(PAGE_SIZE as u64));
         self.pager.end_phase();
         Ok(())
@@ -307,7 +308,7 @@ impl Database {
     /// directory; pages without a recorded sum are adopted on first
     /// read. The default (checksums off) is the paper configuration.
     pub fn enable_checksums(&mut self) -> Result<()> {
-        if self.pager.checksums().is_some() {
+        if self.pager.checksums_enabled() {
             return Ok(());
         }
         let sums = match &self.persist_dir {
@@ -320,7 +321,7 @@ impl Database {
 
     /// Whether sidecar checksums are on.
     pub fn checksums_enabled(&self) -> bool {
-        self.pager.checksums().is_some()
+        self.pager.checksums_enabled()
     }
 
     /// Bound the transient-read retry budget (see
@@ -393,7 +394,11 @@ impl Database {
         for (file, page_no) in staged {
             let lsn = ws.wal.peek_lsn();
             let image = self.pager.stamp_overlay_lsn(file, page_no, lsn)?;
-            ws.wal.append(&Record::PageImage { file, page_no, image })?;
+            ws.wal.append(&Record::PageImage {
+                file,
+                page_no,
+                image,
+            })?;
         }
         for file in &drops {
             ws.wal.append(&Record::DropFile { file: *file })?;
@@ -414,7 +419,7 @@ impl Database {
         let ws = self.wal.as_ref().expect("durable mode");
         let delta = ws.wal.bytes_appended() - before;
         self.pager
-            .stats_mut()
+            .stats()
             .add_writes(WAL_FILE, delta.div_ceil(PAGE_SIZE as u64));
         self.pager.end_phase();
         Ok(())
@@ -472,7 +477,11 @@ impl Database {
 
     /// Give one relation more buffer frames (the paper's configuration is
     /// one frame per relation; the two-level store experiments use more).
-    pub fn set_buffer_frames(&mut self, rel: &str, frames: usize) -> Result<()> {
+    pub fn set_buffer_frames(
+        &mut self,
+        rel: &str,
+        frames: usize,
+    ) -> Result<()> {
         let id = self.catalog.require(rel)?;
         let file = self.catalog.get(id).file.file_id();
         self.pager.set_buffer_frames(file, frames)
@@ -535,8 +544,28 @@ impl Database {
     /// Direct low-level access for the benchmark harness and the
     /// two-level-store crate.
     #[doc(hidden)]
-    pub fn internals(&mut self) -> (&mut Pager, &mut Catalog, &Clock) {
-        (&mut self.pager, &mut self.catalog, &self.clock)
+    pub fn internals(&mut self) -> (&Pager, &mut Catalog, &Clock) {
+        (&self.pager, &mut self.catalog, &self.clock)
+    }
+
+    /// Shared view of the pager (the concurrent engine's read path).
+    pub(crate) fn pager(&self) -> &Pager {
+        &self.pager
+    }
+
+    /// Shared view of the catalog (the concurrent engine's read path).
+    pub(crate) fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+
+    /// Whether statements start with cold buffers.
+    pub(crate) fn cold_statements(&self) -> bool {
+        self.cold_statements
+    }
+
+    /// The session range table, for the engine's range swap-in.
+    pub(crate) fn ranges_mut(&mut self) -> &mut HashMap<String, String> {
+        &mut self.ranges
     }
 
     /// Bulk-load fully specified rows (explicit attributes *and* time
@@ -553,7 +582,7 @@ impl Database {
         let codec = self.catalog.get(id).codec.clone();
         for vals in rows {
             let row = codec.encode(vals)?;
-            self.catalog.get_mut(id).insert_row(&mut self.pager, &row)?;
+            self.catalog.get_mut(id).insert_row(&self.pager, &row)?;
         }
         self.pager.flush_all()?;
         if self.wal.is_some() {
@@ -582,7 +611,10 @@ impl Database {
     }
 
     /// Execute one parsed statement.
-    pub fn execute_statement(&mut self, stmt: &Statement) -> Result<ExecOutput> {
+    pub fn execute_statement(
+        &mut self,
+        stmt: &Statement,
+    ) -> Result<ExecOutput> {
         let now = self.clock.tick();
         if self.cold_statements {
             self.pager.invalidate_buffers()?;
@@ -596,29 +628,29 @@ impl Database {
                 self.ranges.insert(var.clone(), rel.clone());
             }
             Statement::Create(c) => {
-                dml::exec_create(&mut self.pager, &mut self.catalog, c)?;
+                dml::exec_create(&self.pager, &mut self.catalog, c)?;
             }
             Statement::Destroy(rel) => {
-                dml::exec_destroy(&mut self.pager, &mut self.catalog, rel)?;
+                dml::exec_destroy(&self.pager, &mut self.catalog, rel)?;
                 // Drop range entries over the destroyed relation.
                 self.ranges.retain(|_, r| r != rel);
             }
             Statement::Modify(m) => {
                 dml::exec_modify(
-                    &mut self.pager,
+                    &self.pager,
                     &mut self.catalog,
                     m,
                     self.hashfn,
                 )?;
             }
             Statement::Index(i) => {
-                dml::exec_index(&mut self.pager, &mut self.catalog, i)?;
+                dml::exec_index(&self.pager, &mut self.catalog, i)?;
             }
             Statement::Copy(c) => {
                 let id = self.catalog.require(&c.rel)?;
                 out.affected = if c.from {
                     crate::copy::copy_from(
-                        &mut self.pager,
+                        &self.pager,
                         &mut self.catalog,
                         id,
                         &c.file,
@@ -626,7 +658,7 @@ impl Database {
                     )?
                 } else {
                     crate::copy::copy_into(
-                        &mut self.pager,
+                        &self.pager,
                         &self.catalog,
                         id,
                         &c.file,
@@ -635,7 +667,7 @@ impl Database {
             }
             Statement::Append(a) => {
                 out.affected = dml::exec_append(
-                    &mut self.pager,
+                    &self.pager,
                     &mut self.catalog,
                     &self.ranges,
                     now,
@@ -644,7 +676,7 @@ impl Database {
             }
             Statement::Delete(d) => {
                 out.affected = dml::exec_delete(
-                    &mut self.pager,
+                    &self.pager,
                     &mut self.catalog,
                     &self.ranges,
                     now,
@@ -653,7 +685,7 @@ impl Database {
             }
             Statement::Replace(r) => {
                 out.affected = dml::exec_replace(
-                    &mut self.pager,
+                    &self.pager,
                     &mut self.catalog,
                     &self.ranges,
                     now,
@@ -669,11 +701,8 @@ impl Database {
                     };
                     binder.bind_retrieve(r)?
                 };
-                let result = exec_retrieve(
-                    &mut self.pager,
-                    &mut self.catalog,
-                    &bound,
-                )?;
+                let result =
+                    exec_retrieve(&self.pager, &mut self.catalog, &bound)?;
                 out.affected = result.rows.len();
                 if let Some(into) = &bound.into {
                     self.materialize_into(
@@ -732,8 +761,11 @@ impl Database {
         has_valid: bool,
         now: TimeVal,
     ) -> Result<()> {
-        let explicit_cols =
-            if has_valid { &columns[..columns.len() - 2] } else { columns };
+        let explicit_cols = if has_valid {
+            &columns[..columns.len() - 2]
+        } else {
+            columns
+        };
         let attrs: Vec<tdbms_kernel::AttrDef> = explicit_cols
             .iter()
             .map(|(n, d)| tdbms_kernel::AttrDef::new(n.clone(), *d))
@@ -744,7 +776,7 @@ impl Database {
             DatabaseClass::Static
         };
         let schema = Schema::new(attrs, class, TemporalKind::Interval)?;
-        let id = self.catalog.create_relation(&mut self.pager, name, schema)?;
+        let id = self.catalog.create_relation(&self.pager, name, schema)?;
         let (codec, schema) = {
             let rel = self.catalog.get(id);
             (rel.codec.clone(), rel.schema.clone())
@@ -765,7 +797,7 @@ impl Database {
             let stored = dml::build_stored_row(
                 &schema, &codec, explicit, valid, now,
             )?;
-            self.catalog.get_mut(id).insert_row(&mut self.pager, &stored)?;
+            self.catalog.get_mut(id).insert_row(&self.pager, &stored)?;
         }
         self.pager.flush_all()?;
         Ok(())

@@ -22,7 +22,9 @@
 //! optical storage usable, as the paper notes.
 
 use crate::binder::Binder;
-use crate::bound::{BExpr, BTPred, BoundRetrieve, BoundTarget, VarBinding, Visibility};
+use crate::bound::{
+    BExpr, BTPred, BoundRetrieve, BoundTarget, VarBinding, Visibility,
+};
 use crate::eval::{eval_expr, eval_texpr, Slot};
 use crate::exec::{collect_matching, exec_retrieve};
 use crate::interval::TInterval;
@@ -38,7 +40,7 @@ use tdbms_tquel::ast;
 
 /// Execute `create`.
 pub fn exec_create(
-    pager: &mut Pager,
+    pager: &Pager,
     catalog: &mut Catalog,
     c: &ast::Create,
 ) -> Result<RelId> {
@@ -54,7 +56,7 @@ pub fn exec_create(
 /// Execute `destroy` — of a relation, or of a secondary index (Ingres
 /// treats index names like relation names for `destroy`).
 pub fn exec_destroy(
-    pager: &mut Pager,
+    pager: &Pager,
     catalog: &mut Catalog,
     rel: &str,
 ) -> Result<()> {
@@ -70,7 +72,7 @@ pub fn exec_destroy(
 
 /// Execute `index on R is X (attr)`.
 pub fn exec_index(
-    pager: &mut Pager,
+    pager: &Pager,
     catalog: &mut Catalog,
     stmt: &ast::CreateIndex,
 ) -> Result<()> {
@@ -108,7 +110,7 @@ pub fn exec_index(
 
 /// Execute `modify`.
 pub fn exec_modify(
-    pager: &mut Pager,
+    pager: &Pager,
     catalog: &mut Catalog,
     m: &ast::Modify,
     hashfn: HashFn,
@@ -236,7 +238,7 @@ fn resolve_valid(
 /// Execute `append`. Supports both constant appends and computed appends
 /// whose assignment expressions range over other relations.
 pub fn exec_append(
-    pager: &mut Pager,
+    pager: &Pager,
     catalog: &mut Catalog,
     ranges: &HashMap<String, String>,
     now: TimeVal,
@@ -252,7 +254,11 @@ pub fn exec_append(
             rel.schema.kind(),
         )
     };
-    let binder = Binder { catalog, ranges, now };
+    let binder = Binder {
+        catalog,
+        ranges,
+        now,
+    };
 
     // Bind assignments to explicit attributes.
     let explicit_len = schema.explicit_attrs().len();
@@ -260,7 +266,10 @@ pub fn exec_append(
     let mut assigns: Vec<(usize, BExpr)> = Vec::new();
     for asg in &a.assignments {
         let idx = schema.index_of(&asg.attr).ok_or_else(|| {
-            Error::NoSuchAttribute(format!("{} (relation {})", asg.attr, a.rel))
+            Error::NoSuchAttribute(format!(
+                "{} (relation {})",
+                asg.attr, a.rel
+            ))
         })?;
         if idx >= explicit_len {
             return Err(Error::Semantic(format!(
@@ -354,7 +363,9 @@ pub fn exec_append(
         let has_valid_cols = bound.valid.is_some();
         for row in result.rows {
             let mut explicit: Vec<Value> = (0..explicit_len)
-                .map(|i| default_value(schema.domain_of(i).expect("explicit")))
+                .map(|i| {
+                    default_value(schema.domain_of(i).expect("explicit"))
+                })
                 .collect();
             for (k, (idx, _)) in assigns.iter().enumerate() {
                 explicit[*idx] = row[k].clone();
@@ -390,7 +401,8 @@ pub fn exec_append(
 /// transaction time and valid time.
 fn current_version_conjuncts(schema: &Schema) -> Vec<BExpr> {
     let mut out = Vec::new();
-    if let Some(idx) = schema.temporal_index(TemporalAttr::TransactionStop) {
+    if let Some(idx) = schema.temporal_index(TemporalAttr::TransactionStop)
+    {
         out.push(BExpr::Bin {
             op: ast::BinOp::Eq,
             lhs: Box::new(BExpr::Attr { var: 0, attr: idx }),
@@ -443,13 +455,17 @@ fn bind_dml_qual(
 
 /// Execute `delete`.
 pub fn exec_delete(
-    pager: &mut Pager,
+    pager: &Pager,
     catalog: &mut Catalog,
     ranges: &HashMap<String, String>,
     now: TimeVal,
     d: &ast::Delete,
 ) -> Result<usize> {
-    let binder = Binder { catalog, ranges, now };
+    let binder = Binder {
+        catalog,
+        ranges,
+        now,
+    };
     let (vars, mut where_conjuncts, when_conjuncts) =
         bind_dml_qual(&binder, &d.var, &d.where_clause, &d.when_clause)?;
     let id = vars[0].rel;
@@ -491,7 +507,11 @@ pub fn exec_delete(
                     "`valid` clause on a {class} relation"
                 )));
             }
-            let binder = Binder { catalog, ranges, now };
+            let binder = Binder {
+                catalog,
+                ranges,
+                now,
+            };
             let mut tvars = Vec::new();
             let bound = binder.bind_texpr(e, &mut tvars)?;
             if !tvars.is_empty() {
@@ -507,7 +527,11 @@ pub fn exec_delete(
     };
 
     where_conjuncts.extend(current_version_conjuncts(&schema));
-    let mut slot = Slot { schema: schema.clone(), codec: codec.clone(), row: None };
+    let mut slot = Slot {
+        schema: schema.clone(),
+        codec: codec.clone(),
+        row: None,
+    };
     let visible = class.has_transaction_time().then(|| Visibility::at(now));
     let (file, key_attr) = {
         let rel = catalog.get(id);
@@ -604,13 +628,17 @@ pub fn exec_delete(
 
 /// Execute `replace`.
 pub fn exec_replace(
-    pager: &mut Pager,
+    pager: &Pager,
     catalog: &mut Catalog,
     ranges: &HashMap<String, String>,
     now: TimeVal,
     r: &ast::Replace,
 ) -> Result<usize> {
-    let binder = Binder { catalog, ranges, now };
+    let binder = Binder {
+        catalog,
+        ranges,
+        now,
+    };
     let (mut vars, mut where_conjuncts, when_conjuncts) =
         bind_dml_qual(&binder, &r.var, &r.where_clause, &r.when_clause)?;
     let id = vars[0].rel;
@@ -630,7 +658,10 @@ pub fn exec_replace(
     let mut assigns: Vec<(usize, BExpr)> = Vec::new();
     for asg in &r.assignments {
         let idx = schema.index_of(&asg.attr).ok_or_else(|| {
-            Error::NoSuchAttribute(format!("{} (relation {})", asg.attr, r.var))
+            Error::NoSuchAttribute(format!(
+                "{} (relation {})",
+                asg.attr, r.var
+            ))
         })?;
         if idx >= explicit_len {
             return Err(Error::Semantic(format!(
@@ -654,8 +685,11 @@ pub fn exec_replace(
     }
 
     where_conjuncts.extend(current_version_conjuncts(&schema));
-    let mut slot =
-        Slot { schema: schema.clone(), codec: codec.clone(), row: None };
+    let mut slot = Slot {
+        schema: schema.clone(),
+        codec: codec.clone(),
+        row: None,
+    };
     let visible = class.has_transaction_time().then(|| Visibility::at(now));
     let (file, key_attr) = {
         let rel = catalog.get(id);
@@ -682,16 +716,19 @@ pub fn exec_replace(
         // Evaluate assignments against the old version.
         slot.row = Some(row.clone());
         let slots = std::slice::from_ref(&slot);
-        let mut new_explicit: Vec<Value> = (0..explicit_len)
-            .map(|i| codec.get(&row, i))
-            .collect();
+        let mut new_explicit: Vec<Value> =
+            (0..explicit_len).map(|i| codec.get(&row, i)).collect();
         for (idx, e) in &assigns {
             let d = schema.domain_of(*idx).expect("explicit");
             new_explicit[*idx] = narrow(d, &eval_expr(e, slots)?)?;
         }
         // The replacement's valid period.
         let new_valid = {
-            let binder = Binder { catalog, ranges, now };
+            let binder = Binder {
+                catalog,
+                ranges,
+                now,
+            };
             let mut vclone = vars.clone();
             resolve_valid(&binder, &r.valid, kind, &mut vclone, slots)?
         };

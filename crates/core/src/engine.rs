@@ -1,0 +1,327 @@
+//! The concurrent session engine: one shared [`Engine`] over a
+//! [`Database`], many per-thread [`Session`]s.
+//!
+//! ## Concurrency model
+//!
+//! The engine wraps the database in one `Arc<RwLock<_>>` — the
+//! *commit lock*. Statement classification decides which side of the
+//! lock a statement runs on:
+//!
+//! * **Read path** (shared lock, arbitrarily many threads at once):
+//!   single-variable `retrieve` without `into`, and `range`
+//!   declarations. These touch only the catalog read-only and the pager
+//!   (which has its own interior lock), so they are race-free: the
+//!   stores are append-only page files and the catalog cannot change
+//!   while any reader holds the shared lock.
+//! * **Write path** (exclusive lock, one thread at a time): everything
+//!   else — DML, DDL, `copy`, multi-variable retrieves (they
+//!   materialize decomposition temporaries), and `retrieve into`. In
+//!   durable mode the WAL commit happens inside the exclusive section,
+//!   so commits are serialized per statement exactly as in
+//!   single-threaded operation and recovery invariants carry over
+//!   unchanged.
+//!
+//! Lock order is fixed: the engine's RwLock is always taken before any
+//! pager-internal lock, and never the other way around, so the pair
+//! cannot deadlock.
+//!
+//! Each [`Session`] owns its *range table* (TQuel `range of e is emp`
+//! is session state, like a cursor), so two sessions can bind the same
+//! variable name to different relations. On the write path the
+//! session's ranges are swapped into the database for the duration of
+//! the statement, which also lets `destroy` prune only the executing
+//! session's bindings.
+//!
+//! ## Statement statistics under concurrency
+//!
+//! The single-threaded [`Database`] resets the global I/O counters
+//! before each statement. Readers running in parallel cannot do that
+//! without clobbering each other, so the read path reports *deltas* of
+//! the (atomic, monotone) global counters instead. Within one session
+//! the numbers are exact when it runs alone; while neighbors run, a
+//! reader's per-statement delta may include their I/O. Aggregate totals
+//! across all sessions are always exact — that invariant is what the
+//! concurrency stress suite asserts.
+
+use crate::binder::Binder;
+use crate::db::{Database, ExecOutput};
+use crate::exec::{exec_retrieve_readonly, QueryStats};
+use std::collections::HashMap;
+use std::sync::{
+    Arc, PoisonError, RwLock, RwLockReadGuard, RwLockWriteGuard,
+};
+use tdbms_kernel::Result;
+use tdbms_tquel::ast::Statement;
+
+/// A shared, thread-safe handle over one database. Clone it (cheap) and
+/// hand one clone per thread; open a [`Session`] on each.
+#[derive(Clone)]
+pub struct Engine {
+    shared: Arc<RwLock<Database>>,
+}
+
+impl Engine {
+    /// Wrap a database for shared use.
+    pub fn new(db: Database) -> Self {
+        Engine {
+            shared: Arc::new(RwLock::new(db)),
+        }
+    }
+
+    /// Open a new session (its own range table, no other state).
+    pub fn session(&self) -> Session {
+        Session {
+            engine: self.clone(),
+            ranges: HashMap::new(),
+        }
+    }
+
+    /// Run `f` under the shared lock (concurrent with other readers).
+    pub fn with_read<R>(&self, f: impl FnOnce(&Database) -> R) -> R {
+        f(&self.read())
+    }
+
+    /// Run `f` under the exclusive lock.
+    pub fn with_write<R>(&self, f: impl FnOnce(&mut Database) -> R) -> R {
+        f(&mut self.write())
+    }
+
+    /// Unwrap back into the database, if this is the last handle.
+    pub fn try_into_database(
+        self,
+    ) -> std::result::Result<Database, Engine> {
+        Arc::try_unwrap(self.shared)
+            .map(|l| l.into_inner().unwrap_or_else(PoisonError::into_inner))
+            .map_err(|shared| Engine { shared })
+    }
+
+    fn read(&self) -> RwLockReadGuard<'_, Database> {
+        self.shared.read().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    fn write(&self) -> RwLockWriteGuard<'_, Database> {
+        self.shared.write().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+/// One thread's connection to a shared [`Engine`]. Owns the TQuel range
+/// table; everything else lives in the engine.
+pub struct Session {
+    engine: Engine,
+    ranges: HashMap<String, String>,
+}
+
+impl Session {
+    /// The engine this session runs against.
+    pub fn engine(&self) -> &Engine {
+        &self.engine
+    }
+
+    /// Execute a TQuel program; returns the output of the **last**
+    /// statement.
+    pub fn execute(&mut self, src: &str) -> Result<ExecOutput> {
+        let mut last = ExecOutput::default();
+        for out in self.execute_all(src)? {
+            last = out;
+        }
+        Ok(last)
+    }
+
+    /// Execute a TQuel program; returns every statement's output.
+    pub fn execute_all(&mut self, src: &str) -> Result<Vec<ExecOutput>> {
+        let stmts = tdbms_tquel::parse_program(src)?;
+        if stmts.is_empty() {
+            return Err(tdbms_kernel::Error::Semantic(
+                "empty program".into(),
+            ));
+        }
+        stmts.iter().map(|s| self.execute_statement(s)).collect()
+    }
+
+    /// Execute one parsed statement, classified onto the read or write
+    /// side of the commit lock.
+    pub fn execute_statement(
+        &mut self,
+        stmt: &Statement,
+    ) -> Result<ExecOutput> {
+        match stmt {
+            Statement::Range { var, rel } => {
+                self.engine.with_read(|db| db.catalog().require(rel))?;
+                self.ranges.insert(var.clone(), rel.clone());
+                Ok(ExecOutput::default())
+            }
+            Statement::Retrieve(r) if r.into.is_none() => {
+                if let Some(out) = self.try_execute_read(r)? {
+                    return Ok(out);
+                }
+                // Multi-variable: decomposition materializes temporaries,
+                // so it needs the exclusive side.
+                self.execute_write(stmt)
+            }
+            _ => self.execute_write(stmt),
+        }
+    }
+
+    /// Attempt the statement under the shared lock. Returns `Ok(None)`
+    /// when the retrieve turns out to be multi-variable and must be
+    /// re-run exclusively.
+    fn try_execute_read(
+        &mut self,
+        r: &tdbms_tquel::ast::Retrieve,
+    ) -> Result<Option<ExecOutput>> {
+        let db = self.engine.read();
+        let now = db.clock().tick();
+        let bound = {
+            let binder = Binder {
+                catalog: db.catalog(),
+                ranges: &self.ranges,
+                now,
+            };
+            binder.bind_retrieve(r)?
+        };
+        if bound.vars.len() >= 2 {
+            return Ok(None);
+        }
+        if db.cold_statements() {
+            db.pager().invalidate_buffers()?;
+        }
+        // No reset_stats here: counters are global and other readers may
+        // be mid-statement. Report monotone-counter deltas instead.
+        let before = snapshot(db.io_stats());
+        let result =
+            exec_retrieve_readonly(db.pager(), db.catalog(), &bound)?;
+        let after = snapshot(db.io_stats());
+        Ok(Some(ExecOutput {
+            affected: result.rows.len(),
+            columns: result.columns,
+            rows: result.rows,
+            stats: QueryStats {
+                input_pages: after.0.saturating_sub(before.0),
+                output_pages: after.1.saturating_sub(before.1),
+                buffer_hits: after.2.saturating_sub(before.2),
+                evictions: after.3.saturating_sub(before.3),
+                phases: Vec::new(),
+            },
+        }))
+    }
+
+    /// Execute under the exclusive lock via the single-threaded engine,
+    /// with this session's ranges swapped in.
+    fn execute_write(&mut self, stmt: &Statement) -> Result<ExecOutput> {
+        let mut db = self.engine.write();
+        std::mem::swap(db.ranges_mut(), &mut self.ranges);
+        let out = db.execute_statement(stmt);
+        std::mem::swap(db.ranges_mut(), &mut self.ranges);
+        out
+    }
+}
+
+fn snapshot(stats: &tdbms_storage::IoStats) -> (u64, u64, u64, u64) {
+    (
+        stats.total_reads(),
+        stats.total_writes(),
+        stats.total_hits(),
+        stats.total_evictions(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    fn seeded_db() -> Database {
+        let mut db = Database::in_memory();
+        db.set_cold_statements(false);
+        db.execute(
+            "create temporal interval emp (name = c20, salary = i4)",
+        )
+        .unwrap();
+        for i in 0..32 {
+            db.execute(&format!(
+                r#"append to emp (name = "e{i}", salary = {})"#,
+                1000 + i
+            ))
+            .unwrap();
+        }
+        db
+    }
+
+    #[test]
+    fn engine_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Engine>();
+        assert_send_sync::<Session>();
+    }
+
+    #[test]
+    fn session_matches_database_results() {
+        let mut db = seeded_db();
+        let want = db
+            .execute("range of e is emp\nretrieve (e.name, e.salary) where e.salary > 1010")
+            .unwrap();
+        let engine = Engine::new(seeded_db());
+        let mut s = engine.session();
+        let got = s
+            .execute("range of e is emp\nretrieve (e.name, e.salary) where e.salary > 1010")
+            .unwrap();
+        assert_eq!(want.rows(), got.rows());
+        assert_eq!(want.columns, got.columns);
+        assert_eq!(want.affected, got.affected);
+    }
+
+    #[test]
+    fn sessions_have_independent_range_tables() {
+        let engine = Engine::new(seeded_db());
+        engine.with_write(|db| {
+            db.execute("create static dept (dname = c20)").unwrap();
+            db.execute(r#"append to dept (dname = "eng")"#).unwrap();
+        });
+        let mut a = engine.session();
+        let mut b = engine.session();
+        a.execute("range of x is emp").unwrap();
+        b.execute("range of x is dept").unwrap();
+        let ra = a.execute("retrieve (x.name)").unwrap();
+        let rb = b.execute("retrieve (x.dname)").unwrap();
+        assert_eq!(ra.affected, 32);
+        assert_eq!(rb.affected, 1);
+    }
+
+    #[test]
+    fn parallel_readers_and_writers_stay_consistent() {
+        let engine = Engine::new(seeded_db());
+        let hits = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            for t in 0..4 {
+                let engine = engine.clone();
+                let hits = &hits;
+                scope.spawn(move || {
+                    let mut s = engine.session();
+                    s.execute("range of e is emp").unwrap();
+                    for i in 0..16 {
+                        if t == 0 && i % 4 == 0 {
+                            s.execute(&format!(
+                                r#"append to emp (name = "w{i}", salary = 1)"#
+                            ))
+                            .unwrap();
+                        } else {
+                            let out = s
+                                .execute("retrieve (e.salary) where e.salary > 1000")
+                                .unwrap();
+                            hits.fetch_add(out.affected, Ordering::Relaxed);
+                        }
+                    }
+                });
+            }
+        });
+        assert!(hits.load(Ordering::Relaxed) > 0);
+        // Accounting survived the contention.
+        engine.with_read(|db| assert!(db.io_stats().is_consistent()));
+        // The writes all landed.
+        let mut s = engine.session();
+        s.execute("range of e is emp").unwrap();
+        let out =
+            s.execute("retrieve (e.name) where e.salary = 1").unwrap();
+        assert_eq!(out.affected, 4);
+    }
+}

@@ -94,9 +94,7 @@ pub fn eval_expr(e: &BExpr, slots: &[Slot]) -> Result<Value> {
         BExpr::Neg(x) => match eval_expr(x, slots)? {
             Value::Int(i) => Ok(Value::Int(-i)),
             Value::Float(f) => Ok(Value::Float(-f)),
-            other => {
-                Err(Error::BadValue(format!("cannot negate {other}")))
-            }
+            other => Err(Error::BadValue(format!("cannot negate {other}"))),
         },
         BExpr::Not(x) => {
             Ok(Value::Int(!truthy(&eval_expr(x, slots)?)? as i64))
@@ -113,7 +111,9 @@ fn arith(op: BinOp, l: &Value, r: &Value) -> Result<Value> {
                 BinOp::Mul => a.checked_mul(*b),
                 BinOp::Div => {
                     if *b == 0 {
-                        return Err(Error::BadValue("division by zero".into()));
+                        return Err(Error::BadValue(
+                            "division by zero".into(),
+                        ));
                     }
                     a.checked_div(*b)
                 }
@@ -126,7 +126,9 @@ fn arith(op: BinOp, l: &Value, r: &Value) -> Result<Value> {
                 _ => unreachable!("arith called with non-arith op"),
             };
             v.map(Value::Int).ok_or_else(|| {
-                Error::BadValue(format!("integer overflow in {a} {op:?} {b}"))
+                Error::BadValue(format!(
+                    "integer overflow in {a} {op:?} {b}"
+                ))
             })
         }
         _ => {
@@ -144,7 +146,9 @@ fn arith(op: BinOp, l: &Value, r: &Value) -> Result<Value> {
                 BinOp::Mul => a * b,
                 BinOp::Div => {
                     if b == 0.0 {
-                        return Err(Error::BadValue("division by zero".into()));
+                        return Err(Error::BadValue(
+                            "division by zero".into(),
+                        ));
                     }
                     a / b
                 }
@@ -170,11 +174,14 @@ pub fn eval_texpr(e: &BTExpr, slots: &[Slot]) -> Result<TInterval> {
     match e {
         BTExpr::Span(v) => {
             let slot = &slots[*v];
-            row_span(&slot.schema, &slot.codec, slot.row()?).ok_or_else(|| {
-                Error::Internal(
-                    "valid-time span requested of a schema without one".into(),
-                )
-            })
+            row_span(&slot.schema, &slot.codec, slot.row()?).ok_or_else(
+                || {
+                    Error::Internal(
+                        "valid-time span requested of a schema without one"
+                            .into(),
+                    )
+                },
+            )
         }
         BTExpr::Const(iv) => Ok(*iv),
         BTExpr::Start(x) => Ok(eval_texpr(x, slots)?.start()),
@@ -200,9 +207,7 @@ pub fn eval_tpred(p: &BTPred, slots: &[Slot]) -> Result<bool> {
         BTPred::Equal(a, b) => {
             eval_texpr(a, slots)?.equals(&eval_texpr(b, slots)?)
         }
-        BTPred::And(a, b) => {
-            eval_tpred(a, slots)? && eval_tpred(b, slots)?
-        }
+        BTPred::And(a, b) => eval_tpred(a, slots)? && eval_tpred(b, slots)?,
         BTPred::Or(a, b) => eval_tpred(a, slots)? || eval_tpred(b, slots)?,
         BTPred::Not(x) => !eval_tpred(x, slots)?,
         BTPred::Coexist(vs) => {
@@ -245,7 +250,11 @@ mod tests {
                 Value::Time(TimeVal::from_secs(to)),
             ])
             .unwrap();
-        Slot { schema, codec, row: Some(row) }
+        Slot {
+            schema,
+            codec,
+            row: Some(row),
+        }
     }
 
     #[test]

@@ -54,7 +54,10 @@ impl QueryStats {
     /// The aggregate I/O of every recorded phase named `name` (all-zero
     /// if the phase never ran).
     pub fn scoped(&self, name: &str) -> PhaseIo {
-        let mut out = PhaseIo { name: name.to_string(), ..Default::default() };
+        let mut out = PhaseIo {
+            name: name.to_string(),
+            ..Default::default()
+        };
         for p in self.phases.iter().filter(|p| p.name == name) {
             out.reads += p.reads;
             out.writes += p.writes;
@@ -85,11 +88,59 @@ struct VarRt {
 
 /// Execute a bound retrieve. Returns the result rows; the caller reads the
 /// pager's [`tdbms_storage::IoStats`] for costs and handles `into`.
+///
+/// Single-variable retrieves never decompose, so they take the read-only
+/// path; multi-variable retrieves materialize projection temporaries and
+/// need the catalog mutably.
 pub fn exec_retrieve(
-    pager: &mut Pager,
+    pager: &Pager,
     catalog: &mut Catalog,
     bound: &BoundRetrieve,
 ) -> Result<RetrieveResult> {
+    if bound.vars.len() < 2 {
+        return exec_retrieve_readonly(pager, catalog, bound);
+    }
+    let mut p = prepare(catalog, bound);
+    decompose(pager, catalog, &mut p)?;
+    let temps: Vec<RelId> = p.rts.iter().filter_map(|rt| rt.temp).collect();
+    let result = run_joins(pager, p)?;
+    // Drop the decomposition temporaries (CPU-only aggregation and sorting
+    // have already run, so the statement's I/O sequence is unchanged).
+    for id in temps {
+        catalog.destroy(pager, id)?;
+    }
+    Ok(result)
+}
+
+/// Execute a bound **single-variable** retrieve without mutating anything
+/// but the buffer pool: no decomposition, no temporaries, catalog taken by
+/// shared reference. This is the statement shape the concurrent engine
+/// runs under its read lock.
+pub fn exec_retrieve_readonly(
+    pager: &Pager,
+    catalog: &Catalog,
+    bound: &BoundRetrieve,
+) -> Result<RetrieveResult> {
+    if bound.vars.len() >= 2 {
+        return Err(Error::Internal(
+            "read-only execution requires a single-variable retrieve"
+                .into(),
+        ));
+    }
+    run_joins(pager, prepare(catalog, bound))
+}
+
+/// Everything the join phases need, derived from the bound retrieve with
+/// only shared catalog access.
+struct Prepared {
+    b: BoundRetrieve,
+    slots: Vec<Slot>,
+    rts: Vec<VarRt>,
+    where_cj: Vec<(BExpr, Vec<usize>)>,
+    when_cj: Vec<(BTPred, Vec<usize>)>,
+}
+
+fn prepare(catalog: &Catalog, bound: &BoundRetrieve) -> Prepared {
     let mut b = bound.clone();
     let nvars = b.vars.len();
 
@@ -116,7 +167,7 @@ pub fn exec_retrieve(
     }
 
     // Cache each conjunct's variable set.
-    let mut where_cj: Vec<(BExpr, Vec<usize>)> = b
+    let where_cj: Vec<(BExpr, Vec<usize>)> = b
         .where_conjuncts
         .drain(..)
         .map(|c| {
@@ -125,7 +176,7 @@ pub fn exec_retrieve(
             (c, vs)
         })
         .collect();
-    let mut when_cj: Vec<(BTPred, Vec<usize>)> = b
+    let when_cj: Vec<(BTPred, Vec<usize>)> = b
         .when_conjuncts
         .drain(..)
         .map(|c| {
@@ -135,8 +186,32 @@ pub fn exec_retrieve(
         })
         .collect();
 
-    // ---- Phase 1: one-variable detachment ------------------------------
-    if nvars >= 2 {
+    Prepared {
+        b,
+        slots,
+        rts,
+        where_cj,
+        when_cj,
+    }
+}
+
+/// Phase 1: one-variable detachment. Materializes each detachable
+/// variable's projection into a temporary (recorded in `rts[v].temp`) and
+/// rewrites the plan in place.
+fn decompose(
+    pager: &Pager,
+    catalog: &mut Catalog,
+    p: &mut Prepared,
+) -> Result<()> {
+    let Prepared {
+        b,
+        slots,
+        rts,
+        where_cj,
+        when_cj,
+    } = p;
+    let nvars = b.vars.len();
+    {
         pager.begin_phase("decomposition");
         for v in 0..nvars {
             let has_own = where_cj.iter().any(|(_, vs)| vs == &[v])
@@ -150,7 +225,7 @@ pub fn exec_retrieve(
             for t in &b.targets {
                 t.expr.collect_attrs(&mut refs);
             }
-            for (c, vs) in &where_cj {
+            for (c, vs) in where_cj.iter() {
                 if vs != &[v] {
                     c.collect_attrs(&mut refs);
                 }
@@ -251,7 +326,7 @@ pub fn exec_retrieve(
                 let src_arity_map = map.clone();
                 ovqp(
                     pager,
-                    &mut slots,
+                    slots,
                     &rts[v],
                     v,
                     &my_where,
@@ -290,7 +365,7 @@ pub fn exec_retrieve(
             for t in &mut b.targets {
                 t.expr.remap_attrs(v, &map);
             }
-            for (c, _) in &mut where_cj {
+            for (c, _) in where_cj.iter_mut() {
                 c.remap_attrs(v, &map);
             }
         }
@@ -300,6 +375,21 @@ pub fn exec_retrieve(
         pager.invalidate_buffers()?;
         pager.end_phase();
     }
+    Ok(())
+}
+
+/// Phases 2–4: variable ordering, conjunct leveling, nested-iteration
+/// substitution, then aggregation and sorting. Needs no catalog access at
+/// all — by this point every variable is a resolved [`RelFile`].
+fn run_joins(pager: &Pager, p: Prepared) -> Result<RetrieveResult> {
+    let Prepared {
+        b,
+        mut slots,
+        rts,
+        where_cj,
+        when_cj,
+    } = p;
+    let nvars = b.vars.len();
 
     // ---- Phase 2: variable ordering ------------------------------------
     // Variables that become keyed-accessible through a join conjunct go
@@ -307,7 +397,8 @@ pub fn exec_retrieve(
     let is_keyed_join = |v: usize| -> bool {
         rts[v].key_attr.is_some()
             && where_cj.iter().any(|(c, vs)| {
-                vs.contains(&v) && key_probe_shape(c, v, rts[v].key_attr).is_some()
+                vs.contains(&v)
+                    && key_probe_shape(c, v, rts[v].key_attr).is_some()
             })
     };
     let mut order: Vec<usize> = (0..nvars).collect();
@@ -386,13 +477,6 @@ pub fn exec_retrieve(
         pager.end_phase();
     }
 
-    // Drop the temporaries.
-    for rt in &rts {
-        if let Some(id) = rt.temp {
-            catalog.destroy(pager, id)?;
-        }
-    }
-
     // Aggregation pass: group by the non-aggregate targets and fold the
     // aggregate columns (the rows currently hold each aggregate's raw
     // argument value).
@@ -435,20 +519,21 @@ fn aggregate_rows(
         .map(|(i, _)| i)
         .collect();
 
-    let cmp_keys = |a: &Vec<Value>, b: &Vec<Value>| -> Result<std::cmp::Ordering> {
-        for &i in &key_idx {
-            let ord = a[i].compare(&b[i]).ok_or_else(|| {
-                Error::BadValue(format!(
-                    "cannot group by incomparable values {} / {}",
-                    a[i], b[i]
-                ))
-            })?;
-            if ord != std::cmp::Ordering::Equal {
-                return Ok(ord);
+    let cmp_keys =
+        |a: &Vec<Value>, b: &Vec<Value>| -> Result<std::cmp::Ordering> {
+            for &i in &key_idx {
+                let ord = a[i].compare(&b[i]).ok_or_else(|| {
+                    Error::BadValue(format!(
+                        "cannot group by incomparable values {} / {}",
+                        a[i], b[i]
+                    ))
+                })?;
+                if ord != std::cmp::Ordering::Equal {
+                    return Ok(ord);
+                }
             }
-        }
-        Ok(std::cmp::Ordering::Equal)
-    };
+            Ok(std::cmp::Ordering::Equal)
+        };
     // Sort; comparison errors surface afterwards via the run folding.
     rows.sort_by(|a, b| {
         cmp_keys(a, b).unwrap_or(std::cmp::Ordering::Equal)
@@ -540,7 +625,11 @@ fn fold_sum(group: &[Vec<Value>], k: usize) -> Result<Value> {
     })
 }
 
-fn fold_extreme(group: &[Vec<Value>], k: usize, min: bool) -> Result<Value> {
+fn fold_extreme(
+    group: &[Vec<Value>],
+    k: usize,
+    min: bool,
+) -> Result<Value> {
     let mut best = group[0][k].clone();
     for row in &group[1..] {
         let ord = row[k].compare(&best).ok_or_else(|| {
@@ -566,7 +655,12 @@ fn key_probe_shape(
     key_attr: Option<usize>,
 ) -> Option<&BExpr> {
     let key = key_attr?;
-    let BExpr::Bin { op: BinOp::Eq, lhs, rhs } = c else {
+    let BExpr::Bin {
+        op: BinOp::Eq,
+        lhs,
+        rhs,
+    } = c
+    else {
         return None;
     };
     match (&**lhs, &**rhs) {
@@ -593,7 +687,9 @@ fn encode_key(domain: Domain, v: &Value) -> Option<Vec<u8>> {
         (Domain::I2, Value::Int(i)) => {
             Some(i16::try_from(*i).ok()?.to_le_bytes().to_vec())
         }
-        (Domain::I1, Value::Int(i)) => Some(vec![i8::try_from(*i).ok()? as u8]),
+        (Domain::I1, Value::Int(i)) => {
+            Some(vec![i8::try_from(*i).ok()? as u8])
+        }
         (Domain::Time, Value::Time(t)) => {
             Some(t.as_secs().to_le_bytes().to_vec())
         }
@@ -610,7 +706,11 @@ fn encode_key(domain: Domain, v: &Value) -> Option<Vec<u8>> {
 }
 
 /// Visibility gate for one candidate row of variable `v`.
-fn version_visible(slot: &Slot, vis: Option<Visibility>, row: &[u8]) -> bool {
+fn version_visible(
+    slot: &Slot,
+    vis: Option<Visibility>,
+    row: &[u8],
+) -> bool {
     match vis {
         None => true,
         Some(vis) => match row_tx_period(&slot.schema, &slot.codec, row) {
@@ -625,13 +725,13 @@ fn version_visible(slot: &Slot, vis: Option<Visibility>, row: &[u8]) -> bool {
 /// conjuncts, and call `emit` for each qualifying version (bound into
 /// `slots[v]`).
 fn ovqp(
-    pager: &mut Pager,
+    pager: &Pager,
     slots: &mut [Slot],
     rt: &VarRt,
     v: usize,
     where_conjuncts: &[BExpr],
     when_conjuncts: &[BTPred],
-    mut emit: impl FnMut(&mut [Slot], &mut Pager) -> Result<()>,
+    mut emit: impl FnMut(&mut [Slot], &Pager) -> Result<()>,
 ) -> Result<()> {
     // Access-path selection: a key-equality conjunct evaluable without
     // `v` enables keyed access.
@@ -643,10 +743,10 @@ fn ovqp(
                 probe.collect_vars(&mut pv);
                 if pv.iter().all(|&x| slots[x].row.is_some()) {
                     let val = eval_expr(probe, slots)?;
-                    let domain = slots[v]
-                        .schema
-                        .domain_of(key)
-                        .ok_or_else(|| Error::Internal("bad key attr".into()))?;
+                    let domain =
+                        slots[v].schema.domain_of(key).ok_or_else(
+                            || Error::Internal("bad key attr".into()),
+                        )?;
                     if let Some(bytes) = encode_key(domain, &val) {
                         probe_key = Some(bytes);
                         break;
@@ -669,12 +769,10 @@ fn ovqp(
                     probe.collect_vars(&mut pv);
                     if pv.iter().all(|&x| slots[x].row.is_some()) {
                         let val = eval_expr(probe, slots)?;
-                        let domain = slots[v]
-                            .schema
-                            .domain_of(ix.attr)
-                            .ok_or_else(|| {
-                                Error::Internal("bad index attr".into())
-                            })?;
+                        let domain =
+                            slots[v].schema.domain_of(ix.attr).ok_or_else(
+                                || Error::Internal("bad index attr".into()),
+                            )?;
                         if let Some(bytes) = encode_key(domain, &val) {
                             index_tids =
                                 Some(ix.index.lookup_tids(pager, &bytes)?);
@@ -729,11 +827,15 @@ fn ovqp(
             Cur::Lookup => {
                 lookup.as_mut().expect("lookup mode").next(pager, &file)?
             }
-            Cur::Scan => scan.as_mut().expect("scan mode").next(pager, &file)?,
-            Cur::Tids => match tids_iter.as_mut().expect("tids mode").next() {
-                Some(tid) => Some((tid, file.get(pager, tid)?)),
-                None => None,
-            },
+            Cur::Scan => {
+                scan.as_mut().expect("scan mode").next(pager, &file)?
+            }
+            Cur::Tids => {
+                match tids_iter.as_mut().expect("tids mode").next() {
+                    Some(tid) => Some((tid, file.get(pager, tid)?)),
+                    None => None,
+                }
+            }
         };
         let Some((_tid, row)) = next else { break };
         if !version_visible(&slots[v], rt.visible, &row) {
@@ -766,7 +868,7 @@ fn ovqp(
 /// One level of the tuple-substitution join.
 #[allow(clippy::too_many_arguments)]
 fn join_level(
-    pager: &mut Pager,
+    pager: &Pager,
     slots: &mut [Slot],
     rts: &[VarRt],
     order: &[usize],
@@ -821,7 +923,7 @@ fn join_level(
 /// access-path selection as the query processor, but also reports each
 /// qualifying version's address.
 pub(crate) fn collect_matching(
-    pager: &mut Pager,
+    pager: &Pager,
     slot: &mut Slot,
     file: &RelFile,
     key_attr: Option<usize>,
@@ -838,10 +940,10 @@ pub(crate) fn collect_matching(
                 probe.collect_vars(&mut pv);
                 if pv.is_empty() {
                     let val = eval_expr(probe, &[])?;
-                    let domain = slot
-                        .schema
-                        .domain_of(key)
-                        .ok_or_else(|| Error::Internal("bad key attr".into()))?;
+                    let domain =
+                        slot.schema.domain_of(key).ok_or_else(|| {
+                            Error::Internal("bad key attr".into())
+                        })?;
                     if let Some(bytes) = encode_key(domain, &val) {
                         probe_key = Some(bytes);
                         break;
@@ -855,7 +957,11 @@ pub(crate) fn collect_matching(
         Some(key) => file.lookup_eq(pager, key)?,
         None => None,
     };
-    let mut scan = if lookup.is_none() { Some(file.scan()) } else { None };
+    let mut scan = if lookup.is_none() {
+        Some(file.scan())
+    } else {
+        None
+    };
 
     let mut out = Vec::new();
     loop {

@@ -61,12 +61,18 @@ impl TInterval {
 
     /// `a overlap b` as a constructor: the intersection (possibly empty).
     pub fn intersect(&self, other: &TInterval) -> TInterval {
-        TInterval { lo: self.lo.max(other.lo), hi: self.hi.min(other.hi) }
+        TInterval {
+            lo: self.lo.max(other.lo),
+            hi: self.hi.min(other.hi),
+        }
     }
 
     /// `a extend b` as a constructor: the smallest covering interval.
     pub fn span(&self, other: &TInterval) -> TInterval {
-        TInterval { lo: self.lo.min(other.lo), hi: self.hi.max(other.hi) }
+        TInterval {
+            lo: self.lo.min(other.lo),
+            hi: self.hi.max(other.hi),
+        }
     }
 
     /// The `overlap` predicate.

@@ -29,12 +29,16 @@ pub mod bound;
 pub mod copy;
 pub mod db;
 pub mod dml;
+pub mod engine;
 pub mod eval;
 pub mod exec;
 pub mod interval;
 
 pub use db::{Database, ExecOutput, RelationMeta, SCRUB_FILE, WAL_FILE};
-pub use tdbms_wal::CheckpointPolicy;
+pub use engine::{Engine, Session};
 pub use exec::QueryStats;
 pub use interval::TInterval;
-pub use tdbms_storage::{AccessMethod, BufferConfig, EvictionPolicy, PhaseIo};
+pub use tdbms_storage::{
+    AccessMethod, BufferConfig, EvictionPolicy, PhaseIo,
+};
+pub use tdbms_wal::CheckpointPolicy;

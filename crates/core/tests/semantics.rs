@@ -7,11 +7,17 @@ fn ints(out: &tdbms_core::ExecOutput, col: &str) -> Vec<i64> {
     let idx = out.column_index(col).unwrap_or_else(|| {
         panic!(
             "no column {col}; have {:?}",
-            out.columns.iter().map(|(n, _)| n.clone()).collect::<Vec<_>>()
+            out.columns
+                .iter()
+                .map(|(n, _)| n.clone())
+                .collect::<Vec<_>>()
         )
     });
-    let mut v: Vec<i64> =
-        out.rows().iter().map(|r| r[idx].as_int().unwrap()).collect();
+    let mut v: Vec<i64> = out
+        .rows()
+        .iter()
+        .map(|r| r[idx].as_int().unwrap())
+        .collect();
     v.sort_unstable();
     v
 }
@@ -124,11 +130,13 @@ fn historical_relations_answer_when_queries() {
 #[test]
 fn historical_delete_closes_the_valid_period() {
     let mut db = Database::in_memory();
-    db.execute("create historical interval h (id = i4)").unwrap();
+    db.execute("create historical interval h (id = i4)")
+        .unwrap();
     db.execute(r#"append to h (id = 7) valid from "1980" to "forever""#)
         .unwrap();
     db.execute("range of v is h").unwrap();
-    db.execute(r#"delete v valid at "1985" where v.id = 7"#).unwrap_err();
+    db.execute(r#"delete v valid at "1985" where v.id = 7"#)
+        .unwrap_err();
     // interval relations use from..to syntax for the deletion instant
     db.execute(r#"delete v valid from "1985" to "forever" where v.id = 7"#)
         .unwrap();
@@ -147,7 +155,8 @@ fn historical_delete_closes_the_valid_period() {
 #[test]
 fn temporal_replace_inserts_two_versions() {
     let mut db = Database::in_memory();
-    db.execute("create temporal interval t (id = i4, x = i4)").unwrap();
+    db.execute("create temporal interval t (id = i4, x = i4)")
+        .unwrap();
     db.execute("append to t (id = 1, x = 10)").unwrap();
     db.execute("range of v is t").unwrap();
     db.execute("replace v (x = 11) where v.id = 1").unwrap();
@@ -261,7 +270,8 @@ fn join_via_tuple_substitution() {
         db.execute(&format!("append to b (id = {i}, y = {})", i % 5))
             .unwrap();
     }
-    db.execute("modify a to hash on id where fillfactor = 100").unwrap();
+    db.execute("modify a to hash on id where fillfactor = 100")
+        .unwrap();
     db.execute("range of p is a").unwrap();
     db.execute("range of q is b").unwrap();
     let out = db
@@ -275,7 +285,8 @@ fn join_via_tuple_substitution() {
 #[test]
 fn retrieve_into_materializes_a_relation() {
     let mut db = Database::in_memory();
-    db.execute("create historical interval src (id = i4)").unwrap();
+    db.execute("create historical interval src (id = i4)")
+        .unwrap();
     for i in 1..=5 {
         db.execute(&format!(
             r#"append to src (id = {i}) valid from "198{i}" to "forever""#
@@ -283,7 +294,8 @@ fn retrieve_into_materializes_a_relation() {
         .unwrap();
     }
     db.execute("range of s is src").unwrap();
-    db.execute("retrieve into snap (s.id) where s.id < 3").unwrap();
+    db.execute("retrieve into snap (s.id) where s.id < 3")
+        .unwrap();
     let meta = db.relation_meta("snap").unwrap();
     assert_eq!(meta.class, DatabaseClass::Historical);
     assert_eq!(meta.tuple_count, 2);
@@ -300,14 +312,17 @@ fn retrieve_into_materializes_a_relation() {
 fn computed_append_copies_between_relations() {
     let mut db = Database::in_memory();
     db.execute("create static src (id = i4, x = i4)").unwrap();
-    db.execute("create static dst (id = i4, doubled = i4)").unwrap();
+    db.execute("create static dst (id = i4, doubled = i4)")
+        .unwrap();
     for i in 1..=4 {
         db.execute(&format!("append to src (id = {i}, x = {})", i * 3))
             .unwrap();
     }
     db.execute("range of s is src").unwrap();
     let out = db
-        .execute("append to dst (id = s.id, doubled = s.x * 2) where s.x > 3")
+        .execute(
+            "append to dst (id = s.id, doubled = s.x * 2) where s.x > 3",
+        )
         .unwrap();
     assert_eq!(out.affected, 3);
     db.execute("range of d is dst").unwrap();
@@ -318,7 +333,8 @@ fn computed_append_copies_between_relations() {
 #[test]
 fn event_relations_use_valid_at() {
     let mut db = Database::in_memory();
-    db.execute("create historical event ev (what = c16)").unwrap();
+    db.execute("create historical event ev (what = c16)")
+        .unwrap();
     db.execute(r#"append to ev (what = "launch") valid at "1/5/80""#)
         .unwrap();
     db.execute(r#"append to ev (what = "landing") valid at "2/9/80""#)
@@ -339,7 +355,8 @@ fn event_relations_use_valid_at() {
 fn clause_applicability_is_enforced() {
     let mut db = Database::in_memory();
     db.execute("create static s (id = i4)").unwrap();
-    db.execute("create historical interval h (id = i4)").unwrap();
+    db.execute("create historical interval h (id = i4)")
+        .unwrap();
     db.execute("create rollback r (id = i4)").unwrap();
     db.execute("range of s is s").unwrap();
     db.execute("range of h is h").unwrap();
@@ -371,18 +388,23 @@ fn copy_roundtrips_history() {
     let path_str = path.to_str().unwrap();
 
     let mut db = Database::in_memory();
-    db.execute("create temporal interval t (id = i4, note = c24)").unwrap();
-    db.execute(r#"append to t (id = 1, note = "has, comma")"#).unwrap();
+    db.execute("create temporal interval t (id = i4, note = c24)")
+        .unwrap();
+    db.execute(r#"append to t (id = 1, note = "has, comma")"#)
+        .unwrap();
     db.execute("range of v is t").unwrap();
-    db.execute(r#"replace v (note = "second") where v.id = 1"#).unwrap();
+    db.execute(r#"replace v (note = "second") where v.id = 1"#)
+        .unwrap();
     db.execute(&format!(r#"copy t into "{path_str}""#)).unwrap();
 
     let mut db2 = Database::in_memory();
     // Align db2's transaction clock past everything db1 recorded, so the
     // reloaded history is wholly in db2's past.
     db2.clock().advance_to(db.clock().now());
-    db2.execute("create temporal interval t (id = i4, note = c24)").unwrap();
-    db2.execute(&format!(r#"copy t from "{path_str}""#)).unwrap();
+    db2.execute("create temporal interval t (id = i4, note = c24)")
+        .unwrap();
+    db2.execute(&format!(r#"copy t from "{path_str}""#))
+        .unwrap();
     assert_eq!(db2.relation_meta("t").unwrap().tuple_count, 3);
     db2.execute("range of v is t").unwrap();
     let out = db2
@@ -396,14 +418,17 @@ fn copy_roundtrips_history() {
 #[test]
 fn modify_preserves_version_history() {
     let mut db = Database::in_memory();
-    db.execute("create temporal interval t (id = i4, x = i4)").unwrap();
+    db.execute("create temporal interval t (id = i4, x = i4)")
+        .unwrap();
     for i in 1..=10 {
-        db.execute(&format!("append to t (id = {i}, x = 0)")).unwrap();
+        db.execute(&format!("append to t (id = {i}, x = 0)"))
+            .unwrap();
     }
     db.execute("range of v is t").unwrap();
     db.execute("replace v (x = v.x + 1)").unwrap();
     assert_eq!(db.relation_meta("t").unwrap().tuple_count, 30);
-    db.execute("modify t to isam on id where fillfactor = 50").unwrap();
+    db.execute("modify t to isam on id where fillfactor = 50")
+        .unwrap();
     assert_eq!(db.relation_meta("t").unwrap().tuple_count, 30);
     let out = db
         .execute(r#"retrieve (v.x) where v.id = 5 when v overlap "now""#)
@@ -437,10 +462,13 @@ fn update_counts_grow_as_the_paper_describes() {
     let mut rb = Database::in_memory();
     rb.execute("create rollback r (id = i4, seq = i4)").unwrap();
     let mut tp = Database::in_memory();
-    tp.execute("create temporal interval t (id = i4, seq = i4)").unwrap();
+    tp.execute("create temporal interval t (id = i4, seq = i4)")
+        .unwrap();
     for i in 1..=8 {
-        rb.execute(&format!("append to r (id = {i}, seq = 0)")).unwrap();
-        tp.execute(&format!("append to t (id = {i}, seq = 0)")).unwrap();
+        rb.execute(&format!("append to r (id = {i}, seq = 0)"))
+            .unwrap();
+        tp.execute(&format!("append to t (id = {i}, seq = 0)"))
+            .unwrap();
     }
     rb.execute("range of v is r").unwrap();
     tp.execute("range of v is t").unwrap();
@@ -461,7 +489,8 @@ fn update_counts_grow_as_the_paper_describes() {
 #[test]
 fn aggregates_group_by_nonaggregate_targets() {
     let mut db = Database::in_memory();
-    db.execute("create static emp (dept = c8, salary = i4)").unwrap();
+    db.execute("create static emp (dept = c8, salary = i4)")
+        .unwrap();
     for (dept, sal) in [
         ("toys", 100),
         ("toys", 200),
@@ -560,17 +589,21 @@ fn aggregates_are_rejected_outside_targets() {
 #[test]
 fn secondary_index_ddl_and_planner_use() {
     let mut db = Database::in_memory();
-    db.execute("create temporal interval t (id = i4, amount = i4)").unwrap();
+    db.execute("create temporal interval t (id = i4, amount = i4)")
+        .unwrap();
     db.execute("range of v is t").unwrap();
     for i in 1..=200 {
         db.execute(&format!("append to t (id = {i}, amount = {})", i * 7))
             .unwrap();
     }
-    db.execute("modify t to hash on id where fillfactor = 100").unwrap();
+    db.execute("modify t to hash on id where fillfactor = 100")
+        .unwrap();
 
     // Baseline: non-key equality scans the whole file.
     let scan_cost = db
-        .execute(r#"retrieve (v.id) where v.amount = 700 when v overlap "now""#)
+        .execute(
+            r#"retrieve (v.id) where v.amount = 700 when v overlap "now""#,
+        )
         .unwrap()
         .stats
         .input_pages;
@@ -580,7 +613,9 @@ fn secondary_index_ddl_and_planner_use() {
     assert_eq!(meta.index_names, vec!["t_amount"]);
 
     let out = db
-        .execute(r#"retrieve (v.id) where v.amount = 700 when v overlap "now""#)
+        .execute(
+            r#"retrieve (v.id) where v.amount = 700 when v overlap "now""#,
+        )
         .unwrap();
     assert_eq!(out.rows()[0][0], Value::Int(100));
     assert!(
@@ -591,7 +626,8 @@ fn secondary_index_ddl_and_planner_use() {
     assert!(out.stats.input_pages <= 3);
 
     // The index follows updates (new versions are indexed on insert).
-    db.execute("replace v (amount = 123456) where v.id = 100").unwrap();
+    db.execute("replace v (amount = 123456) where v.id = 100")
+        .unwrap();
     let out = db
         .execute(
             r#"retrieve (v.id) where v.amount = 123456 when v overlap "now""#,
@@ -600,17 +636,18 @@ fn secondary_index_ddl_and_planner_use() {
     assert_eq!(out.rows().len(), 1);
     // The superseded value no longer matches a current-version query...
     let out = db
-        .execute(r#"retrieve (v.id) where v.amount = 700 when v overlap "now""#)
+        .execute(
+            r#"retrieve (v.id) where v.amount = 700 when v overlap "now""#,
+        )
         .unwrap();
     assert_eq!(out.rows().len(), 0);
     // ...but is still reachable as history through the same index.
-    let out = db
-        .execute("retrieve (v.id) where v.amount = 700")
-        .unwrap();
+    let out = db.execute("retrieve (v.id) where v.amount = 700").unwrap();
     assert_eq!(out.rows().len(), 1);
 
     // The index survives reorganization (modify rebuilds it).
-    db.execute("modify t to isam on id where fillfactor = 50").unwrap();
+    db.execute("modify t to isam on id where fillfactor = 50")
+        .unwrap();
     let out = db
         .execute(
             r#"retrieve (v.id) where v.amount = 123456 when v overlap "now""#,
@@ -633,7 +670,8 @@ fn secondary_index_ddl_and_planner_use() {
 fn index_ddl_errors() {
     let mut db = Database::in_memory();
     db.execute("create static s (id = i4, x = i4)").unwrap();
-    db.execute("modify s to hash on id where fillfactor = 100").unwrap();
+    db.execute("modify s to hash on id where fillfactor = 100")
+        .unwrap();
     assert!(db.execute("index on nope is i1 (x)").is_err());
     assert!(db.execute("index on s is i1 (nope)").is_err());
     // Redundant index on the primary key is rejected.
@@ -664,7 +702,7 @@ fn static_updates_keep_indexes_consistent() {
     assert_eq!(out.rows(), [[Value::Int(7)]]);
     let out = db.execute("retrieve (v.id) where v.x = 2").unwrap();
     assert_eq!(out.rows().len(), 9); // 10 ids ≡ 2 (mod 5), minus id 7
-    // Physical delete compacts pages; the index is rebuilt.
+                                     // Physical delete compacts pages; the index is rebuilt.
     db.execute("delete v where v.id = 12").unwrap();
     let out = db.execute("retrieve (v.id) where v.x = 2").unwrap();
     assert_eq!(out.rows().len(), 8);
@@ -685,8 +723,10 @@ fn file_backed_database_survives_reopen() {
         )
         .unwrap();
         db.execute("range of e is emp").unwrap();
-        db.execute(r#"append to emp (name = "ibsen", salary = 100)"#).unwrap();
-        db.execute(r#"append to emp (name = "padma", salary = 200)"#).unwrap();
+        db.execute(r#"append to emp (name = "ibsen", salary = 100)"#)
+            .unwrap();
+        db.execute(r#"append to emp (name = "padma", salary = 200)"#)
+            .unwrap();
         db.execute(r#"replace e (salary = 150) where e.name = "ibsen""#)
             .unwrap();
         db.execute("modify emp to hash on name where fillfactor = 100")
@@ -743,13 +783,18 @@ fn three_way_joins_substitute_recursively() {
     for i in 1..=12 {
         db.execute(&format!("append to a (id = {i}, b_id = {})", 13 - i))
             .unwrap();
-        db.execute(&format!("append to b (id = {i}, c_id = {})", (i % 4) + 1))
-            .unwrap();
+        db.execute(&format!(
+            "append to b (id = {i}, c_id = {})",
+            (i % 4) + 1
+        ))
+        .unwrap();
         db.execute(&format!("append to c (id = {i}, label = {})", i * 100))
             .unwrap();
     }
-    db.execute("modify b to hash on id where fillfactor = 100").unwrap();
-    db.execute("modify c to isam on id where fillfactor = 100").unwrap();
+    db.execute("modify b to hash on id where fillfactor = 100")
+        .unwrap();
+    db.execute("modify c to isam on id where fillfactor = 100")
+        .unwrap();
     db.execute("range of x is a").unwrap();
     db.execute("range of y is b").unwrap();
     db.execute("range of z is c").unwrap();
@@ -773,7 +818,8 @@ fn three_way_joins_substitute_recursively() {
 #[test]
 fn retrieve_into_with_aggregates_materializes_groups() {
     let mut db = Database::in_memory();
-    db.execute("create static pay (dept = c8, amount = i4)").unwrap();
+    db.execute("create static pay (dept = c8, amount = i4)")
+        .unwrap();
     for (d, a) in [("x", 10), ("x", 20), ("y", 5)] {
         db.execute(&format!(
             r#"append to pay (dept = "{d}", amount = {a})"#
@@ -781,25 +827,28 @@ fn retrieve_into_with_aggregates_materializes_groups() {
         .unwrap();
     }
     db.execute("range of p is pay").unwrap();
-    db.execute(
-        "retrieve into totals (p.dept, total = sum(p.amount)) ",
-    )
-    .unwrap();
+    db.execute("retrieve into totals (p.dept, total = sum(p.amount)) ")
+        .unwrap();
     let meta = db.relation_meta("totals").unwrap();
     assert_eq!(meta.class, DatabaseClass::Static);
     assert_eq!(meta.tuple_count, 2);
     db.execute("range of t is totals").unwrap();
-    let out = db.execute(r#"retrieve (t.total) where t.dept = "x""#).unwrap();
+    let out = db
+        .execute(r#"retrieve (t.total) where t.dept = "x""#)
+        .unwrap();
     assert_eq!(out.rows(), [[Value::Int(30)]]);
 }
 
 #[test]
 fn temporal_event_relations_roll_back() {
     let mut db = Database::in_memory();
-    db.execute("create temporal event ping (host = i4)").unwrap();
+    db.execute("create temporal event ping (host = i4)")
+        .unwrap();
     db.execute("range of p is ping").unwrap();
-    db.execute(r#"append to ping (host = 1) valid at "1/5/80""#).unwrap();
-    db.execute(r#"append to ping (host = 2) valid at "2/5/80""#).unwrap();
+    db.execute(r#"append to ping (host = 1) valid at "1/5/80""#)
+        .unwrap();
+    db.execute(r#"append to ping (host = 2) valid at "2/5/80""#)
+        .unwrap();
     let before_delete = db.clock().now();
     // Deleting an event on a temporal relation hides it from the current
     // record while keeping it reachable by rollback.
@@ -829,7 +878,8 @@ fn sort_by_orders_results() {
     let mut db = Database::in_memory();
     db.execute("create static s (id = i4, x = i4)").unwrap();
     for (id, x) in [(3, 30), (1, 30), (2, 10)] {
-        db.execute(&format!("append to s (id = {id}, x = {x})")).unwrap();
+        db.execute(&format!("append to s (id = {id}, x = {x})"))
+            .unwrap();
     }
     db.execute("range of v is s").unwrap();
     let out = db
@@ -839,7 +889,8 @@ fn sort_by_orders_results() {
         out.rows().iter().map(|r| r[0].as_int().unwrap()).collect();
     assert_eq!(got, vec![1, 3, 2]);
     // Sorting by the implicit valid columns works on versioned relations.
-    db.execute("create historical interval h (id = i4)").unwrap();
+    db.execute("create historical interval h (id = i4)")
+        .unwrap();
     db.execute("range of w is h").unwrap();
     db.execute(r#"append to h (id = 2) valid from "1982" to "forever""#)
         .unwrap();

@@ -12,46 +12,52 @@
 //! run bit-identical.
 
 use crate::time::TimeVal;
-use std::cell::Cell;
+use std::sync::atomic::{AtomicU32, Ordering};
 
 /// A monotonically advancing statement clock.
 ///
 /// Interior mutability keeps the clock shareable by value inside a database
-/// handle without threading `&mut` through every read-only query path.
+/// handle without threading `&mut` through every read-only query path; the
+/// counter is atomic so a clock shared across sessions stays strictly
+/// monotonic under concurrent ticks.
 #[derive(Debug)]
 pub struct Clock {
-    now: Cell<u32>,
+    now: AtomicU32,
     step: u32,
 }
 
 impl Clock {
     /// A clock starting at `origin`, advancing `step` seconds per tick.
     pub fn new(origin: TimeVal, step_secs: u32) -> Self {
-        Clock { now: Cell::new(origin.as_secs()), step: step_secs.max(1) }
+        Clock {
+            now: AtomicU32::new(origin.as_secs()),
+            step: step_secs.max(1),
+        }
     }
 
     /// The current instant ("now") without advancing.
     pub fn now(&self) -> TimeVal {
-        TimeVal::from_secs(self.now.get())
+        TimeVal::from_secs(self.now.load(Ordering::Relaxed))
     }
 
     /// Advance to the next statement time and return it.
     pub fn tick(&self) -> TimeVal {
         let next = self
             .now
-            .get()
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |t| {
+                Some(t.saturating_add(self.step).min(u32::MAX - 1))
+            })
+            .expect("clock update closure never returns None")
             .saturating_add(self.step)
             .min(u32::MAX - 1);
-        self.now.set(next);
         TimeVal::from_secs(next)
     }
 
     /// Jump the clock forward to `t` (no-op if `t` is not later than now).
     /// Used by workloads that model updates at specific dates.
     pub fn advance_to(&self, t: TimeVal) {
-        if t.as_secs() > self.now.get() {
-            self.now.set(t.as_secs().min(u32::MAX - 1));
-        }
+        self.now
+            .fetch_max(t.as_secs().min(u32::MAX - 1), Ordering::Relaxed);
     }
 }
 
@@ -65,7 +71,10 @@ impl Default for Clock {
 
 impl Clone for Clock {
     fn clone(&self) -> Self {
-        Clock { now: Cell::new(self.now.get()), step: self.step }
+        Clock {
+            now: AtomicU32::new(self.now.load(Ordering::Relaxed)),
+            step: self.step,
+        }
     }
 }
 

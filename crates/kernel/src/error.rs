@@ -43,7 +43,11 @@ pub enum Error {
     /// mismatch, a bad page-kind tag, an out-of-range slot, a malformed
     /// WAL frame. Unlike [`Error::Internal`] (a bug in the DBMS), this
     /// points at the media; `file`/`page` locate the damage when known.
-    Corruption { file: Option<u32>, page: Option<u32>, detail: String },
+    Corruption {
+        file: Option<u32>,
+        page: Option<u32>,
+        detail: String,
+    },
     /// Invariant violation that indicates a bug in the DBMS itself.
     Internal(String),
 }
@@ -64,10 +68,15 @@ impl fmt::Display for Error {
             Error::DuplicateRelation(s) => {
                 write!(f, "relation already exists: {s}")
             }
-            Error::NoSuchAttribute(s) => write!(f, "no such attribute: {s}"),
+            Error::NoSuchAttribute(s) => {
+                write!(f, "no such attribute: {s}")
+            }
             Error::NoSuchPage(p) => write!(f, "no such page: {p}"),
             Error::RowSize { expected, got } => {
-                write!(f, "bad row size: expected {expected} bytes, got {got}")
+                write!(
+                    f,
+                    "bad row size: expected {expected} bytes, got {got}"
+                )
             }
             Error::NotApplicable(s) => write!(f, "not applicable: {s}"),
             Error::Io(s) => write!(f, "i/o error: {s}"),
@@ -100,7 +109,11 @@ mod tests {
 
     #[test]
     fn display_is_informative() {
-        let e = Error::Parse { line: 3, col: 7, msg: "expected ')'".into() };
+        let e = Error::Parse {
+            line: 3,
+            col: 7,
+            msg: "expected ')'".into(),
+        };
         assert_eq!(e.to_string(), "syntax error at 3:7: expected ')'");
         assert_eq!(
             Error::NoSuchRelation("emp".into()).to_string(),
@@ -124,7 +137,10 @@ mod tests {
             page: None,
             detail: "bad page kind tag 9".into(),
         };
-        assert_eq!(bare.to_string(), "corruption detected: bad page kind tag 9");
+        assert_eq!(
+            bare.to_string(),
+            "corruption detected: bad page kind tag 9"
+        );
     }
 
     #[test]

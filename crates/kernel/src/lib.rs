@@ -16,6 +16,8 @@
 //! * [`clock`] — the transaction clock ("now"), logical for reproducibility.
 //! * [`prng`] — deterministic seedable randomness (PCG32) so benchmark
 //!   workloads and property tests replay bit-identically, offline.
+//! * [`tmpdir`] — collision-free scratch directories for tests (pid +
+//!   process-global counter, never the wall clock).
 //! * [`error`] — the common error type.
 //!
 //! The crate is dependency-free and usable on its own.
@@ -26,12 +28,15 @@ pub mod prng;
 pub mod row;
 pub mod schema;
 pub mod time;
+pub mod tmpdir;
 pub mod value;
 
 pub use clock::Clock;
 pub use error::{Error, Result};
 pub use prng::Prng;
 pub use row::{RowCodec, RowView};
-pub use schema::{AttrDef, DatabaseClass, Schema, TemporalAttr, TemporalKind};
+pub use schema::{
+    AttrDef, DatabaseClass, Schema, TemporalAttr, TemporalKind,
+};
 pub use time::{Granularity, TimeVal};
 pub use value::{Domain, Value};

@@ -37,7 +37,11 @@ impl RowCodec {
             off += d.width();
         }
         debug_assert_eq!(off, schema.row_width());
-        RowCodec { offsets, domains, width: off }
+        RowCodec {
+            offsets,
+            domains,
+            width: off,
+        }
     }
 
     /// The fixed row width in bytes.
@@ -85,7 +89,8 @@ impl RowCodec {
                 dst.copy_from_slice(&(*i as i32).to_le_bytes())
             }
             (Domain::F4, v) => dst.copy_from_slice(
-                &(v.as_f64().expect("accepted numeric") as f32).to_le_bytes(),
+                &(v.as_f64().expect("accepted numeric") as f32)
+                    .to_le_bytes(),
             ),
             (Domain::F8, v) => dst.copy_from_slice(
                 &v.as_f64().expect("accepted numeric").to_le_bytes(),
@@ -123,11 +128,13 @@ impl RowCodec {
                 src.try_into().expect("8 bytes"),
             )),
             Domain::Char(_) => Value::Str(
-                String::from_utf8_lossy(src).trim_end_matches(' ').to_owned(),
+                String::from_utf8_lossy(src)
+                    .trim_end_matches(' ')
+                    .to_owned(),
             ),
-            Domain::Time => Value::Time(TimeVal::from_secs(u32::from_le_bytes(
-                src.try_into().expect("4 bytes"),
-            ))),
+            Domain::Time => Value::Time(TimeVal::from_secs(
+                u32::from_le_bytes(src.try_into().expect("4 bytes")),
+            )),
         }
     }
 
@@ -168,7 +175,10 @@ impl RowCodec {
     /// Decode a full row.
     pub fn decode(&self, buf: &[u8]) -> Result<Vec<Value>> {
         if buf.len() != self.width {
-            return Err(Error::RowSize { expected: self.width, got: buf.len() });
+            return Err(Error::RowSize {
+                expected: self.width,
+                got: buf.len(),
+            });
         }
         Ok((0..self.arity()).map(|i| self.get(buf, i)).collect())
     }
@@ -294,11 +304,9 @@ mod tests {
 
     #[test]
     fn domain_violation_errors() {
-        let s = Schema::static_relation(vec![AttrDef::new(
-            "n",
-            Domain::I2,
-        )])
-        .unwrap();
+        let s =
+            Schema::static_relation(vec![AttrDef::new("n", Domain::I2)])
+                .unwrap();
         let codec = RowCodec::new(&s);
         assert!(codec.encode(&[Value::Int(100_000)]).is_err());
         assert!(codec.encode(&[Value::Str("x".into())]).is_err());

@@ -62,7 +62,9 @@ impl DatabaseClass {
             "rollback" => Ok(DatabaseClass::Rollback),
             "historical" => Ok(DatabaseClass::Historical),
             "temporal" | "persistent" => Ok(DatabaseClass::Temporal),
-            _ => Err(Error::Semantic(format!("unknown relation class {s:?}"))),
+            _ => Err(Error::Semantic(format!(
+                "unknown relation class {s:?}"
+            ))),
         }
     }
 }
@@ -144,7 +146,9 @@ impl TemporalAttr {
             (Temporal, Interval) => {
                 &[ValidFrom, ValidTo, TransactionStart, TransactionStop]
             }
-            (Temporal, Event) => &[ValidAt, TransactionStart, TransactionStop],
+            (Temporal, Event) => {
+                &[ValidAt, TransactionStart, TransactionStop]
+            }
         }
     }
 }
@@ -161,7 +165,10 @@ pub struct AttrDef {
 impl AttrDef {
     /// Construct, normalizing the name to lower case.
     pub fn new(name: impl Into<String>, domain: Domain) -> Self {
-        AttrDef { name: name.into().to_ascii_lowercase(), domain }
+        AttrDef {
+            name: name.into().to_ascii_lowercase(),
+            domain,
+        }
     }
 }
 
@@ -183,7 +190,9 @@ impl Schema {
         kind: TemporalKind,
     ) -> Result<Self> {
         if explicit.is_empty() {
-            return Err(Error::Semantic("relation needs at least one attribute".into()));
+            return Err(Error::Semantic(
+                "relation needs at least one attribute".into(),
+            ));
         }
         for (i, a) in explicit.iter().enumerate() {
             if explicit[..i].iter().any(|b| b.name == a.name) {
@@ -202,7 +211,11 @@ impl Schema {
                 )));
             }
         }
-        Ok(Schema { explicit, class, kind })
+        Ok(Schema {
+            explicit,
+            class,
+            kind,
+        })
     }
 
     /// Shorthand for a static schema.
@@ -261,7 +274,8 @@ impl Schema {
     /// Index of the named attribute (explicit or implicit), if any.
     pub fn index_of(&self, name: &str) -> Option<usize> {
         let lower = name.to_ascii_lowercase();
-        if let Some(i) = self.explicit.iter().position(|a| a.name == lower) {
+        if let Some(i) = self.explicit.iter().position(|a| a.name == lower)
+        {
             return Some(i);
         }
         self.implicit_attrs()
@@ -283,7 +297,10 @@ impl Schema {
     /// (108-byte data tuples grow to 116 bytes for rollback/historical and
     /// 124 bytes for temporal relations).
     pub fn row_width(&self) -> usize {
-        self.explicit.iter().map(|a| a.domain.width()).sum::<usize>()
+        self.explicit
+            .iter()
+            .map(|a| a.domain.width())
+            .sum::<usize>()
             + 4 * self.implicit_attrs().len()
     }
 

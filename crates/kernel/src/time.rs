@@ -128,9 +128,13 @@ impl Civil {
     /// Validate field ranges.
     fn check(&self) -> Result<()> {
         if self.month == 0 || self.month > 12 {
-            return Err(Error::BadTime(format!("month {} out of range", self.month)));
+            return Err(Error::BadTime(format!(
+                "month {} out of range",
+                self.month
+            )));
         }
-        if self.day == 0 || self.day > days_in_month(self.year, self.month) {
+        if self.day == 0 || self.day > days_in_month(self.year, self.month)
+        {
             return Err(Error::BadTime(format!(
                 "day {} out of range for {}/{}",
                 self.day, self.month, self.year
@@ -173,8 +177,9 @@ impl TimeVal {
         c.check()?;
         let days = days_from_civil(c.year, c.month, c.day);
         let secs = days * SECS_PER_DAY as i64
-            + (c.hour * SECS_PER_HOUR + c.minute * SECS_PER_MINUTE + c.second)
-                as i64;
+            + (c.hour * SECS_PER_HOUR
+                + c.minute * SECS_PER_MINUTE
+                + c.second) as i64;
         if !(0..u32::MAX as i64).contains(&secs) {
             return Err(Error::BadTime(format!(
                 "{}-{:02}-{:02} is outside the representable range",
@@ -193,7 +198,14 @@ impl TimeVal {
         minute: u32,
         second: u32,
     ) -> Result<Self> {
-        Self::from_civil(Civil { year, month, day, hour, minute, second })
+        Self::from_civil(Civil {
+            year,
+            month,
+            day,
+            hour,
+            minute,
+            second,
+        })
     }
 
     /// Midnight at the start of the given date.
@@ -247,12 +259,10 @@ impl TimeVal {
         match t.to_ascii_lowercase().as_str() {
             "forever" | "infinity" => return Ok(TimeVal::FOREVER),
             "beginning" | "epoch" => return Ok(TimeVal::BEGINNING),
-            "now" => {
-                return Err(Error::BadTime(
-                    "\"now\" must be resolved against the transaction clock"
-                        .into(),
-                ))
-            }
+            "now" => return Err(Error::BadTime(
+                "\"now\" must be resolved against the transaction clock"
+                    .into(),
+            )),
             _ => {}
         }
         // Split into whitespace-separated fields; each is a time-of-day,
@@ -274,17 +284,23 @@ impl TimeVal {
                 tod = Some(parse_time_of_day(field)?);
             } else if field.contains('/') {
                 if date.is_some() || month_name.is_some() {
-                    return Err(Error::BadTime(format!("two dates in {s:?}")));
+                    return Err(Error::BadTime(format!(
+                        "two dates in {s:?}"
+                    )));
                 }
                 date = Some(parse_slash_date(field)?);
             } else if field.contains('-') {
                 if date.is_some() || month_name.is_some() {
-                    return Err(Error::BadTime(format!("two dates in {s:?}")));
+                    return Err(Error::BadTime(format!(
+                        "two dates in {s:?}"
+                    )));
                 }
                 date = Some(parse_iso_date(field)?);
             } else if let Some(m) = parse_month_name(field) {
                 if date.is_some() || month_name.is_some() {
-                    return Err(Error::BadTime(format!("two dates in {s:?}")));
+                    return Err(Error::BadTime(format!(
+                        "two dates in {s:?}"
+                    )));
                 }
                 month_name = Some(m);
             } else if let Ok(n) = field.parse::<u32>() {
@@ -324,10 +340,17 @@ impl TimeVal {
             )));
         }
 
-        let (year, month, day) =
-            date.ok_or_else(|| Error::BadTime(format!("no date in {s:?}")))?;
+        let (year, month, day) = date
+            .ok_or_else(|| Error::BadTime(format!("no date in {s:?}")))?;
         let (hour, minute, second) = tod.unwrap_or((0, 0, 0));
-        TimeVal::from_civil(Civil { year, month, day, hour, minute, second })
+        TimeVal::from_civil(Civil {
+            year,
+            month,
+            day,
+            hour,
+            minute,
+            second,
+        })
     }
 
     /// Format at the given output resolution.
@@ -347,7 +370,11 @@ impl TimeVal {
             ),
             Granularity::Day => format!("{}/{}/{}", c.month, c.day, c.year),
             Granularity::Month => {
-                format!("{} {}", MONTH_NAMES[(c.month - 1) as usize], c.year)
+                format!(
+                    "{} {}",
+                    MONTH_NAMES[(c.month - 1) as usize],
+                    c.year
+                )
             }
             Granularity::Year => format!("{}", c.year),
         }
@@ -499,12 +526,16 @@ mod tests {
             TimeVal::from_ymd(1980, 2, 1).unwrap()
         );
         assert_eq!(TimeVal::parse("forever").unwrap(), TimeVal::FOREVER);
-        assert_eq!(TimeVal::parse("beginning").unwrap(), TimeVal::BEGINNING);
+        assert_eq!(
+            TimeVal::parse("beginning").unwrap(),
+            TimeVal::BEGINNING
+        );
     }
 
     #[test]
     fn rejects_garbage() {
-        for s in ["", "not a date", "1/2", "12:00", "now", "1/1/80 2/2/81"] {
+        for s in ["", "not a date", "1/2", "12:00", "now", "1/1/80 2/2/81"]
+        {
             assert!(TimeVal::parse(s).is_err(), "should reject {s:?}");
         }
     }

@@ -1,0 +1,63 @@
+//! Unique scratch directories for tests and tools.
+//!
+//! Test binaries run in parallel (cargo spawns one process per test
+//! target, each multi-threaded), and CI reruns the same suite over and
+//! over. Deriving scratch paths from the wall clock would be both racy
+//! and nondeterministic, so paths here are built only from stable,
+//! collision-free inputs: a caller tag, the process id, and a
+//! process-global counter.
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static NEXT: AtomicU64 = AtomicU64::new(0);
+
+/// A fresh, empty scratch directory under the system temp dir.
+///
+/// The path is `tdbms-<tag>-<pid>-<n>` where `n` is a process-global
+/// counter: unique across threads of one process via the counter and
+/// across concurrently running processes via the pid. A stale directory
+/// left by a previous run of the same name is removed first, so repeated
+/// CI runs never see each other's leftovers.
+pub fn fresh_dir(tag: &str) -> PathBuf {
+    let n = NEXT.fetch_add(1, Ordering::Relaxed);
+    let dir = std::env::temp_dir()
+        .join(format!("tdbms-{tag}-{}-{n}", std::process::id()));
+    if dir.exists() {
+        std::fs::remove_dir_all(&dir).ok();
+    }
+    std::fs::create_dir_all(&dir)
+        .expect("creating scratch directory under temp_dir");
+    dir
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dirs_are_unique_and_empty() {
+        let a = fresh_dir("kernel-unit");
+        let b = fresh_dir("kernel-unit");
+        assert_ne!(a, b);
+        assert!(a.is_dir() && b.is_dir());
+        assert_eq!(std::fs::read_dir(&a).unwrap().count(), 0);
+        std::fs::remove_dir_all(a).ok();
+        std::fs::remove_dir_all(b).ok();
+    }
+
+    #[test]
+    fn stale_contents_are_cleared() {
+        let a = fresh_dir("kernel-stale");
+        std::fs::write(a.join("leftover"), b"x").unwrap();
+        // Simulate a rerun colliding on the same name: force the same
+        // path through a direct rebuild of the directory.
+        std::fs::remove_dir_all(&a).ok();
+        std::fs::create_dir_all(&a).unwrap();
+        std::fs::write(a.join("leftover"), b"x").unwrap();
+        let again = fresh_dir("kernel-stale2");
+        assert_eq!(std::fs::read_dir(&again).unwrap().count(), 0);
+        std::fs::remove_dir_all(a).ok();
+        std::fs::remove_dir_all(again).ok();
+    }
+}

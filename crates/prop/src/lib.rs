@@ -52,7 +52,10 @@ pub struct Gen {
 impl Gen {
     /// Generator for one case seed.
     pub fn from_seed(seed: u64) -> Self {
-        Gen { rng: Prng::seed_from_u64(seed), seed }
+        Gen {
+            rng: Prng::seed_from_u64(seed),
+            seed,
+        }
     }
 
     /// The case seed (for embedding in custom failure messages).
@@ -81,7 +84,10 @@ impl Gen {
     }
 
     /// `Some(f(g))` half the time — proptest's `option::of`.
-    pub fn option<T>(&mut self, f: impl FnOnce(&mut Gen) -> T) -> Option<T> {
+    pub fn option<T>(
+        &mut self,
+        f: impl FnOnce(&mut Gen) -> T,
+    ) -> Option<T> {
         if self.bool() {
             Some(f(self))
         } else {
@@ -102,7 +108,10 @@ impl Gen {
 
     /// Uniform choice among the variants produced by `arms` —
     /// proptest's `prop_oneof!`.
-    pub fn one_of<T>(&mut self, arms: &mut [&mut dyn FnMut(&mut Gen) -> T]) -> T {
+    pub fn one_of<T>(
+        &mut self,
+        arms: &mut [&mut dyn FnMut(&mut Gen) -> T],
+    ) -> T {
         let i = self.range(0..arms.len());
         (arms[i])(self)
     }
@@ -127,7 +136,9 @@ impl Gen {
 /// The ASCII alphabet matched by the old `[ -~]`-style regexes minus the
 /// TQuel string escapes: every printable character except `"` and `\`.
 pub fn printable_no_quotes() -> Vec<u8> {
-    (0x20u8..=0x7E).filter(|&b| b != b'"' && b != b'\\').collect()
+    (0x20u8..=0x7E)
+        .filter(|&b| b != b'"' && b != b'\\')
+        .collect()
 }
 
 fn env_u64(name: &str) -> Option<u64> {
@@ -240,10 +251,10 @@ mod tests {
         let alpha = printable_no_quotes();
         assert!(!alpha.contains(&b'"') && !alpha.contains(&b'\\'));
         assert_eq!(alpha.len(), 95 - 2);
-        let choice = g.one_of(&mut [
-            &mut |_g: &mut Gen| 1u8,
-            &mut |_g: &mut Gen| 2u8,
-        ]);
+        let choice = g
+            .one_of(&mut [&mut |_g: &mut Gen| 1u8, &mut |_g: &mut Gen| {
+                2u8
+            }]);
         assert!(choice == 1 || choice == 2);
         let picked = *g.pick(&[10, 20, 30]);
         assert!([10, 20, 30].contains(&picked));

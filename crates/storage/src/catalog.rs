@@ -59,7 +59,7 @@ impl StoredRelation {
     /// tuple count. All user-relation inserts go through here.
     pub fn insert_row(
         &mut self,
-        pager: &mut Pager,
+        pager: &Pager,
         row: &[u8],
     ) -> Result<TupleId> {
         let tid = self.file.insert(pager, row)?;
@@ -73,7 +73,7 @@ impl StoredRelation {
     /// Create and register a secondary index over the current contents.
     pub fn create_index(
         &mut self,
-        pager: &mut Pager,
+        pager: &Pager,
         name: &str,
         attr: usize,
         structure: IndexStructure,
@@ -84,16 +84,27 @@ impl StoredRelation {
         }
         let key = crate::key::KeySpec::for_attr(&self.codec, attr);
         let index = SecondaryIndex::build(
-            pager, &self.file, key, structure, 100, |_| true,
+            pager,
+            &self.file,
+            key,
+            structure,
+            100,
+            |_| true,
         )?;
         self.indexes.push(NamedIndex { name, attr, index });
         Ok(())
     }
 
     /// Drop the named index; true if it existed.
-    pub fn drop_index(&mut self, pager: &mut Pager, name: &str) -> Result<bool> {
+    pub fn drop_index(
+        &mut self,
+        pager: &Pager,
+        name: &str,
+    ) -> Result<bool> {
         let name = name.to_ascii_lowercase();
-        if let Some(pos) = self.indexes.iter().position(|ix| ix.name == name) {
+        if let Some(pos) =
+            self.indexes.iter().position(|ix| ix.name == name)
+        {
             let ix = self.indexes.remove(pos);
             pager.drop_file(ix.index.file_id())?;
             Ok(true)
@@ -105,7 +116,7 @@ impl StoredRelation {
     /// Rebuild every index from scratch (after `modify` reorganizes the
     /// base file and invalidates all tuple addresses, or after a physical
     /// delete compacted a page).
-    pub fn rebuild_indexes(&mut self, pager: &mut Pager) -> Result<()> {
+    pub fn rebuild_indexes(&mut self, pager: &Pager) -> Result<()> {
         for ix in &mut self.indexes {
             let key = crate::key::KeySpec::for_attr(&self.codec, ix.attr);
             let structure = ix.index.structure();
@@ -142,7 +153,7 @@ impl StoredRelation {
     /// afterwards).
     pub fn modify(
         &mut self,
-        pager: &mut Pager,
+        pager: &Pager,
         method: AccessMethod,
         key_attr: Option<usize>,
         fillfactor: u8,
@@ -213,7 +224,7 @@ impl Catalog {
     /// Create a relation as a heap and register it.
     pub fn create_relation(
         &mut self,
-        pager: &mut Pager,
+        pager: &Pager,
         name: &str,
         schema: Schema,
     ) -> Result<RelId> {
@@ -224,7 +235,7 @@ impl Catalog {
     /// registered under an invented unique name.
     pub fn create_temporary(
         &mut self,
-        pager: &mut Pager,
+        pager: &Pager,
         schema: Schema,
     ) -> Result<RelId> {
         let name = format!("_temp_{}", self.rels.len());
@@ -233,7 +244,7 @@ impl Catalog {
 
     fn create_relation_inner(
         &mut self,
-        pager: &mut Pager,
+        pager: &Pager,
         name: &str,
         schema: Schema,
         temporary: bool,
@@ -273,12 +284,11 @@ impl Catalog {
     }
 
     /// Drop a relation, its file, and its indexes.
-    pub fn destroy(&mut self, pager: &mut Pager, id: RelId) -> Result<()> {
-        let rel = self
-            .rels
-            .get_mut(id.0)
-            .and_then(Option::take)
-            .ok_or_else(|| Error::Internal(format!("stale RelId {id:?}")))?;
+    pub fn destroy(&mut self, pager: &Pager, id: RelId) -> Result<()> {
+        let rel =
+            self.rels.get_mut(id.0).and_then(Option::take).ok_or_else(
+                || Error::Internal(format!("stale RelId {id:?}")),
+            )?;
         self.by_name.remove(&rel.name);
         for ix in &rel.indexes {
             pager.drop_file(ix.index.file_id())?;
@@ -309,7 +319,9 @@ impl Catalog {
 
     /// Handle for a name, if registered.
     pub fn id_of(&self, name: &str) -> Option<RelId> {
-        self.by_name.get(&name.to_ascii_lowercase()).map(|i| RelId(*i))
+        self.by_name
+            .get(&name.to_ascii_lowercase())
+            .map(|i| RelId(*i))
     }
 
     /// Resolve a name or error with [`Error::NoSuchRelation`].
@@ -335,8 +347,11 @@ impl Catalog {
         b: RelId,
     ) -> (&mut StoredRelation, &mut StoredRelation) {
         assert_ne!(a.0, b.0, "get_pair_mut needs distinct relations");
-        let (lo, hi, swap) =
-            if a.0 < b.0 { (a.0, b.0, false) } else { (b.0, a.0, true) };
+        let (lo, hi, swap) = if a.0 < b.0 {
+            (a.0, b.0, false)
+        } else {
+            (b.0, a.0, true)
+        };
         let (left, right) = self.rels.split_at_mut(hi);
         let x = left[lo].as_mut().expect("live RelId");
         let y = right[0].as_mut().expect("live RelId");
@@ -348,7 +363,9 @@ impl Catalog {
     }
 
     /// Iterate over live `(id, relation)` pairs.
-    pub fn iter(&self) -> impl Iterator<Item = (RelId, &StoredRelation)> + '_ {
+    pub fn iter(
+        &self,
+    ) -> impl Iterator<Item = (RelId, &StoredRelation)> + '_ {
         self.rels
             .iter()
             .enumerate()
@@ -370,7 +387,9 @@ impl Catalog {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use tdbms_kernel::{AttrDef, DatabaseClass, Domain, TemporalKind, Value};
+    use tdbms_kernel::{
+        AttrDef, DatabaseClass, Domain, TemporalKind, Value,
+    };
 
     fn schema() -> Schema {
         Schema::new(
@@ -386,26 +405,26 @@ mod tests {
 
     #[test]
     fn create_lookup_destroy() {
-        let mut pager = Pager::in_memory();
+        let pager = Pager::in_memory();
         let mut cat = Catalog::new();
-        let id = cat.create_relation(&mut pager, "Emp", schema()).unwrap();
+        let id = cat.create_relation(&pager, "Emp", schema()).unwrap();
         assert_eq!(cat.id_of("emp"), Some(id));
         assert_eq!(cat.id_of("EMP"), Some(id));
         assert!(cat.id_of("dept").is_none());
         assert!(cat.require("dept").is_err());
         assert!(matches!(
-            cat.create_relation(&mut pager, "EMP", schema()),
+            cat.create_relation(&pager, "EMP", schema()),
             Err(Error::DuplicateRelation(_))
         ));
-        cat.destroy(&mut pager, id).unwrap();
+        cat.destroy(&pager, id).unwrap();
         assert!(cat.id_of("emp").is_none());
     }
 
     #[test]
     fn modify_reorganizes_and_preserves_rows() {
-        let mut pager = Pager::in_memory();
+        let pager = Pager::in_memory();
         let mut cat = Catalog::new();
-        let id = cat.create_relation(&mut pager, "r", schema()).unwrap();
+        let id = cat.create_relation(&pager, "r", schema()).unwrap();
         {
             let rel = cat.get_mut(id);
             for i in 1..=100i64 {
@@ -413,7 +432,7 @@ mod tests {
                     .codec
                     .encode(&[Value::Int(i), Value::Str("x".into())])
                     .unwrap();
-                rel.file.insert(&mut pager, &row).unwrap();
+                rel.file.insert(&pager, &row).unwrap();
                 rel.tuple_count += 1;
             }
         }
@@ -423,13 +442,13 @@ mod tests {
             (AccessMethod::Heap, None),
         ] {
             let rel = cat.get_mut(id);
-            rel.modify(&mut pager, method, key, 100, HashFn::Mod).unwrap();
+            rel.modify(&pager, method, key, 100, HashFn::Mod).unwrap();
             assert_eq!(rel.file.method(), method);
             assert_eq!(rel.key_attr, key);
             let mut n = 0;
             let mut sum = 0i64;
             let mut cur = rel.file.scan();
-            while let Some((_, row)) = cur.next(&mut pager, &rel.file).unwrap()
+            while let Some((_, row)) = cur.next(&pager, &rel.file).unwrap()
             {
                 n += 1;
                 sum += rel.codec.get_i4(&row, 0) as i64;
@@ -441,18 +460,18 @@ mod tests {
 
     #[test]
     fn modify_builds_aside_and_drops_the_old_file() {
-        let mut pager = Pager::in_memory();
+        let pager = Pager::in_memory();
         let mut cat = Catalog::new();
-        let id = cat.create_relation(&mut pager, "r", schema()).unwrap();
+        let id = cat.create_relation(&pager, "r", schema()).unwrap();
         let rel = cat.get_mut(id);
         let row = rel
             .codec
             .encode(&[Value::Int(1), Value::Str("x".into())])
             .unwrap();
-        rel.file.insert(&mut pager, &row).unwrap();
+        rel.file.insert(&pager, &row).unwrap();
         rel.tuple_count += 1;
         let old = rel.file.file_id();
-        rel.modify(&mut pager, AccessMethod::Hash, Some(0), 100, HashFn::Mod)
+        rel.modify(&pager, AccessMethod::Hash, Some(0), 100, HashFn::Mod)
             .unwrap();
         let new = rel.file.file_id();
         assert_ne!(old, new, "reorganization swaps onto a fresh file");
@@ -464,21 +483,21 @@ mod tests {
 
     #[test]
     fn modify_to_keyed_without_key_errors() {
-        let mut pager = Pager::in_memory();
+        let pager = Pager::in_memory();
         let mut cat = Catalog::new();
-        let id = cat.create_relation(&mut pager, "r", schema()).unwrap();
+        let id = cat.create_relation(&pager, "r", schema()).unwrap();
         let rel = cat.get_mut(id);
         assert!(rel
-            .modify(&mut pager, AccessMethod::Hash, None, 100, HashFn::Mod)
+            .modify(&pager, AccessMethod::Hash, None, 100, HashFn::Mod)
             .is_err());
     }
 
     #[test]
     fn pair_borrow_is_order_correct() {
-        let mut pager = Pager::in_memory();
+        let pager = Pager::in_memory();
         let mut cat = Catalog::new();
-        let a = cat.create_relation(&mut pager, "a", schema()).unwrap();
-        let b = cat.create_relation(&mut pager, "b", schema()).unwrap();
+        let a = cat.create_relation(&pager, "a", schema()).unwrap();
+        let b = cat.create_relation(&pager, "b", schema()).unwrap();
         let (ra, rb) = cat.get_pair_mut(a, b);
         assert_eq!(ra.name, "a");
         assert_eq!(rb.name, "b");
@@ -489,11 +508,11 @@ mod tests {
 
     #[test]
     fn temporaries_are_hidden_from_user_listing() {
-        let mut pager = Pager::in_memory();
+        let pager = Pager::in_memory();
         let mut cat = Catalog::new();
-        cat.create_relation(&mut pager, "z", schema()).unwrap();
-        cat.create_relation(&mut pager, "a", schema()).unwrap();
-        cat.create_temporary(&mut pager, schema()).unwrap();
+        cat.create_relation(&pager, "z", schema()).unwrap();
+        cat.create_relation(&pager, "a", schema()).unwrap();
+        cat.create_temporary(&pager, schema()).unwrap();
         assert_eq!(cat.user_relation_names(), vec!["a", "z"]);
     }
 }

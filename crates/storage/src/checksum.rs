@@ -55,7 +55,10 @@ impl ChecksumSet {
 
     /// The recorded sum for a page, if any.
     pub fn get(&self, file: FileId, page_no: u32) -> Option<u64> {
-        self.sums.get(&file.0).and_then(|m| m.get(&page_no)).copied()
+        self.sums
+            .get(&file.0)
+            .and_then(|m| m.get(&page_no))
+            .copied()
     }
 
     /// Record the sum of `page` as the truth for `(file, page_no)`.
@@ -68,7 +71,12 @@ impl ChecksumSet {
 
     /// Check `page` against the recorded sum. Absent entries pass; a
     /// recorded sum that disagrees is [`Error::Corruption`].
-    pub fn verify(&self, file: FileId, page_no: u32, page: &Page) -> Result<()> {
+    pub fn verify(
+        &self,
+        file: FileId,
+        page_no: u32,
+        page: &Page,
+    ) -> Result<()> {
         match self.get(file, page_no) {
             None => Ok(()),
             Some(want) => {
@@ -150,7 +158,8 @@ impl ChecksumSet {
                     cur = Some(id);
                 }
                 Some("page") => {
-                    let file = cur.ok_or_else(|| bad("page before file"))?;
+                    let file =
+                        cur.ok_or_else(|| bad("page before file"))?;
                     let page = words
                         .next()
                         .and_then(|w| w.parse::<u32>().ok())
@@ -163,7 +172,9 @@ impl ChecksumSet {
                 }
                 None => {}
                 Some(other) => {
-                    return Err(bad(&format!("unknown directive {other:?}")))
+                    return Err(bad(&format!(
+                        "unknown directive {other:?}"
+                    )))
                 }
             }
         }
@@ -223,7 +234,11 @@ mod tests {
         let err = set.verify(file, 0, &bad).unwrap_err();
         assert!(matches!(
             err,
-            Error::Corruption { file: Some(3), page: Some(0), .. }
+            Error::Corruption {
+                file: Some(3),
+                page: Some(0),
+                ..
+            }
         ));
     }
 

@@ -16,8 +16,10 @@ use tdbms_kernel::{Error, Result};
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct FileId(pub u32);
 
-/// Abstract page-granularity storage.
-pub trait DiskManager {
+/// Abstract page-granularity storage. `Send + Sync` is part of the
+/// contract: a disk manager is only ever driven from behind the pager's
+/// lock, but the pager itself must be shareable across threads.
+pub trait DiskManager: Send + Sync {
     /// Create a new, empty file and return its id.
     fn create_file(&mut self) -> Result<FileId>;
     /// Delete a file and free its pages.
@@ -27,8 +29,12 @@ pub trait DiskManager {
     /// Read page `page_no` of `file`.
     fn read_page(&mut self, file: FileId, page_no: u32) -> Result<Page>;
     /// Write page `page_no` of `file` (must already exist).
-    fn write_page(&mut self, file: FileId, page_no: u32, page: &Page)
-        -> Result<()>;
+    fn write_page(
+        &mut self,
+        file: FileId,
+        page_no: u32,
+        page: &Page,
+    ) -> Result<()>;
     /// Append a new page at the end of `file`; returns its page number.
     fn append_page(&mut self, file: FileId, page: &Page) -> Result<u32>;
     /// Truncate `file` to zero pages (used by `modify` reorganization).
@@ -59,18 +65,18 @@ impl MemDisk {
     }
 
     fn file(&self, file: FileId) -> Result<&Vec<[u8; PAGE_SIZE]>> {
-        self.files
-            .get(&file)
-            .ok_or_else(|| Error::Internal(format!("no such file {file:?}")))
+        self.files.get(&file).ok_or_else(|| {
+            Error::Internal(format!("no such file {file:?}"))
+        })
     }
 
     fn file_mut(
         &mut self,
         file: FileId,
     ) -> Result<&mut Vec<[u8; PAGE_SIZE]>> {
-        self.files
-            .get_mut(&file)
-            .ok_or_else(|| Error::Internal(format!("no such file {file:?}")))
+        self.files.get_mut(&file).ok_or_else(|| {
+            Error::Internal(format!("no such file {file:?}"))
+        })
     }
 }
 
@@ -83,10 +89,9 @@ impl DiskManager for MemDisk {
     }
 
     fn drop_file(&mut self, file: FileId) -> Result<()> {
-        self.files
-            .remove(&file)
-            .map(|_| ())
-            .ok_or_else(|| Error::Internal(format!("no such file {file:?}")))
+        self.files.remove(&file).map(|_| ()).ok_or_else(|| {
+            Error::Internal(format!("no such file {file:?}"))
+        })
     }
 
     fn page_count(&self, file: FileId) -> Result<u32> {
@@ -171,7 +176,11 @@ impl FileDisk {
                 next_id = next_id.max(n + 1);
             }
         }
-        Ok(FileDisk { dir, handles, next_id })
+        Ok(FileDisk {
+            dir,
+            handles,
+            next_id,
+        })
     }
 
     fn path(&self, file: FileId) -> PathBuf {
@@ -179,9 +188,9 @@ impl FileDisk {
     }
 
     fn handle(&mut self, file: FileId) -> Result<&mut File> {
-        self.handles
-            .get_mut(&file)
-            .ok_or_else(|| Error::Internal(format!("no such file {file:?}")))
+        self.handles.get_mut(&file).ok_or_else(|| {
+            Error::Internal(format!("no such file {file:?}"))
+        })
     }
 }
 
@@ -199,18 +208,17 @@ impl DiskManager for FileDisk {
     }
 
     fn drop_file(&mut self, file: FileId) -> Result<()> {
-        self.handles
-            .remove(&file)
-            .ok_or_else(|| Error::Internal(format!("no such file {file:?}")))?;
+        self.handles.remove(&file).ok_or_else(|| {
+            Error::Internal(format!("no such file {file:?}"))
+        })?;
         std::fs::remove_file(self.path(file))?;
         Ok(())
     }
 
     fn page_count(&self, file: FileId) -> Result<u32> {
-        let fh = self
-            .handles
-            .get(&file)
-            .ok_or_else(|| Error::Internal(format!("no such file {file:?}")))?;
+        let fh = self.handles.get(&file).ok_or_else(|| {
+            Error::Internal(format!("no such file {file:?}"))
+        })?;
         Ok((fh.metadata()?.len() / PAGE_SIZE as u64) as u32)
     }
 
@@ -315,18 +323,14 @@ mod tests {
 
     #[test]
     fn file_disk_contract() {
-        let dir = std::env::temp_dir()
-            .join(format!("tdbms-disk-test-{}", std::process::id()));
-        let _ = std::fs::remove_dir_all(&dir);
+        let dir = tdbms_kernel::tmpdir::fresh_dir("disk-test");
         exercise(&mut FileDisk::open(&dir).unwrap());
         std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]
     fn file_disk_reopens_existing_files() {
-        let dir = std::env::temp_dir()
-            .join(format!("tdbms-disk-reopen-{}", std::process::id()));
-        let _ = std::fs::remove_dir_all(&dir);
+        let dir = tdbms_kernel::tmpdir::fresh_dir("disk-reopen");
         let f;
         {
             let mut disk = FileDisk::open(&dir).unwrap();

@@ -10,23 +10,23 @@
 //! free until the crash (a crash loses no already-durable data) and fail
 //! after it.
 //!
-//! The plan is shared (`Rc<RefCell<…>>`) so one budget can span several
-//! channels — the data disk and the write-ahead log — giving a single
-//! global "crash at op N" knob. [`SharedMemDisk`] is a cloneable handle
-//! over a [`MemDisk`] so a test can crash one incarnation of a database
-//! and reopen the *same* surviving bytes in the next, without touching
-//! the filesystem.
+//! The plan is shared (`Arc<Mutex<…>>`, so one plan can also span
+//! threads in the crash-under-concurrency matrix) so one budget can span
+//! several channels — the data disk and the write-ahead log — giving a
+//! single global "crash at op N" knob. [`SharedMemDisk`] is a cloneable
+//! handle over a [`MemDisk`] so a test can crash one incarnation of a
+//! database and reopen the *same* surviving bytes in the next, without
+//! touching the filesystem.
 
 use crate::disk::{DiskManager, FileId, MemDisk};
 use crate::page::{Page, PAGE_SIZE};
-use std::cell::RefCell;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex, PoisonError};
 use tdbms_kernel::{Error, Result};
 
 /// Shared crash schedule. Clones observe and charge the same budget.
 #[derive(Clone)]
 pub struct FaultPlan {
-    state: Rc<RefCell<FaultState>>,
+    state: Arc<Mutex<FaultState>>,
 }
 
 struct FaultState {
@@ -43,7 +43,7 @@ impl FaultPlan {
     /// `None` counts ops but never crashes (dry run to size the matrix).
     pub fn new(crash_after_ops: Option<u64>) -> Self {
         FaultPlan {
-            state: Rc::new(RefCell::new(FaultState {
+            state: Arc::new(Mutex::new(FaultState {
                 remaining: crash_after_ops,
                 charged: 0,
                 crashed: false,
@@ -51,14 +51,18 @@ impl FaultPlan {
         }
     }
 
+    fn lock(&self) -> std::sync::MutexGuard<'_, FaultState> {
+        self.state.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
     /// Has the simulated crash happened?
     pub fn crashed(&self) -> bool {
-        self.state.borrow().crashed
+        self.lock().crashed
     }
 
     /// Mutating operations charged so far.
     pub fn ops_charged(&self) -> u64 {
-        self.state.borrow().charged
+        self.lock().charged
     }
 
     /// The error every operation returns once the process is "dead".
@@ -81,7 +85,7 @@ impl FaultPlan {
     /// for a torn prefix) or the process was already dead. Public for the
     /// same reason as [`FaultPlan::check_alive`].
     pub fn charge(&self) -> Result<()> {
-        let mut s = self.state.borrow_mut();
+        let mut s = self.lock();
         if s.crashed {
             return Err(Self::dead());
         }
@@ -249,7 +253,7 @@ impl DiskManager for FaultDisk {
 /// a crashed in-memory database, reopenable by the next incarnation.
 #[derive(Clone, Default)]
 pub struct SharedMemDisk {
-    inner: Rc<RefCell<MemDisk>>,
+    inner: Arc<Mutex<MemDisk>>,
 }
 
 impl SharedMemDisk {
@@ -257,23 +261,27 @@ impl SharedMemDisk {
     pub fn new() -> Self {
         Self::default()
     }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, MemDisk> {
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+    }
 }
 
 impl DiskManager for SharedMemDisk {
     fn create_file(&mut self) -> Result<FileId> {
-        self.inner.borrow_mut().create_file()
+        self.lock().create_file()
     }
 
     fn drop_file(&mut self, file: FileId) -> Result<()> {
-        self.inner.borrow_mut().drop_file(file)
+        self.lock().drop_file(file)
     }
 
     fn page_count(&self, file: FileId) -> Result<u32> {
-        self.inner.borrow().page_count(file)
+        self.lock().page_count(file)
     }
 
     fn read_page(&mut self, file: FileId, page_no: u32) -> Result<Page> {
-        self.inner.borrow_mut().read_page(file, page_no)
+        self.lock().read_page(file, page_no)
     }
 
     fn write_page(
@@ -282,23 +290,23 @@ impl DiskManager for SharedMemDisk {
         page_no: u32,
         page: &Page,
     ) -> Result<()> {
-        self.inner.borrow_mut().write_page(file, page_no, page)
+        self.lock().write_page(file, page_no, page)
     }
 
     fn append_page(&mut self, file: FileId, page: &Page) -> Result<u32> {
-        self.inner.borrow_mut().append_page(file, page)
+        self.lock().append_page(file, page)
     }
 
     fn truncate(&mut self, file: FileId) -> Result<()> {
-        self.inner.borrow_mut().truncate(file)
+        self.lock().truncate(file)
     }
 
     fn sync(&mut self, file: FileId) -> Result<()> {
-        self.inner.borrow_mut().sync(file)
+        self.lock().sync(file)
     }
 
     fn files(&self) -> Vec<FileId> {
-        self.inner.borrow().files()
+        self.lock().files()
     }
 }
 
@@ -339,8 +347,7 @@ mod tests {
     fn dropped_write_leaves_the_old_image() {
         let shared = SharedMemDisk::new();
         let plan = FaultPlan::new(Some(3));
-        let mut disk =
-            FaultDisk::new(Box::new(shared.clone()), plan);
+        let mut disk = FaultDisk::new(Box::new(shared.clone()), plan);
         let f = disk.create_file().unwrap();
         disk.append_page(f, &page_of(1)).unwrap();
         assert!(disk.write_page(f, 0, &page_of(9)).is_err());
@@ -413,7 +420,10 @@ mod tests {
         let mut other = clone;
         assert_eq!(other.page_count(f).unwrap(), 1);
         other.write_page(f, 0, &page_of(4)).unwrap();
-        assert_eq!(disk.read_page(f, 0).unwrap().row(4, 0).unwrap(), &[4; 4]);
+        assert_eq!(
+            disk.read_page(f, 0).unwrap().row(4, 0).unwrap(),
+            &[4; 4]
+        );
         assert_eq!(disk.files(), vec![f]);
         disk.drop_file(f).unwrap();
         assert!(other.read_page(f, 0).is_err());

@@ -35,7 +35,8 @@ pub struct HashFile {
 /// Rows a primary page receives at build time for fill factor `ff` (in
 /// percent): `floor(capacity * ff / 100)`, at least 1.
 pub fn rows_per_page_at_fill(row_width: usize, fillfactor: u8) -> usize {
-    (page_capacity(row_width) * fillfactor.clamp(1, 100) as usize / 100).max(1)
+    (page_capacity(row_width) * fillfactor.clamp(1, 100) as usize / 100)
+        .max(1)
 }
 
 impl HashFile {
@@ -47,7 +48,7 @@ impl HashFile {
     /// pages immediately (this happens with [`HashFn::Multiplicative`] —
     /// the collision overhead the paper observed).
     pub fn build(
-        pager: &mut Pager,
+        pager: &Pager,
         rows: &[Vec<u8>],
         row_width: usize,
         key: KeySpec,
@@ -55,13 +56,15 @@ impl HashFile {
         fillfactor: u8,
     ) -> Result<HashFile> {
         let file = pager.create_file()?;
-        Self::build_into(pager, file, rows, row_width, key, hashfn, fillfactor)
+        Self::build_into(
+            pager, file, rows, row_width, key, hashfn, fillfactor,
+        )
     }
 
     /// Build into an existing (truncated) file — used by `modify`, which
     /// reorganizes a relation in place.
     pub fn build_into(
-        pager: &mut Pager,
+        pager: &Pager,
         file: FileId,
         rows: &[Vec<u8>],
         row_width: usize,
@@ -78,7 +81,8 @@ impl HashFile {
         let nbuckets = rows.len().div_ceil(per_page).max(1) as u32;
 
         // Group rows by bucket.
-        let mut buckets: Vec<Vec<&[u8]>> = vec![Vec::new(); nbuckets as usize];
+        let mut buckets: Vec<Vec<&[u8]>> =
+            vec![Vec::new(); nbuckets as usize];
         for row in rows {
             if row.len() != row_width {
                 return Err(Error::RowSize {
@@ -115,14 +119,21 @@ impl HashFile {
                 let of = pager.append_page(file, PageKind::Overflow)?;
                 pager.write(file, tail, |p| p.set_overflow(of))?;
                 for row in chunk {
-                    pager
-                        .write(file, of, |p| p.push_row(row_width, row))??;
+                    pager.write(file, of, |p| {
+                        p.push_row(row_width, row)
+                    })??;
                 }
                 tail = of;
             }
         }
         pager.flush_file(file)?;
-        Ok(HashFile { file, row_width, nbuckets, key, hashfn })
+        Ok(HashFile {
+            file,
+            row_width,
+            nbuckets,
+            key,
+            hashfn,
+        })
     }
 
     /// The bucket (primary page) a key belongs to.
@@ -132,7 +143,7 @@ impl HashFile {
 
     /// Insert a row: walk its bucket's chain and place it in the first page
     /// with room, appending a new overflow page if the chain is full.
-    pub fn insert(&self, pager: &mut Pager, row: &[u8]) -> Result<TupleId> {
+    pub fn insert(&self, pager: &Pager, row: &[u8]) -> Result<TupleId> {
         if row.len() != self.row_width {
             return Err(Error::RowSize {
                 expected: self.row_width,
@@ -153,7 +164,8 @@ impl HashFile {
                 return Ok(TupleId::new(page_no, slot?));
             }
             if next == NO_PAGE {
-                let of = pager.append_page(self.file, PageKind::Overflow)?;
+                let of =
+                    pager.append_page(self.file, PageKind::Overflow)?;
                 // Appending evicted `page_no` from the 1-frame buffer; the
                 // link-up below faults it back in, which is faithful: the
                 // prototype also re-touches the chain tail to link a new
@@ -169,7 +181,7 @@ impl HashFile {
     }
 
     /// Read the row at `tid`.
-    pub fn get(&self, pager: &mut Pager, tid: TupleId) -> Result<Vec<u8>> {
+    pub fn get(&self, pager: &Pager, tid: TupleId) -> Result<Vec<u8>> {
         pager.read(self.file, tid.page, |p| {
             p.row(self.row_width, tid.slot).map(|r| r.to_vec())
         })?
@@ -179,7 +191,7 @@ impl HashFile {
     /// time this way).
     pub fn update(
         &self,
-        pager: &mut Pager,
+        pager: &Pager,
         tid: TupleId,
         row: &[u8],
     ) -> Result<()> {
@@ -202,7 +214,11 @@ impl HashFile {
 
     /// Begin a full scan (bucket 0's chain, then bucket 1's, ...).
     pub fn scan(&self) -> HashScan {
-        HashScan { bucket: 0, page: 0, slot: 0 }
+        HashScan {
+            bucket: 0,
+            page: 0,
+            slot: 0,
+        }
     }
 
     /// Total pages (primary + overflow).
@@ -224,7 +240,7 @@ impl HashLookup {
     /// Advance to the next version with the sought key.
     pub fn next(
         &mut self,
-        pager: &mut Pager,
+        pager: &Pager,
         hash: &HashFile,
     ) -> Result<Option<(TupleId, Vec<u8>)>> {
         while !self.done {
@@ -277,13 +293,16 @@ impl HashScan {
     /// Advance; `None` once every chain is exhausted.
     pub fn next(
         &mut self,
-        pager: &mut Pager,
+        pager: &Pager,
         hash: &HashFile,
     ) -> Result<Option<(TupleId, Vec<u8>)>> {
         while self.bucket < hash.nbuckets {
             let got = pager.read(hash.file, self.page, |p| {
                 if (self.slot as usize) < p.count() {
-                    Some(p.row(hash.row_width, self.slot).map(|r| r.to_vec()))
+                    Some(
+                        p.row(hash.row_width, self.slot)
+                            .map(|r| r.to_vec()),
+                    )
                 } else {
                     self.slot = 0;
                     let next = p.overflow();
@@ -337,9 +356,9 @@ mod tests {
         // 1024 rows of width 108 → 9/page; at 100 % fill: ceil(1024/9) = 114
         // buckets; mod hash on sequential ids ⇒ no overflow at load.
         let (codec, rows) = make_rows(1024);
-        let mut pager = Pager::in_memory();
+        let pager = Pager::in_memory();
         let h = HashFile::build(
-            &mut pager,
+            &pager,
             &rows,
             108,
             key_of(&codec),
@@ -352,7 +371,7 @@ mod tests {
 
         // At 50 % fill: ceil(1024/4) = 256 buckets.
         let h50 = HashFile::build(
-            &mut pager,
+            &pager,
             &rows,
             108,
             key_of(&codec),
@@ -369,9 +388,9 @@ mod tests {
         // The Ingres-like hash gives Poisson loads, so some buckets spill —
         // total pages exceed the bucket count (the paper's 166 vs 114).
         let (codec, rows) = make_rows(1024);
-        let mut pager = Pager::in_memory();
+        let pager = Pager::in_memory();
         let h = HashFile::build(
-            &mut pager,
+            &pager,
             &rows,
             108,
             key_of(&codec),
@@ -387,9 +406,9 @@ mod tests {
     #[test]
     fn lookup_finds_all_versions_of_a_key() {
         let (codec, rows) = make_rows(64);
-        let mut pager = Pager::in_memory();
+        let pager = Pager::in_memory();
         let h = HashFile::build(
-            &mut pager,
+            &pager,
             &rows,
             108,
             key_of(&codec),
@@ -402,19 +421,19 @@ mod tests {
             .encode(&[Value::Int(7), Value::Str("v".into())])
             .unwrap();
         for _ in 0..20 {
-            h.insert(&mut pager, &extra).unwrap();
+            h.insert(&pager, &extra).unwrap();
         }
         let keyb = 7i32.to_le_bytes();
         let mut cur = h.lookup(&keyb);
         let mut n = 0;
-        while let Some((_, row)) = cur.next(&mut pager, &h).unwrap() {
+        while let Some((_, row)) = cur.next(&pager, &h).unwrap() {
             assert_eq!(codec.get_i4(&row, 0), 7);
             n += 1;
         }
         assert_eq!(n, 21);
         // A different key in the same bucket is not returned.
         let mut cur = h.lookup(&(999_999i32).to_le_bytes());
-        assert!(cur.next(&mut pager, &h).unwrap().is_none());
+        assert!(cur.next(&pager, &h).unwrap().is_none());
     }
 
     #[test]
@@ -422,9 +441,9 @@ mod tests {
         // Reproduces the Q01 pattern: cost = 1 + overflow pages of the
         // bucket, independent of everything else.
         let (codec, rows) = make_rows(72); // 8 buckets of 9 at width 108
-        let mut pager = Pager::in_memory();
+        let pager = Pager::in_memory();
         let h = HashFile::build(
-            &mut pager,
+            &pager,
             &rows,
             108,
             key_of(&codec),
@@ -439,13 +458,13 @@ mod tests {
             .encode(&[Value::Int(3), Value::Str("v".into())])
             .unwrap();
         for _ in 0..9 {
-            h.insert(&mut pager, &v).unwrap();
+            h.insert(&pager, &v).unwrap();
         }
         pager.invalidate_buffers().unwrap();
         pager.reset_stats();
         let keyb = 3i32.to_le_bytes();
         let mut cur = h.lookup(&keyb);
-        while cur.next(&mut pager, &h).unwrap().is_some() {}
+        while cur.next(&pager, &h).unwrap().is_some() {}
         assert_eq!(pager.stats().of(h.file).reads, 2); // primary + 1 overflow
 
         // An untouched bucket still costs 1.
@@ -453,16 +472,16 @@ mod tests {
         pager.reset_stats();
         let keyb = 4i32.to_le_bytes();
         let mut cur = h.lookup(&keyb);
-        while cur.next(&mut pager, &h).unwrap().is_some() {}
+        while cur.next(&pager, &h).unwrap().is_some() {}
         assert_eq!(pager.stats().of(h.file).reads, 1);
     }
 
     #[test]
     fn scan_visits_every_row_once_at_page_cost() {
         let (codec, rows) = make_rows(100);
-        let mut pager = Pager::in_memory();
+        let pager = Pager::in_memory();
         let h = HashFile::build(
-            &mut pager,
+            &pager,
             &rows,
             108,
             key_of(&codec),
@@ -474,13 +493,13 @@ mod tests {
             .encode(&[Value::Int(5), Value::Str("v".into())])
             .unwrap();
         for _ in 0..30 {
-            h.insert(&mut pager, &v).unwrap();
+            h.insert(&pager, &v).unwrap();
         }
         pager.invalidate_buffers().unwrap();
         pager.reset_stats();
         let mut seen = 0;
         let mut scan = h.scan();
-        while scan.next(&mut pager, &h).unwrap().is_some() {
+        while scan.next(&pager, &h).unwrap().is_some() {
             seen += 1;
         }
         assert_eq!(seen, 130);
@@ -493,9 +512,9 @@ mod tests {
     #[test]
     fn update_in_place_preserves_location() {
         let (codec, rows) = make_rows(16);
-        let mut pager = Pager::in_memory();
+        let pager = Pager::in_memory();
         let h = HashFile::build(
-            &mut pager,
+            &pager,
             &rows,
             108,
             key_of(&codec),
@@ -505,18 +524,20 @@ mod tests {
         .unwrap();
         let keyb = 5i32.to_le_bytes();
         let mut cur = h.lookup(&keyb);
-        let (tid, mut row) = cur.next(&mut pager, &h).unwrap().unwrap();
-        codec.put(&mut row, 1, &Value::Str("updated".into())).unwrap();
-        h.update(&mut pager, tid, &row).unwrap();
-        assert_eq!(h.get(&mut pager, tid).unwrap(), row);
+        let (tid, mut row) = cur.next(&pager, &h).unwrap().unwrap();
+        codec
+            .put(&mut row, 1, &Value::Str("updated".into()))
+            .unwrap();
+        h.update(&pager, tid, &row).unwrap();
+        assert_eq!(h.get(&pager, tid).unwrap(), row);
     }
 
     #[test]
     fn empty_build_is_one_empty_bucket() {
         let (codec, _) = make_rows(0);
-        let mut pager = Pager::in_memory();
+        let pager = Pager::in_memory();
         let h = HashFile::build(
-            &mut pager,
+            &pager,
             &[],
             108,
             key_of(&codec),
@@ -526,6 +547,6 @@ mod tests {
         .unwrap();
         assert_eq!(h.nbuckets, 1);
         let mut scan = h.scan();
-        assert!(scan.next(&mut pager, &h).unwrap().is_none());
+        assert!(scan.next(&pager, &h).unwrap().is_none());
     }
 }

@@ -22,7 +22,7 @@ pub struct HeapFile {
 
 impl HeapFile {
     /// Create an empty heap over a fresh file.
-    pub fn create(pager: &mut Pager, row_width: usize) -> Result<HeapFile> {
+    pub fn create(pager: &Pager, row_width: usize) -> Result<HeapFile> {
         let file = pager.create_file()?;
         Ok(HeapFile { file, row_width })
     }
@@ -33,7 +33,7 @@ impl HeapFile {
     }
 
     /// Insert a row at the end of the file.
-    pub fn insert(&self, pager: &mut Pager, row: &[u8]) -> Result<TupleId> {
+    pub fn insert(&self, pager: &Pager, row: &[u8]) -> Result<TupleId> {
         let n = pager.page_count(self.file)?;
         if n > 0 {
             let last = n - 1;
@@ -50,13 +50,14 @@ impl HeapFile {
             }
         }
         let page_no = pager.append_page(self.file, PageKind::Data)?;
-        let slot = pager
-            .write(self.file, page_no, |p| p.push_row(self.row_width, row))??;
+        let slot = pager.write(self.file, page_no, |p| {
+            p.push_row(self.row_width, row)
+        })??;
         Ok(TupleId::new(page_no, slot))
     }
 
     /// Read the row at `tid`.
-    pub fn get(&self, pager: &mut Pager, tid: TupleId) -> Result<Vec<u8>> {
+    pub fn get(&self, pager: &Pager, tid: TupleId) -> Result<Vec<u8>> {
         pager.read(self.file, tid.page, |p| {
             p.row(self.row_width, tid.slot).map(|r| r.to_vec())
         })?
@@ -65,7 +66,7 @@ impl HeapFile {
     /// Overwrite the row at `tid` in place.
     pub fn update(
         &self,
-        pager: &mut Pager,
+        pager: &Pager,
         tid: TupleId,
         row: &[u8],
     ) -> Result<()> {
@@ -77,7 +78,7 @@ impl HeapFile {
     /// Physically remove the row at `tid` (compacting within the page).
     /// Only static relations do this; versioned relations delete logically
     /// by stamping a stop time.
-    pub fn delete(&self, pager: &mut Pager, tid: TupleId) -> Result<()> {
+    pub fn delete(&self, pager: &Pager, tid: TupleId) -> Result<()> {
         pager.write(self.file, tid.page, |p| {
             p.remove_row(self.row_width, tid.slot).map(|_| ())
         })?
@@ -108,7 +109,7 @@ impl HeapScan {
     /// Advance; `None` at end of file.
     pub fn next(
         &mut self,
-        pager: &mut Pager,
+        pager: &Pager,
         heap: &HeapFile,
     ) -> Result<Option<(TupleId, Vec<u8>)>> {
         let n = pager.page_count(heap.file)?;
@@ -149,16 +150,16 @@ mod tests {
 
     #[test]
     fn insert_fills_pages_in_order() {
-        let mut pager = Pager::in_memory();
-        let heap = HeapFile::create(&mut pager, 100).unwrap();
+        let pager = Pager::in_memory();
+        let heap = HeapFile::create(&pager, 100).unwrap();
         // 10 rows/page at width 100 (1012 / 100 = 10).
         for i in 0..25u8 {
-            heap.insert(&mut pager, &row(i, 100)).unwrap();
+            heap.insert(&pager, &row(i, 100)).unwrap();
         }
         assert_eq!(heap.total_pages(&pager).unwrap(), 3);
         let mut scan = heap.scan();
         let mut seen = Vec::new();
-        while let Some((_, r)) = scan.next(&mut pager, &heap).unwrap() {
+        while let Some((_, r)) = scan.next(&pager, &heap).unwrap() {
             seen.push(r[0]);
         }
         assert_eq!(seen, (0..25).collect::<Vec<u8>>());
@@ -166,15 +167,15 @@ mod tests {
 
     #[test]
     fn scan_cost_equals_page_count() {
-        let mut pager = Pager::in_memory();
-        let heap = HeapFile::create(&mut pager, 100).unwrap();
+        let pager = Pager::in_memory();
+        let heap = HeapFile::create(&pager, 100).unwrap();
         for i in 0..50u8 {
-            heap.insert(&mut pager, &row(i, 100)).unwrap();
+            heap.insert(&pager, &row(i, 100)).unwrap();
         }
         pager.invalidate_buffers().unwrap();
         pager.reset_stats();
         let mut scan = heap.scan();
-        while scan.next(&mut pager, &heap).unwrap().is_some() {}
+        while scan.next(&pager, &heap).unwrap().is_some() {}
         assert_eq!(
             pager.stats().of(heap.file).reads as u32,
             heap.total_pages(&pager).unwrap()
@@ -183,25 +184,25 @@ mod tests {
 
     #[test]
     fn get_update_delete_roundtrip() {
-        let mut pager = Pager::in_memory();
-        let heap = HeapFile::create(&mut pager, 10).unwrap();
-        let a = heap.insert(&mut pager, &row(1, 10)).unwrap();
-        let b = heap.insert(&mut pager, &row(2, 10)).unwrap();
-        assert_eq!(heap.get(&mut pager, a).unwrap(), row(1, 10));
-        heap.update(&mut pager, a, &row(9, 10)).unwrap();
-        assert_eq!(heap.get(&mut pager, a).unwrap(), row(9, 10));
-        heap.delete(&mut pager, a).unwrap();
+        let pager = Pager::in_memory();
+        let heap = HeapFile::create(&pager, 10).unwrap();
+        let a = heap.insert(&pager, &row(1, 10)).unwrap();
+        let b = heap.insert(&pager, &row(2, 10)).unwrap();
+        assert_eq!(heap.get(&pager, a).unwrap(), row(1, 10));
+        heap.update(&pager, a, &row(9, 10)).unwrap();
+        assert_eq!(heap.get(&pager, a).unwrap(), row(9, 10));
+        heap.delete(&pager, a).unwrap();
         // b moved into a's slot (compaction).
-        assert_eq!(heap.get(&mut pager, a).unwrap(), row(2, 10));
-        assert!(heap.get(&mut pager, b).is_err());
+        assert_eq!(heap.get(&pager, a).unwrap(), row(2, 10));
+        assert!(heap.get(&pager, b).is_err());
     }
 
     #[test]
     fn empty_heap_scans_nothing() {
-        let mut pager = Pager::in_memory();
-        let heap = HeapFile::create(&mut pager, 10).unwrap();
+        let pager = Pager::in_memory();
+        let heap = HeapFile::create(&pager, 10).unwrap();
         let mut scan = heap.scan();
-        assert!(scan.next(&mut pager, &heap).unwrap().is_none());
+        assert!(scan.next(&pager, &heap).unwrap().is_none());
         assert_eq!(heap.total_pages(&pager).unwrap(), 0);
     }
 }

@@ -17,16 +17,49 @@
 //! holds per file and in total; `accesses` is counted at the access site
 //! and `hits`/`reads` at the classification sites, so the identity is a
 //! real cross-check, not a tautology.
+//!
+//! Version 3 makes the ledger shareable: per-file counters are atomics
+//! behind an `RwLock`'d directory and the phase ledger sits behind a
+//! `Mutex`, so recording is `&self` and `IoStats` is `Send + Sync`. A
+//! counter bump is a single relaxed `fetch_add`; concurrent recorders
+//! never lose increments, and the hit/miss/access identity still holds at
+//! every quiescent point (each access site performs its access and
+//! classification bumps before returning).
 
 use crate::disk::FileId;
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, PoisonError, RwLock};
 
-/// Per-file read/write page counters.
-#[derive(Debug, Default, Clone)]
+/// Per-file read/write page counters, safely shareable across threads.
+#[derive(Debug, Default)]
 pub struct IoStats {
-    counters: HashMap<FileId, FileIo>,
-    phases: Vec<PhaseIo>,
-    open_phase: Option<(String, Totals)>,
+    counters: RwLock<HashMap<FileId, Arc<FileCounters>>>,
+    phases: Mutex<PhaseLedger>,
+}
+
+/// The atomic cell behind one file's [`FileIo`] snapshot.
+#[derive(Debug, Default)]
+struct FileCounters {
+    reads: AtomicU64,
+    writes: AtomicU64,
+    hits: AtomicU64,
+    evictions: AtomicU64,
+    accesses: AtomicU64,
+    retries: AtomicU64,
+}
+
+impl FileCounters {
+    fn snapshot(&self) -> FileIo {
+        FileIo {
+            reads: self.reads.load(Ordering::Relaxed),
+            writes: self.writes.load(Ordering::Relaxed),
+            hits: self.hits.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            accesses: self.accesses.load(Ordering::Relaxed),
+            retries: self.retries.load(Ordering::Relaxed),
+        }
+    }
 }
 
 /// Counters for one file.
@@ -71,6 +104,13 @@ struct Totals {
     evictions: u64,
 }
 
+/// The phase slices of the ledger, guarded as one unit.
+#[derive(Debug, Default)]
+struct PhaseLedger {
+    closed: Vec<PhaseIo>,
+    open: Option<(String, Totals)>,
+}
+
 /// The I/O attributed to one named phase of a statement.
 #[derive(Debug, Default, Clone, PartialEq, Eq)]
 pub struct PhaseIo {
@@ -92,76 +132,116 @@ impl IoStats {
         Self::default()
     }
 
-    pub(crate) fn record_read(&mut self, file: FileId) {
-        self.counters.entry(file).or_default().reads += 1;
+    /// The shared atomic cell for `file`, creating it on first touch.
+    /// The common path is a read-lock lookup; only a file's very first
+    /// counter bump takes the directory write lock.
+    fn cell(&self, file: FileId) -> Arc<FileCounters> {
+        if let Some(c) = self
+            .counters
+            .read()
+            .unwrap_or_else(PoisonError::into_inner)
+            .get(&file)
+        {
+            return Arc::clone(c);
+        }
+        Arc::clone(
+            self.counters
+                .write()
+                .unwrap_or_else(PoisonError::into_inner)
+                .entry(file)
+                .or_default(),
+        )
     }
 
-    pub(crate) fn record_write(&mut self, file: FileId) {
-        self.counters.entry(file).or_default().writes += 1;
+    pub(crate) fn record_read(&self, file: FileId) {
+        self.cell(file).reads.fetch_add(1, Ordering::Relaxed);
     }
 
-    pub(crate) fn record_hit(&mut self, file: FileId) {
-        self.counters.entry(file).or_default().hits += 1;
+    pub(crate) fn record_write(&self, file: FileId) {
+        self.cell(file).writes.fetch_add(1, Ordering::Relaxed);
     }
 
-    pub(crate) fn record_eviction(&mut self, file: FileId) {
-        self.counters.entry(file).or_default().evictions += 1;
+    pub(crate) fn record_hit(&self, file: FileId) {
+        self.cell(file).hits.fetch_add(1, Ordering::Relaxed);
     }
 
-    pub(crate) fn record_access(&mut self, file: FileId) {
-        self.counters.entry(file).or_default().accesses += 1;
+    pub(crate) fn record_eviction(&self, file: FileId) {
+        self.cell(file).evictions.fetch_add(1, Ordering::Relaxed);
     }
 
-    pub(crate) fn record_retry(&mut self, file: FileId) {
-        self.counters.entry(file).or_default().retries += 1;
+    pub(crate) fn record_access(&self, file: FileId) {
+        self.cell(file).accesses.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_retry(&self, file: FileId) {
+        self.cell(file).retries.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Total transient-read retries across all files.
     pub fn total_retries(&self) -> u64 {
-        self.counters.values().map(|c| c.retries).sum()
+        self.sum(|c| c.retries)
     }
 
     /// Charge `n` page writes against `file` from outside the pager. The
     /// WAL uses this to account its log appends (to a pseudo file id) in
     /// the same ledger as data-page I/O, so `QueryStats` phases can show
     /// the durability cost next to the paper's metric.
-    pub fn add_writes(&mut self, file: FileId, n: u64) {
-        self.counters.entry(file).or_default().writes += n;
+    pub fn add_writes(&self, file: FileId, n: u64) {
+        self.cell(file).writes.fetch_add(n, Ordering::Relaxed);
     }
 
     /// Counters for one file (zero if never touched).
     pub fn of(&self, file: FileId) -> FileIo {
-        self.counters.get(&file).copied().unwrap_or_default()
+        self.counters
+            .read()
+            .unwrap_or_else(PoisonError::into_inner)
+            .get(&file)
+            .map(|c| c.snapshot())
+            .unwrap_or_default()
+    }
+
+    fn sum(&self, pick: impl Fn(&FileIo) -> u64) -> u64 {
+        self.counters
+            .read()
+            .unwrap_or_else(PoisonError::into_inner)
+            .values()
+            .map(|c| pick(&c.snapshot()))
+            .sum()
     }
 
     /// Total page reads across all files.
     pub fn total_reads(&self) -> u64 {
-        self.counters.values().map(|c| c.reads).sum()
+        self.sum(|c| c.reads)
     }
 
     /// Total page writes across all files.
     pub fn total_writes(&self) -> u64 {
-        self.counters.values().map(|c| c.writes).sum()
+        self.sum(|c| c.writes)
     }
 
     /// Total buffer hits across all files.
     pub fn total_hits(&self) -> u64 {
-        self.counters.values().map(|c| c.hits).sum()
+        self.sum(|c| c.hits)
     }
 
     /// Total capacity evictions across all files.
     pub fn total_evictions(&self) -> u64 {
-        self.counters.values().map(|c| c.evictions).sum()
+        self.sum(|c| c.evictions)
     }
 
     /// Total buffered page accesses across all files.
     pub fn total_accesses(&self) -> u64 {
-        self.counters.values().map(|c| c.accesses).sum()
+        self.sum(|c| c.accesses)
     }
 
     /// The ledger invariant over every file: `hits + misses == accesses`.
+    /// Meaningful at quiescent points (no recorder mid-access).
     pub fn is_consistent(&self) -> bool {
-        self.counters.values().all(|c| c.is_consistent())
+        self.counters
+            .read()
+            .unwrap_or_else(PoisonError::into_inner)
+            .values()
+            .all(|c| c.snapshot().is_consistent())
     }
 
     /// Total page reads across a set of files.
@@ -175,15 +255,30 @@ impl IoStats {
     }
 
     /// Zero every counter and drop all recorded phases.
-    pub fn reset(&mut self) {
-        self.counters.clear();
-        self.phases.clear();
-        self.open_phase = None;
+    pub fn reset(&self) {
+        // Take the phase lock first (same order as begin/end_phase) and
+        // hold both so no recorder can slip between the two wipes.
+        let mut ledger =
+            self.phases.lock().unwrap_or_else(PoisonError::into_inner);
+        self.counters
+            .write()
+            .unwrap_or_else(PoisonError::into_inner)
+            .clear();
+        ledger.closed.clear();
+        ledger.open = None;
     }
 
-    /// Iterate over `(file, counters)` for files that were touched.
-    pub fn iter(&self) -> impl Iterator<Item = (FileId, FileIo)> + '_ {
-        self.counters.iter().map(|(f, c)| (*f, *c))
+    /// Snapshot `(file, counters)` for every file that was touched.
+    pub fn iter(&self) -> impl Iterator<Item = (FileId, FileIo)> {
+        let mut snap: Vec<(FileId, FileIo)> = self
+            .counters
+            .read()
+            .unwrap_or_else(PoisonError::into_inner)
+            .iter()
+            .map(|(f, c)| (*f, c.snapshot()))
+            .collect();
+        snap.sort_by_key(|(f, _)| *f);
+        snap.into_iter()
     }
 
     fn totals(&self) -> Totals {
@@ -199,16 +294,23 @@ impl IoStats {
     /// `begin_phase`, which closes the current one first) is attributed to
     /// it. Phases do not nest — the paper's decomposition pipeline is a
     /// sequence, not a tree.
-    pub fn begin_phase(&mut self, name: &str) {
-        self.end_phase();
-        self.open_phase = Some((name.to_string(), self.totals()));
+    pub fn begin_phase(&self, name: &str) {
+        let mut ledger =
+            self.phases.lock().unwrap_or_else(PoisonError::into_inner);
+        Self::close_open(&mut ledger, self.totals());
+        ledger.open = Some((name.to_string(), self.totals()));
     }
 
     /// Close the open phase, if any, recording its I/O delta.
-    pub fn end_phase(&mut self) {
-        if let Some((name, base)) = self.open_phase.take() {
-            let now = self.totals();
-            self.phases.push(PhaseIo {
+    pub fn end_phase(&self) {
+        let mut ledger =
+            self.phases.lock().unwrap_or_else(PoisonError::into_inner);
+        Self::close_open(&mut ledger, self.totals());
+    }
+
+    fn close_open(ledger: &mut PhaseLedger, now: Totals) {
+        if let Some((name, base)) = ledger.open.take() {
+            ledger.closed.push(PhaseIo {
                 name,
                 reads: now.reads - base.reads,
                 writes: now.writes - base.writes,
@@ -218,21 +320,69 @@ impl IoStats {
         }
     }
 
-    /// Every closed phase, in the order recorded.
-    pub fn phases(&self) -> &[PhaseIo] {
-        &self.phases
+    /// Every closed phase, in the order recorded (a snapshot).
+    pub fn phases(&self) -> Vec<PhaseIo> {
+        self.phases
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .closed
+            .clone()
     }
 
     /// The aggregate I/O of every recorded phase named `name` (all-zero if
     /// the phase never ran).
     pub fn scoped(&self, name: &str) -> PhaseIo {
-        let mut out = PhaseIo { name: name.to_string(), ..Default::default() };
-        for p in self.phases.iter().filter(|p| p.name == name) {
+        let mut out = PhaseIo {
+            name: name.to_string(),
+            ..Default::default()
+        };
+        for p in self.phases().iter().filter(|p| p.name == name) {
             out.reads += p.reads;
             out.writes += p.writes;
             out.hits += p.hits;
             out.evictions += p.evictions;
         }
+        out
+    }
+}
+
+impl Clone for IoStats {
+    /// A deep snapshot: the clone gets its own counters frozen at the
+    /// values observed now, sharing nothing with the original.
+    fn clone(&self) -> Self {
+        let out = IoStats::new();
+        {
+            let mut dst = out
+                .counters
+                .write()
+                .unwrap_or_else(PoisonError::into_inner);
+            let src = self
+                .counters
+                .read()
+                .unwrap_or_else(PoisonError::into_inner);
+            for (f, c) in src.iter() {
+                let s = c.snapshot();
+                dst.insert(
+                    *f,
+                    Arc::new(FileCounters {
+                        reads: AtomicU64::new(s.reads),
+                        writes: AtomicU64::new(s.writes),
+                        hits: AtomicU64::new(s.hits),
+                        evictions: AtomicU64::new(s.evictions),
+                        accesses: AtomicU64::new(s.accesses),
+                        retries: AtomicU64::new(s.retries),
+                    }),
+                );
+            }
+        }
+        let src =
+            self.phases.lock().unwrap_or_else(PoisonError::into_inner);
+        let mut dst =
+            out.phases.lock().unwrap_or_else(PoisonError::into_inner);
+        dst.closed = src.closed.clone();
+        dst.open = src.open.clone();
+        drop(dst);
+        drop(src);
         out
     }
 }
@@ -243,7 +393,7 @@ mod tests {
 
     #[test]
     fn counts_and_resets() {
-        let mut s = IoStats::new();
+        let s = IoStats::new();
         let a = FileId(1);
         let b = FileId(2);
         s.record_access(a);
@@ -268,7 +418,7 @@ mod tests {
 
     #[test]
     fn hit_miss_access_identity() {
-        let mut s = IoStats::new();
+        let s = IoStats::new();
         let f = FileId(7);
         for _ in 0..5 {
             s.record_access(f);
@@ -292,7 +442,7 @@ mod tests {
 
     #[test]
     fn phases_slice_the_ledger() {
-        let mut s = IoStats::new();
+        let s = IoStats::new();
         let f = FileId(3);
         s.begin_phase("decomposition");
         s.record_access(f);
@@ -316,15 +466,69 @@ mod tests {
         let d = s.scoped("decomposition");
         assert_eq!((d.reads, d.writes, d.hits, d.evictions), (1, 1, 0, 0));
         let sub = s.scoped("substitution");
-        assert_eq!((sub.reads, sub.writes, sub.hits, sub.evictions), (2, 0, 1, 1));
-        assert_eq!(s.scoped("never-ran"), PhaseIo {
-            name: "never-ran".into(),
-            ..Default::default()
-        });
+        assert_eq!(
+            (sub.reads, sub.writes, sub.hits, sub.evictions),
+            (2, 0, 1, 1)
+        );
+        assert_eq!(
+            s.scoped("never-ran"),
+            PhaseIo {
+                name: "never-ran".into(),
+                ..Default::default()
+            }
+        );
         // end_phase with nothing open is a no-op.
         s.end_phase();
         assert_eq!(s.phases().len(), 3);
         s.reset();
         assert!(s.phases().is_empty());
+    }
+
+    #[test]
+    fn clone_is_a_frozen_snapshot() {
+        let s = IoStats::new();
+        let f = FileId(4);
+        s.record_access(f);
+        s.record_read(f);
+        let snap = s.clone();
+        s.record_access(f);
+        s.record_hit(f);
+        assert_eq!(snap.of(f).accesses, 1);
+        assert_eq!(s.of(f).accesses, 2);
+        assert!(snap.is_consistent() && s.is_consistent());
+    }
+
+    /// Hammer one ledger from many threads; every increment must land
+    /// and the classification identity must hold at the join point.
+    #[test]
+    fn concurrent_recording_loses_nothing() {
+        let s = Arc::new(IoStats::new());
+        let threads = 8;
+        let per = 500u64;
+        std::thread::scope(|scope| {
+            for t in 0..threads {
+                let s = Arc::clone(&s);
+                scope.spawn(move || {
+                    let f = FileId(t % 3);
+                    for i in 0..per {
+                        s.record_access(f);
+                        if i % 2 == 0 {
+                            s.record_hit(f);
+                        } else {
+                            s.record_read(f);
+                        }
+                        if i % 7 == 0 {
+                            s.record_write(f);
+                        }
+                    }
+                });
+            }
+        });
+        assert_eq!(s.total_accesses(), u64::from(threads) * per);
+        assert_eq!(
+            s.total_hits() + s.total_reads(),
+            u64::from(threads) * per
+        );
+        assert!(s.is_consistent());
     }
 }

@@ -44,7 +44,7 @@ impl IsamFile {
     /// Build an ISAM file over a fresh storage file from `rows` (sorted
     /// internally).
     pub fn build(
-        pager: &mut Pager,
+        pager: &Pager,
         rows: &[Vec<u8>],
         row_width: usize,
         key: KeySpec,
@@ -56,7 +56,7 @@ impl IsamFile {
 
     /// Build into an existing (truncated) file — used by `modify`.
     pub fn build_into(
-        pager: &mut Pager,
+        pager: &Pager,
         file: FileId,
         rows: &[Vec<u8>],
         row_width: usize,
@@ -79,7 +79,8 @@ impl IsamFile {
         }
         sorted.sort_by(|a, b| key.compare(key.extract(a), key.extract(b)));
 
-        let per_page = crate::hash::rows_per_page_at_fill(row_width, fillfactor);
+        let per_page =
+            crate::hash::rows_per_page_at_fill(row_width, fillfactor);
 
         // Data pages, filled to the fill factor.
         let mut first_keys: Vec<Vec<u8>> = Vec::new();
@@ -90,7 +91,9 @@ impl IsamFile {
         for chunk in sorted.chunks(per_page) {
             let page_no = pager.append_page(file, PageKind::Data)?;
             for row in chunk {
-                pager.write(file, page_no, |p| p.push_row(row_width, row))??;
+                pager.write(file, page_no, |p| {
+                    p.push_row(row_width, row)
+                })??;
             }
             first_keys.push(key.extract(chunk[0]).to_vec());
         }
@@ -106,9 +109,12 @@ impl IsamFile {
             let start = pager.page_count(file)?;
             let mut next_keys: Vec<Vec<u8>> = Vec::new();
             for chunk in level_keys.chunks(fanout) {
-                let page_no = pager.append_page(file, PageKind::Directory)?;
+                let page_no =
+                    pager.append_page(file, PageKind::Directory)?;
                 for k in chunk {
-                    pager.write(file, page_no, |p| p.push_row(key.len, k))??;
+                    pager.write(file, page_no, |p| {
+                        p.push_row(key.len, k)
+                    })??;
                 }
                 next_keys.push(chunk[0].clone());
             }
@@ -120,7 +126,13 @@ impl IsamFile {
             level_keys = next_keys;
         }
         pager.flush_file(file)?;
-        Ok(IsamFile { file, row_width, key, n_data_pages, levels })
+        Ok(IsamFile {
+            file,
+            row_width,
+            key,
+            n_data_pages,
+            levels,
+        })
     }
 
     /// Number of directory pages (of all levels).
@@ -159,7 +171,7 @@ impl IsamFile {
     /// entries costs one page read.
     fn dir_entry(
         &self,
-        pager: &mut Pager,
+        pager: &Pager,
         i: usize,
         idx: u32,
     ) -> Result<Vec<u8>> {
@@ -184,7 +196,7 @@ impl IsamFile {
     /// a boundary key may touch a second page at a level.
     fn descend(
         &self,
-        pager: &mut Pager,
+        pager: &Pager,
         key_bytes: &[u8],
     ) -> Result<(u32, u32)> {
         let fanout = page_capacity(self.key.len) as u32;
@@ -221,7 +233,7 @@ impl IsamFile {
 
     /// Insert a row: descend to its data page, then place it in the first
     /// chain page with room (appending an overflow page if needed).
-    pub fn insert(&self, pager: &mut Pager, row: &[u8]) -> Result<TupleId> {
+    pub fn insert(&self, pager: &Pager, row: &[u8]) -> Result<TupleId> {
         if row.len() != self.row_width {
             return Err(Error::RowSize {
                 expected: self.row_width,
@@ -246,7 +258,8 @@ impl IsamFile {
                 return Ok(TupleId::new(page_no, slot?));
             }
             if next == NO_PAGE {
-                let of = pager.append_page(self.file, PageKind::Overflow)?;
+                let of =
+                    pager.append_page(self.file, PageKind::Overflow)?;
                 pager.write(self.file, page_no, |p| p.set_overflow(of))?;
                 let slot = pager.write(self.file, of, |p| {
                     p.push_row(self.row_width, row)
@@ -258,7 +271,7 @@ impl IsamFile {
     }
 
     /// Read the row at `tid`.
-    pub fn get(&self, pager: &mut Pager, tid: TupleId) -> Result<Vec<u8>> {
+    pub fn get(&self, pager: &Pager, tid: TupleId) -> Result<Vec<u8>> {
         pager.read(self.file, tid.page, |p| {
             p.row(self.row_width, tid.slot).map(|r| r.to_vec())
         })?
@@ -267,7 +280,7 @@ impl IsamFile {
     /// Overwrite the row at `tid` in place.
     pub fn update(
         &self,
-        pager: &mut Pager,
+        pager: &Pager,
         tid: TupleId,
         row: &[u8],
     ) -> Result<()> {
@@ -281,7 +294,7 @@ impl IsamFile {
     /// pages' chains.
     pub fn lookup(
         &self,
-        pager: &mut Pager,
+        pager: &Pager,
         key_bytes: &[u8],
     ) -> Result<IsamLookup> {
         let (start, end) = self.descend(pager, key_bytes)?;
@@ -297,7 +310,11 @@ impl IsamFile {
 
     /// Begin a full scan of data + overflow pages (directory untouched).
     pub fn scan(&self) -> IsamScan {
-        IsamScan { data_page: 0, page: 0, slot: 0 }
+        IsamScan {
+            data_page: 0,
+            page: 0,
+            slot: 0,
+        }
     }
 }
 
@@ -319,7 +336,7 @@ impl IsamLookup {
     /// Advance to the next version with the sought key.
     pub fn next(
         &mut self,
-        pager: &mut Pager,
+        pager: &Pager,
         isam: &IsamFile,
     ) -> Result<Option<(TupleId, Vec<u8>)>> {
         while !self.done {
@@ -374,13 +391,16 @@ impl IsamScan {
     /// Advance; `None` once every data page's chain is exhausted.
     pub fn next(
         &mut self,
-        pager: &mut Pager,
+        pager: &Pager,
         isam: &IsamFile,
     ) -> Result<Option<(TupleId, Vec<u8>)>> {
         while self.data_page < isam.n_data_pages {
             let got = pager.read(isam.file, self.page, |p| {
                 if (self.slot as usize) < p.count() {
-                    Some(p.row(isam.row_width, self.slot).map(|r| r.to_vec()))
+                    Some(
+                        p.row(isam.row_width, self.slot)
+                            .map(|r| r.to_vec()),
+                    )
                 } else {
                     self.slot = 0;
                     let next = p.overflow();
@@ -423,7 +443,10 @@ mod tests {
             .iter()
             .map(|i| {
                 codec
-                    .encode(&[Value::Int(*i as i64), Value::Str("x".into())])
+                    .encode(&[
+                        Value::Int(*i as i64),
+                        Value::Str("x".into()),
+                    ])
                     .unwrap()
             })
             .collect();
@@ -438,9 +461,9 @@ mod tests {
     fn build_produces_paper_page_counts() {
         // 1024 rows at 108 bytes, 100 % fill: 114 data pages + 1 directory.
         let (codec, rows) = make_rows(1024, 104);
-        let mut pager = Pager::in_memory();
-        let f = IsamFile::build(&mut pager, &rows, 108, key(&codec), 100)
-            .unwrap();
+        let pager = Pager::in_memory();
+        let f =
+            IsamFile::build(&pager, &rows, 108, key(&codec), 100).unwrap();
         assert_eq!(f.n_data_pages, 114);
         assert_eq!(f.n_directory_pages(), 1);
         assert_eq!(f.n_levels(), 1);
@@ -448,8 +471,8 @@ mod tests {
 
         // 50 % fill: 256 data pages; 256 entries exceed one directory page
         // (fanout 253), so two leaf pages plus a root = 3 directory pages.
-        let f50 = IsamFile::build(&mut pager, &rows, 108, key(&codec), 50)
-            .unwrap();
+        let f50 =
+            IsamFile::build(&pager, &rows, 108, key(&codec), 50).unwrap();
         assert_eq!(f50.n_data_pages, 256);
         assert_eq!(f50.n_directory_pages(), 3);
         assert_eq!(f50.n_levels(), 2);
@@ -459,15 +482,15 @@ mod tests {
     #[test]
     fn keyed_access_costs_levels_plus_chain() {
         let (codec, rows) = make_rows(1024, 104);
-        let mut pager = Pager::in_memory();
-        let f = IsamFile::build(&mut pager, &rows, 108, key(&codec), 100)
-            .unwrap();
+        let pager = Pager::in_memory();
+        let f =
+            IsamFile::build(&pager, &rows, 108, key(&codec), 100).unwrap();
         pager.invalidate_buffers().unwrap();
         pager.reset_stats();
         let kb = 500i32.to_le_bytes();
-        let mut cur = f.lookup(&mut pager, &kb).unwrap();
+        let mut cur = f.lookup(&pager, &kb).unwrap();
         let mut n = 0;
-        while let Some((_, row)) = cur.next(&mut pager, &f).unwrap() {
+        while let Some((_, row)) = cur.next(&pager, &f).unwrap() {
             assert_eq!(codec.get_i4(&row, 0), 500);
             n += 1;
         }
@@ -477,26 +500,26 @@ mod tests {
 
         // At 50 % loading the directory has two levels: cost 3 (paper's
         // Q02 at 50 %).
-        let f50 = IsamFile::build(&mut pager, &rows, 108, key(&codec), 50)
-            .unwrap();
+        let f50 =
+            IsamFile::build(&pager, &rows, 108, key(&codec), 50).unwrap();
         pager.invalidate_buffers().unwrap();
         pager.reset_stats();
-        let mut cur = f50.lookup(&mut pager, &kb).unwrap();
-        while cur.next(&mut pager, &f50).unwrap().is_some() {}
+        let mut cur = f50.lookup(&pager, &kb).unwrap();
+        while cur.next(&pager, &f50).unwrap().is_some() {}
         assert_eq!(pager.stats().of(f50.file).reads, 3);
     }
 
     #[test]
     fn scan_skips_directory_pages() {
         let (codec, rows) = make_rows(1024, 104);
-        let mut pager = Pager::in_memory();
-        let f = IsamFile::build(&mut pager, &rows, 108, key(&codec), 100)
-            .unwrap();
+        let pager = Pager::in_memory();
+        let f =
+            IsamFile::build(&pager, &rows, 108, key(&codec), 100).unwrap();
         pager.invalidate_buffers().unwrap();
         pager.reset_stats();
         let mut scan = f.scan();
         let mut n = 0;
-        while scan.next(&mut pager, &f).unwrap().is_some() {
+        while scan.next(&pager, &f).unwrap().is_some() {
             n += 1;
         }
         assert_eq!(n, 1024);
@@ -506,12 +529,12 @@ mod tests {
     #[test]
     fn scan_yields_rows_in_key_order() {
         let (codec, rows) = make_rows(100, 104);
-        let mut pager = Pager::in_memory();
+        let pager = Pager::in_memory();
         let f =
-            IsamFile::build(&mut pager, &rows, 108, key(&codec), 100).unwrap();
+            IsamFile::build(&pager, &rows, 108, key(&codec), 100).unwrap();
         let mut scan = f.scan();
         let mut prev = i32::MIN;
-        while let Some((_, row)) = scan.next(&mut pager, &f).unwrap() {
+        while let Some((_, row)) = scan.next(&pager, &f).unwrap() {
             let id = codec.get_i4(&row, 0);
             assert!(id > prev);
             prev = id;
@@ -522,21 +545,21 @@ mod tests {
     #[test]
     fn inserts_chain_on_the_right_data_page() {
         let (codec, rows) = make_rows(64, 104); // 8 data pages of 9... 64/9=8 pages
-        let mut pager = Pager::in_memory();
+        let pager = Pager::in_memory();
         let f =
-            IsamFile::build(&mut pager, &rows, 108, key(&codec), 100).unwrap();
+            IsamFile::build(&pager, &rows, 108, key(&codec), 100).unwrap();
         let v = codec
             .encode(&[Value::Int(12), Value::Str("v".into())])
             .unwrap();
         for _ in 0..12 {
-            f.insert(&mut pager, &v).unwrap();
+            f.insert(&pager, &v).unwrap();
         }
         pager.invalidate_buffers().unwrap();
         pager.reset_stats();
         let kb = 12i32.to_le_bytes();
-        let mut cur = f.lookup(&mut pager, &kb).unwrap();
+        let mut cur = f.lookup(&pager, &kb).unwrap();
         let mut n = 0;
-        while cur.next(&mut pager, &f).unwrap().is_some() {
+        while cur.next(&pager, &f).unwrap().is_some() {
             n += 1;
         }
         assert_eq!(n, 13);
@@ -547,8 +570,8 @@ mod tests {
         pager.invalidate_buffers().unwrap();
         pager.reset_stats();
         let kb = 60i32.to_le_bytes();
-        let mut cur = f.lookup(&mut pager, &kb).unwrap();
-        while cur.next(&mut pager, &f).unwrap().is_some() {}
+        let mut cur = f.lookup(&pager, &kb).unwrap();
+        while cur.next(&pager, &f).unwrap().is_some() {}
         assert_eq!(pager.stats().of(f.file).reads, 2);
     }
 
@@ -564,32 +587,42 @@ mod tests {
         let mut rows: Vec<Vec<u8>> = Vec::new();
         for i in 1..=5i64 {
             rows.push(
-                codec.encode(&[Value::Int(i), Value::Str("a".into())]).unwrap(),
+                codec
+                    .encode(&[Value::Int(i), Value::Str("a".into())])
+                    .unwrap(),
             );
         }
         for _ in 0..30 {
             rows.push(
-                codec.encode(&[Value::Int(5), Value::Str("b".into())]).unwrap(),
+                codec
+                    .encode(&[Value::Int(5), Value::Str("b".into())])
+                    .unwrap(),
             );
         }
         for i in 6..=10i64 {
             rows.push(
-                codec.encode(&[Value::Int(i), Value::Str("c".into())]).unwrap(),
+                codec
+                    .encode(&[Value::Int(i), Value::Str("c".into())])
+                    .unwrap(),
             );
         }
-        let mut pager = Pager::in_memory();
+        let pager = Pager::in_memory();
         let f = IsamFile::build(
-            &mut pager,
+            &pager,
             &rows,
             108,
-            KeySpec { offset: 0, len: 4, kind: KeyKind::I4 },
+            KeySpec {
+                offset: 0,
+                len: 4,
+                kind: KeyKind::I4,
+            },
             100,
         )
         .unwrap();
         let kb = 5i32.to_le_bytes();
-        let mut cur = f.lookup(&mut pager, &kb).unwrap();
+        let mut cur = f.lookup(&pager, &kb).unwrap();
         let mut n = 0;
-        while cur.next(&mut pager, &f).unwrap().is_some() {
+        while cur.next(&pager, &f).unwrap().is_some() {
             n += 1;
         }
         assert_eq!(n, 31);
@@ -598,14 +631,14 @@ mod tests {
     #[test]
     fn lookup_of_absent_and_extreme_keys() {
         let (codec, rows) = make_rows(50, 104);
-        let mut pager = Pager::in_memory();
+        let pager = Pager::in_memory();
         let f =
-            IsamFile::build(&mut pager, &rows, 108, key(&codec), 100).unwrap();
+            IsamFile::build(&pager, &rows, 108, key(&codec), 100).unwrap();
         for probe in [0i32, 51, 1000, -7] {
             let kb = probe.to_le_bytes();
-            let mut cur = f.lookup(&mut pager, &kb).unwrap();
+            let mut cur = f.lookup(&pager, &kb).unwrap();
             assert!(
-                cur.next(&mut pager, &f).unwrap().is_none(),
+                cur.next(&pager, &f).unwrap().is_none(),
                 "key {probe} should be absent"
             );
         }
@@ -614,13 +647,13 @@ mod tests {
     #[test]
     fn empty_build_has_one_data_page_and_root() {
         let (codec, _) = make_rows(0, 104);
-        let mut pager = Pager::in_memory();
-        let f = IsamFile::build(&mut pager, &[], 108, key(&codec), 100)
-            .unwrap();
+        let pager = Pager::in_memory();
+        let f =
+            IsamFile::build(&pager, &[], 108, key(&codec), 100).unwrap();
         assert_eq!(f.n_data_pages, 1);
         assert_eq!(f.n_directory_pages(), 1);
         let mut scan = f.scan();
-        assert!(scan.next(&mut pager, &f).unwrap().is_none());
+        assert!(scan.next(&pager, &f).unwrap().is_none());
     }
 
     #[test]
@@ -636,17 +669,19 @@ mod tests {
         let codec = RowCodec::new(&s);
         let rows: Vec<Vec<u8>> = (0..18)
             .map(|i| {
-                codec
-                    .encode(&[Value::Str(format!("key{:02}", i))])
-                    .unwrap()
+                codec.encode(&[Value::Str(format!("key{:02}", i))]).unwrap()
             })
             .collect();
-        let mut pager = Pager::in_memory();
+        let pager = Pager::in_memory();
         let f = IsamFile::build(
-            &mut pager,
+            &pager,
             &rows,
             340,
-            KeySpec { offset: 0, len: 340, kind: KeyKind::Bytes },
+            KeySpec {
+                offset: 0,
+                len: 340,
+                kind: KeyKind::Bytes,
+            },
             100,
         )
         .unwrap();
@@ -658,9 +693,9 @@ mod tests {
                 .encode(&[Value::Str(format!("key{:02}", i))])
                 .unwrap();
             let kb = f.key.extract(&probe).to_vec();
-            let mut cur = f.lookup(&mut pager, &kb).unwrap();
+            let mut cur = f.lookup(&pager, &kb).unwrap();
             assert!(
-                cur.next(&mut pager, &f).unwrap().is_some(),
+                cur.next(&pager, &f).unwrap().is_some(),
                 "key{:02} not found",
                 i
             );

@@ -53,8 +53,10 @@ impl KeySpec {
     pub fn compare(&self, a: &[u8], b: &[u8]) -> Ordering {
         match self.kind {
             KeyKind::I4 => {
-                let x = i32::from_le_bytes(a.try_into().expect("4-byte key"));
-                let y = i32::from_le_bytes(b.try_into().expect("4-byte key"));
+                let x =
+                    i32::from_le_bytes(a.try_into().expect("4-byte key"));
+                let y =
+                    i32::from_le_bytes(b.try_into().expect("4-byte key"));
                 x.cmp(&y)
             }
             KeyKind::Bytes => a.cmp(b),
@@ -133,14 +135,32 @@ mod tests {
     fn spec_for_i4_attr() {
         let c = codec();
         let k = KeySpec::for_attr(&c, 0);
-        assert_eq!(k, KeySpec { offset: 0, len: 4, kind: KeyKind::I4 });
+        assert_eq!(
+            k,
+            KeySpec {
+                offset: 0,
+                len: 4,
+                kind: KeyKind::I4
+            }
+        );
         let k2 = KeySpec::for_attr(&c, 1);
-        assert_eq!(k2, KeySpec { offset: 4, len: 8, kind: KeyKind::Bytes });
+        assert_eq!(
+            k2,
+            KeySpec {
+                offset: 4,
+                len: 8,
+                kind: KeyKind::Bytes
+            }
+        );
     }
 
     #[test]
     fn i4_comparison_is_numeric_not_lexicographic() {
-        let k = KeySpec { offset: 0, len: 4, kind: KeyKind::I4 };
+        let k = KeySpec {
+            offset: 0,
+            len: 4,
+            kind: KeyKind::I4,
+        };
         let a = (-1i32).to_le_bytes();
         let b = 1i32.to_le_bytes();
         assert_eq!(k.compare(&a, &b), Ordering::Less);

@@ -44,9 +44,15 @@ pub use heap::HeapFile;
 pub use iostats::{FileIo, IoStats, PhaseIo};
 pub use isam::IsamFile;
 pub use key::{HashFn, KeyKind, KeySpec};
-pub use page::{page_capacity, Page, PageKind, NO_PAGE, PAGE_HEADER, PAGE_SIZE};
-pub use pager::{BufferConfig, EvictionPolicy, Pager, DEFAULT_READ_RETRIES};
-pub use persist::{decode_catalog, encode_catalog, load_catalog, save_catalog};
+pub use page::{
+    page_capacity, Page, PageKind, NO_PAGE, PAGE_HEADER, PAGE_SIZE,
+};
+pub use pager::{
+    BufferConfig, EvictionPolicy, Pager, DEFAULT_READ_RETRIES,
+};
+pub use persist::{
+    decode_catalog, encode_catalog, load_catalog, save_catalog,
+};
 pub use relfile::{AccessMethod, RelFile, RelLookup, RelScan};
 pub use secondary::{i4_attr, IndexStructure, SecondaryIndex};
 pub use tuple::TupleId;

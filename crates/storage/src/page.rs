@@ -73,7 +73,9 @@ pub struct Page {
 impl Page {
     /// A zeroed page of the given kind with an empty overflow pointer.
     pub fn new(kind: PageKind) -> Page {
-        let mut p = Page { bytes: Box::new([0u8; PAGE_SIZE]) };
+        let mut p = Page {
+            bytes: Box::new([0u8; PAGE_SIZE]),
+        };
         p.set_overflow(NO_PAGE);
         p.set_kind(kind);
         p
@@ -137,9 +139,16 @@ impl Page {
     }
 
     /// Append a row; returns the slot index.
-    pub fn push_row(&mut self, row_width: usize, row: &[u8]) -> Result<u16> {
+    pub fn push_row(
+        &mut self,
+        row_width: usize,
+        row: &[u8],
+    ) -> Result<u16> {
         if row.len() != row_width {
-            return Err(Error::RowSize { expected: row_width, got: row.len() });
+            return Err(Error::RowSize {
+                expected: row_width,
+                got: row.len(),
+            });
         }
         let n = self.count();
         if n >= page_capacity(row_width) {
@@ -175,7 +184,10 @@ impl Page {
         row: &[u8],
     ) -> Result<()> {
         if row.len() != row_width {
-            return Err(Error::RowSize { expected: row_width, got: row.len() });
+            return Err(Error::RowSize {
+                expected: row_width,
+                got: row.len(),
+            });
         }
         if (slot as usize) >= self.count() {
             return Err(Error::Internal(format!(
@@ -191,10 +203,16 @@ impl Page {
     /// (order-destroying compaction; used only by static relations, which
     /// have no version identity to preserve). Returns the slot that was
     /// vacated at the end of the page.
-    pub fn remove_row(&mut self, row_width: usize, slot: u16) -> Result<u16> {
+    pub fn remove_row(
+        &mut self,
+        row_width: usize,
+        slot: u16,
+    ) -> Result<u16> {
         let n = self.count();
         if (slot as usize) >= n {
-            return Err(Error::Internal(format!("remove empty slot {slot}")));
+            return Err(Error::Internal(format!(
+                "remove empty slot {slot}"
+            )));
         }
         let last = n - 1;
         if slot as usize != last {
@@ -312,7 +330,10 @@ mod tests {
         let mut p = Page::new(PageKind::Data);
         assert!(matches!(
             p.push_row(10, &[0u8; 9]),
-            Err(Error::RowSize { expected: 10, got: 9 })
+            Err(Error::RowSize {
+                expected: 10,
+                got: 9
+            })
         ));
     }
 }

@@ -27,12 +27,21 @@
 //! on eviction or flush (bumping the write counter). [`IoStats`]
 //! additionally classifies every buffered access as hit or miss and
 //! counts capacity evictions, maintaining `hits + misses == accesses`.
+//!
+//! The pager is `Send + Sync`: every method takes `&self`, with the frame
+//! tables, overlay, and disk handle behind one pager-wide `RwLock`. Page
+//! accesses take the write lock and hold it across the user callback —
+//! the frame stays pinned and the accounting stays exactly the
+//! single-threaded sequence, so a one-thread run is bit-identical to the
+//! old `&mut` pager — while pure introspection (page counts, config
+//! getters, staged-page listings) shares the read lock.
 
 use crate::checksum::ChecksumSet;
 use crate::disk::{DiskManager, FileId, MemDisk};
 use crate::iostats::IoStats;
 use crate::page::{Page, PageKind};
 use std::collections::{BTreeMap, BTreeSet};
+use std::sync::{PoisonError, RwLock, RwLockReadGuard, RwLockWriteGuard};
 use tdbms_kernel::{Error, Result};
 
 /// Default bounded retry budget for transient disk-read failures. Safe to
@@ -93,7 +102,11 @@ impl BufferConfig {
 
     /// A uniform configuration: `frames` per file under `policy`.
     pub fn uniform(frames: usize, policy: EvictionPolicy) -> Self {
-        BufferConfig { default_frames: frames, policy, per_file: Vec::new() }
+        BufferConfig {
+            default_frames: frames,
+            policy,
+            per_file: Vec::new(),
+        }
     }
 }
 
@@ -119,7 +132,11 @@ struct FilePool {
 
 impl FilePool {
     fn new(cap: usize) -> Self {
-        FilePool { cap: cap.max(1), frames: Vec::new(), hand: 0 }
+        FilePool {
+            cap: cap.max(1),
+            frames: Vec::new(),
+            hand: 0,
+        }
     }
 
     /// Pick the frame the policy sacrifices, skipping pinned frames.
@@ -155,11 +172,13 @@ impl FilePool {
     }
 }
 
-/// Buffer-managing page store over a [`DiskManager`].
-pub struct Pager {
+/// Everything the pager-wide lock guards: the disk handle, the frame
+/// tables, the buffering config, and the WAL staging overlay. The stats
+/// ledger lives *outside* (it is internally atomic), so counter reads
+/// never contend with page traffic.
+struct PagerState {
     disk: Box<dyn DiskManager>,
     pools: std::collections::HashMap<FileId, FilePool>,
-    stats: IoStats,
     default_cap: usize,
     policy: EvictionPolicy,
     /// Per-file caps that outlive the pools they configure (a pool can be
@@ -183,153 +202,14 @@ pub struct Pager {
     read_retries: u32,
 }
 
-impl Pager {
-    /// A pager over the given disk with the paper's 1-frame-per-file LRU
-    /// buffering.
-    pub fn new(disk: Box<dyn DiskManager>) -> Self {
-        Pager::with_config(disk, BufferConfig::paper())
-    }
+/// Buffer-managing page store over a [`DiskManager`], shareable across
+/// threads.
+pub struct Pager {
+    state: RwLock<PagerState>,
+    stats: IoStats,
+}
 
-    /// A pager with an explicit buffer configuration.
-    pub fn with_config(disk: Box<dyn DiskManager>, config: BufferConfig) -> Self {
-        Pager {
-            disk,
-            pools: std::collections::HashMap::new(),
-            stats: IoStats::new(),
-            default_cap: config.default_frames.max(1),
-            policy: config.policy,
-            overrides: config
-                .per_file
-                .into_iter()
-                .map(|(f, cap)| (f, cap.max(1)))
-                .collect(),
-            staging: false,
-            overlay: BTreeMap::new(),
-            staged: BTreeSet::new(),
-            resized: BTreeSet::new(),
-            pending_drops: Vec::new(),
-            checksums: None,
-            read_retries: DEFAULT_READ_RETRIES,
-        }
-    }
-
-    /// In-memory pager (the benchmark configuration).
-    pub fn in_memory() -> Self {
-        Pager::new(Box::new(MemDisk::new()))
-    }
-
-    /// In-memory pager with an explicit buffer configuration.
-    pub fn in_memory_with_config(config: BufferConfig) -> Self {
-        Pager::with_config(Box::new(MemDisk::new()), config)
-    }
-
-    /// Change the default buffer frames allotted to files without a
-    /// per-file override. Applies to pools created from now on; existing
-    /// pools keep their caps (use [`Pager::set_buffer_frames`] to resize
-    /// one).
-    pub fn set_default_buffer_frames(&mut self, cap: usize) {
-        self.default_cap = cap.max(1);
-    }
-
-    /// The default frames-per-file cap.
-    pub fn default_buffer_frames(&self) -> usize {
-        self.default_cap
-    }
-
-    /// Change the eviction policy for every pool. Reference bits and the
-    /// clock hand carry over untouched; with the paper's single-frame
-    /// pools the policies are indistinguishable.
-    pub fn set_eviction_policy(&mut self, policy: EvictionPolicy) {
-        self.policy = policy;
-    }
-
-    /// The active eviction policy.
-    pub fn eviction_policy(&self) -> EvictionPolicy {
-        self.policy
-    }
-
-    /// Change the buffer frames allotted to one file, evicting (with
-    /// write-back accounting) as needed. The cap survives pool
-    /// destruction and re-creation.
-    pub fn set_buffer_frames(&mut self, file: FileId, cap: usize) -> Result<()> {
-        let cap = cap.max(1);
-        self.overrides.insert(file, cap);
-        let policy = self.policy;
-        self.pool_mut(file).cap = cap;
-        // Shed overflowing frames through the normal eviction path.
-        loop {
-            let pool = self.pools.get_mut(&file).expect("present");
-            if pool.frames.len() <= cap {
-                break;
-            }
-            let idx = pool.evict_index(policy).ok_or_else(|| {
-                Error::Internal("cannot shrink pool: all frames pinned".into())
-            })?;
-            let frame = pool.frames.remove(idx);
-            self.stats.record_eviction(file);
-            self.write_back(file, frame)?;
-        }
-        Ok(())
-    }
-
-    /// The access counters.
-    pub fn stats(&self) -> &IoStats {
-        &self.stats
-    }
-
-    /// Mutable access to the counters (phase scoping).
-    pub fn stats_mut(&mut self) -> &mut IoStats {
-        &mut self.stats
-    }
-
-    /// Open a named accounting phase (see [`IoStats::begin_phase`]).
-    pub fn begin_phase(&mut self, name: &str) {
-        self.stats.begin_phase(name);
-    }
-
-    /// Close the open accounting phase, if any.
-    pub fn end_phase(&mut self) {
-        self.stats.end_phase();
-    }
-
-    /// Zero the access counters (done by the harness before each query).
-    pub fn reset_stats(&mut self) {
-        self.stats.reset();
-    }
-
-    // --- Corruption defense ---------------------------------------------
-
-    /// Install a checksum sidecar (or `None` to turn verification off,
-    /// the paper default). Pages with no recorded sum are adopted on
-    /// first read, so enabling with an empty [`ChecksumSet`] over an
-    /// existing database is safe.
-    pub fn set_checksums(&mut self, sums: Option<ChecksumSet>) {
-        self.checksums = sums;
-    }
-
-    /// Turn on checksum verification with an empty sidecar
-    /// (adopt-on-first-read over whatever is already on disk).
-    pub fn enable_checksums(&mut self) {
-        if self.checksums.is_none() {
-            self.checksums = Some(ChecksumSet::new());
-        }
-    }
-
-    /// The live checksum sidecar, if verification is on.
-    pub fn checksums(&self) -> Option<&ChecksumSet> {
-        self.checksums.as_ref()
-    }
-
-    /// Set the transient-read retry budget (0 disables retries).
-    pub fn set_read_retries(&mut self, budget: u32) {
-        self.read_retries = budget;
-    }
-
-    /// The transient-read retry budget.
-    pub fn read_retries(&self) -> u32 {
-        self.read_retries
-    }
-
+impl PagerState {
     /// Refresh a recorded checksum after the bytes were written outside
     /// the pager's own write path (no-op when verification is off).
     fn note_written(&mut self, file: FileId, page_no: u32, page: &Page) {
@@ -342,15 +222,21 @@ impl Pager {
     /// checksum failures are reissued; [`Error::NoSuchPage`] is not — a
     /// missing page will not appear on a second look) and verify it
     /// against the sidecar, adopting the sum when none is recorded.
-    fn fetch_from_disk(&mut self, file: FileId, page_no: u32) -> Result<Page> {
+    fn fetch_from_disk(
+        &mut self,
+        stats: &IoStats,
+        file: FileId,
+        page_no: u32,
+    ) -> Result<Page> {
         let mut attempt: u32 = 0;
         loop {
-            let fetched = self.disk.read_page(file, page_no).and_then(|p| {
-                if let Some(sums) = &self.checksums {
-                    sums.verify(file, page_no, &p)?;
-                }
-                Ok(p)
-            });
+            let fetched =
+                self.disk.read_page(file, page_no).and_then(|p| {
+                    if let Some(sums) = &self.checksums {
+                        sums.verify(file, page_no, &p)?;
+                    }
+                    Ok(p)
+                });
             match fetched {
                 Ok(page) => {
                     if let Some(sums) = &mut self.checksums {
@@ -366,7 +252,7 @@ impl Pager {
                         return Err(e);
                     }
                     attempt += 1;
-                    self.stats.record_retry(file);
+                    stats.record_retry(file);
                     // Deterministic backoff: a counted spin, doubling per
                     // attempt. No wall-clock, so fault-injection tests
                     // replay identically.
@@ -378,112 +264,6 @@ impl Pager {
                 }
             }
         }
-    }
-
-    /// Read a page straight from the disk: no buffer, no checksum
-    /// verification, no retry. This is the scrubber's view — it must be
-    /// able to look at a page the verified path would refuse to return.
-    /// Counted as a read so scrub I/O is visible in the ledger.
-    pub fn read_page_raw(&mut self, file: FileId, page_no: u32) -> Result<Page> {
-        let page = self.disk.read_page(file, page_no)?;
-        self.stats.record_read(file);
-        Ok(page)
-    }
-
-    /// Write a page image straight to disk, refreshing its sidecar sum
-    /// and discarding any stale buffered frame (the raw image is now the
-    /// truth). This is the repair path: salvage installs a WAL image or a
-    /// reinitialized page wholesale.
-    pub fn write_page_raw(
-        &mut self,
-        file: FileId,
-        page_no: u32,
-        page: &Page,
-    ) -> Result<()> {
-        self.disk.write_page(file, page_no, page)?;
-        self.stats.record_write(file);
-        self.note_written(file, page_no, page);
-        self.overlay.remove(&(file, page_no));
-        self.staged.remove(&(file, page_no));
-        if let Some(pool) = self.pools.get_mut(&file) {
-            pool.frames.retain(|f| f.page_no != page_no);
-            pool.hand = 0;
-        }
-        Ok(())
-    }
-
-    /// Drop every buffered frame (writing dirty ones back) so the next
-    /// access of each page is a cold read. The harness calls this between
-    /// queries so each query starts with cold buffers, as a fresh query
-    /// would in the prototype. Flushes are not evictions: the eviction
-    /// counter is untouched.
-    pub fn invalidate_buffers(&mut self) -> Result<()> {
-        let files: Vec<FileId> = self.pools.keys().copied().collect();
-        for f in files {
-            let pool = self.pools.get_mut(&f).expect("present");
-            pool.hand = 0;
-            let frames = std::mem::take(&mut pool.frames);
-            for frame in frames {
-                self.write_back(f, frame)?;
-            }
-        }
-        Ok(())
-    }
-
-    /// Create a new empty file.
-    pub fn create_file(&mut self) -> Result<FileId> {
-        let id = self.disk.create_file()?;
-        self.pool_mut(id);
-        Ok(id)
-    }
-
-    /// Delete a file, its pages, its buffers, and its cap override. Like
-    /// [`Pager::truncate`], pending (dirty) writes are intentionally
-    /// discarded without write-back accounting — the data they would have
-    /// persisted is being destroyed.
-    pub fn drop_file(&mut self, file: FileId) -> Result<()> {
-        self.pools.remove(&file);
-        self.overrides.remove(&file);
-        if let Some(sums) = &mut self.checksums {
-            sums.drop_file(file);
-        }
-        if self.staging {
-            // Defer the physical drop until the commit that logs it is
-            // durable: a crash in between must not have destroyed pages
-            // a committed state still references.
-            self.overlay.retain(|(f, _), _| *f != file);
-            self.staged.retain(|(f, _)| *f != file);
-            self.resized.remove(&file);
-            self.pending_drops.push(file);
-            return Ok(());
-        }
-        self.disk.drop_file(file)
-    }
-
-    /// Truncate a file to zero pages. The pool (and any configured cap)
-    /// survives, but its frames are discarded: pending dirty writes are
-    /// intentionally dropped *without* write-back accounting, exactly as
-    /// [`Pager::drop_file`] drops them — pages that no longer exist cost
-    /// no output. Neither counts evictions.
-    pub fn truncate(&mut self, file: FileId) -> Result<()> {
-        if let Some(pool) = self.pools.get_mut(&file) {
-            pool.frames.clear();
-            pool.hand = 0;
-        }
-        if let Some(sums) = &mut self.checksums {
-            sums.truncate(file, 0);
-        }
-        if self.staging {
-            self.overlay.retain(|(f, _), _| *f != file);
-            self.staged.retain(|(f, _)| *f != file);
-            self.resized.insert(file);
-        }
-        self.disk.truncate(file)
-    }
-
-    /// Number of pages in `file`.
-    pub fn page_count(&self, file: FileId) -> Result<u32> {
-        self.disk.page_count(file)
     }
 
     /// The one place pools are created: every path — eager
@@ -500,7 +280,12 @@ impl Pager {
         self.pools.entry(file).or_insert_with(|| FilePool::new(cap))
     }
 
-    fn write_back(&mut self, file: FileId, frame: Frame) -> Result<()> {
+    fn write_back(
+        &mut self,
+        stats: &IoStats,
+        file: FileId,
+        frame: Frame,
+    ) -> Result<()> {
         if frame.dirty {
             if self.staging {
                 self.overlay.insert((file, frame.page_no), frame.page);
@@ -509,21 +294,27 @@ impl Pager {
                 self.disk.write_page(file, frame.page_no, &frame.page)?;
                 self.note_written(file, frame.page_no, &frame.page);
             }
-            self.stats.record_write(file);
+            stats.record_write(file);
         }
         Ok(())
     }
 
     /// Make room in `file`'s pool (evicting by policy, with accounting)
     /// and install `frame`, returning its index.
-    fn install_frame(&mut self, file: FileId, frame: Frame) -> Result<usize> {
+    fn install_frame(
+        &mut self,
+        stats: &IoStats,
+        file: FileId,
+        frame: Frame,
+    ) -> Result<usize> {
         let policy = self.policy;
         let victim = {
             let pool = self.pool_mut(file);
             if pool.frames.len() >= pool.cap {
                 let idx = pool.evict_index(policy).ok_or_else(|| {
                     Error::Internal(
-                        "buffer pool exhausted: every frame is pinned".into(),
+                        "buffer pool exhausted: every frame is pinned"
+                            .into(),
                     )
                 })?;
                 Some((idx, pool.frames.remove(idx)))
@@ -533,21 +324,22 @@ impl Pager {
         };
         let vacated_idx = match victim {
             Some((idx, old)) => {
-                self.stats.record_eviction(file);
-                self.write_back(file, old)?;
+                stats.record_eviction(file);
+                self.write_back(stats, file, old)?;
                 Some(idx)
             }
             None => None,
         };
+        let policy = self.policy;
         let pool = self.pools.get_mut(&file).expect("present");
-        let at = match self.policy {
+        let at = match policy {
             // MRU position.
             EvictionPolicy::Lru => 0,
             // The vacated slot (keeps other frames' sweep order), else the
             // next free slot.
-            EvictionPolicy::Clock => {
-                vacated_idx.unwrap_or(pool.frames.len()).min(pool.frames.len())
-            }
+            EvictionPolicy::Clock => vacated_idx
+                .unwrap_or(pool.frames.len())
+                .min(pool.frames.len()),
         };
         pool.frames.insert(at, frame);
         Ok(at)
@@ -556,8 +348,13 @@ impl Pager {
     /// Position the frame for (`file`, `page_no`) in the pool, fetching
     /// from disk on a miss, and return its index. Every call is one
     /// buffered page access: a hit or a miss.
-    fn fault_in(&mut self, file: FileId, page_no: u32) -> Result<usize> {
-        self.stats.record_access(file);
+    fn fault_in(
+        &mut self,
+        stats: &IoStats,
+        file: FileId,
+        page_no: u32,
+    ) -> Result<usize> {
+        stats.record_access(file);
         let policy = self.policy;
         let pool = self.pool_mut(file);
         if let Some(pos) =
@@ -575,7 +372,7 @@ impl Pager {
                     pos
                 }
             };
-            self.stats.record_hit(file);
+            stats.record_hit(file);
             return Ok(at);
         }
         // Miss: fetch (the staging overlay shadows the disk; disk reads
@@ -583,25 +380,323 @@ impl Pager {
         // (evicting as needed).
         let page = match self.overlay.get(&(file, page_no)) {
             Some(p) => p.clone(),
-            None => self.fetch_from_disk(file, page_no)?,
+            None => self.fetch_from_disk(stats, file, page_no)?,
         };
-        self.stats.record_read(file);
+        stats.record_read(file);
         self.install_frame(
+            stats,
             file,
-            Frame { page_no, page, dirty: false, pinned: false, referenced: false },
+            Frame {
+                page_no,
+                page,
+                dirty: false,
+                pinned: false,
+                referenced: false,
+            },
         )
     }
+}
 
-    /// Read access to a page through the buffer. The frame is pinned for
-    /// the duration of the callback.
+impl Pager {
+    /// A pager over the given disk with the paper's 1-frame-per-file LRU
+    /// buffering.
+    pub fn new(disk: Box<dyn DiskManager>) -> Self {
+        Pager::with_config(disk, BufferConfig::paper())
+    }
+
+    /// A pager with an explicit buffer configuration.
+    pub fn with_config(
+        disk: Box<dyn DiskManager>,
+        config: BufferConfig,
+    ) -> Self {
+        Pager {
+            state: RwLock::new(PagerState {
+                disk,
+                pools: std::collections::HashMap::new(),
+                default_cap: config.default_frames.max(1),
+                policy: config.policy,
+                overrides: config
+                    .per_file
+                    .into_iter()
+                    .map(|(f, cap)| (f, cap.max(1)))
+                    .collect(),
+                staging: false,
+                overlay: BTreeMap::new(),
+                staged: BTreeSet::new(),
+                resized: BTreeSet::new(),
+                pending_drops: Vec::new(),
+                checksums: None,
+                read_retries: DEFAULT_READ_RETRIES,
+            }),
+            stats: IoStats::new(),
+        }
+    }
+
+    /// In-memory pager (the benchmark configuration).
+    pub fn in_memory() -> Self {
+        Pager::new(Box::new(MemDisk::new()))
+    }
+
+    /// In-memory pager with an explicit buffer configuration.
+    pub fn in_memory_with_config(config: BufferConfig) -> Self {
+        Pager::with_config(Box::new(MemDisk::new()), config)
+    }
+
+    /// The exclusive guard over the pager state, tolerant of panics in
+    /// earlier page callbacks (the state is a consistent snapshot at
+    /// every await-free suspension point; poisoning adds nothing here).
+    fn st(&self) -> RwLockWriteGuard<'_, PagerState> {
+        self.state.write().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// The shared guard, for pure introspection.
+    fn st_read(&self) -> RwLockReadGuard<'_, PagerState> {
+        self.state.read().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Change the default buffer frames allotted to files without a
+    /// per-file override. Applies to pools created from now on; existing
+    /// pools keep their caps (use [`Pager::set_buffer_frames`] to resize
+    /// one).
+    pub fn set_default_buffer_frames(&self, cap: usize) {
+        self.st().default_cap = cap.max(1);
+    }
+
+    /// The default frames-per-file cap.
+    pub fn default_buffer_frames(&self) -> usize {
+        self.st_read().default_cap
+    }
+
+    /// Change the eviction policy for every pool. Reference bits and the
+    /// clock hand carry over untouched; with the paper's single-frame
+    /// pools the policies are indistinguishable.
+    pub fn set_eviction_policy(&self, policy: EvictionPolicy) {
+        self.st().policy = policy;
+    }
+
+    /// The active eviction policy.
+    pub fn eviction_policy(&self) -> EvictionPolicy {
+        self.st_read().policy
+    }
+
+    /// Change the buffer frames allotted to one file, evicting (with
+    /// write-back accounting) as needed. The cap survives pool
+    /// destruction and re-creation.
+    pub fn set_buffer_frames(
+        &self,
+        file: FileId,
+        cap: usize,
+    ) -> Result<()> {
+        let cap = cap.max(1);
+        let st = &mut *self.st();
+        st.overrides.insert(file, cap);
+        let policy = st.policy;
+        st.pool_mut(file).cap = cap;
+        // Shed overflowing frames through the normal eviction path.
+        loop {
+            let pool = st.pools.get_mut(&file).expect("present");
+            if pool.frames.len() <= cap {
+                break;
+            }
+            let idx = pool.evict_index(policy).ok_or_else(|| {
+                Error::Internal(
+                    "cannot shrink pool: all frames pinned".into(),
+                )
+            })?;
+            let frame = pool.frames.remove(idx);
+            self.stats.record_eviction(file);
+            st.write_back(&self.stats, file, frame)?;
+        }
+        Ok(())
+    }
+
+    /// The access counters. Recording and reading are both `&self`; the
+    /// ledger is internally atomic.
+    pub fn stats(&self) -> &IoStats {
+        &self.stats
+    }
+
+    /// Open a named accounting phase (see [`IoStats::begin_phase`]).
+    pub fn begin_phase(&self, name: &str) {
+        self.stats.begin_phase(name);
+    }
+
+    /// Close the open accounting phase, if any.
+    pub fn end_phase(&self) {
+        self.stats.end_phase();
+    }
+
+    /// Zero the access counters (done by the harness before each query).
+    pub fn reset_stats(&self) {
+        self.stats.reset();
+    }
+
+    // --- Corruption defense ---------------------------------------------
+
+    /// Install a checksum sidecar (or `None` to turn verification off,
+    /// the paper default). Pages with no recorded sum are adopted on
+    /// first read, so enabling with an empty [`ChecksumSet`] over an
+    /// existing database is safe.
+    pub fn set_checksums(&self, sums: Option<ChecksumSet>) {
+        self.st().checksums = sums;
+    }
+
+    /// Turn on checksum verification with an empty sidecar
+    /// (adopt-on-first-read over whatever is already on disk).
+    pub fn enable_checksums(&self) {
+        let mut st = self.st();
+        if st.checksums.is_none() {
+            st.checksums = Some(ChecksumSet::new());
+        }
+    }
+
+    /// Is checksum verification on?
+    pub fn checksums_enabled(&self) -> bool {
+        self.st_read().checksums.is_some()
+    }
+
+    /// A snapshot of the live checksum sidecar, if verification is on.
+    pub fn checksums_snapshot(&self) -> Option<ChecksumSet> {
+        self.st_read().checksums.clone()
+    }
+
+    /// Set the transient-read retry budget (0 disables retries).
+    pub fn set_read_retries(&self, budget: u32) {
+        self.st().read_retries = budget;
+    }
+
+    /// The transient-read retry budget.
+    pub fn read_retries(&self) -> u32 {
+        self.st_read().read_retries
+    }
+
+    /// Read a page straight from the disk: no buffer, no checksum
+    /// verification, no retry. This is the scrubber's view — it must be
+    /// able to look at a page the verified path would refuse to return.
+    /// Counted as a read so scrub I/O is visible in the ledger.
+    pub fn read_page_raw(
+        &self,
+        file: FileId,
+        page_no: u32,
+    ) -> Result<Page> {
+        let page = self.st().disk.read_page(file, page_no)?;
+        self.stats.record_read(file);
+        Ok(page)
+    }
+
+    /// Write a page image straight to disk, refreshing its sidecar sum
+    /// and discarding any stale buffered frame (the raw image is now the
+    /// truth). This is the repair path: salvage installs a WAL image or a
+    /// reinitialized page wholesale.
+    pub fn write_page_raw(
+        &self,
+        file: FileId,
+        page_no: u32,
+        page: &Page,
+    ) -> Result<()> {
+        let st = &mut *self.st();
+        st.disk.write_page(file, page_no, page)?;
+        self.stats.record_write(file);
+        st.note_written(file, page_no, page);
+        st.overlay.remove(&(file, page_no));
+        st.staged.remove(&(file, page_no));
+        if let Some(pool) = st.pools.get_mut(&file) {
+            pool.frames.retain(|f| f.page_no != page_no);
+            pool.hand = 0;
+        }
+        Ok(())
+    }
+
+    /// Drop every buffered frame (writing dirty ones back) so the next
+    /// access of each page is a cold read. The harness calls this between
+    /// queries so each query starts with cold buffers, as a fresh query
+    /// would in the prototype. Flushes are not evictions: the eviction
+    /// counter is untouched.
+    pub fn invalidate_buffers(&self) -> Result<()> {
+        let st = &mut *self.st();
+        let files: Vec<FileId> = st.pools.keys().copied().collect();
+        for f in files {
+            let pool = st.pools.get_mut(&f).expect("present");
+            pool.hand = 0;
+            let frames = std::mem::take(&mut pool.frames);
+            for frame in frames {
+                st.write_back(&self.stats, f, frame)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Create a new empty file.
+    pub fn create_file(&self) -> Result<FileId> {
+        let st = &mut *self.st();
+        let id = st.disk.create_file()?;
+        st.pool_mut(id);
+        Ok(id)
+    }
+
+    /// Delete a file, its pages, its buffers, and its cap override. Like
+    /// [`Pager::truncate`], pending (dirty) writes are intentionally
+    /// discarded without write-back accounting — the data they would have
+    /// persisted is being destroyed.
+    pub fn drop_file(&self, file: FileId) -> Result<()> {
+        let st = &mut *self.st();
+        st.pools.remove(&file);
+        st.overrides.remove(&file);
+        if let Some(sums) = &mut st.checksums {
+            sums.drop_file(file);
+        }
+        if st.staging {
+            // Defer the physical drop until the commit that logs it is
+            // durable: a crash in between must not have destroyed pages
+            // a committed state still references.
+            st.overlay.retain(|(f, _), _| *f != file);
+            st.staged.retain(|(f, _)| *f != file);
+            st.resized.remove(&file);
+            st.pending_drops.push(file);
+            return Ok(());
+        }
+        st.disk.drop_file(file)
+    }
+
+    /// Truncate a file to zero pages. The pool (and any configured cap)
+    /// survives, but its frames are discarded: pending dirty writes are
+    /// intentionally dropped *without* write-back accounting, exactly as
+    /// [`Pager::drop_file`] drops them — pages that no longer exist cost
+    /// no output. Neither counts evictions.
+    pub fn truncate(&self, file: FileId) -> Result<()> {
+        let st = &mut *self.st();
+        if let Some(pool) = st.pools.get_mut(&file) {
+            pool.frames.clear();
+            pool.hand = 0;
+        }
+        if let Some(sums) = &mut st.checksums {
+            sums.truncate(file, 0);
+        }
+        if st.staging {
+            st.overlay.retain(|(f, _), _| *f != file);
+            st.staged.retain(|(f, _)| *f != file);
+            st.resized.insert(file);
+        }
+        st.disk.truncate(file)
+    }
+
+    /// Number of pages in `file`.
+    pub fn page_count(&self, file: FileId) -> Result<u32> {
+        self.st_read().disk.page_count(file)
+    }
+
+    /// Read access to a page through the buffer. The frame is pinned (and
+    /// the pager lock held) for the duration of the callback.
     pub fn read<R>(
-        &mut self,
+        &self,
         file: FileId,
         page_no: u32,
         f: impl FnOnce(&Page) -> R,
     ) -> Result<R> {
-        let idx = self.fault_in(file, page_no)?;
-        let frame = &mut self.pools.get_mut(&file).expect("present").frames[idx];
+        let st = &mut *self.st();
+        let idx = st.fault_in(&self.stats, file, page_no)?;
+        let frame =
+            &mut st.pools.get_mut(&file).expect("present").frames[idx];
         frame.pinned = true;
         let r = f(&frame.page);
         frame.pinned = false;
@@ -609,15 +704,18 @@ impl Pager {
     }
 
     /// Write access to a page through the buffer; marks the frame dirty.
-    /// The frame is pinned for the duration of the callback.
+    /// The frame is pinned (and the pager lock held) for the duration of
+    /// the callback.
     pub fn write<R>(
-        &mut self,
+        &self,
         file: FileId,
         page_no: u32,
         f: impl FnOnce(&mut Page) -> R,
     ) -> Result<R> {
-        let idx = self.fault_in(file, page_no)?;
-        let frame = &mut self.pools.get_mut(&file).expect("present").frames[idx];
+        let st = &mut *self.st();
+        let idx = st.fault_in(&self.stats, file, page_no)?;
+        let frame =
+            &mut st.pools.get_mut(&file).expect("present").frames[idx];
         frame.dirty = true;
         frame.pinned = true;
         let r = f(&mut frame.page);
@@ -630,28 +728,37 @@ impl Pager {
     /// or flushed — so bulk-loading a page counts one output page, exactly
     /// as the paper's output-cost accounting expects. Materializing a new
     /// page is not a buffered page access (no hit, no miss).
-    pub fn append_page(&mut self, file: FileId, kind: PageKind) -> Result<u32> {
+    pub fn append_page(&self, file: FileId, kind: PageKind) -> Result<u32> {
+        let st = &mut *self.st();
         let page = Page::new(kind);
-        let page_no = self.disk.append_page(file, &page)?;
-        self.note_written(file, page_no, &page);
-        if self.staging {
+        let page_no = st.disk.append_page(file, &page)?;
+        st.note_written(file, page_no, &page);
+        if st.staging {
             // The file grows on disk immediately, but only with this
             // empty page: the content arrives through the buffer, whose
             // dirty frame (installed below) stages an after-image. The
             // commit logs the new length so recovery can trim an
             // uncommitted tail.
-            self.resized.insert(file);
+            st.resized.insert(file);
         }
-        self.install_frame(
+        st.install_frame(
+            &self.stats,
             file,
-            Frame { page_no, page, dirty: true, pinned: false, referenced: false },
+            Frame {
+                page_no,
+                page,
+                dirty: true,
+                pinned: false,
+                referenced: false,
+            },
         )?;
         Ok(page_no)
     }
 
     /// Write all dirty frames of `file` back to disk.
-    pub fn flush_file(&mut self, file: FileId) -> Result<()> {
-        if let Some(pool) = self.pools.get_mut(&file) {
+    pub fn flush_file(&self, file: FileId) -> Result<()> {
+        let st = &mut *self.st();
+        if let Some(pool) = st.pools.get_mut(&file) {
             let mut dirty = Vec::new();
             for frame in pool.frames.iter_mut() {
                 if frame.dirty {
@@ -660,12 +767,12 @@ impl Pager {
                 }
             }
             for (page_no, page) in dirty {
-                if self.staging {
-                    self.overlay.insert((file, page_no), page);
-                    self.staged.insert((file, page_no));
+                if st.staging {
+                    st.overlay.insert((file, page_no), page);
+                    st.staged.insert((file, page_no));
                 } else {
-                    self.disk.write_page(file, page_no, &page)?;
-                    self.note_written(file, page_no, &page);
+                    st.disk.write_page(file, page_no, &page)?;
+                    st.note_written(file, page_no, &page);
                 }
                 self.stats.record_write(file);
             }
@@ -674,8 +781,9 @@ impl Pager {
     }
 
     /// Write all dirty frames of all files back to disk.
-    pub fn flush_all(&mut self) -> Result<()> {
-        let files: Vec<FileId> = self.pools.keys().copied().collect();
+    pub fn flush_all(&self) -> Result<()> {
+        let files: Vec<FileId> =
+            self.st_read().pools.keys().copied().collect();
         for f in files {
             self.flush_file(f)?;
         }
@@ -696,25 +804,25 @@ impl Pager {
 
     /// Switch staging mode (see above). Turn it on at open, before any
     /// writes; it is not meant to be toggled mid-transaction.
-    pub fn set_staging(&mut self, on: bool) {
-        self.staging = on;
+    pub fn set_staging(&self, on: bool) {
+        self.st().staging = on;
     }
 
     /// Is the pager staging write-backs in the overlay?
     pub fn staging(&self) -> bool {
-        self.staging
+        self.st_read().staging
     }
 
     /// The `(file, page)` pairs dirtied since the last
     /// [`Pager::clear_staged`], sorted. After a `flush_all` each has its
     /// after-image in the overlay, ready to be logged.
     pub fn staged_pages(&self) -> Vec<(FileId, u32)> {
-        self.staged.iter().copied().collect()
+        self.st_read().staged.iter().copied().collect()
     }
 
     /// Forget the staged-page set (the commit that logged it is durable).
-    pub fn clear_staged(&mut self) {
-        self.staged.clear();
+    pub fn clear_staged(&self) {
+        self.st().staged.clear();
     }
 
     /// Stamp `lsn` into the overlay image of (`file`, `page_no`) — and
@@ -722,20 +830,21 @@ impl Pager {
     /// stamped image for the log. Errors if the page is not staged
     /// (commit must flush first).
     pub fn stamp_overlay_lsn(
-        &mut self,
+        &self,
         file: FileId,
         page_no: u32,
         lsn: u32,
     ) -> Result<Page> {
+        let st = &mut *self.st();
         let page =
-            self.overlay.get_mut(&(file, page_no)).ok_or_else(|| {
+            st.overlay.get_mut(&(file, page_no)).ok_or_else(|| {
                 Error::Internal(format!(
                     "page {page_no} of {file:?} is not staged"
                 ))
             })?;
         page.set_lsn(lsn);
         let copy = page.clone();
-        if let Some(pool) = self.pools.get_mut(&file) {
+        if let Some(pool) = st.pools.get_mut(&file) {
             if let Some(f) =
                 pool.frames.iter_mut().find(|f| f.page_no == page_no)
             {
@@ -747,35 +856,37 @@ impl Pager {
 
     /// Drain the files whose length changed since the last call, paired
     /// with their current length (the commit's file-length records).
-    pub fn take_resized(&mut self) -> Result<Vec<(FileId, u32)>> {
-        let files = std::mem::take(&mut self.resized);
+    pub fn take_resized(&self) -> Result<Vec<(FileId, u32)>> {
+        let st = &mut *self.st();
+        let files = std::mem::take(&mut st.resized);
         files
             .into_iter()
-            .map(|f| Ok((f, self.disk.page_count(f)?)))
+            .map(|f| Ok((f, st.disk.page_count(f)?)))
             .collect()
     }
 
     /// Drain the files whose drop was deferred by staging mode, to be
     /// physically dropped once the commit that logs them is durable.
-    pub fn take_pending_drops(&mut self) -> Vec<FileId> {
-        std::mem::take(&mut self.pending_drops)
+    pub fn take_pending_drops(&self) -> Vec<FileId> {
+        std::mem::take(&mut self.st().pending_drops)
     }
 
     /// Physically drop a file whose drop was deferred by staging mode.
-    pub fn execute_drop(&mut self, file: FileId) -> Result<()> {
-        self.disk.drop_file(file)
+    pub fn execute_drop(&self, file: FileId) -> Result<()> {
+        self.st().disk.drop_file(file)
     }
 
     /// Write every overlay page through to the disk (counting one write
     /// per page — attribute it to a phase if it should be visible as
     /// checkpoint cost) and clear the overlay. Returns the files touched,
     /// sorted, so the caller can sync them.
-    pub fn materialize_overlay(&mut self) -> Result<Vec<FileId>> {
-        let overlay = std::mem::take(&mut self.overlay);
+    pub fn materialize_overlay(&self) -> Result<Vec<FileId>> {
+        let st = &mut *self.st();
+        let overlay = std::mem::take(&mut st.overlay);
         let mut files: Vec<FileId> = Vec::new();
         for ((file, page_no), page) in overlay {
-            self.disk.write_page(file, page_no, &page)?;
-            self.note_written(file, page_no, &page);
+            st.disk.write_page(file, page_no, &page)?;
+            st.note_written(file, page_no, &page);
             self.stats.record_write(file);
             if files.last() != Some(&file) {
                 files.push(file);
@@ -785,14 +896,15 @@ impl Pager {
     }
 
     /// Force one file's pages to stable storage.
-    pub fn sync_file(&mut self, file: FileId) -> Result<()> {
-        self.disk.sync(file)
+    pub fn sync_file(&self, file: FileId) -> Result<()> {
+        self.st().disk.sync(file)
     }
 
     /// Force every live file's pages to stable storage.
-    pub fn sync_all(&mut self) -> Result<()> {
-        for f in self.disk.files() {
-            self.disk.sync(f)?;
+    pub fn sync_all(&self) -> Result<()> {
+        let st = &mut *self.st();
+        for f in st.disk.files() {
+            st.disk.sync(f)?;
         }
         Ok(())
     }
@@ -800,11 +912,19 @@ impl Pager {
     /// Current length of every live disk file, sorted (the checkpoint's
     /// file-length snapshot).
     pub fn file_lengths(&self) -> Result<Vec<(FileId, u32)>> {
-        self.disk
+        let st = self.st_read();
+        st.disk
             .files()
             .into_iter()
-            .map(|f| Ok((f, self.disk.page_count(f)?)))
+            .map(|f| Ok((f, st.disk.page_count(f)?)))
             .collect()
+    }
+
+    /// Test hook: force a frame's pin bit, bypassing the callback
+    /// discipline, to exercise the all-pinned eviction guard.
+    #[cfg(test)]
+    fn force_pin(&self, file: FileId, idx: usize, on: bool) {
+        self.st().pools.get_mut(&file).unwrap().frames[idx].pinned = on;
     }
 }
 
@@ -812,7 +932,15 @@ impl Pager {
 mod tests {
     use super::*;
 
-    fn two_page_file(pager: &mut Pager) -> FileId {
+    /// The whole point of the interior-locking rewrite.
+    #[test]
+    fn pager_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Pager>();
+        assert_send_sync::<IoStats>();
+    }
+
+    fn two_page_file(pager: &Pager) -> FileId {
         let f = pager.create_file().unwrap();
         pager.append_page(f, PageKind::Data).unwrap();
         pager.append_page(f, PageKind::Data).unwrap();
@@ -824,8 +952,8 @@ mod tests {
 
     #[test]
     fn repeated_access_to_resident_page_is_free() {
-        let mut pager = Pager::in_memory();
-        let f = two_page_file(&mut pager);
+        let pager = Pager::in_memory();
+        let f = two_page_file(&pager);
         for _ in 0..10 {
             pager.read(f, 0, |_| ()).unwrap();
         }
@@ -839,8 +967,8 @@ mod tests {
     fn single_frame_alternation_thrashes() {
         // With 1 buffer per file, alternating between two pages costs one
         // read per access — the degradation the paper's setup makes visible.
-        let mut pager = Pager::in_memory();
-        let f = two_page_file(&mut pager);
+        let pager = Pager::in_memory();
+        let f = two_page_file(&pager);
         for _ in 0..5 {
             pager.read(f, 0, |_| ()).unwrap();
             pager.read(f, 1, |_| ()).unwrap();
@@ -853,8 +981,8 @@ mod tests {
 
     #[test]
     fn two_frames_stop_the_thrash() {
-        let mut pager = Pager::in_memory();
-        let f = two_page_file(&mut pager);
+        let pager = Pager::in_memory();
+        let f = two_page_file(&pager);
         pager.set_buffer_frames(f, 2).unwrap();
         for _ in 0..5 {
             pager.read(f, 0, |_| ()).unwrap();
@@ -867,9 +995,9 @@ mod tests {
 
     #[test]
     fn files_have_independent_buffers() {
-        let mut pager = Pager::in_memory();
-        let f = two_page_file(&mut pager);
-        let g = two_page_file(&mut pager);
+        let pager = Pager::in_memory();
+        let f = two_page_file(&pager);
+        let g = two_page_file(&pager);
         pager.reset_stats();
         for _ in 0..5 {
             pager.read(f, 0, |_| ()).unwrap();
@@ -881,9 +1009,11 @@ mod tests {
 
     #[test]
     fn dirty_eviction_writes_back_once() {
-        let mut pager = Pager::in_memory();
-        let f = two_page_file(&mut pager);
-        pager.write(f, 0, |p| p.push_row(4, &[1, 2, 3, 4]).unwrap()).unwrap();
+        let pager = Pager::in_memory();
+        let f = two_page_file(&pager);
+        pager
+            .write(f, 0, |p| p.push_row(4, &[1, 2, 3, 4]).unwrap())
+            .unwrap();
         // Evict page 0 by touching page 1.
         pager.read(f, 1, |_| ()).unwrap();
         assert_eq!(pager.stats().of(f).writes, 1);
@@ -896,12 +1026,16 @@ mod tests {
 
     #[test]
     fn appended_page_counts_one_write_when_flushed() {
-        let mut pager = Pager::in_memory();
+        let pager = Pager::in_memory();
         let f = pager.create_file().unwrap();
         pager.reset_stats();
         let p = pager.append_page(f, PageKind::Data).unwrap();
-        pager.write(f, p, |pg| pg.push_row(4, &[0; 4]).unwrap()).unwrap();
-        pager.write(f, p, |pg| pg.push_row(4, &[1; 4]).unwrap()).unwrap();
+        pager
+            .write(f, p, |pg| pg.push_row(4, &[0; 4]).unwrap())
+            .unwrap();
+        pager
+            .write(f, p, |pg| pg.push_row(4, &[1; 4]).unwrap())
+            .unwrap();
         pager.flush_file(f).unwrap();
         assert_eq!(pager.stats().of(f).writes, 1);
         assert_eq!(pager.stats().of(f).reads, 0);
@@ -913,8 +1047,8 @@ mod tests {
 
     #[test]
     fn truncate_clears_buffers_and_pages() {
-        let mut pager = Pager::in_memory();
-        let f = two_page_file(&mut pager);
+        let pager = Pager::in_memory();
+        let f = two_page_file(&pager);
         pager.read(f, 1, |_| ()).unwrap();
         pager.truncate(f).unwrap();
         assert_eq!(pager.page_count(f).unwrap(), 0);
@@ -926,16 +1060,28 @@ mod tests {
         // Satellite bugfix 2: truncation intentionally drops dirty frames
         // with no write-back accounting, matching drop_file, and the
         // hit/miss/access ledger stays consistent through both.
-        let mut pager = Pager::in_memory();
-        let f = two_page_file(&mut pager);
-        let g = two_page_file(&mut pager);
+        let pager = Pager::in_memory();
+        let f = two_page_file(&pager);
+        let g = two_page_file(&pager);
         pager.reset_stats();
-        pager.write(f, 0, |p| p.push_row(4, &[9; 4]).unwrap()).unwrap();
-        pager.write(g, 0, |p| p.push_row(4, &[9; 4]).unwrap()).unwrap();
+        pager
+            .write(f, 0, |p| p.push_row(4, &[9; 4]).unwrap())
+            .unwrap();
+        pager
+            .write(g, 0, |p| p.push_row(4, &[9; 4]).unwrap())
+            .unwrap();
         pager.truncate(f).unwrap();
         pager.drop_file(g).unwrap();
-        assert_eq!(pager.stats().of(f).writes, 0, "truncate drops the write");
-        assert_eq!(pager.stats().of(g).writes, 0, "drop_file drops the write");
+        assert_eq!(
+            pager.stats().of(f).writes,
+            0,
+            "truncate drops the write"
+        );
+        assert_eq!(
+            pager.stats().of(g).writes,
+            0,
+            "drop_file drops the write"
+        );
         assert_eq!(pager.stats().of(f).evictions, 0);
         assert_eq!(pager.stats().of(g).evictions, 0);
         assert!(pager.stats().is_consistent());
@@ -947,8 +1093,8 @@ mod tests {
 
     #[test]
     fn invalidate_buffers_forces_cold_reads() {
-        let mut pager = Pager::in_memory();
-        let f = two_page_file(&mut pager);
+        let pager = Pager::in_memory();
+        let f = two_page_file(&pager);
         pager.read(f, 0, |_| ()).unwrap();
         pager.invalidate_buffers().unwrap();
         pager.reset_stats();
@@ -962,24 +1108,20 @@ mod tests {
         // never passed through create_file on this pager) must still get
         // the configured default frames when its pool is created lazily by
         // a fault-in or an append.
-        let dir = std::env::temp_dir().join(format!(
-            "tdbms-pager-lazycap-{}",
-            std::process::id()
-        ));
-        let _ = std::fs::remove_dir_all(&dir);
-        std::fs::create_dir_all(&dir).unwrap();
+        let dir = tdbms_kernel::tmpdir::fresh_dir("pager-lazycap");
         let f;
         {
-            let mut pager = Pager::new(Box::new(
+            let pager = Pager::new(Box::new(
                 crate::disk::FileDisk::open(&dir).unwrap(),
             ));
-            f = two_page_file(&mut pager);
+            f = two_page_file(&pager);
             pager.flush_all().unwrap();
         }
         // Reopen: the pager has never seen `f`; its pool will be created
         // lazily by the first read.
-        let mut pager =
-            Pager::new(Box::new(crate::disk::FileDisk::open(&dir).unwrap()));
+        let pager = Pager::new(Box::new(
+            crate::disk::FileDisk::open(&dir).unwrap(),
+        ));
         pager.set_default_buffer_frames(2);
         for _ in 0..5 {
             pager.read(f, 0, |_| ()).unwrap();
@@ -991,22 +1133,26 @@ mod tests {
         // The lazy append path resolves the cap the same way.
         pager.append_page(f, PageKind::Data).unwrap();
         pager.read(f, 0, |_| ()).unwrap();
-        assert_eq!(pager.stats().of(f).reads, 3, "page 0 was evicted by the \
-             append only because the pool is at its configured cap of 2");
+        assert_eq!(
+            pager.stats().of(f).reads,
+            3,
+            "page 0 was evicted by the \
+             append only because the pool is at its configured cap of 2"
+        );
         let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]
     fn per_file_config_overrides_the_default() {
-        let mut pager = Pager::in_memory_with_config(BufferConfig {
+        let pager = Pager::in_memory_with_config(BufferConfig {
             default_frames: 1,
             policy: EvictionPolicy::Lru,
             // MemDisk hands out FileId(0) first.
             per_file: vec![(FileId(0), 2)],
         });
-        let f = two_page_file(&mut pager);
+        let f = two_page_file(&pager);
         assert_eq!(f, FileId(0));
-        let g = two_page_file(&mut pager);
+        let g = two_page_file(&pager);
         pager.reset_stats();
         for _ in 0..5 {
             pager.read(f, 0, |_| ()).unwrap();
@@ -1020,7 +1166,7 @@ mod tests {
 
     #[test]
     fn clock_policy_gives_second_chances() {
-        let mut pager = Pager::in_memory_with_config(BufferConfig::uniform(
+        let pager = Pager::in_memory_with_config(BufferConfig::uniform(
             2,
             EvictionPolicy::Clock,
         ));
@@ -1035,8 +1181,8 @@ mod tests {
         pager.read(f, 0, |_| ()).unwrap(); // miss: [0]
         pager.read(f, 0, |_| ()).unwrap(); // hit, reference bit set
         pager.read(f, 1, |_| ()).unwrap(); // miss: [0, 1]
-        // Miss at capacity: the hand clears 0's reference bit, then evicts
-        // 1 (unreferenced) — the recently re-read page 0 survives.
+                                           // Miss at capacity: the hand clears 0's reference bit, then evicts
+                                           // 1 (unreferenced) — the recently re-read page 0 survives.
         pager.read(f, 2, |_| ()).unwrap();
         pager.read(f, 0, |_| ()).unwrap(); // still resident: hit
         let io = pager.stats().of(f);
@@ -1052,25 +1198,27 @@ mod tests {
         // pinned, faulting another page is an error rather than a stolen
         // frame (the situation cannot arise through the closure API, which
         // unpins on return — this exercises the guard directly).
-        let mut pager = Pager::in_memory();
-        let f = two_page_file(&mut pager);
+        let pager = Pager::in_memory();
+        let f = two_page_file(&pager);
         pager.read(f, 0, |_| ()).unwrap();
-        pager.pools.get_mut(&f).unwrap().frames[0].pinned = true;
+        pager.force_pin(f, 0, true);
         assert!(
             pager.read(f, 1, |_| ()).is_err(),
             "sole frame is pinned: nothing to evict"
         );
-        pager.pools.get_mut(&f).unwrap().frames[0].pinned = false;
+        pager.force_pin(f, 0, false);
         pager.read(f, 1, |_| ()).unwrap();
     }
 
     #[test]
     fn staging_holds_writes_in_the_overlay() {
-        let mut pager = Pager::in_memory();
+        let pager = Pager::in_memory();
         pager.set_staging(true);
         let f = pager.create_file().unwrap();
         let p = pager.append_page(f, PageKind::Data).unwrap();
-        pager.write(f, p, |pg| pg.push_row(4, &[7; 4]).unwrap()).unwrap();
+        pager
+            .write(f, p, |pg| pg.push_row(4, &[7; 4]).unwrap())
+            .unwrap();
         pager.flush_all().unwrap();
         assert_eq!(pager.staged_pages(), vec![(f, p)]);
         // The overlay shadows the (still empty) on-disk page for reads.
@@ -1095,7 +1243,7 @@ mod tests {
 
     #[test]
     fn staging_defers_drops_and_tracks_lengths() {
-        let mut pager = Pager::in_memory();
+        let pager = Pager::in_memory();
         pager.set_staging(true);
         let f = pager.create_file().unwrap();
         pager.append_page(f, PageKind::Data).unwrap();
@@ -1117,10 +1265,12 @@ mod tests {
         // and a clean page on the same file must still read fine.
         use crate::fault::SharedMemDisk;
         let shared = SharedMemDisk::new();
-        let mut pager = Pager::new(Box::new(shared.clone()));
+        let pager = Pager::new(Box::new(shared.clone()));
         pager.enable_checksums();
-        let f = two_page_file(&mut pager);
-        pager.write(f, 0, |p| p.push_row(4, &[7; 4]).unwrap()).unwrap();
+        let f = two_page_file(&pager);
+        pager
+            .write(f, 0, |p| p.push_row(4, &[7; 4]).unwrap())
+            .unwrap();
         pager.flush_file(f).unwrap();
         pager.invalidate_buffers().unwrap();
         // Corrupt page 0 behind the pager's back.
@@ -1154,10 +1304,11 @@ mod tests {
         let mut page = Page::new(PageKind::Data);
         page.push_row(4, &[3; 4]).unwrap();
         inner.append_page(f, &page).unwrap();
-        let mut fault = FaultDisk::new(Box::new(inner), FaultPlan::new(None));
+        let mut fault =
+            FaultDisk::new(Box::new(inner), FaultPlan::new(None));
         // Read ops 1 and 2 fail once each: the budget of 2 covers both.
         fault.set_transient_reads([1, 2]);
-        let mut pager = Pager::new(Box::new(fault));
+        let pager = Pager::new(Box::new(fault));
         pager
             .read(f, 0, |p| assert_eq!(p.row(4, 0).unwrap(), &[3; 4]))
             .unwrap();
@@ -1173,9 +1324,10 @@ mod tests {
         let mut inner = MemDisk::new();
         let f = inner.create_file().unwrap();
         inner.append_page(f, &Page::new(PageKind::Data)).unwrap();
-        let mut fault = FaultDisk::new(Box::new(inner), FaultPlan::new(None));
+        let mut fault =
+            FaultDisk::new(Box::new(inner), FaultPlan::new(None));
         fault.set_transient_reads([1, 2, 3]);
-        let mut pager = Pager::new(Box::new(fault));
+        let pager = Pager::new(Box::new(fault));
         pager.set_read_retries(2);
         assert!(
             pager.read(f, 0, |_| ()).is_err(),
@@ -1190,11 +1342,13 @@ mod tests {
     fn raw_write_repairs_a_checksum_failure() {
         use crate::fault::SharedMemDisk;
         let shared = SharedMemDisk::new();
-        let mut pager = Pager::new(Box::new(shared.clone()));
+        let pager = Pager::new(Box::new(shared.clone()));
         pager.enable_checksums();
         pager.set_read_retries(0);
-        let f = two_page_file(&mut pager);
-        pager.write(f, 0, |p| p.push_row(4, &[9; 4]).unwrap()).unwrap();
+        let f = two_page_file(&pager);
+        pager
+            .write(f, 0, |p| p.push_row(4, &[9; 4]).unwrap())
+            .unwrap();
         pager.flush_file(f).unwrap();
         pager.invalidate_buffers().unwrap();
         let good = pager.read_page_raw(f, 0).unwrap();
@@ -1217,10 +1371,10 @@ mod tests {
         // leaves nothing for a policy to choose between.
         let mut costs = Vec::new();
         for policy in [EvictionPolicy::Lru, EvictionPolicy::Clock] {
-            let mut pager = Pager::in_memory_with_config(
+            let pager = Pager::in_memory_with_config(
                 BufferConfig::uniform(1, policy),
             );
-            let f = two_page_file(&mut pager);
+            let f = two_page_file(&pager);
             for _ in 0..4 {
                 pager.read(f, 0, |_| ()).unwrap();
                 pager.read(f, 1, |_| ()).unwrap();
@@ -1230,5 +1384,33 @@ mod tests {
         }
         assert_eq!(costs[0], costs[1]);
         assert_eq!(costs[0], 8);
+    }
+
+    /// Concurrent readers over disjoint files: every thread's accounting
+    /// lands, the ledger identity holds, and nobody deadlocks.
+    #[test]
+    fn concurrent_reads_account_exactly() {
+        use std::sync::Arc;
+        let pager = Arc::new(Pager::in_memory());
+        let files: Vec<FileId> =
+            (0..4).map(|_| two_page_file(&pager)).collect();
+        pager.reset_stats();
+        std::thread::scope(|s| {
+            for &f in &files {
+                let pager = Arc::clone(&pager);
+                s.spawn(move || {
+                    for _ in 0..25 {
+                        pager.read(f, 0, |_| ()).unwrap();
+                        pager.read(f, 1, |_| ()).unwrap();
+                    }
+                });
+            }
+        });
+        for &f in &files {
+            let io = pager.stats().of(f);
+            assert_eq!(io.accesses, 50);
+            assert_eq!(io.hits + io.reads, 50);
+        }
+        assert!(pager.stats().is_consistent());
     }
 }

@@ -213,7 +213,7 @@ pub fn save_catalog(catalog: &Catalog, dir: &Path) -> Result<()> {
 
 /// Load a previously saved catalog; `Ok(None)` when no catalog file
 /// exists (a fresh directory).
-pub fn load_catalog(dir: &Path, pager: &mut Pager) -> Result<Option<Catalog>> {
+pub fn load_catalog(dir: &Path, pager: &Pager) -> Result<Option<Catalog>> {
     let path = dir.join("catalog.tdbms");
     let text = match std::fs::read_to_string(&path) {
         Ok(t) => t,
@@ -227,7 +227,7 @@ pub fn load_catalog(dir: &Path, pager: &mut Pager) -> Result<Option<Catalog>> {
 
 /// Parse a serialized catalog, validating every referenced page file
 /// against the pager's disk. The inverse of [`encode_catalog`].
-pub fn decode_catalog(text: &str, pager: &mut Pager) -> Result<Catalog> {
+pub fn decode_catalog(text: &str, pager: &Pager) -> Result<Catalog> {
     let mut lines = text.lines().peekable();
     if lines.next() != Some(MAGIC) {
         return Err(Error::Io("not a tdbms catalog".into()));
@@ -251,15 +251,16 @@ pub fn decode_catalog(text: &str, pager: &mut Pager) -> Result<Catalog> {
             _ => return Err(bad(line)),
         };
         let fillfactor: u8 = fillfactor.parse().map_err(|_| bad(line))?;
-        let tuple_count: u64 = tuple_count.parse().map_err(|_| bad(line))?;
+        let tuple_count: u64 =
+            tuple_count.parse().map_err(|_| bad(line))?;
 
         // Attributes.
         let mut attrs: Vec<AttrDef> = Vec::new();
         while let Some(l) = lines.peek() {
-            let Some(rest) = l.strip_prefix("attr ") else { break };
-            let (n, d) = rest
-                .split_once(' ')
-                .ok_or_else(|| bad(l))?;
+            let Some(rest) = l.strip_prefix("attr ") else {
+                break;
+            };
+            let (n, d) = rest.split_once(' ').ok_or_else(|| bad(l))?;
             attrs.push(AttrDef::new(n, Domain::parse(d)?));
             lines.next();
         }
@@ -287,7 +288,8 @@ pub fn decode_catalog(text: &str, pager: &mut Pager) -> Result<Catalog> {
         // Indexes, until `end`.
         let mut indexes: Vec<NamedIndex> = Vec::new();
         loop {
-            let l = lines.next().ok_or_else(|| bad("<eof, expected end>"))?;
+            let l =
+                lines.next().ok_or_else(|| bad("<eof, expected end>"))?;
             if l == "end" {
                 break;
             }
@@ -403,8 +405,9 @@ mod tests {
         let dir = tempdir("roundtrip");
         let (saved_rows, saved_meta);
         {
-            let mut pager =
-                Pager::new(Box::new(crate::disk::FileDisk::open(&dir).unwrap()));
+            let pager = Pager::new(Box::new(
+                crate::disk::FileDisk::open(&dir).unwrap(),
+            ));
             let mut cat = Catalog::new();
             let schema = Schema::new(
                 vec![
@@ -416,7 +419,7 @@ mod tests {
                 TemporalKind::Interval,
             )
             .unwrap();
-            let id = cat.create_relation(&mut pager, "t", schema).unwrap();
+            let id = cat.create_relation(&pager, "t", schema).unwrap();
             {
                 let rel = cat.get_mut(id);
                 for i in 1..=40i64 {
@@ -426,24 +429,33 @@ mod tests {
                             Value::Int(i),
                             Value::Int(i * 3),
                             Value::Str("x".into()),
-                            Value::Time(tdbms_kernel::TimeVal::from_secs(10)),
+                            Value::Time(tdbms_kernel::TimeVal::from_secs(
+                                10,
+                            )),
                             Value::Time(tdbms_kernel::TimeVal::FOREVER),
-                            Value::Time(tdbms_kernel::TimeVal::from_secs(10)),
+                            Value::Time(tdbms_kernel::TimeVal::from_secs(
+                                10,
+                            )),
                             Value::Time(tdbms_kernel::TimeVal::FOREVER),
                         ])
                         .unwrap();
-                    rel.insert_row(&mut pager, &row).unwrap();
+                    rel.insert_row(&pager, &row).unwrap();
                 }
                 rel.modify(
-                    &mut pager,
+                    &pager,
                     crate::relfile::AccessMethod::Isam,
                     Some(0),
                     50,
                     HashFn::Mod,
                 )
                 .unwrap();
-                rel.create_index(&mut pager, "t_amount", 1, IndexStructure::Hash)
-                    .unwrap();
+                rel.create_index(
+                    &pager,
+                    "t_amount",
+                    1,
+                    IndexStructure::Hash,
+                )
+                .unwrap();
             }
             pager.flush_all().unwrap();
             save_catalog(&cat, &dir).unwrap();
@@ -456,20 +468,26 @@ mod tests {
             );
             let mut rows = Vec::new();
             let mut cur = rel.file.scan();
-            let mut pager2 = pager;
-            while let Some((_, r)) = cur.next(&mut pager2, &rel.file).unwrap() {
+            let pager2 = pager;
+            while let Some((_, r)) = cur.next(&pager2, &rel.file).unwrap() {
                 rows.push(r);
             }
             saved_rows = rows;
         }
         // "Next process": reopen disk + catalog.
-        let mut pager =
-            Pager::new(Box::new(crate::disk::FileDisk::open(&dir).unwrap()));
-        let cat = load_catalog(&dir, &mut pager).unwrap().expect("catalog");
+        let pager = Pager::new(Box::new(
+            crate::disk::FileDisk::open(&dir).unwrap(),
+        ));
+        let cat = load_catalog(&dir, &pager).unwrap().expect("catalog");
         let id = cat.id_of("t").expect("relation registered");
         let rel = cat.get(id);
         assert_eq!(
-            (rel.fillfactor, rel.key_attr, rel.tuple_count, rel.file.method()),
+            (
+                rel.fillfactor,
+                rel.key_attr,
+                rel.tuple_count,
+                rel.file.method()
+            ),
             saved_meta
         );
         assert_eq!(rel.indexes.len(), 1);
@@ -477,19 +495,19 @@ mod tests {
         // Rows come back identical, through the reconstructed ISAM.
         let mut rows = Vec::new();
         let mut cur = rel.file.scan();
-        while let Some((_, r)) = cur.next(&mut pager, &rel.file).unwrap() {
+        while let Some((_, r)) = cur.next(&pager, &rel.file).unwrap() {
             rows.push(r);
         }
         assert_eq!(rows, saved_rows);
         // Keyed access works through the reloaded descriptor.
         let kb = 7i32.to_le_bytes();
-        let mut cur = rel.file.lookup_eq(&mut pager, &kb).unwrap().unwrap();
-        let (_, row) = cur.next(&mut pager, &rel.file).unwrap().unwrap();
+        let mut cur = rel.file.lookup_eq(&pager, &kb).unwrap().unwrap();
+        let (_, row) = cur.next(&pager, &rel.file).unwrap().unwrap();
         assert_eq!(rel.codec.get_i4(&row, 0), 7);
         // The reloaded index finds by amount.
         let tids = rel.indexes[0]
             .index
-            .lookup_tids(&mut pager, &21i32.to_le_bytes())
+            .lookup_tids(&pager, &21i32.to_le_bytes())
             .unwrap();
         assert_eq!(tids.len(), 1);
         std::fs::remove_dir_all(&dir).unwrap();
@@ -498,18 +516,19 @@ mod tests {
     #[test]
     fn missing_catalog_is_none_and_garbage_errors() {
         let dir = tempdir("garbage");
-        let mut pager =
-            Pager::new(Box::new(crate::disk::FileDisk::open(&dir).unwrap()));
-        assert!(load_catalog(&dir, &mut pager).unwrap().is_none());
+        let pager = Pager::new(Box::new(
+            crate::disk::FileDisk::open(&dir).unwrap(),
+        ));
+        assert!(load_catalog(&dir, &pager).unwrap().is_none());
         std::fs::write(dir.join("catalog.tdbms"), "not a catalog").unwrap();
-        assert!(load_catalog(&dir, &mut pager).is_err());
+        assert!(load_catalog(&dir, &pager).is_err());
         std::fs::write(
             dir.join("catalog.tdbms"),
             "tdbms-catalog 1\nrelation r static interval 100 0\nattr x i4\nfile heap 99\nend\n",
         )
         .unwrap();
         // References a page file that does not exist.
-        assert!(load_catalog(&dir, &mut pager).is_err());
+        assert!(load_catalog(&dir, &pager).is_err());
         std::fs::remove_dir_all(&dir).unwrap();
     }
 }

@@ -75,7 +75,7 @@ impl RelFile {
     }
 
     /// Insert a row, returning its address.
-    pub fn insert(&self, pager: &mut Pager, row: &[u8]) -> Result<TupleId> {
+    pub fn insert(&self, pager: &Pager, row: &[u8]) -> Result<TupleId> {
         match self {
             RelFile::Heap(f) => f.insert(pager, row),
             RelFile::Hash(f) => f.insert(pager, row),
@@ -84,7 +84,7 @@ impl RelFile {
     }
 
     /// Read the row at `tid`.
-    pub fn get(&self, pager: &mut Pager, tid: TupleId) -> Result<Vec<u8>> {
+    pub fn get(&self, pager: &Pager, tid: TupleId) -> Result<Vec<u8>> {
         match self {
             RelFile::Heap(f) => f.get(pager, tid),
             RelFile::Hash(f) => f.get(pager, tid),
@@ -95,7 +95,7 @@ impl RelFile {
     /// Overwrite the row at `tid` in place.
     pub fn update(
         &self,
-        pager: &mut Pager,
+        pager: &Pager,
         tid: TupleId,
         row: &[u8],
     ) -> Result<()> {
@@ -110,7 +110,7 @@ impl RelFile {
     /// Only static relations delete physically; the compaction moves the
     /// page's last row into the vacated slot, so callers deleting several
     /// rows must process slots of one page highest-first.
-    pub fn delete(&self, pager: &mut Pager, tid: TupleId) -> Result<()> {
+    pub fn delete(&self, pager: &Pager, tid: TupleId) -> Result<()> {
         let w = self.row_width();
         pager.write(self.file_id(), tid.page, |p| {
             p.remove_row(w, tid.slot).map(|_| ())
@@ -130,12 +130,14 @@ impl RelFile {
     /// Returns `Ok(None)` for heaps (the caller falls back to a scan).
     pub fn lookup_eq(
         &self,
-        pager: &mut Pager,
+        pager: &Pager,
         key_bytes: &[u8],
     ) -> Result<Option<RelLookup>> {
         match self {
             RelFile::Heap(_) => Ok(None),
-            RelFile::Hash(f) => Ok(Some(RelLookup::Hash(f.lookup(key_bytes)))),
+            RelFile::Hash(f) => {
+                Ok(Some(RelLookup::Hash(f.lookup(key_bytes))))
+            }
             RelFile::Isam(f) => {
                 Ok(Some(RelLookup::Isam(f.lookup(pager, key_bytes)?)))
             }
@@ -179,7 +181,7 @@ impl RelScan {
     /// Advance; `None` at end.
     pub fn next(
         &mut self,
-        pager: &mut Pager,
+        pager: &Pager,
         file: &RelFile,
     ) -> Result<Option<(TupleId, Vec<u8>)>> {
         match (self, file) {
@@ -206,7 +208,7 @@ impl RelLookup {
     /// Advance; `None` when no more versions match the key.
     pub fn next(
         &mut self,
-        pager: &mut Pager,
+        pager: &Pager,
         file: &RelFile,
     ) -> Result<Option<(TupleId, Vec<u8>)>> {
         match (self, file) {
@@ -234,14 +236,16 @@ mod tests {
         let codec = RowCodec::new(&s);
         let rows = (1..=40i64)
             .map(|i| {
-                codec.encode(&[Value::Int(i), Value::Str("x".into())]).unwrap()
+                codec
+                    .encode(&[Value::Int(i), Value::Str("x".into())])
+                    .unwrap()
             })
             .collect();
         (codec, rows)
     }
 
     fn all_organizations(
-        pager: &mut Pager,
+        pager: &Pager,
         rows: &[Vec<u8>],
         key: KeySpec,
     ) -> Vec<RelFile> {
@@ -249,21 +253,25 @@ mod tests {
         for r in rows {
             heap.insert(pager, r).unwrap();
         }
-        let hash =
-            HashFile::build(pager, rows, 108, key, HashFn::Mod, 100).unwrap();
+        let hash = HashFile::build(pager, rows, 108, key, HashFn::Mod, 100)
+            .unwrap();
         let isam = IsamFile::build(pager, rows, 108, key, 100).unwrap();
-        vec![RelFile::Heap(heap), RelFile::Hash(hash), RelFile::Isam(isam)]
+        vec![
+            RelFile::Heap(heap),
+            RelFile::Hash(hash),
+            RelFile::Isam(isam),
+        ]
     }
 
     #[test]
     fn scan_sees_all_rows_in_every_organization() {
         let (codec, rows) = setup();
-        let mut pager = Pager::in_memory();
+        let pager = Pager::in_memory();
         let key = KeySpec::for_attr(&codec, 0);
-        for rel in all_organizations(&mut pager, &rows, key) {
+        for rel in all_organizations(&pager, &rows, key) {
             let mut ids: Vec<i32> = Vec::new();
             let mut cur = rel.scan();
-            while let Some((_, row)) = cur.next(&mut pager, &rel).unwrap() {
+            while let Some((_, row)) = cur.next(&pager, &rel).unwrap() {
                 ids.push(codec.get_i4(&row, 0));
             }
             ids.sort_unstable();
@@ -279,49 +287,49 @@ mod tests {
     #[test]
     fn lookup_eq_matches_organization_capability() {
         let (codec, rows) = setup();
-        let mut pager = Pager::in_memory();
+        let pager = Pager::in_memory();
         let key = KeySpec::for_attr(&codec, 0);
-        let rels = all_organizations(&mut pager, &rows, key);
+        let rels = all_organizations(&pager, &rows, key);
         let kb = 17i32.to_le_bytes();
-        assert!(rels[0].lookup_eq(&mut pager, &kb).unwrap().is_none());
+        assert!(rels[0].lookup_eq(&pager, &kb).unwrap().is_none());
         for rel in &rels[1..] {
             let mut cur =
-                rel.lookup_eq(&mut pager, &kb).unwrap().expect("keyed");
-            let (_, row) = cur.next(&mut pager, rel).unwrap().expect("found");
+                rel.lookup_eq(&pager, &kb).unwrap().expect("keyed");
+            let (_, row) = cur.next(&pager, rel).unwrap().expect("found");
             assert_eq!(codec.get_i4(&row, 0), 17);
-            assert!(cur.next(&mut pager, rel).unwrap().is_none());
+            assert!(cur.next(&pager, rel).unwrap().is_none());
         }
     }
 
     #[test]
     fn mismatched_cursor_is_an_error() {
         let (codec, rows) = setup();
-        let mut pager = Pager::in_memory();
+        let pager = Pager::in_memory();
         let key = KeySpec::for_attr(&codec, 0);
-        let rels = all_organizations(&mut pager, &rows, key);
+        let rels = all_organizations(&pager, &rows, key);
         let mut heap_cursor = rels[0].scan();
-        assert!(heap_cursor.next(&mut pager, &rels[1]).is_err());
+        assert!(heap_cursor.next(&pager, &rels[1]).is_err());
     }
 
     #[test]
     fn delete_compacts_in_any_organization() {
         let (codec, rows) = setup();
-        let mut pager = Pager::in_memory();
+        let pager = Pager::in_memory();
         let key = KeySpec::for_attr(&codec, 0);
-        for rel in all_organizations(&mut pager, &rows, key) {
+        for rel in all_organizations(&pager, &rows, key) {
             // Find id 5 and delete it.
             let mut cur = rel.scan();
             let mut target = None;
-            while let Some((tid, row)) = cur.next(&mut pager, &rel).unwrap() {
+            while let Some((tid, row)) = cur.next(&pager, &rel).unwrap() {
                 if codec.get_i4(&row, 0) == 5 {
                     target = Some(tid);
                     break;
                 }
             }
-            rel.delete(&mut pager, target.unwrap()).unwrap();
+            rel.delete(&pager, target.unwrap()).unwrap();
             let mut n = 0;
             let mut cur = rel.scan();
-            while let Some((_, row)) = cur.next(&mut pager, &rel).unwrap() {
+            while let Some((_, row)) = cur.next(&pager, &rel).unwrap() {
                 assert_ne!(codec.get_i4(&row, 0), 5);
                 n += 1;
             }

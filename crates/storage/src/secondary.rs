@@ -57,7 +57,9 @@ fn decode_tid(entry: &[u8], attr_len: usize) -> TupleId {
         entry[attr_len..attr_len + 4].try_into().expect("4 bytes"),
     );
     let slot = u16::from_le_bytes(
-        entry[attr_len + 4..attr_len + 6].try_into().expect("2 bytes"),
+        entry[attr_len + 4..attr_len + 6]
+            .try_into()
+            .expect("2 bytes"),
     );
     TupleId::new(page, slot)
 }
@@ -67,7 +69,7 @@ impl SecondaryIndex {
     /// (pass `|_| true` for a 1-level index; a currency predicate yields
     /// the *current* index of a 2-level scheme).
     pub fn build(
-        pager: &mut Pager,
+        pager: &Pager,
         target: &RelFile,
         target_attr: KeySpec,
         structure: IndexStructure,
@@ -76,14 +78,20 @@ impl SecondaryIndex {
     ) -> Result<SecondaryIndex> {
         let file = pager.create_file()?;
         Self::build_into(
-            pager, file, target, target_attr, structure, fillfactor, include,
+            pager,
+            file,
+            target,
+            target_attr,
+            structure,
+            fillfactor,
+            include,
         )
     }
 
     /// Build into an existing (truncated) file — used when rebuilding an
     /// index after its base relation was reorganized.
     pub fn build_into(
-        pager: &mut Pager,
+        pager: &Pager,
         file_id: FileId,
         target: &RelFile,
         target_attr: KeySpec,
@@ -99,8 +107,11 @@ impl SecondaryIndex {
                 entries.push(encode_entry(target_attr.extract(&row), tid));
             }
         }
-        let index_key =
-            KeySpec { offset: 0, len: target_attr.len, kind: target_attr.kind };
+        let index_key = KeySpec {
+            offset: 0,
+            len: target_attr.len,
+            kind: target_attr.kind,
+        };
         let file = match structure {
             IndexStructure::Heap => {
                 let heap = HeapFile::attach(file_id, entry_width);
@@ -120,7 +131,12 @@ impl SecondaryIndex {
             )?),
         };
         pager.flush_all()?;
-        Ok(SecondaryIndex { file, target_attr, entry_width, structure })
+        Ok(SecondaryIndex {
+            file,
+            target_attr,
+            entry_width,
+            structure,
+        })
     }
 
     /// Re-attach a previously built index from its persisted descriptor
@@ -131,7 +147,12 @@ impl SecondaryIndex {
         entry_width: usize,
         structure: IndexStructure,
     ) -> SecondaryIndex {
-        SecondaryIndex { file, target_attr, entry_width, structure }
+        SecondaryIndex {
+            file,
+            target_attr,
+            entry_width,
+            structure,
+        }
     }
 
     /// The index's own storage file descriptor.
@@ -162,7 +183,7 @@ impl SecondaryIndex {
     /// Register a newly inserted target row.
     pub fn insert_entry(
         &mut self,
-        pager: &mut Pager,
+        pager: &Pager,
         row: &[u8],
         tid: TupleId,
     ) -> Result<()> {
@@ -176,7 +197,7 @@ impl SecondaryIndex {
     /// bucket chain.
     pub fn lookup_tids(
         &self,
-        pager: &mut Pager,
+        pager: &Pager,
         attr_bytes: &[u8],
     ) -> Result<Vec<TupleId>> {
         if attr_bytes.len() != self.target_attr.len {
@@ -192,9 +213,7 @@ impl SecondaryIndex {
             RelFile::Heap(_) => {
                 let mut cur = self.file.scan();
                 while let Some((_, e)) = cur.next(pager, &self.file)? {
-                    if self
-                        .target_attr
-                        .compare(&e[..attr_len], attr_bytes)
+                    if self.target_attr.compare(&e[..attr_len], attr_bytes)
                         == std::cmp::Ordering::Equal
                     {
                         out.push(decode_tid(&e, attr_len));
@@ -217,7 +236,7 @@ impl SecondaryIndex {
     /// Full indexed lookup: fetch the matching rows from `target`.
     pub fn fetch(
         &self,
-        pager: &mut Pager,
+        pager: &Pager,
         target: &RelFile,
         attr_bytes: &[u8],
     ) -> Result<Vec<(TupleId, Vec<u8>)>> {
@@ -238,7 +257,11 @@ impl SecondaryIndex {
 /// Convenience: the canonical 4-byte integer attribute spec at a given
 /// row offset.
 pub fn i4_attr(offset: usize) -> KeySpec {
-    KeySpec { offset, len: 4, kind: KeyKind::I4 }
+    KeySpec {
+        offset,
+        len: 4,
+        kind: KeyKind::I4,
+    }
 }
 
 #[cfg(test)]
@@ -247,10 +270,7 @@ mod tests {
     use tdbms_kernel::{AttrDef, Domain, RowCodec, Schema, Value};
 
     /// 108-byte benchmark-like rows: id, amount, padding.
-    fn target_file(
-        pager: &mut Pager,
-        n: i64,
-    ) -> (RowCodec, RelFile, KeySpec) {
+    fn target_file(pager: &Pager, n: i64) -> (RowCodec, RelFile, KeySpec) {
         let schema = Schema::static_relation(vec![
             AttrDef::new("id", Domain::I4),
             AttrDef::new("amount", Domain::I4),
@@ -270,25 +290,19 @@ mod tests {
             })
             .collect();
         let key = KeySpec::for_attr(&codec, 0);
-        let hash = HashFile::build(
-            pager,
-            &rows,
-            108,
-            key,
-            HashFn::Mod,
-            100,
-        )
-        .unwrap();
+        let hash =
+            HashFile::build(pager, &rows, 108, key, HashFn::Mod, 100)
+                .unwrap();
         let amount = KeySpec::for_attr(&codec, 1);
         (codec, RelFile::Hash(hash), amount)
     }
 
     #[test]
     fn entry_sizing_matches_the_paper() {
-        let mut pager = Pager::in_memory();
-        let (_, target, amount) = target_file(&mut pager, 101);
+        let pager = Pager::in_memory();
+        let (_, target, amount) = target_file(&pager, 101);
         let idx = SecondaryIndex::build(
-            &mut pager,
+            &pager,
             &target,
             amount,
             IndexStructure::Heap,
@@ -302,10 +316,10 @@ mod tests {
 
     #[test]
     fn heap_and_hash_indexes_agree_with_a_scan() {
-        let mut pager = Pager::in_memory();
-        let (codec, target, amount) = target_file(&mut pager, 200);
+        let pager = Pager::in_memory();
+        let (codec, target, amount) = target_file(&pager, 200);
         let heap_idx = SecondaryIndex::build(
-            &mut pager,
+            &pager,
             &target,
             amount,
             IndexStructure::Heap,
@@ -314,7 +328,7 @@ mod tests {
         )
         .unwrap();
         let hash_idx = SecondaryIndex::build(
-            &mut pager,
+            &pager,
             &target,
             amount,
             IndexStructure::Hash,
@@ -325,7 +339,7 @@ mod tests {
         let want = 300i32.to_le_bytes();
         let mut expect: Vec<i32> = Vec::new();
         let mut cur = target.scan();
-        while let Some((_, row)) = cur.next(&mut pager, &target).unwrap() {
+        while let Some((_, row)) = cur.next(&pager, &target).unwrap() {
             if codec.get_i4(&row, 1) == 300 {
                 expect.push(codec.get_i4(&row, 0));
             }
@@ -333,7 +347,7 @@ mod tests {
         expect.sort_unstable();
         for idx in [&heap_idx, &hash_idx] {
             let mut got: Vec<i32> = idx
-                .fetch(&mut pager, &target, &want)
+                .fetch(&pager, &target, &want)
                 .unwrap()
                 .iter()
                 .map(|(_, row)| codec.get_i4(row, 0))
@@ -346,7 +360,7 @@ mod tests {
 
     #[test]
     fn hash_index_lookup_is_cheaper_than_heap() {
-        let mut pager = Pager::in_memory();
+        let pager = Pager::in_memory();
         // Distinct amounts so the mod-hashed index spreads across buckets.
         let schema = Schema::static_relation(vec![
             AttrDef::new("id", Domain::I4),
@@ -368,12 +382,12 @@ mod tests {
             .collect();
         let key = KeySpec::for_attr(&codec, 0);
         let target = RelFile::Hash(
-            HashFile::build(&mut pager, &rows, 108, key, HashFn::Mod, 100)
+            HashFile::build(&pager, &rows, 108, key, HashFn::Mod, 100)
                 .unwrap(),
         );
         let amount = KeySpec::for_attr(&codec, 1);
         let heap_idx = SecondaryIndex::build(
-            &mut pager,
+            &pager,
             &target,
             amount,
             IndexStructure::Heap,
@@ -382,7 +396,7 @@ mod tests {
         )
         .unwrap();
         let hash_idx = SecondaryIndex::build(
-            &mut pager,
+            &pager,
             &target,
             amount,
             IndexStructure::Hash,
@@ -394,12 +408,12 @@ mod tests {
 
         pager.invalidate_buffers().unwrap();
         pager.reset_stats();
-        heap_idx.lookup_tids(&mut pager, &key).unwrap();
+        heap_idx.lookup_tids(&pager, &key).unwrap();
         let heap_cost = pager.stats().of(heap_idx.file_id()).reads;
 
         pager.invalidate_buffers().unwrap();
         pager.reset_stats();
-        hash_idx.lookup_tids(&mut pager, &key).unwrap();
+        hash_idx.lookup_tids(&pager, &key).unwrap();
         let hash_cost = pager.stats().of(hash_idx.file_id()).reads;
 
         // 1000 entries = 10 heap pages scanned vs. one bucket chain.
@@ -409,11 +423,11 @@ mod tests {
 
     #[test]
     fn filtered_build_gives_a_current_only_index() {
-        let mut pager = Pager::in_memory();
-        let (codec, target, amount) = target_file(&mut pager, 100);
+        let pager = Pager::in_memory();
+        let (codec, target, amount) = target_file(&pager, 100);
         // Pretend versions with odd ids are "history": exclude them.
         let idx = SecondaryIndex::build(
-            &mut pager,
+            &pager,
             &target,
             amount,
             IndexStructure::Heap,
@@ -421,23 +435,21 @@ mod tests {
             |row| codec.get_i4(row, 0) % 2 == 0,
         )
         .unwrap();
-        let rows = idx
-            .fetch(&mut pager, &target, &500i32.to_le_bytes())
-            .unwrap();
+        let rows =
+            idx.fetch(&pager, &target, &500i32.to_le_bytes()).unwrap();
         // amounts of 500: ids ≡ 5 (mod 10) — all odd, all excluded.
         assert!(rows.is_empty());
-        let rows = idx
-            .fetch(&mut pager, &target, &400i32.to_le_bytes())
-            .unwrap();
+        let rows =
+            idx.fetch(&pager, &target, &400i32.to_le_bytes()).unwrap();
         assert_eq!(rows.len(), 10); // ids ≡ 4 (mod 10), all even
     }
 
     #[test]
     fn maintenance_inserts_are_visible() {
-        let mut pager = Pager::in_memory();
-        let (codec, target, amount) = target_file(&mut pager, 50);
+        let pager = Pager::in_memory();
+        let (codec, target, amount) = target_file(&pager, 50);
         let mut idx = SecondaryIndex::build(
-            &mut pager,
+            &pager,
             &target,
             amount,
             IndexStructure::Hash,
@@ -452,21 +464,20 @@ mod tests {
                 Value::Str("new".into()),
             ])
             .unwrap();
-        let tid = target.insert(&mut pager, &new_row).unwrap();
-        idx.insert_entry(&mut pager, &new_row, tid).unwrap();
-        let got = idx
-            .fetch(&mut pager, &target, &12345i32.to_le_bytes())
-            .unwrap();
+        let tid = target.insert(&pager, &new_row).unwrap();
+        idx.insert_entry(&pager, &new_row, tid).unwrap();
+        let got =
+            idx.fetch(&pager, &target, &12345i32.to_le_bytes()).unwrap();
         assert_eq!(got.len(), 1);
         assert_eq!(codec.get_i4(&got[0].1, 0), 999);
     }
 
     #[test]
     fn wrong_key_width_is_rejected() {
-        let mut pager = Pager::in_memory();
-        let (_, target, amount) = target_file(&mut pager, 10);
+        let pager = Pager::in_memory();
+        let (_, target, amount) = target_file(&pager, 10);
         let idx = SecondaryIndex::build(
-            &mut pager,
+            &pager,
             &target,
             amount,
             IndexStructure::Heap,
@@ -474,6 +485,6 @@ mod tests {
             |_| true,
         )
         .unwrap();
-        assert!(idx.lookup_tids(&mut pager, &[1, 2]).is_err());
+        assert!(idx.lookup_tids(&pager, &[1, 2]).is_err());
     }
 }

@@ -319,7 +319,12 @@ impl BinOp {
     pub fn is_comparison(self) -> bool {
         matches!(
             self,
-            BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge
+            BinOp::Eq
+                | BinOp::Ne
+                | BinOp::Lt
+                | BinOp::Le
+                | BinOp::Gt
+                | BinOp::Ge
         )
     }
 }
@@ -394,10 +399,9 @@ impl Expr {
     /// `out` (deduplicated, in first-appearance order).
     pub fn collect_vars(&self, out: &mut Vec<String>) {
         match self {
-            Expr::Attr { var, .. }
-                if !out.iter().any(|v| v == var) => {
-                    out.push(var.clone());
-                }
+            Expr::Attr { var, .. } if !out.iter().any(|v| v == var) => {
+                out.push(var.clone());
+            }
             Expr::Bin { lhs, rhs, .. } => {
                 lhs.collect_vars(out);
                 rhs.collect_vars(out);
@@ -460,13 +464,19 @@ mod tests {
             op: BinOp::And,
             lhs: Box::new(Expr::Bin {
                 op: BinOp::Eq,
-                lhs: Box::new(Expr::Attr { var: "h".into(), attr: "id".into() }),
+                lhs: Box::new(Expr::Attr {
+                    var: "h".into(),
+                    attr: "id".into(),
+                }),
                 rhs: Box::new(Expr::Attr {
                     var: "i".into(),
                     attr: "amount".into(),
                 }),
             }),
-            rhs: Box::new(Expr::Attr { var: "h".into(), attr: "seq".into() }),
+            rhs: Box::new(Expr::Attr {
+                var: "h".into(),
+                attr: "seq".into(),
+            }),
         };
         let mut vars = Vec::new();
         e.collect_vars(&mut vars);

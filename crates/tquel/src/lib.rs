@@ -49,7 +49,10 @@ mod tests {
     fn parses_range_statement() {
         assert_eq!(
             parse1("range of h is Temporal_h"),
-            Statement::Range { var: "h".into(), rel: "temporal_h".into() }
+            Statement::Range {
+                var: "h".into(),
+                rel: "temporal_h".into()
+            }
         );
     }
 
@@ -95,7 +98,9 @@ mod tests {
                    where h.id = 500 and i.amount = 73700
                    when h overlap i
                    as of "1981""#;
-        let Statement::Retrieve(r) = parse1(q) else { unreachable!() };
+        let Statement::Retrieve(r) = parse1(q) else {
+            unreachable!()
+        };
         assert_eq!(r.targets.len(), 5);
         let Some(ValidClause::Interval { from, to }) = &r.valid else {
             panic!("expected interval valid clause");
@@ -123,7 +128,10 @@ mod tests {
         );
         assert_eq!(
             r.as_of,
-            Some(AsOf { at: TemporalExpr::Lit("1981".into()), through: None })
+            Some(AsOf {
+                at: TemporalExpr::Lit("1981".into()),
+                through: None
+            })
         );
         // The where clause is (h.id = 500) and (i.amount = 73700).
         let Some(Expr::Bin { op: BinOp::And, .. }) = r.where_clause else {
@@ -135,7 +143,9 @@ mod tests {
     fn parses_figure3_creates() {
         let q = "create persistent interval Temporal_h \
                  (id = i4, amount = i4, seq = i4, string = c96)";
-        let Statement::Create(c) = parse1(q) else { unreachable!() };
+        let Statement::Create(c) = parse1(q) else {
+            unreachable!()
+        };
         assert_eq!(c.rel, "temporal_h");
         assert_eq!(c.class, DatabaseClass::Temporal);
         assert_eq!(c.kind, TemporalKind::Interval);
@@ -154,14 +164,18 @@ mod tests {
     #[test]
     fn parses_figure3_modifies() {
         let q = "modify Temporal_h to hash on id where fillfactor = 100";
-        let Statement::Modify(m) = parse1(q) else { unreachable!() };
+        let Statement::Modify(m) = parse1(q) else {
+            unreachable!()
+        };
         assert_eq!(m.rel, "temporal_h");
         assert_eq!(m.organization, "hash");
         assert_eq!(m.key.as_deref(), Some("id"));
         assert_eq!(m.fillfactor, Some(100));
         roundtrip(q);
         let q = "modify Temporal_i to isam on id where fillfactor = 50";
-        let Statement::Modify(m) = parse1(q) else { unreachable!() };
+        let Statement::Modify(m) = parse1(q) else {
+            unreachable!()
+        };
         assert_eq!(m.organization, "isam");
         assert_eq!(m.fillfactor, Some(50));
         roundtrip("modify r to heap");
@@ -174,7 +188,9 @@ mod tests {
             r#"append to emp (name = "merrie") valid from "1980" to "forever""#,
         );
         roundtrip(r#"delete e where e.name = "merrie""#);
-        roundtrip(r#"delete e valid from "1982" to "forever" where e.id = 1"#);
+        roundtrip(
+            r#"delete e valid from "1982" to "forever" where e.id = 1"#,
+        );
         roundtrip(
             r#"replace e (salary = 12000) valid from "6/1/80" to "forever"
                where e.name = "merrie""#,
@@ -204,7 +220,12 @@ mod tests {
         };
         assert_eq!(r.targets[0].name.as_deref(), Some("raise"));
         // Precedence: (e.salary * 2) + 1.
-        let Expr::Bin { op: BinOp::Add, lhs, .. } = &r.targets[0].expr else {
+        let Expr::Bin {
+            op: BinOp::Add,
+            lhs,
+            ..
+        } = &r.targets[0].expr
+        else {
             panic!("expected +: {:?}", r.targets[0].expr);
         };
         assert!(matches!(**lhs, Expr::Bin { op: BinOp::Mul, .. }));
@@ -280,7 +301,10 @@ mod tests {
             "frobnicate (x)",    // unknown statement
             "",                  // nothing (for parse_statement)
         ] {
-            assert!(parse_statement(bad).is_err(), "{bad:?} should be rejected");
+            assert!(
+                parse_statement(bad).is_err(),
+                "{bad:?} should be rejected"
+            );
         }
     }
 
@@ -304,7 +328,9 @@ mod tests {
                 "retrieve (v.x) where v.x = {}",
                 printer::quote_str(s)
             );
-            let Statement::Retrieve(r) = parse1(&q) else { unreachable!() };
+            let Statement::Retrieve(r) = parse1(&q) else {
+                unreachable!()
+            };
             assert_eq!(
                 r.where_clause,
                 Some(Expr::Bin {
@@ -329,14 +355,18 @@ mod tests {
     #[test]
     fn parses_index_statements() {
         let q = "index on emp is emp_salary (salary)";
-        let Statement::Index(i) = parse1(q) else { unreachable!() };
+        let Statement::Index(i) = parse1(q) else {
+            unreachable!()
+        };
         assert_eq!(i.rel, "emp");
         assert_eq!(i.name, "emp_salary");
         assert_eq!(i.attr, "salary");
         assert_eq!(i.structure, None);
         roundtrip(q);
         let q = "index on emp is emp_salary (salary) to heap";
-        let Statement::Index(i) = parse1(q) else { unreachable!() };
+        let Statement::Index(i) = parse1(q) else {
+            unreachable!()
+        };
         assert_eq!(i.structure.as_deref(), Some("heap"));
         roundtrip(q);
         roundtrip("index on emp is e2 (x) to hash");
@@ -348,9 +378,15 @@ mod tests {
     #[test]
     fn parses_aggregates() {
         let q = "retrieve (e.dept, total = sum(e.salary), n = count(e.id))";
-        let Statement::Retrieve(r) = parse1(q) else { unreachable!() };
+        let Statement::Retrieve(r) = parse1(q) else {
+            unreachable!()
+        };
         assert_eq!(r.targets.len(), 3);
-        let Expr::Agg { func: AggFunc::Sum, arg } = &r.targets[1].expr else {
+        let Expr::Agg {
+            func: AggFunc::Sum,
+            arg,
+        } = &r.targets[1].expr
+        else {
             panic!("expected sum aggregate: {:?}", r.targets[1].expr);
         };
         assert!(matches!(**arg, Expr::Attr { .. }));
@@ -367,12 +403,20 @@ mod tests {
     #[test]
     fn parses_sort_by() {
         let q = "retrieve (e.id, e.x) where e.x > 1 sort by x desc, id";
-        let Statement::Retrieve(r) = parse1(q) else { unreachable!() };
+        let Statement::Retrieve(r) = parse1(q) else {
+            unreachable!()
+        };
         assert_eq!(
             r.sort,
             vec![
-                SortKey { column: "x".into(), descending: true },
-                SortKey { column: "id".into(), descending: false },
+                SortKey {
+                    column: "x".into(),
+                    descending: true
+                },
+                SortKey {
+                    column: "id".into(),
+                    descending: false
+                },
             ]
         );
         roundtrip(q);

@@ -12,7 +12,11 @@ use tdbms_kernel::{DatabaseClass, Domain, Error, Result, TemporalKind};
 /// Parse a whole TQuel program (one or more statements, optionally
 /// separated by `;`).
 pub fn parse_program(src: &str) -> Result<Vec<Statement>> {
-    let mut p = Parser { toks: lex(src)?, pos: 0, paren_depth: 0 };
+    let mut p = Parser {
+        toks: lex(src)?,
+        pos: 0,
+        paren_depth: 0,
+    };
     let mut out = Vec::new();
     loop {
         while p.eat(&T::Semi) {}
@@ -37,8 +41,12 @@ pub fn parse_statement(src: &str) -> Result<Statement> {
 }
 
 /// The `(valid, where, when, as-of)` clause bundle of a DML statement.
-type Clauses =
-    (Option<ValidClause>, Option<Expr>, Option<TemporalPred>, Option<AsOf>);
+type Clauses = (
+    Option<ValidClause>,
+    Option<Expr>,
+    Option<TemporalPred>,
+    Option<AsOf>,
+);
 
 struct Parser {
     toks: Vec<Token>,
@@ -85,14 +93,21 @@ impl Parser {
 
     fn err(&self, msg: impl Into<String>) -> Error {
         let t = self.peek();
-        Error::Parse { line: t.line, col: t.col, msg: msg.into() }
+        Error::Parse {
+            line: t.line,
+            col: t.col,
+            msg: msg.into(),
+        }
     }
 
     fn expect(&mut self, kind: &T) -> Result<()> {
         if self.eat(kind) {
             Ok(())
         } else {
-            Err(self.err(format!("expected `{kind}`, found `{}`", self.peek().kind)))
+            Err(self.err(format!(
+                "expected `{kind}`, found `{}`",
+                self.peek().kind
+            )))
         }
     }
 
@@ -107,7 +122,10 @@ impl Parser {
                 self.advance();
                 Ok(s)
             }
-            other => Err(self.err(format!("expected identifier, found `{other}`"))),
+            other => {
+                Err(self
+                    .err(format!("expected identifier, found `{other}`")))
+            }
         }
     }
 
@@ -126,7 +144,10 @@ impl Parser {
             T::Keyword(K::Modify) => self.modify_stmt(),
             T::Keyword(K::Copy) => self.copy_stmt(),
             T::Keyword(K::Index) => self.index_stmt(),
-            other => Err(self.err(format!("expected a statement, found `{other}`"))),
+            other => {
+                Err(self
+                    .err(format!("expected a statement, found `{other}`")))
+            }
         }
     }
 
@@ -194,7 +215,11 @@ impl Parser {
 
     fn retrieve_stmt(&mut self) -> Result<Statement> {
         self.expect_kw(K::Retrieve)?;
-        let into = if self.eat_kw(K::Into) { Some(self.ident()?) } else { None };
+        let into = if self.eat_kw(K::Into) {
+            Some(self.ident()?)
+        } else {
+            None
+        };
         self.expect(&T::LParen)?;
         let mut targets = Vec::new();
         loop {
@@ -242,9 +267,15 @@ impl Parser {
             let name = name.clone();
             self.advance();
             self.advance();
-            return Ok(Target { name: Some(name), expr: self.expr()? });
+            return Ok(Target {
+                name: Some(name),
+                expr: self.expr()?,
+            });
         }
-        Ok(Target { name: None, expr: self.expr()? })
+        Ok(Target {
+            name: None,
+            expr: self.expr()?,
+        })
     }
 
     fn assignments(&mut self) -> Result<Vec<Assignment>> {
@@ -288,7 +319,12 @@ impl Parser {
         if as_of.is_some() {
             return Err(self.err("`as of` is not allowed on delete"));
         }
-        Ok(Statement::Delete(Delete { var, where_clause, when_clause, valid }))
+        Ok(Statement::Delete(Delete {
+            var,
+            where_clause,
+            when_clause,
+            valid,
+        }))
     }
 
     fn replace_stmt(&mut self) -> Result<Statement> {
@@ -355,7 +391,12 @@ impl Parser {
             }
         }
         self.expect(&T::RParen)?;
-        Ok(Statement::Create(Create { rel, class, kind, attrs }))
+        Ok(Statement::Create(Create {
+            rel,
+            class,
+            kind,
+            attrs,
+        }))
     }
 
     fn modify_stmt(&mut self) -> Result<Statement> {
@@ -377,8 +418,11 @@ impl Parser {
             }
             _ => self.ident()?,
         };
-        let key =
-            if self.eat_kw(K::On) { Some(self.ident()?) } else { None };
+        let key = if self.eat_kw(K::On) {
+            Some(self.ident()?)
+        } else {
+            None
+        };
         let fillfactor = if self.eat_kw(K::Where) {
             self.expect_kw(K::Fillfactor)?;
             self.expect(&T::Eq)?;
@@ -393,7 +437,12 @@ impl Parser {
         } else {
             None
         };
-        Ok(Statement::Modify(Modify { rel, organization, key, fillfactor }))
+        Ok(Statement::Modify(Modify {
+            rel,
+            organization,
+            key,
+            fillfactor,
+        }))
     }
 
     fn index_stmt(&mut self) -> Result<Statement> {
@@ -417,14 +466,19 @@ impl Parser {
                 }
                 other => {
                     return Err(self.err(format!(
-                        "index structure must be heap or hash, found `{other}`"
-                    )))
+                    "index structure must be heap or hash, found `{other}`"
+                )))
                 }
             })
         } else {
             None
         };
-        Ok(Statement::Index(CreateIndex { rel, name, attr, structure }))
+        Ok(Statement::Index(CreateIndex {
+            rel,
+            name,
+            attr,
+            structure,
+        }))
     }
 
     fn copy_stmt(&mut self) -> Result<Statement> {
@@ -449,9 +503,8 @@ impl Parser {
         let file = match self.advance().kind {
             T::Str(s) => s,
             other => {
-                return Err(
-                    self.err(format!("expected file string, found `{other}`"))
-                )
+                return Err(self
+                    .err(format!("expected file string, found `{other}`")))
             }
         };
         Ok(Statement::Copy(Copy { rel, from, file }))
@@ -467,7 +520,11 @@ impl Parser {
         let mut lhs = self.and_expr()?;
         while self.eat_kw(K::Or) {
             let rhs = self.and_expr()?;
-            lhs = Expr::Bin { op: BinOp::Or, lhs: Box::new(lhs), rhs: Box::new(rhs) };
+            lhs = Expr::Bin {
+                op: BinOp::Or,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+            };
         }
         Ok(lhs)
     }
@@ -476,7 +533,11 @@ impl Parser {
         let mut lhs = self.not_expr()?;
         while self.eat_kw(K::And) {
             let rhs = self.not_expr()?;
-            lhs = Expr::Bin { op: BinOp::And, lhs: Box::new(lhs), rhs: Box::new(rhs) };
+            lhs = Expr::Bin {
+                op: BinOp::And,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+            };
         }
         Ok(lhs)
     }
@@ -502,7 +563,11 @@ impl Parser {
         };
         self.advance();
         let rhs = self.add_expr()?;
-        Ok(Expr::Bin { op, lhs: Box::new(lhs), rhs: Box::new(rhs) })
+        Ok(Expr::Bin {
+            op,
+            lhs: Box::new(lhs),
+            rhs: Box::new(rhs),
+        })
     }
 
     fn add_expr(&mut self) -> Result<Expr> {
@@ -515,7 +580,11 @@ impl Parser {
             };
             self.advance();
             let rhs = self.mul_expr()?;
-            lhs = Expr::Bin { op, lhs: Box::new(lhs), rhs: Box::new(rhs) };
+            lhs = Expr::Bin {
+                op,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+            };
         }
         Ok(lhs)
     }
@@ -531,7 +600,11 @@ impl Parser {
             };
             self.advance();
             let rhs = self.unary_expr()?;
-            lhs = Expr::Bin { op, lhs: Box::new(lhs), rhs: Box::new(rhs) };
+            lhs = Expr::Bin {
+                op,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+            };
         }
         Ok(lhs)
     }
@@ -577,7 +650,10 @@ impl Parser {
                     self.advance();
                     let arg = self.expr()?;
                     self.expect(&T::RParen)?;
-                    return Ok(Expr::Agg { func, arg: Box::new(arg) });
+                    return Ok(Expr::Agg {
+                        func,
+                        arg: Box::new(arg),
+                    });
                 }
                 self.expect(&T::Dot).map_err(|_| {
                     self.err(format!(
@@ -599,7 +675,10 @@ impl Parser {
                 };
                 Ok(Expr::Attr { var, attr })
             }
-            other => Err(self.err(format!("expected expression, found `{other}`"))),
+            other => {
+                Err(self
+                    .err(format!("expected expression, found `{other}`")))
+            }
         }
     }
 

@@ -36,7 +36,11 @@ impl fmt::Display for Statement {
 
 impl fmt::Display for CreateIndex {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "index on {} is {} ({})", self.rel, self.name, self.attr)?;
+        write!(
+            f,
+            "index on {} is {} ({})",
+            self.rel, self.name, self.attr
+        )?;
         if let Some(s) = &self.structure {
             write!(f, " to {s}")?;
         }
@@ -121,14 +125,26 @@ impl fmt::Display for Append {
             write!(f, "{} = {}", a.attr, a.expr)?;
         }
         write!(f, ")")?;
-        write_clauses(f, &self.valid, &self.where_clause, &self.when_clause, &None)
+        write_clauses(
+            f,
+            &self.valid,
+            &self.where_clause,
+            &self.when_clause,
+            &None,
+        )
     }
 }
 
 impl fmt::Display for Delete {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "delete {}", self.var)?;
-        write_clauses(f, &self.valid, &self.where_clause, &self.when_clause, &None)
+        write_clauses(
+            f,
+            &self.valid,
+            &self.where_clause,
+            &self.when_clause,
+            &None,
+        )
     }
 }
 
@@ -142,7 +158,13 @@ impl fmt::Display for Replace {
             write!(f, "{} = {}", a.attr, a.expr)?;
         }
         write!(f, ")")?;
-        write_clauses(f, &self.valid, &self.where_clause, &self.when_clause, &None)
+        write_clauses(
+            f,
+            &self.valid,
+            &self.where_clause,
+            &self.when_clause,
+            &None,
+        )
     }
 }
 
@@ -203,7 +225,9 @@ impl fmt::Display for Expr {
             }
             Expr::Neg(e) => write!(f, "(- {e})"),
             Expr::Not(e) => write!(f, "(not {e})"),
-            Expr::Agg { func, arg } => write!(f, "{}({arg})", func.as_str()),
+            Expr::Agg { func, arg } => {
+                write!(f, "{}({arg})", func.as_str())
+            }
         }
     }
 }

@@ -184,7 +184,11 @@ pub fn lex(src: &str) -> Result<Vec<Token>> {
 
     macro_rules! push {
         ($kind:expr, $c:expr) => {
-            out.push(Token { kind: $kind, line, col: $c })
+            out.push(Token {
+                kind: $kind,
+                line,
+                col: $c,
+            })
         };
     }
 
@@ -289,7 +293,8 @@ pub fn lex(src: &str) -> Result<Vec<Token>> {
             'a'..='z' | 'A'..='Z' | '_' => {
                 let mut j = i;
                 while j < bytes.len()
-                    && (bytes[j].is_ascii_alphanumeric() || bytes[j] == b'_')
+                    && (bytes[j].is_ascii_alphanumeric()
+                        || bytes[j] == b'_')
                 {
                     j += 1;
                 }
@@ -391,7 +396,11 @@ pub fn lex(src: &str) -> Result<Vec<Token>> {
             }
         }
     }
-    out.push(Token { kind: TokenKind::Eof, line, col });
+    out.push(Token {
+        kind: TokenKind::Eof,
+        line,
+        col,
+    });
     Ok(out)
 }
 
@@ -437,7 +446,10 @@ mod tests {
             ]
         );
         // Identifiers are lower-cased (Quel is case-insensitive).
-        assert_eq!(kinds("Temporal_H")[0], TokenKind::Ident("temporal_h".into()));
+        assert_eq!(
+            kinds("Temporal_H")[0],
+            TokenKind::Ident("temporal_h".into())
+        );
     }
 
     #[test]

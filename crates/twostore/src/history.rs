@@ -17,7 +17,7 @@
 use std::collections::HashMap;
 use tdbms_kernel::{Error, Result};
 use tdbms_storage::{
-    page_capacity, FileId, HeapFile, KeySpec, Pager, PageKind, TupleId,
+    page_capacity, FileId, HeapFile, KeySpec, PageKind, Pager, TupleId,
 };
 
 /// Key bytes, owned (small: 1-8 bytes for practical keys).
@@ -50,13 +50,20 @@ pub enum HistoryStore {
 
 impl HistoryStore {
     /// Create an empty simple history store.
-    pub fn simple(pager: &mut Pager, row_width: usize, key: KeySpec) -> Result<Self> {
-        Ok(HistoryStore::Simple { heap: HeapFile::create(pager, row_width)?, key })
+    pub fn simple(
+        pager: &Pager,
+        row_width: usize,
+        key: KeySpec,
+    ) -> Result<Self> {
+        Ok(HistoryStore::Simple {
+            heap: HeapFile::create(pager, row_width)?,
+            key,
+        })
     }
 
     /// Create an empty clustered history store.
     pub fn clustered(
-        pager: &mut Pager,
+        pager: &Pager,
         row_width: usize,
         key: KeySpec,
     ) -> Result<Self> {
@@ -83,10 +90,15 @@ impl HistoryStore {
     }
 
     /// Append one superseded version.
-    pub fn push(&mut self, pager: &mut Pager, row: &[u8]) -> Result<TupleId> {
+    pub fn push(&mut self, pager: &Pager, row: &[u8]) -> Result<TupleId> {
         match self {
             HistoryStore::Simple { heap, .. } => heap.insert(pager, row),
-            HistoryStore::Clustered { file, row_width, key, clusters } => {
+            HistoryStore::Clustered {
+                file,
+                row_width,
+                key,
+                clusters,
+            } => {
                 if row.len() != *row_width {
                     return Err(Error::RowSize {
                         expected: *row_width,
@@ -110,8 +122,9 @@ impl HistoryStore {
                 }
                 let page_no = pager.append_page(*file, PageKind::Data)?;
                 pages.push(page_no);
-                let slot = pager
-                    .write(*file, page_no, |p| p.push_row(*row_width, row))??;
+                let slot = pager.write(*file, page_no, |p| {
+                    p.push_row(*row_width, row)
+                })??;
                 Ok(TupleId::new(page_no, slot))
             }
         }
@@ -122,7 +135,7 @@ impl HistoryStore {
     /// tuple's own pages.
     pub fn for_key(
         &self,
-        pager: &mut Pager,
+        pager: &Pager,
         key_bytes: &[u8],
         mut f: impl FnMut(&[u8]) -> Result<()>,
     ) -> Result<()> {
@@ -138,7 +151,12 @@ impl HistoryStore {
                 }
                 Ok(())
             }
-            HistoryStore::Clustered { file, row_width, key, clusters } => {
+            HistoryStore::Clustered {
+                file,
+                row_width,
+                key,
+                clusters,
+            } => {
                 let Some(pages) = clusters.get(key_bytes) else {
                     return Ok(());
                 };
@@ -165,7 +183,7 @@ impl HistoryStore {
     /// Visit every history version.
     pub fn for_all(
         &self,
-        pager: &mut Pager,
+        pager: &Pager,
         mut f: impl FnMut(&[u8]) -> Result<()>,
     ) -> Result<()> {
         match self {
@@ -176,7 +194,9 @@ impl HistoryStore {
                 }
                 Ok(())
             }
-            HistoryStore::Clustered { file, row_width, .. } => {
+            HistoryStore::Clustered {
+                file, row_width, ..
+            } => {
                 let n = pager.page_count(*file)?;
                 for page_no in 0..n {
                     let rows: Vec<Vec<u8>> =
@@ -200,7 +220,10 @@ impl HistoryStore {
         match self {
             HistoryStore::Simple { .. } => None,
             HistoryStore::Clustered { clusters, .. } => Some(
-                clusters.get(key_bytes).map(|p| p.len() as u32).unwrap_or(0),
+                clusters
+                    .get(key_bytes)
+                    .map(|p| p.len() as u32)
+                    .unwrap_or(0),
             ),
         }
     }
@@ -208,7 +231,9 @@ impl HistoryStore {
     /// Row capacity per page for this store's rows.
     pub fn rows_per_page(&self) -> usize {
         match self {
-            HistoryStore::Simple { heap, .. } => page_capacity(heap.row_width),
+            HistoryStore::Simple { heap, .. } => {
+                page_capacity(heap.row_width)
+            }
             HistoryStore::Clustered { row_width, .. } => {
                 page_capacity(*row_width)
             }
@@ -230,10 +255,14 @@ mod tests {
     }
 
     fn key() -> KeySpec {
-        KeySpec { offset: 0, len: 4, kind: KeyKind::I4 }
+        KeySpec {
+            offset: 0,
+            len: 4,
+            kind: KeyKind::I4,
+        }
     }
 
-    fn fill(store: &mut HistoryStore, pager: &mut Pager) {
+    fn fill(store: &mut HistoryStore, pager: &Pager) {
         // 28 versions each for ids 1..=4, interleaved by round (the order
         // updates actually produce).
         for round in 0..28u8 {
@@ -245,16 +274,16 @@ mod tests {
 
     #[test]
     fn clustered_version_access_reads_only_the_cluster() {
-        let mut pager = Pager::in_memory();
-        let mut store = HistoryStore::clustered(&mut pager, W, key()).unwrap();
-        fill(&mut store, &mut pager);
+        let pager = Pager::in_memory();
+        let mut store = HistoryStore::clustered(&pager, W, key()).unwrap();
+        fill(&mut store, &pager);
         // 28 versions at 8/page = 4 pages per tuple — the paper's number.
         assert_eq!(store.cluster_pages(&1i32.to_le_bytes()), Some(4));
         pager.invalidate_buffers().unwrap();
         pager.reset_stats();
         let mut n = 0;
         store
-            .for_key(&mut pager, &2i32.to_le_bytes(), |_| {
+            .for_key(&pager, &2i32.to_le_bytes(), |_| {
                 n += 1;
                 Ok(())
             })
@@ -272,14 +301,14 @@ mod tests {
 
     #[test]
     fn simple_version_access_scans_everything() {
-        let mut pager = Pager::in_memory();
-        let mut store = HistoryStore::simple(&mut pager, W, key()).unwrap();
-        fill(&mut store, &mut pager);
+        let pager = Pager::in_memory();
+        let mut store = HistoryStore::simple(&pager, W, key()).unwrap();
+        fill(&mut store, &pager);
         pager.invalidate_buffers().unwrap();
         pager.reset_stats();
         let mut n = 0;
         store
-            .for_key(&mut pager, &2i32.to_le_bytes(), |_| {
+            .for_key(&pager, &2i32.to_le_bytes(), |_| {
                 n += 1;
                 Ok(())
             })
@@ -298,13 +327,13 @@ mod tests {
 
     #[test]
     fn both_layouts_hold_the_same_versions() {
-        let mut pager = Pager::in_memory();
-        let mut simple = HistoryStore::simple(&mut pager, W, key()).unwrap();
+        let pager = Pager::in_memory();
+        let mut simple = HistoryStore::simple(&pager, W, key()).unwrap();
         let mut clustered =
-            HistoryStore::clustered(&mut pager, W, key()).unwrap();
-        fill(&mut simple, &mut pager);
-        fill(&mut clustered, &mut pager);
-        let collect = |s: &HistoryStore, pager: &mut Pager| {
+            HistoryStore::clustered(&pager, W, key()).unwrap();
+        fill(&mut simple, &pager);
+        fill(&mut clustered, &pager);
+        let collect = |s: &HistoryStore, pager: &Pager| {
             let mut rows: Vec<Vec<u8>> = Vec::new();
             s.for_all(pager, |r| {
                 rows.push(r.to_vec());
@@ -314,20 +343,17 @@ mod tests {
             rows.sort();
             rows
         };
-        assert_eq!(
-            collect(&simple, &mut pager),
-            collect(&clustered, &mut pager)
-        );
+        assert_eq!(collect(&simple, &pager), collect(&clustered, &pager));
     }
 
     #[test]
     fn unknown_key_visits_nothing() {
-        let mut pager = Pager::in_memory();
-        let mut store = HistoryStore::clustered(&mut pager, W, key()).unwrap();
-        fill(&mut store, &mut pager);
+        let pager = Pager::in_memory();
+        let mut store = HistoryStore::clustered(&pager, W, key()).unwrap();
+        fill(&mut store, &pager);
         let mut n = 0;
         store
-            .for_key(&mut pager, &99i32.to_le_bytes(), |_| {
+            .for_key(&pager, &99i32.to_le_bytes(), |_| {
                 n += 1;
                 Ok(())
             })

@@ -48,7 +48,7 @@ impl TwoLevelStore {
     /// store. `schema` must carry valid and/or transaction time.
     #[allow(clippy::too_many_arguments)]
     pub fn build_from_rows(
-        pager: &mut Pager,
+        pager: &Pager,
         schema: &Schema,
         rows: &[Vec<u8>],
         key_attr: usize,
@@ -92,7 +92,9 @@ impl TwoLevelStore {
             }
         };
         let mut history = match layout {
-            HistoryLayout::Simple => HistoryStore::simple(pager, width, key)?,
+            HistoryLayout::Simple => {
+                HistoryStore::simple(pager, width, key)?
+            }
             HistoryLayout::Clustered => {
                 HistoryStore::clustered(pager, width, key)?
             }
@@ -151,13 +153,13 @@ impl TwoLevelStore {
     /// Fetch the current version of `key_bytes` from the primary store.
     pub fn current_for_key(
         &self,
-        pager: &mut Pager,
+        pager: &Pager,
         key_bytes: &[u8],
     ) -> Result<Option<(tdbms_storage::TupleId, Vec<u8>)>> {
-        let mut cur = self
-            .primary
-            .lookup_eq(pager, key_bytes)?
-            .ok_or_else(|| Error::Internal("primary store is keyed".into()))?;
+        let mut cur =
+            self.primary.lookup_eq(pager, key_bytes)?.ok_or_else(|| {
+                Error::Internal("primary store is keyed".into())
+            })?;
         cur.next(pager, &self.primary)
     }
 
@@ -165,7 +167,7 @@ impl TwoLevelStore {
     /// one tuple — the two-level answer to the paper's Q01/Q02.
     pub fn versions_for_key(
         &self,
-        pager: &mut Pager,
+        pager: &Pager,
         key_bytes: &[u8],
     ) -> Result<Vec<Vec<u8>>> {
         let mut out = Vec::new();
@@ -181,7 +183,7 @@ impl TwoLevelStore {
 
     /// Append a brand-new tuple (its row must be current-shaped: open
     /// valid/transaction end).
-    pub fn append(&mut self, pager: &mut Pager, row: &[u8]) -> Result<()> {
+    pub fn append(&mut self, pager: &Pager, row: &[u8]) -> Result<()> {
         if !is_current_row(&self.schema, &self.codec, row) {
             return Err(Error::BadValue(
                 "appended version must be current (open-ended)".into(),
@@ -199,19 +201,22 @@ impl TwoLevelStore {
     /// primary store never grows.
     pub fn replace_current(
         &mut self,
-        pager: &mut Pager,
+        pager: &Pager,
         key_bytes: &[u8],
         now: TimeVal,
         update_explicit: impl FnOnce(&mut Vec<u8>),
     ) -> Result<bool> {
-        let Some((tid, old)) = self.current_for_key(pager, key_bytes)? else {
+        let Some((tid, old)) = self.current_for_key(pager, key_bytes)?
+        else {
             return Ok(false);
         };
         let has_tx = self.schema.class().has_transaction_time();
-        let ts_stop = self.schema.temporal_index(TemporalAttr::TransactionStop);
+        let ts_stop =
+            self.schema.temporal_index(TemporalAttr::TransactionStop);
         let ts_start =
             self.schema.temporal_index(TemporalAttr::TransactionStart);
-        let valid_from = self.schema.temporal_index(TemporalAttr::ValidFrom);
+        let valid_from =
+            self.schema.temporal_index(TemporalAttr::ValidFrom);
         let valid_to = self.schema.temporal_index(TemporalAttr::ValidTo);
 
         // Dead original (transaction-time relations only).
@@ -254,15 +259,17 @@ impl TwoLevelStore {
     /// primary slot is freed.
     pub fn delete_current(
         &mut self,
-        pager: &mut Pager,
+        pager: &Pager,
         key_bytes: &[u8],
         now: TimeVal,
     ) -> Result<bool> {
-        let Some((tid, old)) = self.current_for_key(pager, key_bytes)? else {
+        let Some((tid, old)) = self.current_for_key(pager, key_bytes)?
+        else {
             return Ok(false);
         };
         let has_tx = self.schema.class().has_transaction_time();
-        let ts_stop = self.schema.temporal_index(TemporalAttr::TransactionStop);
+        let ts_stop =
+            self.schema.temporal_index(TemporalAttr::TransactionStop);
         let ts_start =
             self.schema.temporal_index(TemporalAttr::TransactionStart);
         let valid_to = self.schema.temporal_index(TemporalAttr::ValidTo);
@@ -290,7 +297,11 @@ impl TwoLevelStore {
 
 /// Is this stored row a current version (open-ended in both the times its
 /// schema records)?
-pub fn is_current_row(schema: &Schema, codec: &RowCodec, row: &[u8]) -> bool {
+pub fn is_current_row(
+    schema: &Schema,
+    codec: &RowCodec,
+    row: &[u8],
+) -> bool {
     if let Some(i) = schema.temporal_index(TemporalAttr::TransactionStop) {
         if !codec.get_time(row, i).is_forever() {
             return false;
@@ -307,7 +318,9 @@ pub fn is_current_row(schema: &Schema, codec: &RowCodec, row: &[u8]) -> bool {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use tdbms_kernel::{AttrDef, DatabaseClass, Domain, TemporalKind, Value};
+    use tdbms_kernel::{
+        AttrDef, DatabaseClass, Domain, TemporalKind, Value,
+    };
 
     fn schema() -> Schema {
         Schema::new(
@@ -346,7 +359,7 @@ mod tests {
     }
 
     fn store_with_updates(
-        pager: &mut Pager,
+        pager: &Pager,
         layout: HistoryLayout,
         n: i64,
         rounds: u32,
@@ -372,7 +385,8 @@ mod tests {
                 store
                     .replace_current(pager, &kb, t, |row| {
                         let seq = c2.get_i4(row, 2);
-                        c2.put(row, 2, &Value::Int(seq as i64 + 1)).unwrap();
+                        c2.put(row, 2, &Value::Int(seq as i64 + 1))
+                            .unwrap();
                     })
                     .unwrap();
                 t = t.saturating_add_secs(60);
@@ -383,13 +397,13 @@ mod tests {
 
     #[test]
     fn primary_store_never_grows() {
-        let mut pager = Pager::in_memory();
+        let pager = Pager::in_memory();
         let (store, _) =
-            store_with_updates(&mut pager, HistoryLayout::Simple, 64, 0);
+            store_with_updates(&pager, HistoryLayout::Simple, 64, 0);
         let p0 = store.primary().total_pages(&pager).unwrap();
-        let mut pager = Pager::in_memory();
+        let pager = Pager::in_memory();
         let (store, _) =
-            store_with_updates(&mut pager, HistoryLayout::Simple, 64, 14);
+            store_with_updates(&pager, HistoryLayout::Simple, 64, 14);
         assert_eq!(store.primary().total_pages(&pager).unwrap(), p0);
         // History took the 2-per-replace versions.
         assert_eq!(store.history_count(), 2 * 14 * 64);
@@ -398,9 +412,9 @@ mod tests {
     #[test]
     fn static_query_cost_is_constant_in_update_count() {
         for rounds in [0, 5, 14] {
-            let mut pager = Pager::in_memory();
+            let pager = Pager::in_memory();
             let (store, codec) = store_with_updates(
-                &mut pager,
+                &pager,
                 HistoryLayout::Simple,
                 64,
                 rounds,
@@ -408,7 +422,7 @@ mod tests {
             pager.invalidate_buffers().unwrap();
             pager.reset_stats();
             let (_, row) = store
-                .current_for_key(&mut pager, &7i32.to_le_bytes())
+                .current_for_key(&pager, &7i32.to_le_bytes())
                 .unwrap()
                 .expect("current version exists");
             assert_eq!(codec.get_i4(&row, 2) as u32, rounds);
@@ -427,13 +441,13 @@ mod tests {
 
     #[test]
     fn clustered_version_scan_costs_cluster_pages_plus_one() {
-        let mut pager = Pager::in_memory();
+        let pager = Pager::in_memory();
         let (store, _) =
-            store_with_updates(&mut pager, HistoryLayout::Clustered, 64, 14);
+            store_with_updates(&pager, HistoryLayout::Clustered, 64, 14);
         pager.invalidate_buffers().unwrap();
         pager.reset_stats();
         let versions =
-            store.versions_for_key(&mut pager, &7i32.to_le_bytes()).unwrap();
+            store.versions_for_key(&pager, &7i32.to_le_bytes()).unwrap();
         // 1 current + 28 history.
         assert_eq!(versions.len(), 29);
         // 1 primary page + ceil(28/8) = 4 cluster pages — Figure 10's "5".
@@ -456,14 +470,13 @@ mod tests {
 
     #[test]
     fn version_multiset_matches_expected_counts() {
-        let mut pager = Pager::in_memory();
+        let pager = Pager::in_memory();
         let (store, codec) =
-            store_with_updates(&mut pager, HistoryLayout::Clustered, 8, 3);
+            store_with_updates(&pager, HistoryLayout::Clustered, 8, 3);
         // Per tuple: 1 current + 2 per round history.
         for id in 1..=8i32 {
-            let versions = store
-                .versions_for_key(&mut pager, &id.to_le_bytes())
-                .unwrap();
+            let versions =
+                store.versions_for_key(&pager, &id.to_le_bytes()).unwrap();
             assert_eq!(versions.len(), 1 + 2 * 3, "tuple {id}");
             // Current version carries the final seq.
             assert_eq!(codec.get_i4(&versions[0], 2), 3);
@@ -472,34 +485,34 @@ mod tests {
 
     #[test]
     fn delete_moves_versions_to_history() {
-        let mut pager = Pager::in_memory();
+        let pager = Pager::in_memory();
         let (mut store, _) =
-            store_with_updates(&mut pager, HistoryLayout::Simple, 8, 1);
+            store_with_updates(&pager, HistoryLayout::Simple, 8, 1);
         let t = TimeVal::from_ymd(1981, 1, 1).unwrap();
         assert!(store
-            .delete_current(&mut pager, &3i32.to_le_bytes(), t)
+            .delete_current(&pager, &3i32.to_le_bytes(), t)
             .unwrap());
         assert!(!store
-            .delete_current(&mut pager, &3i32.to_le_bytes(), t)
+            .delete_current(&pager, &3i32.to_le_bytes(), t)
             .unwrap());
         assert_eq!(store.current_count(), 7);
         assert!(store
-            .current_for_key(&mut pager, &3i32.to_le_bytes())
+            .current_for_key(&pager, &3i32.to_le_bytes())
             .unwrap()
             .is_none());
         // 2 from the replace round + 2 from the delete.
         let versions =
-            store.versions_for_key(&mut pager, &3i32.to_le_bytes()).unwrap();
+            store.versions_for_key(&pager, &3i32.to_le_bytes()).unwrap();
         assert_eq!(versions.len(), 4);
     }
 
     #[test]
     fn rejects_heap_primary_and_static_schema() {
-        let mut pager = Pager::in_memory();
+        let pager = Pager::in_memory();
         let s = schema();
         let (_, rows) = initial_rows(&s, 4);
         assert!(TwoLevelStore::build_from_rows(
-            &mut pager,
+            &pager,
             &s,
             &rows,
             0,
@@ -516,7 +529,7 @@ mod tests {
         )
         .unwrap();
         assert!(TwoLevelStore::build_from_rows(
-            &mut pager,
+            &pager,
             &static_schema,
             &[],
             0,

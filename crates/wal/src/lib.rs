@@ -111,7 +111,11 @@ impl RecoveryPlan {
             current.push((lsn, rec));
             if is_commit {
                 for (_, r) in &current {
-                    if let Record::Catalog { clock, catalog: text } = r {
+                    if let Record::Catalog {
+                        clock,
+                        catalog: text,
+                    } = r
+                    {
                         catalog = Some((clock.clone(), text.clone()));
                     }
                 }
@@ -145,13 +149,19 @@ impl RecoveryPlan {
     /// transaction first (later commits supersede earlier ones); a
     /// committed `DropFile` ends the search, since images older than the
     /// drop describe a file that no longer exists.
-    pub fn latest_image(&self, file: FileId, page_no: u32) -> Option<&Page> {
+    pub fn latest_image(
+        &self,
+        file: FileId,
+        page_no: u32,
+    ) -> Option<&Page> {
         for txn in self.txns.iter().rev() {
             for (_, rec) in txn.iter().rev() {
                 match rec {
-                    Record::PageImage { file: f, page_no: p, image }
-                        if *f == file && *p == page_no =>
-                    {
+                    Record::PageImage {
+                        file: f,
+                        page_no: p,
+                        image,
+                    } if *f == file && *p == page_no => {
                         return Some(image);
                     }
                     Record::DropFile { file: f } if *f == file => {
@@ -171,8 +181,14 @@ impl RecoveryPlan {
 /// placeholders, because every page appended under staging is installed
 /// dirty and therefore always has a committed image to replay over it.
 /// A missing file is skipped: a later committed `DropFile` removed it.
-fn set_len(disk: &mut dyn DiskManager, file: FileId, len: u32) -> Result<()> {
-    let Ok(cur) = disk.page_count(file) else { return Ok(()) };
+fn set_len(
+    disk: &mut dyn DiskManager,
+    file: FileId,
+    len: u32,
+) -> Result<()> {
+    let Ok(cur) = disk.page_count(file) else {
+        return Ok(());
+    };
     if cur > len {
         let keep: Vec<Page> = (0..len)
             .map(|p| disk.read_page(file, p))
@@ -191,16 +207,27 @@ fn set_len(disk: &mut dyn DiskManager, file: FileId, len: u32) -> Result<()> {
 
 /// Redo a [`RecoveryPlan`] against the raw disk (run *before* any pager
 /// buffers pages). Idempotent: see the module-level invariants.
-pub fn replay(plan: &RecoveryPlan, disk: &mut dyn DiskManager) -> Result<()> {
+pub fn replay(
+    plan: &RecoveryPlan,
+    disk: &mut dyn DiskManager,
+) -> Result<()> {
     for &(file, len) in &plan.snapshot {
         set_len(disk, file, len)?;
     }
     for txn in &plan.txns {
         for (lsn, rec) in txn {
             match rec {
-                Record::FileLen { file, len } => set_len(disk, *file, *len)?,
-                Record::PageImage { file, page_no, image } => {
-                    let Ok(n) = disk.page_count(*file) else { continue };
+                Record::FileLen { file, len } => {
+                    set_len(disk, *file, *len)?
+                }
+                Record::PageImage {
+                    file,
+                    page_no,
+                    image,
+                } => {
+                    let Ok(n) = disk.page_count(*file) else {
+                        continue;
+                    };
                     if *page_no >= n {
                         set_len(disk, *file, page_no + 1)?;
                     }
@@ -214,9 +241,8 @@ pub fn replay(plan: &RecoveryPlan, disk: &mut dyn DiskManager) -> Result<()> {
                         disk.drop_file(*file)?;
                     }
                 }
-                Record::Begin
-                | Record::Catalog { .. }
-                | Record::Commit => {}
+                Record::Begin | Record::Catalog { .. } | Record::Commit => {
+                }
             }
         }
     }
@@ -235,14 +261,19 @@ impl Wal {
     /// Open the log: read it back, derive the [`RecoveryPlan`], and
     /// position the LSN counter past everything ever logged. A brand-new
     /// log gets its initial header here, so records never precede one.
-    pub fn open(mut store: Box<dyn LogStore>) -> Result<(Wal, RecoveryPlan)> {
+    pub fn open(
+        mut store: Box<dyn LogStore>,
+    ) -> Result<(Wal, RecoveryPlan)> {
         let bytes = store.read_all()?;
         let plan = RecoveryPlan::parse(&bytes);
         if bytes.is_empty() {
             store.reset(&encode_header(plan.next_lsn(), &[]))?;
         }
-        let wal =
-            Wal { store, next_lsn: plan.next_lsn(), bytes_appended: 0 };
+        let wal = Wal {
+            store,
+            next_lsn: plan.next_lsn(),
+            bytes_appended: 0,
+        };
         Ok((wal, plan))
     }
 
@@ -329,11 +360,19 @@ mod tests {
     fn commit_boundary_separates_winners_from_losers() {
         let mut wal = Wal::open(Box::new(MemLog::new())).unwrap().0;
         wal.append(&Record::Begin).unwrap();
-        wal.append(&Record::FileLen { file: FileId(0), len: 1 }).unwrap();
+        wal.append(&Record::FileLen {
+            file: FileId(0),
+            len: 1,
+        })
+        .unwrap();
         wal.append(&Record::Commit).unwrap();
         wal.append(&Record::Begin).unwrap();
-        let lsn =
-            wal.append(&Record::FileLen { file: FileId(0), len: 9 }).unwrap();
+        let lsn = wal
+            .append(&Record::FileLen {
+                file: FileId(0),
+                len: 9,
+            })
+            .unwrap();
         // No commit: the second transaction must vanish.
         let bytes = wal.store.read_all().unwrap();
         let plan = RecoveryPlan::parse(&bytes);
@@ -361,8 +400,14 @@ mod tests {
         let plan = RecoveryPlan::parse(&wal.store.read_all().unwrap());
         replay(&plan, &mut disk).unwrap();
         assert_eq!(disk.page_count(f).unwrap(), 2, "tail trimmed");
-        assert_eq!(disk.read_page(f, 1).unwrap().row(4, 0).unwrap(), &[7; 4]);
-        assert_eq!(disk.read_page(f, 0).unwrap().row(4, 0).unwrap(), &[1; 4]);
+        assert_eq!(
+            disk.read_page(f, 1).unwrap().row(4, 0).unwrap(),
+            &[7; 4]
+        );
+        assert_eq!(
+            disk.read_page(f, 0).unwrap().row(4, 0).unwrap(),
+            &[1; 4]
+        );
         // Idempotence: replaying again changes nothing.
         let before: Vec<Vec<u8>> = (0..2)
             .map(|p| disk.read_page(f, p).unwrap().as_bytes().to_vec())
@@ -384,7 +429,11 @@ mod tests {
             snapshot: vec![],
             txns: vec![vec![(
                 5,
-                Record::PageImage { file: f, page_no: 0, image: image(2, 5) },
+                Record::PageImage {
+                    file: f,
+                    page_no: 0,
+                    image: image(2, 5),
+                },
             )]],
             catalog: None,
             next_lsn: 11,
@@ -420,7 +469,10 @@ mod tests {
         };
         replay(&plan, &mut disk).unwrap();
         assert_eq!(disk.page_count(f).unwrap(), 3);
-        assert_eq!(disk.read_page(f, 2).unwrap().row(4, 0).unwrap(), &[5; 4]);
+        assert_eq!(
+            disk.read_page(f, 2).unwrap().row(4, 0).unwrap(),
+            &[5; 4]
+        );
         // Placeholder pages parse as empty data pages, not page-0 chains.
         let ph = disk.read_page(f, 1).unwrap();
         assert_eq!(ph.count(), 0);
@@ -483,12 +535,33 @@ mod tests {
             snapshot: vec![],
             txns: vec![
                 vec![
-                    (1, Record::PageImage { file: f, page_no: 0, image: image(1, 1) }),
-                    (2, Record::PageImage { file: g, page_no: 0, image: image(8, 2) }),
+                    (
+                        1,
+                        Record::PageImage {
+                            file: f,
+                            page_no: 0,
+                            image: image(1, 1),
+                        },
+                    ),
+                    (
+                        2,
+                        Record::PageImage {
+                            file: g,
+                            page_no: 0,
+                            image: image(8, 2),
+                        },
+                    ),
                     (3, Record::Commit),
                 ],
                 vec![
-                    (4, Record::PageImage { file: f, page_no: 0, image: image(2, 4) }),
+                    (
+                        4,
+                        Record::PageImage {
+                            file: f,
+                            page_no: 0,
+                            image: image(2, 4),
+                        },
+                    ),
                     (5, Record::DropFile { file: g }),
                     (6, Record::Commit),
                 ],

@@ -8,15 +8,16 @@
 //! and [`FaultLog`] to crash the log channel on the same
 //! [`FaultPlan`] budget as the data disk.
 
-use std::cell::RefCell;
 use std::io::{Read, Seek, SeekFrom, Write};
 use std::path::PathBuf;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex, PoisonError};
 use tdbms_kernel::Result;
 use tdbms_storage::FaultPlan;
 
-/// Byte-level log storage.
-pub trait LogStore {
+/// Byte-level log storage. `Send + Sync` is part of the contract so a
+/// WAL'd engine (which drives the log from behind its commit lock) can be
+/// shared across threads.
+pub trait LogStore: Send + Sync {
     /// The entire log contents, header included.
     fn read_all(&mut self) -> Result<Vec<u8>>;
     /// Append bytes at the end.
@@ -70,7 +71,7 @@ impl LogStore for MemLog {
 /// of a crashed incarnation, reopenable by the next.
 #[derive(Clone, Default)]
 pub struct SharedMemLog {
-    bytes: Rc<RefCell<Vec<u8>>>,
+    bytes: Arc<Mutex<Vec<u8>>>,
 }
 
 impl SharedMemLog {
@@ -78,15 +79,19 @@ impl SharedMemLog {
     pub fn new() -> Self {
         Self::default()
     }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Vec<u8>> {
+        self.bytes.lock().unwrap_or_else(PoisonError::into_inner)
+    }
 }
 
 impl LogStore for SharedMemLog {
     fn read_all(&mut self) -> Result<Vec<u8>> {
-        Ok(self.bytes.borrow().clone())
+        Ok(self.lock().clone())
     }
 
     fn append(&mut self, bytes: &[u8]) -> Result<()> {
-        self.bytes.borrow_mut().extend_from_slice(bytes);
+        self.lock().extend_from_slice(bytes);
         Ok(())
     }
 
@@ -95,7 +100,7 @@ impl LogStore for SharedMemLog {
     }
 
     fn reset(&mut self, bytes: &[u8]) -> Result<()> {
-        let mut b = self.bytes.borrow_mut();
+        let mut b = self.lock();
         b.clear();
         b.extend_from_slice(bytes);
         Ok(())
@@ -180,7 +185,12 @@ pub struct FaultLog {
 impl FaultLog {
     /// Wrap `inner` under `plan`, dropping the crashing append whole.
     pub fn new(inner: Box<dyn LogStore>, plan: FaultPlan) -> Self {
-        FaultLog { inner, plan, torn_bytes: None, flip_bit: None }
+        FaultLog {
+            inner,
+            plan,
+            torn_bytes: None,
+            flip_bit: None,
+        }
     }
 
     /// Wrap `inner` under `plan`; the crashing append persists its first
@@ -190,7 +200,12 @@ impl FaultLog {
         plan: FaultPlan,
         bytes: usize,
     ) -> Self {
-        FaultLog { inner, plan, torn_bytes: Some(bytes), flip_bit: None }
+        FaultLog {
+            inner,
+            plan,
+            torn_bytes: Some(bytes),
+            flip_bit: None,
+        }
     }
 
     /// Wrap `inner` under `plan`; the crashing append persists all its
@@ -200,7 +215,12 @@ impl FaultLog {
         plan: FaultPlan,
         bit: u64,
     ) -> Self {
-        FaultLog { inner, plan, torn_bytes: None, flip_bit: Some(bit) }
+        FaultLog {
+            inner,
+            plan,
+            torn_bytes: None,
+            flip_bit: Some(bit),
+        }
     }
 }
 
@@ -273,10 +293,7 @@ mod tests {
 
     #[test]
     fn file_log_contract_and_reopen() {
-        let dir = std::env::temp_dir()
-            .join(format!("tdbms-wal-log-{}", std::process::id()));
-        let _ = std::fs::remove_dir_all(&dir);
-        std::fs::create_dir_all(&dir).unwrap();
+        let dir = tdbms_kernel::tmpdir::fresh_dir("wal-log");
         let path = dir.join("wal.tdbms");
         exercise(&mut FileLog::open(&path).unwrap());
         // Reopen: contents survive.

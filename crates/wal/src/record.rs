@@ -40,7 +40,11 @@ pub enum Record {
     /// The committed after-image of one page. The image carries this
     /// record's LSN in its header, so replay can skip pages the disk
     /// already has.
-    PageImage { file: FileId, page_no: u32, image: Page },
+    PageImage {
+        file: FileId,
+        page_no: u32,
+        image: Page,
+    },
     /// `file` was dropped; the physical drop is deferred until after the
     /// commit is durable, and replay re-executes it if needed.
     DropFile { file: FileId },
@@ -75,7 +79,11 @@ impl Record {
                 body.extend_from_slice(&file.0.to_le_bytes());
                 body.extend_from_slice(&len.to_le_bytes());
             }
-            Record::PageImage { file, page_no, image } => {
+            Record::PageImage {
+                file,
+                page_no,
+                image,
+            } => {
                 body.extend_from_slice(&file.0.to_le_bytes());
                 body.extend_from_slice(&page_no.to_le_bytes());
                 body.extend_from_slice(image.as_bytes());
@@ -130,9 +138,9 @@ impl Record {
                     image: Page::from_bytes(bytes),
                 }
             }
-            4 if payload.len() == 4 => {
-                Record::DropFile { file: FileId(u32_at(0)?) }
-            }
+            4 if payload.len() == 4 => Record::DropFile {
+                file: FileId(u32_at(0)?),
+            },
             5 => {
                 let clock_len = u32_at(0)? as usize;
                 let rest = payload.get(4..).ok_or_else(bad)?;
@@ -163,12 +171,18 @@ pub fn parse_records(buf: &[u8]) -> (Vec<(u32, Record)>, u32) {
     let mut at = 0;
     while let Some(lenb) = buf.get(at..at + 4) {
         let len = u32::from_le_bytes(lenb.try_into().unwrap()) as usize;
-        let Some(body) = buf.get(at + 4..at + 4 + len) else { break };
-        let Some(sumb) = buf.get(at + 4 + len..at + 12 + len) else { break };
+        let Some(body) = buf.get(at + 4..at + 4 + len) else {
+            break;
+        };
+        let Some(sumb) = buf.get(at + 4 + len..at + 12 + len) else {
+            break;
+        };
         if u64::from_le_bytes(sumb.try_into().unwrap()) != fnv64(body) {
             break;
         }
-        let Ok((lsn, rec)) = Record::decode_body(body) else { break };
+        let Ok((lsn, rec)) = Record::decode_body(body) else {
+            break;
+        };
         max_lsn = max_lsn.max(lsn);
         out.push((lsn, rec));
         at += 12 + len;
@@ -243,8 +257,15 @@ mod tests {
         img.set_lsn(3);
         vec![
             Record::Begin,
-            Record::FileLen { file: FileId(2), len: 17 },
-            Record::PageImage { file: FileId(2), page_no: 5, image: img },
+            Record::FileLen {
+                file: FileId(2),
+                len: 17,
+            },
+            Record::PageImage {
+                file: FileId(2),
+                page_no: 5,
+                image: img,
+            },
             Record::DropFile { file: FileId(9) },
             Record::Catalog {
                 clock: "clock 42".into(),

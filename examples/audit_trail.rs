@@ -24,10 +24,14 @@ fn main() {
     db.execute("range of a is accounts").unwrap();
 
     // Opening entries.
-    db.execute(r#"append to accounts (acct = 1, owner = "chen", balance = 1000)"#)
-        .unwrap();
-    db.execute(r#"append to accounts (acct = 2, owner = "okafor", balance = 500)"#)
-        .unwrap();
+    db.execute(
+        r#"append to accounts (acct = 1, owner = "chen", balance = 1000)"#,
+    )
+    .unwrap();
+    db.execute(
+        r#"append to accounts (acct = 2, owner = "okafor", balance = 500)"#,
+    )
+    .unwrap();
 
     // A clerk posts a transfer... with a typo: 400 instead of 40.
     db.execute("replace a (balance = a.balance - 400) where a.acct = 1")
@@ -77,7 +81,9 @@ fn main() {
         let b = &row[0];
         let from = row[1].as_time().unwrap().format(Granularity::Second);
         let to = match row[2] {
-            Value::Time(t) if t == TimeVal::FOREVER => "present".to_string(),
+            Value::Time(t) if t == TimeVal::FOREVER => {
+                "present".to_string()
+            }
             Value::Time(t) => t.format(Granularity::Second),
             _ => unreachable!(),
         };
@@ -87,8 +93,11 @@ fn main() {
 
     // Conservation holds in every state the database ever exposed.
     for probe in ["", &format!(r#" as of "{t}""#)] {
-        let total: i64 = balances(&mut db, probe).iter().map(|(_, b)| b).sum();
+        let total: i64 =
+            balances(&mut db, probe).iter().map(|(_, b)| b).sum();
         assert_eq!(total, 1500, "money is conserved{probe}");
     }
-    println!("\nconservation checked in the current and rolled-back states ✓");
+    println!(
+        "\nconservation checked in the current and rolled-back states ✓"
+    );
 }

@@ -66,14 +66,8 @@ fn main() {
             "  {:>6} in {:<6} from {} to {}",
             row[0].to_string(),
             row[1].to_string(),
-            row[vf]
-                .as_time()
-                .unwrap()
-                .format(tdbms::Granularity::Day),
-            row[vt]
-                .as_time()
-                .unwrap()
-                .format(tdbms::Granularity::Day),
+            row[vf].as_time().unwrap().format(tdbms::Granularity::Day),
+            row[vt].as_time().unwrap().format(tdbms::Granularity::Day),
         );
     }
 
@@ -96,14 +90,8 @@ fn main() {
             row[0],
             row[1],
             row[2],
-            row[vf]
-                .as_time()
-                .unwrap()
-                .format(tdbms::Granularity::Day),
-            row[vt]
-                .as_time()
-                .unwrap()
-                .format(tdbms::Granularity::Day),
+            row[vf].as_time().unwrap().format(tdbms::Granularity::Day),
+            row[vt].as_time().unwrap().format(tdbms::Granularity::Day),
         );
     }
     assert!(!out.rows().is_empty());

@@ -79,8 +79,10 @@ fn main() {
     );
 
     // --- 2. The same data as a plain static relation forgets everything.
-    db.execute("create static flat (name = c16, salary = i4)").unwrap();
-    db.execute(r#"append to flat (name = "merrie", salary = 20000)"#).unwrap();
+    db.execute("create static flat (name = c16, salary = i4)")
+        .unwrap();
+    db.execute(r#"append to flat (name = "merrie", salary = 20000)"#)
+        .unwrap();
     db.execute("range of f is flat").unwrap();
     db.execute(r#"replace f (salary = 26000) where f.name = "merrie""#)
         .unwrap();

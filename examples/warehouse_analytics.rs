@@ -32,7 +32,8 @@ fn main() {
         ))
         .unwrap();
     }
-    db.execute("modify stock to hash on bin where fillfactor = 100").unwrap();
+    db.execute("modify stock to hash on bin where fillfactor = 100")
+        .unwrap();
 
     let probe = "retrieve (s.bin, s.qty) where s.sku = 17 \
                  when s overlap \"now\"";

@@ -12,7 +12,9 @@
 //!
 //! * `\l` — list relations
 //! * `\d <rel>` — describe a relation
-//! * `\stats` — page-access counters of the last statement
+//! * `\stats` — page-access counters (reset by each mutating statement;
+//!   read-only retrieves accumulate, since they run on the engine's
+//!   shared-lock path)
 //! * `\now` — the transaction clock
 //! * `\i <file>` — run statements from a file
 //! * `\q` — quit
@@ -24,57 +26,58 @@
 //! policy (CI uses `manual` to leave a log tail for `check` to replay).
 
 use std::io::{BufRead, Write};
-use tdbms::{CheckpointPolicy, Database, Granularity};
+use tdbms::{CheckpointPolicy, Database, Granularity, Session};
 
 struct Shell {
-    db: Database,
+    session: Session,
     buffer: String,
 }
 
 impl Shell {
     fn describe(&self, name: &str) -> String {
-        let db = &self.db;
-        match db.relation_meta(name) {
-            Err(e) => format!("{e}"),
-            Ok(m) => {
-                let mut s = String::new();
-                s.push_str(&format!(
-                    "{} — {} {} relation, {} organization",
-                    m.name, m.class, m.kind, m.method
-                ));
-                if let Some(k) = &m.key {
+        self.session
+            .engine()
+            .with_read(|db| match db.relation_meta(name) {
+                Err(e) => format!("{e}"),
+                Ok(m) => {
+                    let mut s = String::new();
                     s.push_str(&format!(
-                        " on {k} (fillfactor {}%)",
-                        m.fillfactor
+                        "{} — {} {} relation, {} organization",
+                        m.name, m.class, m.kind, m.method
                     ));
-                }
-                s.push_str(&format!(
-                    "\n  {} stored versions, {} pages ({} scannable), \
-                     row width {}",
-                    m.tuple_count,
-                    m.total_pages,
-                    m.scannable_pages,
-                    m.row_width
-                ));
-                if let Ok(schema) = db.schema_of(name) {
-                    s.push_str("\n  attributes:");
-                    for (attr, domain) in schema.iter_all() {
-                        s.push_str(&format!(" {attr}={domain}"));
+                    if let Some(k) = &m.key {
+                        s.push_str(&format!(
+                            " on {k} (fillfactor {}%)",
+                            m.fillfactor
+                        ));
                     }
-                }
-                if !m.index_names.is_empty() {
                     s.push_str(&format!(
-                        "\n  indexes: {}",
-                        m.index_names.join(", ")
+                        "\n  {} stored versions, {} pages ({} scannable), \
+                     row width {}",
+                        m.tuple_count,
+                        m.total_pages,
+                        m.scannable_pages,
+                        m.row_width
                     ));
+                    if let Ok(schema) = db.schema_of(name) {
+                        s.push_str("\n  attributes:");
+                        for (attr, domain) in schema.iter_all() {
+                            s.push_str(&format!(" {attr}={domain}"));
+                        }
+                    }
+                    if !m.index_names.is_empty() {
+                        s.push_str(&format!(
+                            "\n  indexes: {}",
+                            m.index_names.join(", ")
+                        ));
+                    }
+                    s
                 }
-                s
-            }
-        }
+            })
     }
 
     fn run_statement(&mut self, text: &str) {
-        match self.db.execute(text) {
+        match self.session.execute(text) {
             Ok(out) => {
                 if !out.columns.is_empty() {
                     print!("{}", out.to_table());
@@ -97,22 +100,30 @@ impl Shell {
         match cmd {
             "\\q" => std::process::exit(0),
             "\\l" => {
-                for r in self.db.relation_names() {
+                let names = self
+                    .session
+                    .engine()
+                    .with_read(|db| db.relation_names());
+                for r in names {
                     println!("{r}");
                 }
             }
             "\\d" => println!("{}", self.describe(arg)),
             "\\stats" => {
-                let st = self.db.io_stats();
+                let (reads, writes) = self.session.engine().with_read(|db| {
+                    let st = db.io_stats();
+                    (st.total_reads(), st.total_writes())
+                });
                 println!(
-                    "last statement: {} page reads, {} page writes",
-                    st.total_reads(),
-                    st.total_writes()
+                    "last statement: {reads} page reads, {writes} page writes"
                 );
             }
             "\\now" => println!(
                 "{}",
-                self.db.clock().now().format(Granularity::Second)
+                self.session
+                    .engine()
+                    .with_read(|db| db.clock().now())
+                    .format(Granularity::Second)
             ),
             "\\i" => match std::fs::read_to_string(arg) {
                 Ok(text) => {
@@ -192,9 +203,9 @@ fn main() {
                         }
                     }
                     match std::env::var("TDBMS_CHECKPOINT").as_deref() {
-                        Ok("manual") => {
-                            db.set_checkpoint_policy(CheckpointPolicy::Manual)
-                        }
+                        Ok("manual") => db.set_checkpoint_policy(
+                            CheckpointPolicy::Manual,
+                        ),
                         Ok(v) if v.starts_with("every:") => {
                             match v["every:".len()..].parse() {
                                 Ok(n) => db.set_checkpoint_policy(
@@ -220,7 +231,12 @@ fn main() {
         }
         None => Database::in_memory(),
     };
-    let mut shell = Shell { db, buffer: String::new() };
+    // The terminal monitor is one session on a (shareable) engine —
+    // exactly what a multi-user front end would hold per connection.
+    let mut shell = Shell {
+        session: tdbms::Engine::new(db).session(),
+        buffer: String::new(),
+    };
 
     // Suppress the prompt for piped/batch use with TDBMS_BATCH=1 (a crude
     // TTY check that avoids extra dependencies; the prompt goes to stdout

@@ -22,8 +22,8 @@
 //! ```
 
 pub use tdbms_core::{
-    AccessMethod, CheckpointPolicy, Database, ExecOutput, QueryStats,
-    RelationMeta, TInterval, SCRUB_FILE, WAL_FILE,
+    AccessMethod, CheckpointPolicy, Database, Engine, ExecOutput,
+    QueryStats, RelationMeta, Session, TInterval, SCRUB_FILE, WAL_FILE,
 };
 pub use tdbms_kernel::{
     AttrDef, Clock, DatabaseClass, Domain, Error, Granularity, Result,

@@ -12,12 +12,9 @@
 //! relations never mutate anything *except* appended bytes, the page
 //! header, and 4-byte time-attribute fields of existing rows.
 
-use std::cell::RefCell;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 use tdbms::{Database, PAGE_SIZE};
-use tdbms_storage::{
-    DiskManager, FileId, MemDisk, Page, Pager,
-};
+use tdbms_storage::{DiskManager, FileId, MemDisk, Page, Pager};
 
 /// Byte ranges of an existing page image that a rewrite changed.
 #[derive(Debug, Clone)]
@@ -37,7 +34,7 @@ struct AuditLog {
 /// that change already-written bytes.
 struct AuditDisk {
     inner: MemDisk,
-    log: Rc<RefCell<AuditLog>>,
+    log: Arc<Mutex<AuditLog>>,
 }
 
 impl DiskManager for AuditDisk {
@@ -50,7 +47,11 @@ impl DiskManager for AuditDisk {
     fn page_count(&self, file: FileId) -> tdbms::Result<u32> {
         self.inner.page_count(file)
     }
-    fn read_page(&mut self, file: FileId, page_no: u32) -> tdbms::Result<Page> {
+    fn read_page(
+        &mut self,
+        file: FileId,
+        page_no: u32,
+    ) -> tdbms::Result<Page> {
         self.inner.read_page(file, page_no)
     }
     fn write_page(
@@ -76,7 +77,7 @@ impl DiskManager for AuditDisk {
             }
         }
         if !runs.is_empty() {
-            self.log.borrow_mut().mutations.push(Mutation {
+            self.log.lock().unwrap().mutations.push(Mutation {
                 file,
                 page: page_no,
                 runs,
@@ -84,7 +85,11 @@ impl DiskManager for AuditDisk {
         }
         self.inner.write_page(file, page_no, page)
     }
-    fn append_page(&mut self, file: FileId, page: &Page) -> tdbms::Result<u32> {
+    fn append_page(
+        &mut self,
+        file: FileId,
+        page: &Page,
+    ) -> tdbms::Result<u32> {
         self.inner.append_page(file, page)
     }
     fn truncate(&mut self, file: FileId) -> tdbms::Result<()> {
@@ -125,27 +130,33 @@ fn run_is_worm_ok(
     }
     let slot = (start - HEADER) / row_width;
     let row_base = HEADER + slot * row_width;
-    time_offsets.iter().any(|&off| {
-        start >= row_base + off && end <= row_base + off + 4
-    })
+    time_offsets
+        .iter()
+        .any(|&off| start >= row_base + off && end <= row_base + off + 4)
 }
 
 #[test]
 fn temporal_updates_are_append_only_plus_time_stamps() {
-    let log = Rc::new(RefCell::new(AuditLog::default()));
-    let disk = AuditDisk { inner: MemDisk::new(), log: Rc::clone(&log) };
+    let log = Arc::new(Mutex::new(AuditLog::default()));
+    let disk = AuditDisk {
+        inner: MemDisk::new(),
+        log: Arc::clone(&log),
+    };
     let mut db = Database::with_pager(Pager::new(Box::new(disk)));
 
-    db.execute("create temporal interval t (id = i4, x = i4)").unwrap();
+    db.execute("create temporal interval t (id = i4, x = i4)")
+        .unwrap();
     db.execute("range of v is t").unwrap();
     for i in 1..=64 {
-        db.execute(&format!("append to t (id = {i}, x = 0)")).unwrap();
+        db.execute(&format!("append to t (id = {i}, x = 0)"))
+            .unwrap();
     }
-    db.execute("modify t to hash on id where fillfactor = 100").unwrap();
+    db.execute("modify t to hash on id where fillfactor = 100")
+        .unwrap();
     // Discard mutations from the load/reorganization phase: WORM media
     // would be written once after organization, then appended to.
     let old_counts = snapshot_counts(&mut db);
-    log.borrow_mut().mutations.clear();
+    log.lock().unwrap().mutations.clear();
 
     for round in 1..=3 {
         db.execute(&format!("replace v (x = {round})")).unwrap();
@@ -160,7 +171,7 @@ fn temporal_updates_are_append_only_plus_time_stamps() {
     assert_eq!(row_width, 24);
     let time_offsets = [12usize, 20];
 
-    let log = log.borrow();
+    let log = log.lock().unwrap();
     assert!(!log.mutations.is_empty(), "updates must have hit the disk");
     for m in &log.mutations {
         let old_count =
@@ -200,17 +211,21 @@ fn snapshot_counts(
 fn static_updates_are_not_append_only() {
     // The contrast that motivates the taxonomy: a static relation rewrites
     // user data in place, so it could never live on write-once media.
-    let log = Rc::new(RefCell::new(AuditLog::default()));
-    let disk = AuditDisk { inner: MemDisk::new(), log: Rc::clone(&log) };
+    let log = Arc::new(Mutex::new(AuditLog::default()));
+    let disk = AuditDisk {
+        inner: MemDisk::new(),
+        log: Arc::clone(&log),
+    };
     let mut db = Database::with_pager(Pager::new(Box::new(disk)));
     db.execute("create static s (id = i4, x = i4)").unwrap();
     db.execute("range of v is s").unwrap();
     for i in 1..=16 {
-        db.execute(&format!("append to s (id = {i}, x = 0)")).unwrap();
+        db.execute(&format!("append to s (id = {i}, x = 0)"))
+            .unwrap();
     }
-    log.borrow_mut().mutations.clear();
+    log.lock().unwrap().mutations.clear();
     db.execute("replace v (x = 9) where v.id = 3").unwrap();
-    let log = log.borrow();
+    let log = log.lock().unwrap();
     // Some rewrite touched existing non-time bytes (the x attribute at
     // row offset 4..8 of an already-written slot).
     let schema_width = 8usize;

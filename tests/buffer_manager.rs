@@ -10,7 +10,8 @@
 //! and asserts the v2 ledger identity `hits + misses == accesses`.
 
 use tdbms_bench::{
-    build_database, evolve_uniform, queries_for, run_buffer_sweep, BenchConfig,
+    build_database, evolve_uniform, queries_for, run_buffer_sweep,
+    BenchConfig,
 };
 use tdbms_core::EvictionPolicy;
 use tdbms_kernel::DatabaseClass;
@@ -35,7 +36,11 @@ fn measure_all(uc: u32) -> Vec<(String, u64, u64)> {
                 "{}: nothing measured",
                 q.id
             );
-            (q.id.to_string(), out.stats.input_pages, out.stats.output_pages)
+            (
+                q.id.to_string(),
+                out.stats.input_pages,
+                out.stats.output_pages,
+            )
         })
         .collect()
 }
@@ -138,13 +143,12 @@ fn iostats_identity_under_random_schedules() {
             tdbms_storage::EvictionPolicy::Clock
         };
         let frames = g.range(1usize..4);
-        let mut pager = Pager::in_memory_with_config(BufferConfig::uniform(
+        let pager = Pager::in_memory_with_config(BufferConfig::uniform(
             frames, policy,
         ));
         let nfiles = g.range(1usize..4);
-        let files: Vec<_> = (0..nfiles)
-            .map(|_| pager.create_file().unwrap())
-            .collect();
+        let files: Vec<_> =
+            (0..nfiles).map(|_| pager.create_file().unwrap()).collect();
         let mut npages = vec![0u32; nfiles];
 
         // Track expected accesses per file alongside the pager's ledger.
@@ -208,7 +212,9 @@ fn phase_scoping_surfaces_through_exec_stats() {
     let cfg = BenchConfig::new(DatabaseClass::Temporal, 100);
     let mut db = build_database(&cfg);
     let out = db
-        .execute("retrieve (h.id, i.seq) where h.id = i.id and i.amount = 73700")
+        .execute(
+            "retrieve (h.id, i.seq) where h.id = i.id and i.amount = 73700",
+        )
         .unwrap();
     let names: Vec<&str> =
         out.stats.phases.iter().map(|p| p.name.as_str()).collect();

@@ -97,9 +97,9 @@ fn page_files(dir: &Path) -> Vec<PathBuf> {
         .unwrap()
         .map(|e| e.unwrap().path())
         .filter(|p| {
-            p.file_name()
-                .and_then(|n| n.to_str())
-                .is_some_and(|n| n.starts_with('f') && n.ends_with(".pages"))
+            p.file_name().and_then(|n| n.to_str()).is_some_and(|n| {
+                n.starts_with('f') && n.ends_with(".pages")
+            })
         })
         .collect();
     v.sort();
@@ -108,9 +108,7 @@ fn page_files(dir: &Path) -> Vec<PathBuf> {
 
 #[test]
 fn flip_a_bit_anywhere_and_repair_restores_or_reports() {
-    let root = std::env::temp_dir()
-        .join(format!("tdbms-corruption-{}", std::process::id()));
-    let _ = std::fs::remove_dir_all(&root);
+    let root = tdbms_kernel::tmpdir::fresh_dir("corruption");
     check("corruption_repair", 12, |g| {
         let dir = root.join(format!("case-{}", g.seed()));
         std::fs::create_dir_all(&dir).unwrap();
@@ -151,8 +149,10 @@ fn flip_a_bit_anywhere_and_repair_restores_or_reports() {
         std::fs::write(&target, &bytes).unwrap();
 
         // Repair must succeed, and a subsequent check must be clean.
-        let report = CheckedDb::open(dir.clone()).unwrap().repair().unwrap();
-        let recheck = CheckedDb::open(dir.clone()).unwrap().check().unwrap();
+        let report =
+            CheckedDb::open(dir.clone()).unwrap().repair().unwrap();
+        let recheck =
+            CheckedDb::open(dir.clone()).unwrap().check().unwrap();
         assert!(
             recheck.is_clean(),
             "check after repair must be clean.\nrepair:\n{}\nrecheck:\n{}",
@@ -162,10 +162,8 @@ fn flip_a_bit_anywhere_and_repair_restores_or_reports() {
 
         // Committed rows outside any quarantined page survive; when
         // nothing was reported lost, the database is exactly restored.
-        let lost = report
-            .findings
-            .iter()
-            .any(|f| f.severity == Severity::Lost);
+        let lost =
+            report.findings.iter().any(|f| f.severity == Severity::Lost);
         let mut rdb = Database::open_durable(&dir).unwrap();
         let survivors = stored_rows(&mut rdb);
         if lost {
@@ -257,11 +255,15 @@ fn transient_failures_within_budget_answer_all_queries_correctly() {
 /// error; once the fault clears, the same query returns the correct
 /// answer — at no point a wrong one.
 #[test]
-fn transient_failures_beyond_budget_surface_an_error_never_a_wrong_answer() {
-    let runs = (200u64..=5_000).step_by(100).flat_map(|n| [n, n + 1, n + 2]);
+fn transient_failures_beyond_budget_surface_an_error_never_a_wrong_answer()
+{
+    let runs = (200u64..=5_000)
+        .step_by(100)
+        .flat_map(|n| [n, n + 1, n + 2]);
     let mut db = faulted_db(runs);
     db.set_read_retries(2);
-    db.execute("create static interval r (id = i4, seq = i4)").unwrap();
+    db.execute("create static interval r (id = i4, seq = i4)")
+        .unwrap();
     db.execute("range of z is r").unwrap();
     for id in 1..=60 {
         db.execute(&format!("append to r (id = {id}, seq = {id})"))

@@ -58,12 +58,8 @@ fn copy_roundtrip_case(
     rows: &[(i32, i32, String)],
     updates: &[(i32, i32)],
 ) {
-    let dir = std::env::temp_dir().join(format!(
-        "tdbms-prop-copy-{}-{label}",
-        std::process::id(),
-    ));
-    let _ = std::fs::remove_dir_all(&dir);
-    std::fs::create_dir_all(&dir).unwrap();
+    let dir =
+        tdbms_kernel::tmpdir::fresh_dir(&format!("prop-copy-{label}"));
     let path = dir.join("data.tq");
     let path_s = path.to_str().unwrap();
 
@@ -130,7 +126,10 @@ fn copy_roundtrips_arbitrary_history() {
             (
                 g.range(1i32..20),
                 g.range(-100i32..100),
-                g.string_from(b"abcdefghijklmnopqrstuvwxyz0123456789,.;:'", 0..11),
+                g.string_from(
+                    b"abcdefghijklmnopqrstuvwxyz0123456789,.;:'",
+                    0..11,
+                ),
             )
         });
         let updates =
@@ -149,63 +148,69 @@ fn copy_roundtrips_arbitrary_history() {
 /// the fix.)
 #[test]
 fn regression_copy_roundtrip_backslash_note() {
-    copy_roundtrip_case("regression-backslash", &[(1, 0, "\\".into())], &[]);
+    copy_roundtrip_case(
+        "regression-backslash",
+        &[(1, 0, "\\".into())],
+        &[],
+    );
 }
 
 /// A file-backed database reopened after arbitrary DDL/DML reports the
 /// same catalog state and answers the same current-state query.
 #[test]
 fn persistence_roundtrips_random_workloads() {
-    check("persistence_roundtrips_random_workloads", 32, |g: &mut Gen| {
-        let n_rels = g.range(1usize..4);
-        let rows =
-            g.vec(1..30, |g| (g.range(0i32..30), g.range(-50i32..50)));
-        let seed = g.range(0u64..1000);
-        let dir = std::env::temp_dir().join(format!(
-            "tdbms-prop-persist-{}-{:x}-{seed}",
-            std::process::id(),
-            g.seed(),
-        ));
-        let _ = std::fs::remove_dir_all(&dir);
+    check(
+        "persistence_roundtrips_random_workloads",
+        32,
+        |g: &mut Gen| {
+            let n_rels = g.range(1usize..4);
+            let rows =
+                g.vec(1..30, |g| (g.range(0i32..30), g.range(-50i32..50)));
+            let seed = g.range(0u64..1000);
+            let dir = tdbms_kernel::tmpdir::fresh_dir(&format!(
+                "prop-persist-{seed}"
+            ));
 
-        let classes = ["static", "rollback", "historical", "temporal"];
-        let mut expected: Vec<(String, u64)> = Vec::new();
-        {
-            let mut db = Database::open(&dir).unwrap();
-            for r in 0..n_rels {
-                let class = classes[(seed as usize + r) % classes.len()];
-                let name = format!("r{r}");
-                db.execute(&format!(
-                    "create {class} interval {name} (id = i4, x = i4)"
-                ))
-                .unwrap();
-                for (i, (id, x)) in rows.iter().enumerate() {
-                    if i % n_rels == r {
-                        db.execute(&format!(
-                            "append to {name} (id = {id}, x = {x})"
-                        ))
-                        .unwrap();
-                    }
-                }
-                if seed.is_multiple_of(2) {
+            let classes = ["static", "rollback", "historical", "temporal"];
+            let mut expected: Vec<(String, u64)> = Vec::new();
+            {
+                let mut db = Database::open(&dir).unwrap();
+                for r in 0..n_rels {
+                    let class =
+                        classes[(seed as usize + r) % classes.len()];
+                    let name = format!("r{r}");
                     db.execute(&format!(
-                        "modify {name} to hash on id where fillfactor = 50"
+                        "create {class} interval {name} (id = i4, x = i4)"
                     ))
                     .unwrap();
+                    for (i, (id, x)) in rows.iter().enumerate() {
+                        if i % n_rels == r {
+                            db.execute(&format!(
+                                "append to {name} (id = {id}, x = {x})"
+                            ))
+                            .unwrap();
+                        }
+                    }
+                    if seed.is_multiple_of(2) {
+                        db.execute(&format!(
+                        "modify {name} to hash on id where fillfactor = 50"
+                    ))
+                        .unwrap();
+                    }
+                    expected.push((
+                        name.clone(),
+                        db.relation_meta(&name).unwrap().tuple_count,
+                    ));
                 }
-                expected.push((
-                    name.clone(),
-                    db.relation_meta(&name).unwrap().tuple_count,
-                ));
             }
-        }
-        {
-            let db = Database::open(&dir).unwrap();
-            for (name, count) in &expected {
-                let meta = db.relation_meta(name).unwrap();
-                assert_eq!(meta.tuple_count, *count, "{name}");
+            {
+                let db = Database::open(&dir).unwrap();
+                for (name, count) in &expected {
+                    let meta = db.relation_meta(name).unwrap();
+                    assert_eq!(meta.tuple_count, *count, "{name}");
+                }
             }
-        }
-        std::fs::remove_dir_all(&dir).unwrap();
-    });
+            std::fs::remove_dir_all(&dir).unwrap();
+        },
+    );
 }

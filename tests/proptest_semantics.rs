@@ -16,9 +16,17 @@ enum Op {
 
 fn arb_op(g: &mut Gen) -> Op {
     match g.range(0u8..3) {
-        0 => Op::Append { id: g.range(0i32..12), x: g.any_i32() },
-        1 => Op::Replace { id: g.range(0i32..12), x: g.any_i32() },
-        _ => Op::Delete { id: g.range(0i32..12) },
+        0 => Op::Append {
+            id: g.range(0i32..12),
+            x: g.any_i32(),
+        },
+        1 => Op::Replace {
+            id: g.range(0i32..12),
+            x: g.any_i32(),
+        },
+        _ => Op::Delete {
+            id: g.range(0i32..12),
+        },
     }
 }
 
@@ -63,7 +71,8 @@ fn current_state(db: &mut Database, suffix: &str) -> Model {
 /// also the body of the recorded regression below.
 fn temporal_replay_case(ops: &[Op]) {
     let mut db = Database::in_memory();
-    db.execute("create temporal interval t (id = i4, x = i4)").unwrap();
+    db.execute("create temporal interval t (id = i4, x = i4)")
+        .unwrap();
     db.execute("range of t is t").unwrap();
     let mut model = Model::new();
     let mut snapshots: Vec<(TimeVal, Model)> = Vec::new();
@@ -144,10 +153,14 @@ fn temporal_replay_case(ops: &[Op]) {
 /// accounting (replace = 2 inserts, delete = 1, append = 1).
 #[test]
 fn temporal_database_replays_like_the_model() {
-    check("temporal_database_replays_like_the_model", 32, |g: &mut Gen| {
-        let ops = g.vec(1..40, arb_op);
-        temporal_replay_case(&ops);
-    });
+    check(
+        "temporal_database_replays_like_the_model",
+        32,
+        |g: &mut Gen| {
+            let ops = g.vec(1..40, arb_op);
+            temporal_replay_case(&ops);
+        },
+    );
 }
 
 /// Recorded proptest counterexample (tests/proptest_semantics.proptest-
@@ -212,22 +225,22 @@ fn rollback_and_temporal_agree_on_transaction_time() {
 
             for at in &instants {
                 let s = at.format(Granularity::Second);
-                let probe_rb = format!(r#"retrieve (v.id, v.x) as of "{s}""#);
+                let probe_rb =
+                    format!(r#"retrieve (v.id, v.x) as of "{s}""#);
                 // On the temporal side the rolled-back *current* state also
                 // needs the valid-time filter at the same instant.
                 let probe_tp = format!(
                     r#"retrieve (v.id, v.x) when v overlap "{s}" as of "{s}""#
                 );
-                let read = |db: &mut Database, q: &str| -> Vec<(i64, i64)> {
+                let read = |db: &mut Database,
+                            q: &str|
+                 -> Vec<(i64, i64)> {
                     let out = db.execute(q).unwrap();
                     let mut v: Vec<(i64, i64)> = out
                         .rows()
                         .iter()
                         .map(|r| {
-                            (
-                                r[0].as_int().unwrap(),
-                                r[1].as_int().unwrap(),
-                            )
+                            (r[0].as_int().unwrap(), r[1].as_int().unwrap())
                         })
                         .collect();
                     v.sort();
@@ -282,10 +295,11 @@ fn two_level_store_is_equivalent_to_conventional() {
             // ...must equal the union of primary + history in a two-level
             // rebuild.
             let schema = db.schema_of("t").unwrap();
-            let mut pager = tdbms_storage::Pager::in_memory();
-            for layout in [HistoryLayout::Simple, HistoryLayout::Clustered] {
+            let pager = tdbms_storage::Pager::in_memory();
+            for layout in [HistoryLayout::Simple, HistoryLayout::Clustered]
+            {
                 let store = TwoLevelStore::build_from_rows(
-                    &mut pager,
+                    &pager,
                     &schema,
                     &conventional,
                     0,
@@ -298,13 +312,13 @@ fn two_level_store_is_equivalent_to_conventional() {
                 let mut got: Vec<Vec<u8>> = Vec::new();
                 let mut cur = store.primary().scan();
                 while let Some((_, row)) =
-                    cur.next(&mut pager, store.primary()).unwrap()
+                    cur.next(&pager, store.primary()).unwrap()
                 {
                     got.push(row);
                 }
                 store
                     .history()
-                    .for_all(&mut pager, |r| {
+                    .for_all(&pager, |r| {
                         got.push(r.to_vec());
                         Ok(())
                     })

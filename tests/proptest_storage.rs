@@ -43,7 +43,7 @@ fn model_of(rows: &[(i32, i32)]) -> BTreeMap<i32, Vec<i32>> {
 }
 
 fn collect_scan(
-    pager: &mut Pager,
+    pager: &Pager,
     file: &RelFile,
     schema: &Schema,
 ) -> BTreeMap<i32, Vec<i32>> {
@@ -51,7 +51,9 @@ fn collect_scan(
     let mut m: BTreeMap<i32, Vec<i32>> = BTreeMap::new();
     let mut cur = file.scan();
     while let Some((_, row)) = cur.next(pager, file).unwrap() {
-        m.entry(c.get_i4(&row, 0)).or_default().push(c.get_i4(&row, 1));
+        m.entry(c.get_i4(&row, 0))
+            .or_default()
+            .push(c.get_i4(&row, 1));
     }
     for v in m.values_mut() {
         v.sort_unstable();
@@ -60,7 +62,7 @@ fn collect_scan(
 }
 
 fn collect_lookup(
-    pager: &mut Pager,
+    pager: &Pager,
     file: &RelFile,
     schema: &Schema,
     key: i32,
@@ -82,14 +84,13 @@ fn collect_lookup(
 #[test]
 fn keyed_files_agree_with_model() {
     check("keyed_files_agree_with_model", 48, |g: &mut Gen| {
-        let initial =
-            g.vec(0..150, |g| (g.range(-40i32..40), g.any_i32()));
+        let initial = g.vec(0..150, |g| (g.range(-40i32..40), g.any_i32()));
         let inserts = g.vec(0..80, |g| (g.range(-40i32..40), g.any_i32()));
         let fill = *g.pick(&[50u8, 75, 100]);
         let hashfn = *g.pick(&[HashFn::Mod, HashFn::Multiplicative]);
 
         let schema = codec();
-        let mut pager = Pager::in_memory();
+        let pager = Pager::in_memory();
         let rows: Vec<Vec<u8>> = initial
             .iter()
             .map(|(k, v)| encode(&schema, *k, *v))
@@ -101,26 +102,26 @@ fn keyed_files_agree_with_model() {
         };
         let files = vec![
             RelFile::Hash(
-                HashFile::build(&mut pager, &rows, WIDTH, key, hashfn, fill)
+                HashFile::build(&pager, &rows, WIDTH, key, hashfn, fill)
                     .unwrap(),
             ),
             RelFile::Isam(
-                IsamFile::build(&mut pager, &rows, WIDTH, key, fill).unwrap(),
+                IsamFile::build(&pager, &rows, WIDTH, key, fill).unwrap(),
             ),
         ];
         for file in files {
             let mut local = initial.clone();
             for (k, v) in &inserts {
-                file.insert(&mut pager, &encode(&schema, *k, *v)).unwrap();
+                file.insert(&pager, &encode(&schema, *k, *v)).unwrap();
                 local.push((*k, *v));
             }
             let want = model_of(&local);
             // Full scan sees exactly the model.
-            assert_eq!(collect_scan(&mut pager, &file, &schema), want);
+            assert_eq!(collect_scan(&pager, &file, &schema), want);
             // Every present key is found with all its versions; absent
             // probes find nothing.
             for probe in -42i32..42 {
-                let got = collect_lookup(&mut pager, &file, &schema, probe);
+                let got = collect_lookup(&pager, &file, &schema, probe);
                 let expect = want.get(&probe).cloned().unwrap_or_default();
                 assert_eq!(got, expect, "probe {probe}");
             }
@@ -134,15 +135,15 @@ fn heap_preserves_order() {
     check("heap_preserves_order", 48, |g: &mut Gen| {
         let rows = g.vec(0..120, |g| (g.any_i32(), g.any_i32()));
         let schema = codec();
-        let mut pager = Pager::in_memory();
-        let heap = HeapFile::create(&mut pager, WIDTH).unwrap();
+        let pager = Pager::in_memory();
+        let heap = HeapFile::create(&pager, WIDTH).unwrap();
         for (k, v) in &rows {
-            heap.insert(&mut pager, &encode(&schema, *k, *v)).unwrap();
+            heap.insert(&pager, &encode(&schema, *k, *v)).unwrap();
         }
         let c = tdbms_kernel::RowCodec::new(&schema);
         let mut got = Vec::new();
         let mut cur = heap.scan();
-        while let Some((_, row)) = cur.next(&mut pager, &heap).unwrap() {
+        while let Some((_, row)) = cur.next(&pager, &heap).unwrap() {
             got.push((c.get_i4(&row, 0), c.get_i4(&row, 1)));
         }
         assert_eq!(got, rows);
@@ -157,7 +158,7 @@ fn scan_cost_is_page_count() {
         let rows = g.vec(1..200, |g| (g.range(-20i32..20), g.any_i32()));
         let fill = *g.pick(&[50u8, 100]);
         let schema = codec();
-        let mut pager = Pager::in_memory();
+        let pager = Pager::in_memory();
         let encoded: Vec<Vec<u8>> =
             rows.iter().map(|(k, v)| encode(&schema, *k, *v)).collect();
         let key = KeySpec {
@@ -168,12 +169,17 @@ fn scan_cost_is_page_count() {
         for file in [
             RelFile::Hash(
                 HashFile::build(
-                    &mut pager, &encoded, WIDTH, key, HashFn::Mod, fill,
+                    &pager,
+                    &encoded,
+                    WIDTH,
+                    key,
+                    HashFn::Mod,
+                    fill,
                 )
                 .unwrap(),
             ),
             RelFile::Isam(
-                IsamFile::build(&mut pager, &encoded, WIDTH, key, fill)
+                IsamFile::build(&pager, &encoded, WIDTH, key, fill)
                     .unwrap(),
             ),
         ] {
@@ -181,7 +187,7 @@ fn scan_cost_is_page_count() {
             pager.reset_stats();
             let mut n = 0usize;
             let mut cur = file.scan();
-            while cur.next(&mut pager, &file).unwrap().is_some() {
+            while cur.next(&pager, &file).unwrap().is_some() {
                 n += 1;
             }
             assert_eq!(n, rows.len());

@@ -48,10 +48,8 @@ retrieve (e.name, e.salary) when e overlap "now";
 
 #[test]
 fn shell_reports_errors_without_dying() {
-    let (stdout, _) = run_shell(
-        &[],
-        "retrieve (x.y);\ncreate static t (a = i4);\n\\l\n",
-    );
+    let (stdout, _) =
+        run_shell(&[], "retrieve (x.y);\ncreate static t (a = i4);\n\\l\n");
     assert!(stdout.contains("error:"), "stdout: {stdout}");
     // The session continued after the error.
     assert!(stdout.lines().any(|l| l.trim() == "t"));
@@ -68,10 +66,7 @@ fn shell_multiline_statements_and_backslash_g() {
 
 #[test]
 fn shell_persists_to_a_directory() {
-    let dir = std::env::temp_dir()
-        .join(format!("tdbms-shell-test-{}", std::process::id()));
-    let _ = std::fs::remove_dir_all(&dir);
-    std::fs::create_dir_all(&dir).unwrap();
+    let dir = tdbms_kernel::tmpdir::fresh_dir("shell-test");
     let dir_s = dir.to_str().unwrap();
 
     let (_, stderr) = run_shell(
@@ -88,10 +83,7 @@ fn shell_persists_to_a_directory() {
 
 #[test]
 fn shell_runs_files_via_backslash_i() {
-    let dir = std::env::temp_dir()
-        .join(format!("tdbms-shell-i-{}", std::process::id()));
-    let _ = std::fs::remove_dir_all(&dir);
-    std::fs::create_dir_all(&dir).unwrap();
+    let dir = tdbms_kernel::tmpdir::fresh_dir("shell-i");
     let script = dir.join("setup.tq");
     std::fs::write(
         &script,

@@ -107,7 +107,9 @@ fn rollback_needs_transaction_time() {
         let between = play(&mut db, class);
         let t = between.format(Granularity::Second);
         let q = if class.has_valid_time() {
-            format!(r#"retrieve (f.claim) when f overlap "{t}" as of "{t}""#)
+            format!(
+                r#"retrieve (f.claim) when f overlap "{t}" as of "{t}""#
+            )
         } else {
             format!(r#"retrieve (f.claim) as of "{t}""#)
         };

@@ -22,8 +22,10 @@ fn snapshot(db: &mut Database) -> State {
     let mut cur = file.scan();
     while let Some((_, row)) = cur.next(pager, &file).unwrap() {
         let current = implicit.iter().enumerate().all(|(k, t)| {
-            !matches!(t, TemporalAttr::ValidTo | TemporalAttr::TransactionStop)
-                || codec.get_time(&row, 2 + k) == TimeVal::FOREVER
+            !matches!(
+                t,
+                TemporalAttr::ValidTo | TemporalAttr::TransactionStop
+            ) || codec.get_time(&row, 2 + k) == TimeVal::FOREVER
         });
         if current {
             rows.push((codec.get_i4(&row, 0), codec.get_i4(&row, 1)));
@@ -40,11 +42,12 @@ fn run(
     torn: usize,
     stmts: &[String],
 ) -> Option<(Vec<u64>, Vec<State>)> {
-    let fdisk: Box<dyn DiskManager> = Box::new(FaultDisk::with_torn_writes(
-        Box::new(disk.clone()),
-        plan.clone(),
-        torn,
-    ));
+    let fdisk: Box<dyn DiskManager> =
+        Box::new(FaultDisk::with_torn_writes(
+            Box::new(disk.clone()),
+            plan.clone(),
+            torn,
+        ));
     let flog: Box<dyn LogStore> =
         Box::new(FaultLog::new(Box::new(log.clone()), plan.clone()));
     let Ok(mut db) = Database::open_durable_on(fdisk, flog, None) else {

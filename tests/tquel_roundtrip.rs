@@ -51,7 +51,10 @@ fn arb_expr(g: &mut Gen, depth: u32) -> Expr {
             0 => Expr::Int(g.range(0i64..1_000_000)),
             1 => Expr::Float(g.range(0i64..1000) as f64 / 8.0),
             2 => Expr::Str(arb_string_lit(g)),
-            _ => Expr::Attr { var: arb_ident(g), attr: arb_ident(g) },
+            _ => Expr::Attr {
+                var: arb_ident(g),
+                attr: arb_ident(g),
+            },
         }
     } else {
         match g.range(0u8..3) {
@@ -114,9 +117,7 @@ fn arb_tpred(g: &mut Gen, depth: u32) -> TemporalPred {
 }
 
 fn arb_retrieve(g: &mut Gen) -> Statement {
-    let targets = g.vec(1..4, |g| {
-        (g.option(arb_ident), arb_expr(g, 4))
-    });
+    let targets = g.vec(1..4, |g| (g.option(arb_ident), arb_expr(g, 4)));
     // Explicit target names must be unique for the printed form to
     // re-bind identically; suffix them by position.
     let targets = targets
@@ -183,7 +184,10 @@ fn where_stmt(e: Expr) -> Statement {
         into: None,
         targets: vec![Target {
             name: None,
-            expr: Expr::Attr { var: "v".into(), attr: "x".into() },
+            expr: Expr::Attr {
+                var: "v".into(),
+                attr: "x".into(),
+            },
         }],
         valid: None,
         where_clause: Some(e),
@@ -198,7 +202,10 @@ fn when_stmt(p: TemporalPred) -> Statement {
         into: None,
         targets: vec![Target {
             name: None,
-            expr: Expr::Attr { var: "v".into(), attr: "x".into() },
+            expr: Expr::Attr {
+                var: "v".into(),
+                attr: "x".into(),
+            },
         }],
         valid: None,
         where_clause: None,
@@ -220,7 +227,10 @@ fn when_stmt(p: TemporalPred) -> Statement {
 fn regression_valid_clause_extend_nesting_and_mod_of_comparisons() {
     let stmt = Statement::Retrieve(Retrieve {
         into: None,
-        targets: vec![Target { name: None, expr: Expr::Int(0) }],
+        targets: vec![Target {
+            name: None,
+            expr: Expr::Int(0),
+        }],
         valid: Some(ValidClause::Interval {
             from: TemporalExpr::Var("a".into()),
             to: TemporalExpr::Extend(

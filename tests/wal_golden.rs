@@ -10,7 +10,8 @@
 use tdbms::wal::SharedMemLog;
 use tdbms::Database;
 use tdbms_bench::workload::{
-    all_rows, build_database, evolve_uniform, populate_database, BenchConfig,
+    all_rows, build_database, evolve_uniform, populate_database,
+    BenchConfig,
 };
 use tdbms_kernel::DatabaseClass;
 use tdbms_storage::SharedMemDisk;

@@ -72,8 +72,10 @@ fn gen_schedule(g: &mut Gen, ops: usize) -> Vec<String> {
                 "append to r (id = {}, seq = 0)",
                 g.range(1..20i64)
             )),
-            5 => stmts
-                .push(format!("delete z where z.id = {}", g.range(1..20i64))),
+            5 => stmts.push(format!(
+                "delete z where z.id = {}",
+                g.range(1..20i64)
+            )),
             6 => stmts.push(format!(
                 "replace z (seq = z.seq + 1) where z.id = {}",
                 g.range(1..20i64)
@@ -115,7 +117,9 @@ fn run_mem(
             plan.clone(),
             k,
         )),
-        None => Box::new(FaultDisk::new(Box::new(disk.clone()), plan.clone())),
+        None => {
+            Box::new(FaultDisk::new(Box::new(disk.clone()), plan.clone()))
+        }
     };
     let flog: Box<dyn LogStore> = match (torn_log, flip_log) {
         (Some(k), _) => Box::new(FaultLog::with_torn_appends(
@@ -173,8 +177,7 @@ fn recovery_is_atomic_at_every_random_crash_point() {
             &stmts,
         )
         .expect("dry run never crashes");
-        let (first, last) =
-            (boundaries[0], *boundaries.last().unwrap());
+        let (first, last) = (boundaries[0], *boundaries.last().unwrap());
         assert!(last > first, "a schedule always commits something");
 
         // Crash run: kill at a random mutating op after open, with
@@ -317,11 +320,7 @@ fn run_file(
 /// log file, and verify zero committed-tuple loss on reopen.
 #[test]
 fn crash_matrix_over_real_files() {
-    let root = std::env::temp_dir().join(format!(
-        "tdbms-crash-matrix-{}",
-        std::process::id()
-    ));
-    let _ = std::fs::remove_dir_all(&root);
+    let root = tdbms_kernel::tmpdir::fresh_dir("crash-matrix");
     for method in ["heap", "hash", "isam"] {
         let stmts = script_for(method);
         let dry = root.join(format!("{method}-dry"));
@@ -343,8 +342,7 @@ fn crash_matrix_over_real_files() {
             let finished = run_file(&dir, &plan, &stmts);
             assert!(finished.is_none() && plan.crashed());
 
-            let k =
-                boundaries.iter().position(|&b| b >= crash_at).unwrap();
+            let k = boundaries.iter().position(|&b| b >= crash_at).unwrap();
             let mut rdb = Database::open_durable(&dir).unwrap();
             let got = snapshot(&mut rdb);
             assert!(
@@ -367,12 +365,7 @@ fn crash_matrix_over_real_files() {
 /// database — catalog, clock position, and every organization.
 #[test]
 fn clean_reopen_round_trips_catalog_and_data() {
-    let dir = std::env::temp_dir().join(format!(
-        "tdbms-wal-clean-reopen-{}",
-        std::process::id()
-    ));
-    let _ = std::fs::remove_dir_all(&dir);
-    std::fs::create_dir_all(&dir).unwrap();
+    let dir = tdbms_kernel::tmpdir::fresh_dir("wal-clean-reopen");
     let expected = {
         let mut db = Database::open_durable(&dir).unwrap();
         for s in script_for("isam") {
