@@ -6,6 +6,7 @@ use crate::dml;
 use crate::exec::{exec_retrieve, QueryStats};
 use crate::interval::TInterval;
 use std::collections::HashMap;
+use std::sync::Arc;
 use tdbms_kernel::{
     Clock, DatabaseClass, Domain, Error, Result, Schema, TemporalKind,
     TimeVal, Value,
@@ -16,7 +17,10 @@ use tdbms_storage::{
     PAGE_SIZE,
 };
 use tdbms_tquel::ast::Statement;
-use tdbms_wal::{replay, CheckpointPolicy, FileLog, LogStore, Record, Wal};
+use tdbms_wal::{
+    replay, CheckpointPolicy, FileLog, GroupCommit, GroupCommitConfig,
+    LogHandle, LogStore, Record, Wal,
+};
 
 /// Pseudo file id under which WAL log traffic is accounted in
 /// [`IoStats`] (log appends are byte streams, charged as
@@ -36,6 +40,22 @@ struct WalState {
     wal: Wal,
     policy: CheckpointPolicy,
     commits_since_checkpoint: u32,
+    /// Group-commit mode, when enabled: commits register tickets and
+    /// defer the log fsync to a batching leader.
+    group: Option<GroupState>,
+}
+
+/// Group-commit bookkeeping of a durable database.
+struct GroupState {
+    gc: Arc<GroupCommit>,
+    log: LogHandle,
+    /// The last commit's ticket and its deferred file drops, awaiting
+    /// acknowledgement (the drops execute only once the commit is
+    /// durable — or at a checkpoint, which durably retires everything).
+    pending: Option<(u64, Vec<FileId>)>,
+    /// Engine mode: the caller acknowledges after releasing the commit
+    /// lock, so the leader can batch other sessions' commits meanwhile.
+    defer_ack: bool,
 }
 
 /// What one executed statement produced.
@@ -136,7 +156,7 @@ pub struct RelationMeta {
 /// A temporal database: catalog + storage + session state (range table,
 /// transaction clock).
 pub struct Database {
-    pager: Pager,
+    pager: Arc<Pager>,
     catalog: Catalog,
     ranges: HashMap<String, String>,
     clock: Clock,
@@ -252,6 +272,7 @@ impl Database {
             wal,
             policy: CheckpointPolicy::EveryCommit,
             commits_since_checkpoint: 0,
+            group: None,
         });
         // Post-recovery checkpoint: the replayed state is on disk and
         // synced, so persist the catalog and truncate the log — the next
@@ -339,6 +360,29 @@ impl Database {
         if self.wal.is_none() {
             return self.checkpoint();
         }
+        if self.wal.as_ref().is_some_and(|ws| ws.group.is_some()) {
+            // Group mode: the log may hold commits appended but not
+            // yet fsynced by a batching leader. Sync first — the
+            // deferred drops and the overlay materialization below
+            // must never get ahead of the log's durable prefix, or a
+            // crash before the truncation could recover a log that no
+            // longer describes the files it replays onto.
+            self.wal.as_mut().expect("durable mode").wal.sync()?;
+        }
+        // A checkpoint durably materializes everything the log
+        // describes, so deferred drops parked on an unacknowledged
+        // group-commit ticket can execute now — the catalog being
+        // checkpointed no longer references those files.
+        let parked: Vec<FileId> = self
+            .wal
+            .as_mut()
+            .and_then(|ws| ws.group.as_mut())
+            .and_then(|g| g.pending.as_mut())
+            .map(|p| std::mem::take(&mut p.1))
+            .unwrap_or_default();
+        for file in parked {
+            self.pager.execute_drop(file)?;
+        }
         self.pager.flush_all()?;
         let touched = self.pager.materialize_overlay()?;
         for f in touched {
@@ -367,6 +411,11 @@ impl Database {
             ],
         )?;
         ws.commits_since_checkpoint = 0;
+        if let Some(g) = &ws.group {
+            // The truncation above was atomic and fsynced: every
+            // outstanding ticket is durable without a log fsync.
+            g.gc.mark_all_durable();
+        }
         self.persist_checksums()?;
         Ok(())
     }
@@ -405,10 +454,23 @@ impl Database {
         }
         ws.wal.append(&Record::Catalog { clock, catalog })?;
         ws.wal.append(&Record::Commit)?;
-        ws.wal.sync()?;
         ws.commits_since_checkpoint += 1;
         let due = ws.policy.due(ws.commits_since_checkpoint);
-        // The transaction is durable: deferred drops may now touch disk.
+        let mut drops = drops;
+        if let Some(g) = ws.group.as_mut() {
+            // Group commit: issue the ticket in the same critical
+            // section as the appends (ticket order = log order) and
+            // leave the fsync to the batching leader. The deferred
+            // drops park on the ticket — they may only touch disk once
+            // the commit is durable.
+            let ticket = g.gc.register();
+            g.pending = Some((ticket, std::mem::take(&mut drops)));
+        } else {
+            ws.wal.sync()?;
+        }
+        // The transaction is durable: deferred drops may now touch disk
+        // (in group mode the drops moved onto the pending ticket and
+        // this loop is empty).
         for file in drops {
             self.pager.execute_drop(file)?;
         }
@@ -430,6 +492,78 @@ impl Database {
         self.wal.is_some()
     }
 
+    /// Switch a durable database to **group commit**: each statement
+    /// appends its records and registers a ticket, and the log fsync is
+    /// deferred to a group-commit leader that batches many sessions'
+    /// commits into one sync (see [`tdbms_wal::GroupCommit`]). Pair
+    /// with a [`CheckpointPolicy`] other than `EveryCommit` — a
+    /// checkpoint after every statement syncs everything anyway, which
+    /// leaves nothing to batch.
+    pub fn enable_group_commit(
+        &mut self,
+        cfg: GroupCommitConfig,
+    ) -> Result<()> {
+        let Some(ws) = self.wal.as_mut() else {
+            return Err(Error::NotApplicable(
+                "group commit requires a durable (WAL) database".into(),
+            ));
+        };
+        let log = ws.wal.handle();
+        ws.group = Some(GroupState {
+            gc: Arc::new(GroupCommit::new(cfg)),
+            log,
+            pending: None,
+            defer_ack: false,
+        });
+        Ok(())
+    }
+
+    /// The group-commit queue and log handle, when group commit is on.
+    pub fn group_commit(&self) -> Option<(Arc<GroupCommit>, LogHandle)> {
+        let g = self.wal.as_ref()?.group.as_ref()?;
+        Some((g.gc.clone(), g.log.clone()))
+    }
+
+    /// Engine mode: leave each commit's ticket pending for the caller
+    /// to acknowledge *after* releasing the commit lock — that overlap
+    /// is what lets the leader batch other sessions' commits.
+    pub(crate) fn set_defer_group_ack(&mut self, defer: bool) {
+        if let Some(g) = self.wal.as_mut().and_then(|ws| ws.group.as_mut())
+        {
+            g.defer_ack = defer;
+        }
+    }
+
+    /// Take the last commit's pending (ticket, deferred drops), if any.
+    pub(crate) fn take_pending_commit(
+        &mut self,
+    ) -> Option<(u64, Vec<FileId>)> {
+        self.wal.as_mut()?.group.as_mut()?.pending.take()
+    }
+
+    /// Inline acknowledgement for a plain (engine-less) database in
+    /// group-commit mode: wait until the last commit's ticket is
+    /// durable, then execute its deferred drops.
+    fn settle_group_commit(&mut self) -> Result<()> {
+        let Some(g) = self.wal.as_mut().and_then(|ws| ws.group.as_mut())
+        else {
+            return Ok(());
+        };
+        if g.defer_ack {
+            return Ok(());
+        }
+        let Some((ticket, drops)) = g.pending.take() else {
+            return Ok(());
+        };
+        let gc = g.gc.clone();
+        let log = g.log.clone();
+        gc.wait_durable(ticket, || log.sync())?;
+        for file in drops {
+            self.pager.execute_drop(file)?;
+        }
+        Ok(())
+    }
+
     /// Change when WAL checkpoints happen (durable mode only; default
     /// [`CheckpointPolicy::EveryCommit`]).
     pub fn set_checkpoint_policy(&mut self, policy: CheckpointPolicy) {
@@ -441,7 +575,7 @@ impl Database {
     /// Build from a custom pager.
     pub fn with_pager(pager: Pager) -> Self {
         Database {
-            pager,
+            pager: Arc::new(pager),
             catalog: Catalog::new(),
             ranges: HashMap::new(),
             clock: Clock::default(),
@@ -553,6 +687,13 @@ impl Database {
         &self.pager
     }
 
+    /// A shared handle to the pager: the engine's lock-free snapshot
+    /// reads go through this while writers hold the commit lock (every
+    /// pager entry point synchronizes on its interior lock).
+    pub(crate) fn pager_handle(&self) -> Arc<Pager> {
+        self.pager.clone()
+    }
+
     /// Shared view of the catalog (the concurrent engine's read path).
     pub(crate) fn catalog(&self) -> &Catalog {
         &self.catalog
@@ -587,6 +728,7 @@ impl Database {
         self.pager.flush_all()?;
         if self.wal.is_some() {
             self.commit_durable()?;
+            self.settle_group_commit()?;
         }
         Ok(rows.len())
     }
@@ -732,11 +874,14 @@ impl Database {
         // up in the statement's own ledger.
         if self.wal.is_some() && mutating {
             self.commit_durable()?;
+            self.settle_group_commit()?;
         }
         // Close any phase the executor left open, then snapshot the v2
-        // ledger into the statement's stats.
+        // ledger into the statement's stats. `hits + misses ==
+        // accesses` cannot be asserted here: snapshot readers run off
+        // the commit lock and may be mid-access on another thread. The
+        // concurrency suites assert it at quiescence instead.
         self.pager.end_phase();
-        debug_assert!(self.pager.stats().is_consistent());
         out.stats = QueryStats {
             input_pages: self.pager.stats().total_reads(),
             output_pages: self.pager.stats().total_writes(),

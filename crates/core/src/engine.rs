@@ -4,26 +4,53 @@
 //! ## Concurrency model
 //!
 //! The engine wraps the database in one `Arc<RwLock<_>>` — the
-//! *commit lock*. Statement classification decides which side of the
-//! lock a statement runs on:
+//! *commit lock* — and additionally publishes a **read view**: an
+//! immutable snapshot of the catalog plus the *committed watermark*
+//! (the transaction clock's position after the last commit),
+//! republished after every write statement. Statement classification
+//! decides how a statement runs:
 //!
-//! * **Read path** (shared lock, arbitrarily many threads at once):
-//!   single-variable `retrieve` without `into`, and `range`
-//!   declarations. These touch only the catalog read-only and the pager
-//!   (which has its own interior lock), so they are race-free: the
-//!   stores are append-only page files and the catalog cannot change
-//!   while any reader holds the shared lock.
+//! * **Snapshot path** (no commit lock at all): `range` declarations
+//!   over relations the view knows, and `retrieve` without `into` whose
+//!   variables all carry transaction time. These execute against the
+//!   published catalog snapshot and the shared pager (which has its own
+//!   interior lock), filtering versions through the watermark: a row
+//!   whose `transaction_start` is past the watermark belongs to a
+//!   commit the view predates and is invisible, and a row being
+//!   logically deleted gets a `transaction_stop` past the watermark, so
+//!   it stays visible to the snapshot. Version stamps make reads
+//!   race-free *by construction* — no lock, no retry loop. A
+//!   multi-variable retrieve clones the view's catalog privately, so
+//!   its decomposition temporaries never touch shared metadata (in
+//!   durable mode this shape falls back to the exclusive path: the
+//!   temporaries would be staged into concurrent writers' WAL
+//!   commits).
+//! * **Read path** (shared lock): retrieves the snapshot cannot serve —
+//!   variables without transaction time (static/historical relations
+//!   have no version stamps to filter on), `as of` times past the
+//!   watermark, or a snapshot attempt that raced a concurrent DDL.
 //! * **Write path** (exclusive lock, one thread at a time): everything
-//!   else — DML, DDL, `copy`, multi-variable retrieves (they
-//!   materialize decomposition temporaries), and `retrieve into`. In
-//!   durable mode the WAL commit happens inside the exclusive section,
-//!   so commits are serialized per statement exactly as in
-//!   single-threaded operation and recovery invariants carry over
-//!   unchanged.
+//!   else — DML, DDL, `copy`, and `retrieve into`. In durable mode the
+//!   WAL commit happens inside the exclusive section, so commits are
+//!   serialized per statement exactly as in single-threaded operation;
+//!   under **group commit** (see [`Database::enable_group_commit`])
+//!   only the *appends* happen under the lock — the fsync is deferred
+//!   to a batching leader and acknowledged after the lock is released,
+//!   which is what lets N sessions share one fsync.
 //!
 //! Lock order is fixed: the engine's RwLock is always taken before any
 //! pager-internal lock, and never the other way around, so the pair
 //! cannot deadlock.
+//!
+//! ## Lock poisoning
+//!
+//! A writer that panics mid-statement leaves the shared database in an
+//! unknown state. The engine records that fact and fails **every**
+//! subsequent operation with [`Error::Poisoned`] instead of silently
+//! serving possibly half-applied data (which is what
+//! `PoisonError::into_inner` used to do here). Reopen the database to
+//! recover; in durable mode the WAL brings back the last committed
+//! state.
 //!
 //! Each [`Session`] owns its *range table* (TQuel `range of e is emp`
 //! is session state, like a cursor), so two sessions can bind the same
@@ -36,35 +63,106 @@
 //!
 //! The single-threaded [`Database`] resets the global I/O counters
 //! before each statement. Readers running in parallel cannot do that
-//! without clobbering each other, so the read path reports *deltas* of
-//! the (atomic, monotone) global counters instead. Within one session
-//! the numbers are exact when it runs alone; while neighbors run, a
-//! reader's per-statement delta may include their I/O. Aggregate totals
-//! across all sessions are always exact — that invariant is what the
-//! concurrency stress suite asserts.
+//! without clobbering each other, so the snapshot and read paths report
+//! *deltas* of the (atomic, monotone) global counters instead. Within
+//! one session the numbers are exact when it runs alone; while
+//! neighbors run, a reader's per-statement delta may include their I/O.
+//! Aggregate totals across all sessions are always exact — that
+//! invariant is what the concurrency stress suite asserts.
 
 use crate::binder::Binder;
 use crate::db::{Database, ExecOutput};
-use crate::exec::{exec_retrieve_readonly, QueryStats};
-use std::collections::HashMap;
-use std::sync::{
-    Arc, PoisonError, RwLock, RwLockReadGuard, RwLockWriteGuard,
+use crate::exec::{
+    exec_retrieve_readonly, exec_retrieve_snapshot, QueryStats,
 };
-use tdbms_kernel::Result;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{
+    Arc, Mutex, PoisonError, RwLock, RwLockReadGuard, RwLockWriteGuard,
+};
+use tdbms_kernel::{Error, Result, TimeVal};
+use tdbms_storage::{Catalog, FileId, Pager};
 use tdbms_tquel::ast::Statement;
+use tdbms_wal::{GroupCommit, LogHandle};
+
+/// The published snapshot lock-free reads run against: the catalog as
+/// of the last committed statement, and the committed watermark that
+/// version-filters every row.
+struct ReadView {
+    catalog: Catalog,
+    watermark: TimeVal,
+    cold: bool,
+}
+
+fn view_of(db: &Database) -> ReadView {
+    ReadView {
+        catalog: db.catalog().clone(),
+        watermark: db.clock().now(),
+        cold: db.cold_statements(),
+    }
+}
+
+/// Counts of commit-lock acquisitions and snapshot (lock-free) reads —
+/// the proof behind "reads don't take the commit lock".
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LockStats {
+    /// Shared (read-side) acquisitions of the commit lock.
+    pub shared: u64,
+    /// Exclusive (write-side) acquisitions of the commit lock.
+    pub exclusive: u64,
+    /// Retrieves served entirely from the published read view, without
+    /// touching the commit lock.
+    pub snapshot_reads: u64,
+}
+
+#[derive(Default)]
+struct LockCounters {
+    shared: AtomicU64,
+    exclusive: AtomicU64,
+    snapshot: AtomicU64,
+}
+
+/// State shared by every clone of one engine, outside the commit lock.
+struct EngineInner {
+    pager: Arc<Pager>,
+    view: RwLock<Arc<ReadView>>,
+    /// First unrecoverable failure (lock poisoning, failed group-commit
+    /// fsync); sticky — every later operation fails with it.
+    failed: Mutex<Option<Error>>,
+    durable: bool,
+    group: Option<(Arc<GroupCommit>, LogHandle)>,
+    locks: LockCounters,
+}
 
 /// A shared, thread-safe handle over one database. Clone it (cheap) and
 /// hand one clone per thread; open a [`Session`] on each.
 #[derive(Clone)]
 pub struct Engine {
     shared: Arc<RwLock<Database>>,
+    inner: Arc<EngineInner>,
 }
 
 impl Engine {
     /// Wrap a database for shared use.
-    pub fn new(db: Database) -> Self {
+    pub fn new(mut db: Database) -> Self {
+        let pager = db.pager_handle();
+        let group = db.group_commit();
+        if group.is_some() {
+            // Sessions acknowledge after releasing the commit lock so
+            // the group-commit leader can batch neighbors' commits.
+            db.set_defer_group_ack(true);
+        }
+        let inner = Arc::new(EngineInner {
+            pager,
+            view: RwLock::new(Arc::new(view_of(&db))),
+            failed: Mutex::new(None),
+            durable: db.wal_enabled(),
+            group,
+            locks: LockCounters::default(),
+        });
         Engine {
             shared: Arc::new(RwLock::new(db)),
+            inner,
         }
     }
 
@@ -77,31 +175,200 @@ impl Engine {
     }
 
     /// Run `f` under the shared lock (concurrent with other readers).
+    ///
+    /// Panics if the engine is unusable (a writer panicked, or a
+    /// group-commit fsync failed); use [`Engine::try_with_read`] to
+    /// handle that as an error.
     pub fn with_read<R>(&self, f: impl FnOnce(&Database) -> R) -> R {
-        f(&self.read())
+        self.try_with_read(f)
+            .unwrap_or_else(|e| panic!("engine unusable: {e}"))
     }
 
-    /// Run `f` under the exclusive lock.
+    /// Fallible [`Engine::with_read`].
+    pub fn try_with_read<R>(
+        &self,
+        f: impl FnOnce(&Database) -> R,
+    ) -> Result<R> {
+        let db = self.read()?;
+        Ok(f(&db))
+    }
+
+    /// Run `f` under the exclusive lock, then republish the read view
+    /// and (under group commit) acknowledge the commit after the lock
+    /// is released.
+    ///
+    /// Panics if the engine is unusable (a writer panicked, or a
+    /// group-commit fsync failed); use [`Engine::try_with_write`] to
+    /// handle that as an error.
     pub fn with_write<R>(&self, f: impl FnOnce(&mut Database) -> R) -> R {
-        f(&mut self.write())
+        self.try_with_write(f)
+            .unwrap_or_else(|e| panic!("engine unusable: {e}"))
+    }
+
+    /// Fallible [`Engine::with_write`].
+    pub fn try_with_write<R>(
+        &self,
+        f: impl FnOnce(&mut Database) -> R,
+    ) -> Result<R> {
+        let mut db = self.write()?;
+        let r = f(&mut db);
+        self.publish_view(&db);
+        let pending = db.take_pending_commit();
+        drop(db);
+        if let Some((ticket, drops)) = pending {
+            self.ack_commit(ticket, drops)?;
+        }
+        Ok(r)
+    }
+
+    /// Commit-lock and snapshot-read counters since the engine was
+    /// built.
+    pub fn lock_stats(&self) -> LockStats {
+        LockStats {
+            shared: self.inner.locks.shared.load(Ordering::Relaxed),
+            exclusive: self.inner.locks.exclusive.load(Ordering::Relaxed),
+            snapshot_reads: self
+                .inner
+                .locks
+                .snapshot
+                .load(Ordering::Relaxed),
+        }
+    }
+
+    /// `(commits, fsyncs)` of the group-commit queue, when group commit
+    /// is on. `commits / fsyncs > 1` is the batching win.
+    pub fn group_commit_stats(&self) -> Option<(u64, u64)> {
+        self.inner
+            .group
+            .as_ref()
+            .map(|(gc, _)| (gc.commits(), gc.fsyncs()))
     }
 
     /// Unwrap back into the database, if this is the last handle.
     pub fn try_into_database(
         self,
     ) -> std::result::Result<Database, Engine> {
-        Arc::try_unwrap(self.shared)
-            .map(|l| l.into_inner().unwrap_or_else(PoisonError::into_inner))
-            .map_err(|shared| Engine { shared })
+        let Engine { shared, inner } = self;
+        Arc::try_unwrap(shared)
+            .map(|l| {
+                let mut db =
+                    l.into_inner().unwrap_or_else(PoisonError::into_inner);
+                // Back to single-threaded use: acknowledge inline.
+                db.set_defer_group_ack(false);
+                db
+            })
+            .map_err(|shared| Engine { shared, inner })
     }
 
-    fn read(&self) -> RwLockReadGuard<'_, Database> {
-        self.shared.read().unwrap_or_else(PoisonError::into_inner)
+    fn read(&self) -> Result<RwLockReadGuard<'_, Database>> {
+        self.check_usable()?;
+        self.inner.locks.shared.fetch_add(1, Ordering::Relaxed);
+        self.shared.read().map_err(|_| self.poison())
     }
 
-    fn write(&self) -> RwLockWriteGuard<'_, Database> {
-        self.shared.write().unwrap_or_else(PoisonError::into_inner)
+    fn write(&self) -> Result<RwLockWriteGuard<'_, Database>> {
+        self.check_usable()?;
+        self.inner.locks.exclusive.fetch_add(1, Ordering::Relaxed);
+        self.shared.write().map_err(|_| self.poison())
     }
+
+    /// A writer panicked while holding the commit lock: the shared
+    /// database may be half-applied. Record that and refuse to serve
+    /// it — the old behaviour (`PoisonError::into_inner`) silently
+    /// returned the possibly-inconsistent state.
+    fn poison(&self) -> Error {
+        self.record_failure(Error::Poisoned);
+        Error::Poisoned
+    }
+
+    fn record_failure(&self, e: Error) {
+        let mut failed = self
+            .inner
+            .failed
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        if failed.is_none() {
+            *failed = Some(e);
+        }
+    }
+
+    fn check_usable(&self) -> Result<()> {
+        if let Some(e) = &*self
+            .inner
+            .failed
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+        {
+            return Err(e.clone());
+        }
+        // The snapshot path never touches the commit lock, so it must
+        // ask the lock directly whether a writer died holding it —
+        // otherwise lock-free reads would sail past the poisoning.
+        if self.shared.is_poisoned() {
+            return Err(self.poison());
+        }
+        Ok(())
+    }
+
+    fn view(&self) -> Arc<ReadView> {
+        self.inner
+            .view
+            .read()
+            .unwrap_or_else(PoisonError::into_inner)
+            .clone()
+    }
+
+    fn publish_view(&self, db: &Database) {
+        let v = Arc::new(view_of(db));
+        *self
+            .inner
+            .view
+            .write()
+            .unwrap_or_else(PoisonError::into_inner) = v;
+    }
+
+    /// Wait for a group commit's ticket to become durable (possibly
+    /// electing this thread the fsync leader), then execute its
+    /// deferred file drops. Runs strictly outside the commit lock.
+    fn ack_commit(&self, ticket: u64, drops: Vec<FileId>) -> Result<()> {
+        let Some((gc, log)) = &self.inner.group else {
+            return Ok(());
+        };
+        if let Err(e) = gc.wait_durable(ticket, || log.sync()) {
+            // The log's durable prefix is unknown past the watermark;
+            // refuse all further operations.
+            self.record_failure(e.clone());
+            return Err(e);
+        }
+        for file in drops {
+            self.inner.pager.execute_drop(file)?;
+        }
+        Ok(())
+    }
+
+    fn note_snapshot_read(&self) {
+        self.inner.locks.snapshot.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn pager(&self) -> &Pager {
+        &self.inner.pager
+    }
+
+    fn durable(&self) -> bool {
+        self.inner.durable
+    }
+}
+
+/// Verdict of a snapshot-read attempt: served lock-free, or which
+/// locked path must handle the statement instead.
+enum SnapshotAttempt {
+    /// Served from the published read view, no commit lock taken.
+    Served(Box<ExecOutput>),
+    /// Fall back to the shared-lock read path (which may itself punt
+    /// to the write path after binding).
+    Locked,
+    /// Known multi-variable: go straight to the exclusive path.
+    Exclusive,
 }
 
 /// One thread's connection to a shared [`Engine`]. Owns the TQuel range
@@ -138,28 +405,123 @@ impl Session {
         stmts.iter().map(|s| self.execute_statement(s)).collect()
     }
 
-    /// Execute one parsed statement, classified onto the read or write
-    /// side of the commit lock.
+    /// Execute one parsed statement, classified onto the snapshot, read,
+    /// or write path.
     pub fn execute_statement(
         &mut self,
         stmt: &Statement,
     ) -> Result<ExecOutput> {
         match stmt {
             Statement::Range { var, rel } => {
-                self.engine.with_read(|db| db.catalog().require(rel))?;
+                self.engine.check_usable()?;
+                if self.engine.view().catalog.id_of(rel).is_none() {
+                    // Not in the published snapshot — consult the
+                    // authoritative catalog under the shared lock
+                    // before failing (the relation may be seconds old,
+                    // or truly missing).
+                    self.engine.try_with_read(|db| {
+                        db.catalog().require(rel).map(|_| ())
+                    })??;
+                }
                 self.ranges.insert(var.clone(), rel.clone());
                 Ok(ExecOutput::default())
             }
             Statement::Retrieve(r) if r.into.is_none() => {
-                if let Some(out) = self.try_execute_read(r)? {
-                    return Ok(out);
+                match self.try_execute_snapshot(r)? {
+                    SnapshotAttempt::Served(out) => Ok(*out),
+                    SnapshotAttempt::Exclusive => {
+                        // Known multi-variable: decomposition
+                        // materializes temporaries, so it needs the
+                        // exclusive side — skip the shared-lock bind.
+                        self.execute_write(stmt)
+                    }
+                    SnapshotAttempt::Locked => {
+                        if let Some(out) = self.try_execute_read(r)? {
+                            return Ok(out);
+                        }
+                        self.execute_write(stmt)
+                    }
                 }
-                // Multi-variable: decomposition materializes temporaries,
-                // so it needs the exclusive side.
-                self.execute_write(stmt)
             }
             _ => self.execute_write(stmt),
         }
+    }
+
+    /// Attempt a retrieve against the published read view, entirely off
+    /// the commit lock. Returns a fallback verdict when the statement
+    /// is not snapshot-eligible: a variable without transaction time
+    /// has no version stamps to filter on, an `as of` past the
+    /// watermark needs state the view predates, a multi-variable
+    /// retrieve in durable mode would stage its temporaries into
+    /// neighbors' WAL commits, and any binding or execution error is
+    /// re-derived under the lock against the authoritative catalog (a
+    /// concurrent `destroy`/`modify` can invalidate the snapshot's
+    /// file pointers mid-read).
+    fn try_execute_snapshot(
+        &self,
+        r: &tdbms_tquel::ast::Retrieve,
+    ) -> Result<SnapshotAttempt> {
+        self.engine.check_usable()?;
+        let view = self.engine.view();
+        let bound = {
+            let binder = Binder {
+                catalog: &view.catalog,
+                ranges: &self.ranges,
+                now: view.watermark,
+            };
+            match binder.bind_retrieve(r) {
+                Ok(b) => b,
+                Err(_) => return Ok(SnapshotAttempt::Locked),
+            }
+        };
+        let multi = bound.vars.len() >= 2;
+        let locked = if multi {
+            SnapshotAttempt::Exclusive
+        } else {
+            SnapshotAttempt::Locked
+        };
+        if !bound.vars.iter().all(|v| v.class.has_transaction_time()) {
+            return Ok(locked);
+        }
+        match &bound.visibility {
+            Some(vis) if vis.through <= view.watermark => {}
+            _ if bound.vars.is_empty() => {}
+            _ => return Ok(locked),
+        }
+        if multi && self.engine.durable() {
+            return Ok(SnapshotAttempt::Exclusive);
+        }
+        let pager = self.engine.pager();
+        if view.cold {
+            pager.invalidate_buffers()?;
+        }
+        // No reset_stats here: counters are global and other sessions
+        // may be mid-statement. Report monotone-counter deltas instead.
+        let before = snapshot(pager.stats());
+        let executed = if multi {
+            let mut local = view.catalog.clone();
+            exec_retrieve_snapshot(pager, &mut local, &bound)
+        } else {
+            exec_retrieve_readonly(pager, &view.catalog, &bound)
+        };
+        let result = match executed {
+            Ok(res) => res,
+            Err(_) => return Ok(locked),
+        };
+        self.engine.note_snapshot_read();
+        let after = snapshot(pager.stats());
+        Ok(SnapshotAttempt::Served(Box::new(ExecOutput {
+            affected: result.rows.len(),
+            columns: result.columns,
+            rows: result.rows,
+            stats: QueryStats {
+                input_pages: after.0.saturating_sub(before.0),
+                output_pages: after.1.saturating_sub(before.1),
+                buffer_hits: after.2.saturating_sub(before.2),
+                evictions: after.3.saturating_sub(before.3),
+                phases: Vec::new(),
+            },
+        })))
     }
 
     /// Attempt the statement under the shared lock. Returns `Ok(None)`
@@ -169,7 +531,7 @@ impl Session {
         &mut self,
         r: &tdbms_tquel::ast::Retrieve,
     ) -> Result<Option<ExecOutput>> {
-        let db = self.engine.read();
+        let db = self.engine.read()?;
         let now = db.clock().tick();
         let bound = {
             let binder = Binder {
@@ -206,13 +568,21 @@ impl Session {
     }
 
     /// Execute under the exclusive lock via the single-threaded engine,
-    /// with this session's ranges swapped in.
+    /// with this session's ranges swapped in; then republish the read
+    /// view and (under group commit) acknowledge off the lock.
     fn execute_write(&mut self, stmt: &Statement) -> Result<ExecOutput> {
-        let mut db = self.engine.write();
+        let mut db = self.engine.write()?;
         std::mem::swap(db.ranges_mut(), &mut self.ranges);
         let out = db.execute_statement(stmt);
         std::mem::swap(db.ranges_mut(), &mut self.ranges);
-        out
+        self.engine.publish_view(&db);
+        let pending = db.take_pending_commit();
+        drop(db);
+        let out = out?;
+        if let Some((ticket, drops)) = pending {
+            self.engine.ack_commit(ticket, drops)?;
+        }
+        Ok(out)
     }
 }
 
@@ -323,5 +693,75 @@ mod tests {
         let out =
             s.execute("retrieve (e.name) where e.salary = 1").unwrap();
         assert_eq!(out.affected, 4);
+    }
+
+    #[test]
+    fn temporal_reads_never_touch_the_commit_lock() {
+        let engine = Engine::new(seeded_db());
+        let base = engine.lock_stats();
+        let mut s = engine.session();
+        s.execute("range of e is emp").unwrap();
+        for _ in 0..8 {
+            s.execute("retrieve (e.salary) where e.salary > 1000")
+                .unwrap();
+        }
+        // A temporal join is snapshot-eligible too (non-durable mode).
+        s.execute("range of f is emp").unwrap();
+        let joined = s
+            .execute(
+                "retrieve (e.name, f.name) \
+                 where e.salary = 1000 and f.salary = 1001",
+            )
+            .unwrap();
+        assert_eq!(joined.affected, 1);
+        let now = engine.lock_stats();
+        assert_eq!(
+            now.shared, base.shared,
+            "snapshot reads must not take the shared commit lock"
+        );
+        assert_eq!(
+            now.exclusive, base.exclusive,
+            "snapshot reads must not take the exclusive commit lock"
+        );
+        assert_eq!(now.snapshot_reads - base.snapshot_reads, 9);
+    }
+
+    #[test]
+    fn snapshot_reads_see_every_published_commit() {
+        let engine = Engine::new(seeded_db());
+        let mut w = engine.session();
+        let mut r = engine.session();
+        w.execute("range of e is emp").unwrap();
+        r.execute("range of e is emp").unwrap();
+        for i in 0..8 {
+            w.execute(&format!(
+                r#"append to emp (name = "n{i}", salary = 7777)"#
+            ))
+            .unwrap();
+            let out = r
+                .execute("retrieve (e.name) where e.salary = 7777")
+                .unwrap();
+            assert_eq!(out.affected, i + 1, "append {i} must be visible");
+        }
+    }
+
+    #[test]
+    fn writer_panic_poisons_the_engine_for_all_sessions() {
+        let engine = Engine::new(seeded_db());
+        let mut s = engine.session();
+        s.execute("range of e is emp").unwrap();
+        let caught =
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                engine.with_write(|_| panic!("writer dies mid-commit"))
+            }));
+        assert!(caught.is_err());
+        // Every path fails loudly now: snapshot, shared, exclusive.
+        let read = s.execute("retrieve (e.salary) where e.salary = 1000");
+        assert_eq!(read.unwrap_err(), Error::Poisoned);
+        let write = s.execute(r#"append to emp (name = "x", salary = 1)"#);
+        assert_eq!(write.unwrap_err(), Error::Poisoned);
+        let range = s.execute("range of q is emp");
+        assert_eq!(range.unwrap_err(), Error::Poisoned);
+        assert!(engine.try_with_read(|db| db.relation_names()).is_err());
     }
 }

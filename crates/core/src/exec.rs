@@ -130,6 +130,43 @@ pub fn exec_retrieve_readonly(
     run_joins(pager, prepare(catalog, bound))
 }
 
+/// Execute a bound retrieve against a **snapshot** of the catalog,
+/// entirely off the commit lock.
+///
+/// `catalog` is the session's private clone of the published read view;
+/// decomposition temporaries are created and destroyed in that clone, so
+/// the shared catalog never observes them. Execution is *quiet*: it
+/// stays off the global phase ledger (another session may be mid-phase)
+/// and never invalidates buffers other sessions are using. The version
+/// filter (`rts[v].visible`, set from the bound watermark visibility)
+/// is what makes the result race-free against concurrent writers.
+pub fn exec_retrieve_snapshot(
+    pager: &Pager,
+    catalog: &mut Catalog,
+    bound: &BoundRetrieve,
+) -> Result<RetrieveResult> {
+    if bound.vars.len() < 2 {
+        return exec_retrieve_readonly(pager, catalog, bound);
+    }
+    let mut p = prepare(catalog, bound);
+    p.quiet = true;
+    let decomposed = decompose(pager, catalog, &mut p);
+    let temps: Vec<RelId> = p.rts.iter().filter_map(|rt| rt.temp).collect();
+    let result = match decomposed {
+        Ok(()) => run_joins(pager, p),
+        Err(e) => Err(e),
+    };
+    // Destroy the temporaries even when execution failed, so a fallback
+    // to the locked path never leaks their files.
+    for id in temps {
+        let destroyed = catalog.destroy(pager, id);
+        if result.is_ok() {
+            destroyed?;
+        }
+    }
+    result
+}
+
 /// Everything the join phases need, derived from the bound retrieve with
 /// only shared catalog access.
 struct Prepared {
@@ -138,6 +175,10 @@ struct Prepared {
     rts: Vec<VarRt>,
     where_cj: Vec<(BExpr, Vec<usize>)>,
     when_cj: Vec<(BTPred, Vec<usize>)>,
+    /// Snapshot execution: stay off the global phase ledger and do not
+    /// invalidate other sessions' buffers. Serial execution keeps this
+    /// `false` so the figures' per-phase I/O accounting is unchanged.
+    quiet: bool,
 }
 
 fn prepare(catalog: &Catalog, bound: &BoundRetrieve) -> Prepared {
@@ -192,6 +233,7 @@ fn prepare(catalog: &Catalog, bound: &BoundRetrieve) -> Prepared {
         rts,
         where_cj,
         when_cj,
+        quiet: false,
     }
 }
 
@@ -209,10 +251,14 @@ fn decompose(
         rts,
         where_cj,
         when_cj,
+        quiet,
     } = p;
+    let quiet = *quiet;
     let nvars = b.vars.len();
     {
-        pager.begin_phase("decomposition");
+        if !quiet {
+            pager.begin_phase("decomposition");
+        }
         for v in 0..nvars {
             let has_own = where_cj.iter().any(|(_, vs)| vs == &[v])
                 || when_cj.iter().any(|(_, vs)| vs == &[v]);
@@ -372,8 +418,14 @@ fn decompose(
         // Temporaries are fully written; start the join phase with cold
         // buffers (also flushes the temps, counting their output pages —
         // attributed to the decomposition phase, which produced them).
-        pager.invalidate_buffers()?;
-        pager.end_phase();
+        // A quiet (snapshot) execution must not touch other sessions'
+        // warm frames, so it keeps its temporaries buffered instead: the
+        // join reads them straight from the pool and the destroy at the
+        // end discards frames and file together.
+        if !quiet {
+            pager.invalidate_buffers()?;
+            pager.end_phase();
+        }
     }
     Ok(())
 }
@@ -388,6 +440,7 @@ fn run_joins(pager: &Pager, p: Prepared) -> Result<RetrieveResult> {
         rts,
         where_cj,
         when_cj,
+        quiet,
     } = p;
     let nvars = b.vars.len();
 
@@ -445,7 +498,7 @@ fn run_joins(pager: &Pager, p: Prepared) -> Result<RetrieveResult> {
     }
 
     let mut rows: Vec<Vec<Value>> = Vec::new();
-    if nvars >= 2 {
+    if nvars >= 2 && !quiet {
         pager.begin_phase("substitution");
     }
     join_level(
@@ -473,7 +526,7 @@ fn run_joins(pager: &Pager, p: Prepared) -> Result<RetrieveResult> {
             Ok(())
         },
     )?;
-    if nvars >= 2 {
+    if nvars >= 2 && !quiet {
         pager.end_phase();
     }
 

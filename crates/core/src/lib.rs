@@ -35,10 +35,10 @@ pub mod exec;
 pub mod interval;
 
 pub use db::{Database, ExecOutput, RelationMeta, SCRUB_FILE, WAL_FILE};
-pub use engine::{Engine, Session};
+pub use engine::{Engine, LockStats, Session};
 pub use exec::QueryStats;
 pub use interval::TInterval;
 pub use tdbms_storage::{
     AccessMethod, BufferConfig, EvictionPolicy, PhaseIo,
 };
-pub use tdbms_wal::CheckpointPolicy;
+pub use tdbms_wal::{CheckpointPolicy, GroupCommitConfig};

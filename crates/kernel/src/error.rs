@@ -48,6 +48,11 @@ pub enum Error {
         page: Option<u32>,
         detail: String,
     },
+    /// The engine's commit lock was poisoned: a writer panicked while
+    /// holding it, so the shared database may be half-applied. Every
+    /// subsequent operation on that engine fails with this error rather
+    /// than silently serving possibly-inconsistent state.
+    Poisoned,
     /// Invariant violation that indicates a bug in the DBMS itself.
     Internal(String),
 }
@@ -90,6 +95,11 @@ impl fmt::Display for Error {
                 }
                 write!(f, ": {detail}")
             }
+            Error::Poisoned => write!(
+                f,
+                "engine poisoned: a writer panicked mid-commit; \
+                 reopen the database to recover"
+            ),
             Error::Internal(s) => write!(f, "internal error: {s}"),
         }
     }
@@ -141,6 +151,13 @@ mod tests {
             bare.to_string(),
             "corruption detected: bad page kind tag 9"
         );
+    }
+
+    #[test]
+    fn poisoned_display_names_the_recovery_path() {
+        let msg = Error::Poisoned.to_string();
+        assert!(msg.contains("poisoned"), "{msg}");
+        assert!(msg.contains("reopen"), "{msg}");
     }
 
     #[test]

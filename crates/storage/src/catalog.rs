@@ -32,7 +32,11 @@ pub struct NamedIndex {
 }
 
 /// Everything the system knows about one stored relation.
-#[derive(Debug)]
+///
+/// `Clone` copies only the metadata (schema, codec, file descriptors,
+/// index descriptors) — never page data — so a cloned [`Catalog`] is a
+/// cheap, self-contained snapshot of "what relations exist and where".
+#[derive(Debug, Clone)]
 pub struct StoredRelation {
     /// Relation name (lower-cased).
     pub name: String,
@@ -209,7 +213,10 @@ impl StoredRelation {
 ///
 /// Relations live in a slab so that two of them can be borrowed mutably at
 /// once (a join reads one relation while materializing into another).
-#[derive(Debug, Default)]
+/// `Clone` yields a metadata snapshot usable for lock-free reads: the
+/// clone resolves names and file locations exactly as the original did
+/// at clone time, while the page store itself stays shared.
+#[derive(Debug, Clone, Default)]
 pub struct Catalog {
     rels: Vec<Option<StoredRelation>>,
     by_name: HashMap<String, usize>,

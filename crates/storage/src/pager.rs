@@ -110,6 +110,30 @@ impl BufferConfig {
     }
 }
 
+/// A file's buffer pool vanished while the file is still referenced —
+/// in-memory bookkeeping no longer matches the catalog. Reported as
+/// media corruption (repairable by `tdbms-check --repair`) rather than
+/// panicking the process.
+fn missing_pool(file: FileId) -> Error {
+    Error::Corruption {
+        file: Some(file.0),
+        page: None,
+        detail: "buffer pool missing for a live file \
+                 (catalog references a dropped file?)"
+            .into(),
+    }
+}
+
+/// A just-installed frame is gone from its pool — same corrupt-state
+/// family as [`missing_pool`], located to the page.
+fn missing_frame(file: FileId, page_no: u32) -> Error {
+    Error::Corruption {
+        file: Some(file.0),
+        page: Some(page_no),
+        detail: "buffer frame missing after fault-in".into(),
+    }
+}
+
 struct Frame {
     page_no: u32,
     page: Page,
@@ -280,6 +304,16 @@ impl PagerState {
         self.pools.entry(file).or_insert_with(|| FilePool::new(cap))
     }
 
+    /// The buffer pool for `file`, or [`Error::Corruption`] when it is
+    /// missing. The pager creates pools on demand, so a vanished pool
+    /// means the in-memory state no longer matches the catalog (e.g. a
+    /// corrupt catalog still references a dropped file); that is a
+    /// repairable condition for `tdbms-check --repair`, not a reason to
+    /// abort the process.
+    fn pool_of(&mut self, file: FileId) -> Result<&mut FilePool> {
+        self.pools.get_mut(&file).ok_or_else(|| missing_pool(file))
+    }
+
     fn write_back(
         &mut self,
         stats: &IoStats,
@@ -331,7 +365,7 @@ impl PagerState {
             None => None,
         };
         let policy = self.policy;
-        let pool = self.pools.get_mut(&file).expect("present");
+        let pool = self.pool_of(file)?;
         let at = match policy {
             // MRU position.
             EvictionPolicy::Lru => 0,
@@ -494,7 +528,7 @@ impl Pager {
         st.pool_mut(file).cap = cap;
         // Shed overflowing frames through the normal eviction path.
         loop {
-            let pool = st.pools.get_mut(&file).expect("present");
+            let pool = st.pool_of(file)?;
             if pool.frames.len() <= cap {
                 break;
             }
@@ -616,7 +650,7 @@ impl Pager {
         let st = &mut *self.st();
         let files: Vec<FileId> = st.pools.keys().copied().collect();
         for f in files {
-            let pool = st.pools.get_mut(&f).expect("present");
+            let pool = st.pool_of(f)?;
             pool.hand = 0;
             let frames = std::mem::take(&mut pool.frames);
             for frame in frames {
@@ -695,8 +729,11 @@ impl Pager {
     ) -> Result<R> {
         let st = &mut *self.st();
         let idx = st.fault_in(&self.stats, file, page_no)?;
-        let frame =
-            &mut st.pools.get_mut(&file).expect("present").frames[idx];
+        let frame = st
+            .pool_of(file)?
+            .frames
+            .get_mut(idx)
+            .ok_or_else(|| missing_frame(file, page_no))?;
         frame.pinned = true;
         let r = f(&frame.page);
         frame.pinned = false;
@@ -714,8 +751,11 @@ impl Pager {
     ) -> Result<R> {
         let st = &mut *self.st();
         let idx = st.fault_in(&self.stats, file, page_no)?;
-        let frame =
-            &mut st.pools.get_mut(&file).expect("present").frames[idx];
+        let frame = st
+            .pool_of(file)?
+            .frames
+            .get_mut(idx)
+            .ok_or_else(|| missing_frame(file, page_no))?;
         frame.dirty = true;
         frame.pinned = true;
         let r = f(&mut frame.page);
@@ -924,7 +964,22 @@ impl Pager {
     /// discipline, to exercise the all-pinned eviction guard.
     #[cfg(test)]
     fn force_pin(&self, file: FileId, idx: usize, on: bool) {
-        self.st().pools.get_mut(&file).unwrap().frames[idx].pinned = on;
+        let st = &mut *self.st();
+        if let Some(frame) = st
+            .pools
+            .get_mut(&file)
+            .and_then(|pool| pool.frames.get_mut(idx))
+        {
+            frame.pinned = on;
+        }
+    }
+
+    /// Test hook: remove a file's buffer pool behind the pager's back,
+    /// simulating the corrupt-catalog state where in-memory bookkeeping
+    /// no longer covers a file the catalog still references.
+    #[cfg(test)]
+    fn corrupt_drop_pool(&self, file: FileId) {
+        self.st().pools.remove(&file);
     }
 }
 
@@ -948,6 +1003,30 @@ mod tests {
         pager.invalidate_buffers().unwrap();
         pager.reset_stats();
         f
+    }
+
+    #[test]
+    fn vanished_pool_is_corruption_not_a_panic() {
+        let pager = Pager::in_memory();
+        let f = two_page_file(&pager);
+        pager.read(f, 0, |_| ()).unwrap();
+        // Corrupt the in-memory bookkeeping: the pool disappears while
+        // the file (and its buffered frame) is still live.
+        pager.corrupt_drop_pool(f);
+        let err = match pager.st().pool_of(f) {
+            Err(e) => e,
+            Ok(_) => panic!("pool_of found a pool we just removed"),
+        };
+        assert!(
+            matches!(err, Error::Corruption { file: Some(id), .. }
+                if id == f.0),
+            "want located corruption, got {err}"
+        );
+        // Public entry points recover by recreating the pool on demand
+        // instead of aborting the process.
+        pager.read(f, 0, |_| ()).unwrap();
+        pager.set_buffer_frames(f, 2).unwrap();
+        pager.invalidate_buffers().unwrap();
     }
 
     #[test]

@@ -40,14 +40,17 @@
 //!    equals recovering once, and a crash *during* recovery is no worse
 //!    than the original crash.
 
+mod group;
 mod log;
 mod record;
 
+pub use crate::group::{GroupCommit, GroupCommitConfig};
 pub use crate::log::{FaultLog, FileLog, LogStore, MemLog, SharedMemLog};
 pub use crate::record::{
     encode_header, fnv64, parse_header, parse_records, Record,
 };
 
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 use tdbms_kernel::Result;
 use tdbms_storage::{DiskManager, FileId, Page, PageKind};
 
@@ -249,10 +252,30 @@ pub fn replay(
     Ok(())
 }
 
+/// A cloneable handle on a [`Wal`]'s underlying [`LogStore`]. The
+/// group-commit leader fsyncs through it *outside* the engine's commit
+/// lock — that overlap (appenders keep committing while the leader
+/// syncs) is what lets one fsync cover several commits.
+#[derive(Clone)]
+pub struct LogHandle {
+    store: Arc<Mutex<Box<dyn LogStore>>>,
+}
+
+impl LogHandle {
+    /// Force everything appended so far to stable storage.
+    pub fn sync(&self) -> Result<()> {
+        self.store
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .sync()
+    }
+}
+
 /// The write-ahead log: LSN assignment, record appending, and
-/// checkpoint truncation over a [`LogStore`].
+/// checkpoint truncation over a [`LogStore`]. The store sits behind a
+/// mutex so a [`LogHandle`] can fsync it concurrently with appends.
 pub struct Wal {
-    store: Box<dyn LogStore>,
+    store: Arc<Mutex<Box<dyn LogStore>>>,
     next_lsn: u32,
     bytes_appended: u64,
 }
@@ -270,11 +293,28 @@ impl Wal {
             store.reset(&encode_header(plan.next_lsn(), &[]))?;
         }
         let wal = Wal {
-            store,
+            store: Arc::new(Mutex::new(store)),
             next_lsn: plan.next_lsn(),
             bytes_appended: 0,
         };
         Ok((wal, plan))
+    }
+
+    fn store(&self) -> MutexGuard<'_, Box<dyn LogStore>> {
+        self.store.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// A cloneable fsync handle over this log's store (see
+    /// [`LogHandle`]).
+    pub fn handle(&self) -> LogHandle {
+        LogHandle {
+            store: self.store.clone(),
+        }
+    }
+
+    /// The entire log contents, header included (diagnostics/tests).
+    pub fn read_back(&self) -> Result<Vec<u8>> {
+        self.store().read_all()
     }
 
     /// The LSN the next [`Wal::append`] will assign (the database stamps
@@ -288,14 +328,14 @@ impl Wal {
         let lsn = self.next_lsn;
         self.next_lsn += 1;
         let bytes = rec.encode(lsn);
-        self.store.append(&bytes)?;
+        self.store().append(&bytes)?;
         self.bytes_appended += bytes.len() as u64;
         Ok(lsn)
     }
 
     /// Force the log to stable storage (the commit point).
     pub fn sync(&mut self) -> Result<()> {
-        self.store.sync()
+        self.store().sync()
     }
 
     /// Total bytes appended since open (the database converts deltas to
@@ -329,8 +369,9 @@ impl Wal {
             buf.extend_from_slice(&rec.encode(lsn));
         }
         self.bytes_appended += buf.len() as u64;
-        self.store.reset(&buf)?;
-        self.store.sync()
+        let mut store = self.store();
+        store.reset(&buf)?;
+        store.sync()
     }
 }
 
@@ -374,7 +415,7 @@ mod tests {
             })
             .unwrap();
         // No commit: the second transaction must vanish.
-        let bytes = wal.store.read_all().unwrap();
+        let bytes = wal.read_back().unwrap();
         let plan = RecoveryPlan::parse(&bytes);
         assert_eq!(plan.txns.len(), 1);
         assert_eq!(plan.txns[0].len(), 3);
@@ -397,7 +438,7 @@ mod tests {
         })
         .unwrap();
         wal.append(&Record::Commit).unwrap();
-        let plan = RecoveryPlan::parse(&wal.store.read_all().unwrap());
+        let plan = RecoveryPlan::parse(&wal.read_back().unwrap());
         replay(&plan, &mut disk).unwrap();
         assert_eq!(disk.page_count(f).unwrap(), 2, "tail trimmed");
         assert_eq!(
@@ -513,7 +554,7 @@ mod tests {
         wal.append(&Record::Commit).unwrap();
         let frontier = wal.peek_lsn();
         wal.truncate(&[(FileId(0), 7)]).unwrap();
-        let bytes = wal.store.read_all().unwrap();
+        let bytes = wal.read_back().unwrap();
         let plan = RecoveryPlan::parse(&bytes);
         assert!(plan.txns.is_empty());
         assert_eq!(plan.base_lsn, frontier);

@@ -115,8 +115,20 @@ pub struct FileLog {
 
 impl FileLog {
     /// Open (creating if needed) the log file at `path`.
+    ///
+    /// A crash between `reset`'s temp-file write and its rename leaves a
+    /// stale `*.tmp` sibling beside an intact old log (the rename never
+    /// happened, so the old contents are still the truth). Reopening
+    /// clears the leftover so it can never shadow or be mistaken for the
+    /// real log, and so a later `reset` starts from a clean slate.
     pub fn open(path: impl Into<PathBuf>) -> Result<Self> {
         let path = path.into();
+        let tmp = path.with_extension("tmp");
+        match std::fs::remove_file(&tmp) {
+            Ok(()) => {}
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+            Err(e) => return Err(e.into()),
+        }
         let fh = std::fs::OpenOptions::new()
             .read(true)
             .write(true)
@@ -299,6 +311,30 @@ mod tests {
         // Reopen: contents survive.
         let mut log = FileLog::open(&path).unwrap();
         assert_eq!(log.read_all().unwrap(), b"xyz");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn file_log_reopen_clears_a_stale_reset_tmp() {
+        // Crash point: reset wrote (and maybe fsynced) wal.tmp but died
+        // before the rename. The old log is intact and the tmp is
+        // garbage; reopening must keep the former and clear the latter.
+        let dir = tdbms_kernel::tmpdir::fresh_dir("wal-stale-tmp");
+        let path = dir.join("wal.tdbms");
+        {
+            let mut log = FileLog::open(&path).unwrap();
+            log.append(b"committed").unwrap();
+            log.sync().unwrap();
+        }
+        let tmp = path.with_extension("tmp");
+        std::fs::write(&tmp, b"half-a-checkpoint").unwrap();
+        let mut log = FileLog::open(&path).unwrap();
+        assert_eq!(log.read_all().unwrap(), b"committed");
+        assert!(!tmp.exists(), "stale tmp must be cleared on reopen");
+        // And a subsequent reset still works end to end.
+        log.reset(b"fresh").unwrap();
+        assert_eq!(log.read_all().unwrap(), b"fresh");
+        assert!(!tmp.exists());
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

@@ -93,6 +93,20 @@ gate_concurrency_stress() {
     cargo test -q --test concurrency
 }
 
+# Group-commit acceptance gate: the crash matrix (kills between the
+# batch fsync and the per-session ack), the inline settle path, and
+# the checkpoint interplay — zero acked-tuple loss, no phantom acks.
+gate_group_commit_crash() {
+    cargo test -q --test group_commit
+}
+
+# Lock-free read acceptance gate: readers racing writers stay
+# prefix-consistent and monotone, with the engine's own counters
+# proving zero commit-lock acquisitions on the read path.
+gate_snapshot_stress() {
+    cargo test -q --test snapshot_stress
+}
+
 # Checksumming is out-of-band by design; the whole Figure 5 output must
 # be byte-identical with it on and off.
 gate_fig5_checksums() {
@@ -150,16 +164,42 @@ gate_fig11_shape() {
 
 # Concurrent-session smoke: the closed-loop throughput benchmark at four
 # threads must complete its whole op mix with a balanced I/O ledger (the
-# binary asserts ledger consistency itself; here we check the op count).
+# binary asserts ledger consistency itself; here we check the op count),
+# prove via its lock counters that no read touched the commit lock, and
+# leave the JSON report as the BENCH_throughput.json artifact. A second,
+# durable run must show group commit actually batching: strictly more
+# commits than log fsyncs.
 gate_throughput_smoke() {
-    local out
-    out=$("$bindir/throughput" --threads 4 --ops 64) || return 1
+    local out durable
+    out=$("$bindir/throughput" --threads 4 --ops 64 \
+        --json BENCH_throughput.json) || return 1
     echo "$out"
     echo "$out" | grep -q 'throughput: threads=4 ops/thread=64 total=256' \
         || {
             echo "throughput: expected 4x64 completed ops"
             return 1
         }
+    echo "$out" | grep -q 'locks: shared=0 ' || {
+        echo "throughput: a read acquired the commit lock"
+        return 1
+    }
+    [[ -s BENCH_throughput.json ]] || {
+        echo "throughput: BENCH_throughput.json not written"
+        return 1
+    }
+    durable=$("$bindir/throughput" --threads 4 --ops 64 --durable 1 \
+        --write-every 1 --join-every 0 --gc-max-delay-ms 5) || return 1
+    echo "$durable"
+    echo "$durable" | awk '
+        /^group-commit:/ {
+            split($2, c, "="); split($3, f, "=")
+            if (c[2] + 0 > f[2] + 0) { found = 1 }
+        }
+        END { exit found ? 0 : 1 }
+    ' || {
+        echo "throughput: group commit never batched (commits <= fsyncs)"
+        return 1
+    }
 }
 
 # End-to-end scrubber gate: build a durable database through the shell
@@ -195,7 +235,7 @@ $with_fmt && GATES+=(fmt)
 GATES+=(
     build clippy test
     wal-crash-matrix corruption-scrub transient-retry
-    concurrency-stress
+    concurrency-stress group-commit-crash snapshot-stress
     fig5-checksums figures-threads fig11-shape
     throughput-smoke check-recovery
 )
@@ -219,7 +259,8 @@ fi
 export bindir profile_flag
 export -f gate_fmt gate_build gate_clippy gate_test \
     gate_wal_crash_matrix gate_corruption_scrub gate_transient_retry \
-    gate_concurrency_stress gate_fig5_checksums gate_figures_threads \
+    gate_concurrency_stress gate_group_commit_crash \
+    gate_snapshot_stress gate_fig5_checksums gate_figures_threads \
     gate_fig11_shape gate_throughput_smoke gate_check_recovery
 
 RAN=() STATUSES=() TOOK=() FAILED=()

@@ -23,7 +23,8 @@
 
 pub use tdbms_core::{
     AccessMethod, CheckpointPolicy, Database, Engine, ExecOutput,
-    QueryStats, RelationMeta, Session, TInterval, SCRUB_FILE, WAL_FILE,
+    GroupCommitConfig, LockStats, QueryStats, RelationMeta, Session,
+    TInterval, SCRUB_FILE, WAL_FILE,
 };
 pub use tdbms_kernel::{
     AttrDef, Clock, DatabaseClass, Domain, Error, Granularity, Result,

@@ -1,0 +1,341 @@
+//! Group-commit durability suite.
+//!
+//! Group commit decouples a session's commit record (appended under the
+//! exclusive lock) from its acknowledgement (returned only after a
+//! batch fsync covers the record). That gap is exactly where the
+//! protocol can go wrong, so this suite attacks it three ways:
+//!
+//! * **Crash matrix**: a fault-injected engine with group commit on is
+//!   killed mid-workload under an op budget, with torn log appends in
+//!   half the cases and batching knobs varied so the crash lands in
+//!   every part of the register / batch-fsync / ack / checkpoint cycle.
+//!   Recovery from the raw survivors must contain every tuple whose
+//!   `append` was acked (**zero committed-tuple loss**), contain no
+//!   tuple that was never attempted, audit clean, and be idempotent.
+//!   Because acks are issued only after the covering fsync returns,
+//!   any acked-but-lost tuple here is a **phantom ack** — the assert
+//!   names it as such.
+//! * **Inline settle path**: a plain `Database` (no engine) with group
+//!   commit enabled settles its own ticket after each statement; a
+//!   reopen without checkpoint must replay every acked statement.
+//! * **Checkpoint interplay**: a dense `EveryN` checkpoint policy runs
+//!   against batched commits (parked drops, early log sync) and the
+//!   reopened database must still be exact.
+
+use std::collections::BTreeSet;
+use std::sync::Mutex;
+use std::time::Duration;
+use tdbms::wal::{FaultLog, LogStore, SharedMemLog};
+use tdbms::{CheckpointPolicy, Database, Engine, GroupCommitConfig};
+use tdbms_check::check_database;
+use tdbms_kernel::{Prng, Value};
+use tdbms_storage::{DiskManager, FaultDisk, FaultPlan, SharedMemDisk};
+
+/// Seed rows present before every crash run: ids `1..=BASE_IDS`.
+const BASE_IDS: i64 = 16;
+
+fn create_and_seed(db: &mut Database) {
+    db.execute("create temporal interval t (id = i4, seq = i4)")
+        .expect("create");
+    for id in 1..=BASE_IDS {
+        db.execute(&format!("append to t (id = {id}, seq = 0)"))
+            .expect("seed append");
+    }
+}
+
+/// Sorted current ids of `t` through a throwaway session.
+fn current_ids(engine: &Engine) -> BTreeSet<i64> {
+    let mut s = engine.session();
+    let out = s
+        .execute("range of q is t\nretrieve (q.id)")
+        .expect("retrieve after recovery");
+    out.rows()
+        .iter()
+        .map(|r| match &r[0] {
+            Value::Int(n) => *n,
+            other => panic!("id column decoded as {other:?}"),
+        })
+        .collect()
+}
+
+fn audit_clean(engine: &Engine, ctx: &str) {
+    engine.with_write(|db| {
+        let (pager, catalog, _) = db.internals();
+        let report = check_database(pager, catalog).expect("audit runs");
+        assert!(
+            report.is_clean(),
+            "{ctx}: check found problems:\n{}",
+            report.render()
+        );
+    });
+}
+
+/// The crash matrix: kill a group-commit engine mid-batch and prove
+/// recovery honours every ack it handed out.
+#[test]
+fn group_commit_crash_matrix_never_drops_an_acked_commit() {
+    for case in 0..12u64 {
+        let mut g = Prng::seed_from_u64(0x9c0f + case * 6151);
+        let budget = g.random_range(20u64..=120);
+        let torn_log = g.random_bool().then(|| g.random_range(0usize..48));
+        // Vary the batching window so crashes land both inside long
+        // lingers (big batch, slow leader) and on immediate syncs.
+        let max_batch = 1 + (case % 5) as u32 * 2;
+        let max_delay = Duration::from_millis(case % 3);
+
+        // Incarnation 1 (no faults): baseline rows, checkpointed so
+        // relation `t` always exists when the crash run opens.
+        let disk = SharedMemDisk::new();
+        let log = SharedMemLog::new();
+        let baseline: BTreeSet<i64> = (1..=BASE_IDS).collect();
+        {
+            let mut db = Database::open_durable_on(
+                Box::new(disk.clone()),
+                Box::new(log.clone()),
+                None,
+            )
+            .expect("baseline open");
+            create_and_seed(&mut db);
+            db.checkpoint().expect("baseline checkpoint");
+        }
+
+        // Incarnation 2: same storage behind fault injectors with an
+        // op budget; four writer sessions append unique ids through
+        // group commit, recording only the ids whose ack came back.
+        let plan = FaultPlan::new(Some(budget));
+        let fdisk: Box<dyn DiskManager> =
+            Box::new(FaultDisk::new(Box::new(disk.clone()), plan.clone()));
+        let flog: Box<dyn LogStore> = match torn_log {
+            Some(k) => Box::new(FaultLog::with_torn_appends(
+                Box::new(log.clone()),
+                plan.clone(),
+                k,
+            )),
+            None => {
+                Box::new(FaultLog::new(Box::new(log.clone()), plan.clone()))
+            }
+        };
+        let acked = Mutex::new(BTreeSet::new());
+        let mut attempted = baseline.clone();
+        for t in 0..4i64 {
+            for k in 0..12i64 {
+                attempted.insert(1000 + t * 100 + k);
+            }
+        }
+        if let Ok(mut db) = Database::open_durable_on(fdisk, flog, None) {
+            // Frequent checkpoints so batches, parked drops, and the
+            // checkpoint's early log sync all interleave with faults.
+            db.set_checkpoint_policy(CheckpointPolicy::EveryN(5));
+            if db
+                .enable_group_commit(GroupCommitConfig {
+                    max_batch,
+                    max_delay,
+                })
+                .is_err()
+            {
+                continue;
+            }
+            let engine = Engine::new(db);
+            std::thread::scope(|scope| {
+                for t in 0..4i64 {
+                    let engine = engine.clone();
+                    let acked = &acked;
+                    scope.spawn(move || {
+                        let mut s = engine.session();
+                        if s.execute("range of z is t").is_err() {
+                            return;
+                        }
+                        for k in 0..12i64 {
+                            let id = 1000 + t * 100 + k;
+                            match s.execute(&format!(
+                                "append to t (id = {id}, seq = 0)"
+                            )) {
+                                Ok(_) => {
+                                    acked
+                                        .lock()
+                                        .expect("unpoisoned")
+                                        .insert(id);
+                                }
+                                Err(_) => return,
+                            }
+                        }
+                    });
+                }
+            });
+        }
+        assert!(
+            plan.crashed(),
+            "case {case}: budget {budget} never tripped — the matrix \
+             must actually crash mid-workload"
+        );
+        let acked: BTreeSet<i64> = {
+            let mut all = acked.into_inner().expect("unpoisoned");
+            all.extend(baseline.iter().copied());
+            all
+        };
+
+        // Recovery on the raw survivors.
+        let rdb = Database::open_durable_on(
+            Box::new(disk.clone()),
+            Box::new(log.clone()),
+            None,
+        )
+        .expect("recovery must succeed on raw survivors");
+        let engine = Engine::new(rdb);
+        let recovered = current_ids(&engine);
+        for id in &acked {
+            assert!(
+                recovered.contains(id),
+                "case {case} (budget {budget}, batch {max_batch}, \
+                 torn_log {torn_log:?}): tuple {id} was acked but lost \
+                 in recovery — a phantom ack"
+            );
+        }
+        for id in &recovered {
+            assert!(
+                attempted.contains(id),
+                "case {case}: recovery invented tuple {id}"
+            );
+        }
+        audit_clean(&engine, &format!("case {case} after recovery"));
+        drop(engine);
+
+        // Recovering twice equals recovering once.
+        let rdb2 = Database::open_durable_on(
+            Box::new(disk.clone()),
+            Box::new(log.clone()),
+            None,
+        )
+        .expect("second recovery");
+        assert_eq!(
+            current_ids(&Engine::new(rdb2)),
+            recovered,
+            "case {case}: recovery is not idempotent"
+        );
+    }
+}
+
+/// The inline (engine-less) settle path: every acked statement on a
+/// plain `Database` with group commit enabled must survive a reopen
+/// that replays the log — no checkpoint in between.
+#[test]
+fn inline_group_commit_acks_are_durable_without_checkpoint() {
+    let disk = SharedMemDisk::new();
+    let log = SharedMemLog::new();
+    {
+        let mut db = Database::open_durable_on(
+            Box::new(disk.clone()),
+            Box::new(log.clone()),
+            None,
+        )
+        .expect("open");
+        // Never due: everything must come back through log replay.
+        db.set_checkpoint_policy(CheckpointPolicy::EveryN(10_000));
+        create_and_seed(&mut db);
+        db.enable_group_commit(GroupCommitConfig {
+            max_batch: 4,
+            max_delay: Duration::from_millis(1),
+        })
+        .expect("durable database");
+        for id in 100..132i64 {
+            db.execute(&format!("append to t (id = {id}, seq = 0)"))
+                .expect("acked append");
+        }
+        // A temporal delete: stamps a `ts_stop` version (the id stays
+        // retrievable through history) — its page writes must replay
+        // exactly like the appends'.
+        db.execute("range of z is t\ndelete z where z.id = 100")
+            .expect("acked delete");
+        // Drop without checkpoint: the "crash".
+    }
+    let rdb = Database::open_durable_on(
+        Box::new(disk.clone()),
+        Box::new(log.clone()),
+        None,
+    )
+    .expect("recovery");
+    let engine = Engine::new(rdb);
+    let mut expect: BTreeSet<i64> = (1..=BASE_IDS).collect();
+    expect.extend(100..132);
+    assert_eq!(
+        current_ids(&engine),
+        expect,
+        "inline group commit lost an acked statement across reopen"
+    );
+    audit_clean(&engine, "inline settle path after recovery");
+}
+
+/// Dense checkpoints against batched commits: parked drops and the
+/// checkpoint's early log sync must leave an exact database behind,
+/// live and across a reopen.
+#[test]
+fn checkpoints_interleave_cleanly_with_group_commit_batches() {
+    let disk = SharedMemDisk::new();
+    let log = SharedMemLog::new();
+    let mut db = Database::open_durable_on(
+        Box::new(disk.clone()),
+        Box::new(log.clone()),
+        None,
+    )
+    .expect("open");
+    db.set_checkpoint_policy(CheckpointPolicy::EveryN(3));
+    create_and_seed(&mut db);
+    db.enable_group_commit(GroupCommitConfig {
+        max_batch: 6,
+        max_delay: Duration::from_millis(2),
+    })
+    .expect("durable database");
+    let engine = Engine::new(db);
+    std::thread::scope(|scope| {
+        for t in 0..4i64 {
+            let engine = engine.clone();
+            scope.spawn(move || {
+                let mut s = engine.session();
+                s.execute("range of z is t").expect("range");
+                for k in 0..16i64 {
+                    let id = 2000 + t * 100 + k;
+                    s.execute(&format!("append to t (id = {id}, seq = 0)"))
+                        .expect("append under checkpoint pressure");
+                    if k % 5 == 4 {
+                        // Temporal delete: stamps a ts_stop version
+                        // (the id remains retrievable through
+                        // history); exercises in-place page updates
+                        // inside the batches.
+                        s.execute(&format!(
+                            "delete z where z.id = {}",
+                            2000 + t * 100 + k - 4
+                        ))
+                        .expect("delete under checkpoint pressure");
+                    }
+                }
+            });
+        }
+    });
+    let mut expect: BTreeSet<i64> = (1..=BASE_IDS).collect();
+    for t in 0..4i64 {
+        for k in 0..16i64 {
+            expect.insert(2000 + t * 100 + k);
+        }
+    }
+    assert_eq!(current_ids(&engine), expect, "live state after batches");
+    audit_clean(&engine, "live engine after batched workload");
+
+    // Reopen from the raw survivors: checkpoint + replay must agree.
+    match engine.try_into_database() {
+        Ok(db) => drop(db),
+        Err(_) => panic!("engine had outstanding handles"),
+    }
+    let rdb = Database::open_durable_on(
+        Box::new(disk.clone()),
+        Box::new(log.clone()),
+        None,
+    )
+    .expect("reopen");
+    let engine = Engine::new(rdb);
+    assert_eq!(
+        current_ids(&engine),
+        expect,
+        "reopen disagrees with the live database"
+    );
+    audit_clean(&engine, "reopen after batched workload");
+}
