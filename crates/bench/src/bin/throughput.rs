@@ -6,15 +6,27 @@
 //! engine's lock-free snapshot read path), periodic `replace` updates
 //! (`--write-every K`, 0 = read-only), and periodic two-variable joins
 //! (`--join-every J`, 0 = none) that exercise decomposition. Reports
-//! queries/second, the per-kind op counts, the I/O totals aggregated
-//! from every statement's own counters, and the commit-lock counters
-//! that prove reads never touched the lock.
+//! queries/second, per-op latency percentiles (p50/p95/p99), the
+//! per-kind op counts, the I/O totals aggregated from every
+//! statement's own counters, and the commit-lock counters that prove
+//! reads never touched the lock.
 //!
 //! `--durable 1` rebuilds the same workload on a WAL-backed in-memory
 //! database with **group commit** on (`--gc-max-batch`,
 //! `--gc-max-delay-ms`), and additionally reports `commits / fsyncs` —
 //! the batching win of coalescing many sessions' commits into one log
 //! sync.
+//!
+//! `--server ADDR` switches the driver to **wire mode**: instead of an
+//! embedded engine it connects `--threads N` real TCP clients to a
+//! live `tdbms-server`, loads the workload over the wire (`--setup-rows`
+//! tuples per relation, batched appends), and runs the same closed
+//! loop through the network protocol — so qps and the latency tail
+//! include framing, syscalls, and the server's per-query guardrails.
+//!
+//! Worker errors do not kill the run: they are counted, reported in
+//! the `throughput:` line (`errors=`), and the JSON artifact is still
+//! written with whatever completed (partial results are results).
 //!
 //! The op mix is a pure function of `--seed`; at `--threads 1` the I/O
 //! totals are too, while at higher thread counts the shared warm
@@ -28,9 +40,11 @@ use std::sync::Mutex;
 use std::time::{Duration, Instant};
 use tdbms_bench::{build_database, populate_database, BenchConfig};
 use tdbms_core::{
-    CheckpointPolicy, Database, Engine, GroupCommitConfig, PhaseIo,
+    CheckpointPolicy, Database, Engine, GroupCommitConfig, LockStats,
+    PhaseIo,
 };
 use tdbms_kernel::{DatabaseClass, Prng};
+use tdbms_net::Client;
 use tdbms_storage::SharedMemDisk;
 use tdbms_wal::SharedMemLog;
 
@@ -69,10 +83,71 @@ struct Totals {
     reads: u64,
     writes: u64,
     joins: u64,
+    errors: u64,
     input_pages: u64,
     output_pages: u64,
     buffer_hits: u64,
     phases: Vec<PhaseIo>,
+    /// Per-op wall-clock latencies in microseconds, unsorted.
+    latencies_us: Vec<u64>,
+}
+
+impl Totals {
+    fn absorb(&mut self, local: Totals) {
+        self.reads += local.reads;
+        self.writes += local.writes;
+        self.joins += local.joins;
+        self.errors += local.errors;
+        self.input_pages += local.input_pages;
+        self.output_pages += local.output_pages;
+        self.buffer_hits += local.buffer_hits;
+        self.latencies_us.extend(local.latencies_us);
+        for p in local.phases {
+            match self.phases.iter_mut().find(|q| q.name == p.name) {
+                Some(q) => {
+                    q.reads += p.reads;
+                    q.writes += p.writes;
+                    q.hits += p.hits;
+                    q.evictions += p.evictions;
+                }
+                None => self.phases.push(p),
+            }
+        }
+    }
+}
+
+/// `p` in [0, 100] over an unsorted sample; 0 for an empty one.
+fn percentile(sorted: &[u64], p: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = (p / 100.0 * (sorted.len() - 1) as f64).round() as usize;
+    sorted[rank.min(sorted.len() - 1)]
+}
+
+/// The next statement of the seeded closed loop, with its kind tally.
+fn next_stmt(
+    rng: &mut Prng,
+    op: u64,
+    max_id: i64,
+    join_every: u64,
+    write_every: u64,
+    local: &mut Totals,
+) -> String {
+    let id = rng.random_range(1i64..=max_id);
+    if join_every > 0 && op.is_multiple_of(join_every) {
+        local.joins += 1;
+        format!(
+            "retrieve (h.amount, i.seq) \
+             where h.id = i.id and h.id = {id}"
+        )
+    } else if write_every > 0 && op.is_multiple_of(write_every) {
+        local.writes += 1;
+        format!("replace h (seq = h.seq + 1) where h.id = {id}")
+    } else {
+        local.reads += 1;
+        format!("retrieve (h.amount) where h.id = {id}")
+    }
 }
 
 fn main() {
@@ -84,9 +159,68 @@ fn main() {
     let durable = flag("durable", 0) == 1;
     let gc_max_batch = flag("gc-max-batch", 8) as u32;
     let gc_max_delay_ms = flag("gc-max-delay-ms", 2);
+    let setup_rows = flag("setup-rows", 1024).clamp(1, 1 << 20);
     let json_path = flag_str("json");
+    let server_addr = flag_str("server");
 
     let cfg = BenchConfig::new(DatabaseClass::Temporal, 100);
+    let report = match server_addr {
+        Some(addr) => run_server_mode(
+            &addr,
+            &cfg,
+            threads,
+            ops,
+            write_every,
+            join_every,
+            seed,
+            setup_rows,
+        ),
+        None => run_embedded_mode(
+            &cfg,
+            threads,
+            ops,
+            write_every,
+            join_every,
+            seed,
+            durable,
+            gc_max_batch,
+            gc_max_delay_ms,
+        ),
+    };
+    print_and_write(
+        report,
+        threads,
+        ops,
+        durable,
+        gc_max_batch,
+        gc_max_delay_ms,
+        json_path,
+    );
+}
+
+/// Everything both modes produce; `None` fields don't apply to the
+/// mode that ran.
+struct Report {
+    mode: &'static str,
+    done: u64,
+    elapsed: Duration,
+    totals: Totals,
+    locks: Option<LockStats>,
+    group: Option<(u64, u64)>,
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_embedded_mode(
+    cfg: &BenchConfig,
+    threads: usize,
+    ops: u64,
+    write_every: u64,
+    join_every: u64,
+    seed: u64,
+    durable: bool,
+    gc_max_batch: u32,
+    gc_max_delay_ms: u64,
+) -> Report {
     let mut db = if durable {
         // The same workload over a WAL-backed in-memory database:
         // every mutating statement is a durable transaction, and group
@@ -100,7 +234,7 @@ fn main() {
         )
         .expect("durable open on fresh in-memory storage");
         db.set_checkpoint_policy(CheckpointPolicy::EveryN(256));
-        populate_database(&mut db, &cfg);
+        populate_database(&mut db, cfg);
         db.enable_group_commit(GroupCommitConfig {
             max_batch: gc_max_batch.max(1),
             max_delay: Duration::from_millis(gc_max_delay_ms),
@@ -108,7 +242,7 @@ fn main() {
         .expect("database is durable");
         db
     } else {
-        build_database(&cfg)
+        build_database(cfg)
     };
     // Throughput mode: warm, shared buffers (the paper's cold-statement
     // methodology is for per-query page counts, not sustained load).
@@ -132,70 +266,63 @@ fn main() {
             s.spawn(move || {
                 let mut rng = Prng::seed_from_u64(seed ^ (t as u64) << 32);
                 let mut session = engine.session();
-                session
+                let mut local = Totals::default();
+                if session
                     .execute(&format!(
                         "range of h is {rel_h}\nrange of i is {rel_i}"
                     ))
-                    .expect("declare ranges");
-                let mut local = Totals::default();
+                    .is_err()
+                {
+                    // Without range variables every op would fail;
+                    // count the whole quota as errors and bail.
+                    local.errors += ops;
+                    totals.lock().expect("unpoisoned").absorb(local);
+                    return;
+                }
                 for op in 1..=ops {
-                    let id = rng.random_range(1i64..=1024);
-                    let stmt = if join_every > 0 && op % join_every == 0 {
-                        local.joins += 1;
-                        format!(
-                            "retrieve (h.amount, i.seq) \
-                             where h.id = i.id and h.id = {id}"
-                        )
-                    } else if write_every > 0 && op % write_every == 0 {
-                        local.writes += 1;
-                        format!(
-                            "replace h (seq = h.seq + 1) where h.id = {id}"
-                        )
-                    } else {
-                        local.reads += 1;
-                        format!("retrieve (h.amount) where h.id = {id}")
-                    };
-                    let out = session.execute(&stmt).unwrap_or_else(|e| {
-                        panic!("op failed: {e}\n{stmt}")
-                    });
-                    local.input_pages += out.stats.input_pages;
-                    local.output_pages += out.stats.output_pages;
-                    local.buffer_hits += out.stats.buffer_hits;
-                    for p in &out.stats.phases {
-                        match local
-                            .phases
-                            .iter_mut()
-                            .find(|q| q.name == p.name)
-                        {
-                            Some(q) => {
-                                q.reads += p.reads;
-                                q.writes += p.writes;
-                                q.hits += p.hits;
-                                q.evictions += p.evictions;
+                    let stmt = next_stmt(
+                        &mut rng,
+                        op,
+                        1024,
+                        join_every,
+                        write_every,
+                        &mut local,
+                    );
+                    let t0 = Instant::now();
+                    match session.execute(&stmt) {
+                        Ok(out) => {
+                            local
+                                .latencies_us
+                                .push(t0.elapsed().as_micros() as u64);
+                            local.input_pages += out.stats.input_pages;
+                            local.output_pages += out.stats.output_pages;
+                            local.buffer_hits += out.stats.buffer_hits;
+                            for p in &out.stats.phases {
+                                match local
+                                    .phases
+                                    .iter_mut()
+                                    .find(|q| q.name == p.name)
+                                {
+                                    Some(q) => {
+                                        q.reads += p.reads;
+                                        q.writes += p.writes;
+                                        q.hits += p.hits;
+                                        q.evictions += p.evictions;
+                                    }
+                                    None => local.phases.push(p.clone()),
+                                }
                             }
-                            None => local.phases.push(p.clone()),
+                            completed.fetch_add(1, Ordering::Relaxed);
+                        }
+                        Err(e) => {
+                            // Keep going: a failed op is a data point,
+                            // not a reason to lose the whole report.
+                            local.errors += 1;
+                            eprintln!("worker {t} op failed: {e}");
                         }
                     }
-                    completed.fetch_add(1, Ordering::Relaxed);
                 }
-                let mut all = totals.lock().expect("no panics hold this");
-                all.reads += local.reads;
-                all.writes += local.writes;
-                all.joins += local.joins;
-                all.input_pages += local.input_pages;
-                all.output_pages += local.output_pages;
-                all.buffer_hits += local.buffer_hits;
-                for p in local.phases {
-                    match all.phases.iter_mut().find(|q| q.name == p.name) {
-                        Some(q) => {
-                            q.reads += p.reads;
-                            q.writes += p.writes;
-                            q.hits += p.hits;
-                            q.evictions += p.evictions;
-                        }
-                        None => all.phases.push(p),
-                    }
-                }
+                totals.lock().expect("unpoisoned").absorb(local);
             });
         }
     });
@@ -211,18 +338,184 @@ fn main() {
     // Accounting must have survived the contention.
     engine.with_read(|db| assert!(db.io_stats().is_consistent()));
 
+    Report {
+        mode: "embedded",
+        done,
+        elapsed,
+        totals,
+        locks: Some(locks),
+        group,
+    }
+}
+
+/// Load the benchmark schema and rows through the wire. Idempotent:
+/// if the relations already exist (a previous run against the same
+/// server), population is skipped.
+fn setup_over_wire(
+    c: &mut Client,
+    cfg: &BenchConfig,
+    setup_rows: u64,
+    seed: u64,
+) {
+    let mut rng = Prng::seed_from_u64(seed);
+    for (rel, method) in [(cfg.rel_h(), "hash"), (cfg.rel_i(), "isam")] {
+        let created = c.query(&format!(
+            "create temporal interval {rel} \
+             (id = i4, amount = i4, seq = i4, string = c96)"
+        ));
+        if created.is_err() {
+            // Already loaded by a previous driver run; reuse it.
+            continue;
+        }
+        // Batched appends: one request per 64 statements keeps the
+        // round-trip count (and wire overhead) sane during setup.
+        let mut batch = String::new();
+        let mut in_batch = 0;
+        for id in 1..=setup_rows {
+            let amount = rng.random_range(0i64..1000) * 100;
+            let string: String = (0..12)
+                .map(|_| rng.random_range(b'a'..=b'z') as char)
+                .collect();
+            batch.push_str(&format!(
+                "append to {rel} (id = {id}, amount = {amount}, \
+                 seq = 0, string = \"{string}\")\n"
+            ));
+            in_batch += 1;
+            if in_batch == 64 {
+                c.query(&batch).expect("setup append batch");
+                batch.clear();
+                in_batch = 0;
+            }
+        }
+        if in_batch > 0 {
+            c.query(&batch).expect("setup append batch");
+        }
+        c.query(&format!(
+            "modify {rel} to {method} on id where fillfactor = {}",
+            cfg.fillfactor
+        ))
+        .expect("modify benchmark relation");
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_server_mode(
+    addr: &str,
+    cfg: &BenchConfig,
+    threads: usize,
+    ops: u64,
+    write_every: u64,
+    join_every: u64,
+    seed: u64,
+    setup_rows: u64,
+) -> Report {
+    let mut setup = Client::connect(addr).unwrap_or_else(|e| {
+        panic!("cannot connect to tdbms-server at {addr}: {e}")
+    });
+    setup.ping().expect("server answers ping");
+    setup_over_wire(&mut setup, cfg, setup_rows, seed);
+    drop(setup);
+
+    let rel_h = cfg.rel_h();
+    let rel_i = cfg.rel_i();
+    let completed = AtomicU64::new(0);
+    let totals = Mutex::new(Totals::default());
+    let start = Instant::now();
+    std::thread::scope(|s| {
+        for t in 0..threads {
+            let (rel_h, rel_i) = (rel_h.clone(), rel_i.clone());
+            let (completed, totals) = (&completed, &totals);
+            s.spawn(move || {
+                let mut rng = Prng::seed_from_u64(seed ^ (t as u64) << 32);
+                let mut local = Totals::default();
+                let mut client = match Client::connect(addr) {
+                    Ok(c) => c,
+                    Err(e) => {
+                        eprintln!("worker {t}: connect failed: {e}");
+                        local.errors += ops;
+                        totals.lock().expect("unpoisoned").absorb(local);
+                        return;
+                    }
+                };
+                if client
+                    .query(&format!(
+                        "range of h is {rel_h}\nrange of i is {rel_i}"
+                    ))
+                    .is_err()
+                {
+                    local.errors += ops;
+                    totals.lock().expect("unpoisoned").absorb(local);
+                    return;
+                }
+                for op in 1..=ops {
+                    let stmt = next_stmt(
+                        &mut rng,
+                        op,
+                        setup_rows as i64,
+                        join_every,
+                        write_every,
+                        &mut local,
+                    );
+                    let t0 = Instant::now();
+                    match client.query(&stmt) {
+                        Ok(reply) => {
+                            local
+                                .latencies_us
+                                .push(t0.elapsed().as_micros() as u64);
+                            local.input_pages += reply.input_pages;
+                            local.output_pages += reply.output_pages;
+                            completed.fetch_add(1, Ordering::Relaxed);
+                        }
+                        Err(e) => {
+                            local.errors += 1;
+                            eprintln!("worker {t} op failed: {e}");
+                        }
+                    }
+                }
+                totals.lock().expect("unpoisoned").absorb(local);
+            });
+        }
+    });
+    let elapsed = start.elapsed();
+    Report {
+        mode: "server",
+        done: completed.load(Ordering::Relaxed),
+        elapsed,
+        totals: totals.into_inner().expect("unpoisoned"),
+        locks: None,
+        group: None,
+    }
+}
+
+fn print_and_write(
+    report: Report,
+    threads: usize,
+    ops: u64,
+    durable: bool,
+    gc_max_batch: u32,
+    gc_max_delay_ms: u64,
+    json_path: Option<String>,
+) {
+    let Report {
+        mode,
+        done,
+        elapsed,
+        mut totals,
+        locks,
+        group,
+    } = report;
+
     println!(
         "throughput: threads={threads} ops/thread={ops} total={done} \
-         (reads={} writes={} joins={})",
-        totals.reads, totals.writes, totals.joins
+         (reads={} writes={} joins={} errors={})",
+        totals.reads, totals.writes, totals.joins, totals.errors
     );
     println!(
         "io: input_pages={} output_pages={} buffer_hits={}",
         totals.input_pages, totals.output_pages, totals.buffer_hits
     );
-    let mut phases = totals.phases;
-    phases.sort_by(|a, b| a.name.cmp(&b.name));
-    for p in &phases {
+    totals.phases.sort_by(|a, b| a.name.cmp(&b.name));
+    for p in &totals.phases {
         println!(
             "phase {}: reads={} writes={} hits={}",
             p.name, p.reads, p.writes, p.hits
@@ -230,11 +523,14 @@ fn main() {
     }
     // The lock-free-read proof: every retrieve in the mix is snapshot-
     // eligible (the relations are temporal), so the commit lock is
-    // taken only by writers.
-    println!(
-        "locks: shared={} exclusive={} snapshot_reads={}",
-        locks.shared, locks.exclusive, locks.snapshot_reads
-    );
+    // taken only by writers. (Embedded mode only; over the wire the
+    // counters live in the server process.)
+    if let Some(locks) = locks {
+        println!(
+            "locks: shared={} exclusive={} snapshot_reads={}",
+            locks.shared, locks.exclusive, locks.snapshot_reads
+        );
+    }
     if let Some((commits, fsyncs)) = group {
         println!(
             "group-commit: commits={commits} fsyncs={fsyncs} \
@@ -242,45 +538,64 @@ fn main() {
             commits as f64 / (fsyncs.max(1)) as f64
         );
     }
+
+    totals.latencies_us.sort_unstable();
+    let (p50, p95, p99) = (
+        percentile(&totals.latencies_us, 50.0),
+        percentile(&totals.latencies_us, 95.0),
+        percentile(&totals.latencies_us, 99.0),
+    );
+    println!("latency_us: p50={p50} p95={p95} p99={p99}");
+
     let qps = done as f64 / elapsed.as_secs_f64().max(1e-9);
     println!("elapsed={:.3}s qps={:.0}", elapsed.as_secs_f64(), qps);
 
-    if let Some(path) = json_path {
-        let group_json = match group {
-            Some((commits, fsyncs)) => format!(
-                "{{\"max_batch\": {gc_max_batch}, \
-                 \"max_delay_ms\": {gc_max_delay_ms}, \
-                 \"commits\": {commits}, \"fsyncs\": {fsyncs}, \
-                 \"commits_per_fsync\": {:.4}}}",
-                commits as f64 / (fsyncs.max(1)) as f64
-            ),
-            None => "null".to_string(),
-        };
-        let json = format!(
-            "{{\n  \"bench\": \"throughput\",\n  \
-             \"threads\": {threads},\n  \"ops_per_thread\": {ops},\n  \
-             \"total_ops\": {done},\n  \"reads\": {},\n  \
-             \"writes\": {},\n  \"joins\": {},\n  \
-             \"durable\": {durable},\n  \
-             \"locks\": {{\"shared\": {}, \"exclusive\": {}, \
-             \"snapshot_reads\": {}}},\n  \
-             \"group_commit\": {group_json},\n  \
-             \"io\": {{\"input_pages\": {}, \"output_pages\": {}, \
-             \"buffer_hits\": {}}},\n  \
-             \"elapsed_secs\": {:.6},\n  \"qps\": {:.1}\n}}\n",
-            totals.reads,
-            totals.writes,
-            totals.joins,
-            locks.shared,
-            locks.exclusive,
-            locks.snapshot_reads,
-            totals.input_pages,
-            totals.output_pages,
-            totals.buffer_hits,
-            elapsed.as_secs_f64(),
-            qps,
-        );
-        std::fs::write(&path, json).expect("write json report");
-        eprintln!("wrote {path}");
+    let Some(path) = json_path else { return };
+    let locks_json = match locks {
+        Some(l) => format!(
+            "{{\"shared\": {}, \"exclusive\": {}, \
+             \"snapshot_reads\": {}}}",
+            l.shared, l.exclusive, l.snapshot_reads
+        ),
+        None => "null".to_string(),
+    };
+    let group_json = match group {
+        Some((commits, fsyncs)) => format!(
+            "{{\"max_batch\": {gc_max_batch}, \
+             \"max_delay_ms\": {gc_max_delay_ms}, \
+             \"commits\": {commits}, \"fsyncs\": {fsyncs}, \
+             \"commits_per_fsync\": {:.4}}}",
+            commits as f64 / (fsyncs.max(1)) as f64
+        ),
+        None => "null".to_string(),
+    };
+    let json = format!(
+        "{{\n  \"bench\": \"throughput\",\n  \"mode\": \"{mode}\",\n  \
+         \"threads\": {threads},\n  \"ops_per_thread\": {ops},\n  \
+         \"total_ops\": {done},\n  \"reads\": {},\n  \
+         \"writes\": {},\n  \"joins\": {},\n  \"errors\": {},\n  \
+         \"durable\": {durable},\n  \
+         \"locks\": {locks_json},\n  \
+         \"group_commit\": {group_json},\n  \
+         \"io\": {{\"input_pages\": {}, \"output_pages\": {}, \
+         \"buffer_hits\": {}}},\n  \
+         \"latency_us\": {{\"p50\": {p50}, \"p95\": {p95}, \
+         \"p99\": {p99}}},\n  \
+         \"elapsed_secs\": {:.6},\n  \"qps\": {:.1}\n}}\n",
+        totals.reads,
+        totals.writes,
+        totals.joins,
+        totals.errors,
+        totals.input_pages,
+        totals.output_pages,
+        totals.buffer_hits,
+        elapsed.as_secs_f64(),
+        qps,
+    );
+    // Partial results are results: this write happens even when every
+    // op errored, so CI always has a valid artifact to record.
+    match std::fs::write(&path, json) {
+        Ok(()) => eprintln!("wrote {path}"),
+        Err(e) => eprintln!("cannot write {path}: {e}"),
     }
 }

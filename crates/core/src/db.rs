@@ -4,6 +4,7 @@
 use crate::binder::Binder;
 use crate::dml;
 use crate::exec::{exec_retrieve, QueryStats};
+use crate::guard::QueryGuard;
 use crate::interval::TInterval;
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -757,6 +758,21 @@ impl Database {
         &mut self,
         stmt: &Statement,
     ) -> Result<ExecOutput> {
+        self.execute_statement_guarded(stmt, &QueryGuard::none())
+    }
+
+    /// Execute one parsed statement under the caller's per-query limits.
+    ///
+    /// Reads poll the guard at row granularity. Writes are checked once
+    /// here, at admission: a mutating statement that has begun applying
+    /// versions must finish (interrupting it would leave a half-applied
+    /// statement), so timeout/cancel refuse it before it starts instead.
+    pub fn execute_statement_guarded(
+        &mut self,
+        stmt: &Statement,
+        guard: &QueryGuard,
+    ) -> Result<ExecOutput> {
+        guard.check_now()?;
         let now = self.clock.tick();
         if self.cold_statements {
             self.pager.invalidate_buffers()?;
@@ -843,8 +859,12 @@ impl Database {
                     };
                     binder.bind_retrieve(r)?
                 };
-                let result =
-                    exec_retrieve(&self.pager, &mut self.catalog, &bound)?;
+                let result = exec_retrieve(
+                    &self.pager,
+                    &mut self.catalog,
+                    &bound,
+                    guard,
+                )?;
                 out.affected = result.rows.len();
                 if let Some(into) = &bound.into {
                     self.materialize_into(

@@ -359,7 +359,14 @@ pub fn exec_append(
             into: None,
             sort: Vec::new(),
         };
-        let result = exec_retrieve(pager, catalog, &bound)?;
+        // DML is guard-checked at admission only, so its inner query
+        // runs unlimited (interrupting it would half-apply the append).
+        let result = exec_retrieve(
+            pager,
+            catalog,
+            &bound,
+            &crate::guard::QueryGuard::none(),
+        )?;
         let has_valid_cols = bound.valid.is_some();
         for row in result.rows {
             let mut explicit: Vec<Value> = (0..explicit_len)

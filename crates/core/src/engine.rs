@@ -75,11 +75,13 @@ use crate::db::{Database, ExecOutput};
 use crate::exec::{
     exec_retrieve_readonly, exec_retrieve_snapshot, QueryStats,
 };
+use crate::guard::QueryGuard;
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{
     Arc, Mutex, PoisonError, RwLock, RwLockReadGuard, RwLockWriteGuard,
 };
+use std::time::Duration;
 use tdbms_kernel::{Error, Result, TimeVal};
 use tdbms_storage::{Catalog, FileId, Pager};
 use tdbms_tquel::ast::Statement;
@@ -171,6 +173,8 @@ impl Engine {
         Session {
             engine: self.clone(),
             ranges: HashMap::new(),
+            limits: SessionLimits::default(),
+            cancel: Arc::new(AtomicBool::new(false)),
         }
     }
 
@@ -371,17 +375,70 @@ enum SnapshotAttempt {
     Exclusive,
 }
 
+/// Per-session statement limits, applied to every statement the session
+/// executes. Defaults to unlimited — the embedded single-user shape.
+#[derive(Debug, Clone, Default)]
+pub struct SessionLimits {
+    /// Per-statement wall-clock budget; reads are interrupted mid-scan,
+    /// writes are refused once the budget has already expired.
+    pub timeout: Option<Duration>,
+    /// Cap on rows a retrieve may produce.
+    pub max_rows: Option<u64>,
+    /// Refuse `copy` statements (they read/write server-local files; a
+    /// network service must not offer that to remote clients).
+    pub deny_copy: bool,
+}
+
 /// One thread's connection to a shared [`Engine`]. Owns the TQuel range
-/// table; everything else lives in the engine.
+/// table and its guardrail state; everything else lives in the engine.
 pub struct Session {
     engine: Engine,
     ranges: HashMap<String, String>,
+    limits: SessionLimits,
+    /// Raised by [`Session::cancel_handle`] holders (connection
+    /// teardown, server shutdown); sticky until [`Session::clear_cancel`].
+    cancel: Arc<AtomicBool>,
 }
 
 impl Session {
     /// The engine this session runs against.
     pub fn engine(&self) -> &Engine {
         &self.engine
+    }
+
+    /// Replace this session's statement limits.
+    pub fn set_limits(&mut self, limits: SessionLimits) {
+        self.limits = limits;
+    }
+
+    /// The session's current statement limits.
+    pub fn limits(&self) -> &SessionLimits {
+        &self.limits
+    }
+
+    /// A flag another thread may raise to interrupt this session's
+    /// current (and subsequent) statements with [`Error::Canceled`].
+    pub fn cancel_handle(&self) -> Arc<AtomicBool> {
+        self.cancel.clone()
+    }
+
+    /// Lower the cancel flag so the session can execute again.
+    pub fn clear_cancel(&self) {
+        self.cancel.store(false, Ordering::Relaxed);
+    }
+
+    /// The guard enforcing this session's limits on one statement. The
+    /// wall-clock budget starts now, so each statement of a program
+    /// gets the full per-statement budget.
+    fn statement_guard(&self) -> QueryGuard {
+        let mut g = QueryGuard::new().with_cancel(self.cancel.clone());
+        if let Some(t) = self.limits.timeout {
+            g = g.with_timeout(t);
+        }
+        if let Some(m) = self.limits.max_rows {
+            g = g.with_max_rows(m);
+        }
+        g
     }
 
     /// Execute a TQuel program; returns the output of the **last**
@@ -411,6 +468,15 @@ impl Session {
         &mut self,
         stmt: &Statement,
     ) -> Result<ExecOutput> {
+        let guard = self.statement_guard();
+        guard.check_now()?;
+        if self.limits.deny_copy && matches!(stmt, Statement::Copy(_)) {
+            return Err(Error::NotApplicable(
+                "copy is disabled on this session (server-local file \
+                 access)"
+                    .into(),
+            ));
+        }
         match stmt {
             Statement::Range { var, rel } => {
                 self.engine.check_usable()?;
@@ -427,23 +493,25 @@ impl Session {
                 Ok(ExecOutput::default())
             }
             Statement::Retrieve(r) if r.into.is_none() => {
-                match self.try_execute_snapshot(r)? {
+                match self.try_execute_snapshot(r, &guard)? {
                     SnapshotAttempt::Served(out) => Ok(*out),
                     SnapshotAttempt::Exclusive => {
                         // Known multi-variable: decomposition
                         // materializes temporaries, so it needs the
                         // exclusive side — skip the shared-lock bind.
-                        self.execute_write(stmt)
+                        self.execute_write(stmt, &guard)
                     }
                     SnapshotAttempt::Locked => {
-                        if let Some(out) = self.try_execute_read(r)? {
+                        if let Some(out) =
+                            self.try_execute_read(r, &guard)?
+                        {
                             return Ok(out);
                         }
-                        self.execute_write(stmt)
+                        self.execute_write(stmt, &guard)
                     }
                 }
             }
-            _ => self.execute_write(stmt),
+            _ => self.execute_write(stmt, &guard),
         }
     }
 
@@ -460,6 +528,7 @@ impl Session {
     fn try_execute_snapshot(
         &self,
         r: &tdbms_tquel::ast::Retrieve,
+        guard: &QueryGuard,
     ) -> Result<SnapshotAttempt> {
         self.engine.check_usable()?;
         let view = self.engine.view();
@@ -500,12 +569,16 @@ impl Session {
         let before = snapshot(pager.stats());
         let executed = if multi {
             let mut local = view.catalog.clone();
-            exec_retrieve_snapshot(pager, &mut local, &bound)
+            exec_retrieve_snapshot(pager, &mut local, &bound, guard)
         } else {
-            exec_retrieve_readonly(pager, &view.catalog, &bound)
+            exec_retrieve_readonly(pager, &view.catalog, &bound, guard)
         };
         let result = match executed {
             Ok(res) => res,
+            // A guard firing is final — the budget is spent, so
+            // retrying under the lock would only burn more of the
+            // writer's time before timing out again.
+            Err(e) if QueryGuard::is_guard_error(&e) => return Err(e),
             Err(_) => return Ok(locked),
         };
         self.engine.note_snapshot_read();
@@ -530,6 +603,7 @@ impl Session {
     fn try_execute_read(
         &mut self,
         r: &tdbms_tquel::ast::Retrieve,
+        guard: &QueryGuard,
     ) -> Result<Option<ExecOutput>> {
         let db = self.engine.read()?;
         let now = db.clock().tick();
@@ -550,8 +624,12 @@ impl Session {
         // No reset_stats here: counters are global and other readers may
         // be mid-statement. Report monotone-counter deltas instead.
         let before = snapshot(db.io_stats());
-        let result =
-            exec_retrieve_readonly(db.pager(), db.catalog(), &bound)?;
+        let result = exec_retrieve_readonly(
+            db.pager(),
+            db.catalog(),
+            &bound,
+            guard,
+        )?;
         let after = snapshot(db.io_stats());
         Ok(Some(ExecOutput {
             affected: result.rows.len(),
@@ -570,10 +648,14 @@ impl Session {
     /// Execute under the exclusive lock via the single-threaded engine,
     /// with this session's ranges swapped in; then republish the read
     /// view and (under group commit) acknowledge off the lock.
-    fn execute_write(&mut self, stmt: &Statement) -> Result<ExecOutput> {
+    fn execute_write(
+        &mut self,
+        stmt: &Statement,
+        guard: &QueryGuard,
+    ) -> Result<ExecOutput> {
         let mut db = self.engine.write()?;
         std::mem::swap(db.ranges_mut(), &mut self.ranges);
-        let out = db.execute_statement(stmt);
+        let out = db.execute_statement_guarded(stmt, guard);
         std::mem::swap(db.ranges_mut(), &mut self.ranges);
         self.engine.publish_view(&db);
         let pending = db.take_pending_commit();

@@ -92,7 +92,14 @@ pub fn eval_expr(e: &BExpr, slots: &[Slot]) -> Result<Value> {
             arith(*op, &l, &r)
         }
         BExpr::Neg(x) => match eval_expr(x, slots)? {
-            Value::Int(i) => Ok(Value::Int(-i)),
+            // i64::MIN has no i64 negation; a bare `-i` would panic.
+            Value::Int(i) => {
+                i.checked_neg().map(Value::Int).ok_or_else(|| {
+                    Error::BadValue(format!(
+                        "integer overflow negating {i}"
+                    ))
+                })
+            }
             Value::Float(f) => Ok(Value::Float(-f)),
             other => Err(Error::BadValue(format!("cannot negate {other}"))),
         },
@@ -121,7 +128,8 @@ fn arith(op: BinOp, l: &Value, r: &Value) -> Result<Value> {
                     if *b == 0 {
                         return Err(Error::BadValue("mod by zero".into()));
                     }
-                    Some(a.rem_euclid(*b))
+                    // i64::MIN mod -1 overflows rem_euclid; stay checked.
+                    a.checked_rem_euclid(*b)
                 }
                 _ => unreachable!("arith called with non-arith op"),
             };
@@ -299,6 +307,31 @@ mod tests {
             rhs: Box::new(BExpr::Const(Value::Int(3))),
         };
         assert_eq!(eval_expr(&m, &slots).unwrap(), Value::Int(2));
+    }
+
+    #[test]
+    fn extreme_integer_arithmetic_stays_typed() {
+        // Both used to panic with a debug overflow / remainder overflow,
+        // which a remote client could trigger from a statement string.
+        let slots: [Slot; 0] = [];
+        let neg_min =
+            BExpr::Neg(Box::new(BExpr::Const(Value::Int(i64::MIN))));
+        assert!(matches!(
+            eval_expr(&neg_min, &slots),
+            Err(Error::BadValue(_))
+        ));
+        let min_mod_neg1 = BExpr::Bin {
+            op: BinOp::Mod,
+            lhs: Box::new(BExpr::Const(Value::Int(i64::MIN))),
+            rhs: Box::new(BExpr::Const(Value::Int(-1))),
+        };
+        assert!(matches!(
+            eval_expr(&min_mod_neg1, &slots),
+            Err(Error::BadValue(_))
+        ));
+        // Ordinary negation still works.
+        let neg = BExpr::Neg(Box::new(BExpr::Const(Value::Int(7))));
+        assert_eq!(eval_expr(&neg, &slots).unwrap(), Value::Int(-7));
     }
 
     #[test]

@@ -23,6 +23,7 @@
 use crate::binder::row_tx_period;
 use crate::bound::{BExpr, BTPred, BoundRetrieve, Visibility};
 use crate::eval::{eval_bool, eval_expr, eval_texpr, eval_tpred, Slot};
+use crate::guard::QueryGuard;
 use tdbms_kernel::{AttrDef, Domain, Error, Result, Schema, Value};
 use tdbms_storage::{Catalog, Pager, PhaseIo, RelFile, RelId};
 use tdbms_tquel::ast::BinOp;
@@ -96,11 +97,12 @@ pub fn exec_retrieve(
     pager: &Pager,
     catalog: &mut Catalog,
     bound: &BoundRetrieve,
+    guard: &QueryGuard,
 ) -> Result<RetrieveResult> {
     if bound.vars.len() < 2 {
-        return exec_retrieve_readonly(pager, catalog, bound);
+        return exec_retrieve_readonly(pager, catalog, bound, guard);
     }
-    let mut p = prepare(catalog, bound);
+    let mut p = prepare(catalog, bound, guard);
     decompose(pager, catalog, &mut p)?;
     let temps: Vec<RelId> = p.rts.iter().filter_map(|rt| rt.temp).collect();
     let result = run_joins(pager, p)?;
@@ -120,6 +122,7 @@ pub fn exec_retrieve_readonly(
     pager: &Pager,
     catalog: &Catalog,
     bound: &BoundRetrieve,
+    guard: &QueryGuard,
 ) -> Result<RetrieveResult> {
     if bound.vars.len() >= 2 {
         return Err(Error::Internal(
@@ -127,7 +130,7 @@ pub fn exec_retrieve_readonly(
                 .into(),
         ));
     }
-    run_joins(pager, prepare(catalog, bound))
+    run_joins(pager, prepare(catalog, bound, guard))
 }
 
 /// Execute a bound retrieve against a **snapshot** of the catalog,
@@ -144,11 +147,12 @@ pub fn exec_retrieve_snapshot(
     pager: &Pager,
     catalog: &mut Catalog,
     bound: &BoundRetrieve,
+    guard: &QueryGuard,
 ) -> Result<RetrieveResult> {
     if bound.vars.len() < 2 {
-        return exec_retrieve_readonly(pager, catalog, bound);
+        return exec_retrieve_readonly(pager, catalog, bound, guard);
     }
-    let mut p = prepare(catalog, bound);
+    let mut p = prepare(catalog, bound, guard);
     p.quiet = true;
     let decomposed = decompose(pager, catalog, &mut p);
     let temps: Vec<RelId> = p.rts.iter().filter_map(|rt| rt.temp).collect();
@@ -179,9 +183,15 @@ struct Prepared {
     /// invalidate other sessions' buffers. Serial execution keeps this
     /// `false` so the figures' per-phase I/O accounting is unchanged.
     quiet: bool,
+    /// The caller's per-query limits, polled at row granularity.
+    guard: QueryGuard,
 }
 
-fn prepare(catalog: &Catalog, bound: &BoundRetrieve) -> Prepared {
+fn prepare(
+    catalog: &Catalog,
+    bound: &BoundRetrieve,
+    guard: &QueryGuard,
+) -> Prepared {
     let mut b = bound.clone();
     let nvars = b.vars.len();
 
@@ -234,6 +244,7 @@ fn prepare(catalog: &Catalog, bound: &BoundRetrieve) -> Prepared {
         where_cj,
         when_cj,
         quiet: false,
+        guard: guard.clone(),
     }
 }
 
@@ -252,8 +263,10 @@ fn decompose(
         where_cj,
         when_cj,
         quiet,
+        guard,
     } = p;
     let quiet = *quiet;
+    let guard = guard.clone();
     let nvars = b.vars.len();
     {
         if !quiet {
@@ -377,6 +390,7 @@ fn decompose(
                     v,
                     &my_where,
                     &my_when,
+                    &guard,
                     |slots_now, pager_now| {
                         // Project the bound row into the temp layout.
                         let src = &slots_now[v];
@@ -441,6 +455,7 @@ fn run_joins(pager: &Pager, p: Prepared) -> Result<RetrieveResult> {
         where_cj,
         when_cj,
         quiet,
+        guard,
     } = p;
     let nvars = b.vars.len();
 
@@ -509,7 +524,9 @@ fn run_joins(pager: &Pager, p: Prepared) -> Result<RetrieveResult> {
         0,
         &where_leveled,
         &when_leveled,
+        &guard,
         &mut |slots_now| {
+            guard.check_rows(rows.len())?;
             let mut row = Vec::with_capacity(columns.len());
             for t in &b.targets {
                 row.push(eval_expr(&t.expr, slots_now)?);
@@ -777,6 +794,7 @@ fn version_visible(
 /// through its best access path, apply visibility and the given
 /// conjuncts, and call `emit` for each qualifying version (bound into
 /// `slots[v]`).
+#[allow(clippy::too_many_arguments)]
 fn ovqp(
     pager: &Pager,
     slots: &mut [Slot],
@@ -784,6 +802,7 @@ fn ovqp(
     v: usize,
     where_conjuncts: &[BExpr],
     when_conjuncts: &[BTPred],
+    guard: &QueryGuard,
     mut emit: impl FnMut(&mut [Slot], &Pager) -> Result<()>,
 ) -> Result<()> {
     // Access-path selection: a key-equality conjunct evaluable without
@@ -876,6 +895,7 @@ fn ovqp(
     };
 
     loop {
+        guard.tick()?;
         let next = match mode {
             Cur::Lookup => {
                 lookup.as_mut().expect("lookup mode").next(pager, &file)?
@@ -928,6 +948,7 @@ fn join_level(
     depth: usize,
     where_leveled: &[(BExpr, Vec<usize>, usize)],
     when_leveled: &[(BTPred, Vec<usize>, usize)],
+    guard: &QueryGuard,
     emit: &mut dyn FnMut(&mut [Slot]) -> Result<()>,
 ) -> Result<()> {
     if depth == order.len() {
@@ -950,10 +971,19 @@ fn join_level(
     // collecting first vs. streaming does not change I/O; it keeps the
     // cursor borrows simple.)
     let mut matches: Vec<Vec<u8>> = Vec::new();
-    ovqp(pager, slots, &rts[v], v, &my_where, &my_when, |s, _| {
-        matches.push(s[v].row.clone().expect("bound"));
-        Ok(())
-    })?;
+    ovqp(
+        pager,
+        slots,
+        &rts[v],
+        v,
+        &my_where,
+        &my_when,
+        guard,
+        |s, _| {
+            matches.push(s[v].row.clone().expect("bound"));
+            Ok(())
+        },
+    )?;
     for row in matches {
         slots[v].row = Some(row);
         join_level(
@@ -964,6 +994,7 @@ fn join_level(
             depth + 1,
             where_leveled,
             when_leveled,
+            guard,
             emit,
         )?;
     }

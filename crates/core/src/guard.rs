@@ -1,0 +1,183 @@
+//! Per-query execution guardrails.
+//!
+//! A [`QueryGuard`] carries the limits a caller imposes on one statement:
+//! a wall-clock deadline, a cap on result rows, and a cancel flag another
+//! thread may raise (connection teardown, server shutdown). The executor
+//! polls it at row granularity, so a runaway cross-product stops within a
+//! few hundred tuples of its budget instead of holding the engine until
+//! it finishes.
+//!
+//! Guards apply to *reads*. Writes are checked once at admission (a
+//! statement that has started mutating pages must run to completion —
+//! interrupting it mid-write would leave a half-applied statement, which
+//! only WAL recovery may do), so a timed-out or canceled DML statement is
+//! refused before it touches anything.
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use tdbms_kernel::{Error, Result};
+
+/// How many row iterations pass between deadline/cancel polls. Checking
+/// `Instant::now` per row would dominate tight scans; every 128 rows the
+/// overhead vanishes while keeping reaction latency far below any
+/// realistic timeout.
+const POLL_EVERY: u32 = 128;
+
+/// Limits and interrupt state for one statement execution.
+///
+/// Cloning is cheap (the cancel flag is shared through an `Arc`), and the
+/// poll counter is deliberately per-clone: each executing stage polls on
+/// its own cadence.
+#[derive(Debug, Clone, Default)]
+pub struct QueryGuard {
+    deadline: Option<Instant>,
+    /// The budget that produced `deadline`, echoed in the error.
+    timeout_ms: u64,
+    max_rows: Option<u64>,
+    cancel: Option<Arc<AtomicBool>>,
+    ticks: Cell<u32>,
+}
+
+impl QueryGuard {
+    /// A guard that never fires — the embedded single-user default.
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// Start building a guard with no limits set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Impose a wall-clock budget starting now.
+    pub fn with_timeout(mut self, budget: Duration) -> Self {
+        self.timeout_ms = budget.as_millis() as u64;
+        self.deadline = Some(Instant::now() + budget);
+        self
+    }
+
+    /// Cap the number of result rows a retrieve may produce.
+    pub fn with_max_rows(mut self, max: u64) -> Self {
+        self.max_rows = Some(max);
+        self
+    }
+
+    /// Attach a cancel flag; raising it makes the next poll fail with
+    /// [`Error::Canceled`].
+    pub fn with_cancel(mut self, flag: Arc<AtomicBool>) -> Self {
+        self.cancel = Some(flag);
+        self
+    }
+
+    /// True when this guard can never interrupt anything.
+    pub fn is_unlimited(&self) -> bool {
+        self.deadline.is_none()
+            && self.max_rows.is_none()
+            && self.cancel.is_none()
+    }
+
+    /// Check the cancel flag and the deadline immediately (used at
+    /// statement admission and at phase boundaries).
+    pub fn check_now(&self) -> Result<()> {
+        if let Some(flag) = &self.cancel {
+            if flag.load(Ordering::Relaxed) {
+                return Err(Error::Canceled);
+            }
+        }
+        if let Some(deadline) = self.deadline {
+            if Instant::now() >= deadline {
+                return Err(Error::Timeout {
+                    ms: self.timeout_ms,
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Row-granularity poll: cheap counter bump, with a real
+    /// deadline/cancel check every [`POLL_EVERY`] calls.
+    pub fn tick(&self) -> Result<()> {
+        if self.deadline.is_none() && self.cancel.is_none() {
+            return Ok(());
+        }
+        let t = self.ticks.get().wrapping_add(1);
+        self.ticks.set(t);
+        if t.is_multiple_of(POLL_EVERY) {
+            self.check_now()?;
+        }
+        Ok(())
+    }
+
+    /// Fail once a retrieve has produced more than the allowed number of
+    /// result rows.
+    pub fn check_rows(&self, produced: usize) -> Result<()> {
+        if let Some(max) = self.max_rows {
+            if produced as u64 >= max {
+                return Err(Error::LimitExceeded {
+                    what: "rows".into(),
+                    limit: max,
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// True when `e` is this guard firing (as opposed to a genuine
+    /// execution error): such errors must not be retried on a fallback
+    /// path, because the budget is already spent.
+    pub fn is_guard_error(e: &Error) -> bool {
+        matches!(
+            e,
+            Error::Timeout { .. }
+                | Error::LimitExceeded { .. }
+                | Error::Canceled
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unlimited_guard_never_fires() {
+        let g = QueryGuard::none();
+        assert!(g.is_unlimited());
+        for _ in 0..10_000 {
+            g.tick().unwrap();
+        }
+        g.check_now().unwrap();
+        g.check_rows(usize::MAX).unwrap();
+    }
+
+    #[test]
+    fn expired_deadline_fires_within_one_poll_window() {
+        let g = QueryGuard::new().with_timeout(Duration::from_millis(0));
+        std::thread::sleep(Duration::from_millis(2));
+        let err = (0..=POLL_EVERY)
+            .find_map(|_| g.tick().err())
+            .expect("tick must fail within one poll window");
+        assert!(matches!(err, Error::Timeout { .. }));
+        assert!(QueryGuard::is_guard_error(&err));
+    }
+
+    #[test]
+    fn cancel_flag_fires() {
+        let flag = Arc::new(AtomicBool::new(false));
+        let g = QueryGuard::new().with_cancel(flag.clone());
+        g.check_now().unwrap();
+        flag.store(true, Ordering::Relaxed);
+        assert!(matches!(g.check_now(), Err(Error::Canceled)));
+    }
+
+    #[test]
+    fn row_limit_is_inclusive_of_budget() {
+        let g = QueryGuard::new().with_max_rows(10);
+        g.check_rows(9).unwrap();
+        let err = g.check_rows(10).unwrap_err();
+        assert!(matches!(err, Error::LimitExceeded { limit: 10, .. }));
+    }
+}

@@ -32,11 +32,13 @@ pub mod dml;
 pub mod engine;
 pub mod eval;
 pub mod exec;
+pub mod guard;
 pub mod interval;
 
 pub use db::{Database, ExecOutput, RelationMeta, SCRUB_FILE, WAL_FILE};
-pub use engine::{Engine, LockStats, Session};
+pub use engine::{Engine, LockStats, Session, SessionLimits};
 pub use exec::QueryStats;
+pub use guard::QueryGuard;
 pub use interval::TInterval;
 pub use tdbms_storage::{
     AccessMethod, BufferConfig, EvictionPolicy, PhaseIo,

@@ -53,6 +53,26 @@ pub enum Error {
     /// subsequent operation on that engine fails with this error rather
     /// than silently serving possibly-inconsistent state.
     Poisoned,
+    /// A query exceeded its wall-clock budget and was abandoned before
+    /// producing a result. The partial work is discarded; reads leave the
+    /// database untouched and writes are refused up front, so a timed-out
+    /// statement never commits half its effect.
+    Timeout { ms: u64 },
+    /// A query tried to produce more output than its caller allowed
+    /// (`what` names the limited resource, e.g. "rows" or "reply bytes").
+    LimitExceeded { what: String, limit: u64 },
+    /// The server is at its connection cap; the request was rejected
+    /// immediately rather than queued, so clients never hang on admission.
+    Busy,
+    /// The query was interrupted by an explicit cancel request (connection
+    /// teardown, session interrupt) rather than by a resource limit.
+    Canceled,
+    /// The server is draining for shutdown and no longer accepts new work.
+    ShuttingDown,
+    /// The peer violated the wire protocol: truncated frame, oversized
+    /// length prefix, unknown opcode, malformed payload. The connection
+    /// that produced it is dropped.
+    Protocol(String),
     /// Invariant violation that indicates a bug in the DBMS itself.
     Internal(String),
 }
@@ -100,6 +120,21 @@ impl fmt::Display for Error {
                 "engine poisoned: a writer panicked mid-commit; \
                  reopen the database to recover"
             ),
+            Error::Timeout { ms } => {
+                write!(f, "query timed out after {ms} ms")
+            }
+            Error::LimitExceeded { what, limit } => {
+                write!(f, "query exceeded {what} limit of {limit}")
+            }
+            Error::Busy => write!(
+                f,
+                "server busy: connection limit reached, try again later"
+            ),
+            Error::Canceled => write!(f, "query canceled"),
+            Error::ShuttingDown => {
+                write!(f, "server is shutting down")
+            }
+            Error::Protocol(s) => write!(f, "protocol error: {s}"),
             Error::Internal(s) => write!(f, "internal error: {s}"),
         }
     }
@@ -158,6 +193,29 @@ mod tests {
         let msg = Error::Poisoned.to_string();
         assert!(msg.contains("poisoned"), "{msg}");
         assert!(msg.contains("reopen"), "{msg}");
+    }
+
+    #[test]
+    fn guardrail_errors_display() {
+        assert_eq!(
+            Error::Timeout { ms: 250 }.to_string(),
+            "query timed out after 250 ms"
+        );
+        assert_eq!(
+            Error::LimitExceeded {
+                what: "rows".into(),
+                limit: 100
+            }
+            .to_string(),
+            "query exceeded rows limit of 100"
+        );
+        assert!(Error::Busy.to_string().contains("busy"));
+        assert_eq!(Error::Canceled.to_string(), "query canceled");
+        assert!(Error::ShuttingDown.to_string().contains("shutting down"));
+        assert_eq!(
+            Error::Protocol("short frame".into()).to_string(),
+            "protocol error: short frame"
+        );
     }
 
     #[test]

@@ -1,0 +1,94 @@
+//! A thin blocking client for the tdbms wire protocol.
+//!
+//! Used by tests and the bench driver; errors sent by the server come
+//! back as the same typed [`Error`](tdbms_kernel::Error) values the
+//! embedded API produces, so callers can match on variants either way.
+
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+use tdbms_kernel::{Error, Result};
+
+use crate::wire::{
+    decode_response, encode_request, read_frame, write_frame, Reply,
+    Request, Response, MAX_RESPONSE_FRAME,
+};
+
+/// One connection to a running `tdbms-server`.
+pub struct Client {
+    stream: TcpStream,
+}
+
+impl Client {
+    /// Connect to `addr` (e.g. `"127.0.0.1:4477"`).
+    pub fn connect<A: ToSocketAddrs>(addr: A) -> Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        // A dead or wedged server should fail the call, not hang the
+        // caller forever.
+        stream.set_read_timeout(Some(Duration::from_secs(60)))?;
+        stream.set_write_timeout(Some(Duration::from_secs(30)))?;
+        Ok(Client { stream })
+    }
+
+    /// Execute one statement with the server's default limits.
+    pub fn query(&mut self, stmt: &str) -> Result<Reply> {
+        self.query_with(stmt, 0, 0)
+    }
+
+    /// Execute one statement, tightening the per-query limits. Zero
+    /// means "server default"; nonzero values are clamped by the
+    /// server to its own caps (clients can tighten, never loosen).
+    pub fn query_with(
+        &mut self,
+        stmt: &str,
+        timeout_ms: u32,
+        max_rows: u32,
+    ) -> Result<Reply> {
+        let resp = self.round_trip(&Request::Query {
+            stmt: stmt.to_string(),
+            timeout_ms,
+            max_rows,
+        })?;
+        match resp {
+            Response::Rows(reply) => Ok(reply),
+            Response::Error(e) => Err(e),
+            other => Err(Error::Protocol(format!(
+                "unexpected response to query: {other:?}"
+            ))),
+        }
+    }
+
+    /// Liveness check.
+    pub fn ping(&mut self) -> Result<()> {
+        match self.round_trip(&Request::Ping)? {
+            Response::Pong => Ok(()),
+            Response::Error(e) => Err(e),
+            other => Err(Error::Protocol(format!(
+                "unexpected response to ping: {other:?}"
+            ))),
+        }
+    }
+
+    /// Ask the server to shut down gracefully. Returns `Ok(())` once
+    /// the server acknowledges; it then drains and checkpoints.
+    pub fn shutdown_server(&mut self) -> Result<()> {
+        match self.round_trip(&Request::Shutdown)? {
+            Response::Bye => Ok(()),
+            Response::Error(e) => Err(e),
+            other => Err(Error::Protocol(format!(
+                "unexpected response to shutdown: {other:?}"
+            ))),
+        }
+    }
+
+    fn round_trip(&mut self, req: &Request) -> Result<Response> {
+        write_frame(&mut self.stream, &encode_request(req))?;
+        match read_frame(&mut self.stream, MAX_RESPONSE_FRAME)? {
+            Some(payload) => decode_response(&payload),
+            None => Err(Error::Protocol(
+                "server closed the connection before replying".into(),
+            )),
+        }
+    }
+}

@@ -1,0 +1,30 @@
+//! TQuel over the wire.
+//!
+//! This crate turns the embedded engine into a network service:
+//!
+//! - [`wire`] — the length-prefixed binary protocol: requests carry a
+//!   statement string plus per-query limit options; responses carry
+//!   typed rows, typed errors (the same
+//!   [`Error`](tdbms_kernel::Error) variants the embedded API
+//!   returns), or control acknowledgements.
+//! - [`server`] — a blocking thread-per-connection TCP server that
+//!   owns one [`Engine`](tdbms_core::Engine) and opens a session per
+//!   connection, with admission control, per-query guardrails, and
+//!   graceful drain-and-checkpoint shutdown.
+//! - [`client`] — the thin blocking client used by tests and the
+//!   bench driver.
+//!
+//! The hard promise: **no byte stream a client can send may panic the
+//! server.** Framing violations become typed `Protocol` errors (and a
+//! dropped connection); hostile statements become ordinary query
+//! errors; and every connection handler additionally runs under
+//! `catch_unwind` as a last line of defense, with a counter the test
+//! suite asserts stays at zero.
+
+pub mod client;
+pub mod server;
+pub mod wire;
+
+pub use client::Client;
+pub use server::{Server, ServerConfig, ServerHandle, ServerStats};
+pub use wire::{Reply, Request, Response};

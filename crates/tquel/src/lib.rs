@@ -309,6 +309,59 @@ mod tests {
     }
 
     #[test]
+    fn deep_nesting_is_a_parse_error_not_a_stack_overflow() {
+        // A recursive-descent parser dies by stack overflow on
+        // adversarially deep input unless it counts depth. These used to
+        // kill the whole process; they must come back as `Error::Parse`.
+        let deep_parens = format!(
+            "retrieve (x = {}1{})",
+            "(".repeat(50_000),
+            ")".repeat(50_000)
+        );
+        let deep_nots = format!(
+            "retrieve (h.id) where {} h.id = 1",
+            "not ".repeat(60_000)
+        );
+        let deep_negs = format!("retrieve (x = {}1)", "- ".repeat(60_000));
+        let deep_starts = format!(
+            r#"retrieve (h.id) when {} h precede "now""#,
+            "start of ".repeat(60_000)
+        );
+        let deep_tparens = format!(
+            r#"retrieve (h.id) when {}h overlap i{} precede "now""#,
+            "(".repeat(50_000),
+            ")".repeat(50_000)
+        );
+        let deep_tnots = format!(
+            r#"retrieve (h.id) when {} h precede "now""#,
+            "not ".repeat(60_000)
+        );
+        for src in [
+            &deep_parens,
+            &deep_nots,
+            &deep_negs,
+            &deep_starts,
+            &deep_tparens,
+            &deep_tnots,
+        ] {
+            match parse_statement(src) {
+                Err(tdbms_kernel::Error::Parse { msg, .. }) => {
+                    assert!(msg.contains("nesting too deep"), "{msg}");
+                }
+                other => panic!("expected depth error, got {other:?}"),
+            }
+        }
+        // Reasonable nesting still parses.
+        let ok =
+            format!("retrieve (x = {}1{})", "(".repeat(60), ")".repeat(60));
+        assert!(parse_statement(&ok).is_ok());
+        assert!(parse_statement(
+            r#"retrieve (h.id) when not not (h precede "now")"#
+        )
+        .is_ok());
+    }
+
+    #[test]
     fn error_positions_point_at_the_problem() {
         let err =
             parse_statement("retrieve (h.id) where\nh.id ==").unwrap_err();

@@ -16,6 +16,7 @@ pub fn parse_program(src: &str) -> Result<Vec<Statement>> {
         toks: lex(src)?,
         pos: 0,
         paren_depth: 0,
+        depth: 0,
     };
     let mut out = Vec::new();
     loop {
@@ -48,12 +49,23 @@ type Clauses = (
     Option<AsOf>,
 );
 
+/// Hard cap on expression nesting. The parser is recursive-descent, so
+/// without a bound a statement like `(((((…)))))` or a long `not not …`
+/// chain overflows the thread stack and kills the whole process — which a
+/// remote client must never be able to do. Each nesting level costs a
+/// handful of parser frames, so 128 keeps worst-case stack usage well
+/// under a megabyte while being far deeper than any real query.
+const MAX_EXPR_DEPTH: u32 = 128;
+
 struct Parser {
     toks: Vec<Token>,
     pos: usize,
     /// Parenthesis nesting inside a temporal expression (see
     /// [`Parser::overlap_is_predicate`]).
     paren_depth: u32,
+    /// Current expression recursion depth, bounded by
+    /// [`MAX_EXPR_DEPTH`].
+    depth: u32,
 }
 
 impl Parser {
@@ -89,6 +101,19 @@ impl Parser {
 
     fn eat_kw(&mut self, k: K) -> bool {
         self.eat(&T::Keyword(k))
+    }
+
+    /// Enter one level of expression recursion; fails (without changing
+    /// `depth`) once the nesting cap is reached, so every successful call
+    /// is balanced by exactly one decrement in its caller.
+    fn enter(&mut self) -> Result<()> {
+        if self.depth >= MAX_EXPR_DEPTH {
+            return Err(self.err(format!(
+                "expression nesting too deep (limit {MAX_EXPR_DEPTH})"
+            )));
+        }
+        self.depth += 1;
+        Ok(())
     }
 
     fn err(&self, msg: impl Into<String>) -> Error {
@@ -513,7 +538,10 @@ impl Parser {
     // ---- scalar expressions -------------------------------------------
 
     fn expr(&mut self) -> Result<Expr> {
-        self.or_expr()
+        self.enter()?;
+        let r = self.or_expr();
+        self.depth -= 1;
+        r
     }
 
     fn or_expr(&mut self) -> Result<Expr> {
@@ -544,7 +572,10 @@ impl Parser {
 
     fn not_expr(&mut self) -> Result<Expr> {
         if self.eat_kw(K::Not) {
-            Ok(Expr::Not(Box::new(self.not_expr()?)))
+            self.enter()?;
+            let r = self.not_expr().map(|e| Expr::Not(Box::new(e)));
+            self.depth -= 1;
+            r
         } else {
             self.cmp_expr()
         }
@@ -611,7 +642,10 @@ impl Parser {
 
     fn unary_expr(&mut self) -> Result<Expr> {
         if self.eat(&T::Minus) {
-            Ok(Expr::Neg(Box::new(self.unary_expr()?)))
+            self.enter()?;
+            let r = self.unary_expr().map(|e| Expr::Neg(Box::new(e)));
+            self.depth -= 1;
+            r
         } else {
             self.primary_expr()
         }
@@ -708,27 +742,37 @@ impl Parser {
 
     fn tpred_not(&mut self) -> Result<TemporalPred> {
         if self.eat_kw(K::Not) {
-            return Ok(TemporalPred::Not(Box::new(self.tpred_not()?)));
+            self.enter()?;
+            let r =
+                self.tpred_not().map(|p| TemporalPred::Not(Box::new(p)));
+            self.depth -= 1;
+            return r;
         }
         // `(` is ambiguous: `(a overlap b) precede c` is a comparison whose
         // left operand is parenthesized, `(a precede b)` is a parenthesized
         // predicate. Try the comparison form, backtrack on failure —
-        // restoring the paren depth too, or a failed attempt deep inside
-        // parentheses would poison the overlap disambiguation.
+        // restoring the paren/recursion depths too, or a failed attempt
+        // deep inside parentheses would poison the overlap disambiguation
+        // (and, for `depth`, the nesting budget).
         let save = self.pos;
         let save_depth = self.paren_depth;
+        let save_expr_depth = self.depth;
         match self.tpred_cmp() {
             Ok(p) => Ok(p),
             Err(first_err) => {
                 self.pos = save;
                 self.paren_depth = save_depth;
-                if self.eat(&T::LParen) {
+                self.depth = save_expr_depth;
+                self.enter()?;
+                let r = if self.eat(&T::LParen) {
                     let p = self.temporal_pred()?;
                     self.expect(&T::RParen)?;
                     Ok(p)
                 } else {
                     Err(first_err)
-                }
+                };
+                self.depth -= 1;
+                r
             }
         }
     }
@@ -798,12 +842,22 @@ impl Parser {
             T::Keyword(K::Start) => {
                 self.advance();
                 self.expect_kw(K::Of)?;
-                Ok(TemporalExpr::Start(Box::new(self.texpr_unary()?)))
+                self.enter()?;
+                let r = self
+                    .texpr_unary()
+                    .map(|e| TemporalExpr::Start(Box::new(e)));
+                self.depth -= 1;
+                r
             }
             T::Keyword(K::End) => {
                 self.advance();
                 self.expect_kw(K::Of)?;
-                Ok(TemporalExpr::End(Box::new(self.texpr_unary()?)))
+                self.enter()?;
+                let r = self
+                    .texpr_unary()
+                    .map(|e| TemporalExpr::End(Box::new(e)));
+                self.depth -= 1;
+                r
             }
             T::Ident(v) => {
                 self.advance();
@@ -815,9 +869,12 @@ impl Parser {
             }
             T::LParen => {
                 self.advance();
+                self.enter()?;
                 self.paren_depth += 1;
-                let e = self.temporal_expr()?;
+                let e = self.temporal_expr();
                 self.paren_depth -= 1;
+                self.depth -= 1;
+                let e = e?;
                 self.expect(&T::RParen)?;
                 Ok(e)
             }

@@ -202,6 +202,80 @@ gate_throughput_smoke() {
     }
 }
 
+# Wire-protocol acceptance gate, pinned by name: hostile statements and
+# raw-socket garbage through real TCP connections must never panic the
+# server (it reports its own catch_unwind counter), guardrails must
+# come back as typed errors, and graceful shutdown must leave an
+# audit-clean database.
+gate_net_protocol() {
+    cargo test -q --test net_protocol
+}
+
+# End-to-end server smoke: start `tdbms-server` durable on an ephemeral
+# port, drive it with the throughput bench in --server mode (8 real TCP
+# clients, mixed read/write/join workload), shut it down gracefully
+# over the wire, and require exit 0, zero caught panics, and a
+# `tdbms-check`-clean database directory.
+gate_server_smoke() {
+    local dbdir srvout addr rc=0 i
+    dbdir=$(mktemp -d)
+    srvout=$(mktemp)
+    "$bindir/tdbms-server" "$dbdir" --addr 127.0.0.1:0 --durable \
+        >"$srvout" 2>&1 &
+    local srvpid=$!
+    addr=""
+    for i in $(seq 1 100); do
+        addr=$(sed -n 's/^listening on //p' "$srvout")
+        [[ -n "$addr" ]] && break
+        kill -0 "$srvpid" 2>/dev/null || break
+        sleep 0.1
+    done
+    if [[ -z "$addr" ]]; then
+        echo "server-smoke: server never reported its address"
+        cat "$srvout"
+        kill "$srvpid" 2>/dev/null || true
+        rm -rf "$dbdir" "$srvout"
+        return 1
+    fi
+    if ! "$bindir/throughput" --server "$addr" --threads 8 --ops 64 \
+        --setup-rows 512 --json BENCH_throughput_server.json; then
+        echo "server-smoke: throughput --server failed"
+        rc=1
+    fi
+    if [[ "$rc" == 0 && ! -s BENCH_throughput_server.json ]]; then
+        echo "server-smoke: BENCH_throughput_server.json not written"
+        rc=1
+    fi
+    if [[ "$rc" == 0 ]]; then
+        "$bindir/tdbms-server" --shutdown "$addr" || {
+            echo "server-smoke: graceful shutdown request failed"
+            rc=1
+        }
+    fi
+    if [[ "$rc" == 0 ]]; then
+        wait "$srvpid" || {
+            echo "server-smoke: server exited nonzero"
+            rc=1
+        }
+    else
+        kill "$srvpid" 2>/dev/null || true
+        wait "$srvpid" 2>/dev/null || true
+    fi
+    if [[ "$rc" == 0 ]] \
+        && ! grep -q ' panics=0' "$srvout"; then
+        echo "server-smoke: server caught a panic (or never reported)"
+        cat "$srvout"
+        rc=1
+    fi
+    if [[ "$rc" == 0 ]] \
+        && ! "$bindir/check" "$dbdir" | grep -qx 'clean'; then
+        echo "server-smoke: post-shutdown database did not audit clean"
+        rc=1
+    fi
+    rm -rf "$dbdir" "$srvout"
+    return "$rc"
+}
+
 # End-to-end scrubber gate: build a durable database through the shell
 # with a manual checkpoint policy (so the process exit leaves a
 # committed log tail), then `check` must replay the WAL and audit the
@@ -237,7 +311,7 @@ GATES+=(
     wal-crash-matrix corruption-scrub transient-retry
     concurrency-stress group-commit-crash snapshot-stress
     fig5-checksums figures-threads fig11-shape
-    throughput-smoke check-recovery
+    throughput-smoke net-protocol server-smoke check-recovery
 )
 
 if $list_only; then
@@ -261,7 +335,8 @@ export -f gate_fmt gate_build gate_clippy gate_test \
     gate_wal_crash_matrix gate_corruption_scrub gate_transient_retry \
     gate_concurrency_stress gate_group_commit_crash \
     gate_snapshot_stress gate_fig5_checksums gate_figures_threads \
-    gate_fig11_shape gate_throughput_smoke gate_check_recovery
+    gate_fig11_shape gate_throughput_smoke gate_net_protocol \
+    gate_server_smoke gate_check_recovery
 
 RAN=() STATUSES=() TOOK=() FAILED=()
 for name in "${GATES[@]}"; do

@@ -28,9 +28,18 @@
 use std::io::{BufRead, Write};
 use tdbms::{CheckpointPolicy, Database, Granularity, Session};
 
+/// Nested `\i` includes deeper than this abort with an error instead
+/// of recursing forever (a file that includes itself would otherwise
+/// hang the shell).
+const MAX_INCLUDE_DEPTH: u32 = 16;
+
 struct Shell {
     session: Session,
     buffer: String,
+    /// Statements (and failed includes) that errored; scripted runs
+    /// exit nonzero when this is nonzero.
+    errors: u64,
+    include_depth: u32,
 }
 
 impl Shell {
@@ -89,8 +98,18 @@ impl Shell {
                     out.stats.output_pages
                 );
             }
-            Err(e) => println!("error: {e}"),
+            Err(e) => {
+                self.errors += 1;
+                println!("error: {e}");
+            }
         }
+    }
+
+    /// The process exit code a finished (EOF or `\q`) session reports:
+    /// nonzero when any scripted statement failed, so `set -e` shell
+    /// scripts and CI notice.
+    fn exit_code(&self) -> i32 {
+        i32::from(self.errors > 0)
     }
 
     fn backslash(&mut self, line: &str) {
@@ -98,7 +117,7 @@ impl Shell {
         let cmd = parts.next().unwrap_or("");
         let arg = parts.next().unwrap_or("").trim();
         match cmd {
-            "\\q" => std::process::exit(0),
+            "\\q" => std::process::exit(self.exit_code()),
             "\\l" => {
                 let names = self
                     .session
@@ -125,15 +144,30 @@ impl Shell {
                     .with_read(|db| db.clock().now())
                     .format(Granularity::Second)
             ),
-            "\\i" => match std::fs::read_to_string(arg) {
-                Ok(text) => {
-                    for l in text.lines() {
-                        self.feed_line(l);
-                    }
-                    self.flush_buffer();
+            "\\i" => {
+                if self.include_depth >= MAX_INCLUDE_DEPTH {
+                    self.errors += 1;
+                    println!(
+                        "error: \\i nesting exceeds {MAX_INCLUDE_DEPTH} \
+                         (does {arg} include itself?)"
+                    );
+                    return;
                 }
-                Err(e) => println!("error reading {arg}: {e}"),
-            },
+                match std::fs::read_to_string(arg) {
+                    Ok(text) => {
+                        self.include_depth += 1;
+                        for l in text.lines() {
+                            self.feed_line(l);
+                        }
+                        self.flush_buffer();
+                        self.include_depth -= 1;
+                    }
+                    Err(e) => {
+                        self.errors += 1;
+                        println!("error reading {arg}: {e}");
+                    }
+                }
+            }
             other => println!(
                 "unknown command {other} (try \\l \\d \\stats \\now \\i \\q)"
             ),
@@ -236,6 +270,8 @@ fn main() {
     let mut shell = Shell {
         session: tdbms::Engine::new(db).session(),
         buffer: String::new(),
+        errors: 0,
+        include_depth: 0,
     };
 
     // Suppress the prompt for piped/batch use with TDBMS_BATCH=1 (a crude
@@ -261,5 +297,9 @@ fn main() {
             Err(_) => break,
         }
     }
+    // EOF mid-statement: run whatever is buffered (an unterminated
+    // statement is still a statement) and exit — never wait for more
+    // input that cannot come.
     shell.flush_buffer();
+    std::process::exit(shell.exit_code());
 }

@@ -3,7 +3,10 @@
 use std::io::Write;
 use std::process::{Command, Stdio};
 
-fn run_shell(args: &[&str], input: &str) -> (String, String) {
+fn run_shell_status(
+    args: &[&str],
+    input: &str,
+) -> (String, String, std::process::ExitStatus) {
     let mut child = Command::new(env!("CARGO_BIN_EXE_tdbms"))
         .args(args)
         .env("TDBMS_BATCH", "1")
@@ -22,7 +25,13 @@ fn run_shell(args: &[&str], input: &str) -> (String, String) {
     (
         String::from_utf8_lossy(&out.stdout).into_owned(),
         String::from_utf8_lossy(&out.stderr).into_owned(),
+        out.status,
     )
+}
+
+fn run_shell(args: &[&str], input: &str) -> (String, String) {
+    let (stdout, stderr, _) = run_shell_status(args, input);
+    (stdout, stderr)
 }
 
 #[test]
@@ -78,6 +87,72 @@ fn shell_persists_to_a_directory() {
     let (stdout, _) =
         run_shell(&[dir_s], "range of v is r;\nretrieve (v.x);\n");
     assert!(stdout.contains("42"), "stdout: {stdout}");
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn shell_exits_zero_on_a_clean_script() {
+    let (_, _, status) = run_shell_status(
+        &[],
+        "create static t (a = i4);\nappend to t (a = 1);\n",
+    );
+    assert!(status.success(), "clean script must exit 0: {status}");
+}
+
+#[test]
+fn shell_exits_nonzero_when_a_scripted_statement_fails() {
+    // The failing statement is reported, the session continues, and
+    // the final exit status is nonzero so `set -e` scripts notice.
+    let (stdout, _, status) = run_shell_status(
+        &[],
+        "retrieve (ghost.x);\ncreate static t (a = i4);\n",
+    );
+    assert!(stdout.contains("error:"), "stdout: {stdout}");
+    assert_eq!(
+        status.code(),
+        Some(1),
+        "a failed statement must produce exit code 1: {status}"
+    );
+}
+
+#[test]
+fn shell_backslash_q_propagates_earlier_errors() {
+    let (_, _, status) =
+        run_shell_status(&[], "retrieve (ghost.x);\n\\q\n");
+    assert_eq!(status.code(), Some(1), "status: {status}");
+}
+
+#[test]
+fn shell_handles_eof_mid_statement_without_hanging() {
+    // No terminating `;` — stdin just ends. The buffered statement
+    // must still run and the process must exit promptly (the harness
+    // would time out on a hang).
+    let (stdout, _, status) = run_shell_status(
+        &[],
+        "create static t (a = i4);\nappend to t (a = 9);\n\
+         range of v is t;\nretrieve (v.a)",
+    );
+    assert!(stdout.contains('9'), "stdout: {stdout}");
+    assert!(status.success(), "status: {status}");
+
+    // EOF mid-statement with a syntax hole: still terminates, exit 1.
+    let (stdout, _, status) =
+        run_shell_status(&[], "create static broken (");
+    assert!(stdout.contains("error:"), "stdout: {stdout}");
+    assert_eq!(status.code(), Some(1), "status: {status}");
+}
+
+#[test]
+fn shell_include_recursion_is_capped() {
+    // A file that includes itself must terminate with an error
+    // instead of recursing until the stack dies.
+    let dir = tdbms_kernel::tmpdir::fresh_dir("shell-i-loop");
+    let script = dir.join("loop.tq");
+    std::fs::write(&script, format!("\\i {}\n", script.display())).unwrap();
+    let (stdout, _, status) =
+        run_shell_status(&[], &format!("\\i {}\n", script.display()));
+    assert!(stdout.contains("nesting exceeds"), "stdout: {stdout}");
+    assert_eq!(status.code(), Some(1), "status: {status}");
     std::fs::remove_dir_all(&dir).unwrap();
 }
 
