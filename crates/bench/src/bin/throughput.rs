@@ -207,6 +207,9 @@ struct Report {
     totals: Totals,
     locks: Option<LockStats>,
     group: Option<(u64, u64)>,
+    /// Statement-cache `(hits, misses)` of the engine that served the
+    /// run — fetched over the wire in server mode.
+    plan_cache: Option<(u64, u64)>,
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -334,6 +337,7 @@ fn run_embedded_mode(
     // that check itself takes one shared lock.
     let locks = engine.lock_stats();
     let group = engine.group_commit_stats();
+    let plan_cache = engine.plan_cache_stats();
 
     // Accounting must have survived the contention.
     engine.with_read(|db| assert!(db.io_stats().is_consistent()));
@@ -345,6 +349,7 @@ fn run_embedded_mode(
         totals,
         locks: Some(locks),
         group,
+        plan_cache: Some(plan_cache),
     }
 }
 
@@ -477,13 +482,31 @@ fn run_server_mode(
         }
     });
     let elapsed = start.elapsed();
+    // The counters live in the server process; fetch them over the
+    // wire so the report carries the same proof lines as embedded mode.
+    let (locks, plan_cache) =
+        match Client::connect(addr).and_then(|mut c| c.stats()) {
+            Ok(s) => (
+                Some(LockStats {
+                    shared: s.shared,
+                    exclusive: s.exclusive,
+                    snapshot_reads: s.snapshot_reads,
+                }),
+                Some((s.plan_hits, s.plan_misses)),
+            ),
+            Err(e) => {
+                eprintln!("stats fetch failed: {e}");
+                (None, None)
+            }
+        };
     Report {
         mode: "server",
         done: completed.load(Ordering::Relaxed),
         elapsed,
         totals: totals.into_inner().expect("unpoisoned"),
-        locks: None,
+        locks,
         group: None,
+        plan_cache,
     }
 }
 
@@ -503,6 +526,7 @@ fn print_and_write(
         mut totals,
         locks,
         group,
+        plan_cache,
     } = report;
 
     println!(
@@ -529,6 +553,12 @@ fn print_and_write(
         println!(
             "locks: shared={} exclusive={} snapshot_reads={}",
             locks.shared, locks.exclusive, locks.snapshot_reads
+        );
+    }
+    if let Some((hits, misses)) = plan_cache {
+        println!(
+            "plan-cache: hits={hits} misses={misses} hit-rate={:.1}%",
+            100.0 * hits as f64 / ((hits + misses).max(1)) as f64
         );
     }
     if let Some((commits, fsyncs)) = group {
@@ -559,6 +589,14 @@ fn print_and_write(
         ),
         None => "null".to_string(),
     };
+    let plan_cache_json = match plan_cache {
+        Some((hits, misses)) => format!(
+            "{{\"hits\": {hits}, \"misses\": {misses}, \
+             \"hit_rate\": {:.4}}}",
+            hits as f64 / ((hits + misses).max(1)) as f64
+        ),
+        None => "null".to_string(),
+    };
     let group_json = match group {
         Some((commits, fsyncs)) => format!(
             "{{\"max_batch\": {gc_max_batch}, \
@@ -576,6 +614,7 @@ fn print_and_write(
          \"writes\": {},\n  \"joins\": {},\n  \"errors\": {},\n  \
          \"durable\": {durable},\n  \
          \"locks\": {locks_json},\n  \
+         \"plan_cache\": {plan_cache_json},\n  \
          \"group_commit\": {group_json},\n  \
          \"io\": {{\"input_pages\": {}, \"output_pages\": {}, \
          \"buffer_hits\": {}}},\n  \

@@ -9,6 +9,7 @@
 pub mod analysis;
 pub mod figures;
 pub mod improvements;
+pub mod predict;
 pub mod queries;
 pub mod sweep;
 pub mod timing;
@@ -18,6 +19,7 @@ pub use analysis::{cost_model, fixed_cost, CostModel};
 pub use improvements::{
     measure_improvements, nonuniform_experiment, Fig10Row,
 };
+pub use predict::{predict_json, predict_report, ranking_violations};
 pub use queries::{queries_for, query_for, BenchQuery, QUERY_IDS};
 pub use sweep::{
     measure, run_buffer_sweep, run_buffer_sweep_threaded, run_sweep,

@@ -34,6 +34,10 @@ pub struct SweepData {
     pub sizes_i: Vec<u32>,
     /// Per query id: costs per update count (index = update count).
     pub costs: BTreeMap<&'static str, Vec<Cost>>,
+    /// Per query id: planner-estimated `(input, output)` page costs per
+    /// update count, from [`Database::estimate_retrieve`] — computed
+    /// without executing, against the maintained statistics.
+    pub est: BTreeMap<&'static str, Vec<(u64, u64)>>,
     /// ISAM directory levels of the `_i` relation (constant across the
     /// sweep; the directory is static).
     pub dir_levels_i: u32,
@@ -48,6 +52,11 @@ impl SweepData {
     /// Output pages of `query` at `uc`.
     pub fn output(&self, query: &str, uc: u32) -> Option<u64> {
         self.costs.get(query).map(|v| v[uc as usize].output)
+    }
+
+    /// Planner-estimated input pages of `query` at `uc`.
+    pub fn est_input(&self, query: &str, uc: u32) -> Option<u64> {
+        self.est.get(query).map(|v| v[uc as usize].0)
     }
 }
 
@@ -80,6 +89,10 @@ pub fn run_sweep(cfg: BenchConfig, max_uc: u32) -> (SweepData, Database) {
             .iter()
             .map(|q| (q.id, Vec::with_capacity(max_uc as usize + 1)))
             .collect(),
+        est: queries
+            .iter()
+            .map(|q| (q.id, Vec::with_capacity(max_uc as usize + 1)))
+            .collect(),
         dir_levels_i: db
             .relation_meta(&cfg.rel_i())
             .expect("relation exists")
@@ -94,6 +107,13 @@ pub fn run_sweep(cfg: BenchConfig, max_uc: u32) -> (SweepData, Database) {
         data.sizes_i
             .push(db.relation_meta(&cfg.rel_i()).unwrap().total_pages);
         for q in &queries {
+            // Estimate first: it is side-effect-free (no clock tick, no
+            // buffer invalidation, no counter reset), so the measured
+            // run that follows is untouched.
+            let est = db.estimate_retrieve(&q.tquel).unwrap_or_else(|e| {
+                panic!("{} estimate failed: {e}", q.id)
+            });
+            data.est.get_mut(q.id).expect("registered").push(est);
             let cost = measure(&mut db, q);
             data.costs.get_mut(q.id).expect("registered").push(cost);
         }

@@ -3,7 +3,7 @@
 
 use crate::binder::Binder;
 use crate::dml;
-use crate::exec::{exec_retrieve, QueryStats};
+use crate::exec::{exec_retrieve_with, QueryStats};
 use crate::guard::QueryGuard;
 use crate::interval::TInterval;
 use std::collections::HashMap;
@@ -12,6 +12,7 @@ use tdbms_kernel::{
     Clock, DatabaseClass, Domain, Error, Result, Schema, TemporalKind,
     TimeVal, Value,
 };
+use tdbms_plan::{PlannerMode, RelStats, StatsCatalog};
 use tdbms_storage::{
     AccessMethod, BufferConfig, Catalog, ChecksumSet, DiskManager,
     EvictionPolicy, FileDisk, FileId, HashFn, IoStats, Pager, RelId,
@@ -168,6 +169,12 @@ pub struct Database {
     persist_dir: Option<std::path::PathBuf>,
     /// Write-ahead log, when the database was opened in durable mode.
     wal: Option<WalState>,
+    /// Maintained per-relation statistics, refreshed after every
+    /// mutating statement (metadata only — never page I/O).
+    stats: StatsCatalog,
+    /// Which planner drives retrieve execution (env-selected;
+    /// `TDBMS_PLANNER=fixed` restores the historical heuristic).
+    planner: PlannerMode,
 }
 
 impl Database {
@@ -204,6 +211,7 @@ impl Database {
             }
         }
         db.persist_dir = Some(dir);
+        db.refresh_stats()?;
         Ok(db)
     }
 
@@ -279,6 +287,7 @@ impl Database {
         // synced, so persist the catalog and truncate the log — the next
         // crash recovers from here instead of replaying history again.
         db.checkpoint_durable()?;
+        db.refresh_stats()?;
         Ok(db)
     }
 
@@ -584,7 +593,87 @@ impl Database {
             cold_statements: true,
             persist_dir: None,
             wal: None,
+            stats: StatsCatalog::default(),
+            planner: PlannerMode::from_env(),
         }
+    }
+
+    /// Refresh the maintained statistics from the catalog and pager
+    /// metadata (no page I/O; distinct-key counters survive).
+    fn refresh_stats(&mut self) -> Result<()> {
+        self.stats.refresh(&self.pager, &self.catalog)
+    }
+
+    /// Override the planner selection (tests compare the cost-based
+    /// order against the fixed heuristic in-process).
+    pub fn set_planner_mode(&mut self, mode: PlannerMode) {
+        self.planner = mode;
+    }
+
+    /// The active planner selection.
+    pub fn planner_mode(&self) -> PlannerMode {
+        self.planner
+    }
+
+    /// The maintained statistics of one relation. Counts and page
+    /// geometry are read fresh from the catalog; the distinct-key
+    /// estimate is the incrementally maintained counter.
+    pub fn relation_stats(&self, name: &str) -> Result<RelStats> {
+        let meta = self.relation_meta(name)?;
+        let distinct =
+            self.stats.get(name).map(|s| s.distinct_keys).unwrap_or(0);
+        Ok(RelStats {
+            name: meta.name,
+            method: meta.method,
+            tuple_count: meta.tuple_count,
+            total_pages: u64::from(meta.total_pages),
+            scannable_pages: u64::from(meta.scannable_pages),
+            directory_levels: u64::from(meta.directory_levels),
+            distinct_keys: distinct,
+            row_width: meta.row_width as u64,
+        })
+    }
+
+    /// Planner-estimated `(input, output)` pages for a program of
+    /// `range` declarations and one or more retrieves (the estimate of
+    /// the last retrieve is returned). Entirely side-effect free: no
+    /// clock tick, no buffer invalidation, no counter reset — safe to
+    /// interleave with measured sweeps without disturbing them.
+    pub fn estimate_retrieve(&self, src: &str) -> Result<(u64, u64)> {
+        let stmts = tdbms_tquel::parse_program(src)?;
+        let mut ranges = self.ranges.clone();
+        let now = self.clock.now();
+        let mut last = None;
+        for stmt in &stmts {
+            match stmt {
+                Statement::Range { var, rel } => {
+                    self.catalog.require(rel)?;
+                    ranges.insert(var.clone(), rel.clone());
+                }
+                Statement::Retrieve(r) | Statement::Explain(r) => {
+                    let binder = Binder {
+                        catalog: &self.catalog,
+                        ranges: &ranges,
+                        now,
+                    };
+                    let bound = binder.bind_retrieve(r)?;
+                    let plan = crate::plan::plan_bound(
+                        &self.catalog,
+                        &self.stats,
+                        &bound,
+                    );
+                    last = Some((plan.est_input, plan.est_output));
+                }
+                _ => {
+                    return Err(Error::Semantic(
+                        "estimate supports range/retrieve only".into(),
+                    ))
+                }
+            }
+        }
+        last.ok_or_else(|| {
+            Error::Semantic("no retrieve to estimate".into())
+        })
     }
 
     /// Replace the transaction clock.
@@ -731,6 +820,8 @@ impl Database {
             self.commit_durable()?;
             self.settle_group_commit()?;
         }
+        self.refresh_stats()?;
+        self.stats.note_inserted(rel, rows.len() as u64);
         Ok(rows.len())
     }
 
@@ -859,11 +950,23 @@ impl Database {
                     };
                     binder.bind_retrieve(r)?
                 };
-                let result = exec_retrieve(
+                let plan = if self.planner == PlannerMode::Cost
+                    && bound.vars.len() >= 2
+                {
+                    Some(crate::plan::plan_bound(
+                        &self.catalog,
+                        &self.stats,
+                        &bound,
+                    ))
+                } else {
+                    None
+                };
+                let result = exec_retrieve_with(
                     &self.pager,
                     &mut self.catalog,
                     &bound,
                     guard,
+                    plan.as_ref(),
                 )?;
                 out.affected = result.rows.len();
                 if let Some(into) = &bound.into {
@@ -879,6 +982,38 @@ impl Database {
                     out.rows = result.rows;
                 }
             }
+            Statement::Explain(r) => {
+                let bound = {
+                    let binder = Binder {
+                        catalog: &self.catalog,
+                        ranges: &self.ranges,
+                        now,
+                    };
+                    binder.bind_retrieve(r)?
+                };
+                let plan = crate::plan::plan_bound(
+                    &self.catalog,
+                    &self.stats,
+                    &bound,
+                );
+                let result = exec_retrieve_with(
+                    &self.pager,
+                    &mut self.catalog,
+                    &bound,
+                    guard,
+                    Some(&plan),
+                )?;
+                let actual_in = self.pager.stats().total_reads();
+                let actual_out = self.pager.stats().total_writes();
+                out.affected = result.rows.len();
+                out.columns =
+                    vec![("query plan".to_string(), Domain::Char(72))];
+                out.rows =
+                    explain_lines(&bound, &plan, actual_in, actual_out)
+                        .into_iter()
+                        .map(|l| vec![Value::Str(l)])
+                        .collect();
+            }
         }
 
         let mutating = !matches!(
@@ -888,6 +1023,7 @@ impl Database {
                     into: None,
                     ..
                 })
+                | Statement::Explain(_)
         );
         // In durable mode every mutating statement commits through the
         // WAL before its stats are snapshotted, so the "wal" phase shows
@@ -911,6 +1047,20 @@ impl Database {
         };
         if self.wal.is_none() && self.persist_dir.is_some() && mutating {
             self.checkpoint()?;
+        }
+        if mutating {
+            // Metadata-only statistics refresh; appends and loads add
+            // new keys, replaces/deletes only lengthen version chains.
+            self.refresh_stats()?;
+            match stmt {
+                Statement::Append(a) => {
+                    self.stats.note_inserted(&a.rel, out.affected as u64)
+                }
+                Statement::Copy(c) if c.from => {
+                    self.stats.note_inserted(&c.rel, out.affected as u64)
+                }
+                _ => {}
+            }
         }
         Ok(out)
     }
@@ -972,6 +1122,55 @@ impl Database {
     pub fn total_pages(&self, rel: &str) -> Result<u32> {
         Ok(self.relation_meta(rel)?.total_pages)
     }
+}
+
+/// Render an `explain` report: one text line per planned access, the
+/// substitution order, and estimated vs actual page I/O.
+fn explain_lines(
+    bound: &crate::bound::BoundRetrieve,
+    plan: &tdbms_plan::QueryPlan,
+    actual_in: u64,
+    actual_out: u64,
+) -> Vec<String> {
+    let var_name = |v: usize| bound.vars[v].var.clone();
+    let mut lines = Vec::new();
+    lines.push(format!("retrieve over {} variable(s)", bound.vars.len()));
+    for s in &plan.steps {
+        if s.detach {
+            lines.push(format!(
+                "detach {} ({}): {}, est {} read / {} write pages, \
+                 ~{} rows",
+                var_name(s.var),
+                s.relation,
+                s.path,
+                s.est_read,
+                s.est_write,
+                s.est_rows
+            ));
+        } else {
+            lines.push(format!(
+                "access {} ({}): {}, est {} pages per probe, ~{} rows",
+                var_name(s.var),
+                s.relation,
+                s.path,
+                s.est_read,
+                s.est_rows
+            ));
+        }
+    }
+    if bound.vars.len() >= 2 {
+        let order: Vec<String> =
+            plan.join_order.iter().map(|&v| var_name(v)).collect();
+        lines.push(format!("substitution order: {}", order.join(", ")));
+    }
+    lines.push(format!(
+        "estimated: {} input / {} output pages",
+        plan.est_input, plan.est_output
+    ));
+    lines.push(format!(
+        "actual: {actual_in} input / {actual_out} output pages"
+    ));
+    lines
 }
 
 /// Re-exported identifier type for advanced integrations.

@@ -71,6 +71,7 @@
 //! invariant is what the concurrency stress suite asserts.
 
 use crate::binder::Binder;
+use crate::bound::BoundRetrieve;
 use crate::db::{Database, ExecOutput};
 use crate::exec::{
     exec_retrieve_readonly, exec_retrieve_snapshot, QueryStats,
@@ -83,6 +84,7 @@ use std::sync::{
 };
 use std::time::Duration;
 use tdbms_kernel::{Error, Result, TimeVal};
+use tdbms_plan::PlanCache;
 use tdbms_storage::{Catalog, FileId, Pager};
 use tdbms_tquel::ast::Statement;
 use tdbms_wal::{GroupCommit, LogHandle};
@@ -94,15 +96,41 @@ struct ReadView {
     catalog: Catalog,
     watermark: TimeVal,
     cold: bool,
+    /// Publication counter: bumped on every republish, carried inside
+    /// the view so a cached binding and the snapshot it was bound
+    /// against can never be observed out of step.
+    epoch: u64,
 }
 
-fn view_of(db: &Database) -> ReadView {
+fn view_of(db: &Database, epoch: u64) -> ReadView {
     ReadView {
         catalog: db.catalog().clone(),
         watermark: db.clock().now(),
         cold: db.cold_statements(),
+        epoch,
     }
 }
+
+/// One cached program: the parsed statements (reusable forever — parsing
+/// is pure) plus, for single-statement snapshot-served retrieves, the
+/// bound form stamped with the view epoch and range table it was bound
+/// under, so hot server queries skip parse *and* bind.
+struct CachedProgram {
+    stmts: Vec<Statement>,
+    bound: Mutex<Option<CachedBound>>,
+}
+
+struct CachedBound {
+    /// View publication the binding is valid for; any commit republishes
+    /// the view with a new epoch, invalidating this entry.
+    epoch: u64,
+    /// The exact range table the statement was bound under.
+    ranges: Vec<(String, String)>,
+    bound: BoundRetrieve,
+}
+
+/// How many distinct statement texts the engine keeps cached.
+const PLAN_CACHE_CAPACITY: usize = 128;
 
 /// Counts of commit-lock acquisitions and snapshot (lock-free) reads —
 /// the proof behind "reads don't take the commit lock".
@@ -134,6 +162,11 @@ struct EngineInner {
     durable: bool,
     group: Option<(Arc<GroupCommit>, LogHandle)>,
     locks: LockCounters,
+    /// Publication counter feeding [`ReadView::epoch`].
+    epoch: AtomicU64,
+    /// Statement-text-keyed cache of parsed (and, when hot, bound)
+    /// programs, shared by every session of this engine.
+    plans: Mutex<PlanCache<Arc<CachedProgram>>>,
 }
 
 /// A shared, thread-safe handle over one database. Clone it (cheap) and
@@ -156,11 +189,13 @@ impl Engine {
         }
         let inner = Arc::new(EngineInner {
             pager,
-            view: RwLock::new(Arc::new(view_of(&db))),
+            view: RwLock::new(Arc::new(view_of(&db, 0))),
             failed: Mutex::new(None),
             durable: db.wal_enabled(),
             group,
             locks: LockCounters::default(),
+            epoch: AtomicU64::new(0),
+            plans: Mutex::new(PlanCache::new(PLAN_CACHE_CAPACITY)),
         });
         Engine {
             shared: Arc::new(RwLock::new(db)),
@@ -323,12 +358,55 @@ impl Engine {
     }
 
     fn publish_view(&self, db: &Database) {
-        let v = Arc::new(view_of(db));
+        // fetch_add returns the previous value; +1 gives this
+        // publication a number no earlier view ever carried, so any
+        // binding cached under an older epoch is dead on arrival.
+        let epoch = self.inner.epoch.fetch_add(1, Ordering::Relaxed) + 1;
+        let v = Arc::new(view_of(db, epoch));
         *self
             .inner
             .view
             .write()
             .unwrap_or_else(PoisonError::into_inner) = v;
+    }
+
+    /// `(hits, misses)` of the statement cache since the engine was
+    /// built. A hit means the statement text skipped the parser (and,
+    /// for hot snapshot retrieves, the binder too).
+    pub fn plan_cache_stats(&self) -> (u64, u64) {
+        self.inner
+            .plans
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .stats()
+    }
+
+    /// Look the program up by source text, parsing and caching on miss.
+    /// Parse errors are returned without polluting the cache.
+    fn cached_program(&self, src: &str) -> Result<Arc<CachedProgram>> {
+        if let Some(prog) = self
+            .inner
+            .plans
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .lookup(src)
+        {
+            return Ok(prog);
+        }
+        let stmts = tdbms_tquel::parse_program(src)?;
+        if stmts.is_empty() {
+            return Err(Error::Semantic("empty program".into()));
+        }
+        let prog = Arc::new(CachedProgram {
+            stmts,
+            bound: Mutex::new(None),
+        });
+        self.inner
+            .plans
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .insert(src.to_string(), prog.clone());
+        Ok(prog)
     }
 
     /// Wait for a group commit's ticket to become durable (possibly
@@ -406,6 +484,12 @@ impl Session {
         &self.engine
     }
 
+    /// `(hits, misses)` of the engine's statement cache — shared by all
+    /// sessions, surfaced here so per-connection stats can report it.
+    pub fn plan_cache_stats(&self) -> (u64, u64) {
+        self.engine.plan_cache_stats()
+    }
+
     /// Replace this session's statement limits.
     pub fn set_limits(&mut self, limits: SessionLimits) {
         self.limits = limits;
@@ -452,14 +536,25 @@ impl Session {
     }
 
     /// Execute a TQuel program; returns every statement's output.
+    ///
+    /// Programs are looked up in the engine's statement cache by source
+    /// text: a repeated program skips the parser, and a repeated
+    /// single-statement snapshot retrieve also skips the binder while
+    /// the published view and this session's range table are unchanged.
     pub fn execute_all(&mut self, src: &str) -> Result<Vec<ExecOutput>> {
-        let stmts = tdbms_tquel::parse_program(src)?;
-        if stmts.is_empty() {
-            return Err(tdbms_kernel::Error::Semantic(
-                "empty program".into(),
-            ));
-        }
-        stmts.iter().map(|s| self.execute_statement(s)).collect()
+        let prog = self.engine.cached_program(src)?;
+        // The bound fast-path only applies to a lone statement: in a
+        // multi-statement program an earlier statement may change what
+        // a later one binds to.
+        let cache = if prog.stmts.len() == 1 {
+            Some(&*prog)
+        } else {
+            None
+        };
+        prog.stmts
+            .iter()
+            .map(|s| self.execute_statement_cached(s, cache))
+            .collect()
     }
 
     /// Execute one parsed statement, classified onto the snapshot, read,
@@ -467,6 +562,14 @@ impl Session {
     pub fn execute_statement(
         &mut self,
         stmt: &Statement,
+    ) -> Result<ExecOutput> {
+        self.execute_statement_cached(stmt, None)
+    }
+
+    fn execute_statement_cached(
+        &mut self,
+        stmt: &Statement,
+        cache: Option<&CachedProgram>,
     ) -> Result<ExecOutput> {
         let guard = self.statement_guard();
         guard.check_now()?;
@@ -493,7 +596,7 @@ impl Session {
                 Ok(ExecOutput::default())
             }
             Statement::Retrieve(r) if r.into.is_none() => {
-                match self.try_execute_snapshot(r, &guard)? {
+                match self.try_execute_snapshot(r, &guard, cache)? {
                     SnapshotAttempt::Served(out) => Ok(*out),
                     SnapshotAttempt::Exclusive => {
                         // Known multi-variable: decomposition
@@ -529,18 +632,37 @@ impl Session {
         &self,
         r: &tdbms_tquel::ast::Retrieve,
         guard: &QueryGuard,
+        cache: Option<&CachedProgram>,
     ) -> Result<SnapshotAttempt> {
         self.engine.check_usable()?;
         let view = self.engine.view();
-        let bound = {
-            let binder = Binder {
-                catalog: &view.catalog,
-                ranges: &self.ranges,
-                now: view.watermark,
-            };
-            match binder.bind_retrieve(r) {
-                Ok(b) => b,
-                Err(_) => return Ok(SnapshotAttempt::Locked),
+        // Binder output is a pure function of (catalog, watermark,
+        // ranges). The epoch stands in for the first two — it travels
+        // inside the view, so it can't be observed out of step with
+        // them — and the range table is compared exactly.
+        let cached_bound = cache.and_then(|prog| {
+            let slot =
+                prog.bound.lock().unwrap_or_else(PoisonError::into_inner);
+            slot.as_ref()
+                .filter(|cb| {
+                    cb.epoch == view.epoch
+                        && ranges_sorted(&self.ranges) == cb.ranges
+                })
+                .map(|cb| cb.bound.clone())
+        });
+        let fresh = cached_bound.is_none();
+        let bound = match cached_bound {
+            Some(b) => b,
+            None => {
+                let binder = Binder {
+                    catalog: &view.catalog,
+                    ranges: &self.ranges,
+                    now: view.watermark,
+                };
+                match binder.bind_retrieve(r) {
+                    Ok(b) => b,
+                    Err(_) => return Ok(SnapshotAttempt::Locked),
+                }
             }
         };
         let multi = bound.vars.len() >= 2;
@@ -581,6 +703,21 @@ impl Session {
             Err(e) if QueryGuard::is_guard_error(&e) => return Err(e),
             Err(_) => return Ok(locked),
         };
+        // Served successfully: remember the binding for the next run of
+        // the same statement text (only worth writing when fresh).
+        if fresh {
+            if let Some(prog) = cache {
+                *prog
+                    .bound
+                    .lock()
+                    .unwrap_or_else(PoisonError::into_inner) =
+                    Some(CachedBound {
+                        epoch: view.epoch,
+                        ranges: ranges_sorted(&self.ranges),
+                        bound,
+                    });
+            }
+        }
         self.engine.note_snapshot_read();
         let after = snapshot(pager.stats());
         Ok(SnapshotAttempt::Served(Box::new(ExecOutput {
@@ -666,6 +803,17 @@ impl Session {
         }
         Ok(out)
     }
+}
+
+/// A session's range table in canonical (sorted) order, for exact
+/// comparison against a cached binding's.
+fn ranges_sorted(
+    ranges: &HashMap<String, String>,
+) -> Vec<(String, String)> {
+    let mut v: Vec<(String, String)> =
+        ranges.iter().map(|(k, r)| (k.clone(), r.clone())).collect();
+    v.sort();
+    v
 }
 
 fn snapshot(stats: &tdbms_storage::IoStats) -> (u64, u64, u64, u64) {
@@ -806,6 +954,69 @@ mod tests {
             "snapshot reads must not take the exclusive commit lock"
         );
         assert_eq!(now.snapshot_reads - base.snapshot_reads, 9);
+    }
+
+    #[test]
+    fn repeated_statements_hit_the_plan_cache() {
+        let engine = Engine::new(seeded_db());
+        let mut s = engine.session();
+        s.execute("range of e is emp").unwrap();
+        let q = "retrieve (e.salary) where e.salary > 1000";
+        let first = s.execute(q).unwrap();
+        let (h0, m0) = engine.plan_cache_stats();
+        for _ in 0..7 {
+            let again = s.execute(q).unwrap();
+            assert_eq!(again.rows(), first.rows());
+        }
+        let (h1, m1) = engine.plan_cache_stats();
+        assert_eq!(h1 - h0, 7, "repeats must be cache hits");
+        assert_eq!(m1, m0, "repeats must not miss");
+    }
+
+    #[test]
+    fn cached_bindings_die_with_the_published_view() {
+        let engine = Engine::new(seeded_db());
+        let mut s = engine.session();
+        s.execute("range of e is emp").unwrap();
+        let q = "retrieve (e.name) where e.salary = 5555";
+        assert_eq!(s.execute(q).unwrap().affected, 0);
+        // Warm the cached binding, then commit a write that the stale
+        // binding's watermark would filter out if it were replayed.
+        assert_eq!(s.execute(q).unwrap().affected, 0);
+        s.execute(r#"append to emp (name = "late", salary = 5555)"#)
+            .unwrap();
+        assert_eq!(
+            s.execute(q).unwrap().affected,
+            1,
+            "a commit must invalidate cached bindings"
+        );
+    }
+
+    #[test]
+    fn cached_bindings_respect_the_session_range_table() {
+        let engine = Engine::new(seeded_db());
+        engine.with_write(|db| {
+            db.execute(
+                "create temporal interval emp2 (name = c20, salary = i4)",
+            )
+            .unwrap();
+            db.execute(r#"append to emp2 (name = "only", salary = 1)"#)
+                .unwrap();
+        });
+        let mut a = engine.session();
+        a.execute("range of e is emp").unwrap();
+        let q = "retrieve (e.name)";
+        assert_eq!(a.execute(q).unwrap().affected, 32);
+        assert_eq!(a.execute(q).unwrap().affected, 32); // warm
+                                                        // Same statement text, different binding in a second session.
+        let mut b = engine.session();
+        b.execute("range of e is emp2").unwrap();
+        assert_eq!(
+            b.execute(q).unwrap().affected,
+            1,
+            "cached binding must not leak across range tables"
+        );
+        assert_eq!(a.execute(q).unwrap().affected, 32);
     }
 
     #[test]

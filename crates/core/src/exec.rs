@@ -79,10 +79,10 @@ pub struct RetrieveResult {
 }
 
 /// Per-variable runtime state during execution.
-struct VarRt {
-    file: RelFile,
-    key_attr: Option<usize>,
-    indexes: Vec<tdbms_storage::catalog::NamedIndex>,
+pub(crate) struct VarRt {
+    pub(crate) file: RelFile,
+    pub(crate) key_attr: Option<usize>,
+    pub(crate) indexes: Vec<tdbms_storage::catalog::NamedIndex>,
     visible: Option<Visibility>,
     temp: Option<RelId>,
 }
@@ -99,11 +99,28 @@ pub fn exec_retrieve(
     bound: &BoundRetrieve,
     guard: &QueryGuard,
 ) -> Result<RetrieveResult> {
+    exec_retrieve_with(pager, catalog, bound, guard, None)
+}
+
+/// [`exec_retrieve`] steered by a planner-chosen [`QueryPlan`]: the
+/// plan's detachment order is applied as a *preference* over the
+/// executor's own detachable set (the set itself never changes, so the
+/// pages touched — and paper mode's byte-identical figures — don't
+/// either; each detachment reads only its own relation and writes only
+/// its own temporary).
+pub fn exec_retrieve_with(
+    pager: &Pager,
+    catalog: &mut Catalog,
+    bound: &BoundRetrieve,
+    guard: &QueryGuard,
+    plan: Option<&tdbms_plan::QueryPlan>,
+) -> Result<RetrieveResult> {
     if bound.vars.len() < 2 {
         return exec_retrieve_readonly(pager, catalog, bound, guard);
     }
     let mut p = prepare(catalog, bound, guard);
-    decompose(pager, catalog, &mut p)?;
+    let order = ordered_detachments(&p, plan);
+    decompose(pager, catalog, &mut p, &order)?;
     let temps: Vec<RelId> = p.rts.iter().filter_map(|rt| rt.temp).collect();
     let result = run_joins(pager, p)?;
     // Drop the decomposition temporaries (CPU-only aggregation and sorting
@@ -154,7 +171,8 @@ pub fn exec_retrieve_snapshot(
     }
     let mut p = prepare(catalog, bound, guard);
     p.quiet = true;
-    let decomposed = decompose(pager, catalog, &mut p);
+    let order = detachable_vars(&p);
+    let decomposed = decompose(pager, catalog, &mut p, &order);
     let temps: Vec<RelId> = p.rts.iter().filter_map(|rt| rt.temp).collect();
     let result = match decomposed {
         Ok(()) => run_joins(pager, p),
@@ -173,12 +191,12 @@ pub fn exec_retrieve_snapshot(
 
 /// Everything the join phases need, derived from the bound retrieve with
 /// only shared catalog access.
-struct Prepared {
-    b: BoundRetrieve,
+pub(crate) struct Prepared {
+    pub(crate) b: BoundRetrieve,
     slots: Vec<Slot>,
-    rts: Vec<VarRt>,
-    where_cj: Vec<(BExpr, Vec<usize>)>,
-    when_cj: Vec<(BTPred, Vec<usize>)>,
+    pub(crate) rts: Vec<VarRt>,
+    pub(crate) where_cj: Vec<(BExpr, Vec<usize>)>,
+    pub(crate) when_cj: Vec<(BTPred, Vec<usize>)>,
     /// Snapshot execution: stay off the global phase ledger and do not
     /// invalidate other sessions' buffers. Serial execution keeps this
     /// `false` so the figures' per-phase I/O accounting is unchanged.
@@ -187,7 +205,7 @@ struct Prepared {
     guard: QueryGuard,
 }
 
-fn prepare(
+pub(crate) fn prepare(
     catalog: &Catalog,
     bound: &BoundRetrieve,
     guard: &QueryGuard,
@@ -248,13 +266,90 @@ fn prepare(
     }
 }
 
-/// Phase 1: one-variable detachment. Materializes each detachable
-/// variable's projection into a temporary (recorded in `rts[v].temp`) and
-/// rewrites the plan in place.
+/// The variables phase 1 will detach, in the fixed heuristic order
+/// (ascending variable position): each needs a one-variable conjunct to
+/// consume, and its projection must not lose transaction time the query
+/// still references. The set is a property of the *bound query alone* —
+/// detaching one variable never changes another's eligibility (own
+/// conjuncts removed by a detachment belong to that variable only, and
+/// remapping rewrites only the detached variable's attributes) — so a
+/// planner may permute this order freely without changing which pages
+/// any detachment touches.
+pub(crate) fn detachable_vars(p: &Prepared) -> Vec<usize> {
+    let nvars = p.b.vars.len();
+    let mut out = Vec::new();
+    for v in 0..nvars {
+        let has_own = p.where_cj.iter().any(|(_, vs)| vs == &[v])
+            || p.when_cj.iter().any(|(_, vs)| vs == &[v]);
+        if !has_own {
+            continue;
+        }
+        // Attributes of `v` needed after detachment: from targets and
+        // from conjuncts that are NOT consumed by the detachment.
+        let mut refs: Vec<(usize, usize)> = Vec::new();
+        for t in &p.b.targets {
+            t.expr.collect_attrs(&mut refs);
+        }
+        for (c, vs) in p.where_cj.iter() {
+            if vs != &[v] {
+                c.collect_attrs(&mut refs);
+            }
+        }
+        let schema = &p.slots[v].schema;
+        let explicit_len = schema.explicit_attrs().len();
+        let tx_indices: Vec<usize> = schema
+            .implicit_attrs()
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| {
+                matches!(
+                    t,
+                    tdbms_kernel::TemporalAttr::TransactionStart
+                        | tdbms_kernel::TemporalAttr::TransactionStop
+                )
+            })
+            .map(|(i, _)| explicit_len + i)
+            .collect();
+        if refs
+            .iter()
+            .any(|(var, a)| *var == v && tx_indices.contains(a))
+        {
+            // Projection would lose transaction time; keep the
+            // original relation for this variable.
+            continue;
+        }
+        out.push(v);
+    }
+    out
+}
+
+/// The detachment order to execute: the executor's own detachable set,
+/// permuted to follow the plan's preference (variables the plan doesn't
+/// mention keep their heuristic relative order, after the planned ones).
+fn ordered_detachments(
+    p: &Prepared,
+    plan: Option<&tdbms_plan::QueryPlan>,
+) -> Vec<usize> {
+    let mut order = detachable_vars(p);
+    if let Some(plan) = plan {
+        let pref = plan.detach_order();
+        let pos = |v: usize| {
+            pref.iter().position(|&x| x == v).unwrap_or(usize::MAX)
+        };
+        order.sort_by_key(|&v| (pos(v), v));
+    }
+    order
+}
+
+/// Phase 1: one-variable detachment. Materializes each listed
+/// variable's projection into a temporary (recorded in `rts[v].temp`)
+/// and rewrites the plan in place. `order` must be a permutation of a
+/// subset of [`detachable_vars`].
 fn decompose(
     pager: &Pager,
     catalog: &mut Catalog,
     p: &mut Prepared,
+    order: &[usize],
 ) -> Result<()> {
     let Prepared {
         b,
@@ -267,17 +362,11 @@ fn decompose(
     } = p;
     let quiet = *quiet;
     let guard = guard.clone();
-    let nvars = b.vars.len();
     {
         if !quiet {
             pager.begin_phase("decomposition");
         }
-        for v in 0..nvars {
-            let has_own = where_cj.iter().any(|(_, vs)| vs == &[v])
-                || when_cj.iter().any(|(_, vs)| vs == &[v]);
-            if !has_own {
-                continue;
-            }
+        for &v in order {
             // Attributes of `v` needed after detachment: from targets and
             // from conjuncts that are NOT consumed by the detachment.
             let mut refs: Vec<(usize, usize)> = Vec::new();
@@ -291,27 +380,6 @@ fn decompose(
             }
             let schema = &slots[v].schema;
             let explicit_len = schema.explicit_attrs().len();
-            let tx_indices: Vec<usize> = schema
-                .implicit_attrs()
-                .iter()
-                .enumerate()
-                .filter(|(_, t)| {
-                    matches!(
-                        t,
-                        tdbms_kernel::TemporalAttr::TransactionStart
-                            | tdbms_kernel::TemporalAttr::TransactionStop
-                    )
-                })
-                .map(|(i, _)| explicit_len + i)
-                .collect();
-            if refs
-                .iter()
-                .any(|(var, a)| *var == v && tx_indices.contains(a))
-            {
-                // Projection would lose transaction time; keep the
-                // original relation for this variable.
-                continue;
-            }
 
             let mut needed: Vec<usize> = refs
                 .iter()
@@ -719,7 +787,7 @@ fn fold_extreme(
 
 /// Does conjunct `c` have the shape `v.key = <expr not referencing v>`
 /// (either side)? Returns the probe expression.
-fn key_probe_shape(
+pub(crate) fn key_probe_shape(
     c: &BExpr,
     v: usize,
     key_attr: Option<usize>,

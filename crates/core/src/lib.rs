@@ -34,12 +34,16 @@ pub mod eval;
 pub mod exec;
 pub mod guard;
 pub mod interval;
+pub mod plan;
 
 pub use db::{Database, ExecOutput, RelationMeta, SCRUB_FILE, WAL_FILE};
 pub use engine::{Engine, LockStats, Session, SessionLimits};
 pub use exec::QueryStats;
 pub use guard::QueryGuard;
 pub use interval::TInterval;
+pub use tdbms_plan::{
+    AccessPath, PlanStep, PlannerMode, QueryPlan, RelStats,
+};
 pub use tdbms_storage::{
     AccessMethod, BufferConfig, EvictionPolicy, PhaseIo,
 };

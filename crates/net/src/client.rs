@@ -11,7 +11,7 @@ use tdbms_kernel::{Error, Result};
 
 use crate::wire::{
     decode_response, encode_request, read_frame, write_frame, Reply,
-    Request, Response, MAX_RESPONSE_FRAME,
+    Request, Response, StatsReply, MAX_RESPONSE_FRAME,
 };
 
 /// One connection to a running `tdbms-server`.
@@ -66,6 +66,17 @@ impl Client {
             Response::Error(e) => Err(e),
             other => Err(Error::Protocol(format!(
                 "unexpected response to ping: {other:?}"
+            ))),
+        }
+    }
+
+    /// Fetch the engine's lock and plan-cache counters.
+    pub fn stats(&mut self) -> Result<StatsReply> {
+        match self.round_trip(&Request::Stats)? {
+            Response::Stats(s) => Ok(s),
+            Response::Error(e) => Err(e),
+            other => Err(Error::Protocol(format!(
+                "unexpected response to stats: {other:?}"
             ))),
         }
     }

@@ -27,4 +27,4 @@ pub mod wire;
 
 pub use client::Client;
 pub use server::{Server, ServerConfig, ServerHandle, ServerStats};
-pub use wire::{Reply, Request, Response};
+pub use wire::{Reply, Request, Response, StatsReply};

@@ -29,7 +29,7 @@ use tdbms_kernel::{Error, Result};
 
 use crate::wire::{
     decode_request, encode_response, write_frame, Reply, Request, Response,
-    MAX_REQUEST_FRAME,
+    StatsReply, MAX_REQUEST_FRAME,
 };
 
 /// Tuning knobs of one server instance.
@@ -445,6 +445,20 @@ fn serve_connection(
         match req {
             Request::Ping => {
                 if !send(&mut stream, &Response::Pong, cfg) {
+                    break;
+                }
+            }
+            Request::Stats => {
+                let locks = engine.lock_stats();
+                let (plan_hits, plan_misses) = engine.plan_cache_stats();
+                let resp = Response::Stats(StatsReply {
+                    shared: locks.shared,
+                    exclusive: locks.exclusive,
+                    snapshot_reads: locks.snapshot_reads,
+                    plan_hits,
+                    plan_misses,
+                });
+                if !send(&mut stream, &resp, cfg) {
                     break;
                 }
             }

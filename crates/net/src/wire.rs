@@ -29,12 +29,14 @@ pub const PROTOCOL_VERSION: u8 = 1;
 const OP_QUERY: u8 = 1;
 const OP_PING: u8 = 2;
 const OP_SHUTDOWN: u8 = 3;
+const OP_STATS: u8 = 4;
 
 // Response tags.
 const RESP_ROWS: u8 = 1;
 const RESP_ERROR: u8 = 2;
 const RESP_PONG: u8 = 3;
 const RESP_BYE: u8 = 4;
+const RESP_STATS: u8 = 5;
 
 /// One client request.
 #[derive(Debug, Clone, PartialEq)]
@@ -51,6 +53,24 @@ pub enum Request {
     Ping,
     /// Ask the server to begin a graceful shutdown.
     Shutdown,
+    /// Ask for the engine's lock and plan-cache counters.
+    Stats,
+}
+
+/// Engine-wide counters a server reports to [`Request::Stats`]: the
+/// commit-lock/snapshot split plus the statement-cache hit ratio.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StatsReply {
+    /// Shared (read-side) commit-lock acquisitions.
+    pub shared: u64,
+    /// Exclusive (write-side) commit-lock acquisitions.
+    pub exclusive: u64,
+    /// Retrieves served lock-free from the published read view.
+    pub snapshot_reads: u64,
+    /// Statement-cache hits (parse skipped).
+    pub plan_hits: u64,
+    /// Statement-cache misses (text parsed and cached).
+    pub plan_misses: u64,
 }
 
 /// Result-set payload of a successful query.
@@ -101,6 +121,8 @@ pub enum Response {
     Pong,
     /// Acknowledges a shutdown request; the connection closes after.
     Bye,
+    /// Engine counters, answering [`Request::Stats`].
+    Stats(StatsReply),
 }
 
 // ---- primitive encoding ------------------------------------------------
@@ -372,6 +394,10 @@ pub fn encode_request(req: &Request) -> Vec<u8> {
             put_u8(&mut buf, OP_SHUTDOWN);
             put_u8(&mut buf, PROTOCOL_VERSION);
         }
+        Request::Stats => {
+            put_u8(&mut buf, OP_STATS);
+            put_u8(&mut buf, PROTOCOL_VERSION);
+        }
     }
     buf
 }
@@ -400,6 +426,7 @@ pub fn decode_request(payload: &[u8]) -> Result<Request> {
         }
         OP_PING => Request::Ping,
         OP_SHUTDOWN => Request::Shutdown,
+        OP_STATS => Request::Stats,
         other => {
             return Err(Error::Protocol(format!(
                 "unknown request opcode {other}"
@@ -455,6 +482,14 @@ pub fn encode_response(resp: &Response, max_bytes: usize) -> Vec<u8> {
         }
         Response::Pong => put_u8(&mut buf, RESP_PONG),
         Response::Bye => put_u8(&mut buf, RESP_BYE),
+        Response::Stats(s) => {
+            put_u8(&mut buf, RESP_STATS);
+            put_u64(&mut buf, s.shared);
+            put_u64(&mut buf, s.exclusive);
+            put_u64(&mut buf, s.snapshot_reads);
+            put_u64(&mut buf, s.plan_hits);
+            put_u64(&mut buf, s.plan_misses);
+        }
     }
     buf
 }
@@ -502,6 +537,13 @@ pub fn decode_response(payload: &[u8]) -> Result<Response> {
         }
         RESP_PONG => Ok(Response::Pong),
         RESP_BYE => Ok(Response::Bye),
+        RESP_STATS => Ok(Response::Stats(StatsReply {
+            shared: c.u64()?,
+            exclusive: c.u64()?,
+            snapshot_reads: c.u64()?,
+            plan_hits: c.u64()?,
+            plan_misses: c.u64()?,
+        })),
         t => Err(Error::Protocol(format!("unknown response tag {t}"))),
     }
 }
@@ -581,6 +623,7 @@ mod tests {
             },
             Request::Ping,
             Request::Shutdown,
+            Request::Stats,
         ] {
             let enc = encode_request(&req);
             assert_eq!(decode_request(&enc).unwrap(), req);
@@ -610,6 +653,23 @@ mod tests {
         let enc =
             encode_response(&Response::Rows(reply.clone()), usize::MAX);
         assert_eq!(decode_response(&enc).unwrap(), Response::Rows(reply));
+    }
+
+    #[test]
+    fn stats_response_roundtrips() {
+        let stats = StatsReply {
+            shared: 3,
+            exclusive: 17,
+            snapshot_reads: 12_000,
+            plan_hits: 990,
+            plan_misses: 10,
+        };
+        let enc = encode_response(&Response::Stats(stats), usize::MAX);
+        assert_eq!(decode_response(&enc).unwrap(), Response::Stats(stats));
+        // Truncations must be typed errors, never panics.
+        for cut in 0..enc.len() {
+            let _ = decode_response(&enc[..cut]);
+        }
     }
 
     #[test]

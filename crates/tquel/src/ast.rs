@@ -38,6 +38,10 @@ pub enum Statement {
     /// index (Ingres-style; the paper's §6 proposes exactly this for
     /// non-key temporal queries).
     Index(CreateIndex),
+    /// `explain retrieve ...` — plan the retrieve, run it, and report
+    /// the chosen detachment order, access paths, and estimated vs
+    /// actual page I/O instead of the result rows.
+    Explain(Retrieve),
 }
 
 /// The index statement.

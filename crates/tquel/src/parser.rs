@@ -169,6 +169,13 @@ impl Parser {
             T::Keyword(K::Modify) => self.modify_stmt(),
             T::Keyword(K::Copy) => self.copy_stmt(),
             T::Keyword(K::Index) => self.index_stmt(),
+            T::Keyword(K::Explain) => {
+                self.advance();
+                match self.retrieve_stmt()? {
+                    Statement::Retrieve(r) => Ok(Statement::Explain(r)),
+                    _ => unreachable!("retrieve_stmt yields Retrieve"),
+                }
+            }
             other => {
                 Err(self
                     .err(format!("expected a statement, found `{other}`")))

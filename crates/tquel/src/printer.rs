@@ -30,6 +30,7 @@ impl fmt::Display for Statement {
             Statement::Modify(m) => write!(f, "{m}"),
             Statement::Copy(c) => write!(f, "{c}"),
             Statement::Index(i) => write!(f, "{i}"),
+            Statement::Explain(r) => write!(f, "explain {r}"),
         }
     }
 }

@@ -144,6 +144,7 @@ keywords! {
     By => "by",
     Asc => "asc",
     Desc => "desc",
+    Explain => "explain",
 }
 
 impl fmt::Display for TokenKind {

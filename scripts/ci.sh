@@ -276,6 +276,88 @@ gate_server_smoke() {
     return "$rc"
 }
 
+# Planner golden gate: the cost-based planner is an optimization, never
+# a semantics change — every figure binary must print byte-identical
+# output with the planner on (default) and forced to the fixed paper
+# heuristic (`TDBMS_PLANNER=fixed`). Then the prediction report itself
+# must pass its growth-ordering check (fig5 --predict exits nonzero on
+# any mis-ranked pair) and leave the BENCH_planner.json artifact.
+gate_planner_golden() {
+    local a b f rc=0
+    a=$(mktemp) b=$(mktemp)
+    for f in fig5 fig6 fig7 fig8 fig9 fig10; do
+        TDBMS_MAX_UC=2 "$bindir/$f" >"$a"
+        TDBMS_PLANNER=fixed TDBMS_MAX_UC=2 "$bindir/$f" >"$b"
+        if ! diff "$a" "$b"; then
+            echo "$f: output changed under TDBMS_PLANNER=fixed"
+            rc=1
+            break
+        fi
+    done
+    rm -f "$a" "$b"
+    [[ "$rc" == 0 ]] || return "$rc"
+    TDBMS_MAX_UC=2 "$bindir/fig5" --predict --json BENCH_planner.json \
+        >/dev/null || {
+        echo "fig5 --predict: estimates mis-ranked measured growth"
+        return 1
+    }
+    [[ -s BENCH_planner.json ]] || {
+        echo "fig5 --predict: BENCH_planner.json not written"
+        return 1
+    }
+}
+
+# Plan-cache smoke: a read-only server workload over a handful of hot
+# statement shapes must be served almost entirely from the engine's
+# statement cache — >90% hit rate, reported over the wire through the
+# throughput driver's stats request.
+gate_plan_cache_smoke() {
+    local dbdir srvout addr out rc=0 i
+    dbdir=$(mktemp -d)
+    srvout=$(mktemp)
+    "$bindir/tdbms-server" "$dbdir" --addr 127.0.0.1:0 >"$srvout" 2>&1 &
+    local srvpid=$!
+    addr=""
+    for i in $(seq 1 100); do
+        addr=$(sed -n 's/^listening on //p' "$srvout")
+        [[ -n "$addr" ]] && break
+        kill -0 "$srvpid" 2>/dev/null || break
+        sleep 0.1
+    done
+    if [[ -z "$addr" ]]; then
+        echo "plan-cache-smoke: server never reported its address"
+        cat "$srvout"
+        kill "$srvpid" 2>/dev/null || true
+        rm -rf "$dbdir" "$srvout"
+        return 1
+    fi
+    out=$("$bindir/throughput" --server "$addr" --threads 4 --ops 128 \
+        --write-every 0 --join-every 0 --setup-rows 4) || rc=1
+    echo "$out"
+    if [[ "$rc" == 0 ]]; then
+        echo "$out" | awk '
+            /^plan-cache:/ {
+                found = 1
+                sub(/.*hit-rate=/, ""); sub(/%/, "")
+                if ($0 + 0 <= 90) {
+                    print "plan-cache-smoke: hit rate " $0 "% <= 90%"
+                    exit 1
+                }
+            }
+            END { exit found ? 0 : 2 }
+        ' || rc=1
+    fi
+    if [[ "$rc" == 0 ]]; then
+        "$bindir/tdbms-server" --shutdown "$addr" || rc=1
+        wait "$srvpid" || rc=1
+    else
+        kill "$srvpid" 2>/dev/null || true
+        wait "$srvpid" 2>/dev/null || true
+    fi
+    rm -rf "$dbdir" "$srvout"
+    return "$rc"
+}
+
 # End-to-end scrubber gate: build a durable database through the shell
 # with a manual checkpoint policy (so the process exit leaves a
 # committed log tail), then `check` must replay the WAL and audit the
@@ -311,6 +393,7 @@ GATES+=(
     wal-crash-matrix corruption-scrub transient-retry
     concurrency-stress group-commit-crash snapshot-stress
     fig5-checksums figures-threads fig11-shape
+    planner-golden plan-cache-smoke
     throughput-smoke net-protocol server-smoke check-recovery
 )
 
@@ -335,7 +418,8 @@ export -f gate_fmt gate_build gate_clippy gate_test \
     gate_wal_crash_matrix gate_corruption_scrub gate_transient_retry \
     gate_concurrency_stress gate_group_commit_crash \
     gate_snapshot_stress gate_fig5_checksums gate_figures_threads \
-    gate_fig11_shape gate_throughput_smoke gate_net_protocol \
+    gate_fig11_shape gate_planner_golden gate_plan_cache_smoke \
+    gate_throughput_smoke gate_net_protocol \
     gate_server_smoke gate_check_recovery
 
 RAN=() STATUSES=() TOOK=() FAILED=()

@@ -14,7 +14,10 @@
 //! * `\d <rel>` — describe a relation
 //! * `\stats` — page-access counters (reset by each mutating statement;
 //!   read-only retrieves accumulate, since they run on the engine's
-//!   shared-lock path)
+//!   shared-lock path) plus the engine's plan-cache hit/miss counters
+//! * `\stats <rel>` — the planner's maintained statistics for one
+//!   relation (versions, pages, directory levels, distinct keys,
+//!   average version-chain length)
 //! * `\now` — the transaction clock
 //! * `\i <file>` — run statements from a file
 //! * `\q` — quit
@@ -128,7 +131,7 @@ impl Shell {
                 }
             }
             "\\d" => println!("{}", self.describe(arg)),
-            "\\stats" => {
+            "\\stats" if arg.is_empty() => {
                 let (reads, writes) = self.session.engine().with_read(|db| {
                     let st = db.io_stats();
                     (st.total_reads(), st.total_writes())
@@ -136,6 +139,40 @@ impl Shell {
                 println!(
                     "last statement: {reads} page reads, {writes} page writes"
                 );
+                let (hits, misses) = self.session.plan_cache_stats();
+                println!("plan cache: {hits} hits, {misses} misses");
+            }
+            "\\stats" => {
+                let stats = self
+                    .session
+                    .engine()
+                    .with_read(|db| db.relation_stats(arg));
+                match stats {
+                    Err(e) => {
+                        self.errors += 1;
+                        println!("error: {e}");
+                    }
+                    Ok(st) => {
+                        println!(
+                            "{} — {} organization, row width {}",
+                            st.name, st.method, st.row_width
+                        );
+                        println!(
+                            "  {} stored versions, {} pages \
+                             ({} scannable), {} directory level(s)",
+                            st.tuple_count,
+                            st.total_pages,
+                            st.scannable_pages,
+                            st.directory_levels
+                        );
+                        println!(
+                            "  ~{} distinct key(s), average chain \
+                             length {}",
+                            st.distinct_estimate(),
+                            st.chain_len()
+                        );
+                    }
+                }
             }
             "\\now" => println!(
                 "{}",

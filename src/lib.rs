@@ -22,9 +22,10 @@
 //! ```
 
 pub use tdbms_core::{
-    AccessMethod, CheckpointPolicy, Database, Engine, ExecOutput,
-    GroupCommitConfig, LockStats, QueryStats, RelationMeta, Session,
-    TInterval, SCRUB_FILE, WAL_FILE,
+    AccessMethod, AccessPath, CheckpointPolicy, Database, Engine,
+    ExecOutput, GroupCommitConfig, LockStats, PlanStep, PlannerMode,
+    QueryPlan, QueryStats, RelStats, RelationMeta, Session, TInterval,
+    SCRUB_FILE, WAL_FILE,
 };
 pub use tdbms_kernel::{
     AttrDef, Clock, DatabaseClass, Domain, Error, Granularity, Result,

@@ -125,6 +125,37 @@ fn two_clients_see_each_others_commits() {
     assert_eq!(srv.stop().panics_caught, 0);
 }
 
+#[test]
+fn stats_request_reports_lock_and_plan_cache_counters() {
+    let srv = TestServer::start(ServerConfig::default());
+    let mut c = srv.client();
+    seed_relation(&mut c);
+    c.query("range of q is t").expect("range");
+    let hot = "retrieve (q.id) where q.id = 7";
+    for _ in 0..20 {
+        c.query(hot).expect("hot retrieve");
+    }
+    let stats = c.stats().expect("stats");
+    // The 19 repeats of the hot statement are cache hits; setup
+    // statements are all distinct texts, i.e. misses.
+    assert!(
+        stats.plan_hits >= 19,
+        "expected >=19 plan-cache hits, got {}",
+        stats.plan_hits
+    );
+    assert!(stats.plan_misses >= 1);
+    assert!(
+        stats.snapshot_reads >= 20,
+        "hot retrieves should be snapshot reads, got {}",
+        stats.snapshot_reads
+    );
+    // Wire counters must agree with the engine's own view.
+    let locks = srv.engine.lock_stats();
+    assert_eq!(stats.shared, locks.shared);
+    assert_eq!(stats.exclusive, locks.exclusive);
+    assert_eq!(srv.stop().panics_caught, 0);
+}
+
 // ---- hostile statements (the panic-path regression sweep) --------------
 
 /// Every statement here either panicked some layer of the engine

@@ -1,0 +1,280 @@
+//! Planner correctness properties.
+//!
+//! The cost-based planner only chooses *orders* and *access paths*;
+//! it must never change what a query returns. The seeded property
+//! test here drives random schemas, workloads, and multi-variable
+//! retrieves through both planner modes and requires byte-identical
+//! rows. The plan-cache tests drive the engine's statement cache
+//! through concurrent sessions and catalog changes mid-stream — a
+//! cached plan may go stale, but serving stale *results* is a bug.
+//! The accuracy test holds the `explain` estimates to the issue's 2×
+//! acceptance bound on the paper workload's single-variable queries
+//! (join estimates are ordinal — validated by the fig5 `--predict`
+//! ranking gate instead; see DESIGN.md "Query planning").
+
+use tdbms::{Database, Engine, PlannerMode, Value};
+use tdbms_bench::{build_database, evolve_uniform, BenchConfig};
+use tdbms_kernel::DatabaseClass;
+use tdbms_prop::{check, Gen};
+
+/// One generated scenario: setup statements, then query statements.
+struct Scenario {
+    setup: Vec<String>,
+    queries: Vec<String>,
+}
+
+fn arb_scenario(g: &mut Gen) -> Scenario {
+    let nrels = g.range(2usize..4);
+    let mut setup = Vec::new();
+    for r in 0..nrels {
+        setup.push(format!(
+            "create temporal interval r{r} (id = i4, val = i4)"
+        ));
+        let rows = g.range(16u32..48);
+        for _ in 0..rows {
+            setup.push(format!(
+                "append to r{r} (id = {}, val = {})",
+                g.range(0i32..12),
+                g.range(-100i32..100)
+            ));
+        }
+        // Random access method: heap stays as created.
+        match g.range(0u8..3) {
+            1 => setup.push(format!(
+                "modify r{r} to hash on id where fillfactor = 100"
+            )),
+            2 => setup.push(format!(
+                "modify r{r} to isam on id where fillfactor = 100"
+            )),
+            _ => {}
+        }
+        setup.push(format!("range of v{r} is r{r}"));
+        // Updates grow version chains (what the planner's chain-length
+        // statistic feeds on).
+        let updates = g.range(0u32..12);
+        for _ in 0..updates {
+            setup.push(format!(
+                "replace v{r} (val = {}) where v{r}.id = {}",
+                g.range(-100i32..100),
+                g.range(0i32..12)
+            ));
+        }
+    }
+    let mut queries = Vec::new();
+    for _ in 0..g.range(3usize..7) {
+        let a = g.range(0usize..nrels);
+        let mut b = g.range(0usize..nrels);
+        if b == a {
+            b = (b + 1) % nrels;
+        }
+        let mut conj = vec![format!("v{a}.id = v{b}.id")];
+        if g.bool() {
+            conj.push(format!("v{a}.val > {}", g.range(-100i32..100)));
+        }
+        if g.bool() {
+            conj.push(format!("v{b}.id = {}", g.range(0i32..12)));
+        }
+        queries.push(format!(
+            "retrieve (v{a}.id, v{a}.val, v{b}.val) where {}",
+            conj.join(" and ")
+        ));
+    }
+    Scenario { setup, queries }
+}
+
+/// Replay a scenario under one planner mode, returning each query's
+/// `(columns, rows, affected)`.
+fn replay(
+    s: &Scenario,
+    mode: PlannerMode,
+) -> Vec<(Vec<String>, Vec<Vec<Value>>, usize)> {
+    let mut db = Database::in_memory();
+    db.set_planner_mode(mode);
+    for stmt in &s.setup {
+        db.execute(stmt)
+            .unwrap_or_else(|e| panic!("setup `{stmt}` failed: {e}"));
+    }
+    s.queries
+        .iter()
+        .map(|q| {
+            let out = db
+                .execute(q)
+                .unwrap_or_else(|e| panic!("`{q}` failed: {e}"));
+            (
+                out.columns.iter().map(|(n, _)| n.clone()).collect(),
+                out.rows().to_vec(),
+                out.affected,
+            )
+        })
+        .collect()
+}
+
+#[test]
+fn planner_order_returns_byte_identical_rows() {
+    check("planner_order_rows", 24, |g| {
+        let s = arb_scenario(g);
+        let cost = replay(&s, PlannerMode::Cost);
+        let fixed = replay(&s, PlannerMode::Fixed);
+        for (i, (c, f)) in cost.iter().zip(&fixed).enumerate() {
+            assert_eq!(
+                c, f,
+                "query {i} `{}` differs between planner modes",
+                s.queries[i]
+            );
+        }
+    });
+}
+
+fn seeded_engine() -> Engine {
+    let mut db = Database::in_memory();
+    db.execute("create temporal interval t (id = i4, x = i4)")
+        .unwrap();
+    for id in 0..64 {
+        db.execute(&format!("append to t (id = {id}, x = {id})"))
+            .unwrap();
+    }
+    Engine::new(db)
+}
+
+/// Concurrent sessions hammer two hot statement texts while a writer
+/// commits (republishing the view) mid-stream. No read may error or
+/// see a row count outside the [before, after] window, and the hot
+/// texts must hit the cache >90 % of the time.
+#[test]
+fn plan_cache_stress_under_concurrent_writes() {
+    let engine = seeded_engine();
+    let readers = 4;
+    let reps = 200u64;
+    std::thread::scope(|s| {
+        for _ in 0..readers {
+            let engine = engine.clone();
+            s.spawn(move || {
+                let mut sess = engine.session();
+                sess.execute("range of q is t").unwrap();
+                for i in 0..reps {
+                    let stmt = if i % 2 == 0 {
+                        "retrieve (q.x) where q.id = 7"
+                    } else {
+                        "retrieve (q.id) where q.x > 1000"
+                    };
+                    let out = sess.execute(stmt).unwrap();
+                    if i % 2 == 0 {
+                        assert_eq!(out.affected, 1);
+                    } else {
+                        // Writers append x = 5000 rows concurrently;
+                        // any count up to the final total is a valid
+                        // snapshot.
+                        assert!(out.affected <= 32);
+                    }
+                }
+            });
+        }
+        let engine = engine.clone();
+        s.spawn(move || {
+            let mut w = engine.session();
+            w.execute("range of w is t").unwrap();
+            for i in 0..32 {
+                w.execute(&format!(
+                    "append to t (id = {}, x = 5000)",
+                    100 + i
+                ))
+                .unwrap();
+            }
+        });
+    });
+    let (hits, misses) = engine.plan_cache_stats();
+    let rate = hits as f64 / (hits + misses).max(1) as f64;
+    assert!(
+        rate > 0.9,
+        "hot statements should hit >90%: hits={hits} misses={misses}"
+    );
+    // The writer's rows are all visible once the dust settles.
+    let mut sess = engine.session();
+    sess.execute("range of q is t").unwrap();
+    let out = sess.execute("retrieve (q.id) where q.x > 1000").unwrap();
+    assert_eq!(out.affected, 32);
+}
+
+/// A catalog change between repeats of the same statement text must
+/// invalidate the cached binding: the warmed query re-binds against
+/// the recreated relation instead of serving the destroyed one.
+#[test]
+fn plan_cache_survives_destroy_and_recreate() {
+    let engine = seeded_engine();
+    let mut a = engine.session();
+    a.execute("range of q is t").unwrap();
+    let hot = "retrieve (q.x) where q.id = 7";
+    for _ in 0..3 {
+        assert_eq!(a.execute(hot).unwrap().affected, 1);
+    }
+    // Another session swaps the relation out from under the cache.
+    let mut b = engine.session();
+    b.execute("destroy t").unwrap();
+    b.execute("create temporal interval t (id = i4, x = i4)")
+        .unwrap();
+    b.execute("append to t (id = 7, x = 1)").unwrap();
+    b.execute("append to t (id = 7, x = 2)").unwrap();
+    // Session A's range table still maps q -> t; the same text must
+    // now see the new relation's two versions.
+    let out = a.execute(hot).unwrap();
+    assert_eq!(
+        out.affected, 2,
+        "cached plan served stale data after destroy/recreate"
+    );
+    // And a destroy without recreate is a clean error, not a stale hit.
+    b.execute("destroy t").unwrap();
+    assert!(a.execute(hot).is_err());
+}
+
+/// The issue's acceptance bound: on the paper workload, `explain`'s
+/// estimated input pages stay within 2× of the measured I/O for the
+/// single-variable benchmark queries, before and after update rounds.
+#[test]
+fn explain_estimates_within_2x_on_paper_workload() {
+    let cfg = BenchConfig::new(DatabaseClass::Temporal, 100);
+    let mut db = build_database(&cfg);
+    let single_var = [
+        "Q01", "Q02", "Q03", "Q04", "Q05", "Q06", "Q07", "Q08", "Q12",
+    ];
+    for round in 0..=2 {
+        if round > 0 {
+            evolve_uniform(&mut db, &cfg);
+        }
+        for id in single_var {
+            let q =
+                tdbms_bench::query_for(id, cfg.class).expect("applicable");
+            let (est_in, _) = db
+                .estimate_retrieve(&q.tquel)
+                .unwrap_or_else(|e| panic!("{id} estimate: {e}"));
+            let out = db
+                .execute(&q.tquel)
+                .unwrap_or_else(|e| panic!("{id}: {e}"));
+            let meas = out.stats.input_pages.max(1);
+            let est = est_in.max(1);
+            assert!(
+                est <= 2 * meas && meas <= 2 * est,
+                "{id} at uc {round}: estimated {est} vs measured \
+                 {meas} input pages is outside 2x"
+            );
+        }
+    }
+    // The explain statement itself reports both numbers.
+    let q01 = tdbms_bench::query_for("Q01", cfg.class).unwrap();
+    let out = db.execute(&format!("explain {}", q01.tquel)).unwrap();
+    let text: Vec<String> = out
+        .rows()
+        .iter()
+        .map(|r| match &r[0] {
+            Value::Str(s) => s.clone(),
+            other => panic!("explain row is not text: {other:?}"),
+        })
+        .collect();
+    assert!(
+        text.iter().any(|l| l.starts_with("estimated:")),
+        "explain output: {text:?}"
+    );
+    assert!(
+        text.iter().any(|l| l.starts_with("actual:")),
+        "explain output: {text:?}"
+    );
+}

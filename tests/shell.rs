@@ -143,6 +143,46 @@ fn shell_handles_eof_mid_statement_without_hanging() {
 }
 
 #[test]
+fn shell_stats_prints_relation_statistics() {
+    let (stdout, _, status) = run_shell_status(
+        &[],
+        "create temporal interval emp (name = c12, salary = i4);\n\
+         append to emp (name = \"a\", salary = 1);\n\
+         append to emp (name = \"b\", salary = 2);\n\
+         \\stats emp\n\\stats\n",
+    );
+    assert!(status.success(), "status: {status}\nstdout: {stdout}");
+    assert!(stdout.contains("2 stored versions"), "stdout: {stdout}");
+    assert!(stdout.contains("distinct key(s)"), "stdout: {stdout}");
+    assert!(stdout.contains("average chain length"), "stdout: {stdout}");
+    // Bare \stats still reports the counters, plus the plan cache.
+    assert!(stdout.contains("page reads"), "stdout: {stdout}");
+    assert!(stdout.contains("plan cache:"), "stdout: {stdout}");
+}
+
+#[test]
+fn shell_stats_on_unknown_relation_exits_nonzero() {
+    let (stdout, _, status) = run_shell_status(&[], "\\stats ghost\n");
+    assert!(stdout.contains("error:"), "stdout: {stdout}");
+    assert_eq!(status.code(), Some(1), "status: {status}");
+}
+
+#[test]
+fn shell_explain_prints_a_plan() {
+    let (stdout, _, status) = run_shell_status(
+        &[],
+        "create temporal interval emp (name = c12, salary = i4);\n\
+         append to emp (name = \"a\", salary = 1);\n\
+         range of e is emp;\n\
+         explain retrieve (e.salary) where e.salary > 0;\n",
+    );
+    assert!(status.success(), "status: {status}\nstdout: {stdout}");
+    assert!(stdout.contains("query plan"), "stdout: {stdout}");
+    assert!(stdout.contains("estimated:"), "stdout: {stdout}");
+    assert!(stdout.contains("actual:"), "stdout: {stdout}");
+}
+
+#[test]
 fn shell_include_recursion_is_capped() {
     // A file that includes itself must terminate with an error
     // instead of recursing until the stack dies.
