@@ -24,6 +24,17 @@
 //! loop through the network protocol — so qps and the latency tail
 //! include framing, syscalls, and the server's per-query guardrails.
 //!
+//! `--chaos SEED` runs the resource-exhaustion acceptance drill
+//! instead of a benchmark: it boots an in-process server on
+//! file-backed, fault-wrapped storage, drives it with `--threads N`
+//! reconnecting TCP clients, and flips disk-full / fsync-failure
+//! faults (plus client-side connection drops) on a schedule that is a
+//! pure function of SEED. The run fails loudly unless the server
+//! survives, every acked append is still readable afterwards, workers
+//! saw only typed retryable errors during fault windows, writes
+//! resume once the faults lift, and the closing `tdbms-check` audit
+//! of the directory is clean.
+//!
 //! Worker errors do not kill the run: they are counted, reported in
 //! the `throughput:` line (`errors=`), and the JSON artifact is still
 //! written with whatever completed (partial results are results).
@@ -35,7 +46,7 @@
 //!
 //! `--json PATH` additionally writes the whole report as one JSON
 //! object (the `BENCH_throughput.json` artifact CI records).
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
 use tdbms_bench::{build_database, populate_database, BenchConfig};
@@ -43,10 +54,12 @@ use tdbms_core::{
     CheckpointPolicy, Database, Engine, GroupCommitConfig, LockStats,
     PhaseIo,
 };
-use tdbms_kernel::{DatabaseClass, Prng};
-use tdbms_net::Client;
-use tdbms_storage::SharedMemDisk;
-use tdbms_wal::SharedMemLog;
+use tdbms_kernel::{DatabaseClass, Error, Prng, Value};
+use tdbms_net::{
+    Client, ReconnectClient, RetryConfig, Server, ServerConfig,
+};
+use tdbms_storage::{FaultDisk, FaultPlan, FileDisk, SharedMemDisk};
+use tdbms_wal::{FaultLog, FileLog, SharedMemLog};
 
 fn flag(name: &str, default: u64) -> u64 {
     let mut args = std::env::args();
@@ -163,6 +176,13 @@ fn main() {
     let json_path = flag_str("json");
     let server_addr = flag_str("server");
 
+    if let Some(chaos_seed) =
+        flag_str("chaos").and_then(|v| v.parse::<u64>().ok())
+    {
+        run_chaos_mode(chaos_seed, threads, ops, json_path);
+        return;
+    }
+
     let cfg = BenchConfig::new(DatabaseClass::Temporal, 100);
     let report = match server_addr {
         Some(addr) => run_server_mode(
@@ -210,6 +230,11 @@ struct Report {
     /// Statement-cache `(hits, misses)` of the engine that served the
     /// run — fetched over the wire in server mode.
     plan_cache: Option<(u64, u64)>,
+    /// Server-mode health counters `(degraded, panics_caught,
+    /// accept_errors)` from the same stats fetch: a benchmark run that
+    /// degraded the engine mid-way is not a clean data point, and the
+    /// report should say so.
+    server_health: Option<(bool, u64, u64)>,
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -350,6 +375,7 @@ fn run_embedded_mode(
         locks: Some(locks),
         group,
         plan_cache: Some(plan_cache),
+        server_health: None,
     }
 }
 
@@ -484,7 +510,7 @@ fn run_server_mode(
     let elapsed = start.elapsed();
     // The counters live in the server process; fetch them over the
     // wire so the report carries the same proof lines as embedded mode.
-    let (locks, plan_cache) =
+    let (locks, plan_cache, server_health) =
         match Client::connect(addr).and_then(|mut c| c.stats()) {
             Ok(s) => (
                 Some(LockStats {
@@ -493,10 +519,11 @@ fn run_server_mode(
                     snapshot_reads: s.snapshot_reads,
                 }),
                 Some((s.plan_hits, s.plan_misses)),
+                Some((s.degraded, s.panics_caught, s.accept_errors)),
             ),
             Err(e) => {
                 eprintln!("stats fetch failed: {e}");
-                (None, None)
+                (None, None, None)
             }
         };
     Report {
@@ -507,6 +534,375 @@ fn run_server_mode(
         locks,
         group: None,
         plan_cache,
+        server_health,
+    }
+}
+
+/// Typed errors a worker may legitimately see while a fault window is
+/// open (or immediately after one, before the engine re-arms). Reads
+/// are held to a stricter standard than writes: degraded mode is
+/// read-only by design, so `Degraded` on a retrieve would mean the
+/// snapshot-read promise broke.
+fn tolerated_error(e: &Error, write: bool) -> Option<&'static str> {
+    match e {
+        Error::Degraded { .. } if write => Some("degraded"),
+        Error::RetryUnsafe(_) if write => Some("retry_unsafe"),
+        Error::Busy => Some("busy"),
+        Error::Timeout { .. } => Some("timeout"),
+        Error::ShuttingDown => Some("shutting_down"),
+        _ => None,
+    }
+}
+
+/// What the chaos workers observed, merged across threads.
+#[derive(Default)]
+struct ChaosTotals {
+    /// ids of appends the server acknowledged — each must still be
+    /// readable once the faults lift.
+    acked: Vec<i64>,
+    ok_reads: u64,
+    degraded: u64,
+    busy: u64,
+    timeout: u64,
+    retry_unsafe: u64,
+    shutting_down: u64,
+    reconnects: u64,
+    retries: u64,
+    /// Errors outside the tolerated typed set — any entry fails the
+    /// run.
+    violations: Vec<String>,
+}
+
+/// The resource-exhaustion acceptance drill (`--chaos SEED`): a real
+/// TCP server on fault-wrapped file storage, reconnecting clients,
+/// and a seeded schedule of disk-full / fsync-failure windows plus
+/// client-side connection drops. Panics (nonzero exit) on any broken
+/// invariant; prints a `chaos:` summary and optionally a JSON
+/// artifact on success.
+fn run_chaos_mode(
+    chaos_seed: u64,
+    threads: usize,
+    ops: u64,
+    json_path: Option<String>,
+) {
+    let dir = tdbms_kernel::tmpdir::fresh_dir("chaos-throughput");
+    let plan = FaultPlan::new(None);
+    let disk = FaultDisk::new(
+        Box::new(FileDisk::open(&dir).expect("open page files")),
+        plan.clone(),
+    );
+    let log = FaultLog::new(
+        Box::new(FileLog::open(dir.join("wal.tdbms")).expect("open wal")),
+        plan.clone(),
+    );
+    let mut db = Database::open_durable_on(
+        Box::new(disk),
+        Box::new(log),
+        Some(dir.clone()),
+    )
+    .expect("durable open on fresh fault-wrapped storage");
+    db.set_checkpoint_policy(CheckpointPolicy::EveryN(64));
+    db.enable_group_commit(GroupCommitConfig {
+        max_batch: 8,
+        max_delay: Duration::from_millis(2),
+    })
+    .expect("database is durable");
+
+    let server = Server::bind(
+        Engine::new(db),
+        "127.0.0.1:0",
+        ServerConfig::default(),
+    )
+    .expect("bind ephemeral port");
+    let addr = server.local_addr().expect("bound address").to_string();
+    let handle = server.handle();
+    let server_exited = AtomicBool::new(false);
+    let done = AtomicBool::new(false);
+    let windows = AtomicU64::new(0);
+    let totals = Mutex::new(ChaosTotals::default());
+
+    let (resume_attempts, server_stats, elapsed) =
+        std::thread::scope(|s| {
+            let server_thread = s.spawn(|| {
+                let stats = server.run();
+                server_exited.store(true, Ordering::SeqCst);
+                stats
+            });
+
+            // Schema setup runs before any fault window opens.
+            let mut setup =
+                Client::connect(&addr).expect("connect for setup");
+            setup.ping().expect("server answers ping");
+            setup
+                .query("create temporal interval chaos (id = i4, seq = i4)")
+                .expect("create chaos relation");
+            drop(setup);
+
+            // The fault controller: the sequence of window kinds and
+            // durations is a pure function of the chaos seed; only its
+            // interleaving with worker ops varies run to run.
+            let controller = s.spawn(|| {
+                let mut rng = Prng::seed_from_u64(chaos_seed);
+                while !done.load(Ordering::SeqCst) {
+                    let healthy = 5 + rng.random_range(0u64..15);
+                    std::thread::sleep(Duration::from_millis(healthy));
+                    if done.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    let kind = rng.random_range(0u64..3);
+                    if kind != 1 {
+                        plan.set_enospc(true);
+                    }
+                    if kind != 0 {
+                        plan.set_fsync_fail(true);
+                    }
+                    windows.fetch_add(1, Ordering::Relaxed);
+                    let width = 3 + rng.random_range(0u64..10);
+                    std::thread::sleep(Duration::from_millis(width));
+                    plan.set_enospc(false);
+                    plan.set_fsync_fail(false);
+                }
+            });
+
+            let start = Instant::now();
+            let mut workers = Vec::new();
+            for t in 0..threads {
+                let (addr, totals) = (&addr, &totals);
+                workers.push(s.spawn(move || {
+                    let mut rng = Prng::seed_from_u64(
+                        chaos_seed ^ ((t as u64) << 32),
+                    );
+                    let mut client = ReconnectClient::new(
+                        addr.as_str(),
+                        RetryConfig {
+                            max_attempts: 5,
+                            base_backoff: Duration::from_millis(2),
+                            max_backoff: Duration::from_millis(50),
+                            seed: chaos_seed ^ (t as u64),
+                        },
+                    );
+                    let mut local = ChaosTotals::default();
+                    for op in 1..=ops {
+                        // A seeded network blip: the next request has
+                        // to redial.
+                        if rng.random_range(0u64..37) == 0 {
+                            client.drop_connection();
+                        }
+                        let id = t as i64 * 1_000_000 + op as i64;
+                        let write =
+                            !op.is_multiple_of(4) || local.acked.is_empty();
+                        let stmt = if write {
+                            format!("append to chaos (id = {id}, seq = 0)")
+                        } else {
+                            let n = rng.random_range(
+                                0u64..local.acked.len() as u64,
+                            );
+                            format!(
+                                "range of c is chaos\nretrieve (c.id) \
+                                 where c.id = {}",
+                                local.acked[n as usize]
+                            )
+                        };
+                        match client.query(&stmt) {
+                            Ok(reply) if write => {
+                                local.acked.push(id);
+                                let _ = reply;
+                            }
+                            Ok(reply) => {
+                                // An acked tuple must stay visible
+                                // even mid-window: degraded mode is
+                                // read-only, not read-broken.
+                                if reply.rows.is_empty() {
+                                    local.violations.push(format!(
+                                        "acked tuple invisible to a \
+                                         retrieve (op {op})"
+                                    ));
+                                }
+                                local.ok_reads += 1;
+                            }
+                            Err(e) => match tolerated_error(&e, write) {
+                                Some("degraded") => local.degraded += 1,
+                                Some("busy") => local.busy += 1,
+                                Some("timeout") => local.timeout += 1,
+                                Some("retry_unsafe") => {
+                                    local.retry_unsafe += 1
+                                }
+                                Some(_) => local.shutting_down += 1,
+                                None => local.violations.push(format!(
+                                    "worker {t} op {op}: \
+                                             untyped or unexpected \
+                                             error: {e}"
+                                )),
+                            },
+                        }
+                    }
+                    local.reconnects = client.reconnects();
+                    local.retries = client.retries();
+                    let mut all = totals.lock().expect("unpoisoned");
+                    all.acked.append(&mut local.acked);
+                    all.ok_reads += local.ok_reads;
+                    all.degraded += local.degraded;
+                    all.busy += local.busy;
+                    all.timeout += local.timeout;
+                    all.retry_unsafe += local.retry_unsafe;
+                    all.shutting_down += local.shutting_down;
+                    all.reconnects += local.reconnects;
+                    all.retries += local.retries;
+                    all.violations.append(&mut local.violations);
+                }));
+            }
+            for w in workers {
+                w.join().expect("worker thread");
+            }
+            let elapsed = start.elapsed();
+            done.store(true, Ordering::SeqCst);
+            controller.join().expect("controller thread");
+            plan.set_enospc(false);
+            plan.set_fsync_fail(false);
+
+            assert!(
+                !server_exited.load(Ordering::SeqCst),
+                "chaos: the server exited before shutdown was requested"
+            );
+
+            // Writes must resume once the faults lift: the first
+            // attempts may still see the engine re-arming.
+            let mut resume =
+                Client::connect(&addr).expect("connect for resume check");
+            let mut resume_attempts = 0u64;
+            loop {
+                resume_attempts += 1;
+                match resume
+                    .query("append to chaos (id = 999000001, seq = 1)")
+                {
+                    Ok(_) => break,
+                    Err(Error::Degraded { .. }) if resume_attempts < 50 => {
+                        std::thread::sleep(Duration::from_millis(20));
+                    }
+                    Err(e) => {
+                        panic!(
+                            "chaos: writes did not resume after the \
+                             faults lifted: {e}"
+                        )
+                    }
+                }
+            }
+
+            // Every acked append must still be readable over the wire.
+            let reply = resume
+                .query("range of c is chaos\nretrieve (c.id)")
+                .expect("verification retrieve");
+            let present: std::collections::HashSet<i64> = reply
+                .rows
+                .iter()
+                .filter_map(|r| match r.first() {
+                    Some(Value::Int(id)) => Some(*id),
+                    _ => None,
+                })
+                .collect();
+            {
+                let all = totals.lock().expect("unpoisoned");
+                for id in &all.acked {
+                    assert!(
+                        present.contains(id),
+                        "chaos: acked append id={id} lost"
+                    );
+                }
+            }
+            drop(resume);
+
+            handle.shutdown();
+            let server_stats = server_thread
+                .join()
+                .expect("server thread")
+                .expect("graceful drain");
+            (resume_attempts, server_stats, elapsed)
+        });
+
+    let totals = totals.into_inner().expect("unpoisoned");
+    if !totals.violations.is_empty() {
+        for v in &totals.violations {
+            eprintln!("chaos violation: {v}");
+        }
+        panic!("chaos: {} invariant violation(s)", totals.violations.len());
+    }
+    assert_eq!(
+        server_stats.panics_caught, 0,
+        "chaos: the server caught worker panics"
+    );
+
+    // The surviving directory must audit clean.
+    let audit = tdbms_check::CheckedDb::open(&dir)
+        .expect("reopen for audit")
+        .check()
+        .expect("audit run");
+    assert!(audit.is_clean(), "chaos: audit dirty:\n{}", audit.render());
+
+    let windows = windows.load(Ordering::Relaxed);
+    println!(
+        "chaos: seed={chaos_seed} threads={threads} ops/thread={ops} \
+         acked={} ok_reads={} fault_windows={windows}",
+        totals.acked.len(),
+        totals.ok_reads
+    );
+    println!(
+        "chaos-errors: degraded={} busy={} timeout={} retry_unsafe={} \
+         shutting_down={}",
+        totals.degraded,
+        totals.busy,
+        totals.timeout,
+        totals.retry_unsafe,
+        totals.shutting_down
+    );
+    println!(
+        "chaos-client: reconnects={} retries={} resume_attempts={}",
+        totals.reconnects, totals.retries, resume_attempts
+    );
+    println!(
+        "chaos-server: queries={} errors={} panics_caught={} \
+         accept_errors={}",
+        server_stats.queries,
+        server_stats.query_errors,
+        server_stats.panics_caught,
+        server_stats.accept_errors
+    );
+    println!(
+        "audit: clean — no acked tuple lost, elapsed={:.3}s",
+        elapsed.as_secs_f64()
+    );
+
+    let Some(path) = json_path else { return };
+    let json = format!(
+        "{{\n  \"bench\": \"chaos\",\n  \"seed\": {chaos_seed},\n  \
+         \"threads\": {threads},\n  \"ops_per_thread\": {ops},\n  \
+         \"acked\": {},\n  \"ok_reads\": {},\n  \
+         \"fault_windows\": {windows},\n  \
+         \"errors\": {{\"degraded\": {}, \"busy\": {}, \
+         \"timeout\": {}, \"retry_unsafe\": {}, \
+         \"shutting_down\": {}}},\n  \
+         \"client\": {{\"reconnects\": {}, \"retries\": {}, \
+         \"resume_attempts\": {resume_attempts}}},\n  \
+         \"server\": {{\"queries\": {}, \"query_errors\": {}, \
+         \"panics_caught\": {}, \"accept_errors\": {}}},\n  \
+         \"audit_clean\": true,\n  \"elapsed_secs\": {:.6}\n}}\n",
+        totals.acked.len(),
+        totals.ok_reads,
+        totals.degraded,
+        totals.busy,
+        totals.timeout,
+        totals.retry_unsafe,
+        totals.shutting_down,
+        totals.reconnects,
+        totals.retries,
+        server_stats.queries,
+        server_stats.query_errors,
+        server_stats.panics_caught,
+        server_stats.accept_errors,
+        elapsed.as_secs_f64(),
+    );
+    match std::fs::write(&path, json) {
+        Ok(()) => eprintln!("wrote {path}"),
+        Err(e) => eprintln!("cannot write {path}: {e}"),
     }
 }
 
@@ -527,6 +923,7 @@ fn print_and_write(
         locks,
         group,
         plan_cache,
+        server_health,
     } = report;
 
     println!(
@@ -568,6 +965,12 @@ fn print_and_write(
             commits as f64 / (fsyncs.max(1)) as f64
         );
     }
+    if let Some((degraded, panics, accept_errors)) = server_health {
+        println!(
+            "server-health: degraded={degraded} panics_caught={panics} \
+             accept_errors={accept_errors}"
+        );
+    }
 
     totals.latencies_us.sort_unstable();
     let (p50, p95, p99) = (
@@ -607,6 +1010,14 @@ fn print_and_write(
         ),
         None => "null".to_string(),
     };
+    let health_json = match server_health {
+        Some((degraded, panics, accept_errors)) => format!(
+            "{{\"degraded\": {degraded}, \
+             \"panics_caught\": {panics}, \
+             \"accept_errors\": {accept_errors}}}"
+        ),
+        None => "null".to_string(),
+    };
     let json = format!(
         "{{\n  \"bench\": \"throughput\",\n  \"mode\": \"{mode}\",\n  \
          \"threads\": {threads},\n  \"ops_per_thread\": {ops},\n  \
@@ -616,6 +1027,7 @@ fn print_and_write(
          \"locks\": {locks_json},\n  \
          \"plan_cache\": {plan_cache_json},\n  \
          \"group_commit\": {group_json},\n  \
+         \"server_health\": {health_json},\n  \
          \"io\": {{\"input_pages\": {}, \"output_pages\": {}, \
          \"buffer_hits\": {}}},\n  \
          \"latency_us\": {{\"p50\": {p50}, \"p95\": {p95}, \

@@ -42,9 +42,26 @@ struct WalState {
     wal: Wal,
     policy: CheckpointPolicy,
     commits_since_checkpoint: u32,
+    /// Checkpoint additionally when this many log bytes accumulate
+    /// since the last checkpoint (None: commit-count policy alone).
+    bytes_trigger: Option<u64>,
+    /// `wal.bytes_appended()` as of the last completed checkpoint
+    /// (the counter is monotone across truncations).
+    bytes_at_checkpoint: u64,
     /// Group-commit mode, when enabled: commits register tickets and
     /// defer the log fsync to a batching leader.
     group: Option<GroupState>,
+}
+
+/// How far a failed commit got. Everything up to and including the
+/// log fsync is *pre-durability*: the statement can be rolled back
+/// (its content never reached the page files — staging mode). A
+/// failure after that point (the due checkpoint) left a durably
+/// committed statement behind: rolling it back would lose an
+/// acknowledged write, so the caller keeps the effects and degrades.
+struct CommitError {
+    err: Error,
+    durable: bool,
 }
 
 /// Group-commit bookkeeping of a durable database.
@@ -169,6 +186,11 @@ pub struct Database {
     persist_dir: Option<std::path::PathBuf>,
     /// Write-ahead log, when the database was opened in durable mode.
     wal: Option<WalState>,
+    /// Set when a write-path resource failure (disk full, fsync error)
+    /// put the engine in read-only degraded mode. Reads keep serving;
+    /// writes are refused with [`Error::Degraded`] until a re-arm
+    /// (automatic on the next write admission) succeeds.
+    degraded: Option<String>,
     /// Maintained per-relation statistics, refreshed after every
     /// mutating statement (metadata only — never page I/O).
     stats: StatsCatalog,
@@ -281,6 +303,8 @@ impl Database {
             wal,
             policy: CheckpointPolicy::EveryCommit,
             commits_since_checkpoint: 0,
+            bytes_trigger: None,
+            bytes_at_checkpoint: 0,
             group: None,
         });
         // Post-recovery checkpoint: the replayed state is on disk and
@@ -370,6 +394,12 @@ impl Database {
         if self.wal.is_none() {
             return self.checkpoint();
         }
+        // Finish any physical repairs a rolled-back statement had to
+        // defer: the checkpoint snapshots file lengths, so the files
+        // must have their true shapes first.
+        if self.pager.has_deferred() {
+            self.pager.retry_deferred()?;
+        }
         if self.wal.as_ref().is_some_and(|ws| ws.group.is_some()) {
             // Group mode: the log may hold commits appended but not
             // yet fsynced by a batching leader. Sync first — the
@@ -391,7 +421,11 @@ impl Database {
             .map(|p| std::mem::take(&mut p.1))
             .unwrap_or_default();
         for file in parked {
-            self.pager.execute_drop(file)?;
+            // A refused drop (disk error) only strands space; park it
+            // for `retry_deferred` rather than failing the checkpoint.
+            if self.pager.execute_drop(file).is_err() {
+                self.pager.defer_drop(file);
+            }
         }
         self.pager.flush_all()?;
         let touched = self.pager.materialize_overlay()?;
@@ -421,6 +455,7 @@ impl Database {
             ],
         )?;
         ws.commits_since_checkpoint = 0;
+        ws.bytes_at_checkpoint = ws.wal.bytes_appended();
         if let Some(g) = &ws.group {
             // The truncation above was atomic and fsynced: every
             // outstanding ticket is durable without a log fsync.
@@ -435,10 +470,23 @@ impl Database {
     /// with its LSN), deferred drops, and the catalog + clock, fenced by
     /// `Begin`/`Commit` and fsynced. Only after the log is durable do
     /// deferred file drops execute physically.
-    fn commit_durable(&mut self) -> Result<()> {
-        self.pager.flush_all()?;
+    ///
+    /// Failures before the log fsync return `durable: false` — the
+    /// statement is safe to roll back (its records, if any landed,
+    /// have no `Commit` and recovery discards them; see the abandoned-
+    /// `Begin` rule in [`tdbms_wal::RecoveryPlan::parse`]). A failure
+    /// *after* the fsync — the due checkpoint — returns `durable:
+    /// true`: the statement is committed and must stand.
+    fn commit_durable(&mut self) -> std::result::Result<(), CommitError> {
+        fn pre(err: Error) -> CommitError {
+            CommitError {
+                err,
+                durable: false,
+            }
+        }
+        self.pager.flush_all().map_err(pre)?;
         self.pager.begin_phase("wal");
-        let resized = self.pager.take_resized()?;
+        let resized = self.pager.take_resized().map_err(pre)?;
         let staged = self.pager.staged_pages();
         let drops = self.pager.take_pending_drops();
         let clock = self.clock.now().as_secs().to_string();
@@ -446,26 +494,41 @@ impl Database {
 
         let ws = self.wal.as_mut().expect("durable mode");
         let before = ws.wal.bytes_appended();
-        ws.wal.append(&Record::Begin)?;
+        ws.wal.append(&Record::Begin).map_err(pre)?;
         for (file, len) in resized {
-            ws.wal.append(&Record::FileLen { file, len })?;
+            ws.wal.append(&Record::FileLen { file, len }).map_err(pre)?;
         }
         for (file, page_no) in staged {
             let lsn = ws.wal.peek_lsn();
-            let image = self.pager.stamp_overlay_lsn(file, page_no, lsn)?;
-            ws.wal.append(&Record::PageImage {
-                file,
-                page_no,
-                image,
-            })?;
+            let image = self
+                .pager
+                .stamp_overlay_lsn(file, page_no, lsn)
+                .map_err(pre)?;
+            ws.wal
+                .append(&Record::PageImage {
+                    file,
+                    page_no,
+                    image,
+                })
+                .map_err(pre)?;
         }
         for file in &drops {
-            ws.wal.append(&Record::DropFile { file: *file })?;
+            ws.wal
+                .append(&Record::DropFile { file: *file })
+                .map_err(pre)?;
         }
-        ws.wal.append(&Record::Catalog { clock, catalog })?;
-        ws.wal.append(&Record::Commit)?;
+        ws.wal
+            .append(&Record::Catalog { clock, catalog })
+            .map_err(pre)?;
+        ws.wal.append(&Record::Commit).map_err(pre)?;
         ws.commits_since_checkpoint += 1;
-        let due = ws.policy.due(ws.commits_since_checkpoint);
+        let due = ws.policy.due(ws.commits_since_checkpoint)
+            || ws.bytes_trigger.is_some_and(|n| {
+                ws.wal
+                    .bytes_appended()
+                    .saturating_sub(ws.bytes_at_checkpoint)
+                    >= n
+            });
         let mut drops = drops;
         if let Some(g) = ws.group.as_mut() {
             // Group commit: issue the ticket in the same critical
@@ -476,17 +539,21 @@ impl Database {
             let ticket = g.gc.register();
             g.pending = Some((ticket, std::mem::take(&mut drops)));
         } else {
-            ws.wal.sync()?;
+            ws.wal.sync().map_err(pre)?;
         }
         // The transaction is durable: deferred drops may now touch disk
         // (in group mode the drops moved onto the pending ticket and
-        // this loop is empty).
+        // this loop is empty). A refused drop only strands space —
+        // park it for retry instead of failing a durable commit.
         for file in drops {
-            self.pager.execute_drop(file)?;
+            if self.pager.execute_drop(file).is_err() {
+                self.pager.defer_drop(file);
+            }
         }
         self.pager.clear_staged();
         if due {
-            self.checkpoint_durable()?;
+            self.checkpoint_durable()
+                .map_err(|err| CommitError { err, durable: true })?;
         }
         let ws = self.wal.as_ref().expect("durable mode");
         let delta = ws.wal.bytes_appended() - before;
@@ -567,11 +634,32 @@ impl Database {
         };
         let gc = g.gc.clone();
         let log = g.log.clone();
-        gc.wait_durable(ticket, || log.sync())?;
+        if let Err(e) = gc.wait_durable(ticket, || log.sync()) {
+            // The batch fsync failed: the commit's durability is
+            // unknown. Re-park the drops — the checkpoint that re-arms
+            // writes retires them durably (never drop a logged drop).
+            self.repark_drops(ticket, drops);
+            return Err(e);
+        }
         for file in drops {
-            self.pager.execute_drop(file)?;
+            if self.pager.execute_drop(file).is_err() {
+                self.pager.defer_drop(file);
+            }
         }
         Ok(())
+    }
+
+    /// Put a commit's deferred drops back on the pending ticket after a
+    /// failed durability wait (engine mode calls this from outside the
+    /// commit lock; see [`settle_group_commit`] for the inline path).
+    pub(crate) fn repark_drops(&mut self, ticket: u64, drops: Vec<FileId>) {
+        if let Some(g) = self.wal.as_mut().and_then(|ws| ws.group.as_mut())
+        {
+            match &mut g.pending {
+                Some((_, parked)) => parked.extend(drops),
+                None => g.pending = Some((ticket, drops)),
+            }
+        }
     }
 
     /// Change when WAL checkpoints happen (durable mode only; default
@@ -579,6 +667,142 @@ impl Database {
     pub fn set_checkpoint_policy(&mut self, policy: CheckpointPolicy) {
         if let Some(ws) = self.wal.as_mut() {
             ws.policy = policy;
+        }
+    }
+
+    /// Additionally checkpoint whenever this many log bytes accumulate
+    /// since the last checkpoint, whichever of the two triggers fires
+    /// first (durable mode only; `None` or 0 disables the byte
+    /// trigger). Bounds both recovery replay time and log disk usage
+    /// under a commit-count policy like `EveryN`.
+    pub fn set_checkpoint_every_bytes(&mut self, bytes: Option<u64>) {
+        if let Some(ws) = self.wal.as_mut() {
+            ws.bytes_trigger = bytes.filter(|b| *b > 0);
+        }
+    }
+
+    // --- Degraded mode ---------------------------------------------------
+    //
+    // A write-path resource failure (disk full, fsync error) must not
+    // take reads down with it: the failed statement rolls back, the
+    // engine turns away *new writes* with `Error::Degraded`, and every
+    // read keeps serving the last committed state. The mode is sticky
+    // but recoverable — the next write admission retries the deferred
+    // repairs and a checkpoint, and if the disk has recovered the
+    // engine re-arms itself.
+
+    /// Whether the engine is in read-only degraded mode.
+    pub fn is_degraded(&self) -> bool {
+        self.degraded.is_some()
+            || self.pager.has_deferred()
+            || self.group_failure().is_some()
+    }
+
+    /// Why the engine is degraded, when it is.
+    pub fn degraded_reason(&self) -> Option<String> {
+        if let Some(r) = &self.degraded {
+            return Some(r.clone());
+        }
+        if self.pager.has_deferred() {
+            return Some(
+                "deferred rollback repairs outstanding".to_string(),
+            );
+        }
+        self.group_failure().map(|e| e.to_string())
+    }
+
+    /// The group-commit queue's standing fsync failure, if any.
+    fn group_failure(&self) -> Option<Error> {
+        self.wal.as_ref()?.group.as_ref()?.gc.failure()
+    }
+
+    /// Gate a mutating statement: healthy engines pass through; a
+    /// degraded engine first attempts a re-arm and only admits the
+    /// write if it succeeds.
+    fn admit_write(&mut self) -> Result<()> {
+        if self.is_degraded() {
+            self.try_rearm()?;
+        }
+        Ok(())
+    }
+
+    /// Attempt to leave degraded mode: finish the deferred physical
+    /// repairs, then take a full checkpoint — which materializes the
+    /// overlay, fsyncs everything, truncates the log (discarding any
+    /// commit of unknown durability in favour of its acknowledged
+    /// outcome), and re-arms a failed group-commit queue. On success
+    /// the engine is healthy; on failure it stays degraded and reads
+    /// keep serving.
+    pub fn try_rearm(&mut self) -> Result<()> {
+        let reason = self
+            .degraded_reason()
+            .unwrap_or_else(|| "degraded".to_string());
+        let rearm_err = |e: Error| Error::Degraded {
+            reason: format!("{reason}; re-arm failed: {e}"),
+        };
+        self.pager.retry_deferred().map_err(rearm_err)?;
+        self.checkpoint_durable().map_err(rearm_err)?;
+        self.degraded = None;
+        Ok(())
+    }
+
+    /// Record a write-path failure and return the typed degraded error
+    /// the client sees.
+    fn enter_degraded(&mut self, e: &Error) -> Error {
+        let reason = match e {
+            Error::Degraded { reason } => reason.clone(),
+            other => other.to_string(),
+        };
+        self.degraded = Some(reason.clone());
+        Error::Degraded { reason }
+    }
+
+    /// Unwind a failed mutating statement: close the WAL phase, roll
+    /// the pager back to the statement boundary, restore the catalog
+    /// snapshot, and decide whether the failure degrades the engine
+    /// (resource exhaustion does; a semantic error that slipped past
+    /// binding does not).
+    fn fail_write_statement(
+        &mut self,
+        e: Error,
+        snapshot: Catalog,
+    ) -> Error {
+        self.pager.end_phase();
+        self.pager.rollback_statement();
+        self.catalog = snapshot;
+        let _ = self.refresh_stats();
+        if matches!(e, Error::Io(_)) || self.pager.has_deferred() {
+            self.enter_degraded(&e)
+        } else {
+            e
+        }
+    }
+
+    /// Settle a durable commit after the statement applied cleanly:
+    /// classify the three outcomes (fully settled; failed before
+    /// durability → roll back; failed after → effects stand, engine
+    /// degrades until a re-arm).
+    fn commit_write_statement(&mut self, snapshot: Catalog) -> Result<()> {
+        match self.commit_durable() {
+            Ok(()) => {
+                self.pager.discard_statement_undo();
+                if let Err(e) = self.settle_group_commit() {
+                    self.pager.end_phase();
+                    return Err(self.enter_degraded(&e));
+                }
+                Ok(())
+            }
+            Err(ce) if ce.durable => {
+                // The commit reached the log durably; only the due
+                // checkpoint failed. Returning an error for a durable
+                // statement would invite unsafe retries — keep the
+                // effects, surface the failure through degraded mode.
+                self.pager.discard_statement_undo();
+                self.pager.end_phase();
+                self.degraded = Some(ce.err.to_string());
+                Ok(())
+            }
+            Err(ce) => Err(self.fail_write_statement(ce.err, snapshot)),
         }
     }
 
@@ -593,6 +817,7 @@ impl Database {
             cold_statements: true,
             persist_dir: None,
             wal: None,
+            degraded: None,
             stats: StatsCatalog::default(),
             planner: PlannerMode::from_env(),
         }
@@ -809,20 +1034,43 @@ impl Database {
         rel: &str,
         rows: &[Vec<Value>],
     ) -> Result<usize> {
+        let durable = self.wal.is_some();
+        if durable {
+            self.admit_write()?;
+        }
+        let snapshot = durable.then(|| {
+            self.pager.begin_statement_undo();
+            self.catalog.clone()
+        });
+        if let Err(e) = self.load_rows_raw(rel, rows) {
+            return Err(match snapshot {
+                Some(snap) => self.fail_write_statement(e, snap),
+                None => e,
+            });
+        }
+        if let Some(snap) = snapshot {
+            self.commit_write_statement(snap)?;
+        }
+        self.refresh_stats()?;
+        self.stats.note_inserted(rel, rows.len() as u64);
+        Ok(rows.len())
+    }
+
+    /// The raw load loop of [`Database::bulk_load_rows`], separated so
+    /// a mid-load failure unwinds through the same rollback path as a
+    /// failed statement.
+    fn load_rows_raw(
+        &mut self,
+        rel: &str,
+        rows: &[Vec<Value>],
+    ) -> Result<()> {
         let id = self.catalog.require(rel)?;
         let codec = self.catalog.get(id).codec.clone();
         for vals in rows {
             let row = codec.encode(vals)?;
             self.catalog.get_mut(id).insert_row(&self.pager, &row)?;
         }
-        self.pager.flush_all()?;
-        if self.wal.is_some() {
-            self.commit_durable()?;
-            self.settle_group_commit()?;
-        }
-        self.refresh_stats()?;
-        self.stats.note_inserted(rel, rows.len() as u64);
-        Ok(rows.len())
+        self.pager.flush_all()
     }
 
     /// Execute a TQuel program; returns the output of the **last**
@@ -864,13 +1112,90 @@ impl Database {
         guard: &QueryGuard,
     ) -> Result<ExecOutput> {
         guard.check_now()?;
+        let mutating = !matches!(
+            stmt,
+            Statement::Range { .. }
+                | Statement::Retrieve(tdbms_tquel::ast::Retrieve {
+                    into: None,
+                    ..
+                })
+                | Statement::Explain(_)
+        );
+        let durable = self.wal.is_some();
+        if mutating && durable {
+            self.admit_write()?;
+        }
         let now = self.clock.tick();
         if self.cold_statements {
             self.pager.invalidate_buffers()?;
         }
         self.pager.reset_stats();
 
+        // Durable mode: arm statement undo, so a write that dies
+        // mid-flight (disk full) rolls back to this boundary instead
+        // of poisoning the engine.
+        let snapshot = (mutating && durable).then(|| {
+            self.pager.begin_statement_undo();
+            self.catalog.clone()
+        });
+
         let mut out = ExecOutput::default();
+        if let Err(e) = self.apply_statement(stmt, guard, now, &mut out) {
+            return Err(match snapshot {
+                Some(snap) => self.fail_write_statement(e, snap),
+                None => e,
+            });
+        }
+
+        // In durable mode every mutating statement commits through the
+        // WAL before its stats are snapshotted, so the "wal" phase shows
+        // up in the statement's own ledger.
+        if let Some(snap) = snapshot {
+            self.commit_write_statement(snap)?;
+        }
+        // Close any phase the executor left open, then snapshot the v2
+        // ledger into the statement's stats. `hits + misses ==
+        // accesses` cannot be asserted here: snapshot readers run off
+        // the commit lock and may be mid-access on another thread. The
+        // concurrency suites assert it at quiescence instead.
+        self.pager.end_phase();
+        out.stats = QueryStats {
+            input_pages: self.pager.stats().total_reads(),
+            output_pages: self.pager.stats().total_writes(),
+            buffer_hits: self.pager.stats().total_hits(),
+            evictions: self.pager.stats().total_evictions(),
+            phases: self.pager.stats().phases().to_vec(),
+        };
+        if self.wal.is_none() && self.persist_dir.is_some() && mutating {
+            self.checkpoint()?;
+        }
+        if mutating {
+            // Metadata-only statistics refresh; appends and loads add
+            // new keys, replaces/deletes only lengthen version chains.
+            self.refresh_stats()?;
+            match stmt {
+                Statement::Append(a) => {
+                    self.stats.note_inserted(&a.rel, out.affected as u64)
+                }
+                Statement::Copy(c) if c.from => {
+                    self.stats.note_inserted(&c.rel, out.affected as u64)
+                }
+                _ => {}
+            }
+        }
+        Ok(out)
+    }
+
+    /// Apply one bound statement's effects (no durability, no stats
+    /// snapshot — [`Database::execute_statement_guarded`] wraps this
+    /// with admission, undo, and commit handling).
+    fn apply_statement(
+        &mut self,
+        stmt: &Statement,
+        guard: &QueryGuard,
+        now: TimeVal,
+        out: &mut ExecOutput,
+    ) -> Result<()> {
         match stmt {
             Statement::Range { var, rel } => {
                 self.catalog.require(rel)?;
@@ -1015,54 +1340,7 @@ impl Database {
                         .collect();
             }
         }
-
-        let mutating = !matches!(
-            stmt,
-            Statement::Range { .. }
-                | Statement::Retrieve(tdbms_tquel::ast::Retrieve {
-                    into: None,
-                    ..
-                })
-                | Statement::Explain(_)
-        );
-        // In durable mode every mutating statement commits through the
-        // WAL before its stats are snapshotted, so the "wal" phase shows
-        // up in the statement's own ledger.
-        if self.wal.is_some() && mutating {
-            self.commit_durable()?;
-            self.settle_group_commit()?;
-        }
-        // Close any phase the executor left open, then snapshot the v2
-        // ledger into the statement's stats. `hits + misses ==
-        // accesses` cannot be asserted here: snapshot readers run off
-        // the commit lock and may be mid-access on another thread. The
-        // concurrency suites assert it at quiescence instead.
-        self.pager.end_phase();
-        out.stats = QueryStats {
-            input_pages: self.pager.stats().total_reads(),
-            output_pages: self.pager.stats().total_writes(),
-            buffer_hits: self.pager.stats().total_hits(),
-            evictions: self.pager.stats().total_evictions(),
-            phases: self.pager.stats().phases().to_vec(),
-        };
-        if self.wal.is_none() && self.persist_dir.is_some() && mutating {
-            self.checkpoint()?;
-        }
-        if mutating {
-            // Metadata-only statistics refresh; appends and loads add
-            // new keys, replaces/deletes only lengthen version chains.
-            self.refresh_stats()?;
-            match stmt {
-                Statement::Append(a) => {
-                    self.stats.note_inserted(&a.rel, out.affected as u64)
-                }
-                Statement::Copy(c) if c.from => {
-                    self.stats.note_inserted(&c.rel, out.affected as u64)
-                }
-                _ => {}
-            }
-        }
-        Ok(out)
+        Ok(())
     }
 
     /// Create and fill the target relation of a `retrieve into`. The

@@ -417,13 +417,23 @@ impl Engine {
             return Ok(());
         };
         if let Err(e) = gc.wait_durable(ticket, || log.sync()) {
-            // The log's durable prefix is unknown past the watermark;
-            // refuse all further operations.
-            self.record_failure(e.clone());
-            return Err(e);
+            // The log's durable prefix is unknown past the watermark.
+            // Degrade, don't die: snapshot reads keep serving the last
+            // published view, writes are refused with a typed error
+            // until a checkpoint re-arms the queue. The drops go back
+            // on the pending ticket so the re-arming checkpoint
+            // retires them (a logged drop must eventually happen).
+            if let Ok(mut db) = self.shared.write() {
+                db.repark_drops(ticket, drops);
+            }
+            return Err(Error::Degraded {
+                reason: e.to_string(),
+            });
         }
         for file in drops {
-            self.inner.pager.execute_drop(file)?;
+            if self.inner.pager.execute_drop(file).is_err() {
+                self.inner.pager.defer_drop(file);
+            }
         }
         Ok(())
     }

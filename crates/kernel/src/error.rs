@@ -69,6 +69,17 @@ pub enum Error {
     Canceled,
     /// The server is draining for shutdown and no longer accepts new work.
     ShuttingDown,
+    /// The engine hit resource exhaustion on the write path (disk full,
+    /// failed fsync) and dropped into read-only degraded mode. Unlike
+    /// [`Error::Poisoned`] the in-flight statement was rolled back, so
+    /// the shared state is consistent: snapshot reads keep serving and
+    /// writes re-arm automatically once the resource recovers. Callers
+    /// may retry the write later.
+    Degraded { reason: String },
+    /// The connection died while a non-idempotent request was in flight,
+    /// so the client cannot tell whether the write was applied. Retrying
+    /// automatically could double-apply it; the caller must decide.
+    RetryUnsafe(String),
     /// The peer violated the wire protocol: truncated frame, oversized
     /// length prefix, unknown opcode, malformed payload. The connection
     /// that produced it is dropped.
@@ -134,9 +145,38 @@ impl fmt::Display for Error {
             Error::ShuttingDown => {
                 write!(f, "server is shutting down")
             }
+            Error::Degraded { reason } => write!(
+                f,
+                "database degraded to read-only ({reason}); \
+                 writes will resume automatically once the \
+                 resource recovers — retry later"
+            ),
+            Error::RetryUnsafe(s) => write!(
+                f,
+                "connection lost mid-write, result unknown: {s}; \
+                 not retried automatically (the write may have \
+                 been applied)"
+            ),
             Error::Protocol(s) => write!(f, "protocol error: {s}"),
             Error::Internal(s) => write!(f, "internal error: {s}"),
         }
+    }
+}
+
+impl Error {
+    /// True for failures that are safe and sensible to retry verbatim:
+    /// the request was refused *before* any effect (admission control,
+    /// shutdown drain) or the engine is temporarily read-only. False
+    /// for semantic errors, corruption, poisoning, and
+    /// [`Error::RetryUnsafe`], where a blind retry is wrong.
+    pub fn is_retryable(&self) -> bool {
+        matches!(
+            self,
+            Error::Busy
+                | Error::Degraded { .. }
+                | Error::Timeout { .. }
+                | Error::ShuttingDown
+        )
     }
 }
 
@@ -216,6 +256,32 @@ mod tests {
             Error::Protocol("short frame".into()).to_string(),
             "protocol error: short frame"
         );
+    }
+
+    #[test]
+    fn degraded_display_promises_recovery() {
+        let e = Error::Degraded {
+            reason: "disk full".into(),
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("degraded"), "{msg}");
+        assert!(msg.contains("disk full"), "{msg}");
+        assert!(msg.contains("retry"), "{msg}");
+    }
+
+    #[test]
+    fn retryability_classification() {
+        assert!(Error::Busy.is_retryable());
+        assert!(Error::ShuttingDown.is_retryable());
+        assert!(Error::Timeout { ms: 10 }.is_retryable());
+        assert!(Error::Degraded {
+            reason: "fsync failed".into()
+        }
+        .is_retryable());
+        assert!(!Error::Poisoned.is_retryable());
+        assert!(!Error::RetryUnsafe("mid-write".into()).is_retryable());
+        assert!(!Error::Semantic("bad".into()).is_retryable());
+        assert!(!Error::Io("enospc".into()).is_retryable());
     }
 
     #[test]

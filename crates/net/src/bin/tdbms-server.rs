@@ -4,7 +4,7 @@
 //! tdbms-server DIR [--addr 127.0.0.1:4477] [--durable]
 //!              [--max-conns N] [--timeout-ms N] [--max-rows N]
 //!              [--max-reply-bytes N] [--allow-copy]
-//!              [--no-remote-shutdown]
+//!              [--no-remote-shutdown] [--checkpoint-every-bytes N]
 //! tdbms-server --shutdown ADDR
 //! ```
 //!
@@ -47,7 +47,8 @@ fn usage() -> ExitCode {
     eprintln!(
         "usage: tdbms-server DIR [--addr HOST:PORT] [--durable] \
          [--max-conns N] [--timeout-ms N] [--max-rows N] \
-         [--max-reply-bytes N] [--allow-copy] [--no-remote-shutdown]\n\
+         [--max-reply-bytes N] [--allow-copy] [--no-remote-shutdown] \
+         [--checkpoint-every-bytes N]\n\
          \x20      tdbms-server --shutdown HOST:PORT"
     );
     ExitCode::from(2)
@@ -75,6 +76,7 @@ fn main() -> ExitCode {
     let mut dir: Option<String> = None;
     let mut addr = String::from("127.0.0.1:4477");
     let mut durable = false;
+    let mut checkpoint_bytes: Option<u64> = None;
     let mut cfg = ServerConfig::default();
 
     let mut it = args.into_iter();
@@ -112,6 +114,12 @@ fn main() -> ExitCode {
                     Err(()) => return usage(),
                 }
             }
+            "--checkpoint-every-bytes" => {
+                match num("--checkpoint-every-bytes", &mut it) {
+                    Ok(n) => checkpoint_bytes = Some(n),
+                    Err(()) => return usage(),
+                }
+            }
             "--help" | "-h" => {
                 usage();
                 return ExitCode::SUCCESS;
@@ -133,13 +141,23 @@ fn main() -> ExitCode {
     } else {
         Database::open(&dir)
     };
-    let db = match db {
+    let mut db = match db {
         Ok(db) => db,
         Err(e) => {
             eprintln!("tdbms-server: cannot open {dir}: {e}");
             return ExitCode::FAILURE;
         }
     };
+    if checkpoint_bytes.is_some() {
+        if !durable {
+            eprintln!(
+                "tdbms-server: --checkpoint-every-bytes requires \
+                 --durable"
+            );
+            return usage();
+        }
+        db.set_checkpoint_every_bytes(checkpoint_bytes);
+    }
     let engine = Engine::new(db);
 
     let server = match Server::bind(engine, &addr, cfg) {
@@ -178,13 +196,14 @@ fn main() -> ExitCode {
         Ok(stats) => {
             println!(
                 "shutdown: connections={} queries={} errors={} \
-                 busy={} protocol_errors={} panics={}",
+                 busy={} protocol_errors={} panics={} accept_errors={}",
                 stats.connections,
                 stats.queries,
                 stats.query_errors,
                 stats.busy_rejections,
                 stats.protocol_errors,
-                stats.panics_caught
+                stats.panics_caught,
+                stats.accept_errors
             );
             ExitCode::SUCCESS
         }

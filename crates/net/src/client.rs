@@ -7,7 +7,7 @@
 use std::net::{TcpStream, ToSocketAddrs};
 use std::time::Duration;
 
-use tdbms_kernel::{Error, Result};
+use tdbms_kernel::{Error, Prng, Result};
 
 use crate::wire::{
     decode_response, encode_request, read_frame, write_frame, Reply,
@@ -101,5 +101,226 @@ impl Client {
                 "server closed the connection before replying".into(),
             )),
         }
+    }
+}
+
+/// Retry and backoff knobs of a [`ReconnectClient`].
+#[derive(Debug, Clone)]
+pub struct RetryConfig {
+    /// Total attempts per request, first try included.
+    pub max_attempts: u32,
+    /// First retry's backoff; doubles per further retry.
+    pub base_backoff: Duration,
+    /// Backoff cap.
+    pub max_backoff: Duration,
+    /// Seed of the deterministic backoff jitter.
+    pub seed: u64,
+}
+
+impl Default for RetryConfig {
+    fn default() -> Self {
+        RetryConfig {
+            max_attempts: 6,
+            base_backoff: Duration::from_millis(10),
+            max_backoff: Duration::from_secs(1),
+            seed: 0x7db5,
+        }
+    }
+}
+
+/// A [`Client`] that survives a flaky server: on connection loss it
+/// reconnects with capped exponential backoff plus seeded jitter and
+/// retries the request — but **only** when the retry cannot double-
+/// apply work:
+///
+/// - connect failures and typed [`Error::Busy`] rejections happened
+///   before the statement executed, so every request kind retries;
+/// - a connection lost *mid-round-trip* retries only idempotent
+///   requests (`Ping`, `Stats`, plain retrieves). A write's outcome is
+///   unknown — the commit may be durable with only the ack lost — so
+///   the caller gets a typed [`Error::RetryUnsafe`] and decides.
+///
+/// Server-side degraded mode ([`Error::Degraded`]) passes through
+/// untouched: the engine is alive and refusing writes deliberately;
+/// hammering it with retries would not help.
+pub struct ReconnectClient {
+    addr: String,
+    cfg: RetryConfig,
+    conn: Option<Client>,
+    prng: Prng,
+    reconnects: u64,
+    retries: u64,
+}
+
+impl ReconnectClient {
+    /// Lazily connecting client for `addr`; the first request dials.
+    pub fn new(addr: impl Into<String>, cfg: RetryConfig) -> Self {
+        let prng = Prng::seed_from_u64(cfg.seed);
+        ReconnectClient {
+            addr: addr.into(),
+            cfg,
+            conn: None,
+            prng,
+            reconnects: 0,
+            retries: 0,
+        }
+    }
+
+    /// Connections established (including the first).
+    pub fn reconnects(&self) -> u64 {
+        self.reconnects
+    }
+
+    /// Requests that needed at least one retry.
+    pub fn retries(&self) -> u64 {
+        self.retries
+    }
+
+    /// Drop the current connection (if any); the next request dials
+    /// again. The chaos harness calls this to simulate a network blip
+    /// between requests.
+    pub fn drop_connection(&mut self) {
+        self.conn = None;
+    }
+
+    /// Execute one statement (see [`Client::query`]). Only statements
+    /// classified idempotent are retried over a lost connection.
+    pub fn query(&mut self, stmt: &str) -> Result<Reply> {
+        let req = Request::Query {
+            stmt: stmt.to_string(),
+            timeout_ms: 0,
+            max_rows: 0,
+        };
+        match self.run(&req, idempotent_statement(stmt))? {
+            Response::Rows(reply) => Ok(reply),
+            Response::Error(e) => Err(e),
+            other => Err(Error::Protocol(format!(
+                "unexpected response to query: {other:?}"
+            ))),
+        }
+    }
+
+    /// Liveness check, retried across reconnects.
+    pub fn ping(&mut self) -> Result<()> {
+        match self.run(&Request::Ping, true)? {
+            Response::Pong => Ok(()),
+            Response::Error(e) => Err(e),
+            other => Err(Error::Protocol(format!(
+                "unexpected response to ping: {other:?}"
+            ))),
+        }
+    }
+
+    /// Engine counters, retried across reconnects.
+    pub fn stats(&mut self) -> Result<StatsReply> {
+        match self.run(&Request::Stats, true)? {
+            Response::Stats(s) => Ok(s),
+            Response::Error(e) => Err(e),
+            other => Err(Error::Protocol(format!(
+                "unexpected response to stats: {other:?}"
+            ))),
+        }
+    }
+
+    /// Sleep the capped exponential backoff with full jitter in
+    /// `[cap/2, cap]` (seeded, so chaos runs are reproducible).
+    fn backoff(&mut self, attempt: u32) {
+        let exp = self
+            .cfg
+            .base_backoff
+            .saturating_mul(1u32 << attempt.min(10));
+        let cap = exp.min(self.cfg.max_backoff).as_nanos() as u64;
+        let jittered = cap / 2 + self.prng.next_u64() % (cap / 2 + 1);
+        std::thread::sleep(Duration::from_nanos(jittered));
+    }
+
+    fn run(&mut self, req: &Request, idempotent: bool) -> Result<Response> {
+        let mut attempt = 0u32;
+        loop {
+            attempt += 1;
+            if self.conn.is_none() {
+                match Client::connect(&self.addr) {
+                    Ok(c) => {
+                        self.conn = Some(c);
+                        self.reconnects += 1;
+                    }
+                    Err(e) => {
+                        // Nothing was sent: a failed dial is retryable
+                        // for every request kind.
+                        if attempt >= self.cfg.max_attempts {
+                            return Err(e);
+                        }
+                        self.retries += 1;
+                        self.backoff(attempt);
+                        continue;
+                    }
+                }
+            }
+            let conn = self.conn.as_mut().expect("connected above");
+            match conn.round_trip(req) {
+                Ok(Response::Error(Error::Busy))
+                    if attempt < self.cfg.max_attempts =>
+                {
+                    // Admission control rejected the request before it
+                    // executed: safe to retry, writes included.
+                    self.retries += 1;
+                    self.backoff(attempt);
+                }
+                Ok(resp) => return Ok(resp),
+                Err(e) if is_transport(&e) => {
+                    self.conn = None;
+                    if !idempotent {
+                        return Err(Error::RetryUnsafe(format!(
+                            "connection lost mid-request; the write's \
+                             outcome is unknown: {e}"
+                        )));
+                    }
+                    if attempt >= self.cfg.max_attempts {
+                        return Err(e);
+                    }
+                    self.retries += 1;
+                    self.backoff(attempt);
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+}
+
+/// A transport-layer failure (as opposed to a typed error the server
+/// sent): the connection is unusable and the request's fate unknown.
+fn is_transport(e: &Error) -> bool {
+    matches!(e, Error::Io(_) | Error::Protocol(_))
+}
+
+/// Is a lost connection safe to retry for this statement? Plain
+/// retrieves, `explain`, and `range` declarations re-execute without
+/// side effects; everything else (including `retrieve into`) mutates.
+/// Unparseable text is conservatively treated as mutating.
+fn idempotent_statement(stmt: &str) -> bool {
+    let norm = stmt.trim().to_ascii_lowercase();
+    let mut words = norm.split_whitespace();
+    match words.next() {
+        Some("retrieve") => words.next() != Some("into"),
+        Some("explain") | Some("range") => true,
+        _ => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn statement_idempotence_classification() {
+        assert!(idempotent_statement("retrieve (e.name) where e.id = 1"));
+        assert!(idempotent_statement("  RETRIEVE (e.all)"));
+        assert!(idempotent_statement("explain (e.all)"));
+        assert!(idempotent_statement("range of e is employees"));
+        assert!(!idempotent_statement("retrieve into t (e.all)"));
+        assert!(!idempotent_statement("append to r (id = 1)"));
+        assert!(!idempotent_statement("delete e where e.id = 1"));
+        assert!(!idempotent_statement("destroy r"));
+        assert!(!idempotent_statement(""));
     }
 }

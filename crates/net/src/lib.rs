@@ -25,6 +25,6 @@ pub mod client;
 pub mod server;
 pub mod wire;
 
-pub use client::Client;
+pub use client::{Client, ReconnectClient, RetryConfig};
 pub use server::{Server, ServerConfig, ServerHandle, ServerStats};
 pub use wire::{Reply, Request, Response, StatsReply};

@@ -49,6 +49,10 @@ pub struct ServerConfig {
     /// Honor wire `Shutdown` requests (in addition to signals and the
     /// programmatic handle).
     pub allow_remote_shutdown: bool,
+    /// Slow-loris defense: once a frame has started arriving it must
+    /// complete within this deadline, and a blocked socket write gives
+    /// up after it. Idle connections (no frame in flight) are exempt.
+    pub io_deadline: Duration,
 }
 
 impl Default for ServerConfig {
@@ -60,6 +64,7 @@ impl Default for ServerConfig {
             max_reply_bytes: 8 << 20,
             allow_copy: false,
             allow_remote_shutdown: true,
+            io_deadline: Duration::from_secs(10),
         }
     }
 }
@@ -77,6 +82,9 @@ pub struct ServerStats {
     /// but any nonzero count is a bug: the no-panic sweep exists so
     /// statement strings can never reach a panic.
     pub panics_caught: u64,
+    /// Transient `accept()` failures the listener retried past
+    /// (EMFILE, aborted handshakes). The server never exits on them.
+    pub accept_errors: u64,
 }
 
 #[derive(Default)]
@@ -87,6 +95,7 @@ struct Counters {
     busy_rejections: AtomicU64,
     protocol_errors: AtomicU64,
     panics_caught: AtomicU64,
+    accept_errors: AtomicU64,
 }
 
 impl Counters {
@@ -98,6 +107,7 @@ impl Counters {
             busy_rejections: self.busy_rejections.load(Ordering::Relaxed),
             protocol_errors: self.protocol_errors.load(Ordering::Relaxed),
             panics_caught: self.panics_caught.load(Ordering::Relaxed),
+            accept_errors: self.accept_errors.load(Ordering::Relaxed),
         }
     }
 }
@@ -189,10 +199,15 @@ impl Server {
         } = self;
         let active = Arc::new(AtomicUsize::new(0));
         let mut workers: Vec<std::thread::JoinHandle<()>> = Vec::new();
+        // Consecutive accept() failures, for exponential backoff: a
+        // storm (EMFILE while every descriptor is held by clients)
+        // must neither spin the CPU nor kill the listener.
+        let mut accept_strikes: u32 = 0;
 
         while !handle.is_shutting_down() {
             match listener.accept() {
                 Ok((stream, _peer)) => {
+                    accept_strikes = 0;
                     counters.connections.fetch_add(1, Ordering::Relaxed);
                     // Admission control: reject, never queue.
                     let admitted = {
@@ -260,9 +275,17 @@ impl Server {
                 Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
                 Err(e) => {
                     // Accept failures are transient (EMFILE, aborted
-                    // handshakes); don't take the server down.
+                    // handshakes); don't take the server down. Retry
+                    // with capped exponential backoff so a sustained
+                    // storm doesn't spin, and count every strike so
+                    // operators can see them in `Stats`.
                     let _ = e;
-                    std::thread::sleep(Duration::from_millis(5));
+                    counters.accept_errors.fetch_add(1, Ordering::Relaxed);
+                    accept_strikes = accept_strikes.saturating_add(1);
+                    let backoff = Duration::from_millis(
+                        5u64 << accept_strikes.min(6),
+                    );
+                    std::thread::sleep(backoff);
                 }
             }
         }
@@ -305,11 +328,13 @@ enum Frame {
 /// first header byte arrives the frame must complete within
 /// `frame_deadline`, so a stalled or mid-frame-disconnected peer cannot
 /// wedge the drain.
-fn read_frame_poll(stream: &mut TcpStream) -> Frame {
+fn read_frame_poll(
+    stream: &mut TcpStream,
+    frame_deadline: Duration,
+) -> Frame {
     let mut header = [0u8; 4];
     let mut got = 0usize;
     let mut started: Option<Instant> = None;
-    let frame_deadline = Duration::from_secs(10);
     loop {
         if let Some(t0) = started {
             if t0.elapsed() > frame_deadline {
@@ -401,7 +426,7 @@ fn serve_connection(
 ) {
     let _ = stream.set_nodelay(true);
     let _ = stream.set_read_timeout(Some(Duration::from_millis(100)));
-    let _ = stream.set_write_timeout(Some(Duration::from_secs(30)));
+    let _ = stream.set_write_timeout(Some(cfg.io_deadline));
 
     let mut session = engine.session();
     let cancel = session.cancel_handle();
@@ -422,7 +447,7 @@ fn serve_connection(
             );
             break;
         }
-        let payload = match read_frame_poll(&mut stream) {
+        let payload = match read_frame_poll(&mut stream, cfg.io_deadline) {
             Frame::Payload(p) => p,
             Frame::Idle => continue,
             Frame::Eof => break,
@@ -449,6 +474,14 @@ fn serve_connection(
                 }
             }
             Request::Stats => {
+                // An unusable engine (poisoned) also reports degraded:
+                // the flag means "writes are not being served". Probe
+                // it before snapshotting the lock counters — the probe
+                // itself takes one shared lock, and the counters must
+                // match the engine's own view at reply time.
+                let degraded = engine
+                    .try_with_read(|db| db.is_degraded())
+                    .unwrap_or(true);
                 let locks = engine.lock_stats();
                 let (plan_hits, plan_misses) = engine.plan_cache_stats();
                 let resp = Response::Stats(StatsReply {
@@ -457,6 +490,13 @@ fn serve_connection(
                     snapshot_reads: locks.snapshot_reads,
                     plan_hits,
                     plan_misses,
+                    degraded,
+                    panics_caught: counters
+                        .panics_caught
+                        .load(Ordering::Relaxed),
+                    accept_errors: counters
+                        .accept_errors
+                        .load(Ordering::Relaxed),
                 });
                 if !send(&mut stream, &resp, cfg) {
                     break;

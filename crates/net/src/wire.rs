@@ -71,6 +71,13 @@ pub struct StatsReply {
     pub plan_hits: u64,
     /// Statement-cache misses (text parsed and cached).
     pub plan_misses: u64,
+    /// True while the engine is in read-only degraded mode (disk full
+    /// or failed fsync); writes re-arm automatically on recovery.
+    pub degraded: bool,
+    /// Worker panics the server caught and converted into errors.
+    pub panics_caught: u64,
+    /// Transient `accept()` failures the listener survived.
+    pub accept_errors: u64,
 }
 
 /// Result-set payload of a successful query.
@@ -319,6 +326,8 @@ fn error_parts(e: &Error) -> (u16, u64, u64, String) {
         Error::Canceled => (19, 0, 0, String::new()),
         Error::ShuttingDown => (20, 0, 0, String::new()),
         Error::Protocol(s) => (21, 0, 0, s.clone()),
+        Error::Degraded { reason } => (22, 0, 0, reason.clone()),
+        Error::RetryUnsafe(s) => (23, 0, 0, s.clone()),
     }
 }
 
@@ -363,6 +372,8 @@ fn error_from_parts(code: u16, a: u64, b: u64, msg: String) -> Error {
         19 => Error::Canceled,
         20 => Error::ShuttingDown,
         21 => Error::Protocol(msg),
+        22 => Error::Degraded { reason: msg },
+        23 => Error::RetryUnsafe(msg),
         other => {
             Error::Protocol(format!("unknown error code {other} ({msg})"))
         }
@@ -489,6 +500,9 @@ pub fn encode_response(resp: &Response, max_bytes: usize) -> Vec<u8> {
             put_u64(&mut buf, s.snapshot_reads);
             put_u64(&mut buf, s.plan_hits);
             put_u64(&mut buf, s.plan_misses);
+            put_u8(&mut buf, s.degraded as u8);
+            put_u64(&mut buf, s.panics_caught);
+            put_u64(&mut buf, s.accept_errors);
         }
     }
     buf
@@ -543,6 +557,9 @@ pub fn decode_response(payload: &[u8]) -> Result<Response> {
             snapshot_reads: c.u64()?,
             plan_hits: c.u64()?,
             plan_misses: c.u64()?,
+            degraded: c.u8()? != 0,
+            panics_caught: c.u64()?,
+            accept_errors: c.u64()?,
         })),
         t => Err(Error::Protocol(format!("unknown response tag {t}"))),
     }
@@ -663,6 +680,9 @@ mod tests {
             snapshot_reads: 12_000,
             plan_hits: 990,
             plan_misses: 10,
+            degraded: true,
+            panics_caught: 2,
+            accept_errors: 5,
         };
         let enc = encode_response(&Response::Stats(stats), usize::MAX);
         assert_eq!(decode_response(&enc).unwrap(), Response::Stats(stats));
@@ -714,6 +734,10 @@ mod tests {
             Error::Canceled,
             Error::ShuttingDown,
             Error::Protocol("p".into()),
+            Error::Degraded {
+                reason: "disk full".into(),
+            },
+            Error::RetryUnsafe("write in flight".into()),
         ];
         for e in errors {
             let enc =

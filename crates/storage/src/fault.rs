@@ -35,6 +35,16 @@ struct FaultState {
     /// Mutating ops charged so far (for sizing a crash matrix).
     charged: u64,
     crashed: bool,
+    /// Inclusive 1-based op-ordinal ranges during which every
+    /// space-consuming op fails with ENOSPC. The counter still
+    /// advances on a failing op, so a window always passes.
+    enospc_windows: Vec<(u64, u64)>,
+    /// Same, but for `sync` ops only (fsync failure).
+    fsync_windows: Vec<(u64, u64)>,
+    /// Manual toggles (the chaos harness flips these on a wall-clock
+    /// schedule instead of an op schedule).
+    enospc_on: bool,
+    fsync_fail_on: bool,
 }
 
 impl FaultPlan {
@@ -47,8 +57,58 @@ impl FaultPlan {
                 remaining: crash_after_ops,
                 charged: 0,
                 crashed: false,
+                enospc_windows: Vec::new(),
+                fsync_windows: Vec::new(),
+                enospc_on: false,
+                fsync_fail_on: false,
             })),
         }
+    }
+
+    /// Schedule ENOSPC windows: inclusive `(start, end)` ranges of
+    /// 1-based mutating-op ordinals during which every space-consuming
+    /// op (write, append, create, truncate, reset — not sync, not
+    /// read) fails with a disk-full I/O error. Unlike a crash these
+    /// failures are *transient*: the counter keeps advancing on the
+    /// failing ops themselves, so retries deterministically march the
+    /// schedule past the window and the disk "recovers".
+    pub fn set_enospc_windows(
+        &self,
+        windows: impl IntoIterator<Item = (u64, u64)>,
+    ) {
+        self.lock().enospc_windows = windows.into_iter().collect();
+    }
+
+    /// Schedule fsync-failure windows over the same op counter: `sync`
+    /// ops falling inside fail (data may sit in volatile cache), other
+    /// ops are untouched.
+    pub fn set_fsync_fail_windows(
+        &self,
+        windows: impl IntoIterator<Item = (u64, u64)>,
+    ) {
+        self.lock().fsync_windows = windows.into_iter().collect();
+    }
+
+    /// Manually start/stop an ENOSPC condition (wall-clock-scheduled
+    /// chaos, where op ordinals are not known in advance).
+    pub fn set_enospc(&self, on: bool) {
+        self.lock().enospc_on = on;
+    }
+
+    /// Manually start/stop fsync failure.
+    pub fn set_fsync_fail(&self, on: bool) {
+        self.lock().fsync_fail_on = on;
+    }
+
+    /// Is the disk-full condition active right now (manual toggle or
+    /// the *next* op ordinal falling in a scheduled window)?
+    pub fn enospc_active(&self) -> bool {
+        let s = self.lock();
+        let next = s.charged + 1;
+        s.enospc_on
+            || s.enospc_windows
+                .iter()
+                .any(|&(a, b)| next >= a && next <= b)
     }
 
     fn lock(&self) -> std::sync::MutexGuard<'_, FaultState> {
@@ -82,9 +142,22 @@ impl FaultPlan {
 
     /// Charge one mutating op. `Ok(())` means the op proceeds normally;
     /// `Err` means this op crashed (the caller must not apply it, except
-    /// for a torn prefix) or the process was already dead. Public for the
-    /// same reason as [`FaultPlan::check_alive`].
+    /// for a torn prefix), fell in an ENOSPC window (transient: the op
+    /// fails but the process lives), or the process was already dead.
+    /// Public for the same reason as [`FaultPlan::check_alive`].
     pub fn charge(&self) -> Result<()> {
+        self.charge_kind(false)
+    }
+
+    /// [`FaultPlan::charge`] for a `sync` op: same crash budget and
+    /// counter, but consults the fsync-failure schedule instead of the
+    /// ENOSPC schedule (a full disk still fsyncs; a broken fsync still
+    /// accepts writes into cache).
+    pub fn charge_sync(&self) -> Result<()> {
+        self.charge_kind(true)
+    }
+
+    fn charge_kind(&self, sync_op: bool) -> Result<()> {
         let mut s = self.lock();
         if s.crashed {
             return Err(Self::dead());
@@ -99,6 +172,23 @@ impl FaultPlan {
                 )));
             }
             *rem -= 1;
+        }
+        let op = s.charged;
+        let transient = if sync_op {
+            s.fsync_fail_on
+                || s.fsync_windows.iter().any(|&(a, b)| op >= a && op <= b)
+        } else {
+            s.enospc_on
+                || s.enospc_windows.iter().any(|&(a, b)| op >= a && op <= b)
+        };
+        if transient {
+            return Err(if sync_op {
+                Error::Io(format!("simulated fsync failure at op {op}"))
+            } else {
+                Error::Io(format!(
+                    "no space left on device (simulated, op {op})"
+                ))
+            });
         }
         Ok(())
     }
@@ -213,8 +303,10 @@ impl DiskManager for FaultDisk {
         let was_alive = !self.plan.crashed();
         if let Err(e) = self.plan.charge() {
             // The write that *causes* the crash may persist a torn
-            // prefix; writes after the crash persist nothing.
-            if was_alive {
+            // prefix; writes after the crash persist nothing, and a
+            // *transient* failure (ENOSPC window, plan still alive)
+            // drops the write whole.
+            if was_alive && self.plan.crashed() {
                 if let Some(torn) = self
                     .inner
                     .read_page(file, page_no)
@@ -240,7 +332,7 @@ impl DiskManager for FaultDisk {
     }
 
     fn sync(&mut self, file: FileId) -> Result<()> {
-        self.plan.charge()?;
+        self.plan.charge_sync()?;
         self.inner.sync(file)
     }
 
@@ -407,6 +499,66 @@ mod tests {
         assert_eq!(p.row(4, 0).unwrap(), &[5; 4], "data was never damaged");
         assert_eq!(disk.reads_issued(), 4);
         assert!(!disk.plan.crashed(), "transient faults are not crashes");
+    }
+
+    #[test]
+    fn enospc_window_fails_writes_but_advances_the_schedule() {
+        let plan = FaultPlan::new(None);
+        plan.set_enospc_windows([(3, 4)]);
+        let mut disk =
+            FaultDisk::new(Box::new(MemDisk::new()), plan.clone());
+        let f = disk.create_file().unwrap(); // op 1
+        disk.append_page(f, &page_of(1)).unwrap(); // op 2
+        assert!(plan.enospc_active(), "next op falls in the window");
+        // Ops 3 and 4: disk full. The failing ops still advance the
+        // counter, so the window passes even under blind retry.
+        let e = disk.append_page(f, &page_of(2)).unwrap_err();
+        assert!(e.to_string().contains("no space left"), "{e}");
+        assert!(disk.write_page(f, 0, &page_of(3)).is_err()); // op 4
+        assert!(!plan.crashed(), "enospc is transient, not a crash");
+        assert!(!plan.enospc_active());
+        // Op 5: space recovered; reads were never affected.
+        disk.append_page(f, &page_of(2)).unwrap();
+        assert_eq!(
+            disk.read_page(f, 0).unwrap().row(4, 0).unwrap(),
+            &[1; 4]
+        );
+        assert_eq!(plan.ops_charged(), 5);
+    }
+
+    #[test]
+    fn fsync_window_fails_only_sync_ops() {
+        let plan = FaultPlan::new(None);
+        plan.set_fsync_fail_windows([(3, 3)]);
+        let mut disk =
+            FaultDisk::new(Box::new(MemDisk::new()), plan.clone());
+        let f = disk.create_file().unwrap(); // op 1
+        disk.append_page(f, &page_of(1)).unwrap(); // op 2
+        let e = disk.sync(f).unwrap_err(); // op 3: fsync fails
+        assert!(e.to_string().contains("fsync"), "{e}");
+        assert!(!plan.crashed());
+        disk.sync(f).unwrap(); // op 4: recovered
+    }
+
+    #[test]
+    fn manual_toggles_gate_faults_without_a_schedule() {
+        let plan = FaultPlan::new(None);
+        let mut disk =
+            FaultDisk::new(Box::new(MemDisk::new()), plan.clone());
+        let f = disk.create_file().unwrap();
+        plan.set_enospc(true);
+        assert!(plan.enospc_active());
+        assert!(disk.append_page(f, &page_of(1)).is_err());
+        plan.set_enospc(false);
+        disk.append_page(f, &page_of(1)).unwrap();
+        plan.set_fsync_fail(true);
+        assert!(disk.sync(f).is_err());
+        assert!(
+            disk.write_page(f, 0, &page_of(2)).is_ok(),
+            "fsync failure leaves plain writes alone"
+        );
+        plan.set_fsync_fail(false);
+        disk.sync(f).unwrap();
     }
 
     #[test]

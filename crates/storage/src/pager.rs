@@ -196,6 +196,51 @@ impl FilePool {
     }
 }
 
+/// Statement-scoped undo (staging mode only): first-touch snapshots of
+/// everything a statement may disturb, captured lazily as the statement
+/// runs so [`Pager::rollback_statement`] can put the pager back exactly
+/// as it was at [`Pager::begin_statement_undo`]. Uncommitted page
+/// *content* never reaches disk under staging, so the in-memory restore
+/// (overlay, staged set, resize/drop bookkeeping) is infallible; only
+/// file-shape changes (appended placeholder tails, in-statement
+/// truncates, created files) need physical repair, which may itself hit
+/// the full disk and is then deferred (see [`Deferred`]).
+#[derive(Default)]
+struct UndoLog {
+    /// Per page key: `(prior overlay image, was staged)` at first touch.
+    touched: BTreeMap<(FileId, u32), (Option<Page>, bool)>,
+    /// Files first entering `resized` during the statement.
+    resized_added: BTreeSet<FileId>,
+    /// `pending_drops` length at statement start.
+    drops_len: usize,
+    /// Disk length per file at its first in-statement length change.
+    lengths: BTreeMap<FileId, u32>,
+    /// Pre-truncate disk images (an in-statement physical truncate
+    /// destroys checkpointed pages; rollback re-appends these).
+    truncated: BTreeMap<FileId, Vec<Page>>,
+    /// Files created during the statement (physically dropped on
+    /// rollback).
+    created: Vec<FileId>,
+    /// Per-file cap overrides removed by an in-statement drop.
+    overrides: BTreeMap<FileId, Option<usize>>,
+}
+
+/// A physical rollback step that failed (the disk is still exhausted)
+/// and waits for [`Pager::retry_deferred`]. In-memory state is already
+/// rolled back; until the fix lands, the named file's on-disk shape
+/// disagrees with the committed state — which is why the engine stays
+/// read-only-degraded until the deferred list drains.
+#[derive(Debug, Clone)]
+enum Deferred {
+    /// Trim the file back to `len` pages (placeholder tail from
+    /// rolled-back appends).
+    Shrink(FileId, u32),
+    /// Re-append saved images after an in-statement physical truncate.
+    Restore(FileId, Vec<Page>),
+    /// Physically drop a file the rolled-back statement created.
+    Drop(FileId),
+}
+
 /// Everything the pager-wide lock guards: the disk handle, the frame
 /// tables, the buffering config, and the WAL staging overlay. The stats
 /// ledger lives *outside* (it is internally atomic), so counter reads
@@ -224,6 +269,11 @@ struct PagerState {
     /// Transient-read retry budget: a failing disk read is reissued up to
     /// this many times before the error surfaces.
     read_retries: u32,
+    /// Statement undo, present between `begin_statement_undo` and
+    /// `discard_statement_undo`/`rollback_statement`.
+    undo: Option<UndoLog>,
+    /// Physical rollback steps awaiting a recovered disk.
+    deferred: Vec<Deferred>,
 }
 
 /// Buffer-managing page store over a [`DiskManager`], shareable across
@@ -314,6 +364,99 @@ impl PagerState {
         self.pools.get_mut(&file).ok_or_else(|| missing_pool(file))
     }
 
+    /// Record a page key's prior overlay/staged state at first touch
+    /// (no-op without an active statement undo).
+    fn undo_touch(&mut self, key: (FileId, u32)) {
+        if self.undo.is_none() {
+            return;
+        }
+        let img = self.overlay.get(&key).cloned();
+        let was = self.staged.contains(&key);
+        let u = self.undo.as_mut().expect("checked above");
+        u.touched.entry(key).or_insert((img, was));
+    }
+
+    /// Record a file's disk length and `resized` membership before its
+    /// first in-statement length change.
+    fn undo_resize(&mut self, file: FileId) -> Result<()> {
+        if self.undo.is_none() {
+            return Ok(());
+        }
+        let created = self
+            .undo
+            .as_ref()
+            .expect("checked above")
+            .created
+            .contains(&file);
+        let known = self
+            .undo
+            .as_ref()
+            .expect("checked above")
+            .lengths
+            .contains_key(&file);
+        let len = if known || created {
+            None
+        } else {
+            Some(self.disk.page_count(file)?)
+        };
+        let was_resized = self.resized.contains(&file);
+        let u = self.undo.as_mut().expect("checked above");
+        if !was_resized {
+            u.resized_added.insert(file);
+        }
+        if let Some(l) = len {
+            u.lengths.insert(file, l);
+        }
+        Ok(())
+    }
+
+    /// Apply one deferred physical rollback step. Idempotent: every
+    /// branch re-checks the disk before acting, so a step that half
+    /// completed (or already completed) can be reissued safely.
+    fn apply_fix(&mut self, fix: &Deferred) -> Result<()> {
+        match fix {
+            Deferred::Drop(f) => {
+                if self.disk.page_count(*f).is_ok() {
+                    self.disk.drop_file(*f)?;
+                }
+                if let Some(sums) = &mut self.checksums {
+                    sums.drop_file(*f);
+                }
+                Ok(())
+            }
+            Deferred::Shrink(f, len) => {
+                let Ok(cur) = self.disk.page_count(*f) else {
+                    return Ok(());
+                };
+                if cur <= *len {
+                    return Ok(());
+                }
+                let keep: Vec<Page> = (0..*len)
+                    .map(|p| self.disk.read_page(*f, p))
+                    .collect::<Result<_>>()?;
+                self.restore_file(*f, &keep)
+            }
+            Deferred::Restore(f, pages) => self.restore_file(*f, pages),
+        }
+    }
+
+    /// Truncate `file` and re-append `pages` (the trait only truncates
+    /// to zero), refreshing the checksum sidecar as it goes.
+    fn restore_file(&mut self, file: FileId, pages: &[Page]) -> Result<()> {
+        if self.disk.page_count(file).is_err() {
+            return Ok(());
+        }
+        self.disk.truncate(file)?;
+        if let Some(sums) = &mut self.checksums {
+            sums.truncate(file, 0);
+        }
+        for (i, p) in pages.iter().enumerate() {
+            self.disk.append_page(file, p)?;
+            self.note_written(file, i as u32, p);
+        }
+        Ok(())
+    }
+
     fn write_back(
         &mut self,
         stats: &IoStats,
@@ -322,6 +465,7 @@ impl PagerState {
     ) -> Result<()> {
         if frame.dirty {
             if self.staging {
+                self.undo_touch((file, frame.page_no));
                 self.overlay.insert((file, frame.page_no), frame.page);
                 self.staged.insert((file, frame.page_no));
             } else {
@@ -461,6 +605,8 @@ impl Pager {
                 pending_drops: Vec::new(),
                 checksums: None,
                 read_retries: DEFAULT_READ_RETRIES,
+                undo: None,
+                deferred: Vec::new(),
             }),
             stats: IoStats::new(),
         }
@@ -665,6 +811,9 @@ impl Pager {
         let st = &mut *self.st();
         let id = st.disk.create_file()?;
         st.pool_mut(id);
+        if let Some(u) = st.undo.as_mut() {
+            u.created.push(id);
+        }
         Ok(id)
     }
 
@@ -674,6 +823,22 @@ impl Pager {
     /// persisted is being destroyed.
     pub fn drop_file(&self, file: FileId) -> Result<()> {
         let st = &mut *self.st();
+        if st.staging && st.undo.is_some() {
+            // Capture before anything is removed: the prior cap
+            // override and every overlay/staged entry this drop purges.
+            let keys: Vec<(FileId, u32)> = st
+                .overlay
+                .keys()
+                .filter(|(f, _)| *f == file)
+                .copied()
+                .collect();
+            for key in keys {
+                st.undo_touch(key);
+            }
+            let prior = st.overrides.get(&file).copied();
+            let u = st.undo.as_mut().expect("checked above");
+            u.overrides.entry(file).or_insert(prior);
+        }
         st.pools.remove(&file);
         st.overrides.remove(&file);
         if let Some(sums) = &mut st.checksums {
@@ -699,6 +864,40 @@ impl Pager {
     /// no output. Neither counts evictions.
     pub fn truncate(&self, file: FileId) -> Result<()> {
         let st = &mut *self.st();
+        if st.staging && st.undo.is_some() {
+            // A physical truncate destroys checkpointed pages, so undo
+            // must save the on-disk images (the only destructive disk
+            // write a staged statement can make) plus every overlay
+            // entry about to be purged. Capture happens before any
+            // mutation: a failed capture leaves the file untouched.
+            st.undo_resize(file)?;
+            if !st
+                .undo
+                .as_ref()
+                .expect("checked above")
+                .truncated
+                .contains_key(&file)
+            {
+                let n = st.disk.page_count(file)?;
+                let pages: Vec<Page> = (0..n)
+                    .map(|p| st.disk.read_page(file, p))
+                    .collect::<Result<_>>()?;
+                st.undo
+                    .as_mut()
+                    .expect("checked above")
+                    .truncated
+                    .insert(file, pages);
+            }
+            let keys: Vec<(FileId, u32)> = st
+                .overlay
+                .keys()
+                .filter(|(f, _)| *f == file)
+                .copied()
+                .collect();
+            for key in keys {
+                st.undo_touch(key);
+            }
+        }
         if let Some(pool) = st.pools.get_mut(&file) {
             pool.frames.clear();
             pool.hand = 0;
@@ -771,6 +970,9 @@ impl Pager {
     pub fn append_page(&self, file: FileId, kind: PageKind) -> Result<u32> {
         let st = &mut *self.st();
         let page = Page::new(kind);
+        // Capture the pre-append disk length first: rollback trims the
+        // placeholder tail back to it.
+        st.undo_resize(file)?;
         let page_no = st.disk.append_page(file, &page)?;
         st.note_written(file, page_no, &page);
         if st.staging {
@@ -808,6 +1010,7 @@ impl Pager {
             }
             for (page_no, page) in dirty {
                 if st.staging {
+                    st.undo_touch((file, page_no));
                     st.overlay.insert((file, page_no), page);
                     st.staged.insert((file, page_no));
                 } else {
@@ -912,8 +1115,23 @@ impl Pager {
     }
 
     /// Physically drop a file whose drop was deferred by staging mode.
+    /// Idempotent: a file already gone (a retried drop after a partial
+    /// failure) is success, not an error.
     pub fn execute_drop(&self, file: FileId) -> Result<()> {
-        self.st().disk.drop_file(file)
+        let st = &mut *self.st();
+        if st.disk.page_count(file).is_err() {
+            return Ok(());
+        }
+        st.disk.drop_file(file)
+    }
+
+    /// Park a physical drop that the disk refused (out of space, device
+    /// error) so `retry_deferred` completes it once the disk recovers.
+    /// The drop is already logged as committed, so it must eventually
+    /// happen — but nothing reads the file meanwhile, so deferring is
+    /// safe.
+    pub fn defer_drop(&self, file: FileId) {
+        self.st().deferred.push(Deferred::Drop(file));
     }
 
     /// Write every overlay page through to the disk (counting one write
@@ -922,17 +1140,164 @@ impl Pager {
     /// sorted, so the caller can sync them.
     pub fn materialize_overlay(&self) -> Result<Vec<FileId>> {
         let st = &mut *self.st();
-        let overlay = std::mem::take(&mut st.overlay);
+        // Iterate without consuming: a mid-loop failure (disk full
+        // during a checkpoint) must not lose the committed images not
+        // yet written. The overlay is cleared only once every page
+        // landed; page writes are idempotent, so a retried checkpoint
+        // simply re-writes them all.
+        let PagerState {
+            disk,
+            overlay,
+            checksums,
+            ..
+        } = &mut *st;
         let mut files: Vec<FileId> = Vec::new();
-        for ((file, page_no), page) in overlay {
-            st.disk.write_page(file, page_no, &page)?;
-            st.note_written(file, page_no, &page);
-            self.stats.record_write(file);
-            if files.last() != Some(&file) {
-                files.push(file);
+        for ((file, page_no), page) in overlay.iter() {
+            disk.write_page(*file, *page_no, page)?;
+            if let Some(sums) = checksums {
+                sums.record(*file, *page_no, page);
+            }
+            self.stats.record_write(*file);
+            if files.last() != Some(file) {
+                files.push(*file);
             }
         }
+        st.overlay.clear();
         Ok(files)
+    }
+
+    // --- Statement undo -------------------------------------------------
+    //
+    // Staging mode keeps uncommitted page *content* off the disk, so a
+    // statement that dies mid-flight (disk full, fsync failure) has
+    // polluted only in-memory state — plus, at worst, a file's *shape*
+    // (appended placeholder tails, an in-statement truncate, a created
+    // file). `begin_statement_undo` arms lazy first-touch capture of
+    // both; `rollback_statement` restores the in-memory state exactly
+    // (infallible) and repairs the shapes, deferring any repair the
+    // still-exhausted disk refuses until `retry_deferred` succeeds.
+
+    /// Arm statement undo: from now until `discard_statement_undo` or
+    /// `rollback_statement`, every overlay/staged/resize/drop mutation
+    /// snapshots its prior state at first touch.
+    pub fn begin_statement_undo(&self) {
+        let st = &mut *self.st();
+        let drops_len = st.pending_drops.len();
+        st.undo = Some(UndoLog {
+            drops_len,
+            ..UndoLog::default()
+        });
+    }
+
+    /// The statement committed: forget the captured undo state.
+    pub fn discard_statement_undo(&self) {
+        self.st().undo = None;
+    }
+
+    /// Put the pager back as it was at `begin_statement_undo` (no-op
+    /// without one armed). The in-memory restore cannot fail; physical
+    /// repairs that the disk refuses (it may still be full) are parked
+    /// on the deferred list — see [`Pager::retry_deferred`] — and the
+    /// caller must hold writes until the list drains.
+    ///
+    /// Runs under the pager-wide lock in one critical section, so
+    /// concurrent snapshot readers never observe a half-rolled-back
+    /// pager.
+    pub fn rollback_statement(&self) {
+        let st = &mut *self.st();
+        let Some(u) = st.undo.take() else { return };
+        // Discard every buffered frame WITHOUT write-back: dirty
+        // frames hold the dead statement's content and must not
+        // re-pollute the overlay.
+        for pool in st.pools.values_mut() {
+            pool.frames.clear();
+            pool.hand = 0;
+        }
+        for (key, (img, was_staged)) in &u.touched {
+            match img {
+                Some(p) => {
+                    st.overlay.insert(*key, p.clone());
+                }
+                None => {
+                    st.overlay.remove(key);
+                }
+            }
+            if *was_staged {
+                st.staged.insert(*key);
+            } else {
+                st.staged.remove(key);
+            }
+        }
+        for f in &u.resized_added {
+            st.resized.remove(f);
+        }
+        st.pending_drops.truncate(u.drops_len);
+        for (f, prior) in &u.overrides {
+            match prior {
+                Some(cap) => {
+                    st.overrides.insert(*f, *cap);
+                }
+                None => {
+                    st.overrides.remove(f);
+                }
+            }
+        }
+        // Physical shape repairs, most destructive wins per file:
+        // created files are dropped outright; truncated files get
+        // their saved images back (trimmed to the pre-statement
+        // length — the tail of the capture may be this statement's
+        // own placeholders); grown files are trimmed.
+        let mut fixes: Vec<Deferred> = Vec::new();
+        for f in &u.created {
+            fixes.push(Deferred::Drop(*f));
+        }
+        for (f, pages) in u.truncated {
+            if u.created.contains(&f) {
+                continue;
+            }
+            let keep = u
+                .lengths
+                .get(&f)
+                .map(|l| *l as usize)
+                .unwrap_or(pages.len())
+                .min(pages.len());
+            let mut pages = pages;
+            pages.truncate(keep);
+            fixes.push(Deferred::Restore(f, pages));
+        }
+        for (f, len) in &u.lengths {
+            if u.created.contains(f)
+                || fixes
+                    .iter()
+                    .any(|x| matches!(x, Deferred::Restore(g, _) if g == f))
+            {
+                continue;
+            }
+            fixes.push(Deferred::Shrink(*f, *len));
+        }
+        for fix in fixes {
+            if st.apply_fix(&fix).is_err() {
+                st.deferred.push(fix);
+            }
+        }
+    }
+
+    /// Re-attempt every deferred physical rollback step, stopping at
+    /// the first that still fails (steps are idempotent, so a partial
+    /// pass is safe to repeat). Empty list == on-disk shapes agree
+    /// with the committed state again.
+    pub fn retry_deferred(&self) -> Result<()> {
+        let st = &mut *self.st();
+        while let Some(fix) = st.deferred.first().cloned() {
+            st.apply_fix(&fix)?;
+            st.deferred.remove(0);
+        }
+        Ok(())
+    }
+
+    /// Are physical rollback repairs still outstanding?
+    pub fn has_deferred(&self) -> bool {
+        !self.st_read().deferred.is_empty()
     }
 
     /// Force one file's pages to stable storage.
@@ -1463,6 +1828,169 @@ mod tests {
         }
         assert_eq!(costs[0], costs[1]);
         assert_eq!(costs[0], 8);
+    }
+
+    /// Stage some committed state the way the durable engine does:
+    /// content flushed to the overlay, then the commit drains the
+    /// staged set and the resize records.
+    fn committed_staging_file(pager: &Pager) -> FileId {
+        let f = pager.create_file().unwrap();
+        let p0 = pager.append_page(f, PageKind::Data).unwrap();
+        let p1 = pager.append_page(f, PageKind::Data).unwrap();
+        pager
+            .write(f, p0, |pg| pg.push_row(4, &[1; 4]).unwrap())
+            .unwrap();
+        pager
+            .write(f, p1, |pg| pg.push_row(4, &[2; 4]).unwrap())
+            .unwrap();
+        pager.flush_all().unwrap();
+        pager.clear_staged();
+        pager.take_resized().unwrap();
+        f
+    }
+
+    #[test]
+    fn statement_rollback_restores_overlay_and_shapes() {
+        let pager = Pager::in_memory();
+        pager.set_staging(true);
+        let f = committed_staging_file(&pager);
+
+        pager.begin_statement_undo();
+        // The doomed statement: overwrite a committed page, grow the
+        // file, and create a whole new file with content.
+        pager
+            .write(f, 0, |pg| pg.push_row(4, &[9; 4]).unwrap())
+            .unwrap();
+        let p2 = pager.append_page(f, PageKind::Data).unwrap();
+        pager
+            .write(f, p2, |pg| pg.push_row(4, &[9; 4]).unwrap())
+            .unwrap();
+        let g = pager.create_file().unwrap();
+        pager.append_page(g, PageKind::Data).unwrap();
+        pager.flush_all().unwrap();
+        pager.rollback_statement();
+        assert!(!pager.has_deferred(), "healthy disk repairs inline");
+
+        // Committed overlay images are back, the dead statement's
+        // second row is gone, and the shapes match the commit.
+        pager
+            .read(f, 0, |pg| {
+                assert_eq!(pg.row(4, 0).unwrap(), &[1; 4]);
+                assert!(pg.row(4, 1).is_err(), "statement row rolled back");
+            })
+            .unwrap();
+        pager
+            .read(f, 1, |pg| assert_eq!(pg.row(4, 0).unwrap(), &[2; 4]))
+            .unwrap();
+        assert_eq!(pager.page_count(f).unwrap(), 2, "tail trimmed");
+        assert!(pager.page_count(g).is_err(), "created file dropped");
+        assert!(pager.staged_pages().is_empty(), "staged set drained");
+        assert!(pager.take_resized().unwrap().is_empty());
+    }
+
+    #[test]
+    fn statement_rollback_restores_a_truncated_file() {
+        let pager = Pager::in_memory();
+        pager.set_staging(true);
+        let f = committed_staging_file(&pager);
+        // Checkpoint: the committed content reaches the disk.
+        pager.materialize_overlay().unwrap();
+
+        pager.begin_statement_undo();
+        pager.truncate(f).unwrap();
+        let p = pager.append_page(f, PageKind::Data).unwrap();
+        pager
+            .write(f, p, |pg| pg.push_row(4, &[9; 4]).unwrap())
+            .unwrap();
+        pager.flush_all().unwrap();
+        pager.rollback_statement();
+        assert!(!pager.has_deferred());
+
+        assert_eq!(pager.page_count(f).unwrap(), 2);
+        pager
+            .read(f, 0, |pg| assert_eq!(pg.row(4, 0).unwrap(), &[1; 4]))
+            .unwrap();
+        pager
+            .read(f, 1, |pg| assert_eq!(pg.row(4, 0).unwrap(), &[2; 4]))
+            .unwrap();
+    }
+
+    #[test]
+    fn rollback_defers_repairs_until_the_disk_recovers() {
+        use crate::fault::{FaultDisk, FaultPlan, SharedMemDisk};
+        let shared = SharedMemDisk::new();
+        let plan = FaultPlan::new(None);
+        let pager = Pager::new(Box::new(FaultDisk::new(
+            Box::new(shared),
+            plan.clone(),
+        )));
+        pager.set_staging(true);
+        let f = committed_staging_file(&pager);
+
+        pager.begin_statement_undo();
+        let p2 = pager.append_page(f, PageKind::Data).unwrap();
+        pager
+            .write(f, p2, |pg| pg.push_row(4, &[9; 4]).unwrap())
+            .unwrap();
+        // Disk fills up; the statement dies; rollback cannot trim the
+        // placeholder tail yet.
+        plan.set_enospc(true);
+        pager.rollback_statement();
+        assert!(pager.has_deferred(), "trim deferred: disk still full");
+        assert!(pager.retry_deferred().is_err(), "still full");
+        assert!(pager.has_deferred());
+        // In-memory state is already rolled back: the committed images
+        // are intact and readable throughout.
+        pager
+            .read(f, 0, |pg| assert_eq!(pg.row(4, 0).unwrap(), &[1; 4]))
+            .unwrap();
+        // Space recovers; the deferred trim drains and shapes agree.
+        plan.set_enospc(false);
+        pager.retry_deferred().unwrap();
+        assert!(!pager.has_deferred());
+        assert_eq!(pager.page_count(f).unwrap(), 2);
+    }
+
+    #[test]
+    fn discard_keeps_the_statement_effects() {
+        let pager = Pager::in_memory();
+        pager.set_staging(true);
+        let f = committed_staging_file(&pager);
+        pager.begin_statement_undo();
+        let p2 = pager.append_page(f, PageKind::Data).unwrap();
+        pager
+            .write(f, p2, |pg| pg.push_row(4, &[7; 4]).unwrap())
+            .unwrap();
+        pager.flush_all().unwrap();
+        pager.discard_statement_undo();
+        pager.rollback_statement(); // no-op: nothing armed
+        assert_eq!(pager.page_count(f).unwrap(), 3);
+        pager
+            .read(f, p2, |pg| assert_eq!(pg.row(4, 0).unwrap(), &[7; 4]))
+            .unwrap();
+    }
+
+    #[test]
+    fn failed_materialize_keeps_the_overlay_for_retry() {
+        use crate::fault::{FaultDisk, FaultPlan, SharedMemDisk};
+        let shared = SharedMemDisk::new();
+        let plan = FaultPlan::new(None);
+        let pager = Pager::new(Box::new(FaultDisk::new(
+            Box::new(shared),
+            plan.clone(),
+        )));
+        pager.set_staging(true);
+        let f = committed_staging_file(&pager);
+        plan.set_enospc(true);
+        assert!(pager.materialize_overlay().is_err());
+        // Nothing was consumed: the same checkpoint succeeds whole once
+        // space returns, and the content reads back from disk.
+        plan.set_enospc(false);
+        assert_eq!(pager.materialize_overlay().unwrap(), vec![f]);
+        pager.invalidate_buffers().unwrap();
+        pager
+            .read(f, 0, |pg| assert_eq!(pg.row(4, 0).unwrap(), &[1; 4]))
+            .unwrap();
     }
 
     /// Concurrent readers over disjoint files: every thread's accounting

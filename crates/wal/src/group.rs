@@ -134,13 +134,27 @@ impl GroupCommit {
     /// Retire every outstanding ticket without an fsync of the log —
     /// called after a checkpoint has durably materialized everything the
     /// log described (data files fsynced, log atomically truncated).
+    ///
+    /// This also clears a prior batch-fsync failure: the failure made
+    /// the durable prefix past the watermark *unknown*, and a
+    /// completed checkpoint re-establishes it (everything, by other
+    /// means). Tickets issued before the failure were already failed —
+    /// not dropped — with the fsync's typed error; only commits
+    /// registered after the re-arm proceed.
     pub fn mark_all_durable(&self) {
         let mut st = self.lock();
         if st.durable < st.appended {
             st.durable = st.appended;
             self.fsyncs.fetch_add(1, Ordering::Relaxed);
         }
+        st.failed = None;
         self.cv.notify_all();
+    }
+
+    /// The error that failed the last batch fsync, if writes are still
+    /// un-re-armed (see [`GroupCommit::mark_all_durable`]).
+    pub fn failure(&self) -> Option<Error> {
+        self.lock().failed.clone()
     }
 
     /// Block until `ticket` is durable. `sync` forces the log to stable
@@ -271,6 +285,26 @@ mod tests {
         // Later tickets keep failing: the durable prefix is unknown.
         let t3 = gc.register();
         assert!(gc.wait_durable(t3, || Ok(())).is_err());
+        assert!(gc.failure().is_some());
+    }
+
+    #[test]
+    fn checkpoint_rearms_a_failed_queue() {
+        let gc = GroupCommit::new(immediate());
+        let t1 = gc.register();
+        assert!(gc
+            .wait_durable(t1, || Err(Error::Io("fsync failed".into())))
+            .is_err());
+        let t2 = gc.register();
+        assert!(gc.wait_durable(t2, || Ok(())).is_err(), "still failed");
+        // A checkpoint durably materialized everything by other means.
+        gc.mark_all_durable();
+        assert!(gc.failure().is_none());
+        gc.wait_durable(t2, || panic!("durable via checkpoint"))
+            .unwrap();
+        // New commits proceed normally after the re-arm.
+        let t3 = gc.register();
+        gc.wait_durable(t3, || Ok(())).unwrap();
     }
 
     #[test]

@@ -110,6 +110,14 @@ impl RecoveryPlan {
         let mut catalog = None;
         let mut current: Vec<(u32, Record)> = Vec::new();
         for (lsn, rec) in records {
+            if matches!(rec, Record::Begin) && !current.is_empty() {
+                // An abandoned transaction: a statement died mid-append
+                // (disk full) and was rolled back, then a later
+                // statement committed. Its records have no `Commit` of
+                // their own and must not be folded into the next
+                // transaction's — a fresh `Begin` supersedes them.
+                current.clear();
+            }
             let is_commit = matches!(rec, Record::Commit);
             current.push((lsn, rec));
             if is_commit {
@@ -616,6 +624,52 @@ mod tests {
         assert!(
             plan.latest_image(g, 0).is_none(),
             "images older than a committed drop are not salvage material"
+        );
+    }
+
+    #[test]
+    fn abandoned_begin_is_not_folded_into_the_next_commit() {
+        // A statement died mid-append (disk full) and was rolled back:
+        // its `Begin` + images sit in the log with no `Commit`. The
+        // next statement then committed. Replay must apply only the
+        // committed transaction — folding the abandoned records in
+        // would resurrect the rolled-back statement's pages.
+        let mut wal = Wal::open(Box::new(MemLog::new())).unwrap().0;
+        let f = FileId(0);
+        wal.append(&Record::Begin).unwrap();
+        wal.append(&Record::PageImage {
+            file: f,
+            page_no: 1,
+            image: image(9, 2),
+        })
+        .unwrap();
+        // No Commit: the statement was rolled back. A fresh statement
+        // begins and commits.
+        wal.append(&Record::Begin).unwrap();
+        wal.append(&Record::PageImage {
+            file: f,
+            page_no: 0,
+            image: image(3, 4),
+        })
+        .unwrap();
+        wal.append(&Record::Commit).unwrap();
+        let bytes = wal.read_back().unwrap();
+        let plan = RecoveryPlan::parse(&bytes);
+        assert_eq!(plan.txns.len(), 1);
+        assert!(
+            plan.latest_image(f, 1).is_none(),
+            "the abandoned statement's image is not salvage material"
+        );
+        let (mut disk, file) = disk_with(2, 7);
+        assert_eq!(file, f);
+        replay(&plan, &mut disk).unwrap();
+        let committed = disk.read_page(f, 0).unwrap();
+        assert_eq!(committed.row(4, 0).unwrap(), &[3; 4]);
+        let untouched = disk.read_page(f, 1).unwrap();
+        assert_eq!(
+            untouched.row(4, 0).unwrap(),
+            &[7; 4],
+            "the rolled-back statement's page keeps its old bytes"
         );
     }
 

@@ -245,7 +245,10 @@ impl LogStore for FaultLog {
     fn append(&mut self, bytes: &[u8]) -> Result<()> {
         let was_alive = !self.plan.crashed();
         if let Err(e) = self.plan.charge() {
-            if was_alive {
+            // Tearing/bit rot model a *crash* mid-append. A transient
+            // failure (ENOSPC window) drops the append whole and the
+            // plan stays alive.
+            if was_alive && self.plan.crashed() {
                 if let Some(bit) = self.flip_bit {
                     if !bytes.is_empty() {
                         let mut rotted = bytes.to_vec();
@@ -263,7 +266,7 @@ impl LogStore for FaultLog {
     }
 
     fn sync(&mut self) -> Result<()> {
-        self.plan.charge()?;
+        self.plan.charge_sync()?;
         self.inner.sync()
     }
 

@@ -384,6 +384,32 @@ gate_check_recovery() {
     return "$rc"
 }
 
+# Graceful-degradation acceptance gate: the deterministic fault-window
+# suite (ENOSPC / failed-fsync / lost-connection behavior at every
+# layer), then the seeded wall-clock chaos drill — a real TCP server on
+# fault-wrapped file storage driven by reconnecting clients while the
+# harness flips disk-full and fsync faults. The drill fails unless the
+# server survives, every acked append stays readable, workers see only
+# typed retryable errors, writes resume, and the closing audit is
+# clean. Two seeds, so one lucky schedule can't green the gate.
+gate_chaos() {
+    cargo test -q --test chaos || return 1
+    local seed out
+    for seed in 7 1986; do
+        out=$("$bindir/throughput" --chaos "$seed" --threads 4 \
+            --ops 200 --json BENCH_chaos.json) || return 1
+        echo "$out"
+        echo "$out" | grep -q '^audit: clean' || {
+            echo "chaos: seed $seed did not end in a clean audit"
+            return 1
+        }
+    done
+    [[ -s BENCH_chaos.json ]] || {
+        echo "chaos: BENCH_chaos.json not written"
+        return 1
+    }
+}
+
 # --------------------------------------------------------------- driver
 
 GATES=()
@@ -395,6 +421,7 @@ GATES+=(
     fig5-checksums figures-threads fig11-shape
     planner-golden plan-cache-smoke
     throughput-smoke net-protocol server-smoke check-recovery
+    chaos
 )
 
 if $list_only; then
@@ -420,7 +447,7 @@ export -f gate_fmt gate_build gate_clippy gate_test \
     gate_snapshot_stress gate_fig5_checksums gate_figures_threads \
     gate_fig11_shape gate_planner_golden gate_plan_cache_smoke \
     gate_throughput_smoke gate_net_protocol \
-    gate_server_smoke gate_check_recovery
+    gate_server_smoke gate_check_recovery gate_chaos
 
 RAN=() STATUSES=() TOOK=() FAILED=()
 for name in "${GATES[@]}"; do

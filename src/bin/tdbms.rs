@@ -132,15 +132,26 @@ impl Shell {
             }
             "\\d" => println!("{}", self.describe(arg)),
             "\\stats" if arg.is_empty() => {
-                let (reads, writes) = self.session.engine().with_read(|db| {
-                    let st = db.io_stats();
-                    (st.total_reads(), st.total_writes())
-                });
+                let (reads, writes, degraded) =
+                    self.session.engine().with_read(|db| {
+                        let st = db.io_stats();
+                        (
+                            st.total_reads(),
+                            st.total_writes(),
+                            db.degraded_reason(),
+                        )
+                    });
                 println!(
                     "last statement: {reads} page reads, {writes} page writes"
                 );
                 let (hits, misses) = self.session.plan_cache_stats();
                 println!("plan cache: {hits} hits, {misses} misses");
+                if let Some(reason) = degraded {
+                    println!(
+                        "DEGRADED (read-only): {reason} — writes \
+                         re-arm automatically once the disk recovers"
+                    );
+                }
             }
             "\\stats" => {
                 let stats = self
