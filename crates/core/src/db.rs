@@ -530,6 +530,7 @@ impl Database {
                     >= n
             });
         let mut drops = drops;
+        let mut group_wait = None;
         if let Some(g) = ws.group.as_mut() {
             // Group commit: issue the ticket in the same critical
             // section as the appends (ticket order = log order) and
@@ -538,8 +539,30 @@ impl Database {
             // the commit is durable.
             let ticket = g.gc.register();
             g.pending = Some((ticket, std::mem::take(&mut drops)));
+            if due {
+                // A checkpoint is due, and its leading log sync would
+                // otherwise be this commit's FIRST durability point —
+                // a checkpoint failure mapped to `durable: true` would
+                // then acknowledge a commit that was never fsynced.
+                // Wait the ticket durable now, while a sync failure
+                // can still be classified pre-durability.
+                group_wait = Some((g.gc.clone(), g.log.clone(), ticket));
+            }
         } else {
             ws.wal.sync().map_err(pre)?;
+        }
+        if let Some((gc, log, ticket)) = group_wait {
+            if let Err(e) = gc.wait_durable(ticket, || log.sync()) {
+                // Pre-durability: the statement rolls back, so its
+                // parked ticket (and the deferred drops on it) must
+                // not survive to a later settle or checkpoint.
+                if let Some(g) =
+                    self.wal.as_mut().and_then(|ws| ws.group.as_mut())
+                {
+                    g.pending = None;
+                }
+                return Err(pre(e));
+            }
         }
         // The transaction is durable: deferred drops may now touch disk
         // (in group mode the drops moved onto the pending ticket and
@@ -728,10 +751,13 @@ impl Database {
 
     /// Attempt to leave degraded mode: finish the deferred physical
     /// repairs, then take a full checkpoint — which materializes the
-    /// overlay, fsyncs everything, truncates the log (discarding any
-    /// commit of unknown durability in favour of its acknowledged
-    /// outcome), and re-arms a failed group-commit queue. On success
-    /// the engine is healthy; on failure it stays degraded and reads
+    /// overlay, fsyncs everything, truncates the log, and re-arms a
+    /// failed group-commit queue. The truncation resolves any commit
+    /// of unknown durability to its kept in-memory outcome: a
+    /// statement rolled back pre-durability vanishes for good, while
+    /// one whose effects stood (a failed *settle*, surfaced as
+    /// [`Error::RetryUnsafe`]) is durably persisted. On success the
+    /// engine is healthy; on failure it stays degraded and reads
     /// keep serving.
     pub fn try_rearm(&mut self) -> Result<()> {
         let reason = self
@@ -788,7 +814,16 @@ impl Database {
                 self.pager.discard_statement_undo();
                 if let Err(e) = self.settle_group_commit() {
                     self.pager.end_phase();
-                    return Err(self.enter_degraded(&e));
+                    // The batch fsync failed *after* the undo was
+                    // discarded: the effects stand (the re-arm
+                    // checkpoint persists them) but durability is
+                    // unknown. Degrade the engine, yet refuse the
+                    // blanket-retryable `Degraded` contract — a
+                    // verbatim retry would double-apply the statement.
+                    let _ = self.enter_degraded(&e);
+                    return Err(Error::RetryUnsafe(format!(
+                        "commit durability unknown: {e}"
+                    )));
                 }
                 Ok(())
             }

@@ -423,12 +423,25 @@ impl Engine {
             // until a checkpoint re-arms the queue. The drops go back
             // on the pending ticket so the re-arming checkpoint
             // retires them (a logged drop must eventually happen).
-            if let Ok(mut db) = self.shared.write() {
-                db.repark_drops(ticket, drops);
+            match self.shared.write() {
+                Ok(mut db) => db.repark_drops(ticket, drops),
+                // Poisoned commit lock: still record the logged drops
+                // on the pager's repairs list so `retry_deferred`
+                // retires them instead of stranding files on disk.
+                Err(_) => {
+                    for file in drops {
+                        self.inner.pager.defer_drop(file);
+                    }
+                }
             }
-            return Err(Error::Degraded {
-                reason: e.to_string(),
-            });
+            // The statement's effects already stood (applied and
+            // published before the batch sync ran), so its durability
+            // is unknown — surface the non-retryable contract, not
+            // `Degraded` (whose contract promises a rollback and
+            // invites a verbatim retry).
+            return Err(Error::RetryUnsafe(format!(
+                "commit durability unknown: {e}"
+            )));
         }
         for file in drops {
             if self.inner.pager.execute_drop(file).is_err() {

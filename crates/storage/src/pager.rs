@@ -1206,12 +1206,22 @@ impl Pager {
     pub fn rollback_statement(&self) {
         let st = &mut *self.st();
         let Some(u) = st.undo.take() else { return };
-        // Discard every buffered frame WITHOUT write-back: dirty
-        // frames hold the dead statement's content and must not
-        // re-pollute the overlay.
-        for pool in st.pools.values_mut() {
-            pool.frames.clear();
-            pool.hand = 0;
+        // Discard the buffered frames of every file the statement
+        // touched WITHOUT write-back: dirty frames hold the dead
+        // statement's content and must not re-pollute the overlay.
+        // Pools of untouched files cache only committed pages — the
+        // warm cache stays.
+        let mut polluted: BTreeSet<FileId> = BTreeSet::new();
+        polluted.extend(u.touched.keys().map(|(f, _)| *f));
+        polluted.extend(u.resized_added.iter().copied());
+        polluted.extend(u.lengths.keys().copied());
+        polluted.extend(u.truncated.keys().copied());
+        polluted.extend(u.created.iter().copied());
+        for f in &polluted {
+            if let Some(pool) = st.pools.get_mut(f) {
+                pool.frames.clear();
+                pool.hand = 0;
+            }
         }
         for (key, (img, was_staged)) in &u.touched {
             match img {
@@ -1886,6 +1896,37 @@ mod tests {
         assert!(pager.page_count(g).is_err(), "created file dropped");
         assert!(pager.staged_pages().is_empty(), "staged set drained");
         assert!(pager.take_resized().unwrap().is_empty());
+    }
+
+    #[test]
+    fn rollback_keeps_untouched_files_warm_cache() {
+        let pager = Pager::in_memory_with_config(BufferConfig::uniform(
+            4,
+            EvictionPolicy::Lru,
+        ));
+        pager.set_staging(true);
+        let f = committed_staging_file(&pager);
+        let g = committed_staging_file(&pager);
+        pager.materialize_overlay().unwrap();
+        pager.invalidate_buffers().unwrap();
+        pager.reset_stats();
+        // Warm f's pool, then roll back a statement that only dirties g.
+        pager.read(f, 0, |_| ()).unwrap();
+        assert_eq!(pager.stats().of(f).reads, 1);
+
+        pager.begin_statement_undo();
+        pager
+            .write(g, 0, |pg| pg.push_row(4, &[9; 4]).unwrap())
+            .unwrap();
+        pager.rollback_statement();
+
+        // f never appeared in the undo log, so its frames survive the
+        // rollback: the re-read is a buffer hit, not a disk read. Only
+        // the touched file's potentially-polluted frames are discarded.
+        pager.read(f, 0, |_| ()).unwrap();
+        let io = pager.stats().of(f);
+        assert_eq!(io.reads, 1, "untouched file's warm cache survives");
+        assert_eq!(io.hits, 1);
     }
 
     #[test]

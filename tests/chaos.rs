@@ -11,8 +11,11 @@
 //!   first write attempted after the resource recovers re-arms the
 //!   engine automatically.
 //! * **Engine (group commit)** — a failed *group* fsync fails every
-//!   ticket in the batch with the same typed error instead of
-//!   poisoning the shared state.
+//!   ticket in the batch instead of poisoning the shared state. A
+//!   ticket whose statement already applied gets
+//!   [`Error::RetryUnsafe`] (its durability is unknown — the effects
+//!   stand, so a verbatim retry would double-apply); writes refused
+//!   before executing get the retryable [`Error::Degraded`].
 //! * **Net** — a [`ReconnectClient`] retries idempotent requests
 //!   across connection loss but surfaces a typed
 //!   [`Error::RetryUnsafe`] for writes whose outcome is unknown; a
@@ -147,7 +150,7 @@ fn fsync_failure_degrades_and_recovers() {
 }
 
 #[test]
-fn group_fsync_failure_degrades_not_poisons() {
+fn group_fsync_failure_is_retry_unsafe_not_poisoned() {
     let (db, plan, _disk, _log) = fault_db();
     let mut db = db;
     db.set_checkpoint_policy(CheckpointPolicy::EveryN(1024));
@@ -167,17 +170,22 @@ fn group_fsync_failure_degrades_not_poisons() {
     let err = session
         .execute("append to r (id = 2, seq = 0)")
         .expect_err("group fsync fails");
+    // The statement applied before the batch sync failed, so its
+    // outcome is *unknown*: the effects stand and a verbatim retry
+    // would double-apply. That is RetryUnsafe (never retryable), not
+    // the rolled-back-and-retryable Degraded contract.
     assert!(
-        matches!(err, Error::Degraded { .. }),
-        "a failed group fsync must be Degraded, not Poisoned: {err}"
+        matches!(err, Error::RetryUnsafe(_)),
+        "a failed group fsync after the statement applied must be \
+         RetryUnsafe, not Poisoned or Degraded: {err}"
     );
+    assert!(!err.is_retryable());
 
     // The engine is degraded, not poisoned: other sessions still
-    // read, and writes get the same typed refusal. Note the failed
-    // statement's outcome is *unknown* (it applied before the batch
-    // sync failed), so reads may legitimately see id 2 — the promise
-    // is that every tuple acked with `Ok` is there, not that errored
-    // ones are gone.
+    // read, and *new* writes get the typed retryable refusal (they
+    // are turned away before executing). Reads may legitimately see
+    // id 2 — the promise is that every tuple acked with `Ok` is
+    // there, not that errored ones are gone.
     let mut other = engine.session();
     other.execute("range of x is r").expect("range");
     let out = other.execute("retrieve (x.id)").expect("reads serve");
@@ -209,6 +217,86 @@ fn group_fsync_failure_degrades_not_poisons() {
         })
         .collect();
     assert!(got.contains(&1) && got.contains(&4), "acked ids: {got:?}");
+}
+
+/// Regression: in group-commit mode a *due checkpoint's* leading log
+/// sync is the just-committed ticket's FIRST durability point — the
+/// commit's own fsync was left to the batching leader and hasn't run
+/// yet. A failure there must be classified pre-durability (roll the
+/// statement back and degrade), never mapped to a post-durability
+/// checkpoint failure that acknowledges a commit no fsync ever
+/// covered (a crash while degraded would lose the acked tuple).
+#[test]
+fn due_checkpoint_sync_failure_is_not_a_false_ack() {
+    let (mut db, plan, disk, log) = fault_db();
+    db.set_checkpoint_policy(CheckpointPolicy::EveryN(1));
+    db.enable_group_commit(GroupCommitConfig {
+        max_batch: 1,
+        max_delay: Duration::ZERO,
+    })
+    .expect("database is durable");
+    db.execute(CREATE).expect("create");
+    append(&mut db, 1).expect("append before the fault");
+
+    plan.set_fsync_fail(true);
+    let err = append(&mut db, 2)
+        .expect_err("an unsynced commit must not be acknowledged");
+    assert!(
+        matches!(err, Error::Degraded { .. }),
+        "pre-durability sync failure rolls back and degrades: {err}"
+    );
+    assert!(db.is_degraded());
+    assert_eq!(ids(&mut db), vec![1], "the failed append rolled back");
+
+    // Re-arm, then crash-reopen: every acked append survives and the
+    // rolled-back one is gone for good (the re-arm checkpoint
+    // truncated its log records away).
+    plan.set_fsync_fail(false);
+    append(&mut db, 3).expect("write path re-armed");
+    assert!(!db.is_degraded());
+    drop(db);
+    let mut db =
+        Database::open_durable_on(Box::new(disk), Box::new(log), None)
+            .expect("reopen replays the log");
+    assert_eq!(ids(&mut db), vec![1, 3]);
+}
+
+/// A failed *settle* — the batch fsync that runs after the statement
+/// applied and its undo was discarded — means the commit's durability
+/// is unknown while its effects stand. The plain-database path must
+/// surface that as the non-retryable [`Error::RetryUnsafe`] (a
+/// verbatim retry would double-apply), and the re-arm checkpoint then
+/// persists the uncertain commit durably.
+#[test]
+fn inline_settle_failure_is_retry_unsafe_and_effects_stand() {
+    let (mut db, plan, disk, log) = fault_db();
+    db.set_checkpoint_policy(CheckpointPolicy::EveryN(1024));
+    db.enable_group_commit(GroupCommitConfig {
+        max_batch: 1,
+        max_delay: Duration::ZERO,
+    })
+    .expect("database is durable");
+    db.execute(CREATE).expect("create");
+    append(&mut db, 1).expect("append before the fault");
+
+    plan.set_fsync_fail(true);
+    let err = append(&mut db, 2).expect_err("batch fsync fails");
+    assert!(
+        matches!(err, Error::RetryUnsafe(_)),
+        "settle failure must be RetryUnsafe, got: {err}"
+    );
+    assert!(!err.is_retryable());
+    assert!(db.is_degraded());
+
+    // The effects stood; the re-arm checkpoint makes them durable.
+    plan.set_fsync_fail(false);
+    append(&mut db, 3).expect("write path re-armed");
+    assert_eq!(ids(&mut db), vec![1, 2, 3]);
+    drop(db);
+    let mut db =
+        Database::open_durable_on(Box::new(disk), Box::new(log), None)
+            .expect("reopen replays the log");
+    assert_eq!(ids(&mut db), vec![1, 2, 3]);
 }
 
 #[test]
@@ -323,7 +411,10 @@ fn server_rides_out_fault_windows_and_audits_clean() {
         }
         match rc.query(&format!("append to r (id = {id}, seq = 0)")) {
             Ok(_) => acked.push(id),
-            Err(Error::Degraded { .. }) => {}
+            // Degraded: refused up front. RetryUnsafe: the statement
+            // applied but its batch fsync failed — outcome unknown,
+            // so it must not join the acked set.
+            Err(Error::Degraded { .. } | Error::RetryUnsafe(_)) => {}
             Err(e) => panic!("untyped failure in the window: {e}"),
         }
         let out = rc
@@ -337,7 +428,7 @@ fn server_rides_out_fault_windows_and_audits_clean() {
     plan.set_fsync_fail(true);
     match rc.query("append to r (id = 26, seq = 0)") {
         Ok(_) => acked.push(26),
-        Err(Error::Degraded { .. }) => {}
+        Err(Error::Degraded { .. } | Error::RetryUnsafe(_)) => {}
         Err(e) => panic!("untyped failure in the window: {e}"),
     }
     plan.set_fsync_fail(false);
