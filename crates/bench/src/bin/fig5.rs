@@ -33,7 +33,14 @@ fn main() {
         .unwrap_or_else(|| "BENCH_planner.json".to_string());
     match std::fs::write(&path, predict_json(&refs, &violations)) {
         Ok(()) => eprintln!("wrote {path}"),
-        Err(e) => eprintln!("cannot write {path}: {e}"),
+        Err(e) => {
+            eprintln!(
+                "invariant artifact-written violated: prediction \
+                 report computed but its JSON evidence is lost \
+                 (cannot write {path}: {e})"
+            );
+            std::process::exit(2);
+        }
     }
     if !violations.is_empty() {
         eprintln!(

@@ -1,0 +1,298 @@
+//! Scale stress driver: grow one keyed rollback relation far past the
+//! paper's 1024 tuples, evolve it with a skewed (or `--bursty`) update
+//! stream, and compare keyed at-now probe costs with background
+//! reorganization off and on.
+//!
+//! The headline invariants, checked on every run:
+//!
+//! - `bounded-io`: with reorganization after every round, the hot key's
+//!   at-now probe cost stays within one page of the freshly-loaded
+//!   baseline, however many updates land on its chain.
+//! - `reorg-helps`: the reorganized probe never costs more than the
+//!   unreorganized one.
+//! - `cold-flat`: the never-updated key's probe cost does not move in
+//!   either mode.
+//! - `migration`: the reorganized run actually migrated versions, and
+//!   time-travel still sees every one of them.
+//! - `daemon-live`: the *background* daemon (not the synchronous pass)
+//!   compacts a live engine while a session commits updates.
+//!
+//! `--audit` additionally runs the tdbms-check scrub over the final
+//! reorganized database. A JSON summary is written to `BENCH_scale.json`
+//! (override with `--json PATH`); failure to write it is itself a
+//! failed invariant (`artifact-written`).
+
+use tdbms_bench::{
+    build_scale_database, evolve_scale_round, run_scale_sweep, ScaleConfig,
+    ScaleSweepData, SCALE_REL,
+};
+use tdbms_core::Engine;
+use tdbms_kernel::{Granularity, Prng, TimeVal};
+
+fn flag(name: &str, default: u64) -> u64 {
+    let mut args = std::env::args();
+    let eq = format!("--{name}=");
+    while let Some(a) = args.next() {
+        if a == format!("--{name}") {
+            if let Some(n) = args.next().and_then(|v| v.parse().ok()) {
+                return n;
+            }
+        } else if let Some(n) =
+            a.strip_prefix(&eq).and_then(|v| v.parse().ok())
+        {
+            return n;
+        }
+    }
+    default
+}
+
+fn flag_str(name: &str) -> Option<String> {
+    let mut args = std::env::args();
+    let eq = format!("--{name}=");
+    while let Some(a) = args.next() {
+        if a == format!("--{name}") {
+            return args.next();
+        } else if let Some(v) = a.strip_prefix(&eq) {
+            return Some(v.to_string());
+        }
+    }
+    None
+}
+
+fn fail(invariant: &str, detail: String) -> ! {
+    eprintln!("invariant {invariant} violated: {detail}");
+    std::process::exit(1);
+}
+
+fn print_table(label: &str, data: &ScaleSweepData) {
+    println!("{label} (reorg per round: {})", data.reorg);
+    println!(
+        "  {:>5} {:>9} {:>10} {:>13} {:>12} {:>9}",
+        "round",
+        "hot I/O",
+        "cold I/O",
+        "primary pages",
+        "history rows",
+        "migrated"
+    );
+    for (i, r) in data.rounds.iter().enumerate() {
+        println!(
+            "  {:>5} {:>9} {:>10} {:>13} {:>12} {:>9}",
+            i,
+            r.hot_pages,
+            r.cold_pages,
+            r.primary_pages,
+            r.history_rows,
+            r.migrated
+        );
+    }
+}
+
+/// Exercise the real background daemon: a live engine, a session
+/// committing one round of updates, the compactor racing it on its own
+/// interval. Returns versions migrated by the daemon.
+fn daemon_round(cfg: &ScaleConfig) -> u64 {
+    let engine = Engine::new(build_scale_database(cfg));
+    let daemon =
+        engine.spawn_reorg_daemon(std::time::Duration::from_millis(2));
+    let mut session = engine.session();
+    session
+        .execute(&format!("range of s is {SCALE_REL}"))
+        .unwrap();
+    let mut rng = Prng::seed_from_u64(cfg.seed);
+    evolve_scale_round(cfg, &mut rng, |stmt| {
+        session.execute(stmt).expect("daemon-phase update");
+    });
+    // The stream is done; give the daemon a bounded window to catch up.
+    let deadline =
+        std::time::Instant::now() + std::time::Duration::from_secs(10);
+    while daemon.migrated() == 0 && std::time::Instant::now() < deadline {
+        std::thread::sleep(std::time::Duration::from_millis(2));
+    }
+    let migrated = daemon.migrated();
+    daemon.stop();
+    // Whatever the daemon moved, no committed version may be lost.
+    let all = session
+        .execute(&format!(
+            "retrieve (s.seq) as of \"{}\" through \"now\"",
+            TimeVal::BEGINNING.format(Granularity::Second)
+        ))
+        .unwrap();
+    let expect = cfg.scale + cfg.updates_per_round;
+    if all.rows().len() as u64 != expect {
+        fail(
+            "daemon-live",
+            format!(
+                "time-travel sees {} versions, {expect} were committed",
+                all.rows().len()
+            ),
+        );
+    }
+    engine.with_read(|db| {
+        if !db.io_stats().is_consistent() {
+            fail(
+                "daemon-live",
+                "I/O accounting inconsistent after daemon run".into(),
+            );
+        }
+    });
+    migrated
+}
+
+fn main() {
+    let scale = flag("scale", 100_000);
+    let rounds = flag("rounds", 4) as u32;
+    let mut cfg = ScaleConfig::new(scale);
+    cfg.seed = flag("seed", cfg.seed);
+    cfg.bursty = std::env::args().any(|a| a == "--bursty");
+    let audit = std::env::args().any(|a| a == "--audit");
+    let skip_daemon = std::env::args().any(|a| a == "--no-daemon");
+
+    println!(
+        "scale workload: {} keys, {} rounds x {} updates, hot set {} \
+         ({}%){}",
+        cfg.scale,
+        rounds,
+        cfg.updates_per_round,
+        cfg.hot_keys,
+        cfg.hot_pct,
+        if cfg.bursty { ", bursty" } else { "" }
+    );
+
+    let (without, _) = run_scale_sweep(&cfg, rounds, false);
+    let (with, mut db) = run_scale_sweep(&cfg, rounds, true);
+    print_table("baseline", &without);
+    print_table("reorganized", &with);
+
+    // bounded-io: the reorganized hot probe stays at the loaded-state
+    // baseline (one page of slack for the in-flight current version).
+    let baseline = with.rounds[0].hot_pages;
+    if with.hot_final() > baseline + 1 {
+        fail(
+            "bounded-io",
+            format!(
+                "reorganized hot probe grew {baseline} -> {} pages",
+                with.hot_final()
+            ),
+        );
+    }
+    if with.hot_final() > without.hot_final() {
+        fail(
+            "reorg-helps",
+            format!(
+                "reorganized probe ({}) costs more than unreorganized \
+                 ({})",
+                with.hot_final(),
+                without.hot_final()
+            ),
+        );
+    }
+    for data in [&without, &with] {
+        if data
+            .rounds
+            .iter()
+            .any(|r| r.cold_pages != data.rounds[0].cold_pages)
+        {
+            fail(
+                "cold-flat",
+                format!(
+                    "never-updated key's probe cost moved: {:?}",
+                    data.rounds
+                ),
+            );
+        }
+    }
+    if with.migrated_total() == 0 {
+        fail("migration", "reorganization pass moved nothing".into());
+    }
+    // Time travel over the reorganized database still sees every
+    // committed version: scale originals + one per update.
+    let all = db
+        .execute(&format!(
+            "retrieve (s.seq) as of \"{}\" through \"now\"",
+            TimeVal::BEGINNING.format(Granularity::Second)
+        ))
+        .unwrap();
+    let expect = cfg.scale + u64::from(rounds) * cfg.updates_per_round;
+    if all.rows().len() as u64 != expect {
+        fail(
+            "migration",
+            format!(
+                "time-travel sees {} versions, {expect} were committed",
+                all.rows().len()
+            ),
+        );
+    }
+
+    let daemon_migrated = if skip_daemon {
+        println!("daemon phase skipped (--no-daemon)");
+        0
+    } else {
+        let m = daemon_round(&cfg);
+        if m == 0 {
+            fail(
+                "daemon-live",
+                "background daemon migrated nothing in 10s".into(),
+            );
+        }
+        println!("daemon phase: {m} versions migrated in background");
+        m
+    };
+
+    if audit {
+        let (pager, catalog, _) = db.internals();
+        let report = tdbms_check::check_database(pager, catalog)
+            .unwrap_or_else(|e| {
+                fail("audit-clean", format!("check failed to run: {e}"))
+            });
+        print!("{}", report.render());
+        if !report.is_clean() {
+            fail(
+                "audit-clean",
+                "tdbms-check found errors after reorganization".into(),
+            );
+        }
+    }
+
+    let path =
+        flag_str("json").unwrap_or_else(|| "BENCH_scale.json".to_string());
+    let json = format!(
+        "{{\n  \"scale\": {},\n  \"rounds\": {},\n  \
+         \"updates_per_round\": {},\n  \"bursty\": {},\n  \
+         \"hot_pages_baseline\": {},\n  \"hot_pages_no_reorg\": {},\n  \
+         \"hot_pages_reorg\": {},\n  \"cold_pages\": {},\n  \
+         \"migrated\": {},\n  \"daemon_migrated\": {},\n  \
+         \"history_rows\": {},\n  \"primary_pages_no_reorg\": {},\n  \
+         \"primary_pages_reorg\": {}\n}}\n",
+        cfg.scale,
+        rounds,
+        cfg.updates_per_round,
+        cfg.bursty,
+        baseline,
+        without.hot_final(),
+        with.hot_final(),
+        with.cold_final(),
+        with.migrated_total(),
+        daemon_migrated,
+        with.rounds.last().map(|r| r.history_rows).unwrap_or(0),
+        without.rounds.last().map(|r| r.primary_pages).unwrap_or(0),
+        with.rounds.last().map(|r| r.primary_pages).unwrap_or(0),
+    );
+    match std::fs::write(&path, json) {
+        Ok(()) => eprintln!("wrote {path}"),
+        Err(e) => {
+            eprintln!(
+                "invariant artifact-written violated: scale run \
+                 completed but its JSON evidence is lost \
+                 (cannot write {path}: {e})"
+            );
+            std::process::exit(2);
+        }
+    }
+    println!(
+        "scale invariants hold: bounded-io reorg-helps cold-flat \
+         migration{}{}",
+        if skip_daemon { "" } else { " daemon-live" },
+        if audit { " audit-clean" } else { "" }
+    );
+}

@@ -902,7 +902,14 @@ fn run_chaos_mode(
     );
     match std::fs::write(&path, json) {
         Ok(()) => eprintln!("wrote {path}"),
-        Err(e) => eprintln!("cannot write {path}: {e}"),
+        Err(e) => {
+            eprintln!(
+                "invariant artifact-written violated: chaos run \
+                 completed but its JSON evidence is lost \
+                 (cannot write {path}: {e})"
+            );
+            std::process::exit(2);
+        }
     }
 }
 
@@ -1044,9 +1051,18 @@ fn print_and_write(
         qps,
     );
     // Partial results are results: this write happens even when every
-    // op errored, so CI always has a valid artifact to record.
+    // op errored, so CI always has a valid artifact to record — and a
+    // write failure is itself fatal, because a gate that silently runs
+    // without its artifact compares against stale numbers.
     match std::fs::write(&path, json) {
         Ok(()) => eprintln!("wrote {path}"),
-        Err(e) => eprintln!("cannot write {path}: {e}"),
+        Err(e) => {
+            eprintln!(
+                "invariant artifact-written violated: throughput run \
+                 completed but its JSON evidence is lost \
+                 (cannot write {path}: {e})"
+            );
+            std::process::exit(2);
+        }
     }
 }

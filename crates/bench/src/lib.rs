@@ -22,13 +22,16 @@ pub use improvements::{
 pub use predict::{predict_json, predict_report, ranking_violations};
 pub use queries::{queries_for, query_for, BenchQuery, QUERY_IDS};
 pub use sweep::{
-    measure, run_buffer_sweep, run_buffer_sweep_threaded, run_sweep,
-    run_sweeps_threaded, BufferCost, BufferSweepData, Cost, SweepData,
+    measure, run_buffer_sweep, run_buffer_sweep_threaded, run_scale_sweep,
+    run_sweep, run_sweeps_threaded, BufferCost, BufferSweepData, Cost,
+    ScaleRound, ScaleSweepData, SweepData,
 };
 pub use timing::{time_n, TimingStats};
 pub use workload::{
-    build_database, build_database_with_hash, evolve_single_tuple,
-    evolve_uniform, populate_database, BenchConfig,
+    build_database, build_database_with_hash, build_scale_database,
+    evolve_scale_round, evolve_single_tuple, evolve_uniform,
+    populate_database, populate_scale_database, scale_update_key,
+    BenchConfig, ScaleConfig, SCALE_REL,
 };
 
 /// Update-count ceiling for harness binaries: `TDBMS_MAX_UC` (default 14,

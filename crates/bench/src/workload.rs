@@ -237,6 +237,146 @@ pub fn evolve_single_tuple(db: &mut Database, times: u32) {
     }
 }
 
+// ---- scale workload ----------------------------------------------------
+//
+// Everything below stresses the system *past* the paper's 1024 tuples:
+// a single keyed rollback relation at `--scale N`, evolved with skewed
+// or bursty update distributions so version chains grow unevenly — the
+// regime online reorganization exists for. None of it is reachable from
+// the paper-mode figure drivers, whose golden output stays byte-frozen.
+
+/// Name of the scale-stress relation.
+pub const SCALE_REL: &str = "scale_r";
+
+/// Configuration of one scale-stress database and its update stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ScaleConfig {
+    /// Distinct keys loaded (the paper's 1024, times many).
+    pub scale: u64,
+    /// RNG seed driving the update-key stream.
+    pub seed: u64,
+    /// Size of the hot set: keys `1..=hot_keys` absorb `hot_pct` of the
+    /// skewed updates.
+    pub hot_keys: u64,
+    /// Percent of skewed updates that land in the hot set.
+    pub hot_pct: u32,
+    /// Updates applied per evolution round.
+    pub updates_per_round: u64,
+    /// Bursty mode: each round hammers ONE key (drawn from the hot set)
+    /// with the whole round's updates — the §5.4 maximum-variance case
+    /// at scale.
+    pub bursty: bool,
+}
+
+impl ScaleConfig {
+    /// Defaults for a given scale: a 1 % hot set taking 90 % of the
+    /// updates, round size proportional to the scale but capped so a
+    /// debug-build smoke run stays fast.
+    pub fn new(scale: u64) -> Self {
+        let scale = scale.max(16);
+        ScaleConfig {
+            scale,
+            seed: 8_504_033,
+            hot_keys: (scale / 100).max(1),
+            hot_pct: 90,
+            updates_per_round: (scale / 10).clamp(64, 4096),
+            bursty: false,
+        }
+    }
+
+    /// The key probed as "hot" by the scale sweep (always in the hot
+    /// set, so its chain grows fastest).
+    pub fn hot_probe(&self) -> i64 {
+        1
+    }
+
+    /// The key probed as "cold": the update stream never draws it (both
+    /// distributions sample `1..scale` exclusive), so its chain stays at
+    /// one version for the whole run.
+    pub fn cold_probe(&self) -> i64 {
+        self.scale as i64
+    }
+}
+
+/// Build the scale database: one rollback relation of `scale` tuples
+/// (`id = i4, seq = i4`), bulk-loaded then hashed on `id`, with range
+/// variable `s` declared. Deterministic in `cfg`.
+pub fn build_scale_database(cfg: &ScaleConfig) -> Database {
+    let mut db = Database::in_memory();
+    populate_scale_database(&mut db, cfg);
+    db
+}
+
+/// [`build_scale_database`] into an existing (possibly durable)
+/// database.
+pub fn populate_scale_database(db: &mut Database, cfg: &ScaleConfig) {
+    db.set_clock(Clock::new(TimeVal::from_ymd(1980, 3, 1).unwrap(), 60));
+    // Past-the-paper mode: guard the overflow chains (the `modify`
+    // below installs the filter at rebuild time).
+    db.set_bloom_guards(true);
+    db.execute(&format!(
+        "create rollback interval {SCALE_REL} (id = i4, seq = i4)"
+    ))
+    .expect("create scale relation");
+    let schema = db.schema_of(SCALE_REL).expect("relation exists");
+    let start = TimeVal::from_ymd(1980, 1, 2).unwrap();
+    let rows: Vec<Vec<Value>> = (1..=cfg.scale as i64)
+        .map(|id| {
+            let mut row = vec![Value::Int(id), Value::Int(0)];
+            for t in schema.implicit_attrs() {
+                row.push(Value::Time(match t {
+                    TemporalAttr::ValidFrom
+                    | TemporalAttr::ValidAt
+                    | TemporalAttr::TransactionStart => start,
+                    TemporalAttr::ValidTo
+                    | TemporalAttr::TransactionStop => TimeVal::FOREVER,
+                }));
+            }
+            row
+        })
+        .collect();
+    db.bulk_load_rows(SCALE_REL, &rows).expect("bulk load");
+    db.execute(&format!(
+        "modify {SCALE_REL} to hash on id where fillfactor = 100"
+    ))
+    .expect("modify scale relation");
+    db.execute(&format!("range of s is {SCALE_REL}")).unwrap();
+}
+
+/// The next update key of the configured distribution. Skewed: `hot_pct`
+/// of draws land in `1..=hot_keys`, the rest uniform over the non-probe
+/// range. Bursty rounds pass the round's single `burst_key` instead.
+pub fn scale_update_key(cfg: &ScaleConfig, rng: &mut Prng) -> i64 {
+    if rng.random_range(0u64..100) < u64::from(cfg.hot_pct) {
+        rng.random_range(1i64..=cfg.hot_keys as i64)
+    } else {
+        // Exclusive upper bound keeps `cold_probe` untouched forever.
+        rng.random_range(1i64..cfg.scale as i64)
+    }
+}
+
+/// One evolution round of the scale workload: `updates_per_round`
+/// keyed replaces drawn from the skewed distribution — or, in bursty
+/// mode, all aimed at one hot key drawn per round. Statements go
+/// through `run`, so the same stream can drive an embedded database or
+/// an engine session.
+pub fn evolve_scale_round(
+    cfg: &ScaleConfig,
+    rng: &mut Prng,
+    mut run: impl FnMut(&str),
+) {
+    let burst_key = cfg
+        .bursty
+        .then(|| rng.random_range(1i64..=cfg.hot_keys as i64));
+    for _ in 0..cfg.updates_per_round {
+        let key = match burst_key {
+            Some(k) => k,
+            None => scale_update_key(cfg, rng),
+        };
+        run(&format!("replace s (seq = s.seq + 1) where s.id = {key}"));
+    }
+}
+
 /// Extract every stored row of a relation (raw bytes) — used to rebuild
 /// the relation into a two-level store for the Figure 10 experiments.
 pub fn all_rows(db: &mut Database, rel: &str) -> Vec<Vec<u8>> {
@@ -396,6 +536,83 @@ mod tests {
         assert_ne!(
             all_rows(&mut a, &cfg.rel_h()),
             all_rows(&mut c, &cfg.rel_h())
+        );
+    }
+
+    #[test]
+    fn scale_update_stream_is_deterministic_and_skewed() {
+        let cfg = ScaleConfig::new(1000);
+        let draw = |cfg: &ScaleConfig| -> Vec<i64> {
+            let mut rng = Prng::seed_from_u64(cfg.seed);
+            (0..2000).map(|_| scale_update_key(cfg, &mut rng)).collect()
+        };
+        let a = draw(&cfg);
+        assert_eq!(a, draw(&cfg), "same seed, same stream");
+        assert_ne!(
+            a,
+            draw(&ScaleConfig { seed: 7, ..cfg }),
+            "seed is wired in"
+        );
+        // Skew: roughly hot_pct of draws land in the hot set (binomial
+        // with n=2000, p=0.9 — a ±5 % band is > 6 sigma).
+        let hot = a.iter().filter(|&&k| k <= cfg.hot_keys as i64).count();
+        assert!(
+            (1700..=1900).contains(&hot),
+            "hot-set draws out of band: {hot}/2000"
+        );
+        // The cold probe key is never drawn, so its chain never grows.
+        assert!(a.iter().all(|&k| k >= 1 && k < cfg.cold_probe()));
+    }
+
+    #[test]
+    fn scale_database_loads_and_bursty_rounds_hammer_one_key() {
+        let cfg = ScaleConfig::new(500);
+        let mut db = build_scale_database(&cfg);
+        let meta = db.relation_meta(SCALE_REL).unwrap();
+        assert_eq!(meta.tuple_count, 500);
+        let out = db
+            .execute(&format!(
+                "retrieve (s.seq) where s.id = {}",
+                cfg.cold_probe()
+            ))
+            .unwrap();
+        assert_eq!(out.rows(), &[vec![Value::Int(0)]]);
+
+        // A bursty round emits updates_per_round statements, all naming
+        // the same (hot) key.
+        let bursty = ScaleConfig {
+            bursty: true,
+            ..cfg
+        };
+        let mut rng = Prng::seed_from_u64(bursty.seed);
+        let mut stmts = Vec::new();
+        evolve_scale_round(&bursty, &mut rng, |s| {
+            stmts.push(s.to_owned());
+        });
+        assert_eq!(stmts.len(), bursty.updates_per_round as usize);
+        assert!(stmts.iter().all(|s| s == &stmts[0]));
+        let key: i64 = stmts[0]
+            .rsplit("= ")
+            .next()
+            .unwrap()
+            .parse()
+            .expect("statement ends with the key");
+        assert!(key >= 1 && key <= bursty.hot_keys as i64);
+
+        // Applying the round grows exactly one chain.
+        for s in &stmts {
+            db.execute(s).unwrap();
+        }
+        let out = db
+            .execute(&format!("retrieve (s.seq) where s.id = {key}"))
+            .unwrap();
+        assert_eq!(
+            out.rows(),
+            &[vec![Value::Int(bursty.updates_per_round as i64)]]
+        );
+        assert_eq!(
+            db.relation_meta(SCALE_REL).unwrap().tuple_count,
+            500 + bursty.updates_per_round
         );
     }
 

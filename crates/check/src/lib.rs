@@ -228,11 +228,25 @@ impl Layout {
     }
 }
 
-/// One checkable file: a relation's base file or one of its indexes.
+/// What role a checkable file plays for its relation — the role decides
+/// which row-count ledger the audit is compared against.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum UnitKind {
+    /// The base file; reachable rows must equal the stored tuple count.
+    Base,
+    /// A secondary index; an entry-count mismatch is only a warning.
+    Index,
+    /// A clustered history sidecar; reachable rows must equal the
+    /// migrated-row count the catalog's `history` line records.
+    History,
+}
+
+/// One checkable file: a relation's base file, one of its indexes, or its
+/// clustered history sidecar.
 struct Unit {
     label: String,
     rel: RelId,
-    is_index: bool,
+    kind: UnitKind,
     file: FileId,
     layout: Layout,
     row_width: usize,
@@ -273,7 +287,7 @@ fn units_of(catalog: &Catalog) -> Vec<Unit> {
         units.push(Unit {
             label: rel.name.clone(),
             rel: id,
-            is_index: false,
+            kind: UnitKind::Base,
             file: rel.file.file_id(),
             layout: Layout::of(&rel.file),
             row_width: rel.file.row_width(),
@@ -284,11 +298,25 @@ fn units_of(catalog: &Catalog) -> Vec<Unit> {
             units.push(Unit {
                 label: format!("{}.{}", rel.name, ix.name),
                 rel: id,
-                is_index: true,
+                kind: UnitKind::Index,
                 file: f.file_id(),
                 layout: Layout::of(f),
                 row_width: f.row_width(),
                 key_len: key_len_of(f),
+            });
+        }
+        if let Some(h) = &rel.history {
+            // The sidecar is heap-laid-out (all-Data pages, no chains);
+            // its per-key clustering is an in-memory directory, not an
+            // on-disk structure, so Heap is the right layout to audit.
+            units.push(Unit {
+                label: format!("{}.history", rel.name),
+                rel: id,
+                kind: UnitKind::History,
+                file: h.file_id(),
+                layout: Layout::Heap,
+                row_width: h.row_width(),
+                key_len: 0,
             });
         }
     }
@@ -684,31 +712,49 @@ pub fn check_database(
                 continue;
             }
             let rel = catalog.get(unit.rel);
-            if unit.is_index {
-                if audit.reachable_rows != rel.tuple_count {
-                    report.findings.push(unit.finding(
-                        Severity::Warning,
-                        None,
-                        format!(
-                            "index holds {} entries for a relation \
-                             storing {} rows",
-                            audit.reachable_rows, rel.tuple_count
-                        ),
-                    ));
+            match unit.kind {
+                UnitKind::Index => {
+                    if audit.reachable_rows != rel.tuple_count {
+                        report.findings.push(unit.finding(
+                            Severity::Warning,
+                            None,
+                            format!(
+                                "index holds {} entries for a relation \
+                                 storing {} rows",
+                                audit.reachable_rows, rel.tuple_count
+                            ),
+                        ));
+                    }
                 }
-            } else {
-                if audit.reachable_rows != rel.tuple_count {
-                    report.findings.push(unit.finding(
-                        Severity::Error,
-                        None,
-                        format!(
-                            "catalog records {} stored rows but {} are \
-                             reachable",
-                            rel.tuple_count, audit.reachable_rows
-                        ),
-                    ));
+                UnitKind::History => {
+                    let recorded =
+                        rel.history.as_ref().map(|h| h.rows()).unwrap_or(0);
+                    if audit.reachable_rows != recorded {
+                        report.findings.push(unit.finding(
+                            Severity::Error,
+                            None,
+                            format!(
+                                "catalog records {recorded} migrated rows \
+                                 but {} are reachable",
+                                audit.reachable_rows
+                            ),
+                        ));
+                    }
                 }
-                check_temporal(pager, unit, rel, &mut report.findings)?;
+                UnitKind::Base => {
+                    if audit.reachable_rows != rel.tuple_count {
+                        report.findings.push(unit.finding(
+                            Severity::Error,
+                            None,
+                            format!(
+                                "catalog records {} stored rows but {} are \
+                                 reachable",
+                                rel.tuple_count, audit.reachable_rows
+                            ),
+                        ));
+                    }
+                    check_temporal(pager, unit, rel, &mut report.findings)?;
+                }
             }
         }
         // Files on disk the catalog does not know about.
@@ -717,6 +763,7 @@ pub fn check_database(
             .flat_map(|(_, r)| {
                 std::iter::once(r.file.file_id())
                     .chain(r.indexes.iter().map(|ix| ix.index.file_id()))
+                    .chain(r.history.iter().map(|h| h.file_id()))
             })
             .collect();
         for (f, _) in pager.file_lengths()? {
@@ -882,7 +929,7 @@ pub fn repair_database(
                     ),
                 ));
             }
-            if !unit.is_index && !audit.missing {
+            if unit.kind == UnitKind::Base && !audit.missing {
                 let rel = catalog.get_mut(unit.rel);
                 if rel.tuple_count != audit.reachable_rows {
                     let old = rel.tuple_count;
@@ -900,6 +947,38 @@ pub fn repair_database(
                             audit.reachable_rows
                         ),
                     ));
+                }
+            }
+            if unit.kind == UnitKind::History && !audit.missing {
+                let rel = catalog.get_mut(unit.rel);
+                let Some(h) = &rel.history else { continue };
+                if h.rows() != audit.reachable_rows {
+                    // Rebuild the in-memory directory from the repaired
+                    // pages; `reopen` recounts the surviving rows and
+                    // reassigns pages to clusters, so subsequent keyed
+                    // history reads stay exact.
+                    let old = h.rows();
+                    let fresh = tdbms_storage::ClusteredHistory::reopen(
+                        pager,
+                        h.file_id(),
+                        h.row_width(),
+                        h.key(),
+                        h.max_stop(),
+                    )?;
+                    let severity = if fresh.rows() < old {
+                        Severity::Lost
+                    } else {
+                        Severity::Repaired
+                    };
+                    report.findings.push(unit.finding(
+                        severity,
+                        None,
+                        format!(
+                            "migrated-row count corrected from {old} to {}",
+                            fresh.rows()
+                        ),
+                    ));
+                    rel.history = Some(std::sync::Arc::new(fresh));
                 }
             }
         }
@@ -1401,6 +1480,70 @@ mod tests {
         repair_database(&pager, &mut cat, &empty_plan()).unwrap();
         assert_eq!(cat.get(id).tuple_count, 12);
         assert!(check_database(&pager, &cat).unwrap().is_clean());
+    }
+
+    #[test]
+    fn history_sidecars_are_audited_and_their_counts_repaired() {
+        use tdbms_storage::ClusteredHistory;
+        let (shared, pager, mut cat, id) = fixture(AccessMethod::Hash, 8);
+        // Hang a clustered history off the relation: 3 keys × enough
+        // versions to span several pages.
+        {
+            let rel = cat.get_mut(id);
+            let mut h = ClusteredHistory::create(
+                &pager,
+                rel.schema.row_width(),
+                KeySpec::for_attr(&rel.codec, 0),
+            )
+            .unwrap();
+            for k in 1..=3i64 {
+                for v in 0..40u32 {
+                    let row = rel
+                        .codec
+                        .encode(&[Value::Int(k), Value::Str("x".into())])
+                        .unwrap();
+                    let _ = v;
+                    h.push(&pager, &row, TimeVal::from_secs(100)).unwrap();
+                }
+            }
+            rel.history = Some(std::sync::Arc::new(h));
+        }
+        pager.flush_all().unwrap();
+        adopt_sums(&pager);
+
+        let report = check_database(&pager, &cat).unwrap();
+        assert!(report.is_clean(), "{}", report.render());
+        // The sidecar counts as a unit of its own, not an orphan file.
+        assert!(!report
+            .findings
+            .iter()
+            .any(|f| f.detail.contains("not referenced")));
+
+        // Rot one history page: the check names the sidecar unit, and
+        // repair quarantines the page and corrects the migrated count.
+        let hfile = cat.get(id).history.as_ref().unwrap().file_id();
+        let before = cat.get(id).history.as_ref().unwrap().rows();
+        let mut page = shared.clone().read_page(hfile, 1).unwrap();
+        let mut bytes = Box::new(*page.as_bytes());
+        bytes[300] ^= 0xff;
+        page = Page::from_bytes(bytes);
+        shared.clone().write_page(hfile, 1, &page).unwrap();
+
+        let report = check_database(&pager, &cat).unwrap();
+        assert!(!report.is_clean());
+        assert!(report
+            .findings
+            .iter()
+            .any(|f| f.relation.as_deref() == Some("r.history")));
+
+        let rep = repair_database(&pager, &mut cat, &empty_plan()).unwrap();
+        assert!(rep.findings.iter().any(|f| f.severity == Severity::Lost
+            && f.detail.contains("migrated-row count corrected")));
+        let after_rows = cat.get(id).history.as_ref().unwrap().rows();
+        assert!(after_rows < before);
+
+        let again = check_database(&pager, &cat).unwrap();
+        assert!(again.is_clean(), "{}", again.render());
     }
 
     #[test]

@@ -14,9 +14,9 @@ use tdbms_kernel::{
 };
 use tdbms_plan::{PlannerMode, RelStats, StatsCatalog};
 use tdbms_storage::{
-    AccessMethod, BufferConfig, Catalog, ChecksumSet, DiskManager,
-    EvictionPolicy, FileDisk, FileId, HashFn, IoStats, Pager, RelId,
-    PAGE_SIZE,
+    AccessMethod, BufferConfig, Catalog, ChecksumSet, ClusteredHistory,
+    DiskManager, EvictionPolicy, FileDisk, FileId, HashFn, IoStats,
+    KeySpec, Pager, RelId, PAGE_SIZE,
 };
 use tdbms_tquel::ast::Statement;
 use tdbms_wal::{
@@ -172,6 +172,16 @@ pub struct RelationMeta {
     pub index_names: Vec<String>,
 }
 
+/// Cumulative counters of the online reorganizer.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ReorgStats {
+    /// Completed reorganization passes that migrated at least one
+    /// version.
+    pub runs: u64,
+    /// Versions migrated from primary files into history sidecars.
+    pub rows_migrated: u64,
+}
+
 /// A temporal database: catalog + storage + session state (range table,
 /// transaction clock).
 pub struct Database {
@@ -194,6 +204,8 @@ pub struct Database {
     /// Maintained per-relation statistics, refreshed after every
     /// mutating statement (metadata only — never page I/O).
     stats: StatsCatalog,
+    /// Cumulative online-reorganization counters.
+    reorg: ReorgStats,
     /// Which planner drives retrieve execution (env-selected;
     /// `TDBMS_PLANNER=fixed` restores the historical heuristic).
     planner: PlannerMode,
@@ -854,6 +866,7 @@ impl Database {
             wal: None,
             degraded: None,
             stats: StatsCatalog::default(),
+            reorg: ReorgStats::default(),
             planner: PlannerMode::from_env(),
         }
     }
@@ -882,6 +895,15 @@ impl Database {
         let meta = self.relation_meta(name)?;
         let distinct =
             self.stats.get(name).map(|s| s.distinct_keys).unwrap_or(0);
+        let history = self
+            .catalog
+            .iter()
+            .find(|(_, r)| r.name == name)
+            .and_then(|(_, r)| r.history.clone());
+        let (history_rows, history_pages) = match &history {
+            Some(h) => (h.rows(), u64::from(h.total_pages(&self.pager)?)),
+            None => (0, 0),
+        };
         Ok(RelStats {
             name: meta.name,
             method: meta.method,
@@ -891,6 +913,8 @@ impl Database {
             directory_levels: u64::from(meta.directory_levels),
             distinct_keys: distinct,
             row_width: meta.row_width as u64,
+            history_rows,
+            history_pages,
         })
     }
 
@@ -957,6 +981,15 @@ impl Database {
     /// warm-buffer behaviour.
     pub fn set_cold_statements(&mut self, cold: bool) {
         self.cold_statements = cold;
+    }
+
+    /// Enable/disable the overflow-chain Bloom guards (default off:
+    /// skipping a chain walk changes input-page counts and the paper
+    /// figures pin those). Filters are installed when a hash/ISAM file
+    /// is (re)built, so enable before `modify` — the scale workload
+    /// does.
+    pub fn set_bloom_guards(&mut self, on: bool) {
+        self.pager.set_bloom_guards(on);
     }
 
     /// Give one relation more buffer frames (the paper's configuration is
@@ -1106,6 +1139,125 @@ impl Database {
             self.catalog.get_mut(id).insert_row(&self.pager, &row)?;
         }
         self.pager.flush_all()
+    }
+
+    /// Online reorganization of one relation: migrate every
+    /// transaction-stopped ("cold") version out of the primary file into
+    /// the relation's clustered history sidecar, then rebuild the primary
+    /// around the surviving current versions. Returns the number of
+    /// versions migrated (0 when the relation is ineligible or already
+    /// compact).
+    ///
+    /// Eligible relations have transaction time (rollback/temporal
+    /// class), a primary key to cluster history by, and no secondary
+    /// indexes (index entries address the primary file, and migrating
+    /// their targets away would strand them). The migration appends only
+    /// to *fresh* history pages and swaps the primary via
+    /// build-aside-and-drop, so a concurrent snapshot reader holding the
+    /// pre-reorganization catalog still sees a consistent (old) view; in
+    /// durable mode the whole pass is one WAL transaction that either
+    /// commits or rolls back to the statement boundary.
+    pub fn reorganize(&mut self, rel: &str) -> Result<u64> {
+        let durable = self.wal.is_some();
+        if durable {
+            self.admit_write()?;
+        }
+        let snapshot = durable.then(|| {
+            self.pager.begin_statement_undo();
+            self.catalog.clone()
+        });
+        let migrated = match self.reorganize_raw(rel) {
+            Ok(n) => n,
+            Err(e) => {
+                return Err(match snapshot {
+                    Some(snap) => self.fail_write_statement(e, snap),
+                    None => e,
+                })
+            }
+        };
+        if let Some(snap) = snapshot {
+            self.commit_write_statement(snap)?;
+        } else if migrated > 0 && self.persist_dir.is_some() {
+            self.checkpoint()?;
+        }
+        self.refresh_stats()?;
+        if migrated > 0 {
+            self.reorg.runs += 1;
+            self.reorg.rows_migrated += migrated;
+        }
+        Ok(migrated)
+    }
+
+    /// Run [`Database::reorganize`] over every user relation; returns the
+    /// total versions migrated.
+    pub fn reorganize_all(&mut self) -> Result<u64> {
+        let mut total = 0;
+        for name in self.catalog.user_relation_names() {
+            total += self.reorganize(&name)?;
+        }
+        Ok(total)
+    }
+
+    /// The cumulative online-reorganization counters.
+    pub fn reorg_stats(&self) -> ReorgStats {
+        self.reorg
+    }
+
+    /// The raw migration of [`Database::reorganize`], separated so a
+    /// mid-pass failure unwinds through the statement rollback path.
+    fn reorganize_raw(&mut self, rel: &str) -> Result<u64> {
+        let id = self.catalog.require(rel)?;
+        let (schema, codec, key_attr, file) = {
+            let r = self.catalog.get(id);
+            if !r.schema.class().has_transaction_time()
+                || r.key_attr.is_none()
+                || !r.indexes.is_empty()
+                || r.temporary
+            {
+                return Ok(0);
+            }
+            (
+                r.schema.clone(),
+                r.codec.clone(),
+                r.key_attr.expect("checked above"),
+                r.file.clone(),
+            )
+        };
+        // Partition the primary: cold = transaction-stopped versions.
+        let mut keep: Vec<Vec<u8>> = Vec::new();
+        let mut cold: Vec<(Vec<u8>, TimeVal)> = Vec::new();
+        let mut cur = file.scan();
+        while let Some((_, row)) = cur.next(&self.pager, &file)? {
+            match crate::binder::row_tx_period(&schema, &codec, &row) {
+                Some((_, stop)) if stop != TimeVal::FOREVER => {
+                    cold.push((row, stop))
+                }
+                _ => keep.push(row),
+            }
+        }
+        if cold.is_empty() {
+            return Ok(0);
+        }
+        // Cold versions become a new *generation* of the history sidecar:
+        // pre-existing sidecar pages are never appended to, so a snapshot
+        // catalog holding the old Arc references only immutable pages.
+        let key = KeySpec::for_attr(&codec, key_attr);
+        let next = match &self.catalog.get(id).history {
+            Some(h) => h.with_migrated(&self.pager, &cold)?,
+            None => ClusteredHistory::create(
+                &self.pager,
+                schema.row_width(),
+                key,
+            )?
+            .with_migrated(&self.pager, &cold)?,
+        };
+        {
+            let r = self.catalog.get_mut(id);
+            r.history = Some(Arc::new(next));
+            r.rebuild_with_rows(&self.pager, &keep)?;
+        }
+        self.pager.flush_all()?;
+        Ok(cold.len() as u64)
     }
 
     /// Execute a TQuel program; returns the output of the **last**

@@ -451,6 +451,55 @@ impl Engine {
         Ok(())
     }
 
+    /// Start the background reorganization daemon: a thread that
+    /// periodically takes the commit lock like any other writer and
+    /// compacts every eligible relation ([`Database::reorganize_all`]),
+    /// migrating transaction-stopped versions into clustered history
+    /// sidecars. Snapshot reads are never blocked — they run off the
+    /// published view while the daemon holds the lock, exactly as they
+    /// do against any other writer. A degraded engine makes the daemon
+    /// skip the pass and retry next interval (reorganization is
+    /// maintenance — it must never escalate a resource failure); an
+    /// unusable engine (poisoned lock) ends the daemon.
+    pub fn spawn_reorg_daemon(&self, interval: Duration) -> ReorgDaemon {
+        let engine = self.clone();
+        let stop = Arc::new(AtomicBool::new(false));
+        let passes = Arc::new(AtomicU64::new(0));
+        let migrated = Arc::new(AtomicU64::new(0));
+        let (t_stop, t_passes, t_migrated) =
+            (stop.clone(), passes.clone(), migrated.clone());
+        let handle = std::thread::spawn(move || {
+            while !t_stop.load(Ordering::Relaxed) {
+                match engine.try_with_write(|db| db.reorganize_all()) {
+                    Ok(Ok(n)) => {
+                        t_passes.fetch_add(1, Ordering::Relaxed);
+                        t_migrated.fetch_add(n, Ordering::Relaxed);
+                    }
+                    // Database-level refusal (degraded mode): retry
+                    // next interval, the failure is recoverable.
+                    Ok(Err(_)) => {}
+                    // Engine unusable: nothing left to maintain.
+                    Err(_) => break,
+                }
+                // Sleep in slices so stop() stays responsive.
+                let mut remaining = interval;
+                while !t_stop.load(Ordering::Relaxed)
+                    && remaining > Duration::ZERO
+                {
+                    let slice = remaining.min(Duration::from_millis(10));
+                    std::thread::sleep(slice);
+                    remaining = remaining.saturating_sub(slice);
+                }
+            }
+        });
+        ReorgDaemon {
+            stop,
+            handle: Some(handle),
+            passes,
+            migrated,
+        }
+    }
+
     fn note_snapshot_read(&self) {
         self.inner.locks.snapshot.fetch_add(1, Ordering::Relaxed);
     }
@@ -461,6 +510,48 @@ impl Engine {
 
     fn durable(&self) -> bool {
         self.inner.durable
+    }
+}
+
+/// Handle to a running background reorganization thread (see
+/// [`Engine::spawn_reorg_daemon`]). Dropping it stops the daemon and
+/// joins the thread.
+pub struct ReorgDaemon {
+    stop: Arc<AtomicBool>,
+    handle: Option<std::thread::JoinHandle<()>>,
+    passes: Arc<AtomicU64>,
+    migrated: Arc<AtomicU64>,
+}
+
+impl ReorgDaemon {
+    /// Completed compaction passes over the whole catalog.
+    pub fn passes(&self) -> u64 {
+        self.passes.load(Ordering::Relaxed)
+    }
+
+    /// Total versions migrated to history sidecars by this daemon.
+    pub fn migrated(&self) -> u64 {
+        self.migrated.load(Ordering::Relaxed)
+    }
+
+    /// Signal the daemon and wait for it to finish its current pass.
+    pub fn stop(mut self) {
+        self.join_inner();
+    }
+
+    fn join_inner(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(h) = self.handle.take() {
+            // A panicked daemon already poisoned the engine; joining
+            // must not double-panic the owner.
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for ReorgDaemon {
+    fn drop(&mut self) {
+        self.join_inner();
     }
 }
 

@@ -85,6 +85,11 @@ pub(crate) struct VarRt {
     pub(crate) indexes: Vec<tdbms_storage::catalog::NamedIndex>,
     visible: Option<Visibility>,
     temp: Option<RelId>,
+    /// Clustered history sidecar holding versions online reorganization
+    /// migrated out of the primary file. Read only when the query's
+    /// visibility reaches behind the sidecar's stop-time high-water mark,
+    /// which keeps at-now retrievals at primary-only page cost.
+    history: Option<std::sync::Arc<tdbms_storage::ClusteredHistory>>,
 }
 
 /// Execute a bound retrieve. Returns the result rows; the caller reads the
@@ -232,6 +237,7 @@ pub(crate) fn prepare(
                 None
             },
             temp: None,
+            history: stored.history.clone(),
         });
     }
 
@@ -485,6 +491,7 @@ fn decompose(
                 rts[v].indexes.clear();
                 rts[v].visible = None;
                 rts[v].temp = Some(temp_id);
+                rts[v].history = None;
             }
 
             // Consume this variable's own conjuncts and remap the rest.
@@ -1000,6 +1007,52 @@ fn ovqp(
         }
         if ok {
             emit(slots, pager)?;
+        }
+    }
+
+    // Migrated versions: after reorganization the primary holds only the
+    // rows the compactor left behind, so a query whose visibility reaches
+    // behind the sidecar's stop-time high-water mark must also walk the
+    // clustered history (keyed when the primary access was keyed). At-now
+    // retrievals skip it entirely — every migrated version has already
+    // stopped — which is the bounded-I/O property reorganization exists
+    // to provide.
+    if let Some(history) = &rt.history {
+        let wants_history = match rt.visible {
+            None => true,
+            Some(vis) => vis.at < history.max_stop(),
+        };
+        if wants_history {
+            let mut visit = |row: &[u8]| -> Result<()> {
+                guard.tick()?;
+                if !version_visible(&slots[v], rt.visible, row) {
+                    return Ok(());
+                }
+                slots[v].row = Some(row.to_vec());
+                let mut ok = true;
+                for c in where_conjuncts {
+                    if !eval_bool(c, slots)? {
+                        ok = false;
+                        break;
+                    }
+                }
+                if ok {
+                    for c in when_conjuncts {
+                        if !eval_tpred(c, slots)? {
+                            ok = false;
+                            break;
+                        }
+                    }
+                }
+                if ok {
+                    emit(slots, pager)?;
+                }
+                Ok(())
+            };
+            match &probe_key {
+                Some(key) => history.for_key(pager, key, &mut visit)?,
+                None => history.for_all(pager, &mut visit)?,
+            }
         }
     }
     slots[v].row = None;

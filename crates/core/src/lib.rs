@@ -36,8 +36,10 @@ pub mod guard;
 pub mod interval;
 pub mod plan;
 
-pub use db::{Database, ExecOutput, RelationMeta, SCRUB_FILE, WAL_FILE};
-pub use engine::{Engine, LockStats, Session, SessionLimits};
+pub use db::{
+    Database, ExecOutput, RelationMeta, ReorgStats, SCRUB_FILE, WAL_FILE,
+};
+pub use engine::{Engine, LockStats, ReorgDaemon, Session, SessionLimits};
 pub use exec::QueryStats;
 pub use guard::QueryGuard;
 pub use interval::TInterval;

@@ -94,5 +94,7 @@ fn fallback_stats(catalog: &Catalog, id: RelId) -> RelStats {
         directory_levels: u64::from(rel.file.directory_levels()),
         distinct_keys: 0,
         row_width: rel.schema.row_width() as u64,
+        history_rows: rel.history.as_ref().map(|h| h.rows()).unwrap_or(0),
+        history_pages: 0,
     }
 }

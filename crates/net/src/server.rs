@@ -479,9 +479,27 @@ fn serve_connection(
                 // it before snapshotting the lock counters — the probe
                 // itself takes one shared lock, and the counters must
                 // match the engine's own view at reply time.
-                let degraded = engine
-                    .try_with_read(|db| db.is_degraded())
-                    .unwrap_or(true);
+                // Reorg and page-filter counters ride the same probe;
+                // a poisoned engine reports degraded=true and zeroed
+                // counters rather than failing the whole reply.
+                let (
+                    degraded,
+                    reorg,
+                    bloom_hits,
+                    bloom_skips,
+                    readahead_pages,
+                ) = engine
+                    .try_with_read(|db| {
+                        let io = db.io_stats();
+                        (
+                            db.is_degraded(),
+                            db.reorg_stats(),
+                            io.bloom_hits(),
+                            io.bloom_skips(),
+                            io.readahead_pages(),
+                        )
+                    })
+                    .unwrap_or((true, Default::default(), 0, 0, 0));
                 let locks = engine.lock_stats();
                 let (plan_hits, plan_misses) = engine.plan_cache_stats();
                 let resp = Response::Stats(StatsReply {
@@ -497,6 +515,11 @@ fn serve_connection(
                     accept_errors: counters
                         .accept_errors
                         .load(Ordering::Relaxed),
+                    reorg_runs: reorg.runs,
+                    rows_migrated: reorg.rows_migrated,
+                    bloom_hits,
+                    bloom_skips,
+                    readahead_pages,
                 });
                 if !send(&mut stream, &resp, cfg) {
                     break;

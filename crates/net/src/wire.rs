@@ -78,6 +78,16 @@ pub struct StatsReply {
     pub panics_caught: u64,
     /// Transient `accept()` failures the listener survived.
     pub accept_errors: u64,
+    /// Completed reorganization passes that migrated at least one row.
+    pub reorg_runs: u64,
+    /// Versions migrated to clustered history sidecars, lifetime.
+    pub rows_migrated: u64,
+    /// Overflow-chain walks a bloom filter proved necessary.
+    pub bloom_hits: u64,
+    /// Overflow-chain walks a bloom filter skipped outright.
+    pub bloom_skips: u64,
+    /// Pages prefetched by batched readahead.
+    pub readahead_pages: u64,
 }
 
 /// Result-set payload of a successful query.
@@ -503,6 +513,11 @@ pub fn encode_response(resp: &Response, max_bytes: usize) -> Vec<u8> {
             put_u8(&mut buf, s.degraded as u8);
             put_u64(&mut buf, s.panics_caught);
             put_u64(&mut buf, s.accept_errors);
+            put_u64(&mut buf, s.reorg_runs);
+            put_u64(&mut buf, s.rows_migrated);
+            put_u64(&mut buf, s.bloom_hits);
+            put_u64(&mut buf, s.bloom_skips);
+            put_u64(&mut buf, s.readahead_pages);
         }
     }
     buf
@@ -560,6 +575,11 @@ pub fn decode_response(payload: &[u8]) -> Result<Response> {
             degraded: c.u8()? != 0,
             panics_caught: c.u64()?,
             accept_errors: c.u64()?,
+            reorg_runs: c.u64()?,
+            rows_migrated: c.u64()?,
+            bloom_hits: c.u64()?,
+            bloom_skips: c.u64()?,
+            readahead_pages: c.u64()?,
         })),
         t => Err(Error::Protocol(format!("unknown response tag {t}"))),
     }
@@ -683,6 +703,11 @@ mod tests {
             degraded: true,
             panics_caught: 2,
             accept_errors: 5,
+            reorg_runs: 4,
+            rows_migrated: 4096,
+            bloom_hits: 77,
+            bloom_skips: 1300,
+            readahead_pages: 640,
         };
         let enc = encode_response(&Response::Stats(stats), usize::MAX);
         assert_eq!(decode_response(&enc).unwrap(), Response::Stats(stats));

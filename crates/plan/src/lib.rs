@@ -67,6 +67,15 @@ pub struct RelStats {
     pub distinct_keys: u64,
     /// Fixed row width in bytes.
     pub row_width: u64,
+    /// Versions migrated into the clustered history sidecar by online
+    /// reorganization (0 when the relation has no sidecar). These rows
+    /// are *off* the primary's chains, which is why [`chain_len`]
+    /// excludes them.
+    ///
+    /// [`chain_len`]: RelStats::chain_len
+    pub history_rows: u64,
+    /// Pages of the clustered history sidecar.
+    pub history_pages: u64,
 }
 
 impl RelStats {
@@ -82,9 +91,26 @@ impl RelStats {
 
     /// Mean version/overflow-chain length in pages for a keyed probe:
     /// every version of a key lands on the same bucket / ISAM chain,
-    /// one page each in the prototype's chain-walking layout.
+    /// one page each in the prototype's chain-walking layout. Migrated
+    /// history rows are excluded — they are served from the clustered
+    /// sidecar, not the primary's chains, so an at-now probe after a
+    /// reorganization costs only the shortened primary chain.
     pub fn chain_len(&self) -> u64 {
         self.tuple_count.div_ceil(self.distinct_estimate()).max(1)
+    }
+
+    /// Pages a *time-travel* keyed probe adds on top of [`chain_len`]:
+    /// the mean per-key cluster size of the history sidecar (clusters
+    /// pack `rows_per_page` versions per page, one key per page).
+    ///
+    /// [`chain_len`]: RelStats::chain_len
+    pub fn history_chain_len(&self) -> u64 {
+        if self.history_rows == 0 {
+            return 0;
+        }
+        // Sidecar pages are single-key, so mean cluster size is simply
+        // pages over keys.
+        self.history_pages.div_ceil(self.distinct_estimate()).max(1)
     }
 
     /// Mean stored rows per scannable page.
@@ -136,6 +162,15 @@ impl StatsCatalog {
                     ),
                     distinct_keys: distinct,
                     row_width: rel.schema.row_width() as u64,
+                    history_rows: rel
+                        .history
+                        .as_ref()
+                        .map(|h| h.rows())
+                        .unwrap_or(0),
+                    history_pages: match &rel.history {
+                        Some(h) => u64::from(h.total_pages(pager)?),
+                        None => 0,
+                    },
                 },
             );
         }
@@ -479,6 +514,8 @@ mod tests {
             directory_levels: 0,
             distinct_keys: distinct,
             row_width: 16,
+            history_rows: 0,
+            history_pages: 0,
         }
     }
 
@@ -507,6 +544,20 @@ mod tests {
         // Unknown distinct count defaults to one version per key.
         let s = stats(3072, 384, 0);
         assert_eq!(s.chain_len(), 1);
+    }
+
+    #[test]
+    fn migrated_history_shortens_the_primary_chain_estimate() {
+        // Before reorganization: 3 versions per key in the primary.
+        let before = stats(3072, 384, 1024);
+        assert_eq!(before.chain_len(), 3);
+        assert_eq!(before.history_chain_len(), 0);
+        // After: superseded versions migrated, one page per key cluster.
+        let mut after = stats(1024, 128, 1024);
+        after.history_rows = 2048;
+        after.history_pages = 1024;
+        assert_eq!(after.chain_len(), 1);
+        assert_eq!(after.history_chain_len(), 1);
     }
 
     #[test]

@@ -1,0 +1,177 @@
+//! Bloom filters guarding overflow chains.
+//!
+//! The paper's degradation mechanism is the overflow chain: every update
+//! of a key appends a version behind its bucket (hash) or data page
+//! (ISAM), and a keyed lookup must walk the whole chain because versions
+//! are unordered. At paper scale (1024 tuples, ≤15 updates) that walk is
+//! the measurement; at 10⁴–10⁶ versions it is the bottleneck. A [`Bloom`]
+//! in front of each chain answers "did any version of key *k* ever land
+//! on an overflow page of this file?" — a definite **no** lets the lookup
+//! stop at the primary page instead of walking the chain for nothing.
+//!
+//! The filter is add-only over the file's lifetime (rebuilt wholesale by
+//! `modify`/reorganization, which reset the chains anyway), so it can
+//! never return a false negative: a key that reached an overflow page is
+//! always reported *maybe present* and the chain is walked exactly as
+//! before. False positives only cost the walk the engine would have done
+//! without the filter. That asymmetry is what keeps the paper's figures
+//! byte-identical: every probe of a *present* key is a filter hit, so its
+//! page I/O is unchanged; only probes of keys that never spilled are
+//! allowed to get cheaper.
+//!
+//! The bit array is `AtomicU64` words, so concurrent inserts from the
+//! engine's writer and the reorganization daemon's rebuilds never need a
+//! lock; `Relaxed` ordering suffices because losing *no* set bit is
+//! guaranteed by `fetch_or` and readers tolerate stale views (a stale
+//! *unset* bit can only occur for a key whose insert has not yet
+//! committed, which no reader is allowed to observe anyway).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Bits per expected key. 10 bits/key with 7 probes gives a false-positive
+/// rate under 1 % — cheap insurance against a pointless chain walk.
+const BITS_PER_KEY: usize = 10;
+
+/// Number of hash probes per key (≈ `BITS_PER_KEY · ln 2`).
+const PROBES: u32 = 7;
+
+/// 64-bit FNV-1a offset basis and prime.
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// FNV-1a over `bytes`, folded with `seed` so two filters over the same
+/// key population set different bits.
+fn fnv1a(seed: u64, bytes: &[u8]) -> u64 {
+    let mut h = FNV_OFFSET ^ seed;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+/// A concurrent, add-only Bloom filter over key byte strings.
+#[derive(Debug)]
+pub struct Bloom {
+    bits: Vec<AtomicU64>,
+    nbits: u64,
+    seed: u64,
+    /// Keys added (not distinct keys — re-adding is idempotent on the
+    /// bits but counted here, so the figure is "overflow placements").
+    adds: AtomicU64,
+}
+
+impl Bloom {
+    /// A filter sized for `expected` distinct keys (at least 64 bits).
+    pub fn sized_for(expected: usize, seed: u64) -> Bloom {
+        let nbits = (expected * BITS_PER_KEY).max(64) as u64;
+        let words = nbits.div_ceil(64) as usize;
+        Bloom {
+            bits: (0..words).map(|_| AtomicU64::new(0)).collect(),
+            nbits: words as u64 * 64,
+            seed,
+            adds: AtomicU64::new(0),
+        }
+    }
+
+    /// The two double-hashing bases for `key`: `h1` picks the first bit,
+    /// `h2` (forced odd, so it is coprime with the power-of-two word
+    /// span) strides the rest.
+    fn bases(&self, key: &[u8]) -> (u64, u64) {
+        let h1 = fnv1a(self.seed, key);
+        let h2 = fnv1a(self.seed ^ 0x9e37_79b9_7f4a_7c15, key) | 1;
+        (h1, h2)
+    }
+
+    /// Record that some version of `key` lives on an overflow page.
+    pub fn add(&self, key: &[u8]) {
+        let (h1, h2) = self.bases(key);
+        for i in 0..u64::from(PROBES) {
+            let bit = h1.wrapping_add(i.wrapping_mul(h2)) % self.nbits;
+            self.bits[(bit / 64) as usize]
+                .fetch_or(1 << (bit % 64), Ordering::Relaxed);
+        }
+        self.adds.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// `false` means **no** version of `key` ever reached an overflow
+    /// page (definite); `true` means "maybe" and the chain must be
+    /// walked.
+    pub fn maybe_contains(&self, key: &[u8]) -> bool {
+        let (h1, h2) = self.bases(key);
+        for i in 0..u64::from(PROBES) {
+            let bit = h1.wrapping_add(i.wrapping_mul(h2)) % self.nbits;
+            if self.bits[(bit / 64) as usize].load(Ordering::Relaxed)
+                & (1 << (bit % 64))
+                == 0
+            {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Overflow placements recorded so far.
+    pub fn adds(&self) -> u64 {
+        self.adds.load(Ordering::Relaxed)
+    }
+
+    /// Size of the bit array.
+    pub fn nbits(&self) -> u64 {
+        self.nbits
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_filter_rejects_everything() {
+        let b = Bloom::sized_for(100, 1);
+        assert!(!b.maybe_contains(b"anything"));
+        assert_eq!(b.adds(), 0);
+    }
+
+    #[test]
+    fn added_keys_are_always_maybe_present() {
+        let b = Bloom::sized_for(1000, 42);
+        for i in 0..1000i64 {
+            b.add(&i.to_le_bytes());
+        }
+        for i in 0..1000i64 {
+            assert!(
+                b.maybe_contains(&i.to_le_bytes()),
+                "false negative for {i}"
+            );
+        }
+        assert_eq!(b.adds(), 1000);
+    }
+
+    #[test]
+    fn minimum_size_is_one_word() {
+        let b = Bloom::sized_for(0, 7);
+        assert_eq!(b.nbits(), 64);
+        b.add(b"k");
+        assert!(b.maybe_contains(b"k"));
+    }
+
+    #[test]
+    fn concurrent_adds_lose_no_keys() {
+        let b = std::sync::Arc::new(Bloom::sized_for(4000, 3));
+        std::thread::scope(|s| {
+            for t in 0..4i64 {
+                let b = std::sync::Arc::clone(&b);
+                s.spawn(move || {
+                    for i in 0..1000i64 {
+                        b.add(&(t * 1000 + i).to_le_bytes());
+                    }
+                });
+            }
+        });
+        for i in 0..4000i64 {
+            assert!(b.maybe_contains(&i.to_le_bytes()));
+        }
+        assert_eq!(b.adds(), 4000);
+    }
+}

@@ -56,6 +56,11 @@ pub struct StoredRelation {
     pub temporary: bool,
     /// Secondary indexes maintained on this relation.
     pub indexes: Vec<NamedIndex>,
+    /// The clustered history sidecar holding cold versions migrated out
+    /// of the primary file by online reorganization (`None` until the
+    /// first migration). Behind an `Arc` so a cloned catalog snapshot
+    /// shares the copy-on-write directory instead of deep-copying it.
+    pub history: Option<std::sync::Arc<crate::history::ClusteredHistory>>,
 }
 
 impl StoredRelation {
@@ -207,6 +212,63 @@ impl StoredRelation {
         self.fillfactor = fillfactor;
         self.rebuild_indexes(pager)
     }
+
+    /// Rebuild the primary file around an explicit surviving row set,
+    /// keeping the current organization, key, and fill factor. This is
+    /// the online reorganizer's half of a migration: the cold versions
+    /// have already been appended to the history sidecar, and the
+    /// survivors move into a fresh file that replaces the old one (the
+    /// same build-aside-and-swap crash discipline as
+    /// [`StoredRelation::modify`]).
+    pub fn rebuild_with_rows(
+        &mut self,
+        pager: &Pager,
+        rows: &[Vec<u8>],
+    ) -> Result<()> {
+        let old_id = self.file.file_id();
+        let hashfn = match &self.file {
+            RelFile::Hash(h) => h.hashfn,
+            _ => HashFn::Mod,
+        };
+        let new_id = pager.create_file()?;
+        let width = self.schema.row_width();
+        self.file = match (self.file.method(), self.key_attr) {
+            (AccessMethod::Heap, _) | (_, None) => {
+                let heap = HeapFile::attach(new_id, width);
+                for row in rows {
+                    heap.insert(pager, row)?;
+                }
+                pager.flush_file(new_id)?;
+                RelFile::Heap(heap)
+            }
+            (AccessMethod::Hash, Some(attr)) => {
+                let key = KeySpec::for_attr(&self.codec, attr);
+                RelFile::Hash(HashFile::build_into(
+                    pager,
+                    new_id,
+                    rows,
+                    width,
+                    key,
+                    hashfn,
+                    self.fillfactor,
+                )?)
+            }
+            (AccessMethod::Isam, Some(attr)) => {
+                let key = KeySpec::for_attr(&self.codec, attr);
+                RelFile::Isam(IsamFile::build_into(
+                    pager,
+                    new_id,
+                    rows,
+                    width,
+                    key,
+                    self.fillfactor,
+                )?)
+            }
+        };
+        pager.drop_file(old_id)?;
+        self.tuple_count = rows.len() as u64;
+        self.rebuild_indexes(pager)
+    }
 }
 
 /// Registry mapping names to stored relations.
@@ -283,6 +345,7 @@ impl Catalog {
             tuple_count: 0,
             temporary,
             indexes: Vec::new(),
+            history: None,
         };
         let idx = self.rels.len();
         self.rels.push(Some(rel));
@@ -299,6 +362,9 @@ impl Catalog {
         self.by_name.remove(&rel.name);
         for ix in &rel.indexes {
             pager.drop_file(ix.index.file_id())?;
+        }
+        if let Some(h) = &rel.history {
+            pager.drop_file(h.file_id())?;
         }
         pager.drop_file(rel.file.file_id())
     }

@@ -9,6 +9,7 @@
 //! access reads the whole chain (the prototype cannot stop early: versions
 //! are unordered); a full scan reads every page once.
 
+use crate::bloom::Bloom;
 use crate::disk::FileId;
 use crate::key::{HashFn, KeySpec};
 use crate::page::{page_capacity, PageKind, NO_PAGE};
@@ -113,6 +114,9 @@ impl HashFile {
                 spill.push((b as u32, rest.to_vec()));
             }
         }
+        // A rebuild resets every chain, so the chain guard is rebuilt
+        // with it: only the keys that spill right now are in the filter.
+        let bloom = Bloom::sized_for(rows.len().max(16), u64::from(file.0));
         for (bucket, rest) in spill {
             let mut tail = bucket;
             for chunk in rest.chunks(cap) {
@@ -122,10 +126,12 @@ impl HashFile {
                     pager.write(file, of, |p| {
                         p.push_row(row_width, row)
                     })??;
+                    bloom.add(key.extract(row));
                 }
                 tail = of;
             }
         }
+        pager.bloom_install(file, bloom);
         pager.flush_file(file)?;
         Ok(HashFile {
             file,
@@ -150,7 +156,8 @@ impl HashFile {
                 got: row.len(),
             });
         }
-        let mut page_no = self.bucket_of(self.key.extract(row));
+        let primary = self.bucket_of(self.key.extract(row));
+        let mut page_no = primary;
         loop {
             let w = self.row_width;
             let (slot, next) = pager.write(self.file, page_no, |p| {
@@ -161,6 +168,12 @@ impl HashFile {
                 }
             })?;
             if let Some(slot) = slot {
+                if page_no != primary {
+                    pager.bloom_note_overflow(
+                        self.file,
+                        self.key.extract(row),
+                    );
+                }
                 return Ok(TupleId::new(page_no, slot?));
             }
             if next == NO_PAGE {
@@ -174,6 +187,7 @@ impl HashFile {
                 let slot = pager.write(self.file, of, |p| {
                     p.push_row(self.row_width, row)
                 })??;
+                pager.bloom_note_overflow(self.file, self.key.extract(row));
                 return Ok(TupleId::new(of, slot));
             }
             page_no = next;
@@ -270,6 +284,14 @@ impl HashLookup {
                 Ok(next) => {
                     self.slot = 0;
                     if next == NO_PAGE {
+                        self.done = true;
+                    } else if page_no == hash.bucket_of(&self.key)
+                        && pager.bloom_check(hash.file, &self.key)
+                            == Some(false)
+                    {
+                        // Leaving the primary page: the chain guard says
+                        // no version of this key ever spilled, so the
+                        // whole overflow walk would find nothing.
                         self.done = true;
                     } else {
                         self.page = next;
@@ -474,6 +496,57 @@ mod tests {
         let mut cur = h.lookup(&keyb);
         while cur.next(&pager, &h).unwrap().is_some() {}
         assert_eq!(pager.stats().of(h.file).reads, 1);
+    }
+
+    #[test]
+    fn bloom_guard_skips_absent_key_chain_walk() {
+        let (codec, rows) = make_rows(72); // 8 buckets of 9 at width 108
+        let pager = Pager::in_memory();
+        pager.set_bloom_guards(true);
+        let h = HashFile::build(
+            &pager,
+            &rows,
+            108,
+            key_of(&codec),
+            HashFn::Mod,
+            100,
+        )
+        .unwrap();
+        // Overflow bucket 3 with versions of id 3 only.
+        let v = codec
+            .encode(&[Value::Int(3), Value::Str("v".into())])
+            .unwrap();
+        for _ in 0..9 {
+            h.insert(&pager, &v).unwrap();
+        }
+        // id 75 hashes to bucket 3 too but is absent: the guard stops
+        // the lookup at the primary page.
+        pager.invalidate_buffers().unwrap();
+        pager.reset_stats();
+        let skips_before = pager.stats().bloom_skips();
+        let mut cur = h.lookup(&75i32.to_le_bytes());
+        assert!(cur.next(&pager, &h).unwrap().is_none());
+        assert_eq!(pager.stats().of(h.file).reads, 1);
+        assert_eq!(pager.stats().bloom_skips(), skips_before + 1);
+        // The spilled key is a filter hit and walks the chain as before.
+        pager.invalidate_buffers().unwrap();
+        pager.reset_stats();
+        let hits_before = pager.stats().bloom_hits();
+        let mut cur = h.lookup(&3i32.to_le_bytes());
+        let mut n = 0;
+        while cur.next(&pager, &h).unwrap().is_some() {
+            n += 1;
+        }
+        assert_eq!(n, 10);
+        assert_eq!(pager.stats().of(h.file).reads, 2);
+        assert_eq!(pager.stats().bloom_hits(), hits_before + 1);
+        // Dropping the guard restores the unguarded walk.
+        pager.bloom_drop(h.file);
+        pager.invalidate_buffers().unwrap();
+        pager.reset_stats();
+        let mut cur = h.lookup(&75i32.to_le_bytes());
+        assert!(cur.next(&pager, &h).unwrap().is_none());
+        assert_eq!(pager.stats().of(h.file).reads, 2);
     }
 
     #[test]

@@ -36,6 +36,15 @@ use std::sync::{Arc, Mutex, PoisonError, RwLock};
 pub struct IoStats {
     counters: RwLock<HashMap<FileId, Arc<FileCounters>>>,
     phases: Mutex<PhaseLedger>,
+    /// Lifetime counters for the chain-guard machinery. Unlike the
+    /// per-file ledger these are **monotone**: `reset` (which the
+    /// benchmark harness calls before every query) does not clear them,
+    /// so the server's `Stats` reply and the planner's statistics see
+    /// cumulative figures. They sit outside the per-file ledger so the
+    /// paper's `hits + misses == accesses` identity is untouched.
+    bloom_hits: AtomicU64,
+    bloom_skips: AtomicU64,
+    readahead: AtomicU64,
 }
 
 /// The atomic cell behind one file's [`FileIo`] snapshot.
@@ -180,6 +189,37 @@ impl IoStats {
     /// Total transient-read retries across all files.
     pub fn total_retries(&self) -> u64 {
         self.sum(|c| c.retries)
+    }
+
+    pub(crate) fn record_bloom_hit(&self) {
+        self.bloom_hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_bloom_skip(&self) {
+        self.bloom_skips.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_readahead(&self, n: u64) {
+        self.readahead.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Lifetime count of bloom-filter consultations that answered
+    /// "maybe present" (the chain was walked as usual). Monotone —
+    /// `reset` does not clear it.
+    pub fn bloom_hits(&self) -> u64 {
+        self.bloom_hits.load(Ordering::Relaxed)
+    }
+
+    /// Lifetime count of chain walks skipped because the filter answered
+    /// "definitely absent". Monotone — `reset` does not clear it.
+    pub fn bloom_skips(&self) -> u64 {
+        self.bloom_skips.load(Ordering::Relaxed)
+    }
+
+    /// Lifetime count of pages prefetched by [`crate::Pager::readahead`].
+    /// Monotone — `reset` does not clear it.
+    pub fn readahead_pages(&self) -> u64 {
+        self.readahead.load(Ordering::Relaxed)
     }
 
     /// Charge `n` page writes against `file` from outside the pager. The
@@ -351,6 +391,10 @@ impl Clone for IoStats {
     /// values observed now, sharing nothing with the original.
     fn clone(&self) -> Self {
         let out = IoStats::new();
+        out.bloom_hits.store(self.bloom_hits(), Ordering::Relaxed);
+        out.bloom_skips.store(self.bloom_skips(), Ordering::Relaxed);
+        out.readahead
+            .store(self.readahead_pages(), Ordering::Relaxed);
         {
             let mut dst = out
                 .counters
@@ -414,6 +458,28 @@ mod tests {
         assert!(s.is_consistent());
         s.reset();
         assert_eq!(s.total_reads(), 0);
+    }
+
+    #[test]
+    fn chain_guard_counters_are_monotone_across_reset() {
+        let s = IoStats::new();
+        s.record_bloom_hit();
+        s.record_bloom_skip();
+        s.record_bloom_skip();
+        s.record_readahead(5);
+        s.reset();
+        assert_eq!(s.bloom_hits(), 1);
+        assert_eq!(s.bloom_skips(), 2);
+        assert_eq!(s.readahead_pages(), 5);
+        let snap = s.clone();
+        assert_eq!(
+            (
+                snap.bloom_hits(),
+                snap.bloom_skips(),
+                snap.readahead_pages()
+            ),
+            (1, 2, 5)
+        );
     }
 
     #[test]

@@ -15,6 +15,7 @@
 //! not help to shorten overflow chains, because all versions of a tuple
 //! share the same key".
 
+use crate::bloom::Bloom;
 use crate::disk::FileId;
 use crate::key::KeySpec;
 use crate::page::{page_capacity, PageKind, NO_PAGE};
@@ -126,6 +127,13 @@ impl IsamFile {
             level_keys = next_keys;
         }
         pager.flush_file(file)?;
+        // An ISAM build never spills (chains only grow through inserts),
+        // so the chain guard starts empty: every data page's overflow
+        // walk is skippable until an insert lands behind it.
+        pager.bloom_install(
+            file,
+            Bloom::sized_for(rows.len().max(16), u64::from(file.0)),
+        );
         Ok(IsamFile {
             file,
             row_width,
@@ -243,8 +251,9 @@ impl IsamFile {
         // Insert at the *last* candidate page: for a key equal to some
         // page's first key that is the page which naturally owns it, so
         // uniform update rounds grow every data page's chain evenly.
-        let (_start, mut page_no) =
+        let (_start, primary) =
             self.descend(pager, self.key.extract(row))?;
+        let mut page_no = primary;
         loop {
             let w = self.row_width;
             let (slot, next) = pager.write(self.file, page_no, |p| {
@@ -255,6 +264,12 @@ impl IsamFile {
                 }
             })?;
             if let Some(slot) = slot {
+                if page_no != primary {
+                    pager.bloom_note_overflow(
+                        self.file,
+                        self.key.extract(row),
+                    );
+                }
                 return Ok(TupleId::new(page_no, slot?));
             }
             if next == NO_PAGE {
@@ -264,6 +279,7 @@ impl IsamFile {
                 let slot = pager.write(self.file, of, |p| {
                     p.push_row(self.row_width, row)
                 })??;
+                pager.bloom_note_overflow(self.file, self.key.extract(row));
                 return Ok(TupleId::new(of, slot));
             }
             page_no = next;
@@ -363,7 +379,23 @@ impl IsamLookup {
                 }
                 Ok(next) => {
                     self.slot = 0;
-                    if next != NO_PAGE {
+                    if next != NO_PAGE
+                        && page_no == self.data_page
+                        && pager.bloom_check(isam.file, &self.key)
+                            == Some(false)
+                    {
+                        // Leaving a data page for its overflow chain, but
+                        // the guard says no version of this key was ever
+                        // placed on overflow: skip the walk. (Build-time
+                        // chains are empty, so overflow rows exist only
+                        // via inserts, which always note the key.)
+                        if self.data_page < self.end_data_page {
+                            self.data_page += 1;
+                            self.page = self.data_page;
+                        } else {
+                            self.done = true;
+                        }
+                    } else if next != NO_PAGE {
                         self.page = next;
                     } else if self.data_page < self.end_data_page {
                         // Equal-key run continues on the next data page.
@@ -573,6 +605,45 @@ mod tests {
         let mut cur = f.lookup(&pager, &kb).unwrap();
         while cur.next(&pager, &f).unwrap().is_some() {}
         assert_eq!(pager.stats().of(f.file).reads, 2);
+    }
+
+    #[test]
+    fn bloom_guard_skips_absent_key_chain_walk() {
+        let (codec, rows) = make_rows(64, 104);
+        let pager = Pager::in_memory();
+        pager.set_bloom_guards(true);
+        let f =
+            IsamFile::build(&pager, &rows, 108, key(&codec), 100).unwrap();
+        // Chain 12 versions of key 12 behind its data page.
+        let v = codec
+            .encode(&[Value::Int(12), Value::Str("v".into())])
+            .unwrap();
+        for _ in 0..12 {
+            f.insert(&pager, &v).unwrap();
+        }
+        // Key 11 lives on the same data page but never spilled: the
+        // guard stops the lookup before the 2-page overflow walk.
+        pager.invalidate_buffers().unwrap();
+        pager.reset_stats();
+        let skips_before = pager.stats().bloom_skips();
+        let mut cur = f.lookup(&pager, &11i32.to_le_bytes()).unwrap();
+        let mut n = 0;
+        while cur.next(&pager, &f).unwrap().is_some() {
+            n += 1;
+        }
+        assert_eq!(n, 1);
+        assert_eq!(pager.stats().of(f.file).reads, 2); // dir + data only
+        assert_eq!(pager.stats().bloom_skips(), skips_before + 1);
+        // The spilled key still walks its whole chain.
+        pager.invalidate_buffers().unwrap();
+        pager.reset_stats();
+        let mut cur = f.lookup(&pager, &12i32.to_le_bytes()).unwrap();
+        let mut n = 0;
+        while cur.next(&pager, &f).unwrap().is_some() {
+            n += 1;
+        }
+        assert_eq!(n, 13);
+        assert_eq!(pager.stats().of(f.file).reads, 4);
     }
 
     #[test]

@@ -19,12 +19,14 @@
 //! counts, chain-walking inserts, no early termination on keyed lookups —
 //! because those are the behaviours whose cost the paper measures.
 
+pub mod bloom;
 pub mod catalog;
 pub mod checksum;
 pub mod disk;
 pub mod fault;
 pub mod hash;
 pub mod heap;
+pub mod history;
 pub mod iostats;
 pub mod isam;
 pub mod key;
@@ -35,12 +37,14 @@ pub mod relfile;
 pub mod secondary;
 pub mod tuple;
 
+pub use bloom::Bloom;
 pub use catalog::{Catalog, NamedIndex, RelId, StoredRelation};
 pub use checksum::{fnv64, ChecksumSet, SUMS_FILE};
 pub use disk::{DiskManager, FileDisk, FileId, MemDisk};
 pub use fault::{FaultDisk, FaultPlan, SharedMemDisk};
 pub use hash::{rows_per_page_at_fill, HashFile};
 pub use heap::HeapFile;
+pub use history::ClusteredHistory;
 pub use iostats::{FileIo, IoStats, PhaseIo};
 pub use isam::IsamFile;
 pub use key::{HashFn, KeyKind, KeySpec};

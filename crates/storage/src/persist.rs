@@ -174,6 +174,16 @@ pub fn encode_catalog(catalog: &Catalog) -> String {
             writeln!(out, "attr {} {}", a.name, a.domain).unwrap();
         }
         write_relfile(&mut out, &rel.file, rel.key_attr);
+        if let Some(h) = &rel.history {
+            writeln!(
+                out,
+                "history {} {} {}",
+                h.file_id().0,
+                h.rows(),
+                h.max_stop().0,
+            )
+            .unwrap();
+        }
         for ix in &rel.indexes {
             let key = ix.index.target_attr();
             write!(
@@ -285,6 +295,44 @@ pub fn decode_catalog(text: &str, pager: &Pager) -> Result<Catalog> {
             ))
         })?;
 
+        // Optional clustered-history sidecar. The cluster directory is
+        // rebuilt by scanning the history file; the persisted line keeps
+        // only what the scan cannot recover (the high-water stop time)
+        // plus the row count as a consistency check.
+        let mut history = None;
+        if let Some(l) = lines.peek() {
+            if let Some(rest) = l.strip_prefix("history ") {
+                let toks: Vec<&str> = rest.split_whitespace().collect();
+                let [fid, rows, max_stop] = toks.as_slice() else {
+                    return Err(bad(l));
+                };
+                let fid: u32 = fid.parse().map_err(|_| bad(l))?;
+                let rows: u64 = rows.parse().map_err(|_| bad(l))?;
+                let max_stop: u32 = max_stop.parse().map_err(|_| bad(l))?;
+                let key_attr = key_attr.ok_or_else(|| {
+                    Error::Io(format!(
+                        "history sidecar on unkeyed relation {name}"
+                    ))
+                })?;
+                let h = crate::history::ClusteredHistory::reopen(
+                    pager,
+                    crate::disk::FileId(fid),
+                    width,
+                    KeySpec::for_attr(&codec, key_attr),
+                    tdbms_kernel::TimeVal(max_stop),
+                )?;
+                if h.rows() != rows {
+                    return Err(Error::Io(format!(
+                        "history file {fid} holds {} rows, catalog \
+                         recorded {rows}",
+                        h.rows()
+                    )));
+                }
+                history = Some(std::sync::Arc::new(h));
+                lines.next();
+            }
+        }
+
         // Indexes, until `end`.
         let mut indexes: Vec<NamedIndex> = Vec::new();
         loop {
@@ -344,6 +392,7 @@ pub fn decode_catalog(text: &str, pager: &Pager) -> Result<Catalog> {
             tuple_count,
             temporary: false,
             indexes,
+            history,
         })?;
         let _ = id;
     }
@@ -511,6 +560,52 @@ mod tests {
             .unwrap();
         assert_eq!(tids.len(), 1);
         std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn history_sidecar_roundtrips_through_the_catalog_text() {
+        let pager = Pager::in_memory();
+        let mut cat = Catalog::new();
+        let schema = Schema::new(
+            vec![AttrDef::new("id", Domain::I4)],
+            DatabaseClass::Rollback,
+            TemporalKind::Interval,
+        )
+        .unwrap();
+        let id = cat.create_relation(&pager, "h", schema).unwrap();
+        {
+            let rel = cat.get_mut(id);
+            rel.modify(
+                &pager,
+                crate::relfile::AccessMethod::Hash,
+                Some(0),
+                100,
+                HashFn::Mod,
+            )
+            .unwrap();
+            let key = KeySpec::for_attr(&rel.codec, 0);
+            let width = rel.schema.row_width();
+            let mut h = crate::history::ClusteredHistory::create(
+                &pager, width, key,
+            )
+            .unwrap();
+            for i in 1..=5i32 {
+                let mut row = vec![0u8; width];
+                row[key.offset..key.offset + 4]
+                    .copy_from_slice(&i.to_le_bytes());
+                h.push(&pager, &row, tdbms_kernel::TimeVal(40 + i as u32))
+                    .unwrap();
+            }
+            rel.history = Some(std::sync::Arc::new(h));
+        }
+        let text = encode_catalog(&cat);
+        assert!(text.contains("history "), "sidecar line emitted");
+        let back = decode_catalog(&text, &pager).unwrap();
+        let rel = back.get(back.id_of("h").unwrap());
+        let h = rel.history.as_ref().expect("history reattached");
+        assert_eq!(h.rows(), 5);
+        assert_eq!(h.max_stop(), tdbms_kernel::TimeVal(45));
+        assert_eq!(h.cluster_pages(&3i32.to_le_bytes()), 1);
     }
 
     #[test]

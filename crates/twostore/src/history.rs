@@ -14,14 +14,10 @@
 //! Because history versions are never updated in place, both layouts are
 //! strictly append-only (write-once-media friendly, as the paper notes).
 
-use std::collections::HashMap;
-use tdbms_kernel::{Error, Result};
+use tdbms_kernel::{Result, TimeVal};
 use tdbms_storage::{
-    page_capacity, FileId, HeapFile, KeySpec, PageKind, Pager, TupleId,
+    page_capacity, ClusteredHistory, FileId, HeapFile, KeySpec, Pager,
 };
-
-/// Key bytes, owned (small: 1-8 bytes for practical keys).
-type KeyBuf = Vec<u8>;
 
 /// The two history-store layouts.
 #[derive(Debug)]
@@ -34,18 +30,11 @@ pub enum HistoryStore {
         /// filtering).
         key: KeySpec,
     },
-    /// Per-tuple clustered pages with an in-memory cluster directory.
-    Clustered {
-        /// The storage file.
-        file: FileId,
-        /// Fixed row width.
-        row_width: usize,
-        /// Key location within a row.
-        key: KeySpec,
-        /// Cluster directory: key bytes → pages holding that tuple's
-        /// history, in insertion order. The last page may have room.
-        clusters: HashMap<KeyBuf, Vec<u32>>,
-    },
+    /// Per-tuple clustered pages with an in-memory cluster directory —
+    /// the same structure the engine's online reorganization migrates
+    /// cold versions into, so the layout (and its keyed-access cost)
+    /// comes from [`ClusteredHistory`].
+    Clustered(ClusteredHistory),
 }
 
 impl HistoryStore {
@@ -67,20 +56,16 @@ impl HistoryStore {
         row_width: usize,
         key: KeySpec,
     ) -> Result<Self> {
-        let file = pager.create_file()?;
-        Ok(HistoryStore::Clustered {
-            file,
-            row_width,
-            key,
-            clusters: HashMap::new(),
-        })
+        Ok(HistoryStore::Clustered(ClusteredHistory::create(
+            pager, row_width, key,
+        )?))
     }
 
     /// The underlying file.
     pub fn file_id(&self) -> FileId {
         match self {
             HistoryStore::Simple { heap, .. } => heap.file,
-            HistoryStore::Clustered { file, .. } => *file,
+            HistoryStore::Clustered(h) => h.file_id(),
         }
     }
 
@@ -90,42 +75,15 @@ impl HistoryStore {
     }
 
     /// Append one superseded version.
-    pub fn push(&mut self, pager: &Pager, row: &[u8]) -> Result<TupleId> {
+    pub fn push(&mut self, pager: &Pager, row: &[u8]) -> Result<()> {
         match self {
-            HistoryStore::Simple { heap, .. } => heap.insert(pager, row),
-            HistoryStore::Clustered {
-                file,
-                row_width,
-                key,
-                clusters,
-            } => {
-                if row.len() != *row_width {
-                    return Err(Error::RowSize {
-                        expected: *row_width,
-                        got: row.len(),
-                    });
-                }
-                let kb = key.extract(row).to_vec();
-                let pages = clusters.entry(kb).or_default();
-                if let Some(&last) = pages.last() {
-                    let w = *row_width;
-                    let slot = pager.write(*file, last, |p| {
-                        if p.has_room(w) {
-                            Some(p.push_row(w, row))
-                        } else {
-                            None
-                        }
-                    })?;
-                    if let Some(slot) = slot {
-                        return Ok(TupleId::new(last, slot?));
-                    }
-                }
-                let page_no = pager.append_page(*file, PageKind::Data)?;
-                pages.push(page_no);
-                let slot = pager.write(*file, page_no, |p| {
-                    p.push_row(*row_width, row)
-                })??;
-                Ok(TupleId::new(page_no, slot))
+            HistoryStore::Simple { heap, .. } => {
+                heap.insert(pager, row).map(|_| ())
+            }
+            // The benchmark store does not gate reads on the stop-time
+            // high-water mark, so pushes leave it at BEGINNING.
+            HistoryStore::Clustered(h) => {
+                h.push(pager, row, TimeVal::BEGINNING)
             }
         }
     }
@@ -151,32 +109,7 @@ impl HistoryStore {
                 }
                 Ok(())
             }
-            HistoryStore::Clustered {
-                file,
-                row_width,
-                key,
-                clusters,
-            } => {
-                let Some(pages) = clusters.get(key_bytes) else {
-                    return Ok(());
-                };
-                for &page_no in pages {
-                    let rows: Vec<Vec<u8>> =
-                        pager.read(*file, page_no, |p| {
-                            p.rows(*row_width)
-                                .map(|(_, r)| r.to_vec())
-                                .collect()
-                        })?;
-                    for row in rows {
-                        if key.compare(key.extract(&row), key_bytes)
-                            == std::cmp::Ordering::Equal
-                        {
-                            f(&row)?;
-                        }
-                    }
-                }
-                Ok(())
-            }
+            HistoryStore::Clustered(h) => h.for_key(pager, key_bytes, f),
         }
     }
 
@@ -194,23 +127,7 @@ impl HistoryStore {
                 }
                 Ok(())
             }
-            HistoryStore::Clustered {
-                file, row_width, ..
-            } => {
-                let n = pager.page_count(*file)?;
-                for page_no in 0..n {
-                    let rows: Vec<Vec<u8>> =
-                        pager.read(*file, page_no, |p| {
-                            p.rows(*row_width)
-                                .map(|(_, r)| r.to_vec())
-                                .collect()
-                        })?;
-                    for row in rows {
-                        f(&row)?;
-                    }
-                }
-                Ok(())
-            }
+            HistoryStore::Clustered(h) => h.for_all(pager, f),
         }
     }
 
@@ -219,12 +136,7 @@ impl HistoryStore {
     pub fn cluster_pages(&self, key_bytes: &[u8]) -> Option<u32> {
         match self {
             HistoryStore::Simple { .. } => None,
-            HistoryStore::Clustered { clusters, .. } => Some(
-                clusters
-                    .get(key_bytes)
-                    .map(|p| p.len() as u32)
-                    .unwrap_or(0),
-            ),
+            HistoryStore::Clustered(h) => Some(h.cluster_pages(key_bytes)),
         }
     }
 
@@ -234,9 +146,7 @@ impl HistoryStore {
             HistoryStore::Simple { heap, .. } => {
                 page_capacity(heap.row_width)
             }
-            HistoryStore::Clustered { row_width, .. } => {
-                page_capacity(*row_width)
-            }
+            HistoryStore::Clustered(h) => h.rows_per_page(),
         }
     }
 }

@@ -410,6 +410,61 @@ gate_chaos() {
     }
 }
 
+# Scale smoke: the million-version trajectory in miniature — 10k keys,
+# a skewed update stream, reorganization after every round. The driver
+# asserts its own invariants (bounded-io, reorg-helps, cold-flat,
+# migration, daemon-live) and exits nonzero naming the first one that
+# fails; --audit additionally requires a tdbms-check-clean database
+# after compaction. Leaves BENCH_scale.json as the artifact.
+gate_scale_smoke() {
+    "$bindir/scale" --scale 10000 --rounds 3 --audit \
+        --json BENCH_scale.json
+}
+
+# Bench-trajectory gate: regenerate the benchmark artifacts fresh and
+# diff them against the committed baselines (HEAD's copies, so earlier
+# gates overwriting the working-tree files can't skew the comparison).
+# Throughput qps must stay within TDBMS_QPS_FLOOR (default 0.7x) of
+# the baseline — release profile only; debug timings are not
+# comparable. The single-threaded scale driver's page accounting is
+# deterministic, so those metrics must match the baseline *exactly*.
+# On a pass, a dated entry is appended to BENCH_TRAJECTORY.md.
+gate_bench_trajectory() {
+    local fresh_t fresh_s base floor rc=0
+    fresh_t=$(mktemp) fresh_s=$(mktemp) base=$(mktemp)
+    "$bindir/throughput" --threads 4 --ops 64 --json "$fresh_t" \
+        >/dev/null || return 1
+    "$bindir/scale" --scale 10000 --rounds 3 --no-daemon \
+        --json "$fresh_s" >/dev/null || return 1
+    git show HEAD:BENCH_throughput.json >"$base" 2>/dev/null \
+        || cp BENCH_throughput.json "$base"
+    floor="${TDBMS_QPS_FLOOR:-0.7}"
+    [[ "$profile" == release ]] || floor=0
+    scripts/bench_diff "$base" "$fresh_t" --qps-floor "$floor" \
+        --exact total_ops --exact errors || {
+        echo "bench-trajectory: throughput regressed vs HEAD baseline"
+        rc=1
+    }
+    git show HEAD:BENCH_scale.json >"$base" 2>/dev/null \
+        || cp BENCH_scale.json "$base"
+    scripts/bench_diff "$base" "$fresh_s" \
+        --exact scale --exact hot_pages_baseline \
+        --exact hot_pages_reorg --exact cold_pages --exact migrated \
+        --exact history_rows --exact primary_pages_reorg || {
+        echo "bench-trajectory: scale page accounting drifted vs HEAD"
+        rc=1
+    }
+    if [[ "$rc" == 0 ]]; then
+        scripts/bench_diff --record BENCH_TRAJECTORY.md \
+            "throughput/$profile" "$fresh_t" qps total_ops errors
+        scripts/bench_diff --record BENCH_TRAJECTORY.md \
+            "scale/$profile" "$fresh_s" hot_pages_no_reorg \
+            hot_pages_reorg migrated
+    fi
+    rm -f "$fresh_t" "$fresh_s" "$base"
+    return "$rc"
+}
+
 # --------------------------------------------------------------- driver
 
 GATES=()
@@ -421,7 +476,7 @@ GATES+=(
     fig5-checksums figures-threads fig11-shape
     planner-golden plan-cache-smoke
     throughput-smoke net-protocol server-smoke check-recovery
-    chaos
+    chaos scale-smoke bench-trajectory
 )
 
 if $list_only; then
@@ -440,14 +495,15 @@ fi
 # Each gate runs in a child `bash -e` so a failing command anywhere in
 # its body fails the gate (errexit is suppressed inside `if !` in the
 # parent, which would otherwise let mid-gate failures slip through).
-export bindir profile_flag
+export bindir profile_flag profile
 export -f gate_fmt gate_build gate_clippy gate_test \
     gate_wal_crash_matrix gate_corruption_scrub gate_transient_retry \
     gate_concurrency_stress gate_group_commit_crash \
     gate_snapshot_stress gate_fig5_checksums gate_figures_threads \
     gate_fig11_shape gate_planner_golden gate_plan_cache_smoke \
     gate_throughput_smoke gate_net_protocol \
-    gate_server_smoke gate_check_recovery gate_chaos
+    gate_server_smoke gate_check_recovery gate_chaos \
+    gate_scale_smoke gate_bench_trajectory
 
 RAN=() STATUSES=() TOOK=() FAILED=()
 for name in "${GATES[@]}"; do
